@@ -1,0 +1,368 @@
+(* The reproduction harness: regenerates every table and figure of the
+   paper's evaluation section, plus bechamel microbenchmarks of the
+   substrates.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything, quick scale
+     dune exec bench/main.exe -- table1       -- one experiment
+     dune exec bench/main.exe -- --full all   -- paper-sized counts (slow)
+
+   Experiments: dataset table1 table2 table3 fig4 fig5 fig6 fig7 figs8to12
+   ablations discussion micro all. *)
+
+module P = Veriopt.Pipeline
+module E = Veriopt.Evaluate
+module R = Veriopt.Report
+module Trainer = Veriopt_rl.Trainer
+module Prompt = Veriopt_llm.Prompt
+module S = Veriopt_data.Suite
+
+let fmt = Format.std_formatter
+
+let header title =
+  Fmt.pf fmt "@.============================================================@.";
+  Fmt.pf fmt "%s@." title;
+  Fmt.pf fmt "============================================================@."
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation cache: train once, evaluate each model once. *)
+
+type evals = {
+  artifacts : P.artifacts;
+  base : E.result;
+  zero : E.result;
+  warm : E.result;
+  correctness : E.result;
+  latency : E.result;
+  zoo : (string * E.result) list;
+  llm_compiler : E.result;
+}
+
+let build_evals (scale : P.scale) : evals =
+  let t0 = Unix.gettimeofday () in
+  let progress s = Fmt.pf fmt "[%6.1fs] %s@." (Unix.gettimeofday () -. t0) s in
+  let a = P.build ~scale ~progress () in
+  let ev ?mode m =
+    progress (Fmt.str "evaluating %s" m.Veriopt_llm.Model.name);
+    E.run ?mode ~max_conflicts:60_000 m a.P.validation
+  in
+  let pl = a.P.pipeline in
+  {
+    artifacts = a;
+    base = ev a.P.base;
+    zero = ev pl.Trainer.stage1.Trainer.model_zero;
+    warm = ev ~mode:Prompt.Augmented pl.Trainer.warm;
+    correctness = ev ~mode:Prompt.Augmented pl.Trainer.stage2.Trainer.model_correctness;
+    latency = ev pl.Trainer.stage3.Trainer.model_latency;
+    zoo = List.map (fun (n, m) -> (n, ev m)) a.P.zoo_sft;
+    llm_compiler = ev a.P.llm_compiler;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Experiments *)
+
+let run_dataset (e : evals) =
+  header "DATASET CONSTRUCTION (paper SIV-A)";
+  R.dataset_stats fmt ~train:e.artifacts.P.train_stats ~validation:e.artifacts.P.validation_stats;
+  Fmt.pf fmt "U_max (80th percentile of instcombine speedups): %.2f@." e.artifacts.P.u_max
+
+let run_table1 (e : evals) =
+  header "TABLE I (paper: 73.2% correct, 56.8% copies, 16.4% different-correct)";
+  R.table1 fmt e.base
+
+let run_table2 (e : evals) =
+  header "TABLE II (paper: ~89.5/89.9% correct, ~1.4% copies, 88.2% different-correct)";
+  R.table2 fmt ~correctness:e.correctness ~latency:e.latency
+
+let run_table3 (e : evals) =
+  header "TABLE III (paper: Latency -50.68%, Size -17.37%, ICount -45.64% for Model-Latency)";
+  R.table3 fmt
+    [ ("Latency", e.latency); ("Correctness", e.correctness); ("Qwen-3B", e.base) ]
+
+let run_fig4 (e : evals) =
+  header "FIG 4 (training dynamics; paper shows rising reward under both stages)";
+  R.fig4 fmt ~which:"a (correctness stage)"
+    e.artifacts.P.pipeline.Trainer.stage2.Trainer.correctness_log;
+  R.fig4 fmt ~which:"b (latency stage)" e.artifacts.P.pipeline.Trainer.stage3.Trainer.latency_log
+
+let run_fig5 (e : evals) =
+  header "FIG 5 (baselines in parameter-size order; Model-Latency wins latency/icount/accuracy)";
+  let zoo_with_compiler =
+    (* insert LLM-Compiler at its parameter-size position *)
+    let rec insert = function
+      | ("Qwen-7B-SFT", r) :: rest ->
+        ("LLM-Compiler-7B", e.llm_compiler) :: ("Qwen-7B-SFT", r) :: rest
+      | x :: rest -> x :: insert rest
+      | [] -> [ ("LLM-Compiler-7B", e.llm_compiler) ]
+    in
+    insert (List.map (fun (n, r) -> (n ^ "-SFT", r)) e.zoo)
+  in
+  R.fig5 fmt (zoo_with_compiler @ [ ("Model-Latency", e.latency) ])
+
+let run_fig6 (e : evals) =
+  header
+    "FIG 6 (paper: VeriOpt beats instcombine on 20.1%, loses 22.6%, ties 57.3%; 2.30x vs 2.39x; net +17%)";
+  R.fig6 fmt ~latency_model:e.latency
+
+let run_fig7 (e : evals) =
+  header "FIG 7 (ablation: each stage of the hierarchy adds improvement)";
+  R.fig7 fmt
+    [
+      ("Qwen-3B (base)", e.base);
+      ("Model-Zero", e.zero);
+      ("Warm-up", e.warm);
+      ("Model-Correctness", e.correctness);
+      ("Model-Latency", e.latency);
+    ]
+
+let run_figs8to12 (e : evals) =
+  header "FIGS 8-12 (case studies)";
+  R.figs8to12 fmt e.latency
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of the paper's design choices (SIII-A, SV-D, SVI). *)
+
+module Grpo = Veriopt_rl.Grpo
+module Reward = Veriopt_rl.Reward
+module Alive = Veriopt_alive.Alive
+module Model = Veriopt_llm.Model
+
+(* Ablation A -- I/O testing vs formal verification: how many candidates pass
+   a finite test battery but are formally wrong (the overestimation
+   LLM-Vectorizer documented and the paper's introduction leans on). *)
+let ablation_io_vs_formal (e : evals) =
+  Fmt.pf fmt "@.[A] I/O-sample equivalence vs formal verification@.";
+  let base = e.artifacts.P.base in
+  let candidates =
+    List.filter_map
+      (fun (s : S.sample) ->
+        let g =
+          Model.generate base ~mode:Prompt.Generic ~rng:None ~sample_id:s.S.id s.S.modul s.S.src
+        in
+        match Veriopt_llm.Prompt.answer_of g.Model.completion with
+        | Some answer -> (
+          match Veriopt_ir.Parser.parse_func_result answer with
+          | Ok tgt when Veriopt_ir.Validator.validate_func ~module_:s.S.modul tgt = Ok () ->
+            Some (s, tgt)
+          | _ -> None)
+        | None -> None)
+      e.artifacts.P.validation
+  in
+  let io_pass = ref 0 and formal_pass = ref 0 and io_only = ref 0 and total = ref 0 in
+  List.iter
+    (fun ((s : S.sample), tgt) ->
+      incr total;
+      let io =
+        match Veriopt_eval.Exec_oracle.equivalent ~samples:32 s.S.modul ~src:s.S.src ~tgt with
+        | Veriopt_eval.Exec_oracle.Io_equivalent _ -> true
+        | _ -> false
+      in
+      let formal =
+        (Alive.verify_funcs ~max_conflicts:60_000 s.S.modul ~src:s.S.src ~tgt).Alive.category
+        = Alive.Equivalent
+      in
+      if io then incr io_pass;
+      if formal then incr formal_pass;
+      if io && not formal then incr io_only)
+    candidates;
+  Fmt.pf fmt
+    "  parseable candidates %d: I/O-equivalent %d, formally verified %d,@.  passed I/O but NOT formally verified: %d (the overestimation)@."
+    !total !io_pass !formal_pass !io_only
+
+(* Ablation B -- dropping the BLEU shaping term of Eq. 1: the paper keeps it
+   to avoid gradient starvation under sparse discrete rewards. *)
+let ablation_no_bleu (e : evals) =
+  Fmt.pf fmt "@.[B] Eq. 1 with vs without the BLEU shaping term (Model-Zero stage)@.";
+  let train = Array.of_list e.artifacts.P.train in
+  let run_stage ~use_bleu =
+    let model = Model.clone ~name:"ablation" e.artifacts.P.base in
+    let rng = Random.State.make [| 5; 55 |] in
+    let cfg = Grpo.default_config in
+    let final_rewards = ref [] in
+    for step = 1 to 120 do
+      let s = train.(Random.State.int rng (Array.length train)) in
+      let group =
+        List.init cfg.Grpo.group_size (fun _ ->
+            Model.generate model ~mode:Prompt.Generic ~rng:(Some rng) ~sample_id:s.S.id s.S.modul
+              s.S.src)
+      in
+      let scored =
+        List.map
+          (fun (g : Model.generation) ->
+            let r, _ =
+              Reward.correctness_of_completion s.S.modul ~src:s.S.src ~label:s.S.label
+                g.Model.completion
+            in
+            let r = if use_bleu then r else Float.of_int (int_of_float r) in
+            ({ Grpo.steps = g.Model.steps; reward = r }, r))
+          group
+      in
+      let rs = Array.of_list (List.map snd scored) in
+      let advs = Grpo.advantages rs in
+      Grpo.update cfg model (List.mapi (fun i (r, _) -> (r, advs.(i))) scored);
+      if step > 100 then
+        final_rewards := (Array.fold_left ( +. ) 0. rs /. 6.) :: !final_rewards
+    done;
+    let avg = List.fold_left ( +. ) 0. !final_rewards /. float_of_int (List.length !final_rewards) in
+    (avg, Model.get model "act:rule")
+  in
+  let with_bleu, rule_with = run_stage ~use_bleu:true in
+  let without, rule_without = run_stage ~use_bleu:false in
+  Fmt.pf fmt "  with BLEU:    final mean reward %.3f, act:rule logit %+.2f@." with_bleu rule_with;
+  Fmt.pf fmt "  without BLEU: final mean reward %.3f, act:rule logit %+.2f@." without rule_without;
+  Fmt.pf fmt "  (the continuous term keeps a gradient flowing when discrete rewards are flat)@."
+
+(* Ablation C -- skipping the warm-up SFT: the paper reports direct GRPO on
+   augmented prompts is unstable without it (SIII-C2, SV-D). *)
+let ablation_no_warmup (e : evals) =
+  Fmt.pf fmt "@.[C] Model-Correctness with vs without the warm-up SFT stage@.";
+  let opts =
+    { Trainer.default_options with Trainer.grpo_steps = e.artifacts.P.scale.P.opts.Trainer.grpo_steps }
+  in
+  let direct = Trainer.train_correctness ~opts e.artifacts.P.base e.artifacts.P.train in
+  let ev_direct =
+    E.run ~mode:Prompt.Augmented ~max_conflicts:60_000 direct.Trainer.model_correctness
+      e.artifacts.P.validation
+  in
+  let pct x total = 100. *. float_of_int x /. float_of_int (max 1 total) in
+  Fmt.pf fmt "  with warm-up:    %.1f%% verified-correct, %.1f%% different-correct@."
+    (pct e.correctness.E.counts.E.correct e.correctness.E.counts.E.total)
+    (100. *. E.different_correct_rate e.correctness);
+  Fmt.pf fmt "  without warm-up: %.1f%% verified-correct, %.1f%% different-correct@."
+    (pct ev_direct.E.counts.E.correct ev_direct.E.counts.E.total)
+    (100. *. E.different_correct_rate ev_direct)
+
+(* Ablation D -- the unrolling bound: bounded translation validation loses
+   conclusiveness on loopy functions as the bound shrinks (SVI). *)
+let ablation_unroll (e : evals) =
+  Fmt.pf fmt "@.[D] verifier unroll bound vs inconclusive rate (label pairs)@.";
+  let loopy =
+    List.filter
+      (fun (s : S.sample) -> Veriopt_ir.Cfg.has_loop (Veriopt_ir.Cfg.of_func s.S.src))
+      e.artifacts.P.validation
+  in
+  Fmt.pf fmt "  validation functions with loops: %d@." (List.length loopy);
+  List.iter
+    (fun unroll ->
+      let inconclusive =
+        List.length
+          (List.filter
+             (fun (s : S.sample) ->
+               (Alive.verify_funcs ~unroll ~max_conflicts:60_000 s.S.modul ~src:s.S.src
+                  ~tgt:s.S.label)
+                 .Alive.category
+               = Alive.Inconclusive)
+             loopy)
+      in
+      Fmt.pf fmt "  unroll bound %d: %d/%d inconclusive@." unroll inconclusive (List.length loopy))
+    [ 1; 2; 4; 8 ]
+
+(* The paper's SVI hypothesis: applied to a larger foundation model, the
+   same pipeline should get stronger.  We run the full four-stage curriculum
+   from the 32B-surrogate base and compare. *)
+let run_discussion (e : evals) =
+  header "DISCUSSION (SVI): the pipeline on a larger foundation model";
+  let opts = e.artifacts.P.scale.P.opts in
+  let base32 = Veriopt_llm.Capability.init ~name:"Qwen-32B" 0.8 in
+  let r = Trainer.full_pipeline ~opts base32 e.artifacts.P.train in
+  let ev32 =
+    E.run ~max_conflicts:60_000 r.Trainer.stage3.Trainer.model_latency e.artifacts.P.validation
+  in
+  let line name (res : E.result) =
+    let lat =
+      E.geomean_speedup res.E.rows ~metric:(fun m -> m.E.latency) ~out:E.out_metrics
+        ~base:E.src_metrics
+    in
+    Fmt.pf fmt "  %-28s %5.2fx latency, %5.1f%% verified-correct@." name lat
+      (R.pct res.E.counts.E.correct res.E.counts.E.total)
+  in
+  line "Model-Latency (3B base)" e.latency;
+  line "Model-Latency (32B base)" ev32;
+  Fmt.pf fmt "  (the paper hypothesizes the gap grows with base-model capability)@."
+
+let run_ablations (e : evals) =
+  header "ABLATIONS (design choices from SIII-A, SV-D, SVI)";
+  ablation_io_vs_formal e;
+  ablation_no_bleu e;
+  ablation_no_warmup e;
+  ablation_unroll e
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the substrates; one Test.make per kernel. *)
+
+let run_micro () =
+  header "MICROBENCHMARKS (bechamel, monotonic clock)";
+  (* bind the workload before opening Bechamel (which shadows S) *)
+  let sample = S.build ~verify:false ~seed0:123456 ~n:1 () in
+  let open Bechamel in
+  let s = List.hd sample.Veriopt_data.Suite.samples in
+  let src_text = s.Veriopt_data.Suite.src_text in
+  let base_model = Veriopt_llm.Capability.base_3b () in
+  let args =
+    List.map
+      (fun (ty, _) -> Veriopt_eval.Interp.vint (Veriopt_ir.Types.width ty) 1L)
+      s.Veriopt_data.Suite.src.Veriopt_ir.Ast.params
+  in
+  let tests =
+    [
+      Test.make ~name:"parse_func" (Staged.stage (fun () -> Veriopt_ir.Parser.parse_func src_text));
+      Test.make ~name:"print_func"
+        (Staged.stage (fun () -> Veriopt_ir.Printer.func_to_string s.Veriopt_data.Suite.src));
+      Test.make ~name:"validate_func"
+        (Staged.stage (fun () -> Veriopt_ir.Validator.validate_func ~module_:s.Veriopt_data.Suite.modul s.Veriopt_data.Suite.src));
+      Test.make ~name:"instcombine"
+        (Staged.stage (fun () -> Veriopt_passes.Pass_manager.instcombine s.Veriopt_data.Suite.modul s.Veriopt_data.Suite.src));
+      Test.make ~name:"interp_run"
+        (Staged.stage (fun () ->
+             try ignore (Veriopt_eval.Interp.run s.Veriopt_data.Suite.modul s.Veriopt_data.Suite.src args) with _ -> ()));
+      Test.make ~name:"alive_verify"
+        (Staged.stage (fun () ->
+             Veriopt_alive.Alive.verify_funcs ~max_conflicts:60_000 s.Veriopt_data.Suite.modul ~src:s.Veriopt_data.Suite.src
+               ~tgt:s.Veriopt_data.Suite.label));
+      Test.make ~name:"model_generate_greedy"
+        (Staged.stage (fun () ->
+             Veriopt_llm.Model.generate base_model ~mode:Prompt.Generic ~rng:None ~sample_id:1
+               s.Veriopt_data.Suite.modul s.Veriopt_data.Suite.src));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  List.iter
+    (fun t ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"micro" [ t ]) in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Fmt.pf fmt "  %-32s %14.1f ns/run@." name est
+          | Some _ | None -> Fmt.pf fmt "  %-32s (no estimate)@." name)
+        analyzed)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let args = List.filter (fun a -> a <> "--full") args in
+  let scale = if full then P.full else P.quick in
+  let experiments = if args = [] || List.mem "all" args then [ "all" ] else args in
+  let wants x = List.mem "all" experiments || List.mem x experiments in
+  if experiments = [ "micro" ] then run_micro ()
+  else begin
+    let e = build_evals scale in
+    if wants "dataset" then run_dataset e;
+    if wants "table1" then run_table1 e;
+    if wants "table2" then run_table2 e;
+    if wants "table3" then run_table3 e;
+    if wants "fig4" then run_fig4 e;
+    if wants "fig5" then run_fig5 e;
+    if wants "fig6" then run_fig6 e;
+    if wants "fig7" then run_fig7 e;
+    if wants "figs8to12" then run_figs8to12 e;
+    if wants "ablations" then run_ablations e;
+    if wants "discussion" then run_discussion e;
+    if wants "micro" then run_micro ();
+    Fmt.pf fmt "@.done.@."
+  end

@@ -1,0 +1,158 @@
+(* The veriopt command-line tool.
+
+   veriopt verify   <file.ll>          -- validate the 2nd function against the 1st
+   veriopt opt      <file.ll>          -- run the handwritten instcombine pass
+   veriopt llm-opt  <file.ll>          -- optimize with the trained model + fallback
+   veriopt train                       -- run the four-model pipeline, report accuracy
+   veriopt dataset                     -- build & describe a dataset sample
+   veriopt cost     <file.ll>          -- report latency/icount/binsize per function *)
+
+open Cmdliner
+module Alive = Veriopt_alive.Alive
+module PM = Veriopt_passes.Pass_manager
+module S = Veriopt_data.Suite
+module Trainer = Veriopt_rl.Trainer
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_module path = Veriopt_ir.Parser.parse_module (read_file path)
+
+let category_string = function
+  | Alive.Equivalent -> "semantically equivalent"
+  | Alive.Semantic_error -> "NOT equivalent (semantic error)"
+  | Alive.Syntax_error -> "invalid IR (syntax error)"
+  | Alive.Inconclusive -> "inconclusive"
+
+(* ------------------------------------------------------------------ *)
+
+let verify_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ll") in
+  let run file =
+    let m = load_module file in
+    match m.Veriopt_ir.Ast.funcs with
+    | [ src; tgt ] | src :: tgt :: _ ->
+      let v = Alive.verify_funcs m ~src ~tgt in
+      Fmt.pr "%s@.%s@." (category_string v.Alive.category) v.Alive.message;
+      if v.Alive.category = Alive.Equivalent then 0 else 1
+    | _ ->
+      Fmt.epr "error: FILE.ll must contain two function definitions (source, target)@.";
+      2
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Check that the second function of FILE.ll refines the first")
+    Term.(const run $ file)
+
+let opt_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ll") in
+  let aggressive =
+    Arg.(value & flag & info [ "aggressive" ] ~doc:"Also run mem2reg and simplifycfg")
+  in
+  let run file aggressive =
+    let m = load_module file in
+    List.iter
+      (fun f ->
+        let f', trace =
+          if aggressive then PM.aggressive m f else PM.instcombine m f
+        in
+        Fmt.pr "%s" (Veriopt_ir.Printer.func_to_string f');
+        Fmt.epr "; %d rewrites applied to @%s@." (List.length trace) f.Veriopt_ir.Ast.fname)
+      m.Veriopt_ir.Ast.funcs;
+    0
+  in
+  Cmd.v
+    (Cmd.info "opt" ~doc:"Run the handwritten peephole optimizer over every function")
+    Term.(const run $ file $ aggressive)
+
+let llm_opt_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ll") in
+  let train_n =
+    Arg.(value & opt int 120 & info [ "train-samples" ] ~doc:"Training set size")
+  in
+  let steps = Arg.(value & opt int 150 & info [ "grpo-steps" ] ~doc:"GRPO steps per stage") in
+  let run file train_n steps =
+    let m = load_module file in
+    Fmt.epr "training the pipeline (%d samples, %d GRPO steps per stage)...@." train_n steps;
+    let train = (S.training ~n:train_n ()).S.samples in
+    let opts = { Trainer.default_options with Trainer.grpo_steps = steps } in
+    let result = Trainer.full_pipeline ~opts (Veriopt_llm.Capability.base_3b ()) train in
+    let model = result.Trainer.stage3.Trainer.model_latency in
+    List.iter
+      (fun f ->
+        let o = Veriopt.Backend.optimize model m f in
+        Fmt.pr "%s" (Veriopt_ir.Printer.func_to_string o.Veriopt.Backend.output);
+        Fmt.epr "; @%s: %s%s@." f.Veriopt_ir.Ast.fname
+          (category_string o.Veriopt.Backend.verdict.Alive.category)
+          (if o.Veriopt.Backend.used_model then "" else " -- fell back to the input"))
+      m.Veriopt_ir.Ast.funcs;
+    0
+  in
+  Cmd.v
+    (Cmd.info "llm-opt"
+       ~doc:"Train Model-Latency, then optimize FILE.ll with verified fallback")
+    Term.(const run $ file $ train_n $ steps)
+
+let train_cmd =
+  let train_n = Arg.(value & opt int 140 & info [ "train-samples" ] ~doc:"Training set size") in
+  let val_n = Arg.(value & opt int 200 & info [ "val-samples" ] ~doc:"Validation set size") in
+  let steps = Arg.(value & opt int 160 & info [ "grpo-steps" ] ~doc:"GRPO steps per stage") in
+  let run train_n val_n steps =
+    let scale =
+      {
+        Veriopt.Pipeline.quick with
+        Veriopt.Pipeline.n_train = train_n;
+        n_validation = val_n;
+        opts = { Trainer.default_options with Trainer.grpo_steps = steps; verbose = true };
+      }
+    in
+    let a = Veriopt.Pipeline.build ~scale ~progress:(Fmt.epr "%s@.") () in
+    let ev = Veriopt.Evaluate.run a.Veriopt.Pipeline.pipeline.Trainer.stage3.Trainer.model_latency
+        a.Veriopt.Pipeline.validation
+    in
+    Veriopt.Report.table1 Fmt.stdout ev;
+    0
+  in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Run the four-model training pipeline and report accuracy")
+    Term.(const run $ train_n $ val_n $ steps)
+
+let dataset_cmd =
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of samples") in
+  let run n =
+    let ds = S.validation ~n () in
+    Fmt.pr "%a@." S.pp_stats ds.S.stats;
+    (match ds.S.samples with
+    | s :: _ ->
+      Fmt.pr "--- sample -O0 source:@.%s@." s.S.src_text;
+      Fmt.pr "--- instcombine label:@.%s@." s.S.label_text
+    | [] -> ());
+    0
+  in
+  Cmd.v (Cmd.info "dataset" ~doc:"Build a dataset slice and show one sample") Term.(const run $ n)
+
+let cost_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ll") in
+  let run file =
+    let m = load_module file in
+    Fmt.pr "%-20s %10s %10s %10s@." "function" "latency" "icount" "binsize";
+    List.iter
+      (fun f ->
+        Fmt.pr "%-20s %10d %10d %10d@." f.Veriopt_ir.Ast.fname
+          (Veriopt_cost.Latency.of_func f)
+          (Veriopt_cost.Icount.of_func f)
+          (Veriopt_cost.Binsize.of_func ~modul:m f))
+      m.Veriopt_ir.Ast.funcs;
+    0
+  in
+  Cmd.v (Cmd.info "cost" ~doc:"Report the cost-model metrics of every function") Term.(const run $ file)
+
+let () =
+  let info =
+    Cmd.info "veriopt" ~version:"1.0.0"
+      ~doc:"Verification-guided reinforcement learning for LLM-based compiler optimization"
+  in
+  exit (Cmd.eval' (Cmd.group info [ verify_cmd; opt_cmd; llm_opt_cmd; train_cmd; dataset_cmd; cost_cmd ]))

@@ -1,0 +1,1 @@
+examples/emergent_opts.ml: Fmt List Veriopt Veriopt_data Veriopt_ir Veriopt_llm Veriopt_rl

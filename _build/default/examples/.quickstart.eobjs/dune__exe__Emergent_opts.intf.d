@@ -1,0 +1,1 @@
+examples/emergent_opts.mli:

@@ -1,0 +1,1 @@
+examples/io_vs_formal.ml: Fmt Veriopt_alive Veriopt_eval Veriopt_ir

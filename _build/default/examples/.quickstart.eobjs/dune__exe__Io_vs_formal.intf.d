@@ -1,0 +1,1 @@
+examples/io_vs_formal.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Veriopt_alive Veriopt_cost Veriopt_ir Veriopt_passes

@@ -1,0 +1,1 @@
+examples/train_demo.ml: Array Fmt List String Veriopt Veriopt_data Veriopt_llm Veriopt_rl

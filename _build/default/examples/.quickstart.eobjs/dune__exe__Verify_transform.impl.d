@@ -1,0 +1,1 @@
+examples/verify_transform.ml: Fmt List Veriopt_alive Veriopt_ir

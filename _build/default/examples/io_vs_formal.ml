@@ -1,0 +1,51 @@
+(* Finite I/O testing vs formal verification — the motivation behind the
+   whole paper (SI, via LLM-Vectorizer): testing a transformation on sample
+   inputs overestimates correctness; translation validation does not.
+
+     dune exec examples/io_vs_formal.exe *)
+
+module Parser = Veriopt_ir.Parser
+module Alive = Veriopt_alive.Alive
+module Oracle = Veriopt_eval.Exec_oracle
+
+let m = Veriopt_ir.Ast.empty_module
+
+let show title src_text tgt_text =
+  let src = Parser.parse_func src_text and tgt = Parser.parse_func tgt_text in
+  let io =
+    match Oracle.equivalent ~samples:32 m ~src ~tgt with
+    | Oracle.Io_equivalent n -> Fmt.str "PASS (%d samples agree)" n
+    | Oracle.Io_different _ -> "FAIL (distinguishing input found)"
+    | Oracle.Io_unsupported r -> "unsupported: " ^ r
+  in
+  let formal =
+    match (Alive.verify_funcs m ~src ~tgt).Alive.category with
+    | Alive.Equivalent -> "EQUIVALENT"
+    | Alive.Semantic_error -> "SEMANTIC ERROR"
+    | Alive.Syntax_error -> "SYNTAX ERROR"
+    | Alive.Inconclusive -> "INCONCLUSIVE"
+  in
+  Fmt.pr "== %s@.   I/O testing (32 vectors): %s@.   formal verification:      %s@.@."
+    title io formal
+
+let () =
+  Fmt.pr "Three candidate \"optimizations\" of `ret i32 %%x`:@.@.";
+
+  show "a correct rewrite"
+    "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 0\n  ret i32 %r\n}"
+    "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n}";
+
+  show "wrong on most inputs (testing catches it too)"
+    "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n}"
+    "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}";
+
+  show "wrong on exactly one input out of 2^32 (testing is fooled)"
+    "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n}"
+    "define i32 @f(i32 %x) {\nentry:\n  %c = icmp eq i32 %x, 123456789\n  %r = select i1 %c, i32 0, i32 %x\n  ret i32 %r\n}";
+
+  show "poison-only difference (no test vector can see it)"
+    "define i8 @f(i8 %x) {\nentry:\n  %r = mul i8 %x, 4\n  ret i8 %r\n}"
+    "define i8 @f(i8 %x) {\nentry:\n  %r = shl nsw i8 %x, 2\n  ret i8 %r\n}";
+
+  Fmt.pr
+    "The last two are why the paper puts a formal validator, not a test@.suite, inside the reward loop: an LLM trained against tests learns to@.pass tests; an LLM trained against Alive learns to be correct.@."

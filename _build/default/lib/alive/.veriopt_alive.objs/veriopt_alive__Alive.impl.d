@@ -1,0 +1,1 @@
+lib/alive/alive.ml: Ast Builder Cfg Diagnostics Encode Fmt Int64 List Option Parser Refine String Types Validator Veriopt_eval Veriopt_ir Veriopt_smt

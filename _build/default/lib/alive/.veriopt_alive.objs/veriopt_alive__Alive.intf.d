@@ -1,0 +1,1 @@
+lib/alive/alive.mli: Veriopt_ir

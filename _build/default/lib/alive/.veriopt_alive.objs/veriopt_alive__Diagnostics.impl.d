@@ -1,0 +1,1 @@
+lib/alive/diagnostics.ml: Buffer Encode Fmt Int64 List Option Veriopt_smt

@@ -1,0 +1,1 @@
+lib/alive/diagnostics.mli: Encode Veriopt_smt

@@ -1,0 +1,1 @@
+lib/alive/encode.ml: Ast Bits Cfg Fmt Hashtbl Int64 List Map Option Types Unroll Veriopt_ir Veriopt_smt

@@ -1,0 +1,1 @@
+lib/alive/encode.mli: Ast Veriopt_ir Veriopt_smt

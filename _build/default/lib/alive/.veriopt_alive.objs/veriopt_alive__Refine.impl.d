@@ -1,0 +1,1 @@
+lib/alive/refine.ml: Encode Fmt List Veriopt_smt

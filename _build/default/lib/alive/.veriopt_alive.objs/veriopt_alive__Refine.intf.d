@@ -1,0 +1,1 @@
+lib/alive/refine.mli: Encode Veriopt_smt

@@ -1,0 +1,1 @@
+lib/alive/unroll.ml: Ast Cfg Fmt Hashtbl List Option Veriopt_ir

@@ -1,0 +1,1 @@
+lib/alive/unroll.mli: Veriopt_ir

@@ -1,0 +1,39 @@
+(** The translation validator's public verdict API.
+
+    Verdicts use the paper's four categories (its Tables I/II).  A solver
+    counterexample is re-executed in the concrete interpreter before
+    committing to "semantic error": if concrete execution does not confirm
+    the mismatch (an artifact of the encoding's approximations), the verdict
+    degrades to "inconclusive", keeping counterexamples — and the training
+    diagnostics built from them — trustworthy. *)
+
+type category = Equivalent | Semantic_error | Syntax_error | Inconclusive
+
+type verdict = {
+  category : category;
+  message : string;  (** Alive2-style diagnostic *)
+  example : (string * int64) list;  (** counterexample inputs, when any *)
+  bounded : bool;  (** loops were unrolled: bounded validation *)
+  copy_of_input : bool;  (** target is alpha-equal to source *)
+}
+
+val verify_funcs :
+  ?unroll:int ->
+  ?max_conflicts:int ->
+  Veriopt_ir.Ast.modul ->
+  src:Veriopt_ir.Ast.func ->
+  tgt:Veriopt_ir.Ast.func ->
+  verdict
+(** Does [tgt] refine [src]?  Both functions must already be well-formed;
+    route untrusted text through {!verify_text}.  [unroll] bounds loop
+    unrolling (default 4); [max_conflicts] is the solver budget. *)
+
+val verify_text :
+  ?unroll:int ->
+  ?max_conflicts:int ->
+  Veriopt_ir.Ast.modul ->
+  src:Veriopt_ir.Ast.func ->
+  tgt_text:string ->
+  verdict
+(** Verify model-produced IR text: parse and validation failures map to
+    [Syntax_error], as in the paper's tables. *)

@@ -1,0 +1,113 @@
+(** Alive2-style diagnostic messages.
+
+    The texts intentionally mirror the phrasing of real Alive2 output
+    ("ERROR: Target is more poisonous than source", value-mismatch examples
+    with concrete inputs) because the paper feeds these diagnostics back into
+    model training and scores the model's self-diagnoses by BLEU similarity
+    against them. *)
+
+module Expr = Veriopt_smt.Expr
+module Solver = Veriopt_smt.Solver
+open Encode
+
+type kind =
+  | Target_ub
+  | Target_more_poisonous
+  | Value_mismatch
+  | Domain_mismatch (* one side returns, the other does not *)
+  | Trace_mismatch
+  | Memory_mismatch
+  | Other
+
+let kind_to_string = function
+  | Target_ub -> "Target has undefined behavior where source does not"
+  | Target_more_poisonous -> "Target is more poisonous than source"
+  | Value_mismatch -> "Value mismatch"
+  | Domain_mismatch -> "Source and target don't have the same return domain"
+  | Trace_mismatch -> "Mismatch in observable function calls"
+  | Memory_mismatch -> "Mismatch in stored memory"
+  | Other -> "Target does not refine source"
+
+(* Evaluate a term under a solver model; unmapped variables default to 0 /
+   false, which is exactly the solver's own completion of don't-care vars. *)
+let eval_env (model : Solver.model) =
+  let env_bv name = match model.Solver.bv_value name with Some (_, v) -> v | None -> 0L in
+  let env_bool name = Option.value ~default:false (model.Solver.bool_value name) in
+  (env_bv, env_bool)
+
+let classify (model : Solver.model) (src : summary) (tgt : summary) : kind =
+  let env_bv, env_bool = eval_env model in
+  let ev t = Solver.eval_bool env_bv env_bool t in
+  if ev tgt.ub then Target_ub
+  else if ev src.returns <> ev tgt.returns then Domain_mismatch
+  else
+    match (src.ret_value, tgt.ret_value) with
+    | Some (_, sp), Some (_, tp) when (not (ev sp)) && ev tp -> Target_more_poisonous
+    | Some (sv, sp), Some (tv, _) when (not (ev sp)) && Solver.eval_bv env_bv env_bool sv <> Solver.eval_bv env_bv env_bool tv ->
+      Value_mismatch
+    | _ ->
+      (* distinguish trace and memory failures by re-evaluation *)
+      let impure s = List.filter (fun c -> not c.pure) s.calls in
+      let trace_differs =
+        try
+          List.exists2
+            (fun (c1 : call_event) (c2 : call_event) ->
+              ev c1.call_guard <> ev c2.call_guard
+              || (ev c1.call_guard
+                 && List.exists2
+                      (fun a b ->
+                        match (a, b) with
+                        | SInt x, SInt y ->
+                          Solver.eval_bv env_bv env_bool x.term
+                          <> Solver.eval_bv env_bv env_bool y.term
+                        | _ -> false)
+                      c1.args c2.args))
+            (impure src) (impure tgt)
+        with Invalid_argument _ -> true
+      in
+      if trace_differs then Trace_mismatch
+      else if src.final_mem <> [] || tgt.final_mem <> [] then Memory_mismatch
+      else Other
+
+(** Concrete input assignment extracted from a model, as printable pairs. *)
+let example_inputs (model : Solver.model) (src : summary) : (string * int64) list =
+  let _, env_bool = eval_env model in
+  List.concat_map
+    (fun name ->
+      match model.Solver.bv_value name with
+      | Some (_, v) -> if env_bool (name ^ "!p") then [ (name, v); (name ^ "!p", 1L) ] else [ (name, v) ]
+      | None -> [ (name, 0L) ])
+    src.param_names
+
+let render_counterexample (model : Solver.model) (src : summary) (tgt : summary) : string =
+  let env_bv, env_bool = eval_env model in
+  let kind = classify model src tgt in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Fmt.str "ERROR: %s\n" (kind_to_string kind));
+  Buffer.add_string buf "Example:\n";
+  List.iter
+    (fun name ->
+      let poisoned = env_bool (name ^ "!p") in
+      let v = env_bv name in
+      Buffer.add_string buf
+        (if poisoned then Fmt.str "  %s = poison\n" name else Fmt.str "  %s = %Ld\n" name v))
+    src.param_names;
+  (match (src.ret_value, tgt.ret_value) with
+  | Some (sv, sp), Some (tv, tp) ->
+    let show (v, p) =
+      if Solver.eval_bool env_bv env_bool p then "poison"
+      else Int64.to_string (Solver.eval_bv env_bv env_bool v)
+    in
+    Buffer.add_string buf (Fmt.str "Source value: %s\n" (show (sv, sp)));
+    Buffer.add_string buf (Fmt.str "Target value: %s\n" (show (tv, tp)))
+  | _ -> ());
+  Buffer.contents buf
+
+let syntax_error_message (detail : string) = Fmt.str "ERROR: invalid IR\n%s" detail
+
+let inconclusive_message (detail : string) =
+  Fmt.str "Alive2 could not prove or disprove equivalence (%s)" detail
+
+let equivalent_message ~bounded =
+  if bounded then "Transformation seems to be correct (bounded)"
+  else "Transformation seems to be correct!"

@@ -1,0 +1,24 @@
+(** Alive2-style diagnostic messages: the verdict texts and counterexample
+    renderings that double as training feedback. *)
+
+type kind =
+  | Target_ub
+  | Target_more_poisonous
+  | Value_mismatch
+  | Domain_mismatch
+  | Trace_mismatch
+  | Memory_mismatch
+  | Other
+
+val kind_to_string : kind -> string
+
+val classify : Veriopt_smt.Solver.model -> Encode.summary -> Encode.summary -> kind
+
+val example_inputs : Veriopt_smt.Solver.model -> Encode.summary -> (string * int64) list
+
+val render_counterexample :
+  Veriopt_smt.Solver.model -> Encode.summary -> Encode.summary -> string
+
+val syntax_error_message : string -> string
+val inconclusive_message : string -> string
+val equivalent_message : bounded:bool -> string

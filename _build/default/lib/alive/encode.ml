@@ -1,0 +1,745 @@
+(** Symbolic execution of an IR function into SMT terms.
+
+    Produces a [summary]: return value + poison bit, an accumulated UB
+    condition, the bound-exhaustion condition from loop unrolling, the
+    guarded trace of calls, and the observable final memory (cells reachable
+    from pointer parameters and globals).  Inputs are shared between the two
+    functions of a verification query by positional naming ([arg0], ...),
+    so the refinement check quantifies over one common input space.
+
+    Constructs outside the encodable fragment (symbolic addressing,
+    pointer/integer casts, mixed-width memory overlap, cross-object pointer
+    comparisons) raise [Unsupported], which the verdict layer reports as
+    "inconclusive" — the honest analogue of Alive2's incompleteness. *)
+
+open Veriopt_ir
+open Ast
+module Expr = Veriopt_smt.Expr
+
+exception Unsupported of string
+
+let unsupported fmt = Fmt.kstr (fun s -> raise (Unsupported s)) fmt
+
+type pbase = PNull | PAlloca of int | PParam of int | PGlobal of string
+
+type intval = { term : Expr.t; poison : Expr.t }
+type ptrval = { base : pbase; offset : Expr.t (* BV 64 *); ptr_poison : Expr.t }
+
+type sval = SInt of intval | SPtr of ptrval
+
+type cell = { byte : Expr.t (* BV8 *); bpoison : Expr.t }
+
+module Mem = Map.Make (struct
+  type t = pbase * int
+
+  let compare = compare
+end)
+
+type memory = cell Mem.t
+
+type call_event = {
+  call_guard : Expr.t;
+  callee : string;
+  args : sval list;
+  result : sval option;
+  pure : bool;
+}
+
+type summary = {
+  ub : Expr.t;
+  exhausted : Expr.t;
+  returns : Expr.t;
+  ret_value : (Expr.t * Expr.t) option; (* (value, poison); None for void *)
+  calls : call_event list; (* topological order *)
+  final_mem : ((pbase * int) * cell) list; (* observable bytes *)
+  param_names : string list; (* positional input var names, for models *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* sval helpers *)
+
+let sval_poison = function
+  | SInt { poison; _ } -> poison
+  | SPtr { ptr_poison; _ } -> ptr_poison
+
+let sval_ite c a b =
+  match (a, b) with
+  | SInt x, SInt y ->
+    SInt { term = Expr.bv_ite c x.term y.term; poison = Expr.bool_ite c x.poison y.poison }
+  | SPtr x, SPtr y when x.base = y.base ->
+    SPtr
+      {
+        base = x.base;
+        offset = Expr.bv_ite c x.offset y.offset;
+        ptr_poison = Expr.bool_ite c x.ptr_poison y.ptr_poison;
+      }
+  | SPtr _, SPtr _ -> unsupported "merge of pointers with distinct provenance"
+  | _ -> unsupported "merge of pointer and integer values"
+
+let as_sint what = function
+  | SInt x -> x
+  | SPtr _ -> unsupported "%s: pointer where integer expected" what
+
+let as_sptr what = function
+  | SPtr x -> x
+  | SInt _ -> unsupported "%s: integer where pointer expected" what
+
+(* Signed-overflow predicates over terms, mirroring Bits.*_overflow. *)
+let term_add_nsw_ov w a b r =
+  let zero = Expr.bv_const w 0L in
+  Expr.or_
+    (Expr.conj [ Expr.sge a zero; Expr.sge b zero; Expr.slt r zero ])
+    (Expr.conj [ Expr.slt a zero; Expr.slt b zero; Expr.sge r zero ])
+
+let term_sub_nsw_ov w a b r =
+  let zero = Expr.bv_const w 0L in
+  Expr.or_
+    (Expr.conj [ Expr.sge a zero; Expr.slt b zero; Expr.slt r zero ])
+    (Expr.conj [ Expr.slt a zero; Expr.sge b zero; Expr.sge r zero ])
+
+let term_mul_nuw_ov w a b =
+  (* overflow iff a <> 0 && b > (2^w - 1) / a *)
+  let zero = Expr.bv_const w 0L in
+  let ones = Expr.bv_const w (Bits.all_ones w) in
+  Expr.and_ (Expr.not_ (Expr.eq a zero)) (Expr.ugt b (Expr.bin Expr.UDiv ones a))
+
+let term_mul_nsw_ov w a b r =
+  let zero = Expr.bv_const w 0L in
+  let minv = Expr.bv_const w (Bits.min_signed w) in
+  let ones = Expr.bv_const w (Bits.all_ones w) in
+  Expr.and_
+    (Expr.not_ (Expr.eq b zero))
+    (Expr.or_
+       (Expr.not_ (Expr.eq (Expr.bin Expr.SDiv r b) a))
+       (Expr.and_ (Expr.eq a minv) (Expr.eq b ones)))
+
+(* ------------------------------------------------------------------ *)
+
+type side_state = {
+  side : string; (* fresh-name prefix, e.g. "src" *)
+  modul : modul;
+  mutable next_alloca : int;
+  alloca_sizes : (int, int) Hashtbl.t;
+  mutable fresh_counter : int;
+  locals : (var, sval) Hashtbl.t;
+  mutable ub_acc : Expr.t;
+  mutable exhausted_acc : Expr.t;
+  mutable rets : (Expr.t * sval option) list; (* guard, value *)
+  mutable ret_mems : (Expr.t * memory) list;
+  mutable call_events : call_event list; (* reversed *)
+}
+
+let fresh_bv st prefix w =
+  st.fresh_counter <- st.fresh_counter + 1;
+  Expr.bv_var (Fmt.str "%s!%s%d" st.side prefix st.fresh_counter) w
+
+let add_ub st guard cond = st.ub_acc <- Expr.or_ st.ub_acc (Expr.and_ guard cond)
+
+let lookup_local st v =
+  match Hashtbl.find_opt st.locals v with
+  | Some sv -> sv
+  | None -> unsupported "use of unencoded value %%%s" v
+
+let eval_operand st (ty : Types.t) (op : operand) : sval =
+  ignore ty;
+  match op with
+  | Var v -> lookup_local st v
+  | Const (CInt { width; value }) -> SInt { term = Expr.bv_const width value; poison = Expr.ff }
+  | Const CNull -> SPtr { base = PNull; offset = Expr.bv_const 64 0L; ptr_poison = Expr.ff }
+  | Const (CUndef t) -> (
+    (* Approximated as a fresh-but-fixed value (see DESIGN.md). *)
+    match t with
+    | Types.Int w -> SInt { term = fresh_bv st "undef" w; poison = Expr.ff }
+    | _ -> unsupported "undef at non-integer type")
+  | Const (CPoison t) -> (
+    match t with
+    | Types.Int w -> SInt { term = Expr.bv_const w 0L; poison = Expr.tt }
+    | _ -> SPtr { base = PNull; offset = Expr.bv_const 64 0L; ptr_poison = Expr.tt })
+  | Global g ->
+    if find_global st.modul g = None then unsupported "address of unknown global @%s" g
+    else SPtr { base = PGlobal g; offset = Expr.bv_const 64 0L; ptr_poison = Expr.ff }
+
+(* ------------------------------------------------------------------ *)
+(* Memory
+
+   Byte-granular symbolic memory: each written cell is one byte (a BV8 term
+   plus a poison bit), so mixed-width access patterns -- i32 stores read
+   back as i64, the paper's own Fig. 8 -- encode uniformly.  Offsets must
+   still be compile-time constants; symbolic addressing is Unsupported. *)
+
+(* Size in bytes of the object behind a base, when statically known. *)
+let base_size st = function
+  | PAlloca id -> Hashtbl.find_opt st.alloca_sizes id
+  | PGlobal g -> (
+    match find_global st.modul g with
+    | Some gl -> Some (Types.size_in_bytes gl.gty)
+    | None -> None)
+  | PParam _ -> None (* caller-provided buffer, assumed large enough *)
+  | PNull -> Some 0
+
+(* The byte a load observes from an unwritten cell: initial memory for
+   params/globals (shared between sides via stable names), an uninitialized
+   fresh byte for allocas. *)
+let initial_byte st (base : pbase) (offset : int) : cell =
+  match base with
+  | PParam i -> { byte = Expr.bv_var (Fmt.str "mem%d@%d" i offset) 8; bpoison = Expr.ff }
+  | PGlobal g -> { byte = Expr.bv_var (Fmt.str "glob!%s@%d" g offset) 8; bpoison = Expr.ff }
+  | PAlloca _ -> { byte = fresh_bv st "uninit" 8; bpoison = Expr.ff }
+  | PNull -> unsupported "access through null"
+
+let byte_of_mem st mem base offset : cell =
+  match Mem.find_opt (base, offset) mem with
+  | Some c -> c
+  | None -> initial_byte st base offset
+
+let check_bounds st ~guard base offset bytes =
+  match base_size st base with
+  | Some size when offset < 0 || offset + bytes > size -> add_ub st guard Expr.tt
+  | Some _ | None -> if offset < 0 then add_ub st guard Expr.tt
+
+let constant_offset what offset =
+  match Expr.const_value offset with
+  | Some v -> Int64.to_int v
+  | None -> unsupported "%s at symbolic offset" what
+
+let int_width what = function
+  | Types.Int w -> w
+  | Types.Ptr -> unsupported "%s of pointer-typed value" what
+  | _ -> unsupported "%s of aggregate" what
+
+let mem_load st (mem : memory) ~(guard : Expr.t) (p : sval) (ty : Types.t) : memory * sval =
+  let { base; offset; ptr_poison } = as_sptr "load" p in
+  add_ub st guard ptr_poison;
+  let offset = constant_offset "load" offset in
+  let width = int_width "load" ty in
+  if base = PNull then (
+    add_ub st guard Expr.tt;
+    (mem, SInt { term = Expr.bv_const width 0L; poison = Expr.ff }))
+  else begin
+    let bytes = (width + 7) / 8 in
+    check_bounds st ~guard base offset bytes;
+    (* assemble little-endian; register initial bytes so later loads agree *)
+    let mem = ref mem in
+    let cells =
+      List.init bytes (fun i ->
+          let c = byte_of_mem st !mem base (offset + i) in
+          mem := Mem.add (base, offset + i) c !mem;
+          c)
+    in
+    let wide = 8 * bytes in
+    let term =
+      List.fold_left
+        (fun (acc, i) c ->
+          let b = if wide = 8 then c.byte else Expr.zext wide c.byte in
+          let shifted =
+            if i = 0 then b else Expr.bin Expr.Shl b (Expr.bv_const wide (Int64.of_int (8 * i)))
+          in
+          (Expr.bin Expr.Or acc shifted, i + 1))
+        (Expr.bv_const wide 0L, 0) cells
+      |> fst
+    in
+    let term = if width = wide then term else Expr.trunc width term in
+    let poison = Expr.disj (List.map (fun c -> c.bpoison) cells) in
+    (!mem, SInt { term; poison })
+  end
+
+let mem_store st (mem : memory) ~(guard : Expr.t) (p : sval) (ty : Types.t) (v : sval) : memory =
+  let { base; offset; ptr_poison } = as_sptr "store" p in
+  add_ub st guard ptr_poison;
+  let offset = constant_offset "store" offset in
+  let width = int_width "store" ty in
+  if base = PNull then (
+    add_ub st guard Expr.tt;
+    mem)
+  else begin
+    let bytes = (width + 7) / 8 in
+    check_bounds st ~guard base offset bytes;
+    let x = match v with SInt x -> x | SPtr _ -> unsupported "store of pointer value" in
+    let wide = 8 * bytes in
+    let widened = if width = wide then x.term else Expr.zext wide x.term in
+    List.fold_left
+      (fun mem i ->
+        let b =
+          let shifted =
+            if i = 0 then widened
+            else Expr.bin Expr.LShr widened (Expr.bv_const wide (Int64.of_int (8 * i)))
+          in
+          if wide = 8 then shifted else Expr.trunc 8 shifted
+        in
+        Mem.add (base, offset + i) { byte = b; bpoison = x.poison } mem)
+      mem
+      (List.init bytes (fun i -> i))
+  end
+
+(* Merge predecessor memories at a join: per-byte selection by edge
+   condition; paths lacking a byte see its initial contents. *)
+let merge_memories st (incoming : (Expr.t * memory) list) : memory =
+  match incoming with
+  | [] -> Mem.empty
+  | [ (_, m) ] -> m
+  | (_, m0) :: rest ->
+    let keys =
+      List.fold_left (fun acc (_, m) -> Mem.fold (fun k _ acc -> k :: acc) m acc) [] incoming
+      |> List.sort_uniq compare
+    in
+    List.fold_left
+      (fun acc (base, offset) ->
+        let cell m = byte_of_mem st m base offset in
+        let c0 = cell m0 in
+        let merged =
+          List.fold_left
+            (fun (acc : cell) (g, m) ->
+              let c = cell m in
+              {
+                byte = Expr.bv_ite g c.byte acc.byte;
+                bpoison = Expr.bool_ite g c.bpoison acc.bpoison;
+              })
+            c0 rest
+        in
+        Mem.add (base, offset) merged acc)
+      Mem.empty keys
+
+(* ------------------------------------------------------------------ *)
+(* Instructions *)
+
+let encode_binop st ~guard op (flags : flags) w (a : sval) (b : sval) : sval =
+  let x = as_sint "binop" a and y = as_sint "binop" b in
+  let operand_poison = Expr.or_ x.poison y.poison in
+  let at = x.term and bt = y.term in
+  let term op' = Expr.bin op' at bt in
+  let with_flag_poison r extra = SInt { term = r; poison = Expr.or_ operand_poison extra } in
+  let zero = Expr.bv_const w 0L in
+  let shift_poison = Expr.uge bt (Expr.bv_const w (Int64.of_int w)) in
+  match op with
+  | Add ->
+    let r = term Expr.Add in
+    let p =
+      Expr.or_
+        (if flags.nsw then term_add_nsw_ov w at bt r else Expr.ff)
+        (if flags.nuw then Expr.ult r at else Expr.ff)
+    in
+    with_flag_poison r p
+  | Sub ->
+    let r = term Expr.Sub in
+    let p =
+      Expr.or_
+        (if flags.nsw then term_sub_nsw_ov w at bt r else Expr.ff)
+        (if flags.nuw then Expr.ult at bt else Expr.ff)
+    in
+    with_flag_poison r p
+  | Mul ->
+    let r = term Expr.Mul in
+    let p =
+      Expr.or_
+        (if flags.nsw then term_mul_nsw_ov w at bt r else Expr.ff)
+        (if flags.nuw then term_mul_nuw_ov w at bt else Expr.ff)
+    in
+    with_flag_poison r p
+  | UDiv ->
+    (* UB: divisor poison or zero; dividend poison makes the result poison *)
+    add_ub st guard (Expr.or_ y.poison (Expr.eq bt zero));
+    let r = term Expr.UDiv in
+    let p = if flags.exact then Expr.not_ (Expr.eq (Expr.bin Expr.URem at bt) zero) else Expr.ff in
+    SInt { term = r; poison = Expr.or_ x.poison p }
+  | SDiv ->
+    let minv = Expr.bv_const w (Bits.min_signed w) in
+    let ones = Expr.bv_const w (Bits.all_ones w) in
+    add_ub st guard
+      (Expr.disj
+         [ y.poison; Expr.eq bt zero; Expr.and_ (Expr.eq at minv) (Expr.eq bt ones) ]);
+    let r = term Expr.SDiv in
+    let p = if flags.exact then Expr.not_ (Expr.eq (Expr.bin Expr.SRem at bt) zero) else Expr.ff in
+    SInt { term = r; poison = Expr.or_ x.poison p }
+  | URem ->
+    add_ub st guard (Expr.or_ y.poison (Expr.eq bt zero));
+    SInt { term = term Expr.URem; poison = x.poison }
+  | SRem ->
+    let minv = Expr.bv_const w (Bits.min_signed w) in
+    let ones = Expr.bv_const w (Bits.all_ones w) in
+    add_ub st guard
+      (Expr.disj
+         [ y.poison; Expr.eq bt zero; Expr.and_ (Expr.eq at minv) (Expr.eq bt ones) ]);
+    SInt { term = term Expr.SRem; poison = x.poison }
+  | Shl ->
+    let r = term Expr.Shl in
+    let p =
+      Expr.disj
+        [
+          shift_poison;
+          (if flags.nuw then Expr.not_ (Expr.eq (Expr.bin Expr.LShr r bt) at) else Expr.ff);
+          (if flags.nsw then Expr.not_ (Expr.eq (Expr.bin Expr.AShr r bt) at) else Expr.ff);
+        ]
+    in
+    with_flag_poison r p
+  | LShr ->
+    let r = term Expr.LShr in
+    let p =
+      Expr.or_ shift_poison
+        (if flags.exact then Expr.not_ (Expr.eq (Expr.bin Expr.Shl r bt) at) else Expr.ff)
+    in
+    with_flag_poison r p
+  | AShr ->
+    let r = term Expr.AShr in
+    let p =
+      Expr.or_ shift_poison
+        (if flags.exact then Expr.not_ (Expr.eq (Expr.bin Expr.Shl r bt) at) else Expr.ff)
+    in
+    with_flag_poison r p
+  | And -> with_flag_poison (term Expr.And) Expr.ff
+  | Or -> with_flag_poison (term Expr.Or) Expr.ff
+  | Xor -> with_flag_poison (term Expr.Xor) Expr.ff
+
+let encode_icmp pred (a : sval) (b : sval) : sval =
+  let bool_result cond poison =
+    SInt { term = Expr.bool_to_bv1 cond; poison }
+  in
+  match (a, b) with
+  | SInt x, SInt y ->
+    let cond =
+      match pred with
+      | Eq -> Expr.eq x.term y.term
+      | Ne -> Expr.not_ (Expr.eq x.term y.term)
+      | Ugt -> Expr.ugt x.term y.term
+      | Uge -> Expr.uge x.term y.term
+      | Ult -> Expr.ult x.term y.term
+      | Ule -> Expr.ule x.term y.term
+      | Sgt -> Expr.sgt x.term y.term
+      | Sge -> Expr.sge x.term y.term
+      | Slt -> Expr.slt x.term y.term
+      | Sle -> Expr.sle x.term y.term
+    in
+    bool_result cond (Expr.or_ x.poison y.poison)
+  | SPtr x, SPtr y -> (
+    let poison = Expr.or_ x.ptr_poison y.ptr_poison in
+    let same_base = x.base = y.base in
+    match pred with
+    | Eq when same_base -> bool_result (Expr.eq x.offset y.offset) poison
+    | Ne when same_base -> bool_result (Expr.not_ (Expr.eq x.offset y.offset)) poison
+    | Eq when x.base = PNull || y.base = PNull -> (
+      (* allocas and globals are non-null; parameter pointers may be null *)
+      match (x.base, y.base) with
+      | (PAlloca _ | PGlobal _), _ | _, (PAlloca _ | PGlobal _) -> bool_result Expr.ff poison
+      | _ -> unsupported "comparison of parameter pointer with null")
+    | Ne when x.base = PNull || y.base = PNull -> (
+      match (x.base, y.base) with
+      | (PAlloca _ | PGlobal _), _ | _, (PAlloca _ | PGlobal _) -> bool_result Expr.tt poison
+      | _ -> unsupported "comparison of parameter pointer with null")
+    | _ -> unsupported "cross-object pointer comparison")
+  | _ -> unsupported "comparison of pointer and integer"
+
+(* ------------------------------------------------------------------ *)
+(* Whole-function encoding *)
+
+let encode ?(unroll_bound = 4) ~(side : string) (modul : modul) (f : func) : summary =
+  let f = Unroll.unroll unroll_bound f in
+  let cfg = Cfg.of_func f in
+  let st =
+    {
+      side;
+      modul;
+      next_alloca = 0;
+      alloca_sizes = Hashtbl.create 8;
+      fresh_counter = 0;
+      locals = Hashtbl.create 64;
+      ub_acc = Expr.ff;
+      exhausted_acc = Expr.ff;
+      rets = [];
+      ret_mems = [];
+      call_events = [];
+    }
+  in
+  (* Shared positional input variables. *)
+  let param_names = ref [] in
+  List.iteri
+    (fun i (ty, v) ->
+      match ty with
+      | Types.Int w ->
+        let name = Fmt.str "arg%d" i in
+        param_names := name :: !param_names;
+        Hashtbl.replace st.locals v
+          (SInt { term = Expr.bv_var name w; poison = Expr.bool_var (name ^ "!p") })
+      | Types.Ptr ->
+        Hashtbl.replace st.locals v
+          (SPtr { base = PParam i; offset = Expr.bv_const 64 0L; ptr_poison = Expr.ff })
+      | _ -> unsupported "aggregate parameter")
+    f.params;
+  (* Guards and exit memories, filled in RPO. *)
+  let guards : (label, Expr.t) Hashtbl.t = Hashtbl.create 16 in
+  let edge_conds : (label * label, Expr.t) Hashtbl.t = Hashtbl.create 16 in
+  let exit_mems : (label, memory) Hashtbl.t = Hashtbl.create 16 in
+  let edge_cond from to_ =
+    match Hashtbl.find_opt edge_conds (from, to_) with Some g -> g | None -> Expr.ff
+  in
+  let blocks = Cfg.blocks_rpo cfg in
+  List.iter
+    (fun (b : block) ->
+      let guard =
+        if b.label = (entry_block f).label then Expr.tt
+        else
+          Cfg.predecessors cfg b.label
+          |> List.sort_uniq compare
+          |> List.fold_left (fun acc p -> Expr.or_ acc (edge_cond p b.label)) Expr.ff
+      in
+      Hashtbl.replace guards b.label guard;
+      if b.label = Unroll.exhausted_label then begin
+        st.exhausted_acc <- Expr.or_ st.exhausted_acc guard
+      end
+      else begin
+        let incoming_mems =
+          Cfg.predecessors cfg b.label
+          |> List.sort_uniq compare
+          |> List.filter_map (fun p ->
+                 match Hashtbl.find_opt exit_mems p with
+                 | Some m -> Some (edge_cond p b.label, m)
+                 | None -> None)
+        in
+        let mem = ref (merge_memories st incoming_mems) in
+        (* Instructions *)
+        List.iter
+          (fun { name; instr } ->
+            let define v sv = Hashtbl.replace st.locals v sv in
+            match instr with
+            | Phi { ty; incoming } ->
+              let contributions =
+                List.filter_map
+                  (fun (op, from) ->
+                    let g = edge_cond from b.label in
+                    if g.Expr.node = Expr.False then None else Some (g, eval_operand st ty op))
+                  incoming
+              in
+              let v =
+                match contributions with
+                | [] ->
+                  (* unreachable phi: arbitrary value *)
+                  (match ty with
+                  | Types.Int w -> SInt { term = fresh_bv st "deadphi" w; poison = Expr.ff }
+                  | _ -> SPtr { base = PNull; offset = Expr.bv_const 64 0L; ptr_poison = Expr.ff })
+                | (_, v0) :: rest ->
+                  List.fold_left (fun acc (g, v) -> sval_ite g v acc) v0 rest
+              in
+              define (Option.get name) v
+            | Binop { op; flags; ty; lhs; rhs } ->
+              let w = Types.width ty in
+              let a = eval_operand st ty lhs and bb = eval_operand st ty rhs in
+              define (Option.get name) (encode_binop st ~guard op flags w a bb)
+            | Icmp { pred; ty; lhs; rhs } ->
+              let a = eval_operand st ty lhs and bb = eval_operand st ty rhs in
+              define (Option.get name) (encode_icmp pred a bb)
+            | Select { ty; cond; if_true; if_false } ->
+              let c = as_sint "select" (eval_operand st Types.i1 cond) in
+              let a = eval_operand st ty if_true and bb = eval_operand st ty if_false in
+              let choose = Expr.bv1_to_bool c.term in
+              let v = sval_ite choose a bb in
+              let v =
+                match v with
+                | SInt x -> SInt { x with poison = Expr.or_ c.poison x.poison }
+                | SPtr x -> SPtr { x with ptr_poison = Expr.or_ c.poison x.ptr_poison }
+              in
+              define (Option.get name) v
+            | Cast { op; src_ty; value; dst_ty } -> (
+              let v = eval_operand st src_ty value in
+              match op with
+              | Trunc ->
+                let x = as_sint "trunc" v in
+                define (Option.get name)
+                  (SInt { term = Expr.trunc (Types.width dst_ty) x.term; poison = x.poison })
+              | ZExt ->
+                let x = as_sint "zext" v in
+                define (Option.get name)
+                  (SInt { term = Expr.zext (Types.width dst_ty) x.term; poison = x.poison })
+              | SExt ->
+                let x = as_sint "sext" v in
+                define (Option.get name)
+                  (SInt { term = Expr.sext (Types.width dst_ty) x.term; poison = x.poison })
+              | Bitcast when Types.equal src_ty dst_ty -> define (Option.get name) v
+              | Bitcast -> define (Option.get name) v (* int<->int of equal width *)
+              | PtrToInt | IntToPtr -> unsupported "pointer/integer cast")
+            | Alloca { ty; _ } ->
+              let id = st.next_alloca in
+              st.next_alloca <- id + 1;
+              Hashtbl.replace st.alloca_sizes id (Types.size_in_bytes ty);
+              define (Option.get name)
+                (SPtr { base = PAlloca id; offset = Expr.bv_const 64 0L; ptr_poison = Expr.ff })
+            | Load { ty; ptr; _ } ->
+              let p = eval_operand st Types.Ptr ptr in
+              let mem', v = mem_load st !mem ~guard p ty in
+              mem := mem';
+              define (Option.get name) v
+            | Store { ty; value; ptr; _ } ->
+              let p = eval_operand st Types.Ptr ptr in
+              let v = eval_operand st ty value in
+              mem := mem_store st !mem ~guard p ty v
+            | Gep { base_ty; ptr; indices; inbounds } ->
+              let p = as_sptr "gep" (eval_operand st Types.Ptr ptr) in
+              let eval_index (ity, op) =
+                let idx = as_sint "gep index" (eval_operand st ity op) in
+                let idx64 =
+                  let w = Expr.width idx.term in
+                  if w = 64 then idx.term else Expr.sext 64 idx.term
+                in
+                (idx64, idx.poison)
+              in
+              (* The first index scales by the whole pointee type; the rest
+                 descend into it (LLVM gep semantics). *)
+              let rec descend ty indices (delta : Expr.t) (poison : Expr.t) =
+                match indices with
+                | [] -> (delta, poison)
+                | (ity, op) :: rest -> (
+                  let idx64, ip = eval_index (ity, op) in
+                  let poison = Expr.or_ poison ip in
+                  match ty with
+                  | Types.Struct ts -> (
+                    match Expr.const_value idx64 with
+                    | Some fi ->
+                      let fi = Int64.to_int fi in
+                      if fi < 0 || fi >= List.length ts then unsupported "gep struct index"
+                      else
+                        descend (List.nth ts fi) rest
+                          (Expr.bin Expr.Add delta
+                             (Expr.bv_const 64 (Int64.of_int (Types.struct_field_offset ts fi))))
+                          poison
+                    | None -> unsupported "symbolic struct gep index")
+                  | Types.Array (_, elt) ->
+                    descend elt rest
+                      (Expr.bin Expr.Add delta
+                         (Expr.bin Expr.Mul idx64
+                            (Expr.bv_const 64 (Int64.of_int (Types.size_in_bytes elt)))))
+                      poison
+                  | _ -> unsupported "gep into scalar type")
+              in
+              let delta, idx_poison =
+                match indices with
+                | [] -> (Expr.bv_const 64 0L, Expr.ff)
+                | first :: rest ->
+                  let idx64, ip = eval_index first in
+                  let delta0 =
+                    Expr.bin Expr.Mul idx64
+                      (Expr.bv_const 64 (Int64.of_int (Types.size_in_bytes base_ty)))
+                  in
+                  descend base_ty rest delta0 ip
+              in
+              let offset = Expr.bin Expr.Add p.offset delta in
+              let oob_poison =
+                if not inbounds then Expr.ff
+                else
+                  match (Expr.const_value offset, base_size st p.base) with
+                  | Some o, Some size ->
+                    Expr.of_bool (Int64.to_int o < 0 || Int64.to_int o > size)
+                  | _ -> Expr.ff
+              in
+              define (Option.get name)
+                (SPtr
+                   {
+                     base = p.base;
+                     offset;
+                     ptr_poison = Expr.disj [ p.ptr_poison; idx_poison; oob_poison ];
+                   })
+            | Call { ret_ty; callee; args } ->
+              let argv = List.map (fun (ty, o) -> eval_operand st ty o) args in
+              List.iter (fun a -> add_ub st guard (sval_poison a)) argv;
+              let pure =
+                match find_decl st.modul callee with Some d -> d.pure | None -> false
+              in
+              let result =
+                match ret_ty with
+                | Types.Void -> None
+                | Types.Int w ->
+                  Some (SInt { term = fresh_bv st ("call_" ^ callee) w; poison = Expr.ff })
+                | _ -> unsupported "call returning pointer"
+              in
+              st.call_events <-
+                { call_guard = guard; callee; args = argv; result; pure } :: st.call_events;
+              (match (name, result) with
+              | Some n, Some r -> Hashtbl.replace st.locals n r
+              | Some _, None -> unsupported "named void call"
+              | None, _ -> ())
+            | Freeze { ty; value } -> (
+              let v = eval_operand st ty value in
+              match v with
+              | SInt x ->
+                let w = Expr.width x.term in
+                define (Option.get name)
+                  (SInt
+                     { term = Expr.bv_ite x.poison (fresh_bv st "freeze" w) x.term; poison = Expr.ff })
+              | SPtr x -> define (Option.get name) (SPtr { x with ptr_poison = Expr.ff })))
+          b.instrs;
+        Hashtbl.replace exit_mems b.label !mem;
+        (* Terminator: edge conditions and effects *)
+        match b.term with
+        | Ret v ->
+          let value =
+            Option.map
+              (fun (ty, op) ->
+                match eval_operand st ty op with
+                | SInt _ as sv -> sv
+                | SPtr _ -> unsupported "pointer return value")
+              v
+          in
+          st.rets <- (guard, value) :: st.rets;
+          st.ret_mems <- (guard, !mem) :: st.ret_mems
+        | Br l -> Hashtbl.replace edge_conds (b.label, l) guard
+        | CondBr { cond; if_true; if_false } ->
+          let c = as_sint "condbr" (eval_operand st Types.i1 cond) in
+          add_ub st guard c.poison;
+          let ct = Expr.bv1_to_bool c.term in
+          let set l g =
+            let prev = edge_cond b.label l in
+            Hashtbl.replace edge_conds (b.label, l) (Expr.or_ prev g)
+          in
+          set if_true (Expr.and_ guard ct);
+          set if_false (Expr.and_ guard (Expr.not_ ct))
+        | Switch { ty; value; default; cases } ->
+          let x = as_sint "switch" (eval_operand st ty value) in
+          add_ub st guard x.poison;
+          let w = Types.width ty in
+          let not_any_case =
+            List.fold_left
+              (fun acc (v, _) -> Expr.and_ acc (Expr.not_ (Expr.eq x.term (Expr.bv_const w v))))
+              Expr.tt cases
+          in
+          let set l g =
+            let prev = edge_cond b.label l in
+            Hashtbl.replace edge_conds (b.label, l) (Expr.or_ prev g)
+          in
+          List.iter (fun (v, l) -> set l (Expr.and_ guard (Expr.eq x.term (Expr.bv_const w v)))) cases;
+          set default (Expr.and_ guard not_any_case)
+        | Unreachable -> add_ub st guard Expr.tt
+      end)
+    blocks;
+  (* Merge returns. *)
+  let returns = List.fold_left (fun acc (g, _) -> Expr.or_ acc g) Expr.ff st.rets in
+  let ret_value =
+    match st.rets with
+    | [] -> None
+    | (_, None) :: _ -> None
+    | (g0, Some v0) :: rest ->
+      ignore g0;
+      let merged =
+        List.fold_left
+          (fun acc (g, v) ->
+            match v with Some v -> sval_ite g v acc | None -> acc)
+          v0 rest
+      in
+      let x = as_sint "return" merged in
+      Some (x.term, x.poison)
+  in
+  (* Merge final observable memory across return points. *)
+  let final_mem_map = merge_memories st st.ret_mems in
+  let final_mem =
+    Mem.fold
+      (fun (base, offset) c acc ->
+        match base with
+        | PParam _ | PGlobal _ -> ((base, offset), c) :: acc
+        | PAlloca _ | PNull -> acc)
+      final_mem_map []
+    |> List.sort compare
+  in
+  {
+    ub = st.ub_acc;
+    exhausted = st.exhausted_acc;
+    returns;
+    ret_value;
+    calls = List.rev st.call_events;
+    final_mem;
+    param_names = List.rev !param_names;
+  }

@@ -1,0 +1,45 @@
+(** Symbolic execution of an IR function into SMT terms.
+
+    Produces a [summary]: return value + poison bit, the accumulated UB
+    condition, the bound-exhaustion condition from loop unrolling, the
+    guarded trace of calls, and the observable final memory (bytes reachable
+    from pointer parameters and globals).  Inputs are shared between the two
+    sides of a verification query by positional naming ([arg0], ...).
+
+    Constructs outside the encodable fragment raise [Unsupported], which the
+    verdict layer reports as "inconclusive" — the honest analogue of
+    Alive2's incompleteness. *)
+
+open Veriopt_ir
+module Expr = Veriopt_smt.Expr
+
+exception Unsupported of string
+
+type pbase = PNull | PAlloca of int | PParam of int | PGlobal of string
+
+type intval = { term : Expr.t; poison : Expr.t }
+type ptrval = { base : pbase; offset : Expr.t; ptr_poison : Expr.t }
+type sval = SInt of intval | SPtr of ptrval
+
+type cell = { byte : Expr.t; bpoison : Expr.t }
+(** Memory is byte-granular: mixed-width access patterns encode uniformly. *)
+
+type call_event = {
+  call_guard : Expr.t;
+  callee : string;
+  args : sval list;
+  result : sval option;
+  pure : bool;
+}
+
+type summary = {
+  ub : Expr.t;
+  exhausted : Expr.t;
+  returns : Expr.t;
+  ret_value : (Expr.t * Expr.t) option;  (** (value, poison); None for void *)
+  calls : call_event list;  (** topological order *)
+  final_mem : ((pbase * int) * cell) list;  (** observable bytes *)
+  param_names : string list;
+}
+
+val encode : ?unroll_bound:int -> side:string -> Ast.modul -> Ast.func -> summary

@@ -1,0 +1,14 @@
+(** The refinement check: does the target summary refine the source?
+
+    [Unsat] on the mismatch formula proves refinement within the unrolling
+    bound; a model is a candidate counterexample (re-validated concretely by
+    the verdict layer).  Pure calls are related by Ackermann constraints;
+    impure calls must match positionally or the query is rejected as
+    unsupported rather than risking an unsound "not equivalent". *)
+
+type outcome =
+  | Refines
+  | Counterexample of Veriopt_smt.Solver.model
+  | Unknown
+
+val check : ?max_conflicts:int -> Encode.summary -> Encode.summary -> outcome

@@ -1,0 +1,110 @@
+(** Bounded loop unrolling for translation validation.
+
+    Like Alive2, we validate loops by unrolling them [k] times: the function
+    body is cloned [k] times, back edges of copy [i] are redirected to copy
+    [i+1], and the last copy's back edges land in a distinguished
+    "bound-exhausted" block.  The encoder treats reaching that block not as
+    UB but as "execution left the validated bound"; the refinement check
+    only applies to executions that stay within the bound.
+
+    Block labels are copy-suffixed in every clone (clones need distinct
+    labels), but value names are suffixed only when their defining block is
+    reachable from a loop header: values defined strictly before every loop
+    exist once (in copy 0) and later copies keep referring to that single
+    definition.  Clones of before-loop blocks are unreachable and never
+    encoded, so their duplicate definitions are harmless. *)
+
+open Veriopt_ir
+open Ast
+
+let exhausted_label = "__bound_exhausted"
+
+(* Blocks reachable from any of [roots] in the full edge relation. *)
+let reachable_from (f : func) (roots : label list) : (label, unit) Hashtbl.t =
+  let succs = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace succs b.label (Ast.successors b.term)) f.blocks;
+  let seen = Hashtbl.create 16 in
+  let rec dfs l =
+    if not (Hashtbl.mem seen l) then begin
+      Hashtbl.replace seen l ();
+      List.iter dfs (try Hashtbl.find succs l with Not_found -> [])
+    end
+  in
+  List.iter dfs roots;
+  seen
+
+(** [unroll k f] returns an acyclic version of [f].  Every cycle passes
+    through a back edge (true for the reducible CFGs our frontend emits; an
+    irreducible graph still becomes acyclic since non-back edges stay within
+    one copy and back edges only point to later copies).  Returns [f]
+    unchanged when it is already acyclic. *)
+let unroll (k : int) (f : func) : func =
+  let cfg = Cfg.of_func f in
+  let back = Cfg.back_edges cfg in
+  if back = [] then f
+  else begin
+    let is_back src dst = List.mem (src, dst) back in
+    (* Value names that vary per iteration: those defined in blocks reachable
+       from a loop header. *)
+    let loop_region = reachable_from f (List.map snd back) in
+    let varying = Hashtbl.create 64 in
+    List.iter
+      (fun b ->
+        if Hashtbl.mem loop_region b.label then
+          List.iter
+            (fun { name; _ } ->
+              match name with Some n -> Hashtbl.replace varying n () | None -> ())
+            b.instrs)
+      f.blocks;
+    let cn_label i l = if i = 0 then l else Fmt.str "%s.u%d" l i in
+    let cn_value i v =
+      if i = 0 || not (Hashtbl.mem varying v) then v else Fmt.str "%s.u%d" v i
+    in
+    let copy_block i (b : block) : block =
+      let rename_op j = function Var v -> Var (cn_value j v) | op -> op in
+      let redirect dst =
+        if is_back b.label dst then if i = k - 1 then exhausted_label else cn_label (i + 1) dst
+        else cn_label i dst
+      in
+      let instrs =
+        List.map
+          (fun { name; instr } ->
+            let instr =
+              match instr with
+              | Phi p ->
+                (* A value arriving over a back edge was defined in the
+                   previous copy; forward-edge values live in this copy. *)
+                let incoming =
+                  List.filter_map
+                    (fun (op, from) ->
+                      if is_back from b.label then
+                        if i = 0 then None
+                        else Some (rename_op (i - 1) op, cn_label (i - 1) from)
+                      else Some (rename_op i op, cn_label i from))
+                    p.incoming
+                in
+                Phi { p with incoming }
+              | _ -> map_instr_operands (rename_op i) instr
+            in
+            { name = Option.map (cn_value i) name; instr })
+          b.instrs
+      in
+      let term =
+        match map_terminator_operands (rename_op i) b.term with
+        | Br l -> Br (redirect l)
+        | CondBr c -> CondBr { c with if_true = redirect c.if_true; if_false = redirect c.if_false }
+        | Switch s ->
+          Switch
+            {
+              s with
+              default = redirect s.default;
+              cases = List.map (fun (v, l) -> (v, redirect l)) s.cases;
+            }
+        | (Ret _ | Unreachable) as t -> t
+      in
+      { label = cn_label i b.label; instrs; term }
+    in
+    let copies = List.concat (List.init k (fun i -> List.map (copy_block i) f.blocks)) in
+    let exhausted = { label = exhausted_label; instrs = []; term = Unreachable } in
+    { f with blocks = copies @ [ exhausted ] }
+  end

@@ -1,0 +1,11 @@
+(** Bounded loop unrolling for translation validation (Alive2-style): clone
+    the body [k] times, redirect back edges forward, route the last copy's
+    back edges to a distinguished bound-exhausted block. *)
+
+val exhausted_label : Veriopt_ir.Ast.label
+(** Reaching this block means execution left the validated bound (not UB). *)
+
+val unroll : int -> Veriopt_ir.Ast.func -> Veriopt_ir.Ast.func
+(** Returns an acyclic function; the identity on loop-free input.  The
+    result is for the encoder only: clones of before-loop blocks duplicate
+    definitions but are unreachable. *)

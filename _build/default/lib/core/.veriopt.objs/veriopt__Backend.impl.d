@@ -1,0 +1,1 @@
+lib/core/backend.ml: Ast Hashtbl List Printer Veriopt_alive Veriopt_cost Veriopt_ir Veriopt_llm Veriopt_passes Veriopt_rl

@@ -1,0 +1,1 @@
+lib/core/backend.mli: Veriopt_alive Veriopt_ir Veriopt_llm

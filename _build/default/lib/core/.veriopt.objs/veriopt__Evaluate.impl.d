@@ -1,0 +1,1 @@
+lib/core/evaluate.ml: Ast List Veriopt_alive Veriopt_cost Veriopt_data Veriopt_ir Veriopt_llm Veriopt_rl

@@ -1,0 +1,1 @@
+lib/core/evaluate.mli: Veriopt_data Veriopt_ir Veriopt_llm

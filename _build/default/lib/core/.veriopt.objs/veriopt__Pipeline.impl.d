@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: List Veriopt_data Veriopt_llm Veriopt_rl

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Veriopt_data Veriopt_llm Veriopt_rl

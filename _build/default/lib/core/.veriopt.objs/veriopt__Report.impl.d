@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Evaluate Fmt List Veriopt_data Veriopt_ir Veriopt_llm Veriopt_rl

@@ -1,0 +1,1 @@
+lib/core/report.mli: Evaluate Format Veriopt_data Veriopt_rl

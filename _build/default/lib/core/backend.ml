@@ -1,0 +1,50 @@
+(** The deployment backend: the paper's key safety observation (via
+    LLM-Vectorizer) is that because the model transforms IR to IR, every
+    output can be formally checked and the original kept on failure — the
+    LLM need never be trusted.
+
+    [optimize] is that wrapper: greedy decode, verify, fall back. *)
+
+open Veriopt_ir
+module Model = Veriopt_llm.Model
+module Prompt = Veriopt_llm.Prompt
+module Alive = Veriopt_alive.Alive
+module Reward = Veriopt_rl.Reward
+
+type outcome = {
+  output : Ast.func; (* always safe to use *)
+  used_model : bool; (* false = fell back to the input *)
+  verdict : Alive.verdict;
+  completion : string; (* the raw model completion, for inspection *)
+}
+
+(** Optimize one function with verified fallback. *)
+let optimize ?(mode = Prompt.Generic) ?(max_conflicts = 100_000) (model : Model.t)
+    (modul : Ast.modul) (f : Ast.func) : outcome =
+  let sample_id = Hashtbl.hash (Printer.func_to_string f) in
+  let g = Model.generate model ~mode ~rng:None ~sample_id modul f in
+  let vc = Reward.verify_completion ~max_conflicts modul ~src:f g.Model.completion in
+  match (vc.Reward.verdict.Alive.category, vc.Reward.parsed) with
+  | Alive.Equivalent, Some out ->
+    { output = out; used_model = true; verdict = vc.Reward.verdict; completion = g.Model.completion }
+  | _ ->
+    { output = f; used_model = false; verdict = vc.Reward.verdict; completion = g.Model.completion }
+
+(** Optimize with both the model and the handwritten instcombine pass,
+    keeping whichever is better on the latency model — the configuration
+    behind the paper's "net 17% over instcombine alone". *)
+let optimize_best_of_both ?mode ?max_conflicts (model : Model.t) (modul : Ast.modul)
+    (f : Ast.func) : Ast.func * outcome =
+  let o = optimize ?mode ?max_conflicts model modul f in
+  let ic, _ = Veriopt_passes.Pass_manager.instcombine modul f in
+  let best =
+    if Veriopt_cost.Latency.of_func o.output < Veriopt_cost.Latency.of_func ic then o.output
+    else ic
+  in
+  (best, o)
+
+(** Optimize every function of a module. *)
+let optimize_module ?mode ?max_conflicts (model : Model.t) (m : Ast.modul) :
+    Ast.modul * outcome list =
+  let outs = List.map (fun f -> optimize ?mode ?max_conflicts model m f) m.Ast.funcs in
+  ({ m with Ast.funcs = List.map (fun o -> o.output) outs }, outs)

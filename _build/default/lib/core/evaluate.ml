@@ -1,0 +1,144 @@
+(** Evaluation harness: greedy-decode a model over a validation set, verify
+    every output with Alive, and aggregate the paper's metrics.
+
+    All efficiency metrics apply the paper's deployment rule: when
+    verification fails, fall back to the -O0 input (§V-B), so an unverified
+    model can never make the binary worse. *)
+
+open Veriopt_ir
+module Model = Veriopt_llm.Model
+module Prompt = Veriopt_llm.Prompt
+module Alive = Veriopt_alive.Alive
+module Suite = Veriopt_data.Suite
+module Latency = Veriopt_cost.Latency
+module Icount = Veriopt_cost.Icount
+module Binsize = Veriopt_cost.Binsize
+module Reward = Veriopt_rl.Reward
+
+type category = Correct_copy | Correct_different | Semantic_error | Syntax_error | Inconclusive
+
+type metrics = { latency : int; icount : int; binsize : int }
+
+let metrics_of ?modul (f : Ast.func) : metrics =
+  {
+    latency = Latency.of_func f;
+    icount = Icount.of_func f;
+    binsize = Binsize.of_func ?modul f;
+  }
+
+type row = {
+  sample : Suite.sample;
+  category : category;
+  verdict_message : string;
+  output : Ast.func; (* after the verify-or-fallback rule *)
+  m_src : metrics; (* -O0 *)
+  m_label : metrics; (* -instcombine *)
+  m_out : metrics; (* the deployed output *)
+  raw_out : Ast.func option; (* the model's parsed answer, pre-fallback *)
+}
+
+type counts = {
+  total : int;
+  correct : int; (* Alive-verified, including copies *)
+  copies : int;
+  semantic : int;
+  syntax : int;
+  inconclusive : int;
+}
+
+type result = { model_name : string; rows : row list; counts : counts }
+
+let categorize (vc : Reward.verified_candidate) : category =
+  match vc.Reward.verdict.Alive.category with
+  | Alive.Equivalent ->
+    if vc.Reward.verdict.Alive.copy_of_input then Correct_copy else Correct_different
+  | Alive.Semantic_error -> Semantic_error
+  | Alive.Syntax_error -> Syntax_error
+  | Alive.Inconclusive -> Inconclusive
+
+(** Evaluate one sample under greedy decoding. *)
+let evaluate_sample ?(mode = Prompt.Generic) ?(max_conflicts = 60_000) (model : Model.t)
+    (s : Suite.sample) : row =
+  let g = Model.generate model ~mode ~rng:None ~sample_id:s.Suite.id s.Suite.modul s.Suite.src in
+  let vc = Reward.verify_completion ~max_conflicts s.Suite.modul ~src:s.Suite.src g.Model.completion in
+  let category = categorize vc in
+  let output =
+    match (category, vc.Reward.parsed) with
+    | (Correct_copy | Correct_different), Some f -> f
+    | _ -> s.Suite.src (* fallback to -O0 *)
+  in
+  {
+    sample = s;
+    category;
+    verdict_message = vc.Reward.verdict.Alive.message;
+    output;
+    m_src = metrics_of ~modul:s.Suite.modul s.Suite.src;
+    m_label = metrics_of ~modul:s.Suite.modul s.Suite.label;
+    m_out = metrics_of ~modul:s.Suite.modul output;
+    raw_out = vc.Reward.parsed;
+  }
+
+let count_rows (rows : row list) : counts =
+  List.fold_left
+    (fun c r ->
+      match r.category with
+      | Correct_copy -> { c with correct = c.correct + 1; copies = c.copies + 1 }
+      | Correct_different -> { c with correct = c.correct + 1 }
+      | Semantic_error -> { c with semantic = c.semantic + 1 }
+      | Syntax_error -> { c with syntax = c.syntax + 1 }
+      | Inconclusive -> { c with inconclusive = c.inconclusive + 1 })
+    { total = List.length rows; correct = 0; copies = 0; semantic = 0; syntax = 0; inconclusive = 0 }
+    rows
+
+let run ?(mode = Prompt.Generic) ?max_conflicts (model : Model.t) (validation : Suite.sample list)
+    : result =
+  let rows = List.map (evaluate_sample ~mode ?max_conflicts model) validation in
+  { model_name = model.Model.name; rows; counts = count_rows rows }
+
+(* ------------------------------------------------------------------ *)
+(* Aggregates *)
+
+type comparison = { better : int; worse : int; tie : int; mean_delta : float }
+
+(** Per-sample outcomes of [select_out] against [select_base] (smaller is
+    better), plus the mean relative change. *)
+let compare_metric (rows : row list) ~(metric : metrics -> int) ~(out : row -> metrics)
+    ~(base : row -> metrics) : comparison =
+  let better = ref 0 and worse = ref 0 and tie = ref 0 and delta = ref 0. in
+  List.iter
+    (fun r ->
+      let o = metric (out r) and b = metric (base r) in
+      if o < b then incr better else if o > b then incr worse else incr tie;
+      delta := !delta +. ((float_of_int o -. float_of_int b) /. float_of_int (max 1 b)))
+    rows;
+  {
+    better = !better;
+    worse = !worse;
+    tie = !tie;
+    mean_delta = !delta /. float_of_int (max 1 (List.length rows));
+  }
+
+(** Geometric-mean improvement factor base/out (> 1 means [out] is better). *)
+let geomean_speedup (rows : row list) ~(metric : metrics -> int) ~(out : row -> metrics)
+    ~(base : row -> metrics) : float =
+  let log_sum =
+    List.fold_left
+      (fun acc r ->
+        acc +. log (float_of_int (max 1 (metric (base r))) /. float_of_int (max 1 (metric (out r)))))
+      0. rows
+  in
+  exp (log_sum /. float_of_int (max 1 (List.length rows)))
+
+let out_metrics r = r.m_out
+let src_metrics r = r.m_src
+let label_metrics r = r.m_label
+
+(** Deployment with an -instcombine fallback: use the model output only when
+    it beats the handwritten pass (the paper's "net" configuration). *)
+let best_of_both r = if r.m_out.latency < r.m_label.latency then r.m_out else r.m_label
+
+(** Fraction of rows where the model output is different-and-correct. *)
+let different_correct_rate (res : result) : float =
+  float_of_int
+    (List.length (List.filter (fun r -> r.category = Correct_different) res.rows))
+  /. float_of_int (max 1 res.counts.total)

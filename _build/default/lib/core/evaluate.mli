@@ -1,0 +1,59 @@
+(** Evaluation harness: greedy-decode a model over a validation set, verify
+    every output with Alive, and aggregate the paper's metrics under the
+    verify-or-fallback deployment rule. *)
+
+module Model = Veriopt_llm.Model
+module Prompt = Veriopt_llm.Prompt
+module Suite = Veriopt_data.Suite
+
+type category = Correct_copy | Correct_different | Semantic_error | Syntax_error | Inconclusive
+
+type metrics = { latency : int; icount : int; binsize : int }
+
+val metrics_of : ?modul:Veriopt_ir.Ast.modul -> Veriopt_ir.Ast.func -> metrics
+
+type row = {
+  sample : Suite.sample;
+  category : category;
+  verdict_message : string;
+  output : Veriopt_ir.Ast.func;  (** after fallback *)
+  m_src : metrics;
+  m_label : metrics;
+  m_out : metrics;
+  raw_out : Veriopt_ir.Ast.func option;
+}
+
+type counts = {
+  total : int;
+  correct : int;  (** Alive-verified, copies included *)
+  copies : int;
+  semantic : int;
+  syntax : int;
+  inconclusive : int;
+}
+
+type result = { model_name : string; rows : row list; counts : counts }
+
+val evaluate_sample : ?mode:Prompt.mode -> ?max_conflicts:int -> Model.t -> Suite.sample -> row
+val count_rows : row list -> counts
+val run : ?mode:Prompt.mode -> ?max_conflicts:int -> Model.t -> Suite.sample list -> result
+
+(** {1 Aggregates} *)
+
+type comparison = { better : int; worse : int; tie : int; mean_delta : float }
+
+val compare_metric :
+  row list -> metric:(metrics -> int) -> out:(row -> metrics) -> base:(row -> metrics) -> comparison
+
+val geomean_speedup :
+  row list -> metric:(metrics -> int) -> out:(row -> metrics) -> base:(row -> metrics) -> float
+(** Geometric-mean improvement factor base/out (> 1: [out] is better). *)
+
+val out_metrics : row -> metrics
+val src_metrics : row -> metrics
+val label_metrics : row -> metrics
+
+val best_of_both : row -> metrics
+(** The fallback-to-instcombine deployment (the paper's "net" numbers). *)
+
+val different_correct_rate : result -> float

@@ -1,0 +1,87 @@
+(** End-to-end experiment pipeline: dataset, baselines, four-model training.
+
+    The [quick] scale is sized so the whole reproduction (all tables and
+    figures) runs in minutes on a laptop CPU; [full] approaches the paper's
+    sample counts.  Everything is seeded and deterministic. *)
+
+module Model = Veriopt_llm.Model
+module Capability = Veriopt_llm.Capability
+module Suite = Veriopt_data.Suite
+module Trainer = Veriopt_rl.Trainer
+
+type scale = {
+  n_train : int;
+  n_validation : int;
+  opts : Trainer.options;
+  verify_dataset : bool;
+}
+
+let quick =
+  {
+    n_train = 140;
+    n_validation = 200;
+    opts = { Trainer.default_options with Trainer.grpo_steps = 160; sft_epochs = 5 };
+    verify_dataset = true;
+  }
+
+let full =
+  {
+    n_train = 2000;
+    n_validation = 4386;
+    opts = { Trainer.default_options with Trainer.grpo_steps = 1200; sft_epochs = 8 };
+    verify_dataset = true;
+  }
+
+type artifacts = {
+  scale : scale;
+  train : Suite.sample list;
+  validation : Suite.sample list;
+  train_stats : Suite.stats;
+  validation_stats : Suite.stats;
+  base : Model.t; (* pretrained Qwen-3B surrogate *)
+  zoo_sft : (string * Model.t) list; (* SFT baselines, parameter-size order *)
+  llm_compiler : Model.t; (* no task-specific fine-tuning *)
+  pipeline : Trainer.pipeline_result;
+  u_max : float;
+}
+
+(** Build every model the evaluation needs.  [progress] is called with a
+    stage name as work proceeds. *)
+let build ?(scale = quick) ?(progress = fun (_ : string) -> ()) () : artifacts =
+  progress "building training set";
+  let train_ds = Suite.training ~verify:scale.verify_dataset ~n:scale.n_train () in
+  progress "building validation set";
+  let val_ds = Suite.validation ~verify:scale.verify_dataset ~n:scale.n_validation () in
+  let train = train_ds.Suite.samples and validation = val_ds.Suite.samples in
+  let base = Capability.base_3b () in
+  progress "SFT baselines";
+  let zoo_sft =
+    List.filter_map
+      (fun (name, _) ->
+        if name = "LLM-Compiler-7B" then None
+        else
+          let m = Capability.of_zoo name in
+          Some (name, Trainer.sft_baseline ~opts:scale.opts m train))
+      Capability.zoo
+  in
+  let llm_compiler = Capability.llm_compiler_7b () in
+  progress "stage 1: Model-Zero (GRPO, generic prompts)";
+  let stage1 = Trainer.train_model_zero ~opts:scale.opts base train in
+  progress "stage 2a: Warm-up (SFT on diagnostic-augmented samples)";
+  let warm = Trainer.warm_up ~opts:scale.opts base train stage1.Trainer.failures in
+  progress "stage 2b: Model-Correctness (GRPO, augmented prompts)";
+  let stage2 = Trainer.train_correctness ~opts:scale.opts warm train in
+  progress "stage 3: Model-Latency (GRPO, latency reward)";
+  let stage3 = Trainer.train_latency ~opts:scale.opts stage2.Trainer.model_correctness train in
+  {
+    scale;
+    train;
+    validation;
+    train_stats = train_ds.Suite.stats;
+    validation_stats = val_ds.Suite.stats;
+    base;
+    zoo_sft;
+    llm_compiler;
+    pipeline = { Trainer.base; stage1; warm; stage2; stage3 };
+    u_max = Veriopt_rl.Reward.u_max_of_samples train;
+  }

@@ -1,0 +1,34 @@
+(** End-to-end experiment pipeline: dataset, baselines, four-model training.
+    Everything is seeded and deterministic. *)
+
+module Model = Veriopt_llm.Model
+module Suite = Veriopt_data.Suite
+module Trainer = Veriopt_rl.Trainer
+
+type scale = {
+  n_train : int;
+  n_validation : int;
+  opts : Trainer.options;
+  verify_dataset : bool;
+}
+
+val quick : scale
+(** Minutes on a laptop CPU; the default bench scale. *)
+
+val full : scale
+(** Approaches the paper's sample counts (hours). *)
+
+type artifacts = {
+  scale : scale;
+  train : Suite.sample list;
+  validation : Suite.sample list;
+  train_stats : Suite.stats;
+  validation_stats : Suite.stats;
+  base : Model.t;
+  zoo_sft : (string * Model.t) list;
+  llm_compiler : Model.t;
+  pipeline : Trainer.pipeline_result;
+  u_max : float;
+}
+
+val build : ?scale:scale -> ?progress:(string -> unit) -> unit -> artifacts

@@ -1,0 +1,209 @@
+(** Rendering of every table and figure the paper reports, from evaluation
+    results.  Each function prints the same rows/series as the corresponding
+    paper artifact so EXPERIMENTS.md can record paper-vs-measured shapes. *)
+
+open Evaluate
+module Model = Veriopt_llm.Model
+module Suite = Veriopt_data.Suite
+module Trainer = Veriopt_rl.Trainer
+
+let pct n total = 100. *. float_of_int n /. float_of_int (max 1 total)
+
+(* ------------------------------------------------------------------ *)
+(* Tables I and II: Alive verification categories *)
+
+let pp_verdict_table ppf (res : result) =
+  let c = res.counts in
+  Fmt.pf ppf "%-34s %8s %10s@." "Category" "Count" "Prop. (%)";
+  Fmt.pf ppf "%-34s %8d %10.1f@." "Correct (Alive verified)" c.correct (pct c.correct c.total);
+  Fmt.pf ppf "%-34s %8d %10.1f@." "- Copy of input (no optimization)" c.copies (pct c.copies c.total);
+  Fmt.pf ppf "%-34s %8d %10.1f@." "Semantic Error (Not Equivalent)" c.semantic (pct c.semantic c.total);
+  Fmt.pf ppf "%-34s %8d %10.1f@." "Syntax Error (Invalid IR)" c.syntax (pct c.syntax c.total);
+  Fmt.pf ppf "%-34s %8d %10.1f@." "Inconclusive" c.inconclusive (pct c.inconclusive c.total)
+
+let table1 ppf (base_eval : result) =
+  Fmt.pf ppf "TABLE I: Alive verification results of baseline %s@." base_eval.model_name;
+  pp_verdict_table ppf base_eval;
+  Fmt.pf ppf "different-correct rate: %.1f%%@."
+    (100. *. different_correct_rate base_eval)
+
+let table2 ppf ~(correctness : result) ~(latency : result) =
+  Fmt.pf ppf "TABLE II: Alive verification results of the LLM-VeriOpt models@.";
+  Fmt.pf ppf "-- Model-Correctness --@.";
+  pp_verdict_table ppf correctness;
+  Fmt.pf ppf "different-correct rate: %.1f%%@." (100. *. different_correct_rate correctness);
+  Fmt.pf ppf "-- Model-Latency --@.";
+  pp_verdict_table ppf latency;
+  Fmt.pf ppf "different-correct rate: %.1f%%@." (100. *. different_correct_rate latency)
+
+(* ------------------------------------------------------------------ *)
+(* Table III: per-sample outcomes vs -O0 *)
+
+let metric_selectors = [ ("Latency", fun m -> m.latency); ("Size", fun m -> m.binsize); ("ICount", fun m -> m.icount) ]
+
+let table3 ppf (models : (string * result) list) =
+  Fmt.pf ppf
+    "TABLE III: per-sample outcomes vs LLVM -O0 (verify-or-fallback; smaller = better)@.";
+  Fmt.pf ppf "%-8s %-14s %7s %7s %7s %7s %12s@." "Metric" "Model" "Better" "Worse" "Tie" "Total"
+    "MeanD vs O0";
+  List.iter
+    (fun (metric_name, metric) ->
+      List.iter
+        (fun (name, res) ->
+          let c = compare_metric res.rows ~metric ~out:out_metrics ~base:src_metrics in
+          Fmt.pf ppf "%-8s %-14s %7d %7d %7d %7d %11.2f%%@." metric_name name c.better c.worse
+            c.tie res.counts.total (100. *. c.mean_delta))
+        models)
+    metric_selectors
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4: training dynamics *)
+
+let fig4 ppf ~(which : string) (log : Trainer.stage_log) =
+  Fmt.pf ppf "FIG 4%s: training reward (step, raw, EMA-0.95)@." which;
+  let raw = Array.of_list log.Trainer.raw_rewards in
+  let ema = Array.of_list log.Trainer.ema_rewards in
+  let n = Array.length raw in
+  let stride = max 1 (n / 20) in
+  let i = ref 0 in
+  while !i < n do
+    Fmt.pf ppf "  step %4d  raw %6.3f  ema %6.3f@." (!i + 1) raw.(!i) ema.(!i);
+    i := !i + stride
+  done;
+  if n > 0 then Fmt.pf ppf "  step %4d  raw %6.3f  ema %6.3f@." n raw.(n - 1) ema.(n - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5: baselines in parameter-size order *)
+
+let fig5 ppf (models : (string * result) list) =
+  Fmt.pf ppf "FIG 5: LLM baselines (parameter-size order) vs Model-Latency@.";
+  Fmt.pf ppf "%-18s %12s %12s %12s %12s@." "Model" "Latency x" "Correct %" "ICount ratio"
+    "Size ratio";
+  List.iter
+    (fun (name, res) ->
+      let lat = geomean_speedup res.rows ~metric:(fun m -> m.latency) ~out:out_metrics ~base:src_metrics in
+      let ic =
+        1. /. geomean_speedup res.rows ~metric:(fun m -> m.icount) ~out:out_metrics ~base:src_metrics
+      in
+      let bs =
+        1. /. geomean_speedup res.rows ~metric:(fun m -> m.binsize) ~out:out_metrics ~base:src_metrics
+      in
+      let correct = pct res.counts.correct res.counts.total in
+      Fmt.pf ppf "%-18s %12.2f %12.1f %12.3f %12.3f@." name lat correct ic bs)
+    models
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6: pairwise distributions and the headline speedups *)
+
+let pairwise ppf ~(name : string) (rows : row list) ~out ~base =
+  List.iter
+    (fun (metric_name, metric) ->
+      let c = compare_metric rows ~metric ~out ~base in
+      Fmt.pf ppf "  %-22s %-8s better %5.1f%%  worse %5.1f%%  tie %5.1f%%@." name metric_name
+        (pct c.better (List.length rows))
+        (pct c.worse (List.length rows))
+        (pct c.tie (List.length rows)))
+    metric_selectors
+
+let fig6 ppf ~(latency_model : result) =
+  Fmt.pf ppf "FIG 6: pairwise distributions of optimized IR@.";
+  Fmt.pf ppf "(a) VeriOpt vs -O0:@.";
+  pairwise ppf ~name:"VeriOpt vs O0" latency_model.rows ~out:out_metrics ~base:src_metrics;
+  Fmt.pf ppf "(b) instcombine vs -O0:@.";
+  pairwise ppf ~name:"instcombine vs O0" latency_model.rows ~out:label_metrics ~base:src_metrics;
+  Fmt.pf ppf "(c) VeriOpt vs instcombine:@.";
+  pairwise ppf ~name:"VeriOpt vs IC" latency_model.rows ~out:out_metrics ~base:label_metrics;
+  let geo metric out base =
+    geomean_speedup latency_model.rows ~metric ~out ~base
+  in
+  Fmt.pf ppf "geomean speedup vs O0: VeriOpt %.2fx, instcombine %.2fx@."
+    (geo (fun m -> m.latency) out_metrics src_metrics)
+    (geo (fun m -> m.latency) label_metrics src_metrics);
+  let net_rows = latency_model.rows in
+  let net =
+    geomean_speedup net_rows ~metric:(fun m -> m.latency)
+      ~out:(fun r -> best_of_both r)
+      ~base:label_metrics
+  in
+  let net_ic =
+    geomean_speedup net_rows ~metric:(fun m -> m.icount)
+      ~out:(fun r -> if (best_of_both r).latency = r.m_out.latency then r.m_out else r.m_label)
+      ~base:label_metrics
+  in
+  let net_bs =
+    geomean_speedup net_rows ~metric:(fun m -> m.binsize)
+      ~out:(fun r -> if (best_of_both r).latency = r.m_out.latency then r.m_out else r.m_label)
+      ~base:label_metrics
+  in
+  Fmt.pf ppf
+    "with fallback to instcombine: net latency gain %.1f%%, icount %.1f%%, binsize %.1f%%@."
+    (100. *. (net -. 1.))
+    (100. *. (net_ic -. 1.))
+    (100. *. (net_bs -. 1.))
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7: ablation over the four-model hierarchy *)
+
+let fig7 ppf (models : (string * result) list) =
+  Fmt.pf ppf "FIG 7: ablation over the training hierarchy@.";
+  Fmt.pf ppf "%-20s %12s %12s %12s %12s@." "Variant" "Latency x" "ICount x" "Size x" "Correct %";
+  List.iter
+    (fun (name, res) ->
+      let g metric = geomean_speedup res.rows ~metric ~out:out_metrics ~base:src_metrics in
+      Fmt.pf ppf "%-20s %12.2f %12.2f %12.2f %12.1f@." name
+        (g (fun m -> m.latency))
+        (g (fun m -> m.icount))
+        (g (fun m -> m.binsize))
+        (pct res.counts.correct res.counts.total))
+    models
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 8-12: code-example case studies *)
+
+let print_pair ppf title (r : row) =
+  Fmt.pf ppf "--- %s (sample f%d) ---@." title r.sample.Suite.id;
+  Fmt.pf ppf "InstCombine:@.%s@." (Veriopt_ir.Printer.func_to_string r.sample.Suite.label);
+  Fmt.pf ppf "LLM-VeriOpt:@.%s@." (Veriopt_ir.Printer.func_to_string r.output)
+
+let figs8to12 ppf (latency_model : result) =
+  Fmt.pf ppf "FIGS 8-12: case studies mined from the validation set@.";
+  let rows = latency_model.rows in
+  let is_const_ret (f : Veriopt_ir.Ast.func) =
+    match f.Veriopt_ir.Ast.blocks with
+    | [ { instrs = []; term = Veriopt_ir.Ast.Ret _; _ } ] -> true
+    | _ -> false
+  in
+  (* Fig 8-style: the model simplifies a function to a constant return where
+     instcombine does not *)
+  (match
+     List.find_opt
+       (fun r ->
+         r.category = Correct_different && is_const_ret r.output
+         && not (is_const_ret r.sample.Suite.label))
+       rows
+   with
+  | Some r -> print_pair ppf "Fig 8-style: simplification to a constant" r
+  | None -> Fmt.pf ppf "(no fig-8-style example found at this scale)@.");
+  (* Fig 9/10-style: emergent win over instcombine (alloca/phi removal) *)
+  (match
+     List.find_opt
+       (fun r -> r.category = Correct_different && r.m_out.latency < r.m_label.latency)
+       rows
+   with
+  | Some r -> print_pair ppf "Fig 9/10-style: emergent win over instcombine" r
+  | None -> Fmt.pf ppf "(no emergent-win example found at this scale)@.");
+  (* Fig 11/12-style: instcombine superiority *)
+  (match
+     List.find_opt
+       (fun r -> r.category = Correct_different && r.m_out.latency > r.m_label.latency)
+       rows
+   with
+  | Some r -> print_pair ppf "Fig 11/12-style: instcombine finds more" r
+  | None -> Fmt.pf ppf "(no instcombine-superior example found at this scale)@.")
+
+(* ------------------------------------------------------------------ *)
+
+let dataset_stats ppf ~(train : Suite.stats) ~(validation : Suite.stats) =
+  Fmt.pf ppf "DATASET (SIV-A methodology):@.";
+  Fmt.pf ppf "  train:      %a@." Suite.pp_stats train;
+  Fmt.pf ppf "  validation: %a@." Suite.pp_stats validation

@@ -1,0 +1,18 @@
+(** Rendering of every table and figure the paper reports, from evaluation
+    results, so EXPERIMENTS.md can record paper-vs-measured shapes. *)
+
+open Evaluate
+module Suite = Veriopt_data.Suite
+module Trainer = Veriopt_rl.Trainer
+
+val pct : int -> int -> float
+
+val table1 : Format.formatter -> result -> unit
+val table2 : Format.formatter -> correctness:result -> latency:result -> unit
+val table3 : Format.formatter -> (string * result) list -> unit
+val fig4 : Format.formatter -> which:string -> Trainer.stage_log -> unit
+val fig5 : Format.formatter -> (string * result) list -> unit
+val fig6 : Format.formatter -> latency_model:result -> unit
+val fig7 : Format.formatter -> (string * result) list -> unit
+val figs8to12 : Format.formatter -> result -> unit
+val dataset_stats : Format.formatter -> train:Suite.stats -> validation:Suite.stats -> unit

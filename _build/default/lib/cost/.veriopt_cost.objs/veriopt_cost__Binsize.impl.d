@@ -1,0 +1,1 @@
+lib/cost/binsize.ml: Ast Bits Int64 List Types Veriopt_ir

@@ -1,0 +1,1 @@
+lib/cost/binsize.mli: Veriopt_ir

@@ -1,0 +1,1 @@
+lib/cost/icount.ml: List Veriopt_ir

@@ -1,0 +1,1 @@
+lib/cost/icount.mli: Veriopt_ir

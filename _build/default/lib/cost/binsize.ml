@@ -1,0 +1,84 @@
+(** Binary size model: a tiny AArch64-flavoured instruction selector that
+    estimates how many 4-byte machine instructions each IR instruction lowers
+    to, plus `.data` contributions from globals.  Follows the paper's
+    `llvm-size` methodology: `.text` + `.data`, excluding `.bss`. *)
+
+open Veriopt_ir
+open Ast
+
+(* Can an integer constant be encoded as an AArch64 arithmetic immediate
+   (12 bits, optionally shifted)?  Oversized immediates need a mov/movk
+   sequence. *)
+let imm_cost (w : int) (v : int64) : int =
+  let sv = Bits.to_signed w v in
+  if sv >= 0L && sv < 4096L then 0
+  else if Int64.neg sv >= 0L && Int64.neg sv < 4096L then 0
+  else if w <= 16 then 1
+  else if w <= 32 then if Int64.logand sv 0xffffL = sv then 1 else 2
+  else 2
+
+let operand_imm_cost = function
+  | Const (CInt { width; value }) -> imm_cost width value
+  | _ -> 0
+
+let binop_insns op rhs =
+  let materialize = operand_imm_cost rhs in
+  match op with
+  | Add | Sub | And | Or | Xor | Shl | LShr | AShr -> 1 + materialize
+  | Mul -> 1 + materialize
+  | UDiv | SDiv -> 1 + materialize
+  | URem | SRem -> 2 + materialize (* udiv/sdiv + msub *)
+
+let instr_insns = function
+  | Binop { op; rhs; _ } -> binop_insns op rhs
+  | Icmp { rhs; _ } -> 2 + operand_imm_cost rhs (* cmp + cset *)
+  | Select _ -> 1 (* csel *)
+  | Cast { op = Bitcast; _ } -> 0
+  | Cast _ -> 1 (* ubfx/sxtw/uxt *)
+  | Alloca _ -> 0 (* frame setup accounted per function *)
+  | Load _ -> 1
+  | Store { value; _ } -> 1 + operand_imm_cost value
+  | Gep { indices; _ } ->
+    if List.for_all (fun (_, o) -> match o with Const _ -> true | _ -> false) indices then 0
+    else 1
+  | Phi { incoming; _ } -> List.length incoming (* moves in predecessors *)
+  | Call { args; _ } -> 1 + List.length args (* bl + argument moves *)
+  | Freeze _ -> 0
+
+let terminator_insns = function
+  | Ret _ -> 1
+  | Br _ -> 1
+  | CondBr _ -> 1 (* b.cc; the compare was counted at the icmp *)
+  | Switch { cases; _ } -> 2 * List.length cases |> max 1
+  | Unreachable -> 1 (* brk *)
+
+let has_frame (f : func) =
+  List.exists
+    (fun b ->
+      List.exists
+        (fun ni -> match ni.instr with Alloca _ | Call _ -> true | _ -> false)
+        b.instrs)
+    f.blocks
+
+(** Estimated `.text` bytes of one function. *)
+let text_bytes_of_func (f : func) : int =
+  let body =
+    List.fold_left
+      (fun acc b ->
+        List.fold_left (fun acc ni -> acc + instr_insns ni.instr) acc b.instrs
+        + terminator_insns b.term)
+      0 f.blocks
+  in
+  let frame = if has_frame f then 4 else 2 in
+  4 * (body + frame)
+
+(** `.data` bytes of a module's globals (zero-initialized data would be
+    `.bss`, which llvm-size excludes; so do we). *)
+let data_bytes (m : modul) : int =
+  List.fold_left
+    (fun acc (g : global) -> if g.init = 0L then acc else acc + Types.size_in_bytes g.gty)
+    0 m.globals
+
+(** The paper's binary-size metric for a single-function module. *)
+let of_func ?(modul = empty_module) (f : func) : int =
+  text_bytes_of_func f + data_bytes modul

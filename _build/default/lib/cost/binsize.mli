@@ -1,0 +1,8 @@
+(** Binary-size model: a miniature AArch64-flavoured instruction selector
+    estimating 4-byte machine instructions per IR instruction, plus `.data`
+    from initialized globals — the paper's `llvm-size` (.text + .data,
+    no .bss) methodology. *)
+
+val text_bytes_of_func : Veriopt_ir.Ast.func -> int
+val data_bytes : Veriopt_ir.Ast.modul -> int
+val of_func : ?modul:Veriopt_ir.Ast.modul -> Veriopt_ir.Ast.func -> int

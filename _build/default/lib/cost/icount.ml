@@ -1,0 +1,7 @@
+(** Instruction count: the number of IR instructions in a function,
+    terminators included (they are instructions in LLVM). *)
+
+open Veriopt_ir.Ast
+
+let of_func (f : func) : int =
+  List.fold_left (fun acc b -> acc + List.length b.instrs + 1) 0 f.blocks

@@ -1,0 +1,3 @@
+(** Instruction count (terminators included, as in LLVM). *)
+
+val of_func : Veriopt_ir.Ast.func -> int

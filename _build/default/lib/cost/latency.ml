@@ -1,0 +1,49 @@
+(** Estimated latency, mirroring the paper's metric: the sum over all
+    instructions of LLVM's [getInstructionCost(..., TCK_Latency)] on an
+    AArch64 target.  The per-opcode costs below follow the typical AArch64
+    scheduling-model latencies that API reports (ALU 1, multiply 3, divide
+    double-digit, loads 4). *)
+
+open Veriopt_ir
+open Ast
+
+let binop_cost = function
+  | Add | Sub | And | Or | Xor -> 1
+  | Shl | LShr | AShr -> 1
+  | Mul -> 3
+  | UDiv | SDiv -> 12
+  | URem | SRem -> 15 (* divide plus multiply-subtract *)
+
+let instr_cost = function
+  | Binop { op; _ } -> binop_cost op
+  | Icmp _ -> 1
+  | Select _ -> 1
+  | Cast { op = Bitcast; _ } -> 0
+  | Cast _ -> 1
+  | Alloca _ -> 0 (* folded into frame setup *)
+  | Load _ -> 4
+  | Store _ -> 1
+  | Gep { indices; _ } ->
+    (* address arithmetic; constant-indexed geps fold into addressing modes *)
+    if List.for_all (fun (_, o) -> match o with Const _ -> true | _ -> false) indices then 0
+    else 1
+  | Phi _ -> 0 (* resolved to moves at predecessors; negligible for latency *)
+  | Call { args; _ } -> 4 + List.length args
+  | Freeze _ -> 0
+
+let terminator_cost = function
+  | Ret _ -> 1
+  | Br _ -> 1
+  | CondBr _ -> 1
+  | Switch { cases; _ } -> 1 + List.length cases
+  | Unreachable -> 0
+
+(** Module-level estimated latency of a function: the static sum the paper
+    uses (its footnote 6 discusses why this is adequate for peephole-scale
+    transformations). *)
+let of_func (f : func) : int =
+  List.fold_left
+    (fun acc b ->
+      List.fold_left (fun acc ni -> acc + instr_cost ni.instr) acc b.instrs
+      + terminator_cost b.term)
+    0 f.blocks

@@ -1,0 +1,6 @@
+(** Estimated latency: the paper's metric — a static per-instruction sum in
+    the style of LLVM's [getInstructionCost(..., TCK_Latency)] on AArch64. *)
+
+val instr_cost : Veriopt_ir.Ast.instr -> int
+val terminator_cost : Veriopt_ir.Ast.terminator -> int
+val of_func : Veriopt_ir.Ast.func -> int

@@ -1,0 +1,1 @@
+lib/data/cgen.ml: Fmt Int64 List Random Veriopt_ir

@@ -1,0 +1,1 @@
+lib/data/lower.ml: Ast Cgen Fmt Int64 List Types Veriopt_ir

@@ -1,0 +1,1 @@
+lib/data/lower.mli: Cgen Veriopt_ir

@@ -1,0 +1,1 @@
+lib/data/suite.ml: Ast Cgen Fmt List Lower Printer Random Veriopt_alive Veriopt_ir Veriopt_nlp Veriopt_passes

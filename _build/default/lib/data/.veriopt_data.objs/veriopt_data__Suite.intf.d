@@ -1,0 +1,1 @@
+lib/data/suite.mli: Format Veriopt_ir Veriopt_passes

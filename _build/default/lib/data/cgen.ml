@@ -1,0 +1,229 @@
+(** A mini-C program generator: the offline stand-in for the LLVM and GCC
+    test suites.
+
+    Generated functions mix plain random arithmetic with the redundancy
+    idioms compiler test suites are full of (multiply by one, shift
+    round-trips, `x % 8`, equal ternary arms, dead locals): exactly the
+    material `-instcombine` exists to clean up.  Generation is fully
+    deterministic given the seed. *)
+
+type ty = I8 | I16 | I32 | I64
+
+let bits = function I8 -> 8 | I16 -> 16 | I32 -> 32 | I64 -> 64
+
+type binop = CAdd | CSub | CMul | CDiv | CMod | CAnd | COr | CXor | CShl | CShr
+
+type cmp = CEq | CNe | CLt | CLe | CGt | CGe
+
+type expr =
+  | Const of ty * int64
+  | Var of string (* locals and parameters *)
+  | Bin of binop * expr * expr
+  | Cmp of cmp * expr * expr (* yields int (0/1) as in C *)
+  | Cond of expr * expr * expr (* ternary *)
+  | Call of string * expr list
+  | Cast of ty * expr
+
+type stmt =
+  | Decl of string * ty * expr
+  | Assign of string * expr
+  | If of expr * stmt list * stmt list
+  | Switch of string * (int64 * stmt list) list * stmt list (* break-style switch *)
+  | For of string * int * stmt list (* for (i = 0; i < n; i++) — bounded *)
+  | CallStmt of string * expr list
+  | Return of expr
+
+type cfunc = {
+  name : string;
+  ret : ty;
+  params : (string * ty) list;
+  body : stmt list;
+  uses_ext_call : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+
+type profile = {
+  max_depth : int;
+  max_stmts : int;
+  allow_branches : bool;
+  allow_loops : bool;
+  allow_calls : bool;
+  idiom_bias : float; (* probability that an expression is a cleanup idiom *)
+}
+
+let default_profile =
+  {
+    max_depth = 3;
+    max_stmts = 6;
+    allow_branches = true;
+    allow_loops = true;
+    allow_calls = true;
+    idiom_bias = 0.45;
+  }
+
+type gen_state = {
+  rng : Random.State.t;
+  mutable vars : (string * ty) list; (* in scope, initialized *)
+  mutable counter : int;
+  mutable used_call : bool;
+  profile : profile;
+}
+
+let fresh st prefix =
+  st.counter <- st.counter + 1;
+  Fmt.str "%s%d" prefix st.counter
+
+let pick st xs = List.nth xs (Random.State.int st.rng (List.length xs))
+let chance st p = Random.State.float st.rng 1.0 < p
+
+let random_const st ty =
+  let interesting = [ 0L; 1L; 2L; 3L; 4L; 7L; 8L; 15L; 16L; 255L; -1L; -2L; 10L; 12L ] in
+  let v =
+    if chance st 0.7 then pick st interesting
+    else Int64.of_int (Random.State.int st.rng 1000 - 500)
+  in
+  Const (ty, Veriopt_ir.Bits.mask (bits ty) v)
+
+let vars_of_ty st ty = List.filter (fun (_, t) -> t = ty) st.vars
+
+let rec random_expr st ty depth : expr =
+  if depth <= 0 || chance st 0.25 then random_leaf st ty
+  else if chance st st.profile.idiom_bias then random_idiom st ty depth
+  else
+    match Random.State.int st.rng 10 with
+    | 0 | 1 | 2 ->
+      let op = pick st [ CAdd; CSub; CMul; CAnd; COr; CXor ] in
+      Bin (op, random_expr st ty (depth - 1), random_expr st ty (depth - 1))
+    | 3 ->
+      (* division and modulo only by non-zero constants: keeps generated
+         sources UB-free, like a sanitized test suite *)
+      let d = pick st [ 2L; 3L; 4L; 5L; 7L; 8L; 16L ] in
+      Bin (pick st [ CDiv; CMod ], random_expr st ty (depth - 1), Const (ty, d))
+    | 4 ->
+      let s = Int64.of_int (Random.State.int st.rng (bits ty - 1)) in
+      Bin (pick st [ CShl; CShr ], random_expr st ty (depth - 1), Const (ty, s))
+    | 5 ->
+      let c = pick st [ CEq; CNe; CLt; CLe; CGt; CGe ] in
+      Cast (ty, Cmp (c, random_expr st ty (depth - 1), random_expr st ty (depth - 1)))
+    | 6 ->
+      Cond
+        ( Cmp (pick st [ CLt; CNe; CGt ], random_leaf st ty, random_const st ty),
+          random_expr st ty (depth - 1),
+          random_expr st ty (depth - 1) )
+    | 7 when st.profile.allow_calls && not st.used_call ->
+      st.used_call <- true;
+      Call ("ext", [ random_expr st I32 (depth - 1) ])
+    | 7 | 8 ->
+      let other = pick st [ I8; I16; I32; I64 ] in
+      if other = ty then random_leaf st ty else Cast (ty, random_expr st other (depth - 1))
+    | _ -> random_leaf st ty
+
+and random_leaf st ty =
+  match vars_of_ty st ty with
+  | [] -> random_const st ty
+  | vs -> if chance st 0.7 then Var (fst (pick st vs)) else random_const st ty
+
+(* Cleanup idioms: expressions with instcombine-visible slack. *)
+and random_idiom st ty depth : expr =
+  let x () = random_expr st ty (depth - 1) in
+  match Random.State.int st.rng 12 with
+  | 0 -> Bin (CMul, x (), Const (ty, 1L)) (* x * 1 *)
+  | 1 -> Bin (CAdd, x (), Const (ty, 0L)) (* x + 0 *)
+  | 2 ->
+    let e = x () in
+    Bin (CSub, e, e) (* x - x *)
+  | 3 ->
+    let s = Int64.of_int (1 + Random.State.int st.rng 3) in
+    Bin (CShr, Bin (CShl, x (), Const (ty, s)), Const (ty, s)) (* (x<<s)>>s *)
+  | 4 -> Bin (CMul, x (), Const (ty, pick st [ 2L; 4L; 8L ])) (* strength reduction *)
+  | 5 -> Bin (CMod, x (), Const (ty, pick st [ 2L; 4L; 8L; 16L ])) (* x % 2^k *)
+  | 6 -> Bin (CDiv, x (), Const (ty, pick st [ 2L; 4L; 8L ])) (* x / 2^k *)
+  | 7 ->
+    let e = x () in
+    Cond (Cmp (CEq, e, random_const st ty), e, e) (* c ? x : x *)
+  | 8 -> Bin (CAnd, x (), Const (ty, Veriopt_ir.Bits.all_ones (bits ty))) (* x & -1 *)
+  | 9 -> Bin (COr, x (), Const (ty, 0L)) (* x | 0 *)
+  | 10 ->
+    let e = x () in
+    Bin (CXor, Bin (CXor, e, Const (ty, 5L)), Const (ty, 5L)) (* (x^5)^5 *)
+  | _ ->
+    (* x + c1 + c2 *)
+    Bin (CAdd, Bin (CAdd, x (), random_const st ty), random_const st ty)
+
+let random_stmts st ~depth ~count ~ret_ty : stmt list =
+  let rec stmts n acc =
+    if n = 0 then List.rev acc
+    else
+      let s =
+        match Random.State.int st.rng 8 with
+        | 0 | 1 | 2 ->
+          let ty = pick st [ I8; I16; I32; I64 ] in
+          let name = fresh st "v" in
+          let e = random_expr st ty depth in
+          st.vars <- (name, ty) :: st.vars;
+          Decl (name, ty, e)
+        | 3 when st.vars <> [] ->
+          let v, ty = pick st st.vars in
+          Assign (v, random_expr st ty depth)
+        | 4 when st.profile.allow_branches ->
+          let ty = match st.vars with (_, t) :: _ -> t | [] -> I32 in
+          let cond = Cmp (pick st [ CLt; CGt; CEq; CNe ], random_leaf st ty, random_const st ty) in
+          let saved = st.vars in
+          let then_ = stmts (1 + Random.State.int st.rng 2) [] in
+          st.vars <- saved;
+          let else_ = if chance st 0.5 then stmts (1 + Random.State.int st.rng 2) [] else [] in
+          st.vars <- saved;
+          If (cond, then_, else_)
+        | 5 when st.profile.allow_loops ->
+          let i = fresh st "i" in
+          let saved = st.vars in
+          st.vars <- (i, I32) :: st.vars;
+          let body = stmts (1 + Random.State.int st.rng 2) [] in
+          st.vars <- saved;
+          For (i, 1 + Random.State.int st.rng 3, body)
+        | 6 when st.profile.allow_calls && not st.used_call ->
+          st.used_call <- true;
+          CallStmt ("sink", [ random_expr st I32 depth ])
+        | 7 when st.profile.allow_branches && st.vars <> [] && chance st 0.35 ->
+          (* a small break-style switch over an existing variable *)
+          let v, _ = pick st st.vars in
+          let saved = st.vars in
+          let case c =
+            let body = stmts (1 + Random.State.int st.rng 2) [] in
+            st.vars <- saved;
+            (c, body)
+          in
+          let cases = List.map case [ 0L; 1L; pick st [ 2L; 3L; 7L ] ] in
+          let default = stmts 1 [] in
+          st.vars <- saved;
+          Switch (v, cases, default)
+        | _ ->
+          let ty = pick st [ I8; I16; I32; I64 ] in
+          let name = fresh st "v" in
+          let e = random_expr st ty depth in
+          st.vars <- (name, ty) :: st.vars;
+          Decl (name, ty, e)
+      in
+      stmts (n - 1) (s :: acc)
+  in
+  let body = stmts count [] in
+  (* guarantee a final return of the right type *)
+  body @ [ Return (random_expr st ret_ty depth) ]
+
+(** Generate one function.  Deterministic in [seed]. *)
+let generate ?(profile = default_profile) ~seed ~name () : cfunc =
+  let rng = Random.State.make [| seed; 0x5eed |] in
+  let st = { rng; vars = []; counter = 0; used_call = false; profile } in
+  let nparams = 1 + Random.State.int rng 3 in
+  let params =
+    List.init nparams (fun i -> (Fmt.str "p%d" i, pick st [ I8; I16; I32; I64 ]))
+  in
+  st.vars <- params;
+  let ret = pick st [ I8; I16; I32; I64 ] in
+  let body =
+    random_stmts st ~depth:st.profile.max_depth
+      ~count:(1 + Random.State.int rng st.profile.max_stmts)
+      ~ret_ty:ret
+  in
+  { name; ret; params; body; uses_ext_call = st.used_call }

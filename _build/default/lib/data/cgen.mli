@@ -1,0 +1,49 @@
+(** Mini-C program generator: the offline stand-in for the LLVM and GCC test
+    suites, mixing random arithmetic with the cleanup idioms test suites are
+    full of.  Deterministic in the seed. *)
+
+type ty = I8 | I16 | I32 | I64
+
+val bits : ty -> int
+
+type binop = CAdd | CSub | CMul | CDiv | CMod | CAnd | COr | CXor | CShl | CShr
+type cmp = CEq | CNe | CLt | CLe | CGt | CGe
+
+type expr =
+  | Const of ty * int64
+  | Var of string
+  | Bin of binop * expr * expr
+  | Cmp of cmp * expr * expr
+  | Cond of expr * expr * expr
+  | Call of string * expr list
+  | Cast of ty * expr
+
+type stmt =
+  | Decl of string * ty * expr
+  | Assign of string * expr
+  | If of expr * stmt list * stmt list
+  | Switch of string * (int64 * stmt list) list * stmt list
+  | For of string * int * stmt list
+  | CallStmt of string * expr list
+  | Return of expr
+
+type cfunc = {
+  name : string;
+  ret : ty;
+  params : (string * ty) list;
+  body : stmt list;
+  uses_ext_call : bool;
+}
+
+type profile = {
+  max_depth : int;
+  max_stmts : int;
+  allow_branches : bool;
+  allow_loops : bool;
+  allow_calls : bool;
+  idiom_bias : float;
+}
+
+val default_profile : profile
+
+val generate : ?profile:profile -> seed:int -> name:string -> unit -> cfunc

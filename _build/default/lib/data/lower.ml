@@ -1,0 +1,327 @@
+(** Clang-`-O0`-style lowering from mini-C to IR.
+
+    Faithful to what `clang -O0` emits and what the paper's dataset
+    therefore looks like: every parameter and local lives in an entry-block
+    alloca with loads and stores around each use; comparisons materialize as
+    `icmp` + `zext`; ternaries lower to control flow with a phi; returns
+    funnel through a `%retval` slot and a common return block.  All the
+    slack this introduces is precisely what `-instcombine` (and mem2reg-like
+    emergent behaviour) removes. *)
+
+open Veriopt_ir
+open Ast
+
+let ir_ty (t : Cgen.ty) = Types.Int (Cgen.bits t)
+
+type lstate = {
+  mutable blocks : block list; (* finished blocks, reversed *)
+  mutable cur_label : label;
+  mutable cur_instrs : named_instr list; (* reversed *)
+  mutable entry_allocas : named_instr list; (* reversed *)
+  mutable slots : (string * (var * Cgen.ty)) list; (* C var -> alloca, type *)
+  mutable counter : int;
+  retval : var;
+  ret_ty : Cgen.ty;
+}
+
+let fresh st prefix =
+  st.counter <- st.counter + 1;
+  Fmt.str "%s%d" prefix st.counter
+
+let emit st name instr = st.cur_instrs <- { name; instr } :: st.cur_instrs
+
+let emit_value st prefix instr =
+  let n = fresh st prefix in
+  emit st (Some n) instr;
+  Var n
+
+let finish_block st term =
+  st.blocks <- { label = st.cur_label; instrs = List.rev st.cur_instrs; term } :: st.blocks;
+  st.cur_instrs <- []
+
+let start_block st label =
+  st.cur_label <- label;
+  st.cur_instrs <- []
+
+let add_slot st cvar ty =
+  let slot = fresh st (cvar ^ ".addr.") in
+  st.entry_allocas <-
+    { name = Some slot; instr = Alloca { ty = ir_ty ty; align = Cgen.bits ty / 8 } }
+    :: st.entry_allocas;
+  st.slots <- (cvar, (slot, ty)) :: st.slots;
+  slot
+
+let slot_of st cvar =
+  match List.assoc_opt cvar st.slots with
+  | Some s -> s
+  | None -> invalid_arg (Fmt.str "Lower.slot_of: unknown variable %s" cvar)
+
+let load_var st cvar =
+  let slot, ty = slot_of st cvar in
+  ( emit_value st "t"
+      (Load { ty = ir_ty ty; ptr = Var slot; align = Cgen.bits ty / 8 }),
+    ty )
+
+let store_var st cvar (v : operand) =
+  let slot, ty = slot_of st cvar in
+  emit st None (Store { ty = ir_ty ty; value = v; ptr = Var slot; align = Cgen.bits ty / 8 })
+
+let rec infer_ty st (e : Cgen.expr) : Cgen.ty =
+  match e with
+  | Cgen.Const (ty, _) -> ty
+  | Cgen.Var v -> snd (slot_of st v)
+  | Cgen.Bin (_, a, _) -> infer_ty st a
+  | Cgen.Cmp _ -> Cgen.I32 (* C comparisons yield int *)
+  | Cgen.Cond (_, a, _) -> infer_ty st a
+  | Cgen.Call _ -> Cgen.I32
+  | Cgen.Cast (ty, _) -> ty
+
+let cast_to st (from_ty : Cgen.ty) (to_ty : Cgen.ty) (v : operand) : operand =
+  let fw = Cgen.bits from_ty and tw = Cgen.bits to_ty in
+  if fw = tw then v
+  else if fw < tw then
+    (* C integer promotion of signed values *)
+    emit_value st "conv"
+      (Cast { op = SExt; src_ty = Types.Int fw; value = v; dst_ty = Types.Int tw })
+  else
+    emit_value st "conv"
+      (Cast { op = Trunc; src_ty = Types.Int fw; value = v; dst_ty = Types.Int tw })
+
+let ir_binop : Cgen.binop -> binop * flags = function
+  | Cgen.CAdd -> (Add, { no_flags with nsw = true })
+  | Cgen.CSub -> (Sub, { no_flags with nsw = true })
+  | Cgen.CMul -> (Mul, { no_flags with nsw = true })
+  | Cgen.CDiv -> (SDiv, no_flags)
+  | Cgen.CMod -> (SRem, no_flags)
+  | Cgen.CAnd -> (And, no_flags)
+  | Cgen.COr -> (Or, no_flags)
+  | Cgen.CXor -> (Xor, no_flags)
+  | Cgen.CShl -> (Shl, no_flags)
+  | Cgen.CShr -> (AShr, no_flags)
+
+let ir_cmp : Cgen.cmp -> icmp_pred = function
+  | Cgen.CEq -> Eq
+  | Cgen.CNe -> Ne
+  | Cgen.CLt -> Slt
+  | Cgen.CLe -> Sle
+  | Cgen.CGt -> Sgt
+  | Cgen.CGe -> Sge
+
+let rec lower_expr st (e : Cgen.expr) : operand =
+  match e with
+  | Cgen.Const (ty, v) -> const_int (Cgen.bits ty) v
+  | Cgen.Var v ->
+    let value, _ = load_var st v in
+    value
+  | Cgen.Bin (op, a, b) ->
+    let ty = infer_ty st a in
+    let bty = infer_ty st b in
+    let av = lower_expr st a in
+    let bv = lower_expr st b in
+    let bv = cast_to st bty ty bv in
+    let irop, flags = ir_binop op in
+    emit_value st "t" (Binop { op = irop; flags; ty = ir_ty ty; lhs = av; rhs = bv })
+  | Cgen.Cmp _ ->
+    (* value context: icmp then zext to int *)
+    let c = lower_cond st e in
+    emit_value st "conv" (Cast { op = ZExt; src_ty = Types.i1; value = c; dst_ty = Types.i32 })
+  | Cgen.Cond (c, a, b) ->
+    (* clang -O0 shape: cond.true / cond.false / cond.end with a phi *)
+    let ty = infer_ty st a in
+    let cv = lower_cond st c in
+    let true_l = fresh st "cond.true." in
+    let false_l = fresh st "cond.false." in
+    let end_l = fresh st "cond.end." in
+    finish_block st (CondBr { cond = cv; if_true = true_l; if_false = false_l });
+    start_block st true_l;
+    let av = lower_expr st a in
+    let av = cast_to st (infer_ty st a) ty av in
+    let true_exit = st.cur_label in
+    finish_block st (Br end_l);
+    start_block st false_l;
+    let bv = lower_expr st b in
+    let bv = cast_to st (infer_ty st b) ty bv in
+    let false_exit = st.cur_label in
+    finish_block st (Br end_l);
+    start_block st end_l;
+    emit_value st "cond"
+      (Phi { ty = ir_ty ty; incoming = [ (av, true_exit); (bv, false_exit) ] })
+  | Cgen.Call (callee, args) ->
+    let argv = List.map (fun a -> (Types.i32, cast_to st (infer_ty st a) Cgen.I32 (lower_expr st a))) args in
+    emit_value st "call" (Call { ret_ty = Types.i32; callee; args = argv })
+  | Cgen.Cast (ty, inner) ->
+    let ity = infer_ty st inner in
+    let v = lower_expr st inner in
+    cast_to st ity ty v
+
+and lower_cond st (e : Cgen.expr) : operand =
+  match e with
+  | Cgen.Cmp (c, a, b) ->
+    let ty = infer_ty st a in
+    let av = lower_expr st a in
+    let bv = cast_to st (infer_ty st b) ty (lower_expr st b) in
+    emit_value st "cmp" (Icmp { pred = ir_cmp c; ty = ir_ty ty; lhs = av; rhs = bv })
+  | _ ->
+    let ty = infer_ty st e in
+    let v = lower_expr st e in
+    emit_value st "tobool"
+      (Icmp { pred = Ne; ty = ir_ty ty; lhs = v; rhs = const_int (Cgen.bits ty) 0L })
+
+let rec lower_stmt st (s : Cgen.stmt) : unit =
+  match s with
+  | Cgen.Decl (v, ty, e) ->
+    let value = cast_to st (infer_ty st e) ty (lower_expr st e) in
+    let _slot = add_slot st v ty in
+    store_var st v value
+  | Cgen.Assign (v, e) ->
+    let _, ty = slot_of st v in
+    let value = cast_to st (infer_ty st e) ty (lower_expr st e) in
+    store_var st v value
+  | Cgen.If (c, then_, else_) ->
+    let cv = lower_cond st c in
+    let then_l = fresh st "if.then." in
+    let else_l = fresh st "if.else." in
+    let end_l = fresh st "if.end." in
+    let has_else = else_ <> [] in
+    finish_block st
+      (CondBr { cond = cv; if_true = then_l; if_false = (if has_else then else_l else end_l) });
+    start_block st then_l;
+    let saved = st.slots in
+    List.iter (lower_stmt st) then_;
+    st.slots <- saved;
+    finish_block st (Br end_l);
+    if has_else then begin
+      start_block st else_l;
+      List.iter (lower_stmt st) else_;
+      st.slots <- saved;
+      finish_block st (Br end_l)
+    end;
+    start_block st end_l
+  | Cgen.Switch (v, cases, default) ->
+    let value, ty = load_var st v in
+    let end_l = fresh st "sw.end." in
+    let default_l = fresh st "sw.default." in
+    let case_labels = List.map (fun (c, _) -> (c, fresh st "sw.bb.")) cases in
+    finish_block st
+      (Switch
+         {
+           ty = ir_ty ty;
+           value;
+           default = default_l;
+           cases =
+             List.map (fun (c, l) -> (Veriopt_ir.Bits.mask (Cgen.bits ty) c, l)) case_labels;
+         });
+    List.iter2
+      (fun (_, body) (_, l) ->
+        start_block st l;
+        let saved = st.slots in
+        List.iter (lower_stmt st) body;
+        st.slots <- saved;
+        finish_block st (Br end_l))
+      cases case_labels;
+    start_block st default_l;
+    let saved = st.slots in
+    List.iter (lower_stmt st) default;
+    st.slots <- saved;
+    finish_block st (Br end_l);
+    start_block st end_l
+  | Cgen.For (i, n, body) ->
+    let _slot = add_slot st i Cgen.I32 in
+    store_var st i (const_int 32 0L);
+    let head_l = fresh st "for.cond." in
+    let body_l = fresh st "for.body." in
+    let inc_l = fresh st "for.inc." in
+    let end_l = fresh st "for.end." in
+    finish_block st (Br head_l);
+    start_block st head_l;
+    let iv, _ = load_var st i in
+    let cv =
+      emit_value st "cmp"
+        (Icmp { pred = Slt; ty = Types.i32; lhs = iv; rhs = const_int 32 (Int64.of_int n) })
+    in
+    finish_block st (CondBr { cond = cv; if_true = body_l; if_false = end_l });
+    start_block st body_l;
+    let saved = st.slots in
+    List.iter (lower_stmt st) body;
+    st.slots <- saved;
+    finish_block st (Br inc_l);
+    start_block st inc_l;
+    let iv2, _ = load_var st i in
+    let inc =
+      emit_value st "inc"
+        (Binop
+           { op = Add; flags = { no_flags with nsw = true }; ty = Types.i32; lhs = iv2; rhs = const_int 32 1L })
+    in
+    store_var st i inc;
+    finish_block st (Br head_l);
+    start_block st end_l
+  | Cgen.CallStmt (callee, args) ->
+    let argv = List.map (fun a -> (Types.i32, cast_to st (infer_ty st a) Cgen.I32 (lower_expr st a))) args in
+    emit st None (Call { ret_ty = Types.Void; callee; args = argv })
+  | Cgen.Return e ->
+    let v = cast_to st (infer_ty st e) st.ret_ty (lower_expr st e) in
+    emit st None
+      (Store
+         {
+           ty = ir_ty st.ret_ty;
+           value = v;
+           ptr = Var st.retval;
+           align = Cgen.bits st.ret_ty / 8;
+         });
+    finish_block st (Br "return");
+    (* anything after a return is dead code in a fresh unreachable block *)
+    start_block st (fresh st "dead.")
+
+(** External functions every lowered module can call. *)
+let module_decls : decl list =
+  [
+    { dname = "ext"; dret_ty = Types.i32; dparams = [ Types.i32 ]; pure = false };
+    { dname = "sink"; dret_ty = Types.Void; dparams = [ Types.i32 ]; pure = false };
+  ]
+
+(** Lower a mini-C function to its clang-O0-shaped IR. *)
+let lower (cf : Cgen.cfunc) : modul * func =
+  let st =
+    {
+      blocks = [];
+      cur_label = "entry";
+      cur_instrs = [];
+      entry_allocas = [];
+      slots = [];
+      counter = 0;
+      retval = "retval";
+      ret_ty = cf.Cgen.ret;
+    }
+  in
+  st.entry_allocas <-
+    [
+      {
+        name = Some st.retval;
+        instr = Alloca { ty = ir_ty cf.Cgen.ret; align = Cgen.bits cf.Cgen.ret / 8 };
+      };
+    ];
+  (* parameters: spill to allocas, clang-style *)
+  let params = List.map (fun (p, ty) -> (ir_ty ty, p)) cf.Cgen.params in
+  List.iter
+    (fun (p, ty) ->
+      let _slot = add_slot st p ty in
+      store_var st p (Var p))
+    cf.Cgen.params;
+  List.iter (lower_stmt st) cf.Cgen.body;
+  (* fall-through (possible only in dead blocks): route to return anyway *)
+  finish_block st (Br "return");
+  start_block st "return";
+  let rv =
+    emit_value st "rv"
+      (Load { ty = ir_ty cf.Cgen.ret; ptr = Var st.retval; align = Cgen.bits cf.Cgen.ret / 8 })
+  in
+  finish_block st (Ret (Some (ir_ty cf.Cgen.ret, rv)));
+  let blocks = List.rev st.blocks in
+  let blocks =
+    match blocks with
+    | entry :: rest -> { entry with instrs = List.rev st.entry_allocas @ entry.instrs } :: rest
+    | [] -> assert false
+  in
+  let f = { fname = cf.Cgen.name; ret_ty = ir_ty cf.Cgen.ret; params; blocks } in
+  let m = { globals = []; decls = module_decls; funcs = [ f ] } in
+  (m, f)

@@ -1,0 +1,8 @@
+(** Clang-`-O0`-style lowering from mini-C to IR: every local in an
+    entry-block alloca, loads/stores around each use, icmp+zext comparisons,
+    phi-based ternaries, a common return block through a retval slot. *)
+
+val module_decls : Veriopt_ir.Ast.decl list
+(** The external functions ([ext], [sink]) lowered modules may call. *)
+
+val lower : Cgen.cfunc -> Veriopt_ir.Ast.modul * Veriopt_ir.Ast.func

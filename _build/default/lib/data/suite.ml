@@ -1,0 +1,100 @@
+(** Dataset construction, following §IV-A of the paper:
+
+    1. generate source programs ("test suite" surrogate) and lower at -O0;
+    2. produce reference labels with `-instcombine`;
+    3. keep only pairs Alive proves semantically equivalent (no UB, no
+       timeout), and only functions within the 2048-token context limit;
+    4. drop pairs where instcombine found nothing to do (the paper notes no
+       such samples survive into its sets);
+    5. split train / validation disjointly by seed. *)
+
+open Veriopt_ir
+module Alive = Veriopt_alive.Alive
+module Pass_manager = Veriopt_passes.Pass_manager
+
+type sample = {
+  id : int;
+  modul : Ast.modul; (* declarations context shared by src and label *)
+  src : Ast.func; (* the -O0 form *)
+  label : Ast.func; (* the -instcombine reference *)
+  trace : Pass_manager.trace_entry list; (* rule applications src -> label *)
+  src_text : string;
+  label_text : string;
+}
+
+type stats = {
+  generated : int;
+  kept : int;
+  dropped_no_change : int;
+  dropped_not_equivalent : int;
+  dropped_inconclusive : int;
+  dropped_too_long : int;
+}
+
+let empty_stats =
+  {
+    generated = 0;
+    kept = 0;
+    dropped_no_change = 0;
+    dropped_not_equivalent = 0;
+    dropped_inconclusive = 0;
+    dropped_too_long = 0;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "generated %d; kept %d; dropped: unchanged %d, not-equivalent %d, inconclusive %d, too-long %d"
+    s.generated s.kept s.dropped_no_change s.dropped_not_equivalent s.dropped_inconclusive
+    s.dropped_too_long
+
+(** Build one candidate sample from a seed; [None] when filtered out. *)
+let build_sample ?(verify = true) ~(seed : int) (id : int) : (sample, stats -> stats) result =
+  let profile =
+    (* vary shape across the corpus *)
+    let r = Random.State.make [| seed; 77 |] in
+    {
+      Cgen.default_profile with
+      Cgen.max_stmts = 2 + Random.State.int r 6;
+      Cgen.max_depth = 2 + Random.State.int r 2;
+      Cgen.allow_loops = Random.State.int r 4 = 0;
+      Cgen.allow_calls = Random.State.int r 3 = 0;
+    }
+  in
+  let cf = Cgen.generate ~profile ~seed ~name:(Fmt.str "f%d" id) () in
+  let modul, src = Lower.lower cf in
+  let label, trace = Pass_manager.instcombine modul src in
+  let src_text = Printer.func_to_string src in
+  let label_text = Printer.func_to_string label in
+  if trace = [] then Error (fun s -> { s with dropped_no_change = s.dropped_no_change + 1 })
+  else if not (Veriopt_nlp.Tokenizer.within_limit src_text) then
+    Error (fun s -> { s with dropped_too_long = s.dropped_too_long + 1 })
+  else if not verify then Ok { id; modul; src; label; trace; src_text; label_text }
+  else
+    match (Alive.verify_funcs modul ~src ~tgt:label).Alive.category with
+    | Alive.Equivalent -> Ok { id; modul; src; label; trace; src_text; label_text }
+    | Alive.Semantic_error | Alive.Syntax_error ->
+      Error (fun s -> { s with dropped_not_equivalent = s.dropped_not_equivalent + 1 })
+    | Alive.Inconclusive ->
+      Error (fun s -> { s with dropped_inconclusive = s.dropped_inconclusive + 1 })
+
+type dataset = { samples : sample list; stats : stats }
+
+(** Build [n] samples starting from [seed0].  Training and validation sets
+    use disjoint seed ranges, which keeps them strictly separated (the
+    paper's "strictly isolated ... to avoid any data leakage"). *)
+let build ?(verify = true) ~seed0 ~n () : dataset =
+  let rec go i id acc stats =
+    if id >= n then { samples = List.rev acc; stats }
+    else
+      let stats = { stats with generated = stats.generated + 1 } in
+      match build_sample ~verify ~seed:(seed0 + i) id with
+      | Ok s -> go (i + 1) (id + 1) (s :: acc) { stats with kept = stats.kept + 1 }
+      | Error bump -> go (i + 1) id acc (bump stats)
+  in
+  go 0 0 [] empty_stats
+
+let train_seed_base = 1_000_000
+let validation_seed_base = 9_000_000
+
+let training ?(verify = true) ~n () = build ~verify ~seed0:train_seed_base ~n ()
+let validation ?(verify = true) ~n () = build ~verify ~seed0:validation_seed_base ~n ()

@@ -1,0 +1,37 @@
+(** Dataset construction, following the paper's §IV-A: generate programs,
+    lower at -O0, label with instcombine, keep only Alive-verified pairs
+    within the token limit and with real optimization work, split train and
+    validation by disjoint seed ranges. *)
+
+type sample = {
+  id : int;
+  modul : Veriopt_ir.Ast.modul;
+  src : Veriopt_ir.Ast.func;  (** the -O0 form *)
+  label : Veriopt_ir.Ast.func;  (** the -instcombine reference *)
+  trace : Veriopt_passes.Pass_manager.trace_entry list;  (** src -> label rule applications *)
+  src_text : string;
+  label_text : string;
+}
+
+type stats = {
+  generated : int;
+  kept : int;
+  dropped_no_change : int;
+  dropped_not_equivalent : int;
+  dropped_inconclusive : int;
+  dropped_too_long : int;
+}
+
+val empty_stats : stats
+val pp_stats : Format.formatter -> stats -> unit
+
+type dataset = { samples : sample list; stats : stats }
+
+val build_sample : ?verify:bool -> seed:int -> int -> (sample, stats -> stats) result
+val build : ?verify:bool -> seed0:int -> n:int -> unit -> dataset
+
+val train_seed_base : int
+val validation_seed_base : int
+
+val training : ?verify:bool -> n:int -> unit -> dataset
+val validation : ?verify:bool -> n:int -> unit -> dataset

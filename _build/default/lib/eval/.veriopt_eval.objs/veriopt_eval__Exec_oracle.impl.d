@@ -1,0 +1,1 @@
+lib/eval/exec_oracle.ml: Ast Bits Int64 Interp List Random Types Veriopt_ir

@@ -1,0 +1,1 @@
+lib/eval/exec_oracle.mli: Interp Veriopt_ir

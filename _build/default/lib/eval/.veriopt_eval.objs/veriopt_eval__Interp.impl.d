@@ -1,0 +1,1 @@
+lib/eval/interp.ml: Array Ast Bits Bytes Char Fmt Hashtbl Int64 List Option Types Veriopt_ir

@@ -1,0 +1,1 @@
+lib/eval/interp.mli: Ast Types Veriopt_ir

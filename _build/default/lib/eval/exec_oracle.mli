@@ -1,0 +1,24 @@
+(** The I/O-equivalence oracle: correctness "verification" by finite
+    input/output samples, the approach of most prior LLM-compiler work and
+    the paper's foil for formal validation.
+
+    Deliberately poison-blind: real test harnesses run compiled code, where
+    poison is invisible — one of the reasons finite testing overestimates
+    correctness (LLM-Vectorizer's observation). *)
+
+type verdict =
+  | Io_equivalent of int  (** number of agreeing samples *)
+  | Io_different of Interp.value list  (** a distinguishing input *)
+  | Io_unsupported of string
+
+val boundary_values : int -> int64 list
+
+val equivalent :
+  ?samples:int ->
+  ?seed:int ->
+  Veriopt_ir.Ast.modul ->
+  src:Veriopt_ir.Ast.func ->
+  tgt:Veriopt_ir.Ast.func ->
+  verdict
+(** Compare on boundary values plus seeded random vectors (default 32 total,
+    the paper artifact's LIMIT=32), in the refinement direction. *)

@@ -1,0 +1,1 @@
+lib/ir/bits.ml: Fmt Int64

@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Array Ast Fmt Hashtbl List Map Seq Set String

@@ -1,0 +1,1 @@
+lib/ir/lexer.ml: Array Fmt Int64 List String

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Ast Bits Fmt Int64 Lexer List Result String Types

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Ast Bits Fmt List Types

@@ -1,0 +1,1 @@
+lib/ir/validator.ml: Ast Cfg Fmt Hashtbl List Map String Types

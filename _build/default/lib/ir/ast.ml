@@ -1,0 +1,244 @@
+(** Abstract syntax of the IR subset.
+
+    The shape deliberately mirrors LLVM IR: a module holds globals, external
+    declarations and function definitions; a function is a list of labelled
+    basic blocks in SSA form; every block ends in exactly one terminator. *)
+
+type var = string (* without the leading '%' *)
+type label = string
+type gname = string (* without the leading '@' *)
+
+type const =
+  | CInt of { width : int; value : int64 } (* canonical: masked to [width] *)
+  | CNull (* the null pointer *)
+  | CUndef of Types.t
+  | CPoison of Types.t
+
+type operand =
+  | Var of var
+  | Const of const
+  | Global of gname (* address of a global, a [ptr]-typed constant *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | UDiv
+  | SDiv
+  | URem
+  | SRem
+  | Shl
+  | LShr
+  | AShr
+  | And
+  | Or
+  | Xor
+
+type icmp_pred = Eq | Ne | Ugt | Uge | Ult | Ule | Sgt | Sge | Slt | Sle
+
+type cast_op = Trunc | ZExt | SExt | PtrToInt | IntToPtr | Bitcast
+
+(** Poison-generating flags; which fields are meaningful depends on the
+    opcode ([nsw]/[nuw] on add/sub/mul/shl, [exact] on udiv/sdiv/lshr/ashr). *)
+type flags = { nsw : bool; nuw : bool; exact : bool }
+
+let no_flags = { nsw = false; nuw = false; exact = false }
+
+type instr =
+  | Binop of { op : binop; flags : flags; ty : Types.t; lhs : operand; rhs : operand }
+  | Icmp of { pred : icmp_pred; ty : Types.t; lhs : operand; rhs : operand }
+  | Select of { ty : Types.t; cond : operand; if_true : operand; if_false : operand }
+  | Cast of { op : cast_op; src_ty : Types.t; value : operand; dst_ty : Types.t }
+  | Alloca of { ty : Types.t; align : int }
+  | Load of { ty : Types.t; ptr : operand; align : int }
+  | Store of { ty : Types.t; value : operand; ptr : operand; align : int }
+      (** A [store] names no result; its [name] must be [None]. *)
+  | Gep of { base_ty : Types.t; ptr : operand; indices : (Types.t * operand) list; inbounds : bool }
+  | Phi of { ty : Types.t; incoming : (operand * label) list }
+  | Call of { ret_ty : Types.t; callee : gname; args : (Types.t * operand) list }
+  | Freeze of { ty : Types.t; value : operand }
+
+type named_instr = { name : var option; instr : instr }
+
+type terminator =
+  | Ret of (Types.t * operand) option
+  | Br of label
+  | CondBr of { cond : operand; if_true : label; if_false : label }
+  | Switch of { ty : Types.t; value : operand; default : label; cases : (int64 * label) list }
+  | Unreachable
+
+type block = { label : label; instrs : named_instr list; term : terminator }
+
+type func = {
+  fname : gname;
+  ret_ty : Types.t;
+  params : (Types.t * var) list;
+  blocks : block list; (* the first block is the entry; it has no phis *)
+}
+
+type global = { gname : gname; gty : Types.t; init : int64 }
+
+(** External declaration.  [pure] marks a function the verifier may model as
+    an uninterpreted function; impure calls are observable events. *)
+type decl = { dname : gname; dret_ty : Types.t; dparams : Types.t list; pure : bool }
+
+type modul = { globals : global list; decls : decl list; funcs : func list }
+
+let empty_module = { globals = []; decls = []; funcs = [] }
+
+let const_int width value = Const (CInt { width; value = Bits.mask width value })
+let const_bool b = const_int 1 (if b then 1L else 0L)
+
+let entry_block f =
+  match f.blocks with
+  | [] -> invalid_arg "Ast.entry_block: function has no blocks"
+  | b :: _ -> b
+
+let find_block f l = List.find_opt (fun b -> b.label = l) f.blocks
+
+let find_func m name = List.find_opt (fun f -> f.fname = name) m.funcs
+let find_decl m name = List.find_opt (fun d -> d.dname = name) m.decls
+let find_global m name = List.find_opt (fun g -> g.gname = name) m.globals
+
+(** Result type of an instruction, or [None] for [store] and void calls. *)
+let instr_result_type = function
+  | Binop { ty; _ } -> Some ty
+  | Icmp _ -> Some Types.i1
+  | Select { ty; _ } -> Some ty
+  | Cast { dst_ty; _ } -> Some dst_ty
+  | Alloca _ -> Some Types.Ptr
+  | Load { ty; _ } -> Some ty
+  | Store _ -> None
+  | Gep _ -> Some Types.Ptr
+  | Phi { ty; _ } -> Some ty
+  | Call { ret_ty = Types.Void; _ } -> None
+  | Call { ret_ty; _ } -> Some ret_ty
+  | Freeze { ty; _ } -> Some ty
+
+let operands_of_instr = function
+  | Binop { lhs; rhs; _ } | Icmp { lhs; rhs; _ } -> [ lhs; rhs ]
+  | Select { cond; if_true; if_false; _ } -> [ cond; if_true; if_false ]
+  | Cast { value; _ } | Freeze { value; _ } -> [ value ]
+  | Alloca _ -> []
+  | Load { ptr; _ } -> [ ptr ]
+  | Store { value; ptr; _ } -> [ value; ptr ]
+  | Gep { ptr; indices; _ } -> ptr :: List.map snd indices
+  | Phi { incoming; _ } -> List.map fst incoming
+  | Call { args; _ } -> List.map snd args
+
+let operands_of_terminator = function
+  | Ret (Some (_, v)) -> [ v ]
+  | Ret None | Br _ | Unreachable -> []
+  | CondBr { cond; _ } -> [ cond ]
+  | Switch { value; _ } -> [ value ]
+
+let successors = function
+  | Ret _ | Unreachable -> []
+  | Br l -> [ l ]
+  | CondBr { if_true; if_false; _ } -> [ if_true; if_false ]
+  | Switch { default; cases; _ } -> default :: List.map snd cases
+
+(** Map every operand of an instruction through [f] (used by substitution,
+    renaming and the mutation engine). *)
+let map_instr_operands f = function
+  | Binop b -> Binop { b with lhs = f b.lhs; rhs = f b.rhs }
+  | Icmp i -> Icmp { i with lhs = f i.lhs; rhs = f i.rhs }
+  | Select s ->
+    Select { s with cond = f s.cond; if_true = f s.if_true; if_false = f s.if_false }
+  | Cast c -> Cast { c with value = f c.value }
+  | Alloca a -> Alloca a
+  | Load l -> Load { l with ptr = f l.ptr }
+  | Store s -> Store { s with value = f s.value; ptr = f s.ptr }
+  | Gep g ->
+    Gep { g with ptr = f g.ptr; indices = List.map (fun (t, o) -> (t, f o)) g.indices }
+  | Phi p -> Phi { p with incoming = List.map (fun (o, l) -> (f o, l)) p.incoming }
+  | Call c -> Call { c with args = List.map (fun (t, o) -> (t, f o)) c.args }
+  | Freeze fr -> Freeze { fr with value = f fr.value }
+
+let map_terminator_operands f = function
+  | Ret (Some (t, v)) -> Ret (Some (t, f v))
+  | Ret None -> Ret None
+  | Br l -> Br l
+  | CondBr c -> CondBr { c with cond = f c.cond }
+  | Switch s -> Switch { s with value = f s.value }
+  | Unreachable -> Unreachable
+
+let binop_is_commutative = function
+  | Add | Mul | And | Or | Xor -> true
+  | Sub | UDiv | SDiv | URem | SRem | Shl | LShr | AShr -> false
+
+let icmp_swap_pred = function
+  | Eq -> Eq
+  | Ne -> Ne
+  | Ugt -> Ult
+  | Uge -> Ule
+  | Ult -> Ugt
+  | Ule -> Uge
+  | Sgt -> Slt
+  | Sge -> Sle
+  | Slt -> Sgt
+  | Sle -> Sge
+
+let icmp_negate_pred = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Ugt -> Ule
+  | Uge -> Ult
+  | Ult -> Uge
+  | Ule -> Ugt
+  | Sgt -> Sle
+  | Sge -> Slt
+  | Slt -> Sge
+  | Sle -> Sgt
+
+let icmp_is_signed = function
+  | Sgt | Sge | Slt | Sle -> true
+  | Eq | Ne | Ugt | Uge | Ult | Ule -> false
+
+let eval_icmp pred w a b =
+  match pred with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Ugt -> Bits.ult w b a
+  | Uge -> Bits.ule w b a
+  | Ult -> Bits.ult w a b
+  | Ule -> Bits.ule w a b
+  | Sgt -> Bits.slt w b a
+  | Sge -> Bits.sle w b a
+  | Slt -> Bits.slt w a b
+  | Sle -> Bits.sle w a b
+
+let string_of_binop = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | UDiv -> "udiv"
+  | SDiv -> "sdiv"
+  | URem -> "urem"
+  | SRem -> "srem"
+  | Shl -> "shl"
+  | LShr -> "lshr"
+  | AShr -> "ashr"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+
+let string_of_icmp_pred = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Ugt -> "ugt"
+  | Uge -> "uge"
+  | Ult -> "ult"
+  | Ule -> "ule"
+  | Sgt -> "sgt"
+  | Sge -> "sge"
+  | Slt -> "slt"
+  | Sle -> "sle"
+
+let string_of_cast_op = function
+  | Trunc -> "trunc"
+  | ZExt -> "zext"
+  | SExt -> "sext"
+  | PtrToInt -> "ptrtoint"
+  | IntToPtr -> "inttoptr"
+  | Bitcast -> "bitcast"

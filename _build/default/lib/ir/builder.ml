@@ -1,0 +1,169 @@
+(** Helpers for constructing and transforming functions programmatically:
+    fresh names, instruction substitution, and block surgery.  Used by the
+    lowering pipeline, the peephole engine and the mutation engine. *)
+
+open Ast
+
+(** A fresh-name supply seeded with all names already used in a function. *)
+type names = { mutable used : (string, unit) Hashtbl.t; mutable counter : int }
+
+let names_of_func (f : func) : names =
+  let used = Hashtbl.create 64 in
+  List.iter (fun (_, v) -> Hashtbl.replace used v ()) f.params;
+  List.iter
+    (fun b ->
+      Hashtbl.replace used b.label ();
+      List.iter
+        (fun { name; _ } -> match name with Some n -> Hashtbl.replace used n () | None -> ())
+        b.instrs)
+    f.blocks;
+  { used; counter = 0 }
+
+let fresh names prefix =
+  let rec go () =
+    let candidate = Fmt.str "%s%d" prefix names.counter in
+    names.counter <- names.counter + 1;
+    if Hashtbl.mem names.used candidate then go ()
+    else (
+      Hashtbl.replace names.used candidate ();
+      candidate)
+  in
+  go ()
+
+(** Substitute operand [from] with [to_] everywhere in a function (used when a
+    rewrite replaces an instruction's result with another value). *)
+let substitute_operand (f : func) ~(from : var) ~(to_ : operand) : func =
+  let subst op = match op with Var v when v = from -> to_ | _ -> op in
+  {
+    f with
+    blocks =
+      List.map
+        (fun b ->
+          {
+            b with
+            instrs =
+              List.map (fun ni -> { ni with instr = map_instr_operands subst ni.instr }) b.instrs;
+            term = map_terminator_operands subst b.term;
+          })
+        f.blocks;
+  }
+
+(** Replace the instruction named [name] with a new instruction list
+    (possibly empty if the value was substituted away). *)
+let replace_instr (f : func) ~(name : var) ~(with_ : named_instr list) : func =
+  {
+    f with
+    blocks =
+      List.map
+        (fun b ->
+          {
+            b with
+            instrs =
+              List.concat_map
+                (fun ni -> if ni.name = Some name then with_ else [ ni ])
+                b.instrs;
+          })
+        f.blocks;
+  }
+
+let remove_instr_at (f : func) ~(block : label) ~(index : int) : func =
+  {
+    f with
+    blocks =
+      List.map
+        (fun b ->
+          if b.label = block then
+            { b with instrs = List.filteri (fun i _ -> i <> index) b.instrs }
+          else b)
+        f.blocks;
+  }
+
+let map_blocks (f : func) g = { f with blocks = List.map g f.blocks }
+
+(** All uses of each variable, for use-count-based rewrites (e.g. "has one
+    use" preconditions in instcombine). *)
+let use_counts (f : func) : (var, int) Hashtbl.t =
+  let counts = Hashtbl.create 64 in
+  let note = function
+    | Var v -> Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+    | Const _ | Global _ -> ()
+  in
+  List.iter
+    (fun b ->
+      List.iter (fun { instr; _ } -> List.iter note (operands_of_instr instr)) b.instrs;
+      List.iter note (operands_of_terminator b.term))
+    f.blocks;
+  counts
+
+(** Map from defined variable to its defining instruction. *)
+let def_map (f : func) : (var, instr) Hashtbl.t =
+  let defs = Hashtbl.create 64 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun { name; instr } ->
+          match name with Some n -> Hashtbl.replace defs n instr | None -> ())
+        b.instrs)
+    f.blocks;
+  defs
+
+(** Renumber all locals and labels to the compact clang-like scheme
+    (%0, %1, ...), preserving program order.  Canonicalizing names makes
+    exact-match comparison meaningful across differently-named but
+    structurally identical outputs. *)
+let renumber (f : func) : func =
+  let mapping = Hashtbl.create 64 in
+  let next = ref 0 in
+  let assign name =
+    if not (Hashtbl.mem mapping name) then (
+      Hashtbl.replace mapping name (string_of_int !next);
+      incr next)
+  in
+  List.iter (fun (_, v) -> assign v) f.params;
+  List.iter
+    (fun b ->
+      assign b.label;
+      List.iter
+        (fun { name; _ } -> match name with Some n -> assign n | None -> ())
+        b.instrs)
+    f.blocks;
+  let rename n = try Hashtbl.find mapping n with Not_found -> n in
+  let rename_op = function Var v -> Var (rename v) | op -> op in
+  let rename_term t =
+    let t = map_terminator_operands rename_op t in
+    match t with
+    | Br l -> Br (rename l)
+    | CondBr c -> CondBr { c with if_true = rename c.if_true; if_false = rename c.if_false }
+    | Switch s ->
+      Switch
+        { s with default = rename s.default; cases = List.map (fun (v, l) -> (v, rename l)) s.cases }
+    | Ret _ | Unreachable -> t
+  in
+  let rename_instr i =
+    let i = map_instr_operands rename_op i in
+    match i with
+    | Phi p -> Phi { p with incoming = List.map (fun (o, l) -> (o, rename l)) p.incoming }
+    | _ -> i
+  in
+  {
+    f with
+    params = List.map (fun (t, v) -> (t, rename v)) f.params;
+    blocks =
+      List.map
+        (fun b ->
+          {
+            label = rename b.label;
+            instrs =
+              List.map
+                (fun { name; instr } -> { name = Option.map rename name; instr = rename_instr instr })
+                b.instrs;
+            term = rename_term b.term;
+          })
+        f.blocks;
+  }
+
+(** Structural equality modulo local/label names. *)
+let alpha_equal (a : func) (b : func) : bool = renumber a = renumber b
+
+let instr_count (f : func) : int =
+  List.fold_left (fun acc b -> acc + List.length b.instrs + 1) 0 f.blocks

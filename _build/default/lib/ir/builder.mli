@@ -1,0 +1,33 @@
+(** Construction and surgery helpers used by the lowering pipeline, the
+    peephole engine and the mutation engine. *)
+
+type names
+(** A fresh-name supply seeded with all names already used in a function. *)
+
+val names_of_func : Ast.func -> names
+val fresh : names -> string -> string
+
+val substitute_operand : Ast.func -> from:Ast.var -> to_:Ast.operand -> Ast.func
+(** Replace every use of [from] (including phi incomings) with [to_]. *)
+
+val replace_instr : Ast.func -> name:Ast.var -> with_:Ast.named_instr list -> Ast.func
+(** Replace the instruction defining [name] with a (possibly empty) list. *)
+
+val remove_instr_at : Ast.func -> block:Ast.label -> index:int -> Ast.func
+val map_blocks : Ast.func -> (Ast.block -> Ast.block) -> Ast.func
+
+val use_counts : Ast.func -> (Ast.var, int) Hashtbl.t
+(** Number of uses of each SSA value ("has one use" preconditions). *)
+
+val def_map : Ast.func -> (Ast.var, Ast.instr) Hashtbl.t
+(** Defined variable to defining instruction. *)
+
+val renumber : Ast.func -> Ast.func
+(** Rename all locals and labels to the compact clang-like scheme
+    (%0, %1, ...), preserving program order. *)
+
+val alpha_equal : Ast.func -> Ast.func -> bool
+(** Structural equality modulo local/label names: the paper's "exact match
+    with the reference IR" and its "copy of input" detector. *)
+
+val instr_count : Ast.func -> int

@@ -1,0 +1,128 @@
+(** Control-flow graph utilities: successor/predecessor maps, reverse
+    postorder, dominators (Cooper–Harvey–Kennedy), and back-edge detection. *)
+
+open Ast
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type t = {
+  func : func;
+  block_of : block SMap.t;
+  succs : label list SMap.t;
+  preds : label list SMap.t;
+  rpo : label array; (* reverse postorder over reachable blocks, entry first *)
+  rpo_index : int SMap.t;
+  idom : label SMap.t; (* immediate dominator; entry maps to itself *)
+}
+
+let block_exn t l =
+  match SMap.find_opt l t.block_of with
+  | Some b -> b
+  | None -> invalid_arg (Fmt.str "Cfg.block_exn: unknown block %%%s" l)
+
+let successors t l = try SMap.find l t.succs with Not_found -> []
+let predecessors t l = try SMap.find l t.preds with Not_found -> []
+
+let compute_rpo entry succs_of =
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec dfs l =
+    if not (Hashtbl.mem visited l) then (
+      Hashtbl.add visited l ();
+      List.iter dfs (succs_of l);
+      order := l :: !order)
+  in
+  dfs entry;
+  Array.of_list !order
+
+let compute_idom ~entry ~rpo ~rpo_index ~preds_of =
+  (* Cooper, Harvey, Kennedy: "A Simple, Fast Dominance Algorithm". *)
+  let n = Array.length rpo in
+  let idom = Array.make n (-1) in
+  let index l = SMap.find l rpo_index in
+  idom.(0) <- 0;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while !a > !b do
+        a := idom.(!a)
+      done;
+      while !b > !a do
+        b := idom.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 1 to n - 1 do
+      let preds =
+        List.filter_map
+          (fun p -> match SMap.find_opt p rpo_index with Some j -> Some j | None -> None)
+          (preds_of rpo.(i))
+      in
+      let processed = List.filter (fun j -> idom.(j) >= 0) preds in
+      match processed with
+      | [] -> ()
+      | first :: rest ->
+        let new_idom = List.fold_left (fun acc j -> intersect acc j) first rest in
+        if idom.(i) <> new_idom then (
+          idom.(i) <- new_idom;
+          changed := true)
+    done
+  done;
+  ignore entry;
+  ignore index;
+  Array.to_seq rpo
+  |> Seq.mapi (fun i l -> (l, rpo.(max 0 idom.(i))))
+  |> SMap.of_seq
+
+let of_func (f : func) : t =
+  let block_of = List.fold_left (fun m b -> SMap.add b.label b m) SMap.empty f.blocks in
+  let succs =
+    List.fold_left (fun m b -> SMap.add b.label (Ast.successors b.term) m) SMap.empty f.blocks
+  in
+  let preds =
+    List.fold_left
+      (fun m b ->
+        List.fold_left
+          (fun m s ->
+            let cur = try SMap.find s m with Not_found -> [] in
+            SMap.add s (cur @ [ b.label ]) m)
+          m (Ast.successors b.term))
+      (List.fold_left (fun m b -> SMap.add b.label [] m) SMap.empty f.blocks)
+      f.blocks
+  in
+  let entry = (entry_block f).label in
+  let rpo = compute_rpo entry (fun l -> try SMap.find l succs with Not_found -> []) in
+  let rpo_index =
+    Array.to_seq rpo |> Seq.mapi (fun i l -> (l, i)) |> SMap.of_seq
+  in
+  let idom =
+    compute_idom ~entry ~rpo ~rpo_index ~preds_of:(fun l ->
+        try SMap.find l preds with Not_found -> [])
+  in
+  { func = f; block_of; succs; preds; rpo; rpo_index; idom }
+
+let is_reachable t l = SMap.mem l t.rpo_index
+
+(** [dominates t a b]: every path from entry to [b] passes through [a].
+    Both blocks must be reachable. *)
+let dominates t a b =
+  let rec walk l = if l = a then true else if l = (t.rpo).(0) then false else walk (SMap.find l t.idom) in
+  walk b
+
+(** Back edges [(src, dst)] where [dst] dominates [src]: loop indicators. *)
+let back_edges t =
+  Array.to_list t.rpo
+  |> List.concat_map (fun l ->
+         successors t l
+         |> List.filter_map (fun s ->
+                if is_reachable t s && dominates t s l then Some (l, s) else None))
+
+let has_loop t = back_edges t <> []
+
+(** Blocks in reverse postorder (entry first), as [block] values. *)
+let blocks_rpo t = Array.to_list t.rpo |> List.map (fun l -> block_exn t l)

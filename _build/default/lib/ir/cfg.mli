@@ -1,0 +1,26 @@
+(** Control-flow graph utilities: successors/predecessors, reverse
+    postorder, dominators (Cooper–Harvey–Kennedy), back-edge detection. *)
+
+type t
+
+val of_func : Ast.func -> t
+
+val block_exn : t -> Ast.label -> Ast.block
+(** @raise Invalid_argument on an unknown label. *)
+
+val successors : t -> Ast.label -> Ast.label list
+val predecessors : t -> Ast.label -> Ast.label list
+
+val is_reachable : t -> Ast.label -> bool
+
+val dominates : t -> Ast.label -> Ast.label -> bool
+(** [dominates t a b]: every path from entry to [b] passes through [a].
+    Both blocks must be reachable. *)
+
+val back_edges : t -> (Ast.label * Ast.label) list
+(** Edges [(src, dst)] where [dst] dominates [src]: loop indicators. *)
+
+val has_loop : t -> bool
+
+val blocks_rpo : t -> Ast.block list
+(** Reachable blocks in reverse postorder, entry first. *)

@@ -1,0 +1,159 @@
+(** Hand-written lexer for the `.ll`-style textual IR.
+
+    Tokens carry the 1-based line on which they start so the parser can
+    produce Alive2-style diagnostics ("syntax error, line N"). *)
+
+type token =
+  | LOCAL of string (* %name *)
+  | GLOBAL of string (* @name *)
+  | WORD of string (* keywords, type names, bare label names *)
+  | INT of int64
+  | EQUALS
+  | COMMA
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COLON
+  | STAR
+  | EOF
+
+exception Error of { line : int; message : string }
+
+type t = { tokens : (token * int) array; mutable pos : int }
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '$'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : (token * int) array =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let emit tok = out := (tok, !line) :: !out in
+  let read_ident start =
+    let j = ref start in
+    while !j < n && is_ident_char src.[!j] do
+      incr j
+    done;
+    let s = String.sub src start (!j - start) in
+    i := !j;
+    s
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then (
+      incr line;
+      incr i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = ';' then (
+      (* comment to end of line *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done)
+    else if c = '%' then (
+      incr i;
+      if !i < n && is_ident_char src.[!i] then emit (LOCAL (read_ident !i))
+      else raise (Error { line = !line; message = "expected identifier after '%'" }))
+    else if c = '@' then (
+      incr i;
+      if !i < n && is_ident_char src.[!i] then emit (GLOBAL (read_ident !i))
+      else raise (Error { line = !line; message = "expected identifier after '@'" }))
+    else if c = '-' || is_digit c then (
+      let start = !i in
+      if c = '-' then incr i;
+      if !i >= n || not (is_digit src.[!i]) then
+        raise (Error { line = !line; message = "expected digits after '-'" });
+      if
+        src.[!i] = '0'
+        && !i + 1 < n
+        && (src.[!i + 1] = 'x' || src.[!i + 1] = 'X')
+      then (
+        i := !i + 2;
+        let hstart = !i in
+        while
+          !i < n
+          && (is_digit src.[!i]
+             || (src.[!i] >= 'a' && src.[!i] <= 'f')
+             || (src.[!i] >= 'A' && src.[!i] <= 'F'))
+        do
+          incr i
+        done;
+        if !i = hstart then raise (Error { line = !line; message = "bad hex literal" });
+        let s = String.sub src hstart (!i - hstart) in
+        let v =
+          try Int64.of_string ("0x" ^ s)
+          with _ -> raise (Error { line = !line; message = "hex literal out of range" })
+        in
+        emit (INT (if c = '-' then Int64.neg v else v)))
+      else (
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        let s = String.sub src start (!i - start) in
+        match Int64.of_string_opt s with
+        | Some v -> emit (INT v)
+        | None -> raise (Error { line = !line; message = "integer literal out of range: " ^ s })))
+    else if c = '#' then (
+      (* attribute-group references like [#0]; kept as words, skipped by the
+         parser so that clang-style IR from the paper's figures parses *)
+      incr i;
+      emit (WORD ("#" ^ read_ident !i)))
+    else if is_ident_char c then (
+      let w = read_ident !i in
+      (* A word immediately followed by ':' is a block label. *)
+      emit (WORD w))
+    else (
+      (match c with
+      | '=' -> emit EQUALS
+      | ',' -> emit COMMA
+      | '(' -> emit LPAREN
+      | ')' -> emit RPAREN
+      | '{' -> emit LBRACE
+      | '}' -> emit RBRACE
+      | '[' -> emit LBRACKET
+      | ']' -> emit RBRACKET
+      | ':' -> emit COLON
+      | '*' -> emit STAR
+      | _ ->
+        raise (Error { line = !line; message = Fmt.str "unexpected character %C" c }));
+      incr i)
+  done;
+  out := (EOF, !line) :: !out;
+  Array.of_list (List.rev !out)
+
+let create src = { tokens = tokenize src; pos = 0 }
+
+let peek t = fst t.tokens.(t.pos)
+let peek2 t = if t.pos + 1 < Array.length t.tokens then fst t.tokens.(t.pos + 1) else EOF
+let line t = snd t.tokens.(t.pos)
+let advance t = if t.pos + 1 < Array.length t.tokens then t.pos <- t.pos + 1
+
+let next t =
+  let tok = peek t in
+  advance t;
+  tok
+
+let token_to_string = function
+  | LOCAL s -> "%" ^ s
+  | GLOBAL s -> "@" ^ s
+  | WORD s -> s
+  | INT v -> Int64.to_string v
+  | EQUALS -> "="
+  | COMMA -> ","
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COLON -> ":"
+  | STAR -> "*"
+  | EOF -> "<eof>"

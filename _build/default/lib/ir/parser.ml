@@ -1,0 +1,592 @@
+(** Recursive-descent parser for the `.ll`-style textual IR.
+
+    Accepts both our canonical output (opaque [ptr]) and the clang-era syntax
+    that appears in the paper's figures: typed pointers ([i64*]), numeric
+    block labels, [dso_local]/[noundef]/[#N] attributes, and named struct
+    types ([%struct.S = type {...}]). *)
+
+open Ast
+
+exception Error of { line : int; message : string }
+
+let fail lx message = raise (Error { line = Lexer.line lx; message })
+
+let failf lx fmt = Fmt.kstr (fail lx) fmt
+
+type env = { lx : Lexer.t; mutable type_aliases : (string * Types.t) list }
+
+let expect env tok what =
+  let got = Lexer.next env.lx in
+  if got <> tok then failf env.lx "expected %s, got '%s'" what (Lexer.token_to_string got)
+
+let expect_word env w =
+  match Lexer.next env.lx with
+  | Lexer.WORD s when s = w -> ()
+  | got -> failf env.lx "expected '%s', got '%s'" w (Lexer.token_to_string got)
+
+(* Attribute words that carry no semantics in our subset. *)
+let skippable_word = function
+  | "dso_local" | "local_unnamed_addr" | "noundef" | "nonnull" | "nocapture" | "zeroext"
+  | "signext" | "nounwind" | "willreturn" ->
+    true
+  | w -> String.length w > 0 && w.[0] = '#'
+
+let rec skip_attrs env =
+  match Lexer.peek env.lx with
+  | Lexer.WORD w when skippable_word w ->
+    Lexer.advance env.lx;
+    skip_attrs env
+  | _ -> ()
+
+let int_type_of_word w =
+  if String.length w >= 2 && w.[0] = 'i' then
+    match int_of_string_opt (String.sub w 1 (String.length w - 1)) with
+    | Some n when n >= 1 && n <= 64 -> Some (Types.Int n)
+    | Some _ | None -> None
+  else None
+
+let rec parse_base_type env =
+  match Lexer.next env.lx with
+  | Lexer.WORD "ptr" -> Types.Ptr
+  | Lexer.WORD "void" -> Types.Void
+  | Lexer.WORD w -> (
+    match int_type_of_word w with
+    | Some t -> t
+    | None -> failf env.lx "unknown type '%s'" w)
+  | Lexer.LBRACKET ->
+    let n =
+      match Lexer.next env.lx with
+      | Lexer.INT v -> Int64.to_int v
+      | t -> failf env.lx "expected array length, got '%s'" (Lexer.token_to_string t)
+    in
+    expect_word env "x";
+    let elt = parse_type env in
+    expect env Lexer.RBRACKET "']'";
+    Types.Array (n, elt)
+  | Lexer.LBRACE ->
+    let rec fields acc =
+      let t = parse_type env in
+      match Lexer.next env.lx with
+      | Lexer.COMMA -> fields (t :: acc)
+      | Lexer.RBRACE -> List.rev (t :: acc)
+      | tok -> failf env.lx "expected ',' or '}' in struct type, got '%s'" (Lexer.token_to_string tok)
+    in
+    Types.Struct (fields [])
+  | Lexer.LOCAL name -> (
+    match List.assoc_opt name env.type_aliases with
+    | Some t -> t
+    | None -> failf env.lx "unknown named type '%%%s'" name)
+  | tok -> failf env.lx "expected a type, got '%s'" (Lexer.token_to_string tok)
+
+(* A base type followed by '*'s is a legacy typed pointer; we erase it to the
+   opaque [ptr]. *)
+and parse_type env =
+  let t = parse_base_type env in
+  let rec stars t =
+    match Lexer.peek env.lx with
+    | Lexer.STAR ->
+      Lexer.advance env.lx;
+      ignore t;
+      stars Types.Ptr
+    | _ -> t
+  in
+  stars t
+
+let parse_operand env (ty : Types.t) =
+  skip_attrs env;
+  match Lexer.next env.lx with
+  | Lexer.LOCAL v -> Var v
+  | Lexer.GLOBAL g -> Global g
+  | Lexer.INT v -> (
+    match ty with
+    | Types.Int w -> Const (CInt { width = w; value = Bits.mask w v })
+    | _ -> failf env.lx "integer literal used at non-integer type %s" (Types.to_string ty))
+  | Lexer.WORD "true" -> const_bool true
+  | Lexer.WORD "false" -> const_bool false
+  | Lexer.WORD "null" -> Const CNull
+  | Lexer.WORD "undef" -> Const (CUndef ty)
+  | Lexer.WORD "poison" -> Const (CPoison ty)
+  | tok -> failf env.lx "expected an operand, got '%s'" (Lexer.token_to_string tok)
+
+let parse_typed_operand env =
+  let ty = parse_type env in
+  let op = parse_operand env ty in
+  (ty, op)
+
+let binop_of_word = function
+  | "add" -> Some Add
+  | "sub" -> Some Sub
+  | "mul" -> Some Mul
+  | "udiv" -> Some UDiv
+  | "sdiv" -> Some SDiv
+  | "urem" -> Some URem
+  | "srem" -> Some SRem
+  | "shl" -> Some Shl
+  | "lshr" -> Some LShr
+  | "ashr" -> Some AShr
+  | "and" -> Some And
+  | "or" -> Some Or
+  | "xor" -> Some Xor
+  | _ -> None
+
+let icmp_pred_of_word = function
+  | "eq" -> Some Eq
+  | "ne" -> Some Ne
+  | "ugt" -> Some Ugt
+  | "uge" -> Some Uge
+  | "ult" -> Some Ult
+  | "ule" -> Some Ule
+  | "sgt" -> Some Sgt
+  | "sge" -> Some Sge
+  | "slt" -> Some Slt
+  | "sle" -> Some Sle
+  | _ -> None
+
+let cast_of_word = function
+  | "trunc" -> Some Trunc
+  | "zext" -> Some ZExt
+  | "sext" -> Some SExt
+  | "ptrtoint" -> Some PtrToInt
+  | "inttoptr" -> Some IntToPtr
+  | "bitcast" -> Some Bitcast
+  | _ -> None
+
+let parse_flags env op =
+  let nsw = ref false and nuw = ref false and exact = ref false in
+  let rec go () =
+    match Lexer.peek env.lx with
+    | Lexer.WORD "nsw" ->
+      Lexer.advance env.lx;
+      nsw := true;
+      go ()
+    | Lexer.WORD "nuw" ->
+      Lexer.advance env.lx;
+      nuw := true;
+      go ()
+    | Lexer.WORD "exact" ->
+      Lexer.advance env.lx;
+      exact := true;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  (match op with
+  | Add | Sub | Mul | Shl ->
+    if !exact then fail env.lx "'exact' is not valid on this opcode"
+  | UDiv | SDiv | LShr | AShr ->
+    if !nsw || !nuw then fail env.lx "'nsw'/'nuw' is not valid on this opcode"
+  | URem | SRem | And | Or | Xor ->
+    if !nsw || !nuw || !exact then fail env.lx "flags are not valid on this opcode");
+  { nsw = !nsw; nuw = !nuw; exact = !exact }
+
+let parse_align_suffix env ~default =
+  match Lexer.peek env.lx with
+  | Lexer.COMMA -> (
+    Lexer.advance env.lx;
+    expect_word env "align";
+    match Lexer.next env.lx with
+    | Lexer.INT v -> Int64.to_int v
+    | tok -> failf env.lx "expected alignment, got '%s'" (Lexer.token_to_string tok))
+  | _ -> default
+
+(* 'load T, ptr %p' and legacy 'load T, T* %p'. *)
+let parse_pointer_operand env =
+  let ty = parse_type env in
+  if not (Types.equal ty Types.Ptr) then fail env.lx "expected a pointer operand";
+  parse_operand env Types.Ptr
+
+let parse_instr_body env (word : string) : instr =
+  match binop_of_word word with
+  | Some op ->
+    let flags = parse_flags env op in
+    let ty = parse_type env in
+    if not (Types.is_integer ty) then fail env.lx "binary operators require an integer type";
+    let lhs = parse_operand env ty in
+    expect env Lexer.COMMA "','";
+    let rhs = parse_operand env ty in
+    Binop { op; flags; ty; lhs; rhs }
+  | None -> (
+    match cast_of_word word with
+    | Some op ->
+      let src_ty = parse_type env in
+      let value = parse_operand env src_ty in
+      expect_word env "to";
+      let dst_ty = parse_type env in
+      Cast { op; src_ty; value; dst_ty }
+    | None -> (
+      match word with
+      | "icmp" ->
+        let pred =
+          match Lexer.next env.lx with
+          | Lexer.WORD w -> (
+            match icmp_pred_of_word w with
+            | Some p -> p
+            | None -> failf env.lx "unknown icmp predicate '%s'" w)
+          | tok -> failf env.lx "expected icmp predicate, got '%s'" (Lexer.token_to_string tok)
+        in
+        let ty = parse_type env in
+        let lhs = parse_operand env ty in
+        expect env Lexer.COMMA "','";
+        let rhs = parse_operand env ty in
+        Icmp { pred; ty; lhs; rhs }
+      | "select" ->
+        let cond_ty = parse_type env in
+        if not (Types.equal cond_ty Types.i1) then fail env.lx "select condition must be i1";
+        let cond = parse_operand env Types.i1 in
+        expect env Lexer.COMMA "','";
+        let ty = parse_type env in
+        let if_true = parse_operand env ty in
+        expect env Lexer.COMMA "','";
+        let ty2 = parse_type env in
+        if not (Types.equal ty ty2) then fail env.lx "select arms have different types";
+        let if_false = parse_operand env ty in
+        Select { ty; cond; if_true; if_false }
+      | "alloca" ->
+        let ty = parse_type env in
+        let align = parse_align_suffix env ~default:(max 1 (Types.size_in_bytes ty)) in
+        Alloca { ty; align }
+      | "load" ->
+        let ty = parse_type env in
+        expect env Lexer.COMMA "','";
+        let ptr = parse_pointer_operand env in
+        let align = parse_align_suffix env ~default:(max 1 (Types.size_in_bytes ty)) in
+        Load { ty; ptr; align }
+      | "store" ->
+        let ty = parse_type env in
+        let value = parse_operand env ty in
+        expect env Lexer.COMMA "','";
+        let ptr = parse_pointer_operand env in
+        let align = parse_align_suffix env ~default:(max 1 (Types.size_in_bytes ty)) in
+        Store { ty; value; ptr; align }
+      | "getelementptr" ->
+        let inbounds =
+          match Lexer.peek env.lx with
+          | Lexer.WORD "inbounds" ->
+            Lexer.advance env.lx;
+            true
+          | _ -> false
+        in
+        let base_ty = parse_type env in
+        expect env Lexer.COMMA "','";
+        let ptr = parse_pointer_operand env in
+        let rec indices acc =
+          match Lexer.peek env.lx with
+          | Lexer.COMMA ->
+            Lexer.advance env.lx;
+            indices (parse_typed_operand env :: acc)
+          | _ -> List.rev acc
+        in
+        Gep { base_ty; ptr; indices = indices []; inbounds }
+      | "phi" ->
+        let ty = parse_type env in
+        let parse_incoming () =
+          expect env Lexer.LBRACKET "'['";
+          let op = parse_operand env ty in
+          expect env Lexer.COMMA "','";
+          let l =
+            match Lexer.next env.lx with
+            | Lexer.LOCAL l -> l
+            | tok -> failf env.lx "expected incoming label, got '%s'" (Lexer.token_to_string tok)
+          in
+          expect env Lexer.RBRACKET "']'";
+          (op, l)
+        in
+        let rec go acc =
+          match Lexer.peek env.lx with
+          | Lexer.COMMA ->
+            Lexer.advance env.lx;
+            go (parse_incoming () :: acc)
+          | _ -> List.rev acc
+        in
+        let first = parse_incoming () in
+        Phi { ty; incoming = go [ first ] }
+      | "call" ->
+        let ret_ty = parse_type env in
+        let callee =
+          match Lexer.next env.lx with
+          | Lexer.GLOBAL g -> g
+          | tok -> failf env.lx "expected callee, got '%s'" (Lexer.token_to_string tok)
+        in
+        expect env Lexer.LPAREN "'('";
+        let rec args acc =
+          match Lexer.peek env.lx with
+          | Lexer.RPAREN ->
+            Lexer.advance env.lx;
+            List.rev acc
+          | Lexer.COMMA ->
+            Lexer.advance env.lx;
+            args acc
+          | _ -> args (parse_typed_operand env :: acc)
+        in
+        let args = args [] in
+        skip_attrs env;
+        Call { ret_ty; callee; args }
+      | "freeze" ->
+        let ty = parse_type env in
+        let value = parse_operand env ty in
+        Freeze { ty; value }
+      | w -> failf env.lx "unknown instruction '%s'" w))
+
+let parse_terminator env (word : string) : terminator =
+  match word with
+  | "ret" -> (
+    match Lexer.peek env.lx with
+    | Lexer.WORD "void" ->
+      Lexer.advance env.lx;
+      Ret None
+    | _ ->
+      let ty = parse_type env in
+      let v = parse_operand env ty in
+      Ret (Some (ty, v)))
+  | "br" -> (
+    match Lexer.peek env.lx with
+    | Lexer.WORD "label" -> (
+      Lexer.advance env.lx;
+      match Lexer.next env.lx with
+      | Lexer.LOCAL l -> Br l
+      | tok -> failf env.lx "expected label, got '%s'" (Lexer.token_to_string tok))
+    | _ ->
+      let ty = parse_type env in
+      if not (Types.equal ty Types.i1) then fail env.lx "conditional branch requires i1";
+      let cond = parse_operand env Types.i1 in
+      let branch_target () =
+        expect env Lexer.COMMA "','";
+        expect_word env "label";
+        match Lexer.next env.lx with
+        | Lexer.LOCAL l -> l
+        | tok -> failf env.lx "expected label, got '%s'" (Lexer.token_to_string tok)
+      in
+      let if_true = branch_target () in
+      let if_false = branch_target () in
+      CondBr { cond; if_true; if_false })
+  | "switch" ->
+    let ty = parse_type env in
+    let value = parse_operand env ty in
+    expect env Lexer.COMMA "','";
+    expect_word env "label";
+    let default =
+      match Lexer.next env.lx with
+      | Lexer.LOCAL l -> l
+      | tok -> failf env.lx "expected label, got '%s'" (Lexer.token_to_string tok)
+    in
+    expect env Lexer.LBRACKET "'['";
+    let rec cases acc =
+      match Lexer.peek env.lx with
+      | Lexer.RBRACKET ->
+        Lexer.advance env.lx;
+        List.rev acc
+      | _ ->
+        let cty = parse_type env in
+        if not (Types.equal cty ty) then fail env.lx "switch case type mismatch";
+        let v =
+          match Lexer.next env.lx with
+          | Lexer.INT v -> Bits.mask (Types.width ty) v
+          | tok -> failf env.lx "expected case value, got '%s'" (Lexer.token_to_string tok)
+        in
+        expect env Lexer.COMMA "','";
+        expect_word env "label";
+        let l =
+          match Lexer.next env.lx with
+          | Lexer.LOCAL l -> l
+          | tok -> failf env.lx "expected label, got '%s'" (Lexer.token_to_string tok)
+        in
+        cases ((v, l) :: acc)
+    in
+    Switch { ty; value; default; cases = cases [] }
+  | "unreachable" -> Unreachable
+  | w -> failf env.lx "unknown terminator '%s'" w
+
+let is_terminator_word = function
+  | "ret" | "br" | "switch" | "unreachable" -> true
+  | _ -> false
+
+(* Blocks are introduced by 'name:' or a bare numeric label 'N:'. *)
+let parse_block_header env : label option =
+  match (Lexer.peek env.lx, Lexer.peek2 env.lx) with
+  | Lexer.WORD w, Lexer.COLON ->
+    Lexer.advance env.lx;
+    Lexer.advance env.lx;
+    Some w
+  | Lexer.INT v, Lexer.COLON ->
+    Lexer.advance env.lx;
+    Lexer.advance env.lx;
+    Some (Int64.to_string v)
+  | _ -> None
+
+let parse_blocks env : block list =
+  (* Entry-block label may be implicit, as clang emits.  We synthesize
+     "entry" when the function body starts directly with instructions. *)
+  let blocks = ref [] in
+  let finish label instrs term = blocks := { label; instrs = List.rev instrs; term } :: !blocks in
+  let rec block label instrs =
+    match Lexer.peek env.lx with
+    | Lexer.LOCAL name ->
+      Lexer.advance env.lx;
+      expect env Lexer.EQUALS "'='";
+      let word =
+        match Lexer.next env.lx with
+        | Lexer.WORD w -> w
+        | tok -> failf env.lx "expected an opcode, got '%s'" (Lexer.token_to_string tok)
+      in
+      let instr = parse_instr_body env word in
+      (match instr_result_type instr with
+      | None -> failf env.lx "instruction '%s' does not produce a result" word
+      | Some _ -> ());
+      block label ({ name = Some name; instr } :: instrs)
+    | Lexer.WORD w when is_terminator_word w ->
+      Lexer.advance env.lx;
+      let term = parse_terminator env w in
+      finish label instrs term;
+      next_block ()
+    | Lexer.WORD w when not (Lexer.peek2 env.lx = Lexer.COLON) ->
+      Lexer.advance env.lx;
+      let instr = parse_instr_body env w in
+      (* Unnamed instructions are only legal when used for effect. *)
+      (match instr with
+      | Call _ | Store _ -> ()
+      | _ -> fail env.lx "instruction result must be named");
+      block label ({ name = None; instr } :: instrs)
+    | _ -> failf env.lx "expected instruction or terminator, got '%s'" (Lexer.token_to_string (Lexer.peek env.lx))
+  and next_block () =
+    match parse_block_header env with
+    | Some l -> block l []
+    | None -> (
+      match Lexer.peek env.lx with
+      | Lexer.RBRACE ->
+        Lexer.advance env.lx;
+        List.rev !blocks
+      | tok -> failf env.lx "expected block label or '}', got '%s'" (Lexer.token_to_string tok))
+  in
+  match parse_block_header env with
+  | Some l -> block l []
+  | None -> block "entry" []
+
+let parse_define env : func =
+  skip_attrs env;
+  let ret_ty = parse_type env in
+  let fname =
+    match Lexer.next env.lx with
+    | Lexer.GLOBAL g -> g
+    | tok -> failf env.lx "expected function name, got '%s'" (Lexer.token_to_string tok)
+  in
+  expect env Lexer.LPAREN "'('";
+  let rec params acc i =
+    match Lexer.peek env.lx with
+    | Lexer.RPAREN ->
+      Lexer.advance env.lx;
+      List.rev acc
+    | Lexer.COMMA ->
+      Lexer.advance env.lx;
+      params acc i
+    | _ ->
+      let ty = parse_type env in
+      skip_attrs env;
+      let name =
+        match Lexer.peek env.lx with
+        | Lexer.LOCAL v ->
+          Lexer.advance env.lx;
+          v
+        | _ -> Int64.to_string (Int64.of_int i) (* clang-style unnamed %0, %1 ... *)
+      in
+      params ((ty, name) :: acc) (i + 1)
+  in
+  let params = params [] 0 in
+  skip_attrs env;
+  expect env Lexer.LBRACE "'{'";
+  let blocks = parse_blocks env in
+  { fname; ret_ty; params; blocks }
+
+let parse_module_tokens env : modul =
+  let globals = ref [] and decls = ref [] and funcs = ref [] in
+  let rec go () =
+    match Lexer.peek env.lx with
+    | Lexer.EOF -> ()
+    | Lexer.WORD "define" ->
+      Lexer.advance env.lx;
+      funcs := parse_define env :: !funcs;
+      go ()
+    | Lexer.WORD "declare" ->
+      Lexer.advance env.lx;
+      let pure =
+        match Lexer.peek env.lx with
+        | Lexer.WORD "readnone" ->
+          Lexer.advance env.lx;
+          true
+        | _ -> false
+      in
+      skip_attrs env;
+      let dret_ty = parse_type env in
+      let dname =
+        match Lexer.next env.lx with
+        | Lexer.GLOBAL g -> g
+        | tok -> failf env.lx "expected function name, got '%s'" (Lexer.token_to_string tok)
+      in
+      expect env Lexer.LPAREN "'('";
+      let rec ptypes acc =
+        match Lexer.peek env.lx with
+        | Lexer.RPAREN ->
+          Lexer.advance env.lx;
+          List.rev acc
+        | Lexer.COMMA ->
+          Lexer.advance env.lx;
+          ptypes acc
+        | _ ->
+          let t = parse_type env in
+          skip_attrs env;
+          ptypes (t :: acc)
+      in
+      let dparams = ptypes [] in
+      decls := { dname; dret_ty; dparams; pure } :: !decls;
+      go ()
+    | Lexer.GLOBAL g -> (
+      Lexer.advance env.lx;
+      expect env Lexer.EQUALS "'='";
+      skip_attrs env;
+      match Lexer.next env.lx with
+      | Lexer.WORD "global" | Lexer.WORD "constant" ->
+        let gty = parse_type env in
+        let init =
+          match Lexer.next env.lx with
+          | Lexer.INT v -> v
+          | Lexer.WORD "zeroinitializer" -> 0L
+          | tok -> failf env.lx "expected initializer, got '%s'" (Lexer.token_to_string tok)
+        in
+        let _ = parse_align_suffix env ~default:1 in
+        globals := { gname = g; gty; init } :: !globals;
+        go ()
+      | tok -> failf env.lx "expected 'global', got '%s'" (Lexer.token_to_string tok))
+    | Lexer.LOCAL name -> (
+      (* named type: %struct.S = type { ... } *)
+      Lexer.advance env.lx;
+      expect env Lexer.EQUALS "'='";
+      match Lexer.next env.lx with
+      | Lexer.WORD "type" ->
+        let t = parse_type env in
+        env.type_aliases <- (name, t) :: env.type_aliases;
+        go ()
+      | tok -> failf env.lx "expected 'type', got '%s'" (Lexer.token_to_string tok))
+    | tok -> failf env.lx "expected top-level entity, got '%s'" (Lexer.token_to_string tok)
+  in
+  go ();
+  { globals = List.rev !globals; decls = List.rev !decls; funcs = List.rev !funcs }
+
+let wrap_lexer_error f =
+  try f () with Lexer.Error { line; message } -> raise (Error { line; message })
+
+let parse_module src =
+  wrap_lexer_error (fun () -> parse_module_tokens { lx = Lexer.create src; type_aliases = [] })
+
+(** Parse a single function definition (the training/eval unit). *)
+let parse_func src =
+  let m = parse_module src in
+  match m.funcs with
+  | [ f ] -> f
+  | [] -> raise (Error { line = 1; message = "no function definition found" })
+  | _ -> raise (Error { line = 1; message = "expected exactly one function definition" })
+
+(** Human-readable verdict for a parse attempt; used by the Alive-style
+    verdict layer to classify model output as a syntax error. *)
+let parse_func_result src : (func, string) result =
+  match parse_func src with
+  | f -> Ok f
+  | exception Error { line; message } -> Result.Error (Fmt.str "line %d: %s" line message)

@@ -1,0 +1,19 @@
+(** Recursive-descent parser for the `.ll`-style textual IR.
+
+    Accepts both this library's canonical output (opaque [ptr]) and
+    clang-era syntax: typed pointers ([i64*]), numeric block labels,
+    [dso_local]/[noundef]/[#N] attributes, and named struct types. *)
+
+exception Error of { line : int; message : string }
+
+val parse_module : string -> Ast.modul
+(** Parse a whole module.  @raise Error on malformed input. *)
+
+val parse_func : string -> Ast.func
+(** Parse text containing exactly one function definition.
+    @raise Error otherwise. *)
+
+val parse_func_result : string -> (Ast.func, string) result
+(** Like {!parse_func} but reporting the failure as a message with its line
+    number — the form the verdict layer turns into a syntax-error
+    diagnostic. *)

@@ -1,0 +1,65 @@
+(** First-class types of the IR subset.
+
+    We model the integer, pointer and simple aggregate types that LLVM's
+    [-instcombine] pass actually rewrites.  Vector and floating-point types
+    are out of scope (the paper's examples are all scalar integer code). *)
+
+type t =
+  | Int of int  (** [Int w] is LLVM's [iw]; invariant [1 <= w <= 64]. *)
+  | Ptr  (** An opaque pointer, as in modern LLVM IR. *)
+  | Void
+  | Array of int * t
+  | Struct of t list
+
+let i1 = Int 1
+let i8 = Int 8
+let i16 = Int 16
+let i32 = Int 32
+let i64 = Int 64
+
+let is_integer = function Int _ -> true | Ptr | Void | Array _ | Struct _ -> false
+
+let is_first_class = function
+  | Int _ | Ptr -> true
+  | Void | Array _ | Struct _ -> false
+
+let width = function
+  | Int w -> w
+  | Ptr | Void | Array _ | Struct _ -> invalid_arg "Types.width: not an integer type"
+
+(** Size of a stored value in bytes, using a simple AArch64-like layout:
+    integers round up to whole bytes, pointers are 8 bytes, aggregates are
+    packed with natural alignment padding elided (sufficient for a cost and
+    memory model that only ever addresses constant offsets). *)
+let rec size_in_bytes = function
+  | Int w -> (w + 7) / 8
+  | Ptr -> 8
+  | Void -> 0
+  | Array (n, t) -> n * size_in_bytes t
+  | Struct ts -> List.fold_left (fun acc t -> acc + size_in_bytes t) 0 ts
+
+(** Byte offset of field [i] of a struct. *)
+let struct_field_offset ts i =
+  let rec go acc k = function
+    | [] -> invalid_arg "Types.struct_field_offset: index out of range"
+    | t :: rest -> if k = i then acc else go (acc + size_in_bytes t) (k + 1) rest
+  in
+  go 0 0 ts
+
+let rec equal a b =
+  match a, b with
+  | Int w1, Int w2 -> w1 = w2
+  | Ptr, Ptr | Void, Void -> true
+  | Array (n1, t1), Array (n2, t2) -> n1 = n2 && equal t1 t2
+  | Struct ts1, Struct ts2 ->
+    List.length ts1 = List.length ts2 && List.for_all2 equal ts1 ts2
+  | (Int _ | Ptr | Void | Array _ | Struct _), _ -> false
+
+let rec pp ppf = function
+  | Int w -> Fmt.pf ppf "i%d" w
+  | Ptr -> Fmt.string ppf "ptr"
+  | Void -> Fmt.string ppf "void"
+  | Array (n, t) -> Fmt.pf ppf "[%d x %a]" n pp t
+  | Struct ts -> Fmt.pf ppf "{ %a }" Fmt.(list ~sep:(any ", ") pp) ts
+
+let to_string t = Fmt.str "%a" pp t

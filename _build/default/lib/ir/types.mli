@@ -1,0 +1,28 @@
+(** First-class types of the IR subset: integers [i1..i64], opaque pointers,
+    void, and simple aggregates for allocas/geps. *)
+
+type t =
+  | Int of int  (** [Int w] is LLVM's [iw]; invariant [1 <= w <= 64]. *)
+  | Ptr
+  | Void
+  | Array of int * t
+  | Struct of t list
+
+val i1 : t
+val i8 : t
+val i16 : t
+val i32 : t
+val i64 : t
+
+val is_integer : t -> bool
+val is_first_class : t -> bool
+
+val width : t -> int
+(** @raise Invalid_argument on non-integer types. *)
+
+val size_in_bytes : t -> int
+val struct_field_offset : t list -> int -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/llm/actions.ml: Array Ast Bits Builder Fmt Int64 List Random String Types Veriopt_ir Veriopt_nlp Veriopt_passes

@@ -1,0 +1,1 @@
+lib/llm/actions.mli: Ast Random Veriopt_ir

@@ -1,0 +1,1 @@
+lib/llm/capability.ml: Float Hashtbl List Model Veriopt_passes

@@ -1,0 +1,1 @@
+lib/llm/capability.mli: Model

@@ -1,0 +1,1 @@
+lib/llm/diag.ml: Actions String

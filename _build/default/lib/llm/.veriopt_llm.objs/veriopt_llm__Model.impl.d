@@ -1,0 +1,1 @@
+lib/llm/model.ml: Actions Array Diag Fmt Hashtbl List Option Printer Prompt Random Veriopt_cost Veriopt_ir Veriopt_passes

@@ -1,0 +1,1 @@
+lib/llm/model.mli: Actions Diag Hashtbl Prompt Random Veriopt_ir

@@ -1,0 +1,1 @@
+lib/llm/prompt.ml: Buffer String

@@ -1,0 +1,403 @@
+(** The generation space of the surrogate model.
+
+    A candidate output is produced by a sequence of actions over the input
+    function: sound rewrites (the instcombine rule catalog plus the
+    mem2reg / simplifycfg passes), unsound "hallucination" edits, or syntax
+    corruptions; terminated by [Stop] or short-circuited by [Copy_input].
+    This gives the policy exactly the failure modes the paper's Tables I/II
+    categorize — invalid IR, semantically wrong IR, trivial copies, and
+    genuinely optimized code — with a differentiable probability for each.
+
+    What the surrogate abstracts away is token-by-token text generation;
+    what it preserves is the RL problem: a stochastic generator over
+    programs whose reward comes only from the verifier. *)
+
+open Veriopt_ir
+open Ast
+module Rewrite = Veriopt_passes.Rewrite
+module Instcombine = Veriopt_passes.Instcombine
+module Fold = Veriopt_passes.Fold
+
+type corruption =
+  | Undefined_value_ref (* reference to a %var that doesn't exist *)
+  | Type_mismatch (* inconsistent type annotation *)
+  | Missing_terminator (* a block loses its terminator *)
+  | Truncated_output (* the text stops mid-function *)
+  | Garbage_token (* a nonsense token in the middle *)
+
+let corruption_name = function
+  | Undefined_value_ref -> "undefined-value"
+  | Type_mismatch -> "type-mismatch"
+  | Missing_terminator -> "missing-terminator"
+  | Truncated_output -> "truncated-output"
+  | Garbage_token -> "garbage-token"
+
+let all_corruptions =
+  [ Undefined_value_ref; Type_mismatch; Missing_terminator; Truncated_output; Garbage_token ]
+
+type unsound_edit =
+  | Wrong_constant (* off-by-one in a constant *)
+  | Flip_operands (* swap operands of a non-commutative op *)
+  | Predicate_flip (* slt -> sle, eq -> ne, ... *)
+  | Drop_store (* delete a store *)
+  | Bogus_flag (* add an unjustified nsw *)
+  | Width_confusion (* sext -> zext *)
+  | Stale_forward (* replace a load with an unrelated stored value *)
+
+let unsound_name = function
+  | Wrong_constant -> "wrong-constant"
+  | Flip_operands -> "flip-operands"
+  | Predicate_flip -> "predicate-flip"
+  | Drop_store -> "drop-store"
+  | Bogus_flag -> "bogus-flag"
+  | Width_confusion -> "width-confusion"
+  | Stale_forward -> "stale-forward"
+
+type pass_action = Mem2reg | Simplifycfg | Forward_loads | Dead_stores
+
+let pass_name = function
+  | Mem2reg -> "mem2reg"
+  | Simplifycfg -> "simplifycfg"
+  | Forward_loads -> "forward-loads"
+  | Dead_stores -> "dead-stores"
+
+type action =
+  | Apply_rule of string * var (* rule name, site *)
+  | Apply_pass of pass_action
+  | Unsound of unsound_edit * int (* deterministic site index *)
+  | Corrupt of corruption
+  | Copy_input
+  | Stop
+
+let action_to_string = function
+  | Apply_rule (r, s) -> Fmt.str "rule:%s@%s" r s
+  | Apply_pass p -> Fmt.str "pass:%s" (pass_name p)
+  | Unsound (k, i) -> Fmt.str "unsound:%s@%d" (unsound_name k) i
+  | Corrupt c -> Fmt.str "corrupt:%s" (corruption_name c)
+  | Copy_input -> "copy"
+  | Stop -> "stop"
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration of available actions *)
+
+let enumerate_rule_sites (modul : modul) (f : func) : (string * var) list =
+  let ctx = Rewrite.make_ctx modul f in
+  List.concat_map
+    (fun b ->
+      List.concat_map
+        (fun ni ->
+          match ni.name with
+          | None -> []
+          | Some site ->
+            let folds =
+              match Fold.fold_instr ni.instr with Some _ -> [ ("constant-fold", site) ] | None -> []
+            in
+            folds
+            @ List.filter_map
+                (fun (r : Rewrite.rule) ->
+                  if not r.Rewrite.sound then None
+                  else
+                    match r.Rewrite.apply ctx ni with
+                    | Some _ -> Some (r.Rewrite.rule_name, site)
+                    | None -> None)
+                Instcombine.all_rules)
+        b.instrs)
+    f.blocks
+
+let pass_applicable (modul : modul) (f : func) (p : pass_action) : bool =
+  ignore modul;
+  match p with
+  | Mem2reg -> Veriopt_passes.Mem2reg.promotable_allocas f <> []
+  | Simplifycfg -> snd (Veriopt_passes.Simplifycfg.run f) <> []
+  | Forward_loads -> snd (Veriopt_passes.Rules_mem.forward_loads f) <> []
+  | Dead_stores -> snd (Veriopt_passes.Rules_mem.eliminate_dead_stores f) <> []
+
+(* Sites for unsound edits, deterministically indexed. *)
+let unsound_sites (f : func) (k : unsound_edit) : int =
+  let count p =
+    List.fold_left
+      (fun acc b -> List.fold_left (fun acc ni -> if p ni then acc + 1 else acc) acc b.instrs)
+      0 f.blocks
+  in
+  match k with
+  | Wrong_constant ->
+    count (fun ni ->
+        List.exists (function Const (CInt _) -> true | _ -> false) (operands_of_instr ni.instr))
+  | Flip_operands ->
+    count (fun ni ->
+        match ni.instr with
+        | Binop { op; _ } -> not (binop_is_commutative op)
+        | _ -> false)
+  | Predicate_flip -> count (fun ni -> match ni.instr with Icmp _ -> true | _ -> false)
+  | Drop_store -> count (fun ni -> match ni.instr with Store _ -> true | _ -> false)
+  | Bogus_flag ->
+    count (fun ni ->
+        match ni.instr with
+        | Binop { op = Add | Sub | Mul | Shl; flags; _ } -> not flags.nsw
+        | _ -> false)
+  | Width_confusion -> count (fun ni -> match ni.instr with Cast { op = SExt; _ } -> true | _ -> false)
+  | Stale_forward -> count (fun ni -> match ni.instr with Load _ -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Action application *)
+
+(* Apply a mutation to the [idx]-th instruction satisfying [p]. *)
+let mutate_nth (f : func) (p : named_instr -> bool) (idx : int) (g : named_instr -> named_instr option) : func
+    =
+  let seen = ref (-1) in
+  Veriopt_ir.Builder.map_blocks f (fun b ->
+      {
+        b with
+        instrs =
+          List.filter_map
+            (fun ni ->
+              if p ni then begin
+                incr seen;
+                if !seen = idx then g ni else Some ni
+              end
+              else Some ni)
+            b.instrs;
+      })
+
+let bump_constant (delta : int64) = function
+  | Const (CInt { width; value }) -> Const (CInt { width; value = Bits.mask width (Int64.add value delta) })
+  | op -> op
+
+let apply_unsound (f : func) (k : unsound_edit) (idx : int) : func =
+  match k with
+  | Wrong_constant ->
+    mutate_nth f
+      (fun ni ->
+        List.exists (function Const (CInt _) -> true | _ -> false) (operands_of_instr ni.instr))
+      idx
+      (fun ni ->
+        let first = ref true in
+        let fix op =
+          match op with
+          | Const (CInt _) when !first ->
+            first := false;
+            bump_constant 1L op
+          | _ -> op
+        in
+        Some { ni with instr = map_instr_operands fix ni.instr })
+  | Flip_operands ->
+    mutate_nth f
+      (fun ni ->
+        match ni.instr with
+        | Binop { op; _ } -> not (binop_is_commutative op)
+        | _ -> false)
+      idx
+      (fun ni ->
+        match ni.instr with
+        | Binop b -> Some { ni with instr = Binop { b with lhs = b.rhs; rhs = b.lhs } }
+        | _ -> Some ni)
+  | Predicate_flip ->
+    mutate_nth f
+      (fun ni -> match ni.instr with Icmp _ -> true | _ -> false)
+      idx
+      (fun ni ->
+        match ni.instr with
+        | Icmp i ->
+          let flipped =
+            match i.pred with
+            | Slt -> Sle
+            | Sle -> Slt
+            | Sgt -> Sge
+            | Sge -> Sgt
+            | Ult -> Ule
+            | Ule -> Ult
+            | Ugt -> Uge
+            | Uge -> Ugt
+            | Eq -> Ne
+            | Ne -> Eq
+          in
+          Some { ni with instr = Icmp { i with pred = flipped } }
+        | _ -> Some ni)
+  | Drop_store ->
+    mutate_nth f (fun ni -> match ni.instr with Store _ -> true | _ -> false) idx (fun _ -> None)
+  | Bogus_flag ->
+    mutate_nth f
+      (fun ni ->
+        match ni.instr with
+        | Binop { op = Add | Sub | Mul | Shl; flags; _ } -> not flags.nsw
+        | _ -> false)
+      idx
+      (fun ni ->
+        match ni.instr with
+        | Binop b -> Some { ni with instr = Binop { b with flags = { b.flags with nsw = true } } }
+        | _ -> Some ni)
+  | Width_confusion ->
+    mutate_nth f
+      (fun ni -> match ni.instr with Cast { op = SExt; _ } -> true | _ -> false)
+      idx
+      (fun ni ->
+        match ni.instr with
+        | Cast c -> Some { ni with instr = Cast { c with op = ZExt } }
+        | _ -> Some ni)
+  | Stale_forward -> (
+    (* replace the idx-th load's result with the value of the first store in
+       the function, regardless of aliasing: a plausible-looking but wrong
+       forwarding *)
+    let stored =
+      List.find_map
+        (fun b ->
+          List.find_map
+            (fun ni -> match ni.instr with Store { value; _ } -> Some value | _ -> None)
+            b.instrs)
+        f.blocks
+    in
+    match stored with
+    | None -> f
+    | Some value ->
+      let target = ref None in
+      let seen = ref (-1) in
+      List.iter
+        (fun b ->
+          List.iter
+            (fun ni ->
+              match (ni.name, ni.instr) with
+              | Some n, Load { ty; _ } ->
+                incr seen;
+                if !seen = idx then target := Some (n, ty)
+              | _ -> ())
+            b.instrs)
+        f.blocks;
+      match !target with
+      | Some (n, Types.Int w) -> (
+        (* only forward when widths agree, to stay parseable *)
+        match value with
+        | Const (CInt { width; _ }) when width <> w -> f
+        | _ ->
+          let f = Builder.substitute_operand f ~from:n ~to_:value in
+          Builder.replace_instr f ~name:n ~with_:[]
+      )
+      | _ -> f)
+
+(* Sound actions run DCE afterwards, mirroring the instcombine driver: the
+   model "writes" code with the dead remnants already cleaned up.  Unsound
+   edits deliberately do not. *)
+let dce f = fst (Veriopt_passes.Dce.run f)
+
+let apply_pass (modul : modul) (f : func) (p : pass_action) : func =
+  ignore modul;
+  dce
+    (match p with
+    (* a small model only manages partial promotion in one shot *)
+    | Mem2reg -> fst (Veriopt_passes.Mem2reg.run ~limit:2 f)
+    | Simplifycfg -> fst (Veriopt_passes.Simplifycfg.run f)
+    | Forward_loads -> fst (Veriopt_passes.Rules_mem.forward_loads f)
+    | Dead_stores -> fst (Veriopt_passes.Rules_mem.eliminate_dead_stores f))
+
+let apply_rule_raw (modul : modul) (f : func) (rule_name : string) (site : var) : func =
+  if rule_name = "constant-fold" then begin
+    let target =
+      List.find_map
+        (fun b -> List.find_map (fun ni -> if ni.name = Some site then Some ni else None) b.instrs)
+        f.blocks
+    in
+    match target with
+    | Some ni -> (
+      match Fold.fold_instr ni.instr with
+      | Some op -> Instcombine.apply_rewrite f site (Rewrite.Value op)
+      | None -> f)
+    | None -> f
+  end
+  else
+    match Instcombine.find_rule rule_name with
+    | None -> f
+    | Some r -> (
+      let ctx = Rewrite.make_ctx modul f in
+      let target =
+        List.find_map
+          (fun b -> List.find_map (fun ni -> if ni.name = Some site then Some ni else None) b.instrs)
+          f.blocks
+      in
+      match target with
+      | Some ni -> (
+        match r.Rewrite.apply ctx ni with
+        | Some rw -> Instcombine.apply_rewrite f site rw
+        | None -> f)
+      | None -> f)
+
+let apply_rule (modul : modul) (f : func) (rule_name : string) (site : var) : func =
+  dce (apply_rule_raw modul f rule_name site)
+
+(* ------------------------------------------------------------------ *)
+(* Text corruptions, applied at render time *)
+
+(* Apply [f] to the first line at-or-after a random start position that it
+   actually changes, wrapping around; falls back to appending garbage when no
+   line is corruptible, so a corruption always corrupts. *)
+let corrupt_some_line (rng : Random.State.t) (lines : string list) (f : string -> string option) :
+    string =
+  let arr = Array.of_list lines in
+  let n = Array.length arr in
+  let start = if n <= 1 then 0 else Random.State.int rng n in
+  let rec go k =
+    if k >= n then None
+    else
+      let i = (start + k) mod n in
+      match f arr.(i) with
+      | Some l' ->
+        arr.(i) <- l';
+        Some ()
+      | None -> go (k + 1)
+  in
+  (match go 0 with
+  | Some () -> ()
+  | None -> if n > 0 then arr.(n - 1) <- arr.(n - 1) ^ " ??");
+  String.concat "\n" (Array.to_list arr)
+
+let corrupt_text (rng : Random.State.t) (c : corruption) (text : string) : string =
+  let lines = String.split_on_char '\n' text in
+  match c with
+  | Undefined_value_ref ->
+    (* rename the first operand use on an instruction line *)
+    corrupt_some_line rng lines (fun l ->
+        match String.index_opt l '=' with
+        | Some eq -> (
+          match String.index_from_opt l eq '%' with
+          | Some p ->
+            let rec skip j =
+              if j < String.length l && Veriopt_nlp.Tokenizer.is_word_char l.[j] then skip (j + 1)
+              else j
+            in
+            let e = skip (p + 1) in
+            Some (String.sub l 0 p ^ "%undef_val" ^ String.sub l e (String.length l - e))
+          | None -> None)
+        | None -> None)
+  | Type_mismatch ->
+    (* swap one iN annotation for a different width *)
+    corrupt_some_line rng lines (fun l ->
+        let swap_at sub rep =
+          let n = String.length l and m = String.length sub in
+          let rec go i =
+            if i + m > n then None
+            else if String.sub l i m = sub then
+              Some (String.sub l 0 i ^ rep ^ String.sub l (i + m) (n - i - m))
+            else go (i + 1)
+          in
+          go 0
+        in
+        match swap_at " i32 " " i64 " with
+        | Some l' -> Some l'
+        | None -> (
+          match swap_at " i64 " " i32 " with
+          | Some l' -> Some l'
+          | None -> (
+            match swap_at " i16 " " i64 " with
+            | Some l' -> Some l'
+            | None -> swap_at " i8 " " i64 ")))
+  | Missing_terminator ->
+    String.concat "\n"
+      (List.filter
+         (fun l ->
+           let t = String.trim l in
+           not
+             (String.length t >= 3
+             && (String.sub t 0 3 = "ret" || (String.length t >= 2 && String.sub t 0 2 = "br"))))
+         lines)
+  | Truncated_output -> String.sub text 0 (String.length text / 2)
+  | Garbage_token ->
+    corrupt_some_line rng lines (fun l ->
+        if String.trim l = "" || String.trim l = "}" then None else Some (l ^ " ??"))

@@ -1,0 +1,56 @@
+(** The generation space of the surrogate model: sound rewrites, unsound
+    "hallucination" edits, syntax corruptions, copy, stop.  These are the
+    moves whose composition spans the paper's verdict categories. *)
+
+open Veriopt_ir
+
+type corruption =
+  | Undefined_value_ref
+  | Type_mismatch
+  | Missing_terminator
+  | Truncated_output
+  | Garbage_token
+
+val corruption_name : corruption -> string
+val all_corruptions : corruption list
+
+type unsound_edit =
+  | Wrong_constant
+  | Flip_operands
+  | Predicate_flip
+  | Drop_store
+  | Bogus_flag
+  | Width_confusion
+  | Stale_forward
+
+val unsound_name : unsound_edit -> string
+
+type pass_action = Mem2reg | Simplifycfg | Forward_loads | Dead_stores
+
+val pass_name : pass_action -> string
+
+type action =
+  | Apply_rule of string * Ast.var
+  | Apply_pass of pass_action
+  | Unsound of unsound_edit * int
+  | Corrupt of corruption
+  | Copy_input
+  | Stop
+
+val action_to_string : action -> string
+
+(** {1 Enumeration} *)
+
+val enumerate_rule_sites : Ast.modul -> Ast.func -> (string * Ast.var) list
+val pass_applicable : Ast.modul -> Ast.func -> pass_action -> bool
+val unsound_sites : Ast.func -> unsound_edit -> int
+
+(** {1 Application} *)
+
+val apply_unsound : Ast.func -> unsound_edit -> int -> Ast.func
+val apply_pass : Ast.modul -> Ast.func -> pass_action -> Ast.func
+val apply_rule : Ast.modul -> Ast.func -> string -> Ast.var -> Ast.func
+(** Sound actions run DCE afterwards, mirroring the instcombine driver. *)
+
+val corrupt_text : Random.State.t -> corruption -> string -> string
+(** Render-time corruption of the output text; always changes it. *)

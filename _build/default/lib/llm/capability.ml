@@ -1,0 +1,90 @@
+(** Capability profiles: parameter-count surrogates.
+
+    [init kappa] sets a policy's competence prior — which rules it "knows",
+    how often it hallucinates, how well it follows the output format — as a
+    single scalar in (0, 1].  Rules outside the model's capacity are
+    {e frozen}: no amount of fine-tuning teaches them (the paper attributes
+    its Fig. 11/12 misses to "too few model parameters to fully represent
+    InstCombine").  The mapping is calibrated so that kappa = 0.5 ("3B")
+    reproduces the Table I mix of copies / syntax errors / semantic errors
+    before any fine-tuning, and the 0.5B..32B family reproduces the
+    qualitative ordering of the paper's Fig. 5 baselines. *)
+
+(* A stable pseudo-uniform in [0,1) per string. *)
+let frac (s : string) = float_of_int (Hashtbl.hash (s, "cap") land 0xffff) /. 65536.
+
+let known_rule kappa name = frac name < 0.72 +. (0.5 *. kappa)
+
+(* Emergent pass-level behaviour is within reach of all but the smallest
+   models, but far from their priors. *)
+let known_pass kappa name = frac ("pass!" ^ name) < 0.1 +. kappa
+
+let init ?(name = "model") (kappa : float) : Model.t =
+  let halluc_rate = Float.max 0.004 (0.040 -. (0.030 *. kappa)) in
+  let pass_size_limit = int_of_float (8. +. (16. *. kappa)) in
+  let t = Model.create ~noise_scale:2.6 ~temperature:1.0 ~halluc_rate ~pass_size_limit name in
+  (* action-kind priors *)
+  Model.set t "act:copy" (4.3 -. (2.4 *. kappa));
+  Model.set t "act:stop" 0.9;
+  Model.set t "act:rule" (-0.2 +. (2.4 *. kappa));
+  Model.set t "act:pass" (-4.0 +. (2.0 *. kappa));
+  Model.set t "act:unsound" (1.65 -. (2.2 *. kappa));
+  Model.set t "act:corrupt" (1.9 -. (3.2 *. kappa));
+  Model.set t "format:ok" (1.2 +. (3.2 *. kappa));
+  Model.set t "format:bad" 0.0;
+  (* rule knowledge; unknown rules are frozen out of reach *)
+  List.iter
+    (fun r ->
+      let key = "rule:" ^ r in
+      if known_rule kappa r then Model.set t key 0.0
+      else begin
+        Model.set t key (-6.0);
+        Model.freeze t key
+      end)
+    ("constant-fold" :: Veriopt_passes.Instcombine.rule_names);
+  (* block-local memory cleanup is core instcombine behaviour, within any
+     model's reach; only the global, emergent passes are capacity-gated *)
+  List.iter (fun p -> Model.set t ("pass:" ^ p) 0.0) [ "forward-loads"; "dead-stores" ];
+  List.iter
+    (fun p ->
+      let key = "pass:" ^ p in
+      if known_pass kappa p then Model.set t key 0.0
+      else begin
+        Model.set t key (-6.0);
+        Model.freeze t key
+      end)
+    [ "mem2reg"; "simplifycfg" ];
+  t
+
+(** The model zoo of the paper's Fig. 5, in parameter-size order, with the
+    kappa each size maps to. *)
+let zoo : (string * float) list =
+  [
+    ("Qwen-0.5B", 0.35);
+    ("Qwen-3B", 0.5);
+    ("LLM-Compiler-7B", 0.62);
+    ("Qwen-7B", 0.62);
+    ("Llama-8B", 0.65);
+    ("Qwen-32B", 0.8);
+  ]
+
+let base_3b () = init ~name:"Qwen-3B" 0.5
+
+(** LLM-Compiler: trained for compiler emulation — near-perfect format
+    compliance and few outright syntax errors (95.6% of its outputs compile
+    in the paper), but it mimics pass pipelines rather than verified
+    peephole rewriting, so semantic drift is common and exact matches are
+    rare (20%). *)
+let llm_compiler_7b () =
+  let t = init ~name:"LLM-Compiler-7B" 0.62 in
+  Model.set t "format:ok" 5.5;
+  Model.set t "act:copy" 0.8;
+  Model.set t "act:corrupt" (-1.6);
+  Model.set t "act:rule" 1.2;
+  Model.set t "act:unsound" 0.2;
+  t
+
+let of_zoo (name : string) : Model.t =
+  match name with
+  | "LLM-Compiler-7B" -> llm_compiler_7b ()
+  | _ -> init ~name (List.assoc name zoo)

@@ -1,0 +1,25 @@
+(** Capability profiles: parameter-count surrogates.
+
+    A single scalar kappa in (0, 1] sets a policy's competence prior — rule
+    knowledge (with out-of-capacity rules frozen), hallucination floor,
+    format discipline, and the size limit on whole-function transforms.
+    kappa = 0.5 is calibrated to reproduce the paper's Table I base-model
+    distribution; the zoo maps the Fig. 5 baseline family. *)
+
+val frac : string -> float
+val known_rule : float -> string -> bool
+val known_pass : float -> string -> bool
+
+val init : ?name:string -> float -> Model.t
+
+val zoo : (string * float) list
+(** The Fig. 5 models in parameter-size order, with their kappa. *)
+
+val base_3b : unit -> Model.t
+(** The pretrained Qwen2.5-3B-Instruct surrogate (kappa = 0.5). *)
+
+val llm_compiler_7b : unit -> Model.t
+(** Compiler-emulation pretraining: near-perfect format compliance, frequent
+    semantic drift, rare exact matches. *)
+
+val of_zoo : string -> Model.t

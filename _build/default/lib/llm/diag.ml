@@ -1,0 +1,84 @@
+(** The self-diagnosis head: the model's emulation of Alive2 feedback.
+
+    During correction-augmented training the model must (i) judge whether
+    its own first attempt is OK or ERR, and (ii) when ERR, produce a
+    diagnostic message whose similarity to Alive2's real message is scored
+    by BLEU (the paper's Eq. 2).  The head is a learnable table from
+    "what kind of risky action did I just take" to a claimed verdict. *)
+
+(* Error classes aligned with the verdict layer's diagnostics. *)
+type error_class =
+  | C_ok
+  | C_syntax
+  | C_value_mismatch
+  | C_more_poisonous
+  | C_trace
+  | C_memory
+  | C_other
+
+let all_classes =
+  [ C_ok; C_syntax; C_value_mismatch; C_more_poisonous; C_trace; C_memory; C_other ]
+
+let class_name = function
+  | C_ok -> "ok"
+  | C_syntax -> "syntax"
+  | C_value_mismatch -> "value-mismatch"
+  | C_more_poisonous -> "more-poisonous"
+  | C_trace -> "trace"
+  | C_memory -> "memory"
+  | C_other -> "other"
+
+(** The message the model emits for a claimed class; phrased like the
+    verifier's diagnostics so that a correct claim earns high BLEU. *)
+let message_of_class = function
+  | C_ok -> "Transformation seems to be correct!"
+  | C_syntax -> "ERROR: invalid IR"
+  | C_value_mismatch -> "ERROR: Value mismatch\nExample:\nSource value and target value differ"
+  | C_more_poisonous -> "ERROR: Target is more poisonous than source"
+  | C_trace -> "ERROR: Mismatch in observable function calls"
+  | C_memory -> "ERROR: Mismatch in stored memory"
+  | C_other -> "ERROR: Target does not refine source"
+
+(** What the model can observe about its own attempt: the riskiest thing it
+    did.  This is the conditioning context of the diagnosis head. *)
+type self_evidence =
+  | Saw_corruption of Actions.corruption
+  | Saw_unsound of Actions.unsound_edit
+  | Saw_only_sound
+
+let evidence_name = function
+  | Saw_corruption c -> "corrupt:" ^ Actions.corruption_name c
+  | Saw_unsound k -> "unsound:" ^ Actions.unsound_name k
+  | Saw_only_sound -> "sound"
+
+(** The objectively right claim for each kind of risky action — what a
+    perfectly calibrated diagnosis head would converge to. *)
+let oracle_class = function
+  | Saw_corruption _ -> C_syntax
+  | Saw_unsound Actions.Wrong_constant -> C_value_mismatch
+  | Saw_unsound Actions.Flip_operands -> C_value_mismatch
+  | Saw_unsound Actions.Predicate_flip -> C_value_mismatch
+  | Saw_unsound Actions.Drop_store -> C_memory
+  | Saw_unsound Actions.Bogus_flag -> C_more_poisonous
+  | Saw_unsound Actions.Width_confusion -> C_value_mismatch
+  | Saw_unsound Actions.Stale_forward -> C_value_mismatch
+  | Saw_only_sound -> C_ok
+
+(** Map a verifier verdict message to an error class, for scoring claims. *)
+let class_of_verdict_message (category : [ `Equivalent | `Semantic | `Syntax | `Inconclusive ])
+    (message : string) : error_class =
+  let contains sub =
+    let n = String.length message and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub message i m = sub || go (i + 1)) in
+    m > 0 && go 0
+  in
+  match category with
+  | `Equivalent -> C_ok
+  | `Syntax -> C_syntax
+  | `Inconclusive -> C_other
+  | `Semantic ->
+    if contains "more poisonous" then C_more_poisonous
+    else if contains "Value mismatch" then C_value_mismatch
+    else if contains "function calls" then C_trace
+    else if contains "stored memory" then C_memory
+    else C_other

@@ -1,0 +1,33 @@
+(** The self-diagnosis head: the model's emulation of Alive2 feedback,
+    scored by the paper's Eq. 2. *)
+
+type error_class =
+  | C_ok
+  | C_syntax
+  | C_value_mismatch
+  | C_more_poisonous
+  | C_trace
+  | C_memory
+  | C_other
+
+val all_classes : error_class list
+val class_name : error_class -> string
+
+val message_of_class : error_class -> string
+(** The diagnostic text the model emits for a claimed class; phrased like
+    the verifier's own messages so a correct claim earns high BLEU. *)
+
+(** What the model can observe about its own attempt. *)
+type self_evidence =
+  | Saw_corruption of Actions.corruption
+  | Saw_unsound of Actions.unsound_edit
+  | Saw_only_sound
+
+val evidence_name : self_evidence -> string
+
+val oracle_class : self_evidence -> error_class
+(** The objectively right claim per risky-action kind: what a calibrated
+    head converges to. *)
+
+val class_of_verdict_message :
+  [ `Equivalent | `Semantic | `Syntax | `Inconclusive ] -> string -> error_class

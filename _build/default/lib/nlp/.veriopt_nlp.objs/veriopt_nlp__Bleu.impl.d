@@ -1,0 +1,1 @@
+lib/nlp/bleu.ml: Array Hashtbl List Option Tokenizer

@@ -1,0 +1,55 @@
+(** BLEU (Papineni et al., 2002): geometric mean of clipped n-gram
+    precisions (n = 1..4) with a brevity penalty.  Zero counts are smoothed
+    (Lin & Och's +1 smoothing on n > 1) so short code snippets still receive
+    a usable gradient — the paper relies on BLEU as a dense shaping reward
+    precisely to avoid gradient starvation. *)
+
+let ngrams n tokens =
+  let arr = Array.of_list tokens in
+  let len = Array.length arr in
+  let table = Hashtbl.create 64 in
+  for i = 0 to len - n do
+    let g = Array.to_list (Array.sub arr i n) in
+    Hashtbl.replace table g (1 + Option.value ~default:0 (Hashtbl.find_opt table g))
+  done;
+  table
+
+let clipped_precision n candidate reference : float * int =
+  let cand = ngrams n candidate in
+  let refs = ngrams n reference in
+  let total = ref 0 and matched = ref 0 in
+  Hashtbl.iter
+    (fun g c ->
+      total := !total + c;
+      let r = Option.value ~default:0 (Hashtbl.find_opt refs g) in
+      matched := !matched + min c r)
+    cand;
+  if !total = 0 then (0., 0)
+  else if n > 1 then (float_of_int (!matched + 1) /. float_of_int (!total + 1), !total)
+  else (float_of_int !matched /. float_of_int !total, !total)
+
+(** BLEU-4 over token lists; returns a score in [0, 1]. *)
+let score_tokens (candidate : string list) (reference : string list) : float =
+  if candidate = [] || reference = [] then if candidate = reference then 1.0 else 0.0
+  else begin
+    let max_n = min 4 (min (List.length candidate) (List.length reference)) in
+    let precisions =
+      List.init max_n (fun i ->
+          let p, total = clipped_precision (i + 1) candidate reference in
+          if total = 0 then 1.0 else p)
+    in
+    if List.exists (fun p -> p <= 0.) precisions then 0.0
+    else begin
+      let log_avg =
+        List.fold_left (fun acc p -> acc +. log p) 0. precisions /. float_of_int max_n
+      in
+      let c = float_of_int (List.length candidate) in
+      let r = float_of_int (List.length reference) in
+      let brevity = if c >= r then 1.0 else exp (1. -. (r /. c)) in
+      brevity *. exp log_avg
+    end
+  end
+
+(** BLEU over raw strings, via the IR tokenizer. *)
+let score (candidate : string) (reference : string) : float =
+  score_tokens (Tokenizer.tokenize candidate) (Tokenizer.tokenize reference)

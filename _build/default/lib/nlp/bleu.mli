@@ -1,0 +1,8 @@
+(** BLEU (Papineni et al., 2002) with +1 smoothing on n > 1: the paper's
+    dense shaping reward and diagnostic-similarity score. *)
+
+val score_tokens : string list -> string list -> float
+(** BLEU-4 over token lists, in [0, 1]. *)
+
+val score : string -> string -> float
+(** BLEU over raw strings via the IR tokenizer. *)

@@ -1,0 +1,50 @@
+(** A code tokenizer for IR text: identifiers/keywords, numbers, sigils and
+    punctuation become separate tokens.  It stands in for the Qwen tokenizer
+    in two roles from the paper: enforcing the 2048-token context filter on
+    dataset functions, and providing the token streams BLEU is computed
+    over. *)
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '$'
+
+let tokenize (s : string) : string list =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_word_char c then begin
+      let start = !i in
+      while !i < n && is_word_char s.[!i] do
+        incr i
+      done;
+      out := String.sub s start (!i - start) :: !out
+    end
+    else begin
+      (* sigils %, @, # glue to the following word, like LLVM identifiers *)
+      if (c = '%' || c = '@' || c = '#') && !i + 1 < n && is_word_char s.[!i + 1] then begin
+        let start = !i in
+        incr i;
+        while !i < n && is_word_char s.[!i] do
+          incr i
+        done;
+        out := String.sub s start (!i - start) :: !out
+      end
+      else begin
+        out := String.make 1 c :: !out;
+        incr i
+      end
+    end
+  done;
+  List.rev !out
+
+let count (s : string) : int = List.length (tokenize s)
+
+(** The paper filters training functions to at most 2048 tokens. *)
+let default_limit = 2048
+
+let within_limit ?(limit = default_limit) (s : string) = count s <= limit

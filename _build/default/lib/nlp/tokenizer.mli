@@ -1,0 +1,11 @@
+(** Code tokenizer for IR text, standing in for the Qwen tokenizer: the
+    2048-token dataset filter and BLEU's token stream. *)
+
+val is_word_char : char -> bool
+val tokenize : string -> string list
+val count : string -> int
+
+val default_limit : int
+(** 2048, as in the paper. *)
+
+val within_limit : ?limit:int -> string -> bool

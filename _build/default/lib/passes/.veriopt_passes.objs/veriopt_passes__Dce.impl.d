@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Ast Builder Hashtbl List Option Veriopt_ir

@@ -1,0 +1,1 @@
+lib/passes/fold.ml: Ast Bits Option Types Veriopt_ir

@@ -1,0 +1,1 @@
+lib/passes/instcombine.ml: Ast Builder Dce Fold List Option Rewrite Rules_arith Rules_cast Rules_extra Rules_icmp Rules_logic Rules_mem Rules_narrow Rules_phi Rules_select Rules_shift Veriopt_ir

@@ -1,0 +1,1 @@
+lib/passes/instcombine.mli: Rewrite Veriopt_ir

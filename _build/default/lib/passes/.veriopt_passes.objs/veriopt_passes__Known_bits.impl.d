@@ -1,0 +1,1 @@
+lib/passes/known_bits.ml: Ast Bits Hashtbl Int64 List Types Veriopt_ir

@@ -1,0 +1,1 @@
+lib/passes/known_bits.mli: Hashtbl Veriopt_ir

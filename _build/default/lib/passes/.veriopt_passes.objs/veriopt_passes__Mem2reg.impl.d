@@ -1,0 +1,1 @@
+lib/passes/mem2reg.ml: Ast Builder Cfg Hashtbl List Option Rules_mem Types Veriopt_ir

@@ -1,0 +1,1 @@
+lib/passes/pass_manager.ml: Ast Dce Instcombine List Mem2reg Simplifycfg Veriopt_ir

@@ -1,0 +1,1 @@
+lib/passes/rewrite.ml: Ast Bits Builder Hashtbl Known_bits Veriopt_ir

@@ -1,0 +1,1 @@
+lib/passes/rewrite.mli: Ast Hashtbl Known_bits Veriopt_ir

@@ -1,0 +1,1 @@
+lib/passes/rules_arith.ml: Ast Bits Int64 Rewrite Types Veriopt_ir

@@ -1,0 +1,1 @@
+lib/passes/rules_arith.mli: Rewrite

@@ -1,0 +1,1 @@
+lib/passes/rules_cast.ml: Ast Bits Known_bits Rewrite Types Veriopt_ir

@@ -1,0 +1,1 @@
+lib/passes/rules_cast.mli: Rewrite

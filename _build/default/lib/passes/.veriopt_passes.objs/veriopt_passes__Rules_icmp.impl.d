@@ -1,0 +1,1 @@
+lib/passes/rules_icmp.ml: Ast Bits Int64 Known_bits Rewrite Types Veriopt_ir

@@ -1,0 +1,1 @@
+lib/passes/rules_logic.ml: Ast Bits Int64 Known_bits Rewrite Types Veriopt_ir

@@ -1,0 +1,1 @@
+lib/passes/rules_mem.ml: Ast Bits Builder Fmt Hashtbl Int64 List Types Veriopt_ir

@@ -1,0 +1,1 @@
+lib/passes/rules_mem.mli: Ast Hashtbl Veriopt_ir

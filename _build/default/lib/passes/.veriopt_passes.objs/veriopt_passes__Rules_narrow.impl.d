@@ -1,0 +1,1 @@
+lib/passes/rules_narrow.ml: Ast Bits Builder Int64 Rewrite Types Veriopt_ir

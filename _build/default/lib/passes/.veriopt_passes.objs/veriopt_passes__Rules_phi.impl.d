@@ -1,0 +1,1 @@
+lib/passes/rules_phi.ml: Ast List Rewrite Veriopt_ir

@@ -1,0 +1,1 @@
+lib/passes/rules_select.ml: Ast Rewrite Types Veriopt_ir

@@ -1,0 +1,1 @@
+lib/passes/simplifycfg.ml: Ast Builder Cfg List Types Veriopt_ir

@@ -1,0 +1,1 @@
+lib/passes/simplifycfg.mli: Veriopt_ir

@@ -1,0 +1,44 @@
+(** Dead code elimination: remove instructions whose results are unused and
+    which have no side effects, plus allocas with no remaining uses. *)
+
+open Veriopt_ir
+open Ast
+
+let has_side_effects = function
+  | Store _ | Call _ -> true
+  (* Division can trap (UB); removing it removes UB, which is a refinement,
+     but instcombine-style DCE keeps it simple and only deletes pure ops.
+     LLVM does delete unused divisions (removing UB is legal); so do we. *)
+  | Binop _ | Icmp _ | Select _ | Cast _ | Alloca _ | Load _ | Gep _ | Phi _ | Freeze _ -> false
+
+(** One DCE sweep to fixpoint.  Returns the function and how many
+    instructions were removed. *)
+let run (f : func) : func * int =
+  let removed = ref 0 in
+  let f = ref f in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let uses = Builder.use_counts !f in
+    let used v = Option.value ~default:0 (Hashtbl.find_opt uses v) > 0 in
+    let f' =
+      Builder.map_blocks !f (fun b ->
+          {
+            b with
+            instrs =
+              List.filter
+                (fun ni ->
+                  match (ni.name, has_side_effects ni.instr) with
+                  | Some n, false ->
+                    if used n then true
+                    else (
+                      incr removed;
+                      changed := true;
+                      false)
+                  | _ -> true)
+                b.instrs;
+          })
+    in
+    f := f'
+  done;
+  (!f, !removed)

@@ -1,0 +1,5 @@
+(** Dead code elimination: remove unused side-effect-free instructions to a
+    fixpoint.  Returns the function and how many instructions were removed. *)
+
+val has_side_effects : Veriopt_ir.Ast.instr -> bool
+val run : Veriopt_ir.Ast.func -> Veriopt_ir.Ast.func * int

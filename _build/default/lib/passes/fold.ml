@@ -1,0 +1,77 @@
+(** Compile-time evaluation of instructions whose operands are constants.
+
+    Folds only when the result is a well-defined constant: operations that
+    would be UB (division by zero, signed division overflow) or poison
+    (flag violations, oversized shifts) are left alone — replacing them
+    would change, not preserve, semantics. *)
+
+open Veriopt_ir
+open Ast
+
+let const_of = function Const (CInt { width; value }) -> Some (width, value) | _ -> None
+
+let fold_binop op (flags : flags) w a b : int64 option =
+  let open Bits in
+  match op with
+  | Add ->
+    if (flags.nsw && add_nsw_overflow w a b) || (flags.nuw && add_nuw_overflow w a b) then None
+    else Some (add w a b)
+  | Sub ->
+    if (flags.nsw && sub_nsw_overflow w a b) || (flags.nuw && sub_nuw_overflow w a b) then None
+    else Some (sub w a b)
+  | Mul ->
+    if (flags.nsw && mul_nsw_overflow w a b) || (flags.nuw && mul_nuw_overflow w a b) then None
+    else Some (mul w a b)
+  | UDiv ->
+    if b = 0L || (flags.exact && udiv_exact_violation w a b) then None else Some (udiv w a b)
+  | SDiv ->
+    if b = 0L || sdiv_overflow w a b || (flags.exact && sdiv_exact_violation w a b) then None
+    else Some (sdiv w a b)
+  | URem -> if b = 0L then None else Some (urem w a b)
+  | SRem -> if b = 0L || sdiv_overflow w a b then None else Some (srem w a b)
+  | Shl ->
+    if
+      shift_amount_poison w b
+      || (flags.nsw && shl_nsw_overflow w a b)
+      || (flags.nuw && shl_nuw_overflow w a b)
+    then None
+    else Some (shl w a b)
+  | LShr ->
+    if shift_amount_poison w b || (flags.exact && lshr_exact_violation w a b) then None
+    else Some (lshr w a b)
+  | AShr ->
+    if shift_amount_poison w b || (flags.exact && ashr_exact_violation w a b) then None
+    else Some (ashr w a b)
+  | And -> Some (logand w a b)
+  | Or -> Some (logor w a b)
+  | Xor -> Some (logxor w a b)
+
+(** Fold an instruction to a constant operand when possible. *)
+let fold_instr (i : instr) : operand option =
+  match i with
+  | Binop { op; flags; ty; lhs; rhs } -> (
+    match (const_of lhs, const_of rhs) with
+    | Some (w, a), Some (_, b) when Types.equal ty (Types.Int w) ->
+      Option.map (fun v -> const_int w v) (fold_binop op flags w a b)
+    | _ -> None)
+  | Icmp { pred; lhs; rhs; _ } -> (
+    match (const_of lhs, const_of rhs) with
+    | Some (w, a), Some (_, b) -> Some (const_bool (eval_icmp pred w a b))
+    | _ -> None)
+  | Select { cond; if_true; if_false; _ } -> (
+    match const_of cond with
+    | Some (1, 1L) -> Some if_true
+    | Some (1, 0L) -> Some if_false
+    | _ -> None)
+  | Cast { op; src_ty; value; dst_ty } -> (
+    match (const_of value, src_ty, dst_ty) with
+    | Some (w, v), Types.Int _, Types.Int dw -> (
+      match op with
+      | Trunc -> Some (const_int dw (Bits.trunc w dw v))
+      | ZExt -> Some (const_int dw (Bits.zext w dw v))
+      | SExt -> Some (const_int dw (Bits.sext w dw v))
+      | Bitcast -> Some (const_int dw v)
+      | PtrToInt | IntToPtr -> None)
+    | _ -> None)
+  | Phi { incoming = [ (op, _) ]; _ } -> Some op
+  | Alloca _ | Load _ | Store _ | Gep _ | Phi _ | Call _ | Freeze _ -> None

@@ -1,0 +1,7 @@
+(** Compile-time evaluation of instructions with constant operands.  Folds
+    only to well-defined constants: UB and poison cases are left in place. *)
+
+val fold_binop :
+  Veriopt_ir.Ast.binop -> Veriopt_ir.Ast.flags -> int -> int64 -> int64 -> int64 option
+
+val fold_instr : Veriopt_ir.Ast.instr -> Veriopt_ir.Ast.operand option

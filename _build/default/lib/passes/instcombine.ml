@@ -1,0 +1,125 @@
+(** The instcombine pass: a worklist-free fixpoint driver over the peephole
+    rule catalog, mirroring LLVM's single-iteration InstCombine structure.
+
+    Every application is recorded in a trace of (rule, site) pairs.  The
+    trace is not just for debugging: it is the supervision signal for the
+    surrogate model — the "teacher action sequence" that turns an -O0
+    function into its optimized label (see veriopt_llm.Sft). *)
+
+open Veriopt_ir
+open Ast
+
+type trace_entry = { rule : string; site : string }
+
+(** All sound rewrite rules, in application priority order. *)
+let all_rules : Rewrite.rule list =
+  Rules_arith.rules @ Rules_logic.rules @ Rules_shift.rules @ Rules_icmp.rules
+  @ Rules_select.rules @ Rules_cast.rules @ Rules_phi.rules @ Rules_extra.rules
+  @ Rules_narrow.rules
+
+let rule_names = List.map (fun (r : Rewrite.rule) -> r.Rewrite.rule_name) all_rules
+
+let find_rule name = List.find_opt (fun (r : Rewrite.rule) -> r.Rewrite.rule_name = name) all_rules
+
+(** Apply a single rewrite at the instruction named [site]. *)
+let apply_rewrite (f : func) (site : var) (rw : Rewrite.rewrite) : func =
+  match rw with
+  | Rewrite.Value op ->
+    let f = Builder.substitute_operand f ~from:site ~to_:op in
+    Builder.replace_instr f ~name:site ~with_:[]
+  | Rewrite.Instr instr -> Builder.replace_instr f ~name:site ~with_:[ { name = Some site; instr } ]
+  | Rewrite.Expand (pre, result) ->
+    let f = Builder.substitute_operand f ~from:site ~to_:result in
+    Builder.replace_instr f ~name:site ~with_:pre
+
+(** Find the first (rule, site) applicable in program order with rule
+    priority, or [None] at fixpoint. *)
+let find_applicable ?(rules = all_rules) (modul : modul) (f : func) :
+    (Rewrite.rule * named_instr * Rewrite.rewrite) option =
+  let ctx = Rewrite.make_ctx modul f in
+  let try_instr ni =
+    match ni.name with
+    | None -> None
+    | Some _ ->
+      (* constant folding runs before the rule catalog, like InstCombine *)
+      let fold_result =
+        match Fold.fold_instr ni.instr with
+        | Some op ->
+          Some
+            ( Rewrite.rule ~family:"fold" "constant-fold" (fun _ _ -> None),
+              ni,
+              Rewrite.Value op )
+        | None -> None
+      in
+      if fold_result <> None then fold_result
+      else
+        List.find_map
+          (fun (r : Rewrite.rule) ->
+            if not r.Rewrite.sound then None
+            else
+              match r.Rewrite.apply ctx ni with Some rw -> Some (r, ni, rw) | None -> None)
+          rules
+  in
+  List.find_map (fun b -> List.find_map try_instr b.instrs) f.blocks
+
+exception Fuel_exhausted
+
+(** Run instcombine to fixpoint: rule catalog + constant folding + block-local
+    memory forwarding + DCE.  [max_steps] bounds pathological rule cycles. *)
+let run ?(max_steps = 2000) (modul : modul) (f : func) : func * trace_entry list =
+  let trace = ref [] in
+  let steps = ref 0 in
+  let bump () =
+    incr steps;
+    if !steps > max_steps then raise Fuel_exhausted
+  in
+  let f = ref f in
+  (try
+     let changed = ref true in
+     while !changed do
+       changed := false;
+       (* 1. rule catalog *)
+       (match find_applicable modul !f with
+       | Some (r, ni, rw) ->
+         bump ();
+         let site = Option.get ni.name in
+         f := apply_rewrite !f site rw;
+         trace := { rule = r.Rewrite.rule_name; site } :: !trace;
+         changed := true
+       | None -> ());
+       (* 2. memory forwarding *)
+       if not !changed then begin
+         let f', t = Rules_mem.forward_loads !f in
+         if t <> [] then begin
+           bump ();
+           f := f';
+           trace :=
+             List.rev_map
+               (fun (e : Rules_mem.trace_entry) -> { rule = e.Rules_mem.rule; site = e.Rules_mem.site })
+               t
+             @ !trace;
+           changed := true
+         end
+       end;
+       if not !changed then begin
+         let f', t = Rules_mem.eliminate_dead_stores !f in
+         if t <> [] then begin
+           bump ();
+           f := f';
+           trace :=
+             List.rev_map
+               (fun (e : Rules_mem.trace_entry) -> { rule = e.Rules_mem.rule; site = e.Rules_mem.site })
+               t
+             @ !trace;
+           changed := true
+         end
+       end;
+       (* 3. DCE between sweeps keeps use counts accurate *)
+       let f', removed = Dce.run !f in
+       if removed > 0 then begin
+         f := f';
+         changed := true
+       end
+     done
+   with Fuel_exhausted -> ());
+  (!f, List.rev !trace)

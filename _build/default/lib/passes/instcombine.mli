@@ -1,0 +1,30 @@
+(** The instcombine pass: a fixpoint driver over the peephole rule catalog
+    plus constant folding, block-local memory optimization and DCE.
+
+    The trace of (rule, site) applications is the supervision signal for the
+    surrogate model (the teacher action sequence of SFT). *)
+
+type trace_entry = { rule : string; site : string }
+
+val all_rules : Rewrite.rule list
+(** Sound rewrite rules in application priority order. *)
+
+val rule_names : string list
+
+val find_rule : string -> Rewrite.rule option
+
+val apply_rewrite : Veriopt_ir.Ast.func -> Veriopt_ir.Ast.var -> Rewrite.rewrite -> Veriopt_ir.Ast.func
+(** Apply a single rewrite at the instruction named by the site. *)
+
+val find_applicable :
+  ?rules:Rewrite.rule list ->
+  Veriopt_ir.Ast.modul ->
+  Veriopt_ir.Ast.func ->
+  (Rewrite.rule * Veriopt_ir.Ast.named_instr * Rewrite.rewrite) option
+(** First applicable (rule, site) in program order, or [None] at fixpoint. *)
+
+val run :
+  ?max_steps:int ->
+  Veriopt_ir.Ast.modul ->
+  Veriopt_ir.Ast.func ->
+  Veriopt_ir.Ast.func * trace_entry list

@@ -1,0 +1,120 @@
+(** A computeKnownBits-style forward bit analysis.
+
+    For an SSA value we compute a pair (known_zero, known_one) of masks: bits
+    proven 0 and bits proven 1 on every execution.  Depth-limited recursion
+    through defining instructions, the same structure as LLVM's
+    [computeKnownBits]; several instcombine rules consult it. *)
+
+open Veriopt_ir
+open Ast
+
+type t = { zero : int64; one : int64 } (* invariant: zero land one = 0 *)
+
+let unknown = { zero = 0L; one = 0L }
+let exact w v = { zero = Bits.lognot w v; one = v }
+let is_contradiction k = Int64.logand k.zero k.one <> 0L
+
+(** Bits known at all (either polarity). *)
+let known_mask k = Int64.logor k.zero k.one
+
+let max_depth = 6
+
+let rec compute ?(depth = 0) (defs : (var, instr) Hashtbl.t) (w : int) (op : operand) : t =
+  match op with
+  | Const (CInt { width; value }) -> exact width value
+  | Const (CUndef _) | Const (CPoison _) | Const CNull | Global _ -> unknown
+  | Var v -> (
+    if depth >= max_depth then unknown
+    else
+      match Hashtbl.find_opt defs v with
+      | None -> unknown
+      | Some i -> compute_instr ~depth:(depth + 1) defs w i)
+
+and compute_instr ~depth defs w (i : instr) : t =
+  let recurse op = compute ~depth defs w op in
+  let join a b = { zero = Int64.logand a.zero b.zero; one = Int64.logand a.one b.one } in
+  match i with
+  | Binop { op = And; lhs; rhs; _ } ->
+    let a = recurse lhs and b = recurse rhs in
+    { zero = Int64.logor a.zero b.zero; one = Int64.logand a.one b.one }
+  | Binop { op = Or; lhs; rhs; _ } ->
+    let a = recurse lhs and b = recurse rhs in
+    { zero = Int64.logand a.zero b.zero; one = Int64.logor a.one b.one }
+  | Binop { op = Xor; lhs; rhs; _ } ->
+    let a = recurse lhs and b = recurse rhs in
+    let known = Int64.logand (known_mask a) (known_mask b) in
+    let v = Int64.logxor a.one b.one in
+    { zero = Int64.logand known (Int64.lognot v); one = Int64.logand known v }
+  | Binop { op = Shl; lhs; rhs = Const (CInt { value = s; _ }); _ }
+    when not (Bits.shift_amount_poison w s) ->
+    let a = recurse lhs in
+    let s = Int64.to_int s in
+    {
+      zero =
+        Int64.logor
+          (Bits.mask w (Int64.shift_left a.zero s))
+          (Bits.mask w (Int64.sub (Int64.shift_left 1L s) 1L));
+      one = Bits.mask w (Int64.shift_left a.one s);
+    }
+  | Binop { op = LShr; lhs; rhs = Const (CInt { value = s; _ }); _ }
+    when not (Bits.shift_amount_poison w s) ->
+    let a = recurse lhs in
+    let s = Int64.to_int s in
+    let high_zeros =
+      (* bits shifted in from the top are zero *)
+      Int64.logand (Bits.mask w Int64.minus_one)
+        (Int64.lognot (Bits.mask w (Int64.sub (Int64.shift_left 1L (w - s)) 1L)))
+    in
+    {
+      zero = Int64.logor (Bits.lshr w a.zero (Int64.of_int s)) high_zeros;
+      one = Bits.lshr w a.one (Int64.of_int s);
+    }
+  | Binop { op = Add; lhs; rhs; _ } ->
+    (* trailing zeros: if both operands have k low bits fully known, the sum's
+       low bits are computable *)
+    let a = recurse lhs and b = recurse rhs in
+    let rec low_known n =
+      if n >= w then n
+      else if Bits.bit w (known_mask a) n && Bits.bit w (known_mask b) n then low_known (n + 1)
+      else n
+    in
+    let n = low_known 0 in
+    if n = 0 then unknown
+    else
+      let sum = Bits.add w a.one b.one in
+      let mask_n = Bits.mask w (Int64.sub (Int64.shift_left 1L n) 1L) in
+      {
+        zero = Int64.logand mask_n (Bits.lognot w sum);
+        one = Int64.logand mask_n sum;
+      }
+  | Cast { op = ZExt; src_ty = Types.Int sw; value; _ } ->
+    let a = compute ~depth defs sw value in
+    let high =
+      Int64.logand (Bits.mask w Int64.minus_one)
+        (Int64.lognot (Bits.mask w (Int64.sub (Int64.shift_left 1L sw) 1L)))
+    in
+    { zero = Int64.logor a.zero high; one = a.one }
+  | Cast { op = Trunc; src_ty = Types.Int sw; value; _ } ->
+    let a = compute ~depth defs sw value in
+    { zero = Bits.mask w a.zero; one = Bits.mask w a.one }
+  | Binop { op = URem; lhs = _; rhs = Const (CInt { value = c; _ }); _ }
+    when Bits.is_power_of_two w c ->
+    (* x urem 2^k keeps only the low k bits *)
+    let high = Int64.logand (Bits.mask w Int64.minus_one) (Int64.lognot (Int64.sub c 1L)) in
+    { zero = high; one = 0L }
+  | Icmp _ ->
+    (* i1 result: bit 0 unknown, others (none at width 1) *)
+    unknown
+  | Select { if_true; if_false; _ } -> join (recurse if_true) (recurse if_false)
+  | Phi { incoming; _ } -> (
+    match incoming with
+    | [] -> unknown
+    | (op0, _) :: rest ->
+      List.fold_left (fun acc (op, _) -> join acc (recurse op)) (recurse op0) rest)
+  | _ -> unknown
+
+(** All bits of [op] at width [w] are known: returns the constant. *)
+let as_constant defs w op =
+  let k = compute defs w op in
+  if (not (is_contradiction k)) && Int64.logor k.zero k.one = Bits.all_ones w then Some k.one
+  else None

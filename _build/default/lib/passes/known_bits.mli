@@ -1,0 +1,15 @@
+(** A computeKnownBits-style forward bit analysis: for an SSA value, masks of
+    bits proven 0 and proven 1 on every execution.  Depth-limited recursion
+    through defining instructions. *)
+
+type t = { zero : int64; one : int64 }
+
+val unknown : t
+val exact : int -> int64 -> t
+val is_contradiction : t -> bool
+val known_mask : t -> int64
+
+val compute : ?depth:int -> (Veriopt_ir.Ast.var, Veriopt_ir.Ast.instr) Hashtbl.t -> int -> Veriopt_ir.Ast.operand -> t
+
+val as_constant : (Veriopt_ir.Ast.var, Veriopt_ir.Ast.instr) Hashtbl.t -> int -> Veriopt_ir.Ast.operand -> int64 option
+(** When every bit is known, the constant value. *)

@@ -1,0 +1,183 @@
+(** Promotion of allocas to SSA registers (mem2reg).
+
+    Uses the lazy value-numbering construction of Braun et al. ("Simple and
+    Efficient Construction of Static Single Assignment Form"): the value of a
+    promoted alloca at a block's entry is resolved recursively through
+    predecessors, with phi placeholders breaking cycles.  Trivial phis the
+    construction leaves behind are cleaned up by instcombine's phi rules.
+
+    An alloca is promotable when it holds a single integer, never escapes,
+    and every use is a full-width direct load or store. *)
+
+open Veriopt_ir
+open Ast
+
+type trace_entry = { rule : string; site : string }
+
+let promotable_allocas (f : func) : (var * Types.t) list =
+  let defs = Builder.def_map f in
+  let escaped = Rules_mem.escaped_allocas f defs in
+  let candidates = Hashtbl.create 8 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun { name; instr } ->
+          match (name, instr) with
+          | Some n, Alloca { ty = Types.Int w; _ } when not (Hashtbl.mem escaped n) ->
+            Hashtbl.replace candidates n (Types.Int w)
+          | _ -> ())
+        b.instrs)
+    f.blocks;
+  (* reject any candidate with a non-load/store use or width mismatch *)
+  let reject n = Hashtbl.remove candidates n in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun { instr; _ } ->
+          let check_op op =
+            match op with
+            | Var v when Hashtbl.mem candidates v -> (
+              (* appearing anywhere but as the ptr of a matching load/store
+                 disqualifies *)
+              match instr with
+              | Load { ty; ptr = Var p; _ } when p = v -> (
+                match Hashtbl.find_opt candidates v with
+                | Some ety when Types.equal ety ty -> ()
+                | _ -> reject v)
+              | Store { ty; ptr = Var p; value; _ } when p = v && value <> Var v -> (
+                match Hashtbl.find_opt candidates v with
+                | Some ety when Types.equal ety ty -> ()
+                | _ -> reject v)
+              | _ -> reject v)
+            | _ -> ()
+          in
+          List.iter check_op (operands_of_instr instr))
+        b.instrs;
+      List.iter
+        (fun op -> match op with Var v -> reject v | _ -> ())
+        (operands_of_terminator b.term))
+    f.blocks;
+  Hashtbl.fold (fun n ty acc -> (n, ty) :: acc) candidates [] |> List.sort compare
+
+(** Promote promotable allocas (at most [limit]).  Returns the rewritten
+    function and a trace naming each promoted slot. *)
+let run ?(limit = max_int) (f : func) : func * trace_entry list =
+  let allocas =
+    let all = promotable_allocas f in
+    List.filteri (fun i _ -> i < limit) all
+  in
+  if allocas = [] then (f, [])
+  else begin
+    let cfg = Cfg.of_func f in
+    let names = Builder.names_of_func f in
+    let entry = (entry_block f).label in
+    let is_store_to a = function
+      | Store { ptr = Var p; value; _ } when p = a -> Some value
+      | _ -> None
+    in
+    let ty_of a = List.assoc a allocas in
+    (* Lazy per-(alloca, block) entry values with phi placeholders. *)
+    let entry_memo : (var * label, operand) Hashtbl.t = Hashtbl.create 32 in
+    let phis_to_insert : (label, named_instr ref list ref) Hashtbl.t = Hashtbl.create 8 in
+    let rec entry_value (a : var) (b : label) : operand =
+      match Hashtbl.find_opt entry_memo (a, b) with
+      | Some v -> v
+      | None -> (
+        if b = entry then Const (CUndef (ty_of a))
+        else
+          match List.sort_uniq compare (Cfg.predecessors cfg b) with
+          | [] -> Const (CUndef (ty_of a))
+          | [ p ] ->
+            let v = exit_value a p in
+            Hashtbl.replace entry_memo (a, b) v;
+            v
+          | preds ->
+            let phi_name = Builder.fresh names (a ^ ".") in
+            Hashtbl.replace entry_memo (a, b) (Var phi_name);
+            let cell =
+              ref { name = Some phi_name; instr = Phi { ty = ty_of a; incoming = [] } }
+            in
+            let bucket =
+              match Hashtbl.find_opt phis_to_insert b with
+              | Some l -> l
+              | None ->
+                let l = ref [] in
+                Hashtbl.replace phis_to_insert b l;
+                l
+            in
+            bucket := cell :: !bucket;
+            let incoming = List.map (fun p -> (exit_value a p, p)) preds in
+            cell := { !cell with instr = Phi { ty = ty_of a; incoming } };
+            Var phi_name)
+    and exit_value (a : var) (b : label) : operand =
+      if not (Cfg.is_reachable cfg b) then Const (CUndef (ty_of a))
+      else
+      let block = Cfg.block_exn cfg b in
+      let last_store =
+        List.fold_left
+          (fun acc ni -> match is_store_to a ni.instr with Some v -> Some v | None -> acc)
+          None block.instrs
+      in
+      match last_store with Some v -> v | None -> entry_value a b
+    in
+    (* Rewrite pass: drop allocas/stores, replace loads, insert phis. *)
+    let promoted = List.map fst allocas in
+    let is_promoted v = List.mem v promoted in
+    let substitutions = ref [] in
+    let blocks =
+      List.map
+        (fun b ->
+          let current : (var, operand) Hashtbl.t = Hashtbl.create 4 in
+          let instrs =
+            List.filter_map
+              (fun ni ->
+                match ni.instr with
+                | Alloca _ when Option.fold ~none:false ~some:is_promoted ni.name -> None
+                | Store { ptr = Var p; value; _ } when is_promoted p ->
+                  Hashtbl.replace current p value;
+                  None
+                | Load { ptr = Var p; _ } when is_promoted p ->
+                  let v =
+                    match Hashtbl.find_opt current p with
+                    | Some v -> v
+                    | None -> entry_value p b.label
+                  in
+                  substitutions := (Option.get ni.name, v) :: !substitutions;
+                  None
+                | _ -> Some ni)
+              b.instrs
+          in
+          { b with instrs })
+        f.blocks
+    in
+    (* Insert the phis created during resolution. *)
+    let blocks =
+      List.map
+        (fun b ->
+          match Hashtbl.find_opt phis_to_insert b.label with
+          | Some cells -> { b with instrs = List.rev_map (fun c -> !c) !cells @ b.instrs }
+          | None -> b)
+        blocks
+    in
+    let f = { f with blocks } in
+    (* Loads may be referenced by other instructions, phis, and stored
+       values; substitute them all.  A load's value may itself be another
+       replaced load, so iterate to a fixpoint over the substitution map. *)
+    let subst_map = Hashtbl.create 16 in
+    List.iter (fun (n, v) -> Hashtbl.replace subst_map n v) !substitutions;
+    let rec resolve_op op =
+      match op with
+      | Var v -> (
+        match Hashtbl.find_opt subst_map v with
+        | Some v' when v' <> op -> resolve_op v'
+        | _ -> op)
+      | _ -> op
+    in
+    let f =
+      List.fold_left
+        (fun acc (n, _) -> Builder.substitute_operand acc ~from:n ~to_:(resolve_op (Var n)))
+        f !substitutions
+    in
+    let trace = List.map (fun (a, _) -> { rule = "mem2reg"; site = a }) allocas in
+    (f, trace)
+  end

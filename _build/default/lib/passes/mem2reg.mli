@@ -1,0 +1,12 @@
+(** Promotion of allocas to SSA registers, via the lazy value-numbering SSA
+    construction of Braun et al. *)
+
+type trace_entry = { rule : string; site : string }
+
+val promotable_allocas : Veriopt_ir.Ast.func -> (Veriopt_ir.Ast.var * Veriopt_ir.Types.t) list
+(** Integer allocas that never escape and whose every use is a full-width
+    direct load or store. *)
+
+val run :
+  ?limit:int -> Veriopt_ir.Ast.func -> Veriopt_ir.Ast.func * trace_entry list
+(** Promote (at most [limit]) promotable allocas, inserting phis as needed. *)

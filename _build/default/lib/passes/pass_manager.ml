@@ -1,0 +1,43 @@
+(** Pass composition.  [instcombine] alone is the reference label generator
+    (the paper trains against `opt -instcombine` output); [aggressive] adds
+    mem2reg and simplifycfg and approximates what the latency-stage model can
+    discover beyond its labels. *)
+
+open Veriopt_ir
+open Ast
+
+type trace_entry = { pass : string; rule : string; site : string }
+
+
+(** The paper's reference pipeline: instcombine to fixpoint. *)
+let instcombine (modul : modul) (f : func) : func * trace_entry list =
+  let f', t = Instcombine.run modul f in
+  (f', List.map (fun (e : Instcombine.trace_entry) -> { pass = "instcombine"; rule = e.Instcombine.rule; site = e.Instcombine.site }) t)
+
+(** instcombine + mem2reg + simplifycfg, iterated: the full space of sound
+    transformations available to the model. *)
+let aggressive ?(max_iters = 5) (modul : modul) (f : func) : func * trace_entry list =
+  let rec go f acc i =
+    if i >= max_iters then (f, acc)
+    else begin
+      let f1, t1 = instcombine modul f in
+      let f2, t2 = Mem2reg.run f1 in
+      let t2 =
+        List.map
+          (fun (e : Mem2reg.trace_entry) ->
+            { pass = "mem2reg"; rule = e.Mem2reg.rule; site = e.Mem2reg.site })
+          t2
+      in
+      let f3, t3 = Simplifycfg.run f2 in
+      let t3 =
+        List.map
+          (fun (e : Simplifycfg.trace_entry) ->
+            { pass = "simplifycfg"; rule = e.Simplifycfg.rule; site = e.Simplifycfg.site })
+          t3
+      in
+      let f4, removed = Dce.run f3 in
+      let news = t1 @ t2 @ t3 in
+      if news = [] && removed = 0 then (f4, acc) else go f4 (acc @ news) (i + 1)
+    end
+  in
+  go f [] 0

@@ -1,0 +1,16 @@
+(** Pass composition. *)
+
+type trace_entry = { pass : string; rule : string; site : string }
+
+val instcombine : Veriopt_ir.Ast.modul -> Veriopt_ir.Ast.func -> Veriopt_ir.Ast.func * trace_entry list
+(** The paper's reference pipeline: the peephole catalog, block-local memory
+    optimization and DCE, run to fixpoint.  The trace is the supervision
+    signal for SFT. *)
+
+val aggressive :
+  ?max_iters:int ->
+  Veriopt_ir.Ast.modul ->
+  Veriopt_ir.Ast.func ->
+  Veriopt_ir.Ast.func * trace_entry list
+(** instcombine + mem2reg + simplifycfg iterated: the full space of sound
+    transformations available to the model (including its emergent ones). *)

@@ -1,0 +1,63 @@
+(** The peephole rule framework.
+
+    A rule inspects one instruction (with access to operand definitions and
+    use counts, like InstCombine's visitors) and proposes a rewrite.  Rules
+    carry a [sound] flag: the instcombine pass only ever applies sound rules,
+    while the surrogate model's action space also contains the unsound
+    variants ("hallucinations") so that reinforcement learning has real
+    mistakes to learn from. *)
+
+open Veriopt_ir
+open Ast
+
+type ctx = {
+  func : func;
+  modul : modul;
+  defs : (var, instr) Hashtbl.t;
+  uses : (var, int) Hashtbl.t;
+}
+
+let make_ctx modul func =
+  { func; modul; defs = Builder.def_map func; uses = Builder.use_counts func }
+
+type rewrite =
+  | Value of operand (* replace all uses of the result, delete the instr *)
+  | Instr of instr (* replace the instruction in place (same result name) *)
+  | Expand of named_instr list * operand
+      (* insert new instructions, then substitute the result with an operand *)
+
+type rule = {
+  rule_name : string;
+  family : string;
+  sound : bool;
+  apply : ctx -> named_instr -> rewrite option;
+}
+
+let rule ?(sound = true) ~family rule_name apply = { rule_name; family; sound; apply }
+
+(* ------------------------------------------------------------------ *)
+(* Matching helpers *)
+
+let cint = function Const (CInt { width; value }) -> Some (width, value) | _ -> None
+let is_cint v op = match cint op with Some (_, x) -> x = v | None -> false
+let is_zero op = is_cint 0L op
+
+let is_all_ones op =
+  match cint op with Some (w, x) -> x = Bits.all_ones w | None -> false
+
+let def_of ctx = function Var v -> Hashtbl.find_opt ctx.defs v | Const _ | Global _ -> None
+
+let one_use ctx = function
+  | Var v -> Hashtbl.find_opt ctx.uses v = Some 1
+  | Const _ | Global _ -> false
+
+let same_operand a b =
+  match (a, b) with
+  | Var x, Var y -> x = y
+  | Const (CInt { width = w1; value = v1 }), Const (CInt { width = w2; value = v2 }) ->
+    w1 = w2 && v1 = v2
+  | Global g1, Global g2 -> g1 = g2
+  | _ -> false
+
+(** Known-bits of an operand at integer width [w]. *)
+let known ctx w op = Known_bits.compute ctx.defs w op

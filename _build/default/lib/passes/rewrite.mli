@@ -1,0 +1,40 @@
+(** The peephole rule framework: rules inspect one instruction (with operand
+    definitions and use counts) and propose a rewrite.  [sound = false]
+    marks the hallucination variants used only by the model's action space. *)
+
+open Veriopt_ir
+
+type ctx = {
+  func : Ast.func;
+  modul : Ast.modul;
+  defs : (Ast.var, Ast.instr) Hashtbl.t;
+  uses : (Ast.var, int) Hashtbl.t;
+}
+
+val make_ctx : Ast.modul -> Ast.func -> ctx
+
+type rewrite =
+  | Value of Ast.operand  (** replace all uses of the result, delete *)
+  | Instr of Ast.instr  (** replace in place, same result name *)
+  | Expand of Ast.named_instr list * Ast.operand
+      (** insert new instructions, substitute the result *)
+
+type rule = {
+  rule_name : string;
+  family : string;
+  sound : bool;
+  apply : ctx -> Ast.named_instr -> rewrite option;
+}
+
+val rule : ?sound:bool -> family:string -> string -> (ctx -> Ast.named_instr -> rewrite option) -> rule
+
+(** {1 Matching helpers} *)
+
+val cint : Ast.operand -> (int * int64) option
+val is_cint : int64 -> Ast.operand -> bool
+val is_zero : Ast.operand -> bool
+val is_all_ones : Ast.operand -> bool
+val def_of : ctx -> Ast.operand -> Ast.instr option
+val one_use : ctx -> Ast.operand -> bool
+val same_operand : Ast.operand -> Ast.operand -> bool
+val known : ctx -> int -> Ast.operand -> Known_bits.t

@@ -1,0 +1,256 @@
+(** Peephole rules over add / sub / mul / div / rem — the "combining" and
+    "algebraic simplification" families of classic peephole optimizers. *)
+
+open Veriopt_ir
+open Ast
+open Rewrite
+
+let w_of ty = Types.width ty
+
+(* x + 0 -> x *)
+let add_zero =
+  rule ~family:"add" "add-zero" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = Add; lhs; rhs; _ } when is_zero rhs -> Some (Value lhs)
+      | Binop { op = Add; lhs; rhs; _ } when is_zero lhs -> Some (Value rhs)
+      | _ -> None)
+
+(* x + x -> x << 1  (dropping nsw/nuw is always sound) *)
+let add_self =
+  rule ~family:"add" "add-self-to-shl" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = Add; ty; lhs; rhs; _ } when same_operand lhs rhs ->
+        Some (Instr (Binop { op = Shl; flags = no_flags; ty; lhs; rhs = const_int (w_of ty) 1L }))
+      | _ -> None)
+
+(* x - 0 -> x *)
+let sub_zero =
+  rule ~family:"sub" "sub-zero" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = Sub; lhs; rhs; _ } when is_zero rhs -> Some (Value lhs)
+      | _ -> None)
+
+(* x - x -> 0 *)
+let sub_self =
+  rule ~family:"sub" "sub-self" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = Sub; ty; lhs; rhs; _ } when same_operand lhs rhs ->
+        Some (Value (const_int (w_of ty) 0L))
+      | _ -> None)
+
+(* x - c -> x + (-c): LLVM's canonical form *)
+let sub_const_to_add =
+  rule ~family:"sub" "sub-const-to-add" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = Sub; ty; lhs; rhs; _ } -> (
+        match cint rhs with
+        | Some (w, c) when c <> 0L ->
+          Some
+            (Instr
+               (Binop { op = Add; flags = no_flags; ty; lhs; rhs = const_int w (Bits.neg w c) }))
+        | _ -> None)
+      | _ -> None)
+
+(* (x + c1) + c2 -> x + (c1 + c2) *)
+let add_add_const =
+  rule ~family:"add" "add-add-const" (fun ctx ni ->
+      match ni.instr with
+      | Binop { op = Add; ty; lhs; rhs; _ } -> (
+        match (def_of ctx lhs, cint rhs) with
+        | Some (Binop { op = Add; lhs = x; rhs = inner; _ }), Some (w, c2) -> (
+          match cint inner with
+          | Some (_, c1) when one_use ctx lhs ->
+            Some
+              (Instr
+                 (Binop
+                    { op = Add; flags = no_flags; ty; lhs = x; rhs = const_int w (Bits.add w c1 c2) }))
+          | _ -> None)
+        | _ -> None)
+      | _ -> None)
+
+(* (x - y) + y -> x *)
+let sub_add_cancel =
+  rule ~family:"add" "sub-add-cancel" (fun ctx ni ->
+      match ni.instr with
+      | Binop { op = Add; lhs; rhs; _ } -> (
+        match def_of ctx lhs with
+        | Some (Binop { op = Sub; lhs = x; rhs = y; _ }) when same_operand y rhs -> Some (Value x)
+        | _ -> (
+          match def_of ctx rhs with
+          | Some (Binop { op = Sub; lhs = x; rhs = y; _ }) when same_operand y lhs ->
+            Some (Value x)
+          | _ -> None))
+      | _ -> None)
+
+(* (x + y) - y -> x *)
+let add_sub_cancel =
+  rule ~family:"sub" "add-sub-cancel" (fun ctx ni ->
+      match ni.instr with
+      | Binop { op = Sub; lhs; rhs; _ } -> (
+        match def_of ctx lhs with
+        | Some (Binop { op = Add; lhs = x; rhs = y; _ }) when same_operand y rhs -> Some (Value x)
+        | Some (Binop { op = Add; lhs = x; rhs = y; _ }) when same_operand x rhs -> Some (Value y)
+        | _ -> None)
+      | _ -> None)
+
+(* x * 1 -> x;  x * 0 -> 0 *)
+let mul_one =
+  rule ~family:"mul" "mul-one" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = Mul; lhs; rhs; _ } when is_cint 1L rhs -> Some (Value lhs)
+      | Binop { op = Mul; lhs; rhs; _ } when is_cint 1L lhs -> Some (Value rhs)
+      | _ -> None)
+
+let mul_zero =
+  rule ~family:"mul" "mul-zero" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = Mul; ty; lhs; rhs; _ } when is_zero rhs || is_zero lhs ->
+        Some (Value (const_int (w_of ty) 0L))
+      | _ -> None)
+
+(* x * 2^k -> x << k *)
+let mul_pow2 =
+  rule ~family:"mul" "mul-pow2-to-shl" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = Mul; ty; lhs; rhs; _ } -> (
+        match cint rhs with
+        | Some (w, c) when Bits.is_power_of_two w c && c <> 1L ->
+          Some
+            (Instr
+               (Binop
+                  {
+                    op = Shl;
+                    flags = no_flags;
+                    ty;
+                    lhs;
+                    rhs = const_int w (Int64.of_int (Bits.log2 w c));
+                  }))
+        | _ -> None)
+      | _ -> None)
+
+(* x * -1 -> 0 - x *)
+let mul_minus_one =
+  rule ~family:"mul" "mul-minus-one" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = Mul; ty; lhs; rhs; _ } when is_all_ones rhs ->
+        Some
+          (Instr
+             (Binop { op = Sub; flags = no_flags; ty; lhs = const_int (w_of ty) 0L; rhs = lhs }))
+      | _ -> None)
+
+(* (x * c1) * c2 -> x * (c1 * c2) *)
+let mul_mul_const =
+  rule ~family:"mul" "mul-mul-const" (fun ctx ni ->
+      match ni.instr with
+      | Binop { op = Mul; ty; lhs; rhs; _ } -> (
+        match (def_of ctx lhs, cint rhs) with
+        | Some (Binop { op = Mul; lhs = x; rhs = inner; _ }), Some (w, c2) -> (
+          match cint inner with
+          | Some (_, c1) when one_use ctx lhs ->
+            Some
+              (Instr
+                 (Binop
+                    { op = Mul; flags = no_flags; ty; lhs = x; rhs = const_int w (Bits.mul w c1 c2) }))
+          | _ -> None)
+        | _ -> None)
+      | _ -> None)
+
+(* x udiv 1 / x sdiv 1 -> x *)
+let div_one =
+  rule ~family:"div" "div-one" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = UDiv | SDiv; lhs; rhs; _ } when is_cint 1L rhs -> Some (Value lhs)
+      | _ -> None)
+
+(* x udiv 2^k -> x lshr k *)
+let udiv_pow2 =
+  rule ~family:"div" "udiv-pow2-to-lshr" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = UDiv; ty; lhs; rhs; flags } -> (
+        match cint rhs with
+        | Some (w, c) when Bits.is_power_of_two w c ->
+          Some
+            (Instr
+               (Binop
+                  {
+                    op = LShr;
+                    flags = { no_flags with exact = flags.exact };
+                    ty;
+                    lhs;
+                    rhs = const_int w (Int64.of_int (Bits.log2 w c));
+                  }))
+        | _ -> None)
+      | _ -> None)
+
+(* x urem 2^k -> x and (2^k - 1) *)
+let urem_pow2 =
+  rule ~family:"div" "urem-pow2-to-and" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = URem; ty; lhs; rhs; _ } -> (
+        match cint rhs with
+        | Some (w, c) when Bits.is_power_of_two w c ->
+          Some
+            (Instr
+               (Binop
+                  { op = And; flags = no_flags; ty; lhs; rhs = const_int w (Bits.sub w c 1L) }))
+        | _ -> None)
+      | _ -> None)
+
+(* x udiv x -> 1: justified because x = 0 would be UB in the source *)
+let div_self =
+  rule ~family:"div" "div-self" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = UDiv | SDiv; ty; lhs; rhs; _ } when same_operand lhs rhs ->
+        Some (Value (const_int (w_of ty) 1L))
+      | _ -> None)
+
+(* x urem x -> 0, same justification *)
+let rem_self =
+  rule ~family:"div" "rem-self" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = URem | SRem; ty; lhs; rhs; _ } when same_operand lhs rhs ->
+        Some (Value (const_int (w_of ty) 0L))
+      | _ -> None)
+
+(* x sdiv -1 -> 0 - x: sdiv INT_MIN / -1 is UB in the source, so any result
+   is acceptable there *)
+let sdiv_minus_one =
+  rule ~family:"div" "sdiv-minus-one" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = SDiv; ty; lhs; rhs; _ } when is_all_ones rhs ->
+        Some
+          (Instr
+             (Binop { op = Sub; flags = no_flags; ty; lhs = const_int (w_of ty) 0L; rhs = lhs }))
+      | _ -> None)
+
+(* x urem 1 -> 0; x srem 1 -> 0 *)
+let rem_one =
+  rule ~family:"div" "rem-one" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = URem | SRem; ty; lhs = _; rhs; _ } when is_cint 1L rhs ->
+        Some (Value (const_int (w_of ty) 0L))
+      | _ -> None)
+
+let rules =
+  [
+    add_zero;
+    add_self;
+    sub_zero;
+    sub_self;
+    sub_const_to_add;
+    add_add_const;
+    sub_add_cancel;
+    add_sub_cancel;
+    mul_one;
+    mul_zero;
+    mul_pow2;
+    mul_minus_one;
+    mul_mul_const;
+    div_one;
+    udiv_pow2;
+    urem_pow2;
+    div_self;
+    rem_self;
+    sdiv_minus_one;
+    rem_one;
+  ]

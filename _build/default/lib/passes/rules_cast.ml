@@ -1,0 +1,64 @@
+(** Peephole rules over casts. *)
+
+open Veriopt_ir
+open Ast
+open Rewrite
+
+(* zext (zext x)) -> zext x; sext (sext x) -> sext x *)
+let ext_of_ext =
+  rule ~family:"cast" "ext-of-ext" (fun ctx ni ->
+      match ni.instr with
+      | Cast { op = (ZExt | SExt) as op; src_ty = _; value; dst_ty } -> (
+        match def_of ctx value with
+        | Some (Cast { op = op'; src_ty = inner_src; value = x; _ })
+          when op = op' && one_use ctx value ->
+          Some (Instr (Cast { op; src_ty = inner_src; value = x; dst_ty }))
+        | Some (Cast { op = ZExt; src_ty = inner_src; value = x; _ })
+          when op = SExt && one_use ctx value ->
+          (* sext (zext x) -> zext x: the zext result is non-negative *)
+          Some (Instr (Cast { op = ZExt; src_ty = inner_src; value = x; dst_ty }))
+        | _ -> None)
+      | _ -> None)
+
+(* trunc (trunc x) -> trunc x *)
+let trunc_of_trunc =
+  rule ~family:"cast" "trunc-of-trunc" (fun ctx ni ->
+      match ni.instr with
+      | Cast { op = Trunc; src_ty = _; value; dst_ty } -> (
+        match def_of ctx value with
+        | Some (Cast { op = Trunc; src_ty = inner_src; value = x; _ }) when one_use ctx value ->
+          Some (Instr (Cast { op = Trunc; src_ty = inner_src; value = x; dst_ty }))
+        | _ -> None)
+      | _ -> None)
+
+(* trunc (zext/sext x) -> x | zext x | sext x | trunc x, by width *)
+let trunc_of_ext =
+  rule ~family:"cast" "trunc-of-ext" (fun ctx ni ->
+      match ni.instr with
+      | Cast { op = Trunc; src_ty = _; value; dst_ty = Types.Int dw } -> (
+        match def_of ctx value with
+        | Some (Cast { op = (ZExt | SExt) as inner_op; src_ty = Types.Int sw; value = x; _ })
+          when one_use ctx value ->
+          if dw = sw then Some (Value x)
+          else if dw < sw then
+            Some (Instr (Cast { op = Trunc; src_ty = Types.Int sw; value = x; dst_ty = Types.Int dw }))
+          else
+            Some
+              (Instr (Cast { op = inner_op; src_ty = Types.Int sw; value = x; dst_ty = Types.Int dw }))
+        | _ -> None)
+      | _ -> None)
+
+(* zext i1 (icmp ...) stays; but zext of a value whose width already matches
+   constant-folds via Fold.  A useful extra: sext x when x's sign bit is
+   known zero -> zext x (canonical, cheaper on most targets). *)
+let sext_nonneg_to_zext =
+  rule ~family:"cast" "sext-nonneg-to-zext" (fun ctx ni ->
+      match ni.instr with
+      | Cast { op = SExt; src_ty = Types.Int sw; value; dst_ty } ->
+        let k = known ctx sw value in
+        if Bits.bit sw k.Known_bits.zero (sw - 1) then
+          Some (Instr (Cast { op = ZExt; src_ty = Types.Int sw; value; dst_ty }))
+        else None
+      | _ -> None)
+
+let rules = [ ext_of_ext; trunc_of_trunc; trunc_of_ext; sext_nonneg_to_zext ]

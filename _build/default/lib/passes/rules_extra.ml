@@ -1,0 +1,200 @@
+(** A second tier of peephole rules: negation/complement identities,
+    known-bits-strengthened division, and the zext/icmp cleanups that clang
+    -O0 code is full of. *)
+
+open Veriopt_ir
+open Ast
+open Rewrite
+
+let w_of ty = Types.width ty
+
+(* 0 - (0 - x) -> x *)
+let neg_of_neg =
+  rule ~family:"sub" "neg-of-neg" (fun ctx ni ->
+      match ni.instr with
+      | Binop { op = Sub; lhs; rhs; _ } when is_zero lhs -> (
+        match def_of ctx rhs with
+        | Some (Binop { op = Sub; lhs = z; rhs = x; _ }) when is_zero z -> Some (Value x)
+        | _ -> None)
+      | _ -> None)
+
+(* helper: is [op] the bitwise complement of [x]? *)
+let is_not_of ctx op x =
+  match def_of ctx op with
+  | Some (Binop { op = Xor; lhs; rhs; _ }) ->
+    (same_operand lhs x && is_all_ones rhs) || (same_operand rhs x && is_all_ones lhs)
+  | _ -> false
+
+(* x + ~x -> -1 *)
+let add_not_self =
+  rule ~family:"add" "add-not-self" (fun ctx ni ->
+      match ni.instr with
+      | Binop { op = Add; ty; lhs; rhs; _ }
+        when is_not_of ctx rhs lhs || is_not_of ctx lhs rhs ->
+        Some (Value (const_int (w_of ty) (Bits.all_ones (w_of ty))))
+      | _ -> None)
+
+(* x & ~x -> 0 *)
+let and_not_self =
+  rule ~family:"logic" "and-not-self" (fun ctx ni ->
+      match ni.instr with
+      | Binop { op = And; ty; lhs; rhs; _ }
+        when is_not_of ctx rhs lhs || is_not_of ctx lhs rhs ->
+        Some (Value (const_int (w_of ty) 0L))
+      | _ -> None)
+
+(* x | ~x -> -1 *)
+let or_not_self =
+  rule ~family:"logic" "or-not-self" (fun ctx ni ->
+      match ni.instr with
+      | Binop { op = Or; ty; lhs; rhs; _ }
+        when is_not_of ctx rhs lhs || is_not_of ctx lhs rhs ->
+        Some (Value (const_int (w_of ty) (Bits.all_ones (w_of ty))))
+      | _ -> None)
+
+(* icmp ne (zext i1 %c to iN), 0 -> %c ; the eq form negates.  This is the
+   `%tobool` pattern clang emits for every condition built from a stored
+   comparison. *)
+let icmp_zext_bool =
+  rule ~family:"icmp" "icmp-zext-bool" (fun ctx ni ->
+      match ni.instr with
+      (* the narrowed form the zext-const rule leaves behind *)
+      | Icmp { pred = Ne; ty = Types.Int 1; lhs; rhs } when is_zero rhs -> Some (Value lhs)
+      | Icmp { pred = Eq; ty = Types.Int 1; lhs; rhs } when is_zero rhs ->
+        Some
+          (Instr
+             (Binop { op = Xor; flags = no_flags; ty = Types.i1; lhs; rhs = const_bool true }))
+      | Icmp { pred = (Ne | Eq) as pred; lhs; rhs; _ } when is_zero rhs -> (
+        match def_of ctx lhs with
+        | Some (Cast { op = ZExt; src_ty = Types.Int 1; value; _ }) ->
+          if pred = Ne then Some (Value value)
+          else
+            Some
+              (Instr
+                 (Binop
+                    { op = Xor; flags = no_flags; ty = Types.i1; lhs = value; rhs = const_bool true }))
+        | _ -> None)
+      | _ -> None)
+
+(* xor (icmp pred a, b), true -> icmp !pred a, b *)
+let xor_icmp_negate =
+  rule ~family:"icmp" "xor-icmp-negate" (fun ctx ni ->
+      match ni.instr with
+      | Binop { op = Xor; ty = Types.Int 1; lhs; rhs; _ } when is_cint 1L rhs -> (
+        match def_of ctx lhs with
+        | Some (Icmp i) when one_use ctx lhs ->
+          Some (Instr (Icmp { i with pred = icmp_negate_pred i.pred }))
+        | _ -> None)
+      | _ -> None)
+
+(* sdiv x, 2^k -> lshr x, k when the sign bit of x is known zero *)
+let sdiv_pow2_nonneg =
+  rule ~family:"div" "sdiv-pow2-nonneg" (fun ctx ni ->
+      match ni.instr with
+      | Binop { op = SDiv; ty; lhs; rhs; _ } -> (
+        match cint rhs with
+        | Some (w, c) when Bits.is_power_of_two w c && c <> 1L ->
+          let k = known ctx w lhs in
+          if Bits.bit w k.Known_bits.zero (w - 1) then
+            Some
+              (Instr
+                 (Binop
+                    {
+                      op = LShr;
+                      flags = no_flags;
+                      ty;
+                      lhs;
+                      rhs = const_int w (Int64.of_int (Bits.log2 w c));
+                    }))
+          else None
+        | _ -> None)
+      | _ -> None)
+
+(* srem x, 2^k -> and x, 2^k-1 when x is known non-negative *)
+let srem_pow2_nonneg =
+  rule ~family:"div" "srem-pow2-nonneg" (fun ctx ni ->
+      match ni.instr with
+      | Binop { op = SRem; ty; lhs; rhs; _ } -> (
+        match cint rhs with
+        | Some (w, c) when Bits.is_power_of_two w c ->
+          let k = known ctx w lhs in
+          if Bits.bit w k.Known_bits.zero (w - 1) then
+            Some
+              (Instr
+                 (Binop { op = And; flags = no_flags; ty; lhs; rhs = const_int w (Bits.sub w c 1L) }))
+          else None
+        | _ -> None)
+      | _ -> None)
+
+(* icmp slt x, 0 decided by the known sign bit *)
+let icmp_sign_known =
+  rule ~family:"icmp" "icmp-sign-known" (fun ctx ni ->
+      match ni.instr with
+      | Icmp { pred = Slt; ty = Types.Int w; lhs; rhs } when is_zero rhs ->
+        let k = known ctx w lhs in
+        if Bits.bit w k.Known_bits.zero (w - 1) then Some (Value (const_bool false))
+        else if Bits.bit w k.Known_bits.one (w - 1) then Some (Value (const_bool true))
+        else None
+      | Icmp { pred = Sge; ty = Types.Int w; lhs; rhs } when is_zero rhs ->
+        let k = known ctx w lhs in
+        if Bits.bit w k.Known_bits.zero (w - 1) then Some (Value (const_bool true))
+        else if Bits.bit w k.Known_bits.one (w - 1) then Some (Value (const_bool false))
+        else None
+      | _ -> None)
+
+(* (x ^ c1) == c2  ->  x == (c1 ^ c2), and the ne form *)
+let icmp_eq_xor_const =
+  rule ~family:"icmp" "icmp-eq-xor-const" (fun ctx ni ->
+      match ni.instr with
+      | Icmp { pred = (Eq | Ne) as pred; ty; lhs; rhs } -> (
+        match (def_of ctx lhs, cint rhs) with
+        | Some (Binop { op = Xor; lhs = x; rhs = inner; _ }), Some (w, c2) -> (
+          match cint inner with
+          | Some (_, c1) when one_use ctx lhs ->
+            Some (Instr (Icmp { pred; ty; lhs = x; rhs = const_int w (Bits.logxor w c1 c2) }))
+          | _ -> None)
+        | _ -> None)
+      | _ -> None)
+
+(* (x | c) has at least the bits of c: x | c == 0 is false when c != 0 is
+   covered by known-bits; here the sub-of-self chain: (x - y) where
+   x == y via a copy: sub (or x, 0) x -> 0 falls out of or-zero; what is
+   genuinely extra: sub x, (add x, c) -> -c *)
+let sub_add_const_cancel =
+  rule ~family:"sub" "sub-add-const-cancel" (fun ctx ni ->
+      match ni.instr with
+      | Binop { op = Sub; ty; lhs; rhs; _ } -> (
+        match def_of ctx rhs with
+        | Some (Binop { op = Add; lhs = x; rhs = inner; _ }) when same_operand x lhs -> (
+          match cint inner with
+          | Some (w, c) -> Some (Value (const_int w (Bits.neg w c)))
+          | None ->
+            ignore ty;
+            None)
+        | _ -> None)
+      | _ -> None)
+
+(* select c, x, 0 -> and (sext c), x at i1?  Too clever; instead the widely
+   useful: zext (icmp) used only by a trunc back to i1 collapses via
+   trunc-of-ext.  Extra here: freeze of a non-poison constant -> constant *)
+let freeze_const =
+  rule ~family:"cast" "freeze-const" (fun _ctx ni ->
+      match ni.instr with
+      | Freeze { value = Const (CInt _) as c; _ } -> Some (Value c)
+      | _ -> None)
+
+let rules =
+  [
+    neg_of_neg;
+    add_not_self;
+    and_not_self;
+    or_not_self;
+    icmp_zext_bool;
+    xor_icmp_negate;
+    sdiv_pow2_nonneg;
+    srem_pow2_nonneg;
+    icmp_sign_known;
+    icmp_eq_xor_const;
+    sub_add_const_cancel;
+    freeze_const;
+  ]

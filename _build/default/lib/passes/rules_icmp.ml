@@ -1,0 +1,136 @@
+(** Peephole rules over icmp. *)
+
+open Veriopt_ir
+open Ast
+open Rewrite
+
+(* icmp pred x, x *)
+let icmp_self =
+  rule ~family:"icmp" "icmp-self" (fun _ctx ni ->
+      match ni.instr with
+      | Icmp { pred; lhs; rhs; _ } when same_operand lhs rhs -> (
+        match pred with
+        | Eq | Ule | Uge | Sle | Sge -> Some (Value (const_bool true))
+        | Ne | Ult | Ugt | Slt | Sgt -> Some (Value (const_bool false)))
+      | _ -> None)
+
+(* comparisons against the extremes of the value range *)
+let icmp_range =
+  rule ~family:"icmp" "icmp-range" (fun _ctx ni ->
+      match ni.instr with
+      | Icmp { pred; ty; lhs = _; rhs; _ } -> (
+        match (cint rhs, ty) with
+        | Some (w, c), Types.Int _ -> (
+          let umax = Bits.all_ones w and smax = Bits.max_signed w and smin = Bits.min_signed w in
+          match pred with
+          | Ult when c = 0L -> Some (Value (const_bool false))
+          | Uge when c = 0L -> Some (Value (const_bool true))
+          | Ugt when c = umax -> Some (Value (const_bool false))
+          | Ule when c = umax -> Some (Value (const_bool true))
+          | Sgt when c = smax -> Some (Value (const_bool false))
+          | Sle when c = smax -> Some (Value (const_bool true))
+          | Slt when c = smin -> Some (Value (const_bool false))
+          | Sge when c = smin -> Some (Value (const_bool true))
+          | _ -> None)
+        | _ -> None)
+      | _ -> None)
+
+(* icmp ult x, 1 -> icmp eq x, 0 ; icmp ugt x, umax-1 -> icmp eq x, umax *)
+let icmp_boundary_to_eq =
+  rule ~family:"icmp" "icmp-boundary-to-eq" (fun _ctx ni ->
+      match ni.instr with
+      | Icmp { pred; ty; lhs; rhs } -> (
+        match (cint rhs, ty) with
+        | Some (w, c), Types.Int _ -> (
+          match pred with
+          | Ult when c = 1L -> Some (Instr (Icmp { pred = Eq; ty; lhs; rhs = const_int w 0L }))
+          | Ugt when c = Bits.sub w (Bits.all_ones w) 1L ->
+            Some (Instr (Icmp { pred = Eq; ty; lhs; rhs = const_int w (Bits.all_ones w) }))
+          | Slt when c = Bits.add w (Bits.min_signed w) 1L ->
+            Some (Instr (Icmp { pred = Eq; ty; lhs; rhs = const_int w (Bits.min_signed w) }))
+          | Sgt when c = Bits.sub w (Bits.max_signed w) 1L ->
+            Some (Instr (Icmp { pred = Eq; ty; lhs; rhs = const_int w (Bits.max_signed w) }))
+          | _ -> None)
+        | _ -> None)
+      | _ -> None)
+
+(* icmp eq/ne (add x, c1), c2 -> icmp eq/ne x, c2-c1 *)
+let icmp_eq_add_const =
+  rule ~family:"icmp" "icmp-eq-add-const" (fun ctx ni ->
+      match ni.instr with
+      | Icmp { pred = (Eq | Ne) as pred; ty; lhs; rhs } -> (
+        match (def_of ctx lhs, cint rhs) with
+        | Some (Binop { op = Add; lhs = x; rhs = inner; _ }), Some (w, c2) -> (
+          match cint inner with
+          | Some (_, c1) when one_use ctx lhs ->
+            Some (Instr (Icmp { pred; ty; lhs = x; rhs = const_int w (Bits.sub w c2 c1) }))
+          | _ -> None)
+        | _ -> None)
+      | _ -> None)
+
+(* icmp eq (xor x, y), 0 -> icmp eq x, y (and ne alike) *)
+let icmp_xor_zero =
+  rule ~family:"icmp" "icmp-xor-zero" (fun ctx ni ->
+      match ni.instr with
+      | Icmp { pred = (Eq | Ne) as pred; ty; lhs; rhs } when is_zero rhs -> (
+        match def_of ctx lhs with
+        | Some (Binop { op = Xor; lhs = x; rhs = y; _ }) when one_use ctx lhs ->
+          Some (Instr (Icmp { pred; ty; lhs = x; rhs = y }))
+        | _ -> None)
+      | _ -> None)
+
+(* icmp eq (zext x), c: out-of-range c decides the comparison; in-range
+   narrows to the source width *)
+let icmp_zext_const =
+  rule ~family:"icmp" "icmp-zext-const" (fun ctx ni ->
+      match ni.instr with
+      | Icmp { pred = (Eq | Ne) as pred; ty = _; lhs; rhs } -> (
+        match (def_of ctx lhs, cint rhs) with
+        | Some (Cast { op = ZExt; src_ty = Types.Int sw; value; _ }), Some (w, c)
+          when one_use ctx lhs ->
+          if Bits.zext sw w (Bits.mask sw c) <> c then
+            (* c not representable: eq is false, ne is true *)
+            Some (Value (const_bool (pred = Ne)))
+          else
+            Some
+              (Instr
+                 (Icmp { pred; ty = Types.Int sw; lhs = value; rhs = const_int sw (Bits.mask sw c) }))
+        | _ -> None)
+      | _ -> None)
+
+(* icmp ugt x, 0 -> icmp ne x, 0 *)
+let icmp_ugt_zero =
+  rule ~family:"icmp" "icmp-ugt-zero" (fun _ctx ni ->
+      match ni.instr with
+      | Icmp { pred = Ugt; ty; lhs; rhs } when is_zero rhs ->
+        Some (Instr (Icmp { pred = Ne; ty; lhs; rhs }))
+      | _ -> None)
+
+(* known-bits decided comparisons: eq/ne where a known bit differs *)
+let icmp_known_bits =
+  rule ~family:"icmp" "icmp-known-bits" (fun ctx ni ->
+      match ni.instr with
+      | Icmp { pred = (Eq | Ne) as pred; ty = Types.Int w; lhs; rhs } -> (
+        match cint rhs with
+        | Some (_, c) ->
+          let k = known ctx w lhs in
+          (* a bit known 1 where c has 0, or known 0 where c has 1, decides it *)
+          if
+            Int64.logand k.Known_bits.one (Bits.lognot w c) <> 0L
+            || Int64.logand k.Known_bits.zero c <> 0L
+          then Some (Value (const_bool (pred = Ne)))
+          else None
+        | None -> None)
+      | _ -> None)
+
+let rules =
+  [
+    icmp_self;
+    icmp_range;
+    icmp_boundary_to_eq;
+    icmp_eq_add_const;
+    icmp_xor_zero;
+    icmp_zext_const;
+    icmp_ugt_zero;
+    icmp_known_bits;
+  ]

@@ -1,0 +1,159 @@
+(** Peephole rules over and / or / xor, including two known-bits-driven
+    simplifications. *)
+
+open Veriopt_ir
+open Ast
+open Rewrite
+
+let w_of ty = Types.width ty
+
+let and_zero =
+  rule ~family:"logic" "and-zero" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = And; ty; lhs; rhs; _ } when is_zero rhs || is_zero lhs ->
+        Some (Value (const_int (w_of ty) 0L))
+      | _ -> None)
+
+let and_all_ones =
+  rule ~family:"logic" "and-all-ones" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = And; lhs; rhs; _ } when is_all_ones rhs -> Some (Value lhs)
+      | Binop { op = And; lhs; rhs; _ } when is_all_ones lhs -> Some (Value rhs)
+      | _ -> None)
+
+let and_self =
+  rule ~family:"logic" "and-self" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = And; lhs; rhs; _ } when same_operand lhs rhs -> Some (Value lhs)
+      | _ -> None)
+
+let or_zero =
+  rule ~family:"logic" "or-zero" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = Or; lhs; rhs; _ } when is_zero rhs -> Some (Value lhs)
+      | Binop { op = Or; lhs; rhs; _ } when is_zero lhs -> Some (Value rhs)
+      | _ -> None)
+
+let or_all_ones =
+  rule ~family:"logic" "or-all-ones" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = Or; ty; lhs; rhs; _ } when is_all_ones rhs || is_all_ones lhs ->
+        Some (Value (const_int (w_of ty) (Bits.all_ones (w_of ty))))
+      | _ -> None)
+
+let or_self =
+  rule ~family:"logic" "or-self" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = Or; lhs; rhs; _ } when same_operand lhs rhs -> Some (Value lhs)
+      | _ -> None)
+
+let xor_zero =
+  rule ~family:"logic" "xor-zero" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = Xor; lhs; rhs; _ } when is_zero rhs -> Some (Value lhs)
+      | Binop { op = Xor; lhs; rhs; _ } when is_zero lhs -> Some (Value rhs)
+      | _ -> None)
+
+let xor_self =
+  rule ~family:"logic" "xor-self" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = Xor; ty; lhs; rhs; _ } when same_operand lhs rhs ->
+        Some (Value (const_int (w_of ty) 0L))
+      | _ -> None)
+
+(* (x op c1) op c2 -> x op (c1 op c2) for the same associative bit op *)
+let assoc_const =
+  rule ~family:"logic" "logic-assoc-const" (fun ctx ni ->
+      match ni.instr with
+      | Binop { op = (And | Or | Xor) as op; ty; lhs; rhs; _ } -> (
+        match (def_of ctx lhs, cint rhs) with
+        | Some (Binop { op = op'; lhs = x; rhs = inner; _ }), Some (w, c2) when op = op' -> (
+          match cint inner with
+          | Some (_, c1) when one_use ctx lhs ->
+            let c =
+              match op with
+              | And -> Bits.logand w c1 c2
+              | Or -> Bits.logor w c1 c2
+              | Xor -> Bits.logxor w c1 c2
+              | _ -> assert false
+            in
+            Some (Instr (Binop { op; flags = no_flags; ty; lhs = x; rhs = const_int w c }))
+          | _ -> None)
+        | _ -> None)
+      | _ -> None)
+
+(* x and (x or y) -> x;  x or (x and y) -> x *)
+let absorption =
+  rule ~family:"logic" "absorption" (fun ctx ni ->
+      let matches outer inner a b =
+        match def_of ctx b with
+        | Some (Binop { op; lhs = x; rhs = y; _ })
+          when op = inner && (same_operand x a || same_operand y a) ->
+          ignore outer;
+          true
+        | _ -> false
+      in
+      match ni.instr with
+      | Binop { op = And; lhs; rhs; _ } when matches And Or lhs rhs -> Some (Value lhs)
+      | Binop { op = And; lhs; rhs; _ } when matches And Or rhs lhs -> Some (Value rhs)
+      | Binop { op = Or; lhs; rhs; _ } when matches Or And lhs rhs -> Some (Value lhs)
+      | Binop { op = Or; lhs; rhs; _ } when matches Or And rhs lhs -> Some (Value rhs)
+      | _ -> None)
+
+(* and x, c -> x when the known zero bits of x cover ~c *)
+let and_known_bits =
+  rule ~family:"logic" "and-known-bits" (fun ctx ni ->
+      match ni.instr with
+      | Binop { op = And; ty; lhs; rhs; _ } -> (
+        match cint rhs with
+        | Some (w, c) ->
+          let k = known ctx w lhs in
+          if Int64.logand k.Known_bits.zero (Bits.lognot w c) = Bits.lognot w c then
+            Some (Value lhs)
+          else if Int64.logand (Int64.logor k.Known_bits.zero k.Known_bits.one) c = c then
+            (* all bits selected by c are known: fold to constant *)
+            Some (Value (const_int (Types.width ty) (Int64.logand k.Known_bits.one c)))
+          else None
+        | None -> None)
+      | _ -> None)
+
+(* or x, c -> c when the known one bits of x cover c's complement... more
+   usefully: or x, c -> x when the bits of c are already known one in x *)
+let or_known_bits =
+  rule ~family:"logic" "or-known-bits" (fun ctx ni ->
+      match ni.instr with
+      | Binop { op = Or; ty = _; lhs; rhs; _ } -> (
+        match cint rhs with
+        | Some (w, c) ->
+          let k = known ctx w lhs in
+          if Int64.logand k.Known_bits.one c = c then Some (Value lhs) else None
+        | None -> None)
+      | _ -> None)
+
+(* xor (xor x, y), y -> x *)
+let xor_xor_cancel =
+  rule ~family:"logic" "xor-xor-cancel" (fun ctx ni ->
+      match ni.instr with
+      | Binop { op = Xor; lhs; rhs; _ } -> (
+        match def_of ctx lhs with
+        | Some (Binop { op = Xor; lhs = x; rhs = y; _ }) when same_operand y rhs -> Some (Value x)
+        | Some (Binop { op = Xor; lhs = x; rhs = y; _ }) when same_operand x rhs -> Some (Value y)
+        | _ -> None)
+      | _ -> None)
+
+let rules =
+  [
+    and_zero;
+    and_all_ones;
+    and_self;
+    or_zero;
+    or_all_ones;
+    or_self;
+    xor_zero;
+    xor_self;
+    assoc_const;
+    absorption;
+    and_known_bits;
+    or_known_bits;
+    xor_xor_cancel;
+  ]

@@ -1,0 +1,4 @@
+(** Peephole rules: the logic family.  Individual rules are registered through
+    {!Instcombine.all_rules}; only the list is exported. *)
+
+val rules : Rewrite.rule list

@@ -1,0 +1,246 @@
+(** Block-local memory optimizations: store-to-load forwarding, redundant
+    load elimination, and dead store elimination.
+
+    The alias discipline is deliberately conservative: two accesses
+    must-alias when they share the same pointer SSA root and constant offset;
+    they no-alias when rooted at distinct allocas, or at the same root with
+    disjoint constant ranges; anything else may-alias and blocks the
+    optimization.  Calls block accesses to escaped allocas and to all
+    non-alloca memory. *)
+
+open Veriopt_ir
+open Ast
+
+type access = { root : operand; offset : int option (* None: unknown *) }
+
+(* Follow gep chains with constant indices back to the pointer root. *)
+let rec resolve (defs : (var, instr) Hashtbl.t) (p : operand) : access =
+  match p with
+  | Var v -> (
+    match Hashtbl.find_opt defs v with
+    | Some (Gep { base_ty; ptr; indices; _ }) -> (
+      let base = resolve defs ptr in
+      match base.offset with
+      | None -> { root = base.root; offset = None }
+      | Some base_off -> (
+        let rec walk ty indices acc =
+          match indices with
+          | [] -> Some acc
+          | (_, Const (CInt { width; value })) :: rest -> (
+            let idx = Int64.to_int (Bits.to_signed width value) in
+            match ty with
+            | Types.Struct ts ->
+              if idx < 0 || idx >= List.length ts then None
+              else walk (List.nth ts idx) rest (acc + Types.struct_field_offset ts idx)
+            | Types.Array (_, elt) -> walk elt rest (acc + (idx * Types.size_in_bytes elt))
+            | t -> walk t rest (acc + (idx * Types.size_in_bytes t))
+          )
+          | _ -> None
+        in
+        (* first index scales by the whole type *)
+        match indices with
+        | [] -> { root = base.root; offset = Some base_off }
+        | (_, Const (CInt { width; value })) :: rest -> (
+          let idx = Int64.to_int (Bits.to_signed width value) in
+          let first = idx * Types.size_in_bytes base_ty in
+          match walk base_ty rest (base_off + first) with
+          | Some off -> { root = base.root; offset = Some off }
+          | None -> { root = base.root; offset = None })
+        | _ -> { root = base.root; offset = None }))
+    | Some (Cast { op = Bitcast; value; _ }) -> resolve defs value
+    | _ -> { root = p; offset = Some 0 })
+  | _ -> { root = p; offset = Some 0 }
+
+let is_alloca_root defs = function
+  | Var v -> ( match Hashtbl.find_opt defs v with Some (Alloca _) -> true | _ -> false)
+  | _ -> false
+
+(* An alloca escapes if its address is stored, passed to a call, or cast. *)
+let escaped_allocas (f : func) (defs : (var, instr) Hashtbl.t) : (var, unit) Hashtbl.t =
+  let escaped = Hashtbl.create 8 in
+  let root_var op = match (resolve defs op).root with Var v -> Some v | _ -> None in
+  let mark op =
+    match root_var op with
+    | Some v when is_alloca_root defs (Var v) -> Hashtbl.replace escaped v ()
+    | _ -> ()
+  in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun { instr; _ } ->
+          match instr with
+          | Store { value; _ } -> mark value (* address stored to memory *)
+          | Call { args; _ } -> List.iter (fun (_, a) -> mark a) args
+          | Cast { op = PtrToInt; value; _ } -> mark value
+          | _ -> ())
+        b.instrs)
+    f.blocks;
+  escaped
+
+type alias = Must | May | No
+
+let alias_of defs escaped (a : access) wa (b : access) wb : alias =
+  let private_alloca = function
+    | Var v -> is_alloca_root defs (Var v) && not (Hashtbl.mem escaped v)
+    | _ -> false
+  in
+  let distinct_allocas =
+    match (a.root, b.root) with
+    | Var x, Var y ->
+      x <> y && is_alloca_root defs (Var x) && is_alloca_root defs (Var y)
+    | _ -> false
+  in
+  if distinct_allocas then No
+  else if a.root = b.root then
+    match (a.offset, b.offset) with
+    | Some oa, Some ob ->
+      if oa = ob && wa = wb then Must
+      else if oa + ((wa + 7) / 8) <= ob || ob + ((wb + 7) / 8) <= oa then No
+      else May
+    | _ -> May
+  else if
+    (* a non-escaped alloca cannot be reached through a parameter, a global,
+       or any other pointer root *)
+    private_alloca a.root || private_alloca b.root
+  then No
+  else May
+
+let width_of_ty = function Types.Int w -> Some w | Types.Ptr -> Some 64 | _ -> None
+
+type trace_entry = { rule : string; site : string }
+
+(* Store-to-load forwarding and redundant-load elimination within a block. *)
+let forward_loads (f : func) : func * trace_entry list =
+  let defs = Builder.def_map f in
+  let escaped = escaped_allocas f defs in
+  let trace = ref [] in
+  let f_ref = ref f in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let defs = Builder.def_map !f_ref in
+    let blocks = (!f_ref).blocks in
+    (* find the first forwardable load *)
+    let found = ref None in
+    List.iter
+      (fun b ->
+        if !found = None then
+          List.iteri
+            (fun i ni ->
+              if !found = None then
+                match (ni.name, ni.instr) with
+                | Some lname, Load { ty; ptr; _ } -> (
+                  match width_of_ty ty with
+                  | None -> ()
+                  | Some w -> (
+                    let acc = resolve defs ptr in
+                    let alloca_private =
+                      match acc.root with
+                      | Var v -> is_alloca_root defs (Var v) && not (Hashtbl.mem escaped v)
+                      | _ -> false
+                    in
+                    (* scan backwards *)
+                    let rec scan j =
+                      if j < 0 then None
+                      else
+                        let prev = List.nth b.instrs j in
+                        match prev.instr with
+                        | Store { ty = sty; value; ptr = sptr; _ } -> (
+                          match width_of_ty sty with
+                          | None -> None
+                          | Some sw -> (
+                            let sacc = resolve defs sptr in
+                            match alias_of defs escaped acc w sacc sw with
+                            | Must -> Some (`Forward value)
+                            | No -> scan (j - 1)
+                            | May -> None))
+                        | Load { ty = lty; ptr = lptr; _ } -> (
+                          match (prev.name, width_of_ty lty) with
+                          | Some pname, Some lw
+                            when alias_of defs escaped acc w (resolve defs lptr) lw = Must ->
+                            Some (`Reuse pname)
+                          | _ -> scan (j - 1))
+                        | Call _ -> if alloca_private then scan (j - 1) else None
+                        | _ -> scan (j - 1)
+                    in
+                    match scan (i - 1) with
+                    | Some (`Forward value) -> found := Some (lname, value, "store-to-load-forward")
+                    | Some (`Reuse pname) -> found := Some (lname, Var pname, "redundant-load")
+                    | None -> ()))
+                | _ -> ())
+            b.instrs)
+      blocks;
+    match !found with
+    | Some (lname, value, rule) ->
+      f_ref := Builder.substitute_operand !f_ref ~from:lname ~to_:value;
+      f_ref := Builder.replace_instr !f_ref ~name:lname ~with_:[];
+      trace := { rule; site = lname } :: !trace;
+      changed := true
+    | None -> ()
+  done;
+  (!f_ref, List.rev !trace)
+
+(* Dead-store elimination: a store overwritten in the same block before any
+   potentially-reading operation. *)
+let eliminate_dead_stores (f : func) : func * trace_entry list =
+  let trace = ref [] in
+  let f_ref = ref f in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let defs = Builder.def_map !f_ref in
+    let escaped = escaped_allocas !f_ref defs in
+    let found = ref None in
+    List.iter
+      (fun b ->
+        if !found = None then
+          List.iteri
+            (fun i ni ->
+              if !found = None then
+                match ni.instr with
+                | Store { ty; ptr; _ } -> (
+                  match width_of_ty ty with
+                  | None -> ()
+                  | Some w -> (
+                    let acc = resolve defs ptr in
+                    let alloca_private =
+                      match acc.root with
+                      | Var v -> is_alloca_root defs (Var v) && not (Hashtbl.mem escaped v)
+                      | _ -> false
+                    in
+                    let n = List.length b.instrs in
+                    let rec scan j =
+                      if j >= n then false
+                      else
+                        let next = List.nth b.instrs j in
+                        match next.instr with
+                        | Store { ty = sty; ptr = sptr; _ } -> (
+                          match width_of_ty sty with
+                          | None -> false
+                          | Some sw -> (
+                            match alias_of defs escaped acc w (resolve defs sptr) sw with
+                            | Must -> true (* overwritten: dead *)
+                            | No -> scan (j + 1)
+                            | May -> false))
+                        | Load { ty = lty; ptr = lptr; _ } -> (
+                          match width_of_ty lty with
+                          | None -> false
+                          | Some lw -> (
+                            match alias_of defs escaped acc w (resolve defs lptr) lw with
+                            | No -> scan (j + 1)
+                            | Must | May -> false))
+                        | Call _ -> if alloca_private then scan (j + 1) else false
+                        | _ -> scan (j + 1)
+                    in
+                    if scan (i + 1) then found := Some (b.label, i)))
+                | _ -> ())
+            b.instrs)
+      (!f_ref).blocks;
+    match !found with
+    | Some (label, index) ->
+      f_ref := Builder.remove_instr_at !f_ref ~block:label ~index;
+      trace := { rule = "dead-store"; site = Fmt.str "%s:%d" label index } :: !trace;
+      changed := true
+    | None -> ()
+  done;
+  (!f_ref, List.rev !trace)

@@ -1,0 +1,23 @@
+(** Block-local memory optimization with a conservative alias discipline,
+    plus the escape analysis shared with mem2reg. *)
+
+open Veriopt_ir
+
+type access = { root : Ast.operand; offset : int option }
+
+val resolve : (Ast.var, Ast.instr) Hashtbl.t -> Ast.operand -> access
+val is_alloca_root : (Ast.var, Ast.instr) Hashtbl.t -> Ast.operand -> bool
+val escaped_allocas : Ast.func -> (Ast.var, Ast.instr) Hashtbl.t -> (Ast.var, unit) Hashtbl.t
+
+type alias = Must | May | No
+
+val alias_of :
+  (Ast.var, Ast.instr) Hashtbl.t -> (Ast.var, unit) Hashtbl.t -> access -> int -> access -> int ->
+  alias
+
+type trace_entry = { rule : string; site : string }
+
+val forward_loads : Ast.func -> Ast.func * trace_entry list
+(** Store-to-load forwarding and redundant-load elimination. *)
+
+val eliminate_dead_stores : Ast.func -> Ast.func * trace_entry list

@@ -1,0 +1,153 @@
+(** Narrowing and widening transforms: moving computation to the width where
+    it is cheapest, plus the De Morgan rewrite (the catalog's one
+    multi-instruction [Expand] rule). *)
+
+open Veriopt_ir
+open Ast
+open Rewrite
+
+(* zext (trunc x to iN) to iM, with x : iM  ->  and x, (2^N - 1) *)
+let zext_of_trunc_mask =
+  rule ~family:"cast" "zext-of-trunc-to-and" (fun ctx ni ->
+      match ni.instr with
+      | Cast { op = ZExt; src_ty = Types.Int sw; value; dst_ty = Types.Int dw } -> (
+        match def_of ctx value with
+        | Some (Cast { op = Trunc; src_ty = Types.Int ow; value = x; _ })
+          when ow = dw && one_use ctx value ->
+          Some
+            (Instr
+               (Binop
+                  {
+                    op = And;
+                    flags = no_flags;
+                    ty = Types.Int dw;
+                    lhs = x;
+                    rhs = const_int dw (Bits.mask dw (Int64.sub (Int64.shift_left 1L sw) 1L));
+                  }))
+        | _ -> None)
+      | _ -> None)
+
+(* bitwise op of two zexts from the same width -> zext of the narrow op *)
+let bitwise_of_zexts =
+  rule ~family:"logic" "bitwise-of-zexts" (fun ctx ni ->
+      match ni.instr with
+      | Binop { op = (And | Or | Xor) as op; ty = Types.Int dw; lhs; rhs; _ } -> (
+        match (def_of ctx lhs, def_of ctx rhs) with
+        | ( Some (Cast { op = ZExt; src_ty = Types.Int sw1; value = a; _ }),
+            Some (Cast { op = ZExt; src_ty = Types.Int sw2; value = b; _ }) )
+          when sw1 = sw2 && one_use ctx lhs && one_use ctx rhs ->
+          let names = Builder.names_of_func ctx.func in
+          let narrow = Builder.fresh names "narrow" in
+          let widened = Builder.fresh names "widened" in
+          Some
+            (Expand
+               ( [
+                   {
+                     name = Some narrow;
+                     instr = Binop { op; flags = no_flags; ty = Types.Int sw1; lhs = a; rhs = b };
+                   };
+                   {
+                     name = Some widened;
+                     instr =
+                       Cast
+                         {
+                           op = ZExt;
+                           src_ty = Types.Int sw1;
+                           value = Var narrow;
+                           dst_ty = Types.Int dw;
+                         };
+                   };
+                 ],
+                 Var widened ))
+        | _ -> None)
+      | _ -> None)
+
+(* trunc (bitwise-op x, y) -> bitwise-op (trunc x), (trunc y): low bits only
+   depend on low bits.  Restricted to a constant rhs so no new instructions
+   are needed for the second operand. *)
+let trunc_of_bitwise_const =
+  rule ~family:"cast" "trunc-of-bitwise-const" (fun ctx ni ->
+      match ni.instr with
+      | Cast { op = Trunc; src_ty = Types.Int sw; value; dst_ty = Types.Int dw } -> (
+        match def_of ctx value with
+        | Some (Binop { op = (And | Or | Xor | Add | Sub | Mul) as op; lhs = x; rhs; _ })
+          when one_use ctx value -> (
+          match cint rhs with
+          | Some (_, c) ->
+            let names = Builder.names_of_func ctx.func in
+            let narrow = Builder.fresh names "narrow" in
+            let folded = Builder.fresh names "folded" in
+            Some
+              (Expand
+                 ( [
+                     {
+                       name = Some narrow;
+                       instr =
+                         Cast { op = Trunc; src_ty = Types.Int sw; value = x; dst_ty = Types.Int dw };
+                     };
+                     {
+                       name = Some folded;
+                       instr =
+                         Binop
+                           {
+                             op;
+                             flags = no_flags;
+                             ty = Types.Int dw;
+                             lhs = Var narrow;
+                             rhs = const_int dw (Bits.mask dw c);
+                           };
+                     };
+                   ],
+                   Var folded ))
+          | None -> None)
+        | _ -> None)
+      | _ -> None)
+
+(* icmp of two zexts -> icmp at the narrow width (unsigned predicates and
+   eq/ne are preserved by zero extension) *)
+let icmp_of_zexts =
+  rule ~family:"icmp" "icmp-of-zexts" (fun ctx ni ->
+      match ni.instr with
+      | Icmp { pred = (Eq | Ne | Ult | Ule | Ugt | Uge) as pred; ty = _; lhs; rhs } -> (
+        match (def_of ctx lhs, def_of ctx rhs) with
+        | ( Some (Cast { op = ZExt; src_ty = Types.Int sw1; value = a; _ }),
+            Some (Cast { op = ZExt; src_ty = Types.Int sw2; value = b; _ }) )
+          when sw1 = sw2 && one_use ctx lhs && one_use ctx rhs ->
+          Some (Instr (Icmp { pred; ty = Types.Int sw1; lhs = a; rhs = b }))
+        | _ -> None)
+      | _ -> None)
+
+(* De Morgan: (~a) & (~b) -> ~(a | b), and the dual. *)
+let demorgan =
+  rule ~family:"logic" "demorgan" (fun ctx ni ->
+      let not_of op =
+        match def_of ctx op with
+        | Some (Binop { op = Xor; lhs; rhs; _ }) when is_all_ones rhs && one_use ctx op -> Some lhs
+        | Some (Binop { op = Xor; lhs; rhs; _ }) when is_all_ones lhs && one_use ctx op -> Some rhs
+        | _ -> None
+      in
+      match ni.instr with
+      | Binop { op = (And | Or) as op; ty; lhs; rhs; _ } -> (
+        match (not_of lhs, not_of rhs) with
+        | Some a, Some b ->
+          let dual = match op with And -> Or | Or -> And | _ -> assert false in
+          let names = Builder.names_of_func ctx.func in
+          let inner = Builder.fresh names "dm" in
+          let dmnot = Builder.fresh names "dmnot" in
+          let w = Types.width ty in
+          Some
+            (Expand
+               ( [
+                   { name = Some inner; instr = Binop { op = dual; flags = no_flags; ty; lhs = a; rhs = b } };
+                   {
+                     name = Some dmnot;
+                     instr =
+                       Binop
+                         { op = Xor; flags = no_flags; ty; lhs = Var inner; rhs = const_int w (Bits.all_ones w) };
+                   };
+                 ],
+                 Var dmnot ))
+        | _ -> None)
+      | _ -> None)
+
+let rules = [ zext_of_trunc_mask; bitwise_of_zexts; trunc_of_bitwise_const; icmp_of_zexts; demorgan ]

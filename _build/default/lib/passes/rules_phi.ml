@@ -1,0 +1,26 @@
+(** Peephole rules over phi nodes. *)
+
+open Veriopt_ir
+open Ast
+open Rewrite
+
+(* phi with a single incoming value *)
+let phi_single =
+  rule ~family:"phi" "phi-single" (fun _ctx ni ->
+      match ni.instr with
+      | Phi { incoming = [ (op, _) ]; _ } -> Some (Value op)
+      | _ -> None)
+
+(* phi whose incomings are all the same value (or references to itself) *)
+let phi_same =
+  rule ~family:"phi" "phi-same" (fun _ctx ni ->
+      match ni.instr with
+      | Phi { incoming = (op0, _) :: rest; _ } ->
+        let self v = match ni.name with Some n -> v = Var n | None -> false in
+        let all_same =
+          List.for_all (fun (op, _) -> same_operand op op0 || self op) rest && not (self op0)
+        in
+        if all_same && rest <> [] then Some (Value op0) else None
+      | _ -> None)
+
+let rules = [ phi_single; phi_same ]

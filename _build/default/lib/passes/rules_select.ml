@@ -1,0 +1,81 @@
+(** Peephole rules over select. *)
+
+open Veriopt_ir
+open Ast
+open Rewrite
+
+let select_const_cond =
+  rule ~family:"select" "select-const-cond" (fun _ctx ni ->
+      match ni.instr with
+      | Select { cond; if_true; if_false; _ } -> (
+        match cint cond with
+        | Some (1, 1L) -> Some (Value if_true)
+        | Some (1, 0L) -> Some (Value if_false)
+        | _ -> None)
+      | _ -> None)
+
+let select_same_arms =
+  rule ~family:"select" "select-same-arms" (fun _ctx ni ->
+      match ni.instr with
+      | Select { if_true; if_false; _ } when same_operand if_true if_false -> Some (Value if_true)
+      | _ -> None)
+
+(* select c, true, false -> c; select c, false, true -> xor c, true *)
+let select_bool_identity =
+  rule ~family:"select" "select-bool-identity" (fun _ctx ni ->
+      match ni.instr with
+      | Select { ty = Types.Int 1; cond; if_true; if_false } ->
+        if is_cint 1L if_true && is_cint 0L if_false then Some (Value cond)
+        else if is_cint 0L if_true && is_cint 1L if_false then
+          Some
+            (Instr
+               (Binop { op = Xor; flags = no_flags; ty = Types.i1; lhs = cond; rhs = const_bool true }))
+        else None
+      | _ -> None)
+
+(* select c, 1, 0 at width w -> zext c; select c, 0, 1 -> zext (xor c) *)
+let select_zext =
+  rule ~family:"select" "select-to-zext" (fun _ctx ni ->
+      match ni.instr with
+      | Select { ty = Types.Int w; cond; if_true; if_false } when w > 1 ->
+        if is_cint 1L if_true && is_cint 0L if_false then
+          Some (Instr (Cast { op = ZExt; src_ty = Types.i1; value = cond; dst_ty = Types.Int w }))
+        else None
+      | _ -> None)
+
+(* select (icmp eq x, c), c, x -> x  ("if x is c, produce c, else x") *)
+let select_eq_collapse =
+  rule ~family:"select" "select-eq-collapse" (fun ctx ni ->
+      match ni.instr with
+      | Select { cond; if_true; if_false; _ } -> (
+        match def_of ctx cond with
+        | Some (Icmp { pred = Eq; lhs = x; rhs = c; _ })
+          when same_operand if_false x && same_operand if_true c && cint c <> None ->
+          Some (Value if_false)
+        | Some (Icmp { pred = Ne; lhs = x; rhs = c; _ })
+          when same_operand if_true x && same_operand if_false c && cint c <> None ->
+          Some (Value if_true)
+        | _ -> None)
+      | _ -> None)
+
+(* select c, x, x op: canonicalize negated condition: select (xor c, true), a, b
+   -> select c, b, a *)
+let select_negated_cond =
+  rule ~family:"select" "select-negated-cond" (fun ctx ni ->
+      match ni.instr with
+      | Select { ty; cond; if_true; if_false } -> (
+        match def_of ctx cond with
+        | Some (Binop { op = Xor; lhs = c; rhs; _ }) when is_cint 1L rhs && one_use ctx cond ->
+          Some (Instr (Select { ty; cond = c; if_true = if_false; if_false = if_true }))
+        | _ -> None)
+      | _ -> None)
+
+let rules =
+  [
+    select_const_cond;
+    select_same_arms;
+    select_bool_identity;
+    select_zext;
+    select_eq_collapse;
+    select_negated_cond;
+  ]

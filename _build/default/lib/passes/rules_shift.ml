@@ -1,0 +1,108 @@
+(** Peephole rules over shl / lshr / ashr. *)
+
+open Veriopt_ir
+open Ast
+open Rewrite
+
+let shift_zero =
+  rule ~family:"shift" "shift-zero" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = Shl | LShr | AShr; lhs; rhs; _ } when is_zero rhs -> Some (Value lhs)
+      | _ -> None)
+
+let shift_of_zero =
+  rule ~family:"shift" "shift-of-zero" (fun _ctx ni ->
+      match ni.instr with
+      | Binop { op = Shl | LShr | AShr; ty; lhs; rhs = _; _ } when is_zero lhs ->
+        Some (Value (const_int (Types.width ty) 0L))
+      | _ -> None)
+
+(* (x shl c) lshr c -> x and (all_ones >> c) *)
+let shl_lshr_mask =
+  rule ~family:"shift" "shl-lshr-to-and" (fun ctx ni ->
+      match ni.instr with
+      | Binop { op = LShr; ty; lhs; rhs; _ } -> (
+        match (def_of ctx lhs, cint rhs) with
+        | Some (Binop { op = Shl; lhs = x; rhs = inner; flags; _ }), Some (w, c)
+          when (not (Bits.shift_amount_poison w c)) && one_use ctx lhs && not flags.nuw -> (
+          match cint inner with
+          | Some (_, c') when c' = c ->
+            Some
+              (Instr
+                 (Binop
+                    {
+                      op = And;
+                      flags = no_flags;
+                      ty;
+                      lhs = x;
+                      rhs = const_int w (Bits.lshr w (Bits.all_ones w) c);
+                    }))
+          | _ -> None)
+        | _ -> None)
+      | _ -> None)
+
+(* (x shl nuw c) lshr c -> x: no bits were lost *)
+let shl_nuw_lshr_cancel =
+  rule ~family:"shift" "shl-nuw-lshr-cancel" (fun ctx ni ->
+      match ni.instr with
+      | Binop { op = LShr; lhs; rhs; _ } -> (
+        match (def_of ctx lhs, cint rhs) with
+        | Some (Binop { op = Shl; lhs = x; rhs = inner; flags; _ }), Some (_, c) when flags.nuw -> (
+          match cint inner with Some (_, c') when c' = c -> Some (Value x) | _ -> None)
+        | _ -> None)
+      | _ -> None)
+
+(* (x shl c1) shl c2 -> x shl (c1+c2), or 0 when the total exceeds the width *)
+let shl_shl =
+  rule ~family:"shift" "shl-shl" (fun ctx ni ->
+      match ni.instr with
+      | Binop { op = Shl; ty; lhs; rhs; _ } -> (
+        match (def_of ctx lhs, cint rhs) with
+        | Some (Binop { op = Shl; lhs = x; rhs = inner; _ }), Some (w, c2)
+          when not (Bits.shift_amount_poison w c2) -> (
+          match cint inner with
+          | Some (_, c1) when (not (Bits.shift_amount_poison w c1)) && one_use ctx lhs ->
+            let total = Int64.add c1 c2 in
+            if Bits.shift_amount_poison w total then Some (Value (const_int w 0L))
+            else
+              Some
+                (Instr (Binop { op = Shl; flags = no_flags; ty; lhs = x; rhs = const_int w total }))
+          | _ -> None)
+        | _ -> None)
+      | _ -> None)
+
+(* (x lshr c1) lshr c2 -> x lshr (c1+c2), or 0 past the width *)
+let lshr_lshr =
+  rule ~family:"shift" "lshr-lshr" (fun ctx ni ->
+      match ni.instr with
+      | Binop { op = LShr; ty; lhs; rhs; _ } -> (
+        match (def_of ctx lhs, cint rhs) with
+        | Some (Binop { op = LShr; lhs = x; rhs = inner; _ }), Some (w, c2)
+          when not (Bits.shift_amount_poison w c2) -> (
+          match cint inner with
+          | Some (_, c1) when (not (Bits.shift_amount_poison w c1)) && one_use ctx lhs ->
+            let total = Int64.add c1 c2 in
+            if Bits.shift_amount_poison w total then Some (Value (const_int w 0L))
+            else
+              Some
+                (Instr
+                   (Binop { op = LShr; flags = no_flags; ty; lhs = x; rhs = const_int w total }))
+          | _ -> None)
+        | _ -> None)
+      | _ -> None)
+
+(* lshr of a value whose high bit is known zero is also an ashr and vice
+   versa; canonicalize ashr -> lshr when the sign bit is known zero *)
+let ashr_known_nonneg =
+  rule ~family:"shift" "ashr-nonneg-to-lshr" (fun ctx ni ->
+      match ni.instr with
+      | Binop { op = AShr; ty; lhs; rhs; flags } ->
+        let w = Types.width ty in
+        let k = known ctx w lhs in
+        if Bits.bit w k.Known_bits.zero (w - 1) then
+          Some (Instr (Binop { op = LShr; flags; ty; lhs; rhs }))
+        else None
+      | _ -> None)
+
+let rules =
+  [ shift_zero; shift_of_zero; shl_nuw_lshr_cancel; shl_lshr_mask; shl_shl; lshr_lshr; ashr_known_nonneg ]

@@ -1,0 +1,275 @@
+(** Control-flow graph simplification: constant branch folding, identical
+    target collapsing, unreachable block removal, single-predecessor block
+    merging, and empty-block forwarding.  The paper observes the trained
+    model picking up simplifycfg-like behaviour emergently (its Fig. 10);
+    this pass both serves as that part of the action space and cleans up
+    after mem2reg. *)
+
+open Veriopt_ir
+open Ast
+
+type trace_entry = { rule : string; site : string }
+
+let remove_phi_incoming_from (b : block) (preds : label list) : block =
+  {
+    b with
+    instrs =
+      List.filter_map
+        (fun ni ->
+          match ni.instr with
+          | Phi p -> (
+            let incoming = List.filter (fun (_, from) -> List.mem from preds) p.incoming in
+            match incoming with
+            | [] -> None (* dead phi in unreachable or phi-less context *)
+            | _ -> Some { ni with instr = Phi { p with incoming } })
+          | _ -> Some ni)
+        b.instrs;
+  }
+
+(* Fold constant conditional branches and switches; collapse identical
+   targets. *)
+let fold_branches (f : func) : func * trace_entry list =
+  let trace = ref [] in
+  let names = Builder.names_of_func f in
+  let blocks =
+    List.map
+      (fun b ->
+        match b.term with
+        | CondBr { cond = _; if_true; if_false } when if_true = if_false ->
+          trace := { rule = "br-same-target"; site = b.label } :: !trace;
+          { b with term = Br if_true }
+        | CondBr { cond = Const (CInt { value; _ }); if_true; if_false } ->
+          trace := { rule = "br-const-cond"; site = b.label } :: !trace;
+          { b with term = Br (if value = 1L then if_true else if_false) }
+        | Switch { value = Const (CInt { value; _ }); default; cases; _ } ->
+          trace := { rule = "switch-const"; site = b.label } :: !trace;
+          let target =
+            match List.assoc_opt value cases with Some l -> l | None -> default
+          in
+          { b with term = Br target }
+        | Switch { default; cases; _ } when List.for_all (fun (_, l) -> l = default) cases ->
+          trace := { rule = "switch-same-targets"; site = b.label } :: !trace;
+          { b with term = Br default }
+        | Switch { ty; value; default; cases = [ (c, l) ] } when l <> default ->
+          (* a single-case switch is a compare-and-branch *)
+          trace := { rule = "switch-to-br"; site = b.label } :: !trace;
+          let cond = Builder.fresh names "swcmp" in
+          {
+            b with
+            instrs =
+              b.instrs
+              @ [
+                  {
+                    name = Some cond;
+                    instr =
+                      Icmp { pred = Eq; ty; lhs = value; rhs = const_int (Types.width ty) c };
+                  };
+                ];
+            term = CondBr { cond = Var cond; if_true = l; if_false = default };
+          }
+        | _ -> b)
+      f.blocks
+  in
+  (* A branch no longer reaching a block must be purged from its phis. *)
+  let f = { f with blocks } in
+  let cfg = Cfg.of_func f in
+  let blocks =
+    List.map
+      (fun b -> remove_phi_incoming_from b (List.sort_uniq compare (Cfg.predecessors cfg b.label)))
+      f.blocks
+  in
+  ({ f with blocks }, List.rev !trace)
+
+(* Remove blocks not reachable from entry. *)
+let remove_unreachable (f : func) : func * trace_entry list =
+  let cfg = Cfg.of_func f in
+  let dead = List.filter (fun b -> not (Cfg.is_reachable cfg b.label)) f.blocks in
+  if dead = [] then (f, [])
+  else begin
+    let blocks = List.filter (fun b -> Cfg.is_reachable cfg b.label) f.blocks in
+    let f = { f with blocks } in
+    let cfg = Cfg.of_func f in
+    let blocks =
+      List.map
+        (fun b ->
+          remove_phi_incoming_from b (List.sort_uniq compare (Cfg.predecessors cfg b.label)))
+        f.blocks
+    in
+    ( { f with blocks },
+      List.map (fun b -> { rule = "remove-unreachable"; site = b.label }) dead )
+  end
+
+(* Merge a block into its unique predecessor when that predecessor branches
+   unconditionally to it. *)
+let merge_single_pred (f : func) : func * trace_entry list =
+  let trace = ref [] in
+  let f = ref f in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let cfg = Cfg.of_func !f in
+    let entry = (entry_block !f).label in
+    let candidate =
+      List.find_opt
+        (fun b ->
+          b.label <> entry
+          && Cfg.is_reachable cfg b.label
+          &&
+          match Cfg.predecessors cfg b.label with
+          | [ p ] -> (
+            match (Cfg.block_exn cfg p).term with
+            | Br l when l = b.label ->
+              (* no phis to rewrite: a single-pred block's phis are trivial
+                 and instcombine removes them first *)
+              List.for_all
+                (fun ni -> match ni.instr with Phi _ -> false | _ -> true)
+                b.instrs
+            | _ -> false)
+          | _ -> false)
+        (!f).blocks
+    in
+    match candidate with
+    | Some b ->
+      let p = List.hd (Cfg.predecessors cfg b.label) in
+      let blocks =
+        List.filter_map
+          (fun blk ->
+            if blk.label = b.label then None
+            else if blk.label = p then
+              Some { blk with instrs = blk.instrs @ b.instrs; term = b.term }
+            else Some blk)
+          (!f).blocks
+      in
+      (* successors' phis referring to b now come from p *)
+      let blocks =
+        List.map
+          (fun blk ->
+            {
+              blk with
+              instrs =
+                List.map
+                  (fun ni ->
+                    match ni.instr with
+                    | Phi ph ->
+                      {
+                        ni with
+                        instr =
+                          Phi
+                            {
+                              ph with
+                              incoming =
+                                List.map
+                                  (fun (op, from) -> (op, if from = b.label then p else from))
+                                  ph.incoming;
+                            };
+                      }
+                    | _ -> ni)
+                  blk.instrs;
+            })
+          blocks
+      in
+      f := { !f with blocks };
+      trace := { rule = "merge-block"; site = b.label } :: !trace;
+      changed := true
+    | None -> ()
+  done;
+  (!f, List.rev !trace)
+
+(* Forward empty blocks: a block with no instructions ending in 'br %c' can
+   be bypassed, provided %c's phis stay well-formed. *)
+let forward_empty_blocks (f : func) : func * trace_entry list =
+  let trace = ref [] in
+  let f = ref f in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let cfg = Cfg.of_func !f in
+    let entry = (entry_block !f).label in
+    let ok_to_forward b target =
+      b.label <> entry && b.instrs = [] && b.label <> target
+      &&
+      let target_block = Cfg.block_exn cfg target in
+      let preds_b = List.sort_uniq compare (Cfg.predecessors cfg b.label) in
+      let preds_t = List.sort_uniq compare (Cfg.predecessors cfg target) in
+      (* avoid creating duplicate phi edges or losing phi information *)
+      List.for_all
+        (fun ni ->
+          match ni.instr with
+          | Phi _ -> List.for_all (fun p -> not (List.mem p preds_t)) preds_b
+          | _ -> true)
+        target_block.instrs
+      && List.for_all (fun p -> not (List.mem p preds_t)) preds_b
+    in
+    let candidate =
+      List.find_map
+        (fun b ->
+          match b.term with
+          | Br target when Cfg.is_reachable cfg b.label && ok_to_forward b target ->
+            Some (b, target)
+          | _ -> None)
+        (!f).blocks
+    in
+    match candidate with
+    | Some (b, target) ->
+      let preds_b = List.sort_uniq compare (Cfg.predecessors cfg b.label) in
+      let redirect l = if l = b.label then target else l in
+      let blocks =
+        List.filter_map
+          (fun blk ->
+            if blk.label = b.label then None
+            else
+              let term =
+                match blk.term with
+                | Br l -> Br (redirect l)
+                | CondBr c ->
+                  CondBr { c with if_true = redirect c.if_true; if_false = redirect c.if_false }
+                | Switch s ->
+                  Switch
+                    {
+                      s with
+                      default = redirect s.default;
+                      cases = List.map (fun (v, l) -> (v, redirect l)) s.cases;
+                    }
+                | t -> t
+              in
+              let instrs =
+                if blk.label = target then
+                  List.map
+                    (fun ni ->
+                      match ni.instr with
+                      | Phi ph ->
+                        let incoming =
+                          List.concat_map
+                            (fun (op, from) ->
+                              if from = b.label then List.map (fun p -> (op, p)) preds_b
+                              else [ (op, from) ])
+                            ph.incoming
+                        in
+                        { ni with instr = Phi { ph with incoming } }
+                      | _ -> ni)
+                    blk.instrs
+                else blk.instrs
+              in
+              Some { blk with instrs; term })
+          (!f).blocks
+      in
+      f := { !f with blocks };
+      trace := { rule = "forward-empty-block"; site = b.label } :: !trace;
+      changed := true
+    | None -> ()
+  done;
+  (!f, List.rev !trace)
+
+(** The full simplifycfg pipeline, iterated to fixpoint. *)
+let run (f : func) : func * trace_entry list =
+  let rec go f acc iters =
+    if iters > 50 then (f, acc)
+    else
+      let f1, t1 = fold_branches f in
+      let f2, t2 = remove_unreachable f1 in
+      let f3, t3 = merge_single_pred f2 in
+      let f4, t4 = forward_empty_blocks f3 in
+      let news = t1 @ t2 @ t3 @ t4 in
+      if news = [] then (f4, acc) else go f4 (acc @ news) (iters + 1)
+  in
+  go f [] 0

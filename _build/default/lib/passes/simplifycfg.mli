@@ -1,0 +1,11 @@
+(** Control-flow simplification: constant branch folding, identical-target
+    collapsing, unreachable-block removal, single-predecessor merging,
+    empty-block forwarding — iterated to fixpoint. *)
+
+type trace_entry = { rule : string; site : string }
+
+val fold_branches : Veriopt_ir.Ast.func -> Veriopt_ir.Ast.func * trace_entry list
+val remove_unreachable : Veriopt_ir.Ast.func -> Veriopt_ir.Ast.func * trace_entry list
+val merge_single_pred : Veriopt_ir.Ast.func -> Veriopt_ir.Ast.func * trace_entry list
+val forward_empty_blocks : Veriopt_ir.Ast.func -> Veriopt_ir.Ast.func * trace_entry list
+val run : Veriopt_ir.Ast.func -> Veriopt_ir.Ast.func * trace_entry list

@@ -1,0 +1,1 @@
+lib/rl/grpo.ml: Array Hashtbl List Option Veriopt_llm

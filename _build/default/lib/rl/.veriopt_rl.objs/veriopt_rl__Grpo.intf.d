@@ -1,0 +1,1 @@
+lib/rl/grpo.mli: Veriopt_llm

@@ -1,0 +1,1 @@
+lib/rl/reward.ml: Ast Builder Float List Parser Printer Veriopt_alive Veriopt_cost Veriopt_data Veriopt_ir Veriopt_llm Veriopt_nlp

@@ -1,0 +1,1 @@
+lib/rl/reward.mli: Veriopt_alive Veriopt_data Veriopt_ir Veriopt_llm

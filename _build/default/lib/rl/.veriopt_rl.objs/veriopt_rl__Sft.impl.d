@@ -1,0 +1,1 @@
+lib/rl/sft.ml: Array Ast Hashtbl List Option Printer Veriopt_data Veriopt_ir Veriopt_llm Veriopt_passes

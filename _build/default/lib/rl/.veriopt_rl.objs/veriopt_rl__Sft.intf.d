@@ -1,0 +1,1 @@
+lib/rl/sft.mli: Veriopt_data Veriopt_ir Veriopt_llm

@@ -1,0 +1,1 @@
+lib/rl/trainer.ml: Array Fmt Grpo List Random Reward Sft Veriopt_alive Veriopt_cost Veriopt_data Veriopt_llm

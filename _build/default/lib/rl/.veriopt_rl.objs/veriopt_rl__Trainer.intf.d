@@ -1,0 +1,1 @@
+lib/rl/trainer.mli: Sft Veriopt_data Veriopt_llm

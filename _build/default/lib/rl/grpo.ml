@@ -1,0 +1,74 @@
+(** Group Relative Policy Optimization, with the paper's four
+    simplifications (§IV-B): no KL penalty (stability comes from gradient
+    clipping), a single update per batch of rollouts, token-level loss
+    normalization (DAPO-style: every decision contributes equally, not every
+    sequence), and greedy decoding reserved for evaluation. *)
+
+module Model = Veriopt_llm.Model
+
+type rollout = { steps : Model.step list; reward : float }
+
+type config = {
+  group_size : int;
+  learning_rate : float;
+  clip_norm : float;
+  temperature : float;
+}
+
+let default_config = { group_size = 6; learning_rate = 0.6; clip_norm = 5.0; temperature = 1.0 }
+
+(** Group-relative advantages: reward standardized within the group. *)
+let advantages (rewards : float array) : float array =
+  let n = float_of_int (Array.length rewards) in
+  let mean = Array.fold_left ( +. ) 0. rewards /. n in
+  let var = Array.fold_left (fun acc r -> acc +. ((r -. mean) ** 2.)) 0. rewards /. n in
+  let std = sqrt var in
+  Array.map (fun r -> (r -. mean) /. (std +. 1e-4)) rewards
+
+(* d log pi / d theta for one softmax decision: +1 on the chosen action's
+   keys, -p_j on every available action's keys. *)
+let accumulate_step (grad : (string, float) Hashtbl.t) (coeff : float) (s : Model.step) : unit =
+  let bump k v = Hashtbl.replace grad k (v +. Option.value ~default:0. (Hashtbl.find_opt grad k)) in
+  Array.iteri
+    (fun j keys ->
+      let p = s.Model.probs.(j) in
+      let indicator = if j = s.Model.chosen then 1.0 else 0.0 in
+      List.iter (fun k -> bump k (coeff *. (indicator -. p))) keys)
+    s.Model.keys
+
+(** One GRPO update from a group of rollouts on the same prompt (or a batch
+    of groups: pass each group's advantages pre-computed via [advantages]).
+    Token-level normalization divides by the total number of decisions in
+    the whole batch. *)
+let update (cfg : config) (model : Model.t) (rollouts : (rollout * float) list) : unit =
+  let total_steps =
+    List.fold_left (fun acc (r, _) -> acc + List.length r.steps) 0 rollouts |> max 1
+  in
+  let grad : (string, float) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (r, adv) ->
+      let coeff = adv /. float_of_int total_steps in
+      List.iter (accumulate_step grad coeff) r.steps)
+    rollouts;
+  (* global-norm gradient clipping in place of a KL penalty *)
+  let norm = sqrt (Hashtbl.fold (fun _ g acc -> acc +. (g *. g)) grad 0.) in
+  let scale = if norm > cfg.clip_norm then cfg.clip_norm /. norm else 1.0 in
+  Hashtbl.iter
+    (fun k g ->
+      if not (Model.is_frozen model k) then begin
+        let p = Model.param model k in
+        p := !p +. (cfg.learning_rate *. scale *. g)
+      end)
+    grad
+
+(** Exponential moving average used for the Fig. 4 training curves. *)
+let ema ?(alpha = 0.95) (xs : float list) : float list =
+  match xs with
+  | [] -> []
+  | x0 :: _ ->
+    let acc = ref x0 in
+    List.map
+      (fun x ->
+        acc := (alpha *. !acc) +. ((1. -. alpha) *. x);
+        !acc)
+      xs

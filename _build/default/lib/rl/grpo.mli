@@ -1,0 +1,27 @@
+(** Group Relative Policy Optimization with the paper's simplifications
+    (§IV-B): no KL penalty, single update per rollout batch, token-level
+    (DAPO-style) loss normalization. *)
+
+module Model = Veriopt_llm.Model
+
+type rollout = { steps : Model.step list; reward : float }
+
+type config = {
+  group_size : int;
+  learning_rate : float;
+  clip_norm : float;
+  temperature : float;
+}
+
+val default_config : config
+
+val advantages : float array -> float array
+(** Group-relative advantages: rewards standardized within the group. *)
+
+val update : config -> Model.t -> (rollout * float) list -> unit
+(** One gradient step from (rollout, advantage) pairs.  Token-level
+    normalization divides by the batch's total decision count; global-norm
+    clipping replaces the KL penalty; frozen parameters do not move. *)
+
+val ema : ?alpha:float -> float list -> float list
+(** Exponential moving average (the Fig. 4 smoothing, alpha = 0.95). *)

@@ -1,0 +1,117 @@
+(** The paper's reward functions.
+
+    Eq. 1 (hierarchical correctness):
+      r = t * (1 + a * (1 + m)) + b
+    with t = format compliance, a = Alive2 equivalence, m = exact match with
+    the reference IR, b = BLEU similarity to the reference.
+
+    Eq. 2 (chain-of-thought agreement): full reward when model and verifier
+    agree the attempt is OK; 0.5 + 0.5*BLEU(F_model, F_alive) when both say
+    ERR; zero on disagreement.
+
+    Eq. 4 (latency): a convex, saturating function of the speedup over the
+    -O0 baseline, gated on verified equivalence. *)
+
+open Veriopt_ir
+module Alive = Veriopt_alive.Alive
+module Bleu = Veriopt_nlp.Bleu
+module Model = Veriopt_llm.Model
+module Prompt = Veriopt_llm.Prompt
+module Diag = Veriopt_llm.Diag
+
+type verified_candidate = {
+  verdict : Alive.verdict;
+  parsed : Ast.func option; (* the candidate function when it parses *)
+  answer_text : string option;
+}
+
+(** Run the verifier over a model completion. *)
+let verify_completion ?(unroll = 4) ?(max_conflicts = 60_000) (modul : Ast.modul)
+    ~(src : Ast.func) (completion : string) : verified_candidate =
+  match Prompt.answer_of completion with
+  | None ->
+    {
+      verdict =
+        {
+          Alive.category = Alive.Syntax_error;
+          message = Veriopt_alive.Diagnostics.syntax_error_message "missing <answer> tags";
+          example = [];
+          bounded = false;
+          copy_of_input = false;
+        };
+      parsed = None;
+      answer_text = None;
+    }
+  | Some answer ->
+    let verdict = Alive.verify_text ~unroll ~max_conflicts modul ~src ~tgt_text:answer in
+    let parsed =
+      match Parser.parse_func_result answer with Ok f -> Some f | Error _ -> None
+    in
+    { verdict; parsed; answer_text = Some answer }
+
+(** Eq. 1. *)
+let correctness ~(format_ok : bool) ~(equivalent : bool) ~(exact_match : bool) ~(bleu : float) :
+    float =
+  let t = if format_ok then 1. else 0. in
+  let a = if equivalent then 1. else 0. in
+  let m = if exact_match then 1. else 0. in
+  (t *. (1. +. (a *. (1. +. m)))) +. bleu
+
+(** Eq. 1 evaluated against a reference label. *)
+let correctness_of_completion (modul : Ast.modul) ~(src : Ast.func) ~(label : Ast.func)
+    (completion : string) : float * verified_candidate =
+  let vc = verify_completion modul ~src completion in
+  let format_ok = Prompt.format_ok completion in
+  let equivalent = vc.verdict.Alive.category = Alive.Equivalent in
+  let label_text = Printer.func_to_string label in
+  let exact_match =
+    equivalent
+    && match vc.parsed with Some f -> Builder.alpha_equal f label | None -> false
+  in
+  let bleu =
+    match vc.answer_text with
+    | Some a -> Bleu.score a label_text
+    | None -> Bleu.score completion label_text
+  in
+  (correctness ~format_ok ~equivalent ~exact_match ~bleu, vc)
+
+(** Eq. 2: the CoT agreement reward for an augmented-mode completion.  The
+    model's first attempt lives in the <think> block; we verify it and score
+    the model's claim against the verifier's verdict. *)
+let cot_agreement (modul : Ast.modul) ~(src : Ast.func) ~(claimed : Diag.error_class)
+    ~(think_attempt : string) ~(model_message : string) : float =
+  let verdict = Alive.verify_text ~max_conflicts:60_000 modul ~src ~tgt_text:think_attempt in
+  let truth_ok = verdict.Alive.category = Alive.Equivalent in
+  let model_ok = claimed = Diag.C_ok in
+  if truth_ok && model_ok then 1.0
+  else if (not truth_ok) && not model_ok then
+    0.5 +. (0.5 *. Bleu.score model_message verdict.Alive.message)
+  else 0.0
+
+(** Eq. 3–4: latency reward.  [u_max] is the saturation threshold (the 80th
+    percentile of instcombine's speedups on the training set); [gamma] > 1
+    emphasizes larger speedups. *)
+let latency ?(gamma = 2.0) ~(u_max : float) ~(equivalent : bool) ~(baseline : int)
+    ~(candidate : int) () : float =
+  if not equivalent then 0.
+  else
+    let u = float_of_int baseline /. float_of_int (max 1 candidate) in
+    if u <= 1. then 0. else Float.pow (Float.min 1. ((u -. 1.) /. (u_max -. 1.))) gamma
+
+(** 80th percentile of instcombine speedups over a training set: the paper's
+    choice of [U_max]. *)
+let u_max_of_samples (samples : Veriopt_data.Suite.sample list) : float =
+  let speedups =
+    List.map
+      (fun (s : Veriopt_data.Suite.sample) ->
+        float_of_int (Veriopt_cost.Latency.of_func s.Veriopt_data.Suite.src)
+        /. float_of_int (max 1 (Veriopt_cost.Latency.of_func s.Veriopt_data.Suite.label)))
+      samples
+    |> List.sort compare
+  in
+  match speedups with
+  | [] -> 2.0
+  | _ ->
+    let n = List.length speedups in
+    let idx = min (n - 1) (int_of_float (0.8 *. float_of_int n)) in
+    Float.max 1.05 (List.nth speedups idx)

@@ -1,0 +1,47 @@
+(** The paper's reward functions: Eq. 1 (hierarchical correctness), Eq. 2
+    (chain-of-thought agreement), Eqs. 3–4 (saturating convex latency). *)
+
+type verified_candidate = {
+  verdict : Veriopt_alive.Alive.verdict;
+  parsed : Veriopt_ir.Ast.func option;
+  answer_text : string option;
+}
+
+val verify_completion :
+  ?unroll:int ->
+  ?max_conflicts:int ->
+  Veriopt_ir.Ast.modul ->
+  src:Veriopt_ir.Ast.func ->
+  string ->
+  verified_candidate
+(** Run the verifier over a raw model completion (format check included). *)
+
+val correctness :
+  format_ok:bool -> equivalent:bool -> exact_match:bool -> bleu:float -> float
+(** Eq. 1: [t * (1 + a * (1 + m)) + b]. *)
+
+val correctness_of_completion :
+  Veriopt_ir.Ast.modul ->
+  src:Veriopt_ir.Ast.func ->
+  label:Veriopt_ir.Ast.func ->
+  string ->
+  float * verified_candidate
+
+val cot_agreement :
+  Veriopt_ir.Ast.modul ->
+  src:Veriopt_ir.Ast.func ->
+  claimed:Veriopt_llm.Diag.error_class ->
+  think_attempt:string ->
+  model_message:string ->
+  float
+(** Eq. 2: 1 on agreed-OK; 0.5 + 0.5*BLEU(F_model, F_alive) on agreed-ERR;
+    0 on disagreement. *)
+
+val latency :
+  ?gamma:float -> u_max:float -> equivalent:bool -> baseline:int -> candidate:int -> unit -> float
+(** Eq. 4: 0 unless verified and faster; then a convex saturating function
+    of the speedup. *)
+
+val u_max_of_samples : Veriopt_data.Suite.sample list -> float
+(** The paper's [U_max]: the 80th percentile of instcombine's speedups over
+    the training set. *)

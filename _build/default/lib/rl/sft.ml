@@ -1,0 +1,177 @@
+(** Supervised fine-tuning: maximize the policy's log-likelihood of teacher
+    decision sequences.
+
+    Two kinds of training data, as in the paper's warm-up stage (§III-C2):
+
+    - {e first-time} samples: the instcombine rule trace replayed as the
+      teacher's edit sequence, self-diagnosed "OK";
+    - {e correction} samples: a failure recorded during Model-Zero training
+      — the bad attempt verbatim, the true Alive verdict class as the
+      diagnosis, then the correct edit sequence. *)
+
+open Veriopt_ir
+module Model = Veriopt_llm.Model
+module Actions = Veriopt_llm.Actions
+module Diag = Veriopt_llm.Diag
+module Instcombine = Veriopt_passes.Instcombine
+module Rewrite = Veriopt_passes.Rewrite
+module Suite = Veriopt_data.Suite
+
+type datum = {
+  modul : Ast.modul;
+  src : Ast.func;
+  attempt1 : Actions.action list; (* includes its terminal Stop/Corrupt/Copy *)
+  diagnosis : (Diag.self_evidence * Diag.error_class) option; (* None in generic mode *)
+  attempt2 : Actions.action list option;
+}
+
+(** A failure observed while training Model-Zero: the raw material for
+    correction-augmented samples (the paper's "diagnostic-augmented sample
+    generator" role of Model-Zero). *)
+type failure_record = {
+  f_sample : Suite.sample;
+  bad_actions : Actions.action list;
+  f_evidence : Diag.self_evidence;
+  true_class : Diag.error_class;
+  alive_message : string;
+}
+
+(* The teacher's edit sequence: mirror the instcombine driver, emitting the
+   (rule, site) it would pick at each state. *)
+let teacher_edits (modul : Ast.modul) (src : Ast.func) : Actions.action list =
+  let rec go cur acc n =
+    if n > 32 then List.rev (Actions.Stop :: acc)
+    else
+      match Instcombine.find_applicable modul cur with
+      | Some (r, ni, _) ->
+        let site = Option.get ni.Ast.name in
+        let a = Actions.Apply_rule (r.Rewrite.rule_name, site) in
+        go (Actions.apply_rule modul cur r.Rewrite.rule_name site) (a :: acc) (n + 1)
+      | None ->
+        if Actions.pass_applicable modul cur Actions.Forward_loads then
+          let a = Actions.Apply_pass Actions.Forward_loads in
+          go (Actions.apply_pass modul cur Actions.Forward_loads) (a :: acc) (n + 1)
+        else if Actions.pass_applicable modul cur Actions.Dead_stores then
+          let a = Actions.Apply_pass Actions.Dead_stores in
+          go (Actions.apply_pass modul cur Actions.Dead_stores) (a :: acc) (n + 1)
+        else List.rev (Actions.Stop :: acc)
+  in
+  go src [] 0
+
+let first_time_datum ~(augmented : bool) (s : Suite.sample) : datum =
+  {
+    modul = s.Suite.modul;
+    src = s.Suite.src;
+    attempt1 = teacher_edits s.Suite.modul s.Suite.src;
+    diagnosis = (if augmented then Some (Diag.Saw_only_sound, Diag.C_ok) else None);
+    attempt2 = None;
+  }
+
+let correction_datum (r : failure_record) : datum =
+  {
+    modul = r.f_sample.Suite.modul;
+    src = r.f_sample.Suite.src;
+    attempt1 = r.bad_actions;
+    diagnosis = Some (r.f_evidence, r.true_class);
+    attempt2 = Some (teacher_edits r.f_sample.Suite.modul r.f_sample.Suite.src);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Likelihood gradient of a teacher sequence *)
+
+let bump grad k v = Hashtbl.replace grad k (v +. Option.value ~default:0. (Hashtbl.find_opt grad k))
+
+(* Cross-entropy gradient for choosing [target] among [avail]. *)
+let grade_choice (model : Model.t) grad ~sample_id (avail : Model.avail list) (target_index : int)
+    : unit =
+  let arr = Array.of_list avail in
+  let scores = Array.map (Model.score model ~sample_id) arr in
+  let probs = Model.softmax model.Model.temperature scores in
+  Array.iteri
+    (fun j (a : Model.avail) ->
+      let indicator = if j = target_index then 1.0 else 0.0 in
+      List.iter (fun k -> bump grad k (indicator -. probs.(j))) a.Model.keys)
+    arr
+
+let find_action (avail : Model.avail list) (a : Actions.action) : int option =
+  let s = Actions.action_to_string a in
+  let rec go i = function
+    | [] -> None
+    | (x : Model.avail) :: rest ->
+      if Actions.action_to_string x.Model.action = s then Some i else go (i + 1) rest
+  in
+  go 0 avail
+
+(* Replay an attempt's actions, accumulating gradient; returns how many
+   teacher actions could not be matched (diagnostic). *)
+let replay_attempt (model : Model.t) grad ~sample_id ?(mask = []) (modul : Ast.modul)
+    (src : Ast.func) (actions : Actions.action list) : int =
+  let missing = ref 0 in
+  let cur = ref src in
+  List.iteri
+    (fun i a ->
+      let avail = Model.available ~mask ~first:(i = 0) modul !cur in
+      (match find_action avail a with
+      | Some idx -> grade_choice model grad ~sample_id avail idx
+      | None -> incr missing);
+      match a with
+      | Actions.Apply_rule (r, site) -> cur := Actions.apply_rule modul !cur r site
+      | Actions.Apply_pass p -> cur := Actions.apply_pass modul !cur p
+      | Actions.Unsound (k, idx) -> cur := Actions.apply_unsound !cur k idx
+      | Actions.Corrupt _ | Actions.Copy_input | Actions.Stop -> ())
+    actions;
+  !missing
+
+let mask_of_evidence = function
+  | Diag.Saw_corruption c -> [ Actions.action_to_string (Actions.Corrupt c) ]
+  | Diag.Saw_unsound k -> List.init 3 (fun i -> Actions.action_to_string (Actions.Unsound (k, i)))
+  | Diag.Saw_only_sound -> []
+
+(* One datum's gradient contribution. *)
+let grade_datum (model : Model.t) grad (d : datum) : unit =
+  let sample_id = Hashtbl.hash (Printer.func_to_string d.src) in
+  (* teacher always emits the correct format *)
+  grade_choice model grad ~sample_id Model.format_avail 0;
+  let (_ : int) = replay_attempt model grad ~sample_id d.modul d.src d.attempt1 in
+  match d.diagnosis with
+  | None -> ()
+  | Some (evidence, cls) -> (
+    let avail = Model.diag_avail evidence in
+    let idx =
+      let rec find i = function
+        | [] -> 0
+        | c :: rest -> if c = cls then i else find (i + 1) rest
+      in
+      find 0 Diag.all_classes
+    in
+    grade_choice model grad ~sample_id avail idx;
+    match d.attempt2 with
+    | None -> ()
+    | Some actions ->
+      let mask = mask_of_evidence evidence in
+      let (_ : int) =
+        replay_attempt model grad ~sample_id ~mask d.modul d.src actions
+      in
+      ())
+
+type config = { epochs : int; learning_rate : float; clip_norm : float }
+
+let default_config = { epochs = 4; learning_rate = 0.5; clip_norm = 8.0 }
+
+(** Train by maximum likelihood over the data.  Single-threaded, full-batch
+    per epoch with gradient clipping. *)
+let train (cfg : config) (model : Model.t) (data : datum list) : unit =
+  for _epoch = 1 to cfg.epochs do
+    let grad = Hashtbl.create 512 in
+    List.iter (grade_datum model grad) data;
+    let n = float_of_int (max 1 (List.length data)) in
+    let norm = sqrt (Hashtbl.fold (fun _ g acc -> acc +. (g *. g)) grad 0.) /. n in
+    let scale = if norm > cfg.clip_norm then cfg.clip_norm /. norm else 1.0 in
+    Hashtbl.iter
+      (fun k g ->
+        if not (Model.is_frozen model k) then begin
+          let p = Model.param model k in
+          p := !p +. (cfg.learning_rate *. scale *. g /. n)
+        end)
+      grad
+  done

@@ -1,0 +1,38 @@
+(** Supervised fine-tuning: maximize the policy's likelihood of teacher
+    decision sequences — instcombine traces ("first-time" samples) and
+    Model-Zero failures with their true diagnoses ("correction" samples). *)
+
+module Model = Veriopt_llm.Model
+module Actions = Veriopt_llm.Actions
+module Diag = Veriopt_llm.Diag
+module Suite = Veriopt_data.Suite
+
+type datum = {
+  modul : Veriopt_ir.Ast.modul;
+  src : Veriopt_ir.Ast.func;
+  attempt1 : Actions.action list;
+  diagnosis : (Diag.self_evidence * Diag.error_class) option;
+  attempt2 : Actions.action list option;
+}
+
+type failure_record = {
+  f_sample : Suite.sample;
+  bad_actions : Actions.action list;
+  f_evidence : Diag.self_evidence;
+  true_class : Diag.error_class;
+  alive_message : string;
+}
+
+val teacher_edits : Veriopt_ir.Ast.modul -> Veriopt_ir.Ast.func -> Actions.action list
+(** The instcombine driver's own action sequence for this input. *)
+
+val first_time_datum : augmented:bool -> Suite.sample -> datum
+val correction_datum : failure_record -> datum
+
+val mask_of_evidence : Diag.self_evidence -> string list
+
+type config = { epochs : int; learning_rate : float; clip_norm : float }
+
+val default_config : config
+
+val train : config -> Model.t -> datum list -> unit

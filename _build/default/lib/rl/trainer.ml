@@ -1,0 +1,284 @@
+(** The paper's four-model training pipeline (Fig. 3):
+
+    Stage 1 — MODEL-ZERO: GRPO on the base model with generic prompts.
+    Rewards are sparse (most rollouts fail Alive), so the run doubles as a
+    {e diagnostic-augmented sample generator}: every failed rollout is kept,
+    with Alive's verdict and message, as a correction sample.
+
+    Stage 2 — WARM-UP: SFT from the pretrained base on first-time samples
+    (instcombine traces) plus Model-Zero's correction samples, teaching
+    rudimentary Alive2 emulation.  Then MODEL-CORRECTNESS: GRPO with
+    augmented prompts, reward = Eq. 1 (answer) + Eq. 2 (CoT agreement).
+
+    Stage 3 — MODEL-LATENCY: incremental GRPO with the latency reward
+    (Eq. 4), labels dropped, correctness kept in the reward via Alive. *)
+
+module Model = Veriopt_llm.Model
+module Prompt = Veriopt_llm.Prompt
+module Diag = Veriopt_llm.Diag
+module Alive = Veriopt_alive.Alive
+module Suite = Veriopt_data.Suite
+module Latency = Veriopt_cost.Latency
+
+type options = {
+  grpo_steps : int;
+  group_size : int;
+  learning_rate : float;
+  sft_epochs : int;
+  seed : int;
+  max_conflicts : int;
+  verbose : bool;
+}
+
+let default_options =
+  {
+    grpo_steps = 150;
+    group_size = 6;
+    learning_rate = 0.6;
+    sft_epochs = 4;
+    seed = 1;
+    max_conflicts = 40_000;
+    verbose = false;
+  }
+
+type stage_log = { raw_rewards : float list; ema_rewards : float list }
+
+let log_of rewards = { raw_rewards = rewards; ema_rewards = Grpo.ema rewards }
+
+let sample_at (samples : Suite.sample array) rng = samples.(Random.State.int rng (Array.length samples))
+
+(* ------------------------------------------------------------------ *)
+(* Stage 1: Model-Zero *)
+
+type stage1_result = {
+  model_zero : Model.t;
+  failures : Sft.failure_record list;
+  zero_log : stage_log;
+}
+
+let train_model_zero ?(opts = default_options) (base : Model.t) (train : Suite.sample list) :
+    stage1_result =
+  let model = Model.clone ~name:"Model-Zero" ~noise_scale:(0.72 *. base.Model.noise_scale) base in
+  let samples = Array.of_list train in
+  let rng = Random.State.make [| opts.seed; 11 |] in
+  let failures = ref [] in
+  let rewards = ref [] in
+  let cfg =
+    {
+      Grpo.group_size = opts.group_size;
+      learning_rate = opts.learning_rate;
+      clip_norm = 5.0;
+      temperature = 1.0;
+    }
+  in
+  for step = 1 to opts.grpo_steps do
+    let s = sample_at samples rng in
+    let group =
+      List.init opts.group_size (fun _ ->
+          Model.generate model ~mode:Prompt.Generic ~rng:(Some rng) ~sample_id:s.Suite.id
+            s.Suite.modul s.Suite.src)
+    in
+    let scored =
+      List.map
+        (fun (g : Model.generation) ->
+          let r, vc =
+            Reward.correctness_of_completion s.Suite.modul ~src:s.Suite.src ~label:s.Suite.label
+              g.Model.completion
+          in
+          (* harvest failures as correction-augmented raw material *)
+          (match vc.Reward.verdict.Alive.category with
+          | Alive.Semantic_error | Alive.Syntax_error when not g.Model.copied ->
+            failures :=
+              {
+                Sft.f_sample = s;
+                bad_actions = g.Model.final_attempt.Model.actions_taken;
+                f_evidence = g.Model.evidence;
+                true_class =
+                  Diag.class_of_verdict_message
+                    (match vc.Reward.verdict.Alive.category with
+                    | Alive.Semantic_error -> `Semantic
+                    | Alive.Syntax_error -> `Syntax
+                    | Alive.Equivalent -> `Equivalent
+                    | Alive.Inconclusive -> `Inconclusive)
+                    vc.Reward.verdict.Alive.message;
+                alive_message = vc.Reward.verdict.Alive.message;
+              }
+              :: !failures
+          | _ -> ());
+          ({ Grpo.steps = g.Model.steps; reward = r }, r))
+        group
+    in
+    let rs = Array.of_list (List.map snd scored) in
+    let advs = Grpo.advantages rs in
+    Grpo.update cfg model (List.mapi (fun i (r, _) -> (r, advs.(i))) scored);
+    let mean = Array.fold_left ( +. ) 0. rs /. float_of_int (Array.length rs) in
+    rewards := mean :: !rewards;
+    if opts.verbose && step mod 25 = 0 then
+      Fmt.epr "[model-zero] step %d mean reward %.3f@." step mean
+  done;
+  { model_zero = model; failures = List.rev !failures; zero_log = log_of (List.rev !rewards) }
+
+(* ------------------------------------------------------------------ *)
+(* Stage 2a: Warm-up (SFT) *)
+
+let warm_up ?(opts = default_options) (base : Model.t) (train : Suite.sample list)
+    (failures : Sft.failure_record list) : Model.t =
+  let model = Model.clone ~name:"Warm-up" ~noise_scale:(0.72 *. base.Model.noise_scale) base in
+  let first_time = List.map (Sft.first_time_datum ~augmented:true) train in
+  let corrections = List.map Sft.correction_datum failures in
+  let cfg = { Sft.default_config with Sft.epochs = opts.sft_epochs } in
+  Sft.train cfg model (first_time @ corrections);
+  model
+
+(** SFT-only baselines (the paper's Fig. 5 comparators) train on generic
+    prompts without the think/diagnose structure. *)
+let sft_baseline ?(opts = default_options) (base : Model.t) (train : Suite.sample list) : Model.t
+    =
+  let model = Model.clone ~name:(base.Model.name ^ "-SFT") ~noise_scale:(0.72 *. base.Model.noise_scale) base in
+  let data = List.map (Sft.first_time_datum ~augmented:false) train in
+  let cfg = { Sft.default_config with Sft.epochs = opts.sft_epochs } in
+  Sft.train cfg model data;
+  model
+
+(* ------------------------------------------------------------------ *)
+(* Stage 2b: Model-Correctness *)
+
+type stage2_result = { model_correctness : Model.t; correctness_log : stage_log }
+
+let train_correctness ?(opts = default_options) (warm : Model.t) (train : Suite.sample list) :
+    stage2_result =
+  (* diagnostic-feedback GRPO teaches the model to avoid its own failure
+     modes, lowering the irreducible hallucination floor -- SFT alone cannot
+     do this, which is why the paper's SFT baselines trail on correctness *)
+  let model =
+    Model.clone ~name:"Model-Correctness" ~halluc_rate:(0.5 *. warm.Model.halluc_rate) warm
+  in
+  let samples = Array.of_list train in
+  let rng = Random.State.make [| opts.seed; 22 |] in
+  let rewards = ref [] in
+  let cfg =
+    {
+      Grpo.group_size = opts.group_size;
+      learning_rate = opts.learning_rate;
+      clip_norm = 5.0;
+      temperature = 1.0;
+    }
+  in
+  for step = 1 to opts.grpo_steps do
+    let s = sample_at samples rng in
+    let group =
+      List.init opts.group_size (fun _ ->
+          Model.generate model ~mode:Prompt.Augmented ~rng:(Some rng) ~sample_id:s.Suite.id
+            s.Suite.modul s.Suite.src)
+    in
+    let scored =
+      List.map
+        (fun (g : Model.generation) ->
+          let answer_r, _ =
+            Reward.correctness_of_completion s.Suite.modul ~src:s.Suite.src ~label:s.Suite.label
+              g.Model.completion
+          in
+          let cot_r =
+            match g.Model.claimed with
+            | None -> 0.
+            | Some claimed ->
+              let think_attempt =
+                Model.attempt_text model ~sample_id:s.Suite.id g.Model.first_attempt
+              in
+              Reward.cot_agreement s.Suite.modul ~src:s.Suite.src ~claimed ~think_attempt
+                ~model_message:(Diag.message_of_class claimed)
+          in
+          let r = answer_r +. cot_r in
+          ({ Grpo.steps = g.Model.steps; reward = r }, r))
+        group
+    in
+    let rs = Array.of_list (List.map snd scored) in
+    let advs = Grpo.advantages rs in
+    Grpo.update cfg model (List.mapi (fun i (r, _) -> (r, advs.(i))) scored);
+    let mean = Array.fold_left ( +. ) 0. rs /. float_of_int (Array.length rs) in
+    rewards := mean :: !rewards;
+    if opts.verbose && step mod 25 = 0 then
+      Fmt.epr "[correctness] step %d mean reward %.3f@." step mean
+  done;
+  { model_correctness = model; correctness_log = log_of (List.rev !rewards) }
+
+(* ------------------------------------------------------------------ *)
+(* Stage 3: Model-Latency *)
+
+type stage3_result = { model_latency : Model.t; latency_log : stage_log }
+
+let train_latency ?(opts = default_options) (correctness : Model.t) (train : Suite.sample list) :
+    stage3_result =
+  let model =
+    Model.clone ~name:"Model-Latency" ~halluc_rate:(0.5 *. correctness.Model.halluc_rate)
+      correctness
+  in
+  let samples = Array.of_list train in
+  let rng = Random.State.make [| opts.seed; 33 |] in
+  let rewards = ref [] in
+  let u_max = Reward.u_max_of_samples train in
+  let cfg =
+    {
+      Grpo.group_size = opts.group_size;
+      learning_rate = opts.learning_rate;
+      clip_norm = 5.0;
+      temperature = 1.0;
+    }
+  in
+  for step = 1 to opts.grpo_steps do
+    let s = sample_at samples rng in
+    let baseline = Latency.of_func s.Suite.src in
+    let group =
+      List.init opts.group_size (fun _ ->
+          Model.generate model ~mode:Prompt.Generic ~rng:(Some rng) ~sample_id:s.Suite.id
+            s.Suite.modul s.Suite.src)
+    in
+    let scored =
+      List.map
+        (fun (g : Model.generation) ->
+          let vc =
+            Reward.verify_completion ~max_conflicts:opts.max_conflicts s.Suite.modul
+              ~src:s.Suite.src g.Model.completion
+          in
+          let equivalent = vc.Reward.verdict.Alive.category = Alive.Equivalent in
+          let cand_latency =
+            match vc.Reward.parsed with Some f -> Latency.of_func f | None -> baseline
+          in
+          (* labels are gone: format keeps shaping, Alive keeps correctness,
+             speedup does the rest (Eq. 4) *)
+          let r =
+            (if Prompt.format_ok g.Model.completion then 0.2 else 0.)
+            +. (if equivalent then 1.0 else 0.)
+            +. Reward.latency ~u_max ~equivalent ~baseline ~candidate:cand_latency ()
+          in
+          ({ Grpo.steps = g.Model.steps; reward = r }, r))
+        group
+    in
+    let rs = Array.of_list (List.map snd scored) in
+    let advs = Grpo.advantages rs in
+    Grpo.update cfg model (List.mapi (fun i (r, _) -> (r, advs.(i))) scored);
+    let mean = Array.fold_left ( +. ) 0. rs /. float_of_int (Array.length rs) in
+    rewards := mean :: !rewards;
+    if opts.verbose && step mod 25 = 0 then
+      Fmt.epr "[latency] step %d mean reward %.3f@." step mean
+  done;
+  { model_latency = model; latency_log = log_of (List.rev !rewards) }
+
+(* ------------------------------------------------------------------ *)
+
+type pipeline_result = {
+  base : Model.t;
+  stage1 : stage1_result;
+  warm : Model.t;
+  stage2 : stage2_result;
+  stage3 : stage3_result;
+}
+
+(** Run the full four-model pipeline from a base model. *)
+let full_pipeline ?(opts = default_options) (base : Model.t) (train : Suite.sample list) :
+    pipeline_result =
+  let stage1 = train_model_zero ~opts base train in
+  let warm = warm_up ~opts base train stage1.failures in
+  let stage2 = train_correctness ~opts warm train in
+  let stage3 = train_latency ~opts stage2.model_correctness train in
+  { base; stage1; warm; stage2; stage3 }

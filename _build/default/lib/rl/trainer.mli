@@ -1,0 +1,63 @@
+(** The four-model training pipeline of the paper's Fig. 3. *)
+
+module Model = Veriopt_llm.Model
+module Suite = Veriopt_data.Suite
+
+type options = {
+  grpo_steps : int;
+  group_size : int;
+  learning_rate : float;
+  sft_epochs : int;
+  seed : int;
+  max_conflicts : int;
+  verbose : bool;
+}
+
+val default_options : options
+
+type stage_log = { raw_rewards : float list; ema_rewards : float list }
+
+(** {1 Stage 1 — Model-Zero}
+
+    GRPO on the base model with generic prompts.  Doubles as the
+    diagnostic-augmented sample generator: every failed rollout is harvested
+    with Alive's verdict and message. *)
+
+type stage1_result = {
+  model_zero : Model.t;
+  failures : Sft.failure_record list;
+  zero_log : stage_log;
+}
+
+val train_model_zero : ?opts:options -> Model.t -> Suite.sample list -> stage1_result
+
+(** {1 Stage 2 — Warm-up and Model-Correctness} *)
+
+val warm_up : ?opts:options -> Model.t -> Suite.sample list -> Sft.failure_record list -> Model.t
+(** SFT from the pretrained base on first-time + correction samples. *)
+
+val sft_baseline : ?opts:options -> Model.t -> Suite.sample list -> Model.t
+(** SFT-only comparators (the paper's Fig. 5 baselines), generic prompts. *)
+
+type stage2_result = { model_correctness : Model.t; correctness_log : stage_log }
+
+val train_correctness : ?opts:options -> Model.t -> Suite.sample list -> stage2_result
+(** GRPO with augmented prompts; reward = Eq. 1 (answer) + Eq. 2 (CoT). *)
+
+(** {1 Stage 3 — Model-Latency} *)
+
+type stage3_result = { model_latency : Model.t; latency_log : stage_log }
+
+val train_latency : ?opts:options -> Model.t -> Suite.sample list -> stage3_result
+(** Incremental GRPO with the latency reward; labels dropped, correctness
+    kept in the reward through the verifier. *)
+
+type pipeline_result = {
+  base : Model.t;
+  stage1 : stage1_result;
+  warm : Model.t;
+  stage2 : stage2_result;
+  stage3 : stage3_result;
+}
+
+val full_pipeline : ?opts:options -> Model.t -> Suite.sample list -> pipeline_result

@@ -1,0 +1,1 @@
+lib/smt/heap.ml: Array

@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Bitblast Expr List Sat Veriopt_ir

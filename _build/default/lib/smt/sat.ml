@@ -1,0 +1,348 @@
+(** A CDCL SAT solver: two-watched-literal propagation, first-UIP clause
+    learning, VSIDS decision heuristic with phase saving and Luby restarts.
+    A conflict budget turns hard instances into [Unknown], which the verifier
+    reports as "inconclusive" — mirroring Alive2's solver timeouts.
+
+    Literal encoding: variable [v >= 0]; positive literal [2v], negative
+    [2v+1]. *)
+
+type result = Sat | Unsat | Unknown
+
+let lit_of_var ?(sign = true) v = if sign then 2 * v else (2 * v) + 1
+let var_of_lit l = l lsr 1
+let lit_neg l = l lxor 1
+let lit_sign l = l land 1 = 0 (* true = positive *)
+
+type clause = { lits : int array; learned : bool }
+
+type t = {
+  mutable nvars : int;
+  mutable clauses : clause array; (* growable *)
+  mutable nclauses : int;
+  mutable watches : Vec.t array; (* literal -> indices of clauses watching it *)
+  mutable assign : int array; (* var -> -1 unassigned / 0 false / 1 true *)
+  mutable level : int array; (* var -> decision level *)
+  mutable reason : int array; (* var -> clause index or -1 *)
+  mutable phase : bool array; (* saved phases *)
+  activity : float array ref;
+  mutable var_inc : float;
+  trail : Vec.t; (* assigned literals in order *)
+  trail_lim : Vec.t; (* trail indices at decision points *)
+  mutable qhead : int;
+  order : Heap.t;
+  mutable unsat : bool;
+  mutable conflicts : int;
+  mutable propagations : int;
+  mutable decisions : int;
+  mutable seen : bool array; (* scratch for conflict analysis *)
+}
+
+let create () =
+  let activity = ref (Array.make 8 0.) in
+  {
+    nvars = 0;
+    clauses = Array.make 64 { lits = [||]; learned = false };
+    nclauses = 0;
+    watches = Array.init 16 (fun _ -> Vec.create ~capacity:4 ());
+    assign = Array.make 8 (-1);
+    level = Array.make 8 0;
+    reason = Array.make 8 (-1);
+    phase = Array.make 8 false;
+    activity;
+    var_inc = 1.0;
+    trail = Vec.create ();
+    trail_lim = Vec.create ();
+    qhead = 0;
+    order = Heap.create ~capacity:8 ~score:(fun v -> !activity.(v));
+    unsat = false;
+    conflicts = 0;
+    propagations = 0;
+    decisions = 0;
+    seen = Array.make 8 false;
+  }
+
+let grow_arrays t n =
+  let old = Array.length t.assign in
+  if n > old then (
+    let size = max n (2 * old) in
+    let extend a fill =
+      let b = Array.make size fill in
+      Array.blit a 0 b 0 old;
+      b
+    in
+    t.assign <- extend t.assign (-1);
+    t.level <- extend t.level 0;
+    t.reason <- extend t.reason (-1);
+    t.phase <- extend t.phase false;
+    t.seen <- extend t.seen false;
+    t.activity := extend !(t.activity) 0.)
+
+let grow_watches t nlit =
+  let old = Array.length t.watches in
+  if nlit > old then (
+    let size = max nlit (2 * old) in
+    let w = Array.init size (fun i -> if i < old then t.watches.(i) else Vec.create ~capacity:4 ()) in
+    t.watches <- w)
+
+let new_var t =
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  grow_arrays t (v + 1);
+  grow_watches t (2 * (v + 1));
+  Heap.insert t.order v;
+  v
+
+let value_lit t l =
+  let a = t.assign.(var_of_lit l) in
+  if a < 0 then -1 else if lit_sign l then a else 1 - a
+
+let enqueue t l reason =
+  let v = var_of_lit l in
+  t.assign.(v) <- (if lit_sign l then 1 else 0);
+  t.level.(v) <- Vec.length t.trail_lim;
+  t.reason.(v) <- reason;
+  t.phase.(v) <- lit_sign l;
+  Vec.push t.trail l
+
+let push_clause t c =
+  if t.nclauses = Array.length t.clauses then (
+    let bigger = Array.make (2 * t.nclauses) c in
+    Array.blit t.clauses 0 bigger 0 t.nclauses;
+    t.clauses <- bigger);
+  t.clauses.(t.nclauses) <- c;
+  t.nclauses <- t.nclauses + 1;
+  t.nclauses - 1
+
+let watch_clause t idx =
+  let lits = t.clauses.(idx).lits in
+  Vec.push t.watches.(lit_neg lits.(0)) idx;
+  Vec.push t.watches.(lit_neg lits.(1)) idx
+
+(** Add a clause.  Must be called before solving (at decision level 0). *)
+let add_clause t (lits : int list) =
+  if not t.unsat then (
+    let lits = List.sort_uniq compare lits in
+    let tautology = List.exists (fun l -> List.mem (lit_neg l) lits) lits in
+    if not tautology then
+      if List.exists (fun l -> value_lit t l = 1) lits then ()
+      else
+        let lits = List.filter (fun l -> value_lit t l <> 0) lits in
+        match lits with
+        | [] -> t.unsat <- true
+        | [ l ] -> enqueue t l (-1)
+        | _ ->
+          let arr = Array.of_list lits in
+          let idx = push_clause t { lits = arr; learned = false } in
+          watch_clause t idx)
+
+(* Propagate all enqueued assignments; returns a conflicting clause index or
+   -1.  Standard MiniSat-style watched-literal loop. *)
+let propagate t =
+  let conflict = ref (-1) in
+  while !conflict < 0 && t.qhead < Vec.length t.trail do
+    let l = Vec.get t.trail t.qhead in
+    t.qhead <- t.qhead + 1;
+    t.propagations <- t.propagations + 1;
+    let ws = t.watches.(l) in
+    let n = Vec.length ws in
+    let j = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let ci = Vec.get ws !i in
+      incr i;
+      let lits = t.clauses.(ci).lits in
+      let falsified = lit_neg l in
+      if lits.(0) = falsified then (
+        lits.(0) <- lits.(1);
+        lits.(1) <- falsified);
+      if value_lit t lits.(0) = 1 then (
+        Vec.set ws !j ci;
+        incr j)
+      else begin
+        let len = Array.length lits in
+        let k = ref 2 in
+        let found = ref false in
+        while (not !found) && !k < len do
+          if value_lit t lits.(!k) <> 0 then (
+            let tmp = lits.(1) in
+            lits.(1) <- lits.(!k);
+            lits.(!k) <- tmp;
+            Vec.push t.watches.(lit_neg lits.(1)) ci;
+            found := true)
+          else incr k
+        done;
+        if not !found then
+          if value_lit t lits.(0) = 0 then (
+            (* conflict: keep this and all remaining watches, then stop *)
+            Vec.set ws !j ci;
+            incr j;
+            while !i < n do
+              Vec.set ws !j (Vec.get ws !i);
+              incr i;
+              incr j
+            done;
+            conflict := ci)
+          else (
+            Vec.set ws !j ci;
+            incr j;
+            enqueue t lits.(0) ci)
+      end
+    done;
+    Vec.shrink ws !j
+  done;
+  !conflict
+
+let var_bump t v =
+  let a = !(t.activity) in
+  a.(v) <- a.(v) +. t.var_inc;
+  if a.(v) > 1e100 then (
+    for i = 0 to t.nvars - 1 do
+      a.(i) <- a.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100);
+  Heap.notify_increase t.order v
+
+let var_decay t = t.var_inc <- t.var_inc /. 0.95
+
+(* First-UIP conflict analysis: walk the implication graph backwards from the
+   conflict, resolving on current-level literals until a single one (the UIP)
+   remains.  Returns the learned clause (asserting literal first) and the
+   backtrack level. *)
+let analyze t conflict_idx =
+  let seen = t.seen in
+  let learned = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let confl = ref conflict_idx in
+  let trail_pos = ref (Vec.length t.trail - 1) in
+  let current_level = Vec.length t.trail_lim in
+  let uip = ref 0 in
+  let continue_loop = ref true in
+  while !continue_loop do
+    let c = t.clauses.(!confl) in
+    Array.iter
+      (fun q ->
+        if q <> !p then
+          let v = var_of_lit q in
+          if (not seen.(v)) && t.level.(v) > 0 then (
+            seen.(v) <- true;
+            var_bump t v;
+            if t.level.(v) >= current_level then incr counter else learned := q :: !learned))
+      c.lits;
+    let rec find () =
+      let l = Vec.get t.trail !trail_pos in
+      decr trail_pos;
+      if seen.(var_of_lit l) then l else find ()
+    in
+    let l = find () in
+    p := l;
+    seen.(var_of_lit l) <- false;
+    decr counter;
+    if !counter = 0 then (
+      uip := lit_neg !p;
+      continue_loop := false)
+    else confl := t.reason.(var_of_lit l)
+  done;
+  let rest = !learned in
+  List.iter (fun q -> seen.(var_of_lit q) <- false) rest;
+  let blevel = List.fold_left (fun acc q -> max acc t.level.(var_of_lit q)) 0 rest in
+  (!uip :: rest, blevel)
+
+let backtrack t lvl =
+  if Vec.length t.trail_lim > lvl then (
+    let bound = Vec.get t.trail_lim lvl in
+    for i = Vec.length t.trail - 1 downto bound do
+      let v = var_of_lit (Vec.get t.trail i) in
+      t.assign.(v) <- -1;
+      t.reason.(v) <- -1;
+      Heap.insert t.order v
+    done;
+    Vec.shrink t.trail bound;
+    Vec.shrink t.trail_lim lvl;
+    t.qhead <- bound)
+
+let record_learned t lits =
+  match lits with
+  | [] -> t.unsat <- true
+  | [ l ] -> if value_lit t l = 0 then t.unsat <- true else if value_lit t l = -1 then enqueue t l (-1)
+  | l0 :: _ ->
+    let arr = Array.of_list lits in
+    (* position 1 must hold a literal from the backtrack level *)
+    let best = ref 1 in
+    for i = 1 to Array.length arr - 1 do
+      if t.level.(var_of_lit arr.(i)) > t.level.(var_of_lit arr.(!best)) then best := i
+    done;
+    let tmp = arr.(1) in
+    arr.(1) <- arr.(!best);
+    arr.(!best) <- tmp;
+    let idx = push_clause t { lits = arr; learned = true } in
+    watch_clause t idx;
+    enqueue t l0 idx
+
+let decide t =
+  let rec pick () =
+    if Heap.is_empty t.order then -1
+    else
+      let v = Heap.pop_max t.order in
+      if t.assign.(v) < 0 then v else pick ()
+  in
+  let v = pick () in
+  if v < 0 then false
+  else (
+    t.decisions <- t.decisions + 1;
+    Vec.push t.trail_lim (Vec.length t.trail);
+    enqueue t (lit_of_var ~sign:t.phase.(v) v) (-1);
+    true)
+
+(* MiniSat's reluctant-doubling (Luby) restart sequence. *)
+let luby x =
+  let size = ref 1 and seq = ref 0 in
+  while !size < x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref x in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  float_of_int (1 lsl !seq)
+
+let solve ?(max_conflicts = 200_000) t =
+  if t.unsat then Unsat
+  else begin
+    let result = ref None in
+    let restart_count = ref 0 in
+    let until_restart = ref (int_of_float (100. *. luby 0)) in
+    while !result = None do
+      let confl = propagate t in
+      if confl >= 0 then begin
+        t.conflicts <- t.conflicts + 1;
+        if t.conflicts > max_conflicts then result := Some Unknown
+        else if Vec.length t.trail_lim = 0 then result := Some Unsat
+        else begin
+          let learned, blevel = analyze t confl in
+          backtrack t blevel;
+          record_learned t learned;
+          if t.unsat then result := Some Unsat;
+          var_decay t;
+          decr until_restart
+        end
+      end
+      else if !until_restart <= 0 then begin
+        incr restart_count;
+        until_restart := int_of_float (100. *. luby !restart_count);
+        backtrack t 0
+      end
+      else if not (decide t) then result := Some Sat
+    done;
+    match !result with Some r -> r | None -> assert false
+  end
+
+(** Model access after [Sat]. *)
+let model_value t v = t.assign.(v) = 1
+
+let stats t = (t.conflicts, t.decisions, t.propagations)
+let num_vars t = t.nvars
+let num_clauses t = t.nclauses

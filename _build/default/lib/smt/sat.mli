@@ -1,0 +1,31 @@
+(** A CDCL SAT solver: two-watched-literal propagation, first-UIP learning,
+    VSIDS with phase saving, Luby restarts.  A conflict budget turns hard
+    instances into [Unknown] (the verifier's "inconclusive").
+
+    Literals: variable [v >= 0]; positive literal [2v], negative [2v+1]. *)
+
+type result = Sat | Unsat | Unknown
+
+val lit_of_var : ?sign:bool -> int -> int
+val var_of_lit : int -> int
+val lit_neg : int -> int
+val lit_sign : int -> bool
+
+type t
+
+val create : unit -> t
+val new_var : t -> int
+
+val add_clause : t -> int list -> unit
+(** Must be called before solving (at decision level 0). *)
+
+val solve : ?max_conflicts:int -> t -> result
+
+val model_value : t -> int -> bool
+(** Variable assignment after [Sat]. *)
+
+val stats : t -> int * int * int
+(** (conflicts, decisions, propagations). *)
+
+val num_vars : t -> int
+val num_clauses : t -> int

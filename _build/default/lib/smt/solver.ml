@@ -1,0 +1,92 @@
+(** Top-level SMT interface: assert a set of boolean terms, decide
+    satisfiability, and extract models (the verifier's counterexamples). *)
+
+type model = {
+  bv_value : string -> (int * int64) option; (* width, canonical value *)
+  bool_value : string -> bool option;
+}
+
+type outcome = Sat of model | Unsat | Unknown
+
+(** Decide [/\ assertions].  [max_conflicts] is the resource budget standing
+    in for a wall-clock solver timeout. *)
+let check ?(max_conflicts = 200_000) (assertions : Expr.t list) : outcome =
+  (* Fast path: constant-folded assertions. *)
+  if List.exists (fun (t : Expr.t) -> t.Expr.node = Expr.False) assertions then Unsat
+  else
+    let ctx = Bitblast.create () in
+    List.iter (Bitblast.assert_term ctx) assertions;
+    match Sat.solve ~max_conflicts ctx.Bitblast.sat with
+    | Sat.Sat ->
+      Sat
+        {
+          bv_value = (fun name -> Bitblast.bv_model_value ctx name);
+          bool_value = (fun name -> Bitblast.bool_model_value ctx name);
+        }
+    | Sat.Unsat -> Unsat
+    | Sat.Unknown -> Unknown
+
+(** [valid t] checks that [t] is true under all assignments; on failure the
+    model witnesses the violation. *)
+let valid ?max_conflicts (t : Expr.t) : outcome =
+  match check ?max_conflicts [ Expr.not_ t ] with
+  | Sat m -> Sat m (* counterexample *)
+  | Unsat -> Unsat (* valid *)
+  | Unknown -> Unknown
+
+(** Concrete evaluation of a closed term under an assignment, used for
+    differential testing of the bit-blaster. *)
+let rec eval_bool (env_bv : string -> int64) (env_bool : string -> bool) (t : Expr.t) : bool =
+  match t.Expr.node with
+  | Expr.True -> true
+  | Expr.False -> false
+  | Expr.BoolVar s -> env_bool s
+  | Expr.Not a -> not (eval_bool env_bv env_bool a)
+  | Expr.BAnd (a, b) -> eval_bool env_bv env_bool a && eval_bool env_bv env_bool b
+  | Expr.BOr (a, b) -> eval_bool env_bv env_bool a || eval_bool env_bv env_bool b
+  | Expr.BXor (a, b) -> eval_bool env_bv env_bool a <> eval_bool env_bv env_bool b
+  | Expr.BIte (c, a, b) ->
+    if eval_bool env_bv env_bool c then eval_bool env_bv env_bool a
+    else eval_bool env_bv env_bool b
+  | Expr.Eq (a, b) -> eval_bv env_bv env_bool a = eval_bv env_bv env_bool b
+  | Expr.Ult (a, b) ->
+    Veriopt_ir.Bits.ult (Expr.width a) (eval_bv env_bv env_bool a) (eval_bv env_bv env_bool b)
+  | Expr.Slt (a, b) ->
+    Veriopt_ir.Bits.slt (Expr.width a) (eval_bv env_bv env_bool a) (eval_bv env_bv env_bool b)
+  | _ -> invalid_arg "Solver.eval_bool: bitvector-sorted term"
+
+and eval_bv (env_bv : string -> int64) (env_bool : string -> bool) (t : Expr.t) : int64 =
+  let open Veriopt_ir.Bits in
+  let w = Expr.width t in
+  match t.Expr.node with
+  | Expr.BvConst { value; _ } -> value
+  | Expr.BvVar { name; _ } -> mask w (env_bv name)
+  | Expr.BvBin (op, a, b) -> (
+    let x = eval_bv env_bv env_bool a and y = eval_bv env_bv env_bool b in
+    match op with
+    | Expr.Add -> add w x y
+    | Expr.Sub -> sub w x y
+    | Expr.Mul -> mul w x y
+    | Expr.UDiv -> if y = 0L then all_ones w else udiv w x y
+    | Expr.URem -> if y = 0L then x else urem w x y
+    | Expr.SDiv ->
+      if y = 0L then if slt w x 0L then 1L else all_ones w
+      else if x = min_signed w && y = all_ones w then min_signed w
+      else sdiv w x y
+    | Expr.SRem ->
+      if y = 0L then x else if x = min_signed w && y = all_ones w then 0L else srem w x y
+    | Expr.Shl -> if shift_amount_poison w y then 0L else shl w x y
+    | Expr.LShr -> if shift_amount_poison w y then 0L else lshr w x y
+    | Expr.AShr ->
+      if shift_amount_poison w y then if slt w x 0L then all_ones w else 0L else ashr w x y
+    | Expr.And -> logand w x y
+    | Expr.Or -> logor w x y
+    | Expr.Xor -> logxor w x y)
+  | Expr.BvNot a -> lognot w (eval_bv env_bv env_bool a)
+  | Expr.BvNeg a -> neg w (eval_bv env_bv env_bool a)
+  | Expr.BvIte (c, a, b) ->
+    if eval_bool env_bv env_bool c then eval_bv env_bv env_bool a else eval_bv env_bv env_bool b
+  | Expr.BvZext (_, a) -> zext (Expr.width a) w (eval_bv env_bv env_bool a)
+  | Expr.BvSext (_, a) -> sext (Expr.width a) w (eval_bv env_bv env_bool a)
+  | Expr.BvTrunc (_, a) -> trunc (Expr.width a) w (eval_bv env_bv env_bool a)
+  | _ -> invalid_arg "Solver.eval_bv: boolean-sorted term"

@@ -1,0 +1,26 @@
+(** Top-level SMT interface: assert boolean terms, decide satisfiability,
+    extract models (the verifier's counterexamples). *)
+
+type model = {
+  bv_value : string -> (int * int64) option;  (** width, canonical value *)
+  bool_value : string -> bool option;
+}
+
+type outcome = Sat of model | Unsat | Unknown
+
+val check : ?max_conflicts:int -> Expr.t list -> outcome
+(** Decide the conjunction of the assertions.  [max_conflicts] is the
+    resource budget standing in for a wall-clock solver timeout; exceeding
+    it yields [Unknown]. *)
+
+val valid : ?max_conflicts:int -> Expr.t -> outcome
+(** [valid t]: [Unsat] means [t] holds under all assignments; [Sat m] is a
+    counterexample. *)
+
+(** {1 Concrete evaluation}
+
+    Reference semantics of the term language, used for differential testing
+    of the bit-blaster and for evaluating terms under solver models. *)
+
+val eval_bool : (string -> int64) -> (string -> bool) -> Expr.t -> bool
+val eval_bv : (string -> int64) -> (string -> bool) -> Expr.t -> int64

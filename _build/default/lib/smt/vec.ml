@@ -1,0 +1,32 @@
+(** Growable int arrays, the workhorse container of the SAT solver. *)
+
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 16) () = { data = Array.make (max 1 capacity) 0; len = 0 }
+
+let length v = v.len
+
+let get v i = Array.unsafe_get v.data i
+let set v i x = Array.unsafe_set v.data i x
+
+let push v x =
+  if v.len = Array.length v.data then (
+    let data = Array.make (2 * v.len) 0 in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data);
+  Array.unsafe_set v.data v.len x;
+  v.len <- v.len + 1
+
+let pop v =
+  v.len <- v.len - 1;
+  Array.unsafe_get v.data v.len
+
+let clear v = v.len <- 0
+let shrink v n = v.len <- n
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f (Array.unsafe_get v.data i)
+  done
+
+let to_list v = List.init v.len (fun i -> v.data.(i))

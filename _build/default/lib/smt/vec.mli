@@ -1,0 +1,14 @@
+(** Growable int arrays: the SAT solver's workhorse container. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val push : t -> int -> unit
+val pop : t -> int
+val clear : t -> unit
+val shrink : t -> int -> unit
+val iter : (int -> unit) -> t -> unit
+val to_list : t -> int list

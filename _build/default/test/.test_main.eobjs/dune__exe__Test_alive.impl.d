@@ -1,0 +1,1 @@
+test/test_alive.ml: Alcotest Ast Cfg Fmt Int64 List Parser Printer QCheck2 QCheck_alcotest String Types Validator Veriopt_alive Veriopt_data Veriopt_eval Veriopt_ir Veriopt_llm Veriopt_passes

@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Bits Int64 List QCheck2 QCheck_alcotest Veriopt_ir

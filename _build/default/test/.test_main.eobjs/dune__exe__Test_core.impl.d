@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest List Printer Veriopt Veriopt_alive Veriopt_cost Veriopt_data Veriopt_eval Veriopt_ir Veriopt_llm Veriopt_passes

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Ast List Parser QCheck2 QCheck_alcotest Veriopt_cost Veriopt_data Veriopt_ir

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Ast List Printer String Types Validator Veriopt_data Veriopt_eval Veriopt_ir Veriopt_nlp

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Ast Bits Int64 List Parser QCheck2 QCheck_alcotest Types Veriopt_alive Veriopt_data Veriopt_eval Veriopt_ir Veriopt_llm Veriopt_passes

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Ast Builder Cfg Hashtbl List Parser Printer QCheck2 QCheck_alcotest String Validator Veriopt_data Veriopt_ir

@@ -1,0 +1,1 @@
+test/test_llm.ml: Alcotest Ast List Parser Printer Random String Validator Veriopt_ir Veriopt_llm Veriopt_nlp Veriopt_passes

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_alive Test_bits Test_core Test_cost Test_data Test_interp Test_ir Test_llm Test_nlp Test_passes Test_rl Test_smt

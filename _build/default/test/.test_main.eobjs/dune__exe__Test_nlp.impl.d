@@ -1,0 +1,1 @@
+test/test_nlp.ml: Alcotest List QCheck2 QCheck_alcotest String Veriopt_nlp

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Ast Builder Fmt Hashtbl Int64 List Parser Printer QCheck2 QCheck_alcotest String Validator Veriopt_alive Veriopt_cost Veriopt_data Veriopt_ir Veriopt_llm Veriopt_passes

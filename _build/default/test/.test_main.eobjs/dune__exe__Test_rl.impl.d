@@ -1,0 +1,1 @@
+test/test_rl.ml: Alcotest Array Ast Builder List Parser Veriopt_alive Veriopt_data Veriopt_ir Veriopt_llm Veriopt_rl

@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Array Fmt Int64 List QCheck2 QCheck_alcotest Veriopt_ir Veriopt_smt

@@ -1,0 +1,376 @@
+(* The translation validator: verdict categories, refinement semantics,
+   diagnostics, and the key soundness property — solver verdicts never
+   contradict the concrete interpreter. *)
+
+open Veriopt_ir
+module A = Veriopt_alive.Alive
+module I = Veriopt_eval.Interp
+module Actions = Veriopt_llm.Actions
+
+let m0 = Ast.empty_module
+let parse = Parser.parse_func
+
+let category =
+  Alcotest.testable
+    (fun ppf -> function
+      | A.Equivalent -> Fmt.string ppf "Equivalent"
+      | A.Semantic_error -> Fmt.string ppf "Semantic_error"
+      | A.Syntax_error -> Fmt.string ppf "Syntax_error"
+      | A.Inconclusive -> Fmt.string ppf "Inconclusive")
+    ( = )
+
+let check_verdict ?(m = m0) name expected src tgt =
+  let v = A.verify_text m ~src:(parse src) ~tgt_text:tgt in
+  Alcotest.check category name expected v.A.category
+
+let equivalence_tests =
+  [
+    Alcotest.test_case "identity is equivalent and a copy" `Quick (fun () ->
+        let src = "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 0\n  ret i32 %r\n}" in
+        let v = A.verify_text m0 ~src:(parse src) ~tgt_text:src in
+        Alcotest.check category "eq" A.Equivalent v.A.category;
+        Alcotest.(check bool) "copy" true v.A.copy_of_input);
+    Alcotest.test_case "x+0 -> x" `Quick (fun () ->
+        check_verdict "fold" A.Equivalent
+          "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 0\n  ret i32 %r\n}"
+          "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n}");
+    Alcotest.test_case "mul 2 -> shl 1" `Quick (fun () ->
+        check_verdict "strength" A.Equivalent
+          "define i8 @f(i8 %x) {\nentry:\n  %r = mul i8 %x, 2\n  ret i8 %r\n}"
+          "define i8 @f(i8 %x) {\nentry:\n  %r = shl i8 %x, 1\n  ret i8 %r\n}");
+    Alcotest.test_case "sdiv by -1 -> negation" `Quick (fun () ->
+        check_verdict "sdiv" A.Equivalent
+          "define i8 @f(i8 %x) {\nentry:\n  %r = sdiv i8 %x, -1\n  ret i8 %r\n}"
+          "define i8 @f(i8 %x) {\nentry:\n  %r = sub i8 0, %x\n  ret i8 %r\n}");
+    Alcotest.test_case "branch/phi vs select" `Quick (fun () ->
+        check_verdict "cfg" A.Equivalent
+          {|define i32 @f(i32 %x) {
+entry:
+  %c = icmp slt i32 %x, 0
+  br i1 %c, label %a, label %b
+a:
+  br label %j
+b:
+  br label %j
+j:
+  %r = phi i32 [ 0, %a ], [ %x, %b ]
+  ret i32 %r
+}|}
+          {|define i32 @f(i32 %x) {
+entry:
+  %c = icmp slt i32 %x, 0
+  %r = select i1 %c, i32 0, i32 %x
+  ret i32 %r
+}|});
+    Alcotest.test_case "store-to-load forwarding" `Quick (fun () ->
+        check_verdict "mem" A.Equivalent
+          "define i32 @f(i32 %x) {\nentry:\n  %p = alloca i32, align 4\n  store i32 %x, ptr %p, align 4\n  %v = load i32, ptr %p, align 4\n  ret i32 %v\n}"
+          "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n}");
+    Alcotest.test_case "dropping a redundant store to a local is fine" `Quick (fun () ->
+        check_verdict "dead-store" A.Equivalent
+          "define i32 @f(i32 %x) {\nentry:\n  %p = alloca i32, align 4\n  store i32 1, ptr %p, align 4\n  store i32 %x, ptr %p, align 4\n  %v = load i32, ptr %p, align 4\n  ret i32 %v\n}"
+          "define i32 @f(i32 %x) {\nentry:\n  %p = alloca i32, align 4\n  store i32 %x, ptr %p, align 4\n  %v = load i32, ptr %p, align 4\n  ret i32 %v\n}");
+    Alcotest.test_case "matching impure call traces" `Quick (fun () ->
+        let m =
+          Parser.parse_module "declare void @sink(i32)\ndefine void @f(i32 %x) {\nentry:\n  call void @sink(i32 %x)\n  ret void\n}"
+        in
+        let src = List.hd m.Ast.funcs in
+        let v =
+          A.verify_text m ~src
+            ~tgt_text:"define void @f(i32 %x) {\nentry:\n  call void @sink(i32 %x)\n  ret void\n}"
+        in
+        Alcotest.check category "calls" A.Equivalent v.A.category);
+    Alcotest.test_case "loops verify within the unroll bound" `Quick (fun () ->
+        let src =
+          {|define i32 @f(i32 %n) {
+entry:
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %b ]
+  %c = icmp slt i32 %i, 3
+  br i1 %c, label %b, label %x
+b:
+  %i2 = add i32 %i, 1
+  br label %h
+x:
+  %r = mul i32 %i, 1
+  ret i32 %r
+}|}
+        in
+        let tgt =
+          {|define i32 @f(i32 %n) {
+entry:
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %b ]
+  %c = icmp slt i32 %i, 3
+  br i1 %c, label %b, label %x
+b:
+  %i2 = add i32 %i, 1
+  br label %h
+x:
+  ret i32 %i
+}|}
+        in
+        let v = A.verify_text m0 ~src:(parse src) ~tgt_text:tgt in
+        Alcotest.check category "loop" A.Equivalent v.A.category;
+        Alcotest.(check bool) "bounded" true v.A.bounded);
+  ]
+
+let error_tests =
+  [
+    Alcotest.test_case "off-by-one constant is a semantic error" `Quick (fun () ->
+        check_verdict "wrong" A.Semantic_error
+          "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}"
+          "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 2\n  ret i32 %r\n}");
+    Alcotest.test_case "counterexample inputs are concrete" `Quick (fun () ->
+        let src = "define i8 @f(i8 %x) {\nentry:\n  %r = sub i8 %x, 1\n  ret i8 %r\n}" in
+        let tgt = "define i8 @f(i8 %x) {\nentry:\n  %r = add i8 %x, 1\n  ret i8 %r\n}" in
+        let v = A.verify_text m0 ~src:(parse src) ~tgt_text:tgt in
+        Alcotest.check category "sem" A.Semantic_error v.A.category;
+        Alcotest.(check bool) "has example" true (v.A.example <> []));
+    Alcotest.test_case "introducing poison is an error" `Quick (fun () ->
+        let v =
+          A.verify_text m0
+            ~src:(parse "define i8 @f(i8 %x) {\nentry:\n  %r = mul i8 %x, 2\n  ret i8 %r\n}")
+            ~tgt_text:"define i8 @f(i8 %x) {\nentry:\n  %r = shl nsw i8 %x, 1\n  ret i8 %r\n}"
+        in
+        Alcotest.check category "poison" A.Semantic_error v.A.category;
+        Alcotest.(check bool) "message mentions poison" true
+          (let msg = v.A.message in
+           let sub = "more poisonous" in
+           let n = String.length msg and m = String.length sub in
+           let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+           go 0));
+    Alcotest.test_case "removing poison is fine (refinement)" `Quick (fun () ->
+        check_verdict "depoison" A.Equivalent
+          "define i8 @f(i8 %x) {\nentry:\n  %r = shl nsw i8 %x, 1\n  ret i8 %r\n}"
+          "define i8 @f(i8 %x) {\nentry:\n  %r = shl i8 %x, 1\n  ret i8 %r\n}");
+    Alcotest.test_case "dropping an observable store is an error" `Quick (fun () ->
+        let m = Parser.parse_module "@g = global i32 0\ndefine void @f(i32 %x) {\nentry:\n  store i32 %x, ptr @g, align 4\n  ret void\n}" in
+        let src = List.hd m.Ast.funcs in
+        let v = A.verify_text m ~src ~tgt_text:"define void @f(i32 %x) {\nentry:\n  ret void\n}" in
+        Alcotest.check category "store" A.Semantic_error v.A.category);
+    Alcotest.test_case "dropping an impure call is an error" `Quick (fun () ->
+        let m =
+          Parser.parse_module "declare void @sink(i32)\ndefine void @f(i32 %x) {\nentry:\n  call void @sink(i32 %x)\n  ret void\n}"
+        in
+        let src = List.hd m.Ast.funcs in
+        let v =
+          A.verify_text m ~src ~tgt_text:"define void @f(i32 %x) {\nentry:\n  ret void\n}"
+        in
+        Alcotest.(check bool) "not equivalent" true (v.A.category <> A.Equivalent));
+    Alcotest.test_case "introducing UB is an error" `Quick (fun () ->
+        check_verdict "ub" A.Semantic_error
+          "define i32 @f(i32 %x) {\nentry:\n  ret i32 0\n}"
+          "define i32 @f(i32 %x) {\nentry:\n  %r = udiv i32 1, %x\n  %z = mul i32 %r, 0\n  ret i32 %z\n}");
+    Alcotest.test_case "unparseable text is a syntax error" `Quick (fun () ->
+        check_verdict "garbage" A.Syntax_error
+          "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n}" "this is not IR at all");
+    Alcotest.test_case "invalid SSA is a syntax error" `Quick (fun () ->
+        check_verdict "ssa" A.Syntax_error
+          "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n}"
+          "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, %ghost\n  ret i32 %r\n}");
+    Alcotest.test_case "signature change is a syntax error" `Quick (fun () ->
+        check_verdict "sig" A.Syntax_error
+          "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n}"
+          "define i64 @f(i64 %x) {\nentry:\n  ret i64 %x\n}");
+    Alcotest.test_case "unsupported constructs are inconclusive" `Quick (fun () ->
+        check_verdict "ptrtoint" A.Inconclusive
+          "define i64 @f(i64 %x) {\nentry:\n  %p = alloca i64, align 8\n  %a = ptrtoint ptr %p to i64\n  ret i64 %a\n}"
+          "define i64 @f(i64 %x) {\nentry:\n  %p = alloca i64, align 8\n  %a = ptrtoint ptr %p to i64\n  ret i64 %a\n}");
+  ]
+
+(* Soundness property: whenever the verifier says Equivalent, the concrete
+   interpreter agrees on random inputs; whenever it reports a semantic error,
+   its counterexample is never refuted by the interpreter (the verdict layer
+   revalidates internally, so we additionally spot-check here). *)
+
+let refines_concretely (m : Ast.modul) (src : Ast.func) (tgt : Ast.func) (args : I.value list) :
+    bool =
+  let run f =
+    match I.run ~fuel:100_000 m f args with
+    | o -> `Ok o
+    | exception I.Undefined_behavior _ -> `Ub
+    | exception I.Out_of_fuel -> `Fuel
+  in
+  match (run src, run tgt) with
+  | `Ub, _ -> true
+  | `Fuel, _ | _, `Fuel -> true
+  | `Ok _, `Ub -> false
+  | `Ok s, `Ok t -> (
+    s.I.call_trace = t.I.call_trace
+    &&
+    match (s.I.ret, t.I.ret) with
+    | None, None -> true
+    | Some I.VPoison, Some _ -> true
+    | Some a, Some b -> a = b
+    | _ -> false)
+
+let gen_case =
+  QCheck2.Gen.(
+    let* seed = int_bound 30_000 in
+    let* mutate = int_bound 6 in
+    let* args = list_size (return 4) (map Int64.of_int int) in
+    return (seed, mutate, args))
+
+let soundness_property =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:35
+       ~name:"Equivalent verdicts are never refuted by concrete execution" gen_case
+       (fun (seed, mutate, args) ->
+         let cf = Veriopt_data.Cgen.generate ~seed ~name:"t" () in
+         let m, src = Veriopt_data.Lower.lower cf in
+         (* candidate: instcombine output, possibly with an unsound mutation *)
+         let base, _ = Veriopt_passes.Pass_manager.instcombine m src in
+         let tgt =
+           if mutate = 0 then base
+           else
+             let kinds =
+               Actions.
+                 [
+                   Wrong_constant;
+                   Flip_operands;
+                   Predicate_flip;
+                   Drop_store;
+                   Bogus_flag;
+                   Width_confusion;
+                 ]
+             in
+             Actions.apply_unsound base (List.nth kinds (mutate - 1)) 0
+         in
+         match Validator.validate_func ~module_:m tgt with
+         | Error _ -> QCheck2.assume_fail ()
+         | Ok () -> (
+           let v = A.verify_funcs ~max_conflicts:60_000 m ~src ~tgt in
+           match v.A.category with
+           | A.Equivalent ->
+             (* check agreement on the random inputs *)
+             let concrete_args =
+               List.map2
+                 (fun (ty, _) a -> I.vint (Types.width ty) a)
+                 src.Ast.params
+                 (List.filteri (fun i _ -> i < List.length src.Ast.params) args
+                 @ List.init (max 0 (List.length src.Ast.params - List.length args)) (fun _ -> 0L))
+             in
+             refines_concretely m src tgt concrete_args
+           | A.Semantic_error | A.Syntax_error | A.Inconclusive -> true)))
+
+let unroll_tests =
+  [
+    Alcotest.test_case "unroll is identity on acyclic functions" `Quick (fun () ->
+        let f = parse "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}" in
+        Alcotest.(check bool) "same" true (Veriopt_alive.Unroll.unroll 4 f == f));
+    Alcotest.test_case "unrolled loops are acyclic" `Quick (fun () ->
+        let f =
+          parse
+            "define i32 @f(i32 %n) {\nentry:\n  br label %h\nh:\n  %i = phi i32 [ 0, %entry ], [ %i2, %b ]\n  %c = icmp slt i32 %i, %n\n  br i1 %c, label %b, label %x\nb:\n  %i2 = add i32 %i, 1\n  br label %h\nx:\n  ret i32 %i\n}"
+        in
+        let u = Veriopt_alive.Unroll.unroll 4 f in
+        Alcotest.(check bool) "acyclic" false (Cfg.has_loop (Cfg.of_func u));
+        Alcotest.(check bool) "has exhausted block" true
+          (List.exists
+             (fun b -> b.Ast.label = Veriopt_alive.Unroll.exhausted_label)
+             u.Ast.blocks));
+    Alcotest.test_case "values defined before the loop keep one name" `Quick (fun () ->
+        let f =
+          parse
+            "define i32 @f(i32 %n) {\nentry:\n  %base = add i32 %n, 7\n  br label %h\nh:\n  %i = phi i32 [ 0, %entry ], [ %i2, %b ]\n  %c = icmp slt i32 %i, %base\n  br i1 %c, label %b, label %x\nb:\n  %i2 = add i32 %i, 1\n  br label %h\nx:\n  ret i32 %i\n}"
+        in
+        let u = Veriopt_alive.Unroll.unroll 3 f in
+        (* every copy's compare must still reference %base, never %base.uN *)
+        let text = Printer.func_to_string u in
+        let contains sub =
+          let n = String.length text and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "no renamed before-loop value used" false (contains "%base.u"));
+  ]
+
+let mixed_width_tests =
+  [
+    Alcotest.test_case "fig-8 pattern: two i32 stores read back as i64" `Quick (fun () ->
+        (* the paper's Fig. 8: struct fields zeroed through i32 stores, the
+           whole i64 slot loaded and returned *)
+        check_verdict "fig8" A.Equivalent
+          "%struct.S = type { i32, i32 }\ndefine i64 @get_d() {\n  %1 = alloca i64, align 8\n  %2 = bitcast i64* %1 to i32*\n  store i32 0, i32* %2, align 8\n  %3 = getelementptr inbounds %struct.S, i64* %1, i64 0, i32 1\n  store i32 0, i32* %3, align 4\n  %4 = load i64, i64* %1, align 8\n  ret i64 %4\n}"
+          "define i64 @get_d() {\n  ret i64 0\n}");
+    Alcotest.test_case "narrow load of a wide store" `Quick (fun () ->
+        check_verdict "low byte" A.Equivalent
+          "define i32 @f(i32 %x) {\nentry:\n  %p = alloca i32, align 4\n  store i32 %x, ptr %p, align 4\n  %b = load i8, ptr %p, align 1\n  %z = zext i8 %b to i32\n  ret i32 %z\n}"
+          "define i32 @f(i32 %x) {\nentry:\n  %r = and i32 %x, 255\n  ret i32 %r\n}");
+    Alcotest.test_case "mixed-width mismatch is caught" `Quick (fun () ->
+        check_verdict "wrong mask" A.Semantic_error
+          "define i32 @f(i32 %x) {\nentry:\n  %p = alloca i32, align 4\n  store i32 %x, ptr %p, align 4\n  %b = load i8, ptr %p, align 1\n  %z = zext i8 %b to i32\n  ret i32 %z\n}"
+          "define i32 @f(i32 %x) {\nentry:\n  %r = and i32 %x, 127\n  ret i32 %r\n}");
+    Alcotest.test_case "wide load of two narrow stores, little-endian order" `Quick (fun () ->
+        check_verdict "concat" A.Equivalent
+          "define i16 @f(i8 %a, i8 %b) {\nentry:\n  %p = alloca i16, align 2\n  store i8 %a, ptr %p, align 1\n  %q = getelementptr [2 x i8], ptr %p, i64 0, i64 1\n  store i8 %b, ptr %q, align 1\n  %v = load i16, ptr %p, align 2\n  ret i16 %v\n}"
+          "define i16 @f(i8 %a, i8 %b) {\nentry:\n  %za = zext i8 %a to i16\n  %zb = zext i8 %b to i16\n  %hb = shl i16 %zb, 8\n  %v = or i16 %hb, %za\n  ret i16 %v\n}");
+  ]
+
+let limitation_tests =
+  [
+    Alcotest.test_case "bounded validation misses beyond-bound behaviour" `Quick (fun () ->
+        (* the paper's SVI: Alive2 is a *bounded* validator; a difference
+           that only manifests after the unroll bound is not caught, and the
+           verdict is explicitly marked [bounded] *)
+        let make ret_on_exit =
+          Fmt.str
+            {|define i32 @f(i32 %%n) {
+entry:
+  br label %%h
+h:
+  %%i = phi i32 [ 0, %%entry ], [ %%i2, %%b ]
+  %%c = icmp slt i32 %%i, 100
+  br i1 %%c, label %%b, label %%x
+b:
+  %%i2 = add i32 %%i, 1
+  br label %%h
+x:
+  ret i32 %s
+}|}
+            ret_on_exit
+        in
+        (* the two functions differ only at loop exit, reached after 100
+           iterations -- far beyond the unroll bound *)
+        let src = parse (make "%i") and tgt = parse (make "0") in
+        let v = A.verify_funcs ~unroll:4 m0 ~src ~tgt in
+        Alcotest.check category "bounded equivalence claimed" A.Equivalent v.A.category;
+        Alcotest.(check bool) "flagged as bounded" true v.A.bounded;
+        (* concrete execution sees the difference immediately *)
+        match
+          Veriopt_eval.Exec_oracle.equivalent Ast.empty_module ~src ~tgt
+        with
+        | Veriopt_eval.Exec_oracle.Io_different _ -> ()
+        | _ -> Alcotest.fail "oracle should distinguish them");
+    Alcotest.test_case "larger unroll bounds catch more" `Quick (fun () ->
+        (* same shape with a 3-iteration loop: within the default bound the
+           difference is caught *)
+        let make ret_on_exit =
+          Fmt.str
+            {|define i32 @f(i32 %%n) {
+entry:
+  br label %%h
+h:
+  %%i = phi i32 [ 0, %%entry ], [ %%i2, %%b ]
+  %%c = icmp slt i32 %%i, 3
+  br i1 %%c, label %%b, label %%x
+b:
+  %%i2 = add i32 %%i, 1
+  br label %%h
+x:
+  ret i32 %s
+}|}
+            ret_on_exit
+        in
+        let src = parse (make "%i") and tgt = parse (make "0") in
+        let v = A.verify_funcs ~unroll:8 m0 ~src ~tgt in
+        Alcotest.check category "caught within bound" A.Semantic_error v.A.category);
+  ]
+
+let suite =
+  ( "alive",
+    equivalence_tests @ error_tests @ unroll_tests @ mixed_width_tests @ limitation_tests
+    @ [ soundness_property ] )

@@ -1,0 +1,138 @@
+(* Unit and property tests for width-parametric bitvector arithmetic. *)
+
+open Veriopt_ir
+
+let check_i64 = Alcotest.(check int64)
+let check_bool = Alcotest.(check bool)
+
+let widths = [ 1; 3; 7; 8; 13; 16; 31; 32; 33; 63; 64 ]
+
+(* Reference semantics through Int64 at width <= 32 where exact wide math is
+   available; at wider widths, algebraic identities are used instead. *)
+
+let unit_tests =
+  [
+    Alcotest.test_case "mask clears high bits" `Quick (fun () ->
+        check_i64 "mask8" 0xabL (Bits.mask 8 0x1abL);
+        check_i64 "mask1" 1L (Bits.mask 1 3L);
+        check_i64 "mask64" Int64.minus_one (Bits.mask 64 Int64.minus_one));
+    Alcotest.test_case "to_signed sign-extends" `Quick (fun () ->
+        check_i64 "i8 -1" (-1L) (Bits.to_signed 8 0xffL);
+        check_i64 "i8 127" 127L (Bits.to_signed 8 0x7fL);
+        check_i64 "i1 -1" (-1L) (Bits.to_signed 1 1L);
+        check_i64 "i64 id" Int64.min_int (Bits.to_signed 64 Int64.min_int));
+    Alcotest.test_case "min/max/all_ones" `Quick (fun () ->
+        check_i64 "min8" 0x80L (Bits.min_signed 8);
+        check_i64 "max8" 0x7fL (Bits.max_signed 8);
+        check_i64 "ones8" 0xffL (Bits.all_ones 8);
+        check_i64 "min64" Int64.min_int (Bits.min_signed 64);
+        check_i64 "max64" Int64.max_int (Bits.max_signed 64));
+    Alcotest.test_case "wrapping add/sub/mul" `Quick (fun () ->
+        check_i64 "add wraps" 0L (Bits.add 8 0xffL 1L);
+        check_i64 "sub wraps" 0xffL (Bits.sub 8 0L 1L);
+        check_i64 "mul wraps" 0xfeL (Bits.mul 8 0xffL 2L));
+    Alcotest.test_case "division semantics" `Quick (fun () ->
+        check_i64 "udiv" 0x7fL (Bits.udiv 8 0xffL 2L);
+        check_i64 "sdiv -1/2 = 0" 0L (Bits.sdiv 8 0xffL 2L);
+        check_i64 "srem -7/2 = -1" (Bits.mask 8 (-1L)) (Bits.srem 8 (Bits.mask 8 (-7L)) 2L);
+        check_i64 "urem" 1L (Bits.urem 8 0xffL 2L));
+    Alcotest.test_case "shifts" `Quick (fun () ->
+        check_i64 "shl" 0xf0L (Bits.shl 8 0x0fL 4L);
+        check_i64 "lshr" 0x0fL (Bits.lshr 8 0xf0L 4L);
+        check_i64 "ashr keeps sign" 0xffL (Bits.ashr 8 0x80L 7L);
+        check_bool "shift >= w poison" true (Bits.shift_amount_poison 8 8L);
+        check_bool "shift < w ok" false (Bits.shift_amount_poison 8 7L));
+    Alcotest.test_case "comparisons" `Quick (fun () ->
+        check_bool "ult" true (Bits.ult 8 1L 0xffL);
+        check_bool "slt signed" true (Bits.slt 8 0xffL 1L);
+        check_bool "sle refl" true (Bits.sle 8 5L 5L));
+    Alcotest.test_case "overflow predicates, signed add" `Quick (fun () ->
+        check_bool "127+1 ov" true (Bits.add_nsw_overflow 8 127L 1L);
+        check_bool "126+1 ok" false (Bits.add_nsw_overflow 8 126L 1L);
+        check_bool "-128-1 ov" true (Bits.sub_nsw_overflow 8 0x80L 1L);
+        check_bool "min64+min64 ov" true (Bits.add_nsw_overflow 64 Int64.min_int Int64.min_int));
+    Alcotest.test_case "overflow predicates, unsigned" `Quick (fun () ->
+        check_bool "255+1 nuw ov" true (Bits.add_nuw_overflow 8 255L 1L);
+        check_bool "0-1 nuw ov" true (Bits.sub_nuw_overflow 8 0L 1L);
+        check_bool "16*16 nuw ov (i8)" true (Bits.mul_nuw_overflow 8 16L 16L);
+        check_bool "15*16 ok (i8)" false (Bits.mul_nuw_overflow 8 15L 16L);
+        check_bool "mul_nuw 64 max*2" true (Bits.mul_nuw_overflow 64 Int64.minus_one 2L));
+    Alcotest.test_case "overflow predicates, signed mul" `Quick (fun () ->
+        check_bool "min*-1 ov" true (Bits.mul_nsw_overflow 8 0x80L 0xffL);
+        check_bool "-1*min ov" true (Bits.mul_nsw_overflow 8 0xffL 0x80L);
+        check_bool "64*2 ov i8" true (Bits.mul_nsw_overflow 8 64L 2L);
+        check_bool "63*2 ok i8" false (Bits.mul_nsw_overflow 8 63L 2L);
+        check_bool "0*x never" false (Bits.mul_nsw_overflow 8 0L 0x80L));
+    Alcotest.test_case "shl flag violations" `Quick (fun () ->
+        check_bool "shl nuw loses bit" true (Bits.shl_nuw_overflow 8 0x80L 1L);
+        check_bool "shl nsw flips sign" true (Bits.shl_nsw_overflow 8 0x40L 1L);
+        check_bool "shl ok" false (Bits.shl_nuw_overflow 8 0x01L 1L));
+    Alcotest.test_case "exact violations" `Quick (fun () ->
+        check_bool "7/2 inexact" true (Bits.udiv_exact_violation 8 7L 2L);
+        check_bool "8/2 exact" false (Bits.udiv_exact_violation 8 8L 2L);
+        check_bool "lshr exact" true (Bits.lshr_exact_violation 8 7L 1L));
+    Alcotest.test_case "sdiv overflow" `Quick (fun () ->
+        check_bool "min/-1" true (Bits.sdiv_overflow 8 0x80L 0xffL);
+        check_bool "min/1" false (Bits.sdiv_overflow 8 0x80L 1L));
+    Alcotest.test_case "casts" `Quick (fun () ->
+        check_i64 "trunc" 0xcdL (Bits.trunc 16 8 0xabcdL);
+        check_i64 "zext" 0xffL (Bits.zext 8 16 0xffL);
+        check_i64 "sext" 0xffffL (Bits.sext 8 16 0xffL));
+    Alcotest.test_case "power of two helpers" `Quick (fun () ->
+        check_bool "8 is pow2" true (Bits.is_power_of_two 8 8L);
+        check_bool "0 not pow2" false (Bits.is_power_of_two 8 0L);
+        check_bool "6 not pow2" false (Bits.is_power_of_two 8 6L);
+        Alcotest.(check int) "log2 8" 3 (Bits.log2 8 8L);
+        Alcotest.(check int) "popcount 0xff" 8 (Bits.popcount 8 0xffL);
+        check_bool "bit 3 of 8" true (Bits.bit 8 8L 3));
+  ]
+
+(* Properties.  For w <= 31 the exact result fits in int64 untruncated, so
+   wrapping semantics can be cross-checked against wide arithmetic. *)
+
+let gen_w_and_pair =
+  QCheck2.Gen.(
+    let* w = oneofl (List.filter (fun w -> w <= 31) widths) in
+    let* a = map Int64.of_int (int_bound ((1 lsl w) - 1)) in
+    let* b = map Int64.of_int (int_bound ((1 lsl w) - 1)) in
+    return (w, a, b))
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:500 ~name gen f)
+
+let property_tests =
+  [
+    prop "add wraps mod 2^w" gen_w_and_pair (fun (w, a, b) ->
+        Bits.add w a b = Int64.rem (Int64.add a b) (Int64.shift_left 1L w));
+    prop "sub = add neg" gen_w_and_pair (fun (w, a, b) ->
+        Bits.sub w a b = Bits.add w a (Bits.neg w b));
+    prop "nsw add predicate exact" gen_w_and_pair (fun (w, a, b) ->
+        let wide = Int64.add (Bits.to_signed w a) (Bits.to_signed w b) in
+        Bits.add_nsw_overflow w a b
+        = (wide > Bits.to_signed w (Bits.max_signed w) || wide < Bits.to_signed w (Bits.min_signed w)));
+    prop "nuw add predicate exact" gen_w_and_pair (fun (w, a, b) ->
+        Bits.add_nuw_overflow w a b = (Int64.add a b >= Int64.shift_left 1L w));
+    prop "nuw mul predicate exact" gen_w_and_pair (fun (w, a, b) ->
+        (* products of 31-bit values fit in 62 bits *)
+        Bits.mul_nuw_overflow w a b = (Int64.mul a b >= Int64.shift_left 1L w));
+    prop "nsw mul predicate exact" gen_w_and_pair (fun (w, a, b) ->
+        let wide = Int64.mul (Bits.to_signed w a) (Bits.to_signed w b) in
+        Bits.mul_nsw_overflow w a b
+        = (wide > Bits.to_signed w (Bits.max_signed w) || wide < Bits.to_signed w (Bits.min_signed w)));
+    prop "udiv*b + urem = a" gen_w_and_pair (fun (w, a, b) ->
+        b = 0L || Bits.add w (Bits.mul w (Bits.udiv w a b) b) (Bits.urem w a b) = a);
+    prop "sdiv truncates toward zero" gen_w_and_pair (fun (w, a, b) ->
+        b = 0L
+        || Bits.sdiv_overflow w a b
+        || Bits.to_signed w (Bits.sdiv w a b)
+           = Int64.div (Bits.to_signed w a) (Bits.to_signed w b));
+    prop "masked values canonical" gen_w_and_pair (fun (w, a, b) ->
+        Bits.mask w (Bits.add w a b) = Bits.add w a b
+        && Bits.mask w (Bits.mul w a b) = Bits.mul w a b);
+    prop "to_signed/mask roundtrip" gen_w_and_pair (fun (w, a, _) ->
+        Bits.mask w (Bits.to_signed w a) = a);
+    prop "shl then lshr recovers low bits" gen_w_and_pair (fun (w, a, _) ->
+        let s = Int64.of_int (w / 2) in
+        Bits.lshr w (Bits.shl w a s) s = Bits.mask (w - (w / 2)) a);
+  ]
+
+let suite = ("bits", unit_tests @ property_tests)

@@ -1,0 +1,72 @@
+(* Cost models: latency, instruction count, binary size. *)
+
+open Veriopt_ir
+module L = Veriopt_cost.Latency
+module IC = Veriopt_cost.Icount
+module B = Veriopt_cost.Binsize
+
+let parse = Parser.parse_func
+
+let unit_tests =
+  [
+    Alcotest.test_case "latency of trivial return" `Quick (fun () ->
+        let f = parse "define i32 @f() {\nentry:\n  ret i32 0\n}" in
+        Alcotest.(check int) "just ret" 1 (L.of_func f));
+    Alcotest.test_case "loads dominate ALU latency" `Quick (fun () ->
+        let load_f =
+          parse
+            "define i32 @f(i32 %x) {\nentry:\n  %p = alloca i32, align 4\n  store i32 %x, ptr %p, align 4\n  %v = load i32, ptr %p, align 4\n  ret i32 %v\n}"
+        in
+        let alu_f = parse "define i32 @f(i32 %x) {\nentry:\n  %v = add i32 %x, 1\n  ret i32 %v\n}" in
+        Alcotest.(check bool) "load heavier" true (L.of_func load_f > L.of_func alu_f));
+    Alcotest.test_case "division is expensive" `Quick (fun () ->
+        let d = parse "define i32 @f(i32 %x) {\nentry:\n  %v = sdiv i32 %x, 3\n  ret i32 %v\n}" in
+        let a = parse "define i32 @f(i32 %x) {\nentry:\n  %v = add i32 %x, 3\n  ret i32 %v\n}" in
+        Alcotest.(check bool) "div heavier" true (L.of_func d > L.of_func a + 5));
+    Alcotest.test_case "icount counts terminators" `Quick (fun () ->
+        let f = parse "define i32 @f(i32 %x) {\nentry:\n  %v = add i32 %x, 1\n  ret i32 %v\n}" in
+        Alcotest.(check int) "two instrs" 2 (IC.of_func f));
+    Alcotest.test_case "binary size is 4-byte granular" `Quick (fun () ->
+        let f = parse "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n}" in
+        Alcotest.(check int) "multiple of 4" 0 (B.text_bytes_of_func f mod 4));
+    Alcotest.test_case "big immediates cost extra moves" `Quick (fun () ->
+        let small = parse "define i32 @f(i32 %x) {\nentry:\n  %v = add i32 %x, 7\n  ret i32 %v\n}" in
+        let big =
+          parse "define i32 @f(i32 %x) {\nentry:\n  %v = add i32 %x, 123456789\n  ret i32 %v\n}"
+        in
+        Alcotest.(check bool) "bigger" true (B.text_bytes_of_func big > B.text_bytes_of_func small));
+    Alcotest.test_case ".data counts initialized globals only" `Quick (fun () ->
+        let m1 = Parser.parse_module "@g = global i64 5" in
+        let m0 = Parser.parse_module "@g = global i64 0" in
+        Alcotest.(check int) "init data" 8 (B.data_bytes m1);
+        Alcotest.(check int) "bss excluded" 0 (B.data_bytes m0));
+  ]
+
+(* Properties: removing an instruction never increases any metric. *)
+let gen_seed = QCheck2.Gen.int_bound 50_000
+
+let property_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:60 ~name:"all metrics are positive on lowered functions" gen_seed
+         (fun seed ->
+           let cf = Veriopt_data.Cgen.generate ~seed ~name:"t" () in
+           let _, f = Veriopt_data.Lower.lower cf in
+           L.of_func f > 0 && IC.of_func f > 0 && B.text_bytes_of_func f > 0));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:60 ~name:"dropping an instruction never raises a metric" gen_seed
+         (fun seed ->
+           let cf = Veriopt_data.Cgen.generate ~seed ~name:"t" () in
+           let _, f = Veriopt_data.Lower.lower cf in
+           (* drop the first instruction of the entry block (metrics ignore
+              def-use validity) *)
+           match f.Ast.blocks with
+           | b :: rest when b.Ast.instrs <> [] ->
+             let f' = { f with Ast.blocks = { b with Ast.instrs = List.tl b.Ast.instrs } :: rest } in
+             L.of_func f' <= L.of_func f
+             && IC.of_func f' < IC.of_func f
+             && B.text_bytes_of_func f' <= B.text_bytes_of_func f
+           | _ -> true));
+  ]
+
+let suite = ("cost", unit_tests @ property_tests)

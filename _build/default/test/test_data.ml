@@ -1,0 +1,82 @@
+(* Dataset generation: the mini-C generator, the -O0 lowering shape, and the
+   Suite filtering methodology. *)
+
+open Veriopt_ir
+module S = Veriopt_data.Suite
+module Cgen = Veriopt_data.Cgen
+module Lower = Veriopt_data.Lower
+
+let lowering_tests =
+  [
+    Alcotest.test_case "generation is deterministic in the seed" `Quick (fun () ->
+        let f1 = Cgen.generate ~seed:7 ~name:"t" () in
+        let f2 = Cgen.generate ~seed:7 ~name:"t" () in
+        let p f = Printer.func_to_string (snd (Lower.lower f)) in
+        Alcotest.(check string) "same" (p f1) (p f2));
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let p seed =
+          Printer.func_to_string (snd (Lower.lower (Cgen.generate ~seed ~name:"t" ())))
+        in
+        Alcotest.(check bool) "different" true (p 1 <> p 2));
+    Alcotest.test_case "lowering has clang -O0 shape" `Quick (fun () ->
+        (* every parameter is spilled to an alloca; a retval slot exists *)
+        let _, f = Lower.lower (Cgen.generate ~seed:3 ~name:"t" ()) in
+        let entry = Ast.entry_block f in
+        let allocas =
+          List.filter
+            (fun ni -> match ni.Ast.instr with Ast.Alloca _ -> true | _ -> false)
+            entry.Ast.instrs
+        in
+        Alcotest.(check bool) "retval + params spilled" true
+          (List.length allocas >= 1 + List.length f.Ast.params);
+        Alcotest.(check bool) "has return block" true
+          (List.exists (fun b -> b.Ast.label = "return") f.Ast.blocks));
+    Alcotest.test_case "lowered functions never trap on zero inputs" `Quick (fun () ->
+        (* the generator divides only by non-zero constants *)
+        for seed = 0 to 30 do
+          let m, f = Lower.lower (Cgen.generate ~seed ~name:"t" ()) in
+          let args =
+            List.map (fun (ty, _) -> Veriopt_eval.Interp.vint (Types.width ty) 0L) f.Ast.params
+          in
+          match Veriopt_eval.Interp.run ~fuel:100_000 m f args with
+          | _ -> ()
+          | exception Veriopt_eval.Interp.Undefined_behavior msg ->
+            Alcotest.failf "seed %d traps: %s" seed msg
+        done);
+  ]
+
+let suite_tests =
+  [
+    Alcotest.test_case "suite filters and labels" `Quick (fun () ->
+        let ds = S.build ~verify:true ~seed0:4242 ~n:10 () in
+        Alcotest.(check int) "requested samples" 10 (List.length ds.S.samples);
+        List.iter
+          (fun (s : S.sample) ->
+            (* every sample has instcombine work to do *)
+            Alcotest.(check bool) "label differs" true (s.S.trace <> []);
+            (* src and label verified equivalent *)
+            match Validator.validate_func ~module_:s.S.modul s.S.label with
+            | Ok () -> ()
+            | Error es -> Alcotest.failf "label invalid: %s" (String.concat "; " es))
+          ds.S.samples);
+    Alcotest.test_case "train and validation seeds are disjoint" `Quick (fun () ->
+        Alcotest.(check bool) "disjoint ranges" true
+          (S.train_seed_base + 10_000_000 <> S.validation_seed_base
+          && abs (S.train_seed_base - S.validation_seed_base) > 1_000_000));
+    Alcotest.test_case "stats add up" `Quick (fun () ->
+        let ds = S.build ~verify:false ~seed0:5555 ~n:15 () in
+        let st = ds.S.stats in
+        Alcotest.(check int) "kept = n" 15 st.S.kept;
+        Alcotest.(check int) "generated >= kept" st.S.generated
+          (st.S.kept + st.S.dropped_no_change + st.S.dropped_not_equivalent
+         + st.S.dropped_inconclusive + st.S.dropped_too_long));
+    Alcotest.test_case "token filter applies" `Quick (fun () ->
+        let ds = S.build ~verify:false ~seed0:777 ~n:8 () in
+        List.iter
+          (fun (s : S.sample) ->
+            Alcotest.(check bool) "within limit" true
+              (Veriopt_nlp.Tokenizer.within_limit s.S.src_text))
+          ds.S.samples);
+  ]
+
+let suite = ("data", lowering_tests @ suite_tests)

@@ -1,0 +1,311 @@
+(* Parser/printer round-trips, validator behaviour, CFG utilities. *)
+
+open Veriopt_ir
+
+let parse = Parser.parse_func
+let print = Printer.func_to_string
+
+let roundtrip_ok src =
+  let f = parse src in
+  let text = print f in
+  let f2 = parse text in
+  Alcotest.(check string) "roundtrip fixpoint" text (print f2)
+
+let expect_syntax_error src =
+  match Parser.parse_func_result src with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error _ -> ()
+
+let expect_invalid src =
+  let f = parse src in
+  match Validator.validate_func f with
+  | Ok () -> Alcotest.fail "expected validation failure"
+  | Error _ -> ()
+
+let valid_func src =
+  let f = parse src in
+  match Validator.validate_func f with
+  | Ok () -> f
+  | Error es -> Alcotest.failf "unexpected validation errors: %s" (String.concat "; " es)
+
+let simple =
+  "define i32 @f(i32 %x) {\nentry:\n  %r = add nsw i32 %x, 1\n  ret i32 %r\n}"
+
+let branchy =
+  {|define i32 @f(i32 %x) {
+entry:
+  %c = icmp slt i32 %x, 0
+  br i1 %c, label %a, label %b
+a:
+  %n = sub i32 0, %x
+  br label %join
+b:
+  br label %join
+join:
+  %r = phi i32 [ %n, %a ], [ %x, %b ]
+  ret i32 %r
+}|}
+
+let parser_tests =
+  [
+    Alcotest.test_case "roundtrip simple" `Quick (fun () -> roundtrip_ok simple);
+    Alcotest.test_case "roundtrip branchy" `Quick (fun () -> roundtrip_ok branchy);
+    Alcotest.test_case "roundtrip all binops and flags" `Quick (fun () ->
+        roundtrip_ok
+          {|define i64 @f(i64 %x, i64 %y) {
+entry:
+  %a = add nuw nsw i64 %x, %y
+  %b = sub nsw i64 %a, %y
+  %c = mul nuw i64 %b, 3
+  %d = udiv exact i64 %c, 2
+  %e = sdiv i64 %d, -3
+  %f = urem i64 %e, 7
+  %g = srem i64 %f, 5
+  %h = shl i64 %g, 2
+  %i = lshr exact i64 %h, 1
+  %j = ashr i64 %i, 1
+  %k = and i64 %j, 255
+  %l = or i64 %k, 16
+  %m = xor i64 %l, -1
+  ret i64 %m
+}|});
+    Alcotest.test_case "roundtrip casts, select, memory" `Quick (fun () ->
+        roundtrip_ok
+          {|define i8 @f(i64 %x) {
+entry:
+  %p = alloca i64, align 8
+  store i64 %x, ptr %p, align 8
+  %v = load i64, ptr %p, align 8
+  %t = trunc i64 %v to i8
+  %z = zext i8 %t to i32
+  %s = sext i8 %t to i16
+  %c = icmp eq i16 %s, 0
+  %r = select i1 %c, i8 %t, i8 7
+  ret i8 %r
+}|});
+    Alcotest.test_case "roundtrip switch and unreachable" `Quick (fun () ->
+        roundtrip_ok
+          {|define i32 @f(i32 %x) {
+entry:
+  switch i32 %x, label %d [ i32 1, label %a i32 2, label %b ]
+a:
+  ret i32 10
+b:
+  ret i32 20
+d:
+  unreachable
+}|});
+    Alcotest.test_case "clang-style typed pointers accepted" `Quick (fun () ->
+        let f =
+          parse
+            "define i64 @f(i64 %x) {\n\
+            \  %1 = alloca i64, align 8\n\
+            \  store i64 %x, i64* %1, align 8\n\
+            \  %2 = load i64, i64* %1, align 8\n\
+            \  ret i64 %2\n\
+             }"
+        in
+        Alcotest.(check int) "blocks" 1 (List.length f.Ast.blocks));
+    Alcotest.test_case "clang attributes skipped" `Quick (fun () ->
+        let f =
+          parse
+            "define dso_local i32 @f(i32 noundef %x) #0 {\nentry:\n  ret i32 %x\n}"
+        in
+        Alcotest.(check string) "name" "f" f.Ast.fname);
+    Alcotest.test_case "numeric labels" `Quick (fun () ->
+        let f =
+          parse
+            "define i32 @f(i32 %x) {\n  br label %7\n7:\n  ret i32 %x\n}"
+        in
+        Alcotest.(check int) "blocks" 2 (List.length f.Ast.blocks));
+    Alcotest.test_case "named struct types" `Quick (fun () ->
+        let m =
+          Parser.parse_module
+            "%struct.S = type { i32, i32 }\n\
+             define i64 @f() {\n\
+             entry:\n\
+            \  %p = alloca i64, align 8\n\
+            \  %q = getelementptr inbounds %struct.S, ptr %p, i64 0, i32 1\n\
+            \  store i32 1, ptr %q, align 4\n\
+            \  ret i64 0\n\
+             }"
+        in
+        Alcotest.(check int) "funcs" 1 (List.length m.Ast.funcs));
+    Alcotest.test_case "rejects garbage" `Quick (fun () ->
+        expect_syntax_error "define i32 @f() { entry: ret i32 }}}");
+    Alcotest.test_case "rejects missing operand" `Quick (fun () ->
+        expect_syntax_error "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x,\n  ret i32 %r\n}");
+    Alcotest.test_case "rejects bad opcode" `Quick (fun () ->
+        expect_syntax_error "define i32 @f(i32 %x) {\nentry:\n  %r = frobnicate i32 %x\n  ret i32 %r\n}");
+    Alcotest.test_case "rejects unterminated function" `Quick (fun () ->
+        expect_syntax_error "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n");
+    Alcotest.test_case "hex literals" `Quick (fun () ->
+        let f = parse "define i32 @f() {\nentry:\n  ret i32 0xff\n}" in
+        match (List.hd f.Ast.blocks).Ast.term with
+        | Ast.Ret (Some (_, Ast.Const (Ast.CInt { value; _ }))) ->
+          Alcotest.(check int64) "value" 255L value
+        | _ -> Alcotest.fail "bad terminator");
+  ]
+
+let validator_tests =
+  [
+    Alcotest.test_case "accepts valid branchy function" `Quick (fun () ->
+        ignore (valid_func branchy));
+    Alcotest.test_case "rejects use of undefined value" `Quick (fun () ->
+        expect_invalid "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, %nope\n  ret i32 %r\n}");
+    Alcotest.test_case "rejects type mismatch" `Quick (fun () ->
+        expect_invalid
+          "define i32 @f(i64 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}");
+    Alcotest.test_case "rejects duplicate definitions" `Quick (fun () ->
+        expect_invalid
+          "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  %r = add i32 %x, 2\n  ret i32 %r\n}");
+    Alcotest.test_case "rejects ret type mismatch" `Quick (fun () ->
+        expect_invalid "define i64 @f(i32 %x) {\nentry:\n  ret i32 %x\n}");
+    Alcotest.test_case "rejects branch to unknown block" `Quick (fun () ->
+        expect_invalid "define i32 @f(i32 %x) {\nentry:\n  br label %nowhere\n}");
+    Alcotest.test_case "rejects use before def in same block" `Quick (fun () ->
+        expect_invalid
+          "define i32 @f(i32 %x) {\nentry:\n  %a = add i32 %b, 1\n  %b = add i32 %x, 1\n  ret i32 %a\n}");
+    Alcotest.test_case "rejects def not dominating use" `Quick (fun () ->
+        expect_invalid
+          {|define i32 @f(i32 %x) {
+entry:
+  %c = icmp slt i32 %x, 0
+  br i1 %c, label %a, label %b
+a:
+  %n = add i32 %x, 1
+  br label %b
+b:
+  ret i32 %n
+}|});
+    Alcotest.test_case "rejects phi in entry" `Quick (fun () ->
+        expect_invalid
+          "define i32 @f(i32 %x) {\nentry:\n  %p = phi i32 [ %x, %entry ]\n  ret i32 %p\n}");
+    Alcotest.test_case "rejects phi missing a predecessor" `Quick (fun () ->
+        expect_invalid
+          {|define i32 @f(i32 %x) {
+entry:
+  %c = icmp slt i32 %x, 0
+  br i1 %c, label %a, label %j
+a:
+  br label %j
+j:
+  %p = phi i32 [ 1, %a ]
+  ret i32 %p
+}|});
+    Alcotest.test_case "rejects invalid cast widths" `Quick (fun () ->
+        expect_invalid
+          "define i32 @f(i32 %x) {\nentry:\n  %t = zext i32 %x to i32\n  ret i32 %t\n}");
+    Alcotest.test_case "rejects select condition type" `Quick (fun () ->
+        expect_syntax_error
+          "define i32 @f(i32 %x) {\nentry:\n  %r = select i32 %x, i32 1, i32 2\n  ret i32 %r\n}");
+    Alcotest.test_case "rejects call to undeclared function" `Quick (fun () ->
+        let f =
+          parse "define i32 @f(i32 %x) {\nentry:\n  %r = call i32 @mystery(i32 %x)\n  ret i32 %r\n}"
+        in
+        match Validator.validate_func ~module_:Ast.empty_module f with
+        | Ok () -> Alcotest.fail "expected failure"
+        | Error _ -> ());
+  ]
+
+let cfg_tests =
+  [
+    Alcotest.test_case "successors and predecessors" `Quick (fun () ->
+        let f = parse branchy in
+        let cfg = Cfg.of_func f in
+        Alcotest.(check (list string)) "succ entry" [ "a"; "b" ] (Cfg.successors cfg "entry");
+        Alcotest.(check (list string))
+          "preds join" [ "a"; "b" ]
+          (List.sort compare (Cfg.predecessors cfg "join")));
+    Alcotest.test_case "dominators" `Quick (fun () ->
+        let f = parse branchy in
+        let cfg = Cfg.of_func f in
+        Alcotest.(check bool) "entry dom join" true (Cfg.dominates cfg "entry" "join");
+        Alcotest.(check bool) "a not dom join" false (Cfg.dominates cfg "a" "join");
+        Alcotest.(check bool) "self dom" true (Cfg.dominates cfg "a" "a"));
+    Alcotest.test_case "loop detection" `Quick (fun () ->
+        let f = parse branchy in
+        Alcotest.(check bool) "acyclic" false (Cfg.has_loop (Cfg.of_func f));
+        let loop =
+          parse
+            {|define i32 @g(i32 %n) {
+entry:
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %h2 ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %h2, label %x
+h2:
+  %i2 = add i32 %i, 1
+  br label %h
+x:
+  ret i32 %i
+}|}
+        in
+        Alcotest.(check bool) "cyclic" true (Cfg.has_loop (Cfg.of_func loop)));
+    Alcotest.test_case "rpo starts at entry" `Quick (fun () ->
+        let f = parse branchy in
+        let cfg = Cfg.of_func f in
+        match Cfg.blocks_rpo cfg with
+        | b :: _ -> Alcotest.(check string) "entry first" "entry" b.Ast.label
+        | [] -> Alcotest.fail "empty rpo");
+  ]
+
+let builder_tests =
+  [
+    Alcotest.test_case "renumber is idempotent" `Quick (fun () ->
+        let f = parse branchy in
+        let r1 = Builder.renumber f in
+        Alcotest.(check string) "idempotent" (print r1) (print (Builder.renumber r1)));
+    Alcotest.test_case "alpha_equal ignores names" `Quick (fun () ->
+        let a = parse "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}" in
+        let b = parse "define i32 @f(i32 %y) {\nstart:\n  %q = add i32 %y, 1\n  ret i32 %q\n}" in
+        Alcotest.(check bool) "equal" true (Builder.alpha_equal a b));
+    Alcotest.test_case "alpha_equal distinguishes structure" `Quick (fun () ->
+        let a = parse "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}" in
+        let b = parse "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 2\n  ret i32 %r\n}" in
+        Alcotest.(check bool) "not equal" false (Builder.alpha_equal a b));
+    Alcotest.test_case "substitute_operand rewrites uses" `Quick (fun () ->
+        let f = parse simple in
+        let f' = Builder.substitute_operand f ~from:"x" ~to_:(Ast.const_int 32 5L) in
+        Alcotest.(check bool)
+          "no %x use left" false
+          (String.length (print f') > 0
+          &&
+          let text = print f' in
+          let re = "add nsw i32 %x" in
+          let n = String.length text and m = String.length re in
+          let rec go i = i + m <= n && (String.sub text i m = re || go (i + 1)) in
+          go 0));
+    Alcotest.test_case "use_counts" `Quick (fun () ->
+        let f = parse branchy in
+        let uses = Builder.use_counts f in
+        Alcotest.(check (option int)) "x used three times" (Some 3) (Hashtbl.find_opt uses "x"));
+    Alcotest.test_case "fresh avoids collisions" `Quick (fun () ->
+        let f = parse simple in
+        let names = Builder.names_of_func f in
+        let n1 = Builder.fresh names "t" in
+        let n2 = Builder.fresh names "t" in
+        Alcotest.(check bool) "distinct" true (n1 <> n2));
+  ]
+
+(* Property: lowering random mini-C functions yields valid IR whose printed
+   form reparses to the same text. *)
+let gen_seed = QCheck2.Gen.int_bound 100_000
+
+let property_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:120 ~name:"lowered IR is valid and round-trips" gen_seed
+         (fun seed ->
+           let cf = Veriopt_data.Cgen.generate ~seed ~name:"t" () in
+           let m, f = Veriopt_data.Lower.lower cf in
+           (match Validator.validate_func ~module_:m f with
+           | Ok () -> ()
+           | Error es -> QCheck2.Test.fail_reportf "invalid: %s" (String.concat "; " es));
+           let text = print f in
+           let f2 = parse text in
+           print f2 = text));
+  ]
+
+let suite = ("ir", parser_tests @ validator_tests @ cfg_tests @ builder_tests @ property_tests)

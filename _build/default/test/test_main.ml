@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "veriopt"
+    [
+      Test_bits.suite;
+      Test_ir.suite;
+      Test_interp.suite;
+      Test_smt.suite;
+      Test_alive.suite;
+      Test_passes.suite;
+      Test_cost.suite;
+      Test_nlp.suite;
+      Test_data.suite;
+      Test_llm.suite;
+      Test_rl.suite;
+      Test_core.suite;
+    ]

@@ -1,0 +1,58 @@
+(* Tokenizer and BLEU. *)
+
+module T = Veriopt_nlp.Tokenizer
+module B = Veriopt_nlp.Bleu
+
+let unit_tests =
+  [
+    Alcotest.test_case "tokenizer splits IR punctuation" `Quick (fun () ->
+        Alcotest.(check (list string))
+          "tokens"
+          [ "%r"; "="; "add"; "i32"; "%x"; ","; "1" ]
+          (T.tokenize "%r = add i32 %x, 1"));
+    Alcotest.test_case "sigils glue to identifiers" `Quick (fun () ->
+        Alcotest.(check (list string)) "global" [ "@main"; "("; ")" ] (T.tokenize "@main()"));
+    Alcotest.test_case "count and limit" `Quick (fun () ->
+        Alcotest.(check int) "count" 7 (T.count "%r = add i32 %x, 1");
+        Alcotest.(check bool) "within" true (T.within_limit "short text");
+        Alcotest.(check bool) "beyond" false
+          (T.within_limit ~limit:3 "one two three four five"));
+    Alcotest.test_case "BLEU identity is 1" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "id" 1.0 (B.score "add i32 %x, 1" "add i32 %x, 1"));
+    Alcotest.test_case "BLEU of disjoint texts is 0" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "disjoint" 0.0 (B.score "aaa bbb ccc ddd" "eee fff ggg hhh"));
+    Alcotest.test_case "BLEU is monotone in similarity" `Quick (fun () ->
+        let reference = "define i32 @f ( i32 %x ) { ret i32 %x }" in
+        let close = "define i32 @f ( i32 %x ) { ret i32 0 }" in
+        let far = "define i64 @g ( ) { unreachable }" in
+        Alcotest.(check bool) "ordering" true
+          (B.score close reference > B.score far reference));
+    Alcotest.test_case "brevity penalty punishes short candidates" `Quick (fun () ->
+        let reference = "a b c d e f g h" in
+        Alcotest.(check bool) "short worse" true
+          (B.score "a b c d e f g h" reference > B.score "a b c" reference));
+    Alcotest.test_case "empty candidate" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "empty vs nonempty" 0.0 (B.score "" "something");
+        Alcotest.(check (float 1e-9)) "empty vs empty" 1.0 (B.score "" ""));
+  ]
+
+let gen_tokens =
+  QCheck2.Gen.(list_size (int_range 1 30) (oneofl [ "a"; "b"; "c"; "%x"; "add"; "i32"; "," ]))
+
+let property_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"BLEU is within [0,1] and reflexive" gen_tokens
+         (fun tokens ->
+           let s = String.concat " " tokens in
+           let self = B.score s s in
+           let v = B.score s (String.concat " " (List.rev tokens)) in
+           self >= 0.999 && v >= 0.0 && v <= 1.0));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"tokenizer concatenation recovers word tokens"
+         gen_tokens (fun tokens ->
+           (* tokenizing the joined string yields exactly the tokens *)
+           T.tokenize (String.concat " " tokens) = tokens));
+  ]
+
+let suite = ("nlp", unit_tests @ property_tests)

@@ -1,0 +1,475 @@
+(* The optimizer substrate: known-bits, folding, the rule catalog, memory
+   optimizations, mem2reg, simplifycfg, DCE — each checked for the rewrite it
+   performs, plus the global property that whole pipelines preserve semantics
+   according to the verifier. *)
+
+open Veriopt_ir
+module PM = Veriopt_passes.Pass_manager
+module IC = Veriopt_passes.Instcombine
+module KB = Veriopt_passes.Known_bits
+module A = Veriopt_alive.Alive
+
+let m0 = Ast.empty_module
+let parse = Parser.parse_func
+let print = Printer.func_to_string
+
+(* Run instcombine and check the optimized body printed form. *)
+let after_instcombine src = print (fst (IC.run m0 (parse src)))
+
+let applies rule_name src =
+  let _, trace = IC.run m0 (parse src) in
+  if not (List.exists (fun (e : IC.trace_entry) -> e.IC.rule = rule_name) trace) then
+    Alcotest.failf "rule %s did not fire; trace: %s" rule_name
+      (String.concat ", " (List.map (fun (e : IC.trace_entry) -> e.IC.rule) trace))
+
+let body_is expected src =
+  Alcotest.(check string) "optimized body" expected (after_instcombine src)
+
+let wrap body = Fmt.str "define i32 @f(i32 %%x, i32 %%y) {\nentry:\n%s}\n" body
+
+let rule_fires_tests =
+  (* each entry: rule name, input body exercising it *)
+  List.map
+    (fun (rule, body) ->
+      Alcotest.test_case (Fmt.str "rule %s fires" rule) `Quick (fun () ->
+          applies rule (wrap body)))
+    [
+      ("add-zero", "  %r = add i32 %x, 0\n  ret i32 %r\n");
+      ("add-self-to-shl", "  %r = add i32 %x, %x\n  ret i32 %r\n");
+      ("sub-zero", "  %r = sub i32 %x, 0\n  ret i32 %r\n");
+      ("sub-self", "  %r = sub i32 %x, %x\n  ret i32 %r\n");
+      ("sub-const-to-add", "  %r = sub i32 %x, 5\n  ret i32 %r\n");
+      ("add-add-const", "  %a = add i32 %x, 3\n  %r = add i32 %a, 4\n  ret i32 %r\n");
+      ("sub-add-cancel", "  %a = sub i32 %x, %y\n  %r = add i32 %a, %y\n  ret i32 %r\n");
+      ("add-sub-cancel", "  %a = add i32 %x, %y\n  %r = sub i32 %a, %y\n  ret i32 %r\n");
+      ("mul-one", "  %r = mul i32 %x, 1\n  ret i32 %r\n");
+      ("mul-zero", "  %r = mul i32 %x, 0\n  ret i32 %r\n");
+      ("mul-pow2-to-shl", "  %r = mul i32 %x, 8\n  ret i32 %r\n");
+      ("mul-minus-one", "  %r = mul i32 %x, -1\n  ret i32 %r\n");
+      ("mul-mul-const", "  %a = mul i32 %x, 3\n  %r = mul i32 %a, 5\n  ret i32 %r\n");
+      ("div-one", "  %r = udiv i32 %x, 1\n  ret i32 %r\n");
+      ("udiv-pow2-to-lshr", "  %r = udiv i32 %x, 4\n  ret i32 %r\n");
+      ("urem-pow2-to-and", "  %r = urem i32 %x, 8\n  ret i32 %r\n");
+      ("div-self", "  %r = udiv i32 %x, %x\n  ret i32 %r\n");
+      ("rem-self", "  %r = urem i32 %x, %x\n  ret i32 %r\n");
+      ("sdiv-minus-one", "  %r = sdiv i32 %x, -1\n  ret i32 %r\n");
+      ("rem-one", "  %r = srem i32 %x, 1\n  ret i32 %r\n");
+      ("and-zero", "  %r = and i32 %x, 0\n  ret i32 %r\n");
+      ("and-all-ones", "  %r = and i32 %x, -1\n  ret i32 %r\n");
+      ("and-self", "  %r = and i32 %x, %x\n  ret i32 %r\n");
+      ("or-zero", "  %r = or i32 %x, 0\n  ret i32 %r\n");
+      ("or-all-ones", "  %r = or i32 %x, -1\n  ret i32 %r\n");
+      ("or-self", "  %r = or i32 %x, %x\n  ret i32 %r\n");
+      ("xor-zero", "  %r = xor i32 %x, 0\n  ret i32 %r\n");
+      ("xor-self", "  %r = xor i32 %x, %x\n  ret i32 %r\n");
+      ("logic-assoc-const", "  %a = and i32 %x, 255\n  %r = and i32 %a, 15\n  ret i32 %r\n");
+      ("absorption", "  %a = or i32 %x, %y\n  %r = and i32 %x, %a\n  ret i32 %r\n");
+      ( "and-known-bits",
+        "  %a = lshr i32 %x, 28\n  %r = and i32 %a, 255\n  ret i32 %r\n" );
+      ( "or-known-bits",
+        "  %a = or i32 %x, 12\n  %r = or i32 %a, 4\n  %s = add i32 %r, %a\n  ret i32 %s\n" );
+      ("xor-xor-cancel", "  %a = xor i32 %x, %y\n  %r = xor i32 %a, %y\n  ret i32 %r\n");
+      ("shift-zero", "  %r = shl i32 %x, 0\n  ret i32 %r\n");
+      ("shift-of-zero", "  %r = lshr i32 0, %x\n  ret i32 %r\n");
+      ("shl-lshr-to-and", "  %a = shl i32 %x, 4\n  %r = lshr i32 %a, 4\n  ret i32 %r\n");
+      ( "shl-nuw-lshr-cancel",
+        "  %a = shl nuw i32 %x, 4\n  %r = lshr i32 %a, 4\n  ret i32 %r\n" );
+      ("shl-shl", "  %a = shl i32 %x, 2\n  %r = shl i32 %a, 3\n  ret i32 %r\n");
+      ("lshr-lshr", "  %a = lshr i32 %x, 2\n  %r = lshr i32 %a, 3\n  ret i32 %r\n");
+      ( "ashr-nonneg-to-lshr",
+        "  %a = lshr i32 %x, 1\n  %r = ashr i32 %a, 2\n  ret i32 %r\n" );
+      ("icmp-self", "  %c = icmp eq i32 %x, %x\n  %r = zext i1 %c to i32\n  ret i32 %r\n");
+      ("icmp-range", "  %c = icmp ult i32 %x, 0\n  %r = zext i1 %c to i32\n  ret i32 %r\n");
+      ( "icmp-boundary-to-eq",
+        "  %c = icmp ult i32 %x, 1\n  %r = zext i1 %c to i32\n  ret i32 %r\n" );
+      ( "icmp-eq-add-const",
+        "  %a = add i32 %x, 7\n  %c = icmp eq i32 %a, 9\n  %r = zext i1 %c to i32\n  ret i32 %r\n"
+      );
+      ( "icmp-xor-zero",
+        "  %a = xor i32 %x, %y\n  %c = icmp eq i32 %a, 0\n  %r = zext i1 %c to i32\n  ret i32 %r\n"
+      );
+      ( "icmp-ugt-zero",
+        "  %c = icmp ugt i32 %x, 0\n  %r = zext i1 %c to i32\n  ret i32 %r\n" );
+      ( "icmp-known-bits",
+        "  %a = or i32 %x, 16\n  %c = icmp eq i32 %a, 0\n  %r = zext i1 %c to i32\n  ret i32 %r\n"
+      );
+      ("select-same-arms", "  %c = icmp slt i32 %x, %y\n  %r = select i1 %c, i32 %x, i32 %x\n  ret i32 %r\n");
+      ( "select-to-zext",
+        "  %c = icmp slt i32 %x, %y\n  %r = select i1 %c, i32 1, i32 0\n  ret i32 %r\n" );
+      ( "select-eq-collapse",
+        "  %c = icmp eq i32 %x, 7\n  %r = select i1 %c, i32 7, i32 %x\n  ret i32 %r\n" );
+      ( "ext-of-ext",
+        "  %t = trunc i32 %x to i8\n  %a = zext i8 %t to i16\n  %b = zext i16 %a to i32\n  ret i32 %b\n"
+      );
+      ( "sext-nonneg-to-zext",
+        "  %a = and i32 %x, 127\n  %t = trunc i32 %a to i8\n  %s = sext i8 %t to i32\n  ret i32 %s\n"
+      );
+      ("constant-fold", "  %r = add i32 3, 4\n  ret i32 %r\n");
+      ("neg-of-neg", "  %a = sub i32 0, %x\n  %r = sub i32 0, %a\n  ret i32 %r\n");
+      ("add-not-self", "  %n = xor i32 %x, -1\n  %r = add i32 %x, %n\n  ret i32 %r\n");
+      ("and-not-self", "  %n = xor i32 %x, -1\n  %r = and i32 %x, %n\n  ret i32 %r\n");
+      ("or-not-self", "  %n = xor i32 %x, -1\n  %r = or i32 %x, %n\n  ret i32 %r\n");
+      ( "icmp-zext-bool",
+        "  %c = icmp slt i32 %x, %y\n  %z = zext i1 %c to i32\n  %t = icmp ne i32 %z, 0\n  %r = zext i1 %t to i32\n  ret i32 %r\n"
+      );
+      ( "xor-icmp-negate",
+        "  %c = icmp slt i32 %x, %y\n  %n = xor i1 %c, true\n  %r = zext i1 %n to i32\n  ret i32 %r\n"
+      );
+      ( "sdiv-pow2-nonneg",
+        "  %a = lshr i32 %x, 1\n  %r = sdiv i32 %a, 4\n  ret i32 %r\n" );
+      ( "srem-pow2-nonneg",
+        "  %a = lshr i32 %x, 1\n  %r = srem i32 %a, 8\n  ret i32 %r\n" );
+      ( "icmp-sign-known",
+        "  %a = lshr i32 %x, 1\n  %c = icmp slt i32 %a, 0\n  %r = zext i1 %c to i32\n  ret i32 %r\n"
+      );
+      ( "icmp-eq-xor-const",
+        "  %a = xor i32 %x, 5\n  %c = icmp eq i32 %a, 9\n  %r = zext i1 %c to i32\n  ret i32 %r\n"
+      );
+      ( "sub-add-const-cancel",
+        "  %a = add i32 %x, 9\n  %r = sub i32 %x, %a\n  %s = add i32 %r, %a\n  ret i32 %s\n" );
+      ("freeze-const", "  %r = freeze i32 7\n  ret i32 %r\n");
+      ( "zext-of-trunc-to-and",
+        "  %t = trunc i32 %x to i8\n  %r = zext i8 %t to i32\n  ret i32 %r\n" );
+      ( "trunc-of-bitwise-const",
+        "  %a = or i32 %x, %y\n  %m = mul i32 %a, 345\n  %r = trunc i32 %m to i8\n  %z = zext i8 %r to i32\n  ret i32 %z\n"
+      );
+      ( "demorgan",
+        "  %na = xor i32 %x, -1\n  %nb = xor i32 %y, -1\n  %r = and i32 %na, %nb\n  ret i32 %r\n"
+      );
+    ]
+
+let narrow_wrap body = Fmt.str "define i32 @f(i8 %%s, i8 %%u) {\nentry:\n%s}\n" body
+
+let applies_narrow rule body = applies rule (narrow_wrap body)
+
+let directed_tests =
+  [
+    Alcotest.test_case "rule icmp-zext-const fires (i8 source)" `Quick (fun () ->
+        applies_narrow "icmp-zext-const"
+          "  %z = zext i8 %s to i32\n  %c = icmp eq i32 %z, 300\n  %r = zext i1 %c to i32\n  ret i32 %r\n");
+    Alcotest.test_case "rule trunc-of-ext fires (i8 source)" `Quick (fun () ->
+        applies_narrow "trunc-of-ext"
+          "  %a = zext i8 %s to i32\n  %b = trunc i32 %a to i8\n  %r = zext i8 %b to i32\n  ret i32 %r\n");
+    Alcotest.test_case "rule bitwise-of-zexts fires" `Quick (fun () ->
+        applies_narrow "bitwise-of-zexts"
+          "  %za = zext i8 %s to i32\n  %zb = zext i8 %u to i32\n  %r = xor i32 %za, %zb\n  ret i32 %r\n");
+    Alcotest.test_case "rule icmp-of-zexts fires" `Quick (fun () ->
+        applies_narrow "icmp-of-zexts"
+          "  %za = zext i8 %s to i32\n  %zb = zext i8 %u to i32\n  %c = icmp ult i32 %za, %zb\n  %r = zext i1 %c to i32\n  ret i32 %r\n");
+    Alcotest.test_case "x+0 fully collapses" `Quick (fun () ->
+        body_is "define i32 @f(i32 %x, i32 %y) {\nentry:\n  ret i32 %x\n}\n"
+          (wrap "  %r = add i32 %x, 0\n  ret i32 %r\n"));
+    Alcotest.test_case "chain of identities collapses" `Quick (fun () ->
+        body_is "define i32 @f(i32 %x, i32 %y) {\nentry:\n  ret i32 %x\n}\n"
+          (wrap
+             "  %a = mul i32 %x, 1\n  %b = add i32 %a, 0\n  %c = or i32 %b, 0\n  %d = and i32 %c, -1\n  ret i32 %d\n"));
+    Alcotest.test_case "constant expression precomputed" `Quick (fun () ->
+        body_is "define i32 @f(i32 %x, i32 %y) {\nentry:\n  ret i32 20\n}\n"
+          (wrap "  %a = add i32 3, 7\n  %b = mul i32 %a, 2\n  ret i32 %b\n"));
+    Alcotest.test_case "store-to-load forwarding fires" `Quick (fun () ->
+        applies "store-to-load-forward"
+          "define i32 @f(i32 %x) {\nentry:\n  %p = alloca i32, align 4\n  store i32 %x, ptr %p, align 4\n  %v = load i32, ptr %p, align 4\n  ret i32 %v\n}");
+    Alcotest.test_case "dead store eliminated" `Quick (fun () ->
+        applies "dead-store"
+          "define i32 @f(i32 %x) {\nentry:\n  %p = alloca i32, align 4\n  store i32 1, ptr %p, align 4\n  store i32 %x, ptr %p, align 4\n  %v = load i32, ptr %p, align 4\n  ret i32 %v\n}");
+    Alcotest.test_case "redundant load reused" `Quick (fun () ->
+        let m = Parser.parse_module "@g = global i32 3\ndefine i32 @f() {\nentry:\n  %a = load i32, ptr @g, align 4\n  %b = load i32, ptr @g, align 4\n  %r = add i32 %a, %b\n  ret i32 %r\n}" in
+        let f = List.hd m.Ast.funcs in
+        let _, trace = IC.run m f in
+        Alcotest.(check bool) "fired" true
+          (List.exists (fun (e : IC.trace_entry) -> e.IC.rule = "redundant-load") trace));
+    Alcotest.test_case "no forwarding across may-alias store" `Quick (fun () ->
+        let m =
+          Parser.parse_module
+            "define i32 @f(ptr %p, ptr %q, i32 %x) {\nentry:\n  store i32 %x, ptr %p, align 4\n  store i32 9, ptr %q, align 4\n  %v = load i32, ptr %p, align 4\n  ret i32 %v\n}"
+        in
+        let f = List.hd m.Ast.funcs in
+        let _, trace = IC.run m f in
+        Alcotest.(check bool) "no forward" false
+          (List.exists (fun (e : IC.trace_entry) -> e.IC.rule = "store-to-load-forward") trace));
+    Alcotest.test_case "no forwarding across a call for escaped memory" `Quick (fun () ->
+        let m =
+          Parser.parse_module
+            "declare void @sink(i32)\n@g = global i32 1\ndefine i32 @f(i32 %x) {\nentry:\n  store i32 %x, ptr @g, align 4\n  call void @sink(i32 0)\n  %v = load i32, ptr @g, align 4\n  ret i32 %v\n}"
+        in
+        let f = List.hd m.Ast.funcs in
+        let _, trace = IC.run m f in
+        Alcotest.(check bool) "no forward" false
+          (List.exists (fun (e : IC.trace_entry) -> e.IC.rule = "store-to-load-forward") trace));
+  ]
+
+let known_bits_tests =
+  [
+    Alcotest.test_case "constants are fully known" `Quick (fun () ->
+        let defs = Hashtbl.create 1 in
+        let k = KB.compute defs 8 (Ast.const_int 8 0xa5L) in
+        Alcotest.(check int64) "one" 0xa5L k.KB.one;
+        Alcotest.(check int64) "zero" 0x5aL k.KB.zero);
+    Alcotest.test_case "and narrows known bits" `Quick (fun () ->
+        let f = parse (wrap "  %a = and i32 %x, 15\n  ret i32 %a\n") in
+        let defs = Builder.def_map f in
+        let k = KB.compute defs 32 (Ast.Var "a") in
+        Alcotest.(check bool) "high bits zero" true
+          (Int64.logand k.KB.zero 0xfffffff0L = 0xfffffff0L));
+    Alcotest.test_case "or sets known ones" `Quick (fun () ->
+        let f = parse (wrap "  %a = or i32 %x, 12\n  ret i32 %a\n") in
+        let defs = Builder.def_map f in
+        let k = KB.compute defs 32 (Ast.Var "a") in
+        Alcotest.(check int64) "ones" 12L (Int64.logand k.KB.one 12L));
+    Alcotest.test_case "shl makes low bits zero" `Quick (fun () ->
+        let f = parse (wrap "  %a = shl i32 %x, 4\n  ret i32 %a\n") in
+        let defs = Builder.def_map f in
+        let k = KB.compute defs 32 (Ast.Var "a") in
+        Alcotest.(check int64) "low zeros" 15L (Int64.logand k.KB.zero 15L));
+    Alcotest.test_case "lshr makes high bits zero" `Quick (fun () ->
+        let f = parse (wrap "  %a = lshr i32 %x, 28\n  ret i32 %a\n") in
+        let defs = Builder.def_map f in
+        let k = KB.compute defs 32 (Ast.Var "a") in
+        Alcotest.(check bool) "high zeros" true
+          (Int64.logand k.KB.zero 0xfffffff0L = 0xfffffff0L));
+    Alcotest.test_case "zext high bits zero" `Quick (fun () ->
+        let f =
+          parse (wrap "  %t = trunc i32 %x to i8\n  %a = zext i8 %t to i32\n  ret i32 %a\n")
+        in
+        let defs = Builder.def_map f in
+        let k = KB.compute defs 32 (Ast.Var "a") in
+        Alcotest.(check bool) "high zeros" true
+          (Int64.logand k.KB.zero 0xffffff00L = 0xffffff00L));
+    Alcotest.test_case "as_constant on fully-determined value" `Quick (fun () ->
+        let f = parse (wrap "  %a = and i32 %x, 0\n  ret i32 %a\n") in
+        let defs = Builder.def_map f in
+        Alcotest.(check (option int64)) "zero" (Some 0L) (KB.as_constant defs 32 (Ast.Var "a")));
+  ]
+
+let mem2reg_tests =
+  [
+    Alcotest.test_case "promotes a straight-line alloca" `Quick (fun () ->
+        let f =
+          parse
+            "define i32 @f(i32 %x) {\nentry:\n  %p = alloca i32, align 4\n  store i32 %x, ptr %p, align 4\n  %v = load i32, ptr %p, align 4\n  ret i32 %v\n}"
+        in
+        let f', trace = Veriopt_passes.Mem2reg.run f in
+        Alcotest.(check bool) "promoted" true (trace <> []);
+        Alcotest.(check bool) "no alloca left" true
+          (List.for_all
+             (fun b ->
+               List.for_all
+                 (fun ni -> match ni.Ast.instr with Ast.Alloca _ -> false | _ -> true)
+                 b.Ast.instrs)
+             f'.Ast.blocks);
+        match Validator.validate_func f' with
+        | Ok () -> ()
+        | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es));
+    Alcotest.test_case "inserts a phi at a join" `Quick (fun () ->
+        let f =
+          parse
+            {|define i32 @f(i32 %x) {
+entry:
+  %p = alloca i32, align 4
+  %c = icmp slt i32 %x, 0
+  br i1 %c, label %a, label %b
+a:
+  store i32 1, ptr %p, align 4
+  br label %j
+b:
+  store i32 2, ptr %p, align 4
+  br label %j
+j:
+  %v = load i32, ptr %p, align 4
+  ret i32 %v
+}|}
+        in
+        let f', _ = Veriopt_passes.Mem2reg.run f in
+        (match Validator.validate_func f' with
+        | Ok () -> ()
+        | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es));
+        let has_phi =
+          List.exists
+            (fun b ->
+              List.exists (fun ni -> match ni.Ast.instr with Ast.Phi _ -> true | _ -> false) b.Ast.instrs)
+            f'.Ast.blocks
+        in
+        Alcotest.(check bool) "phi inserted" true has_phi;
+        (* semantics preserved *)
+        let v = A.verify_funcs m0 ~src:f ~tgt:f' in
+        Alcotest.(check bool) "equivalent" true (v.A.category = A.Equivalent));
+    Alcotest.test_case "escaped alloca is not promoted" `Quick (fun () ->
+        let m =
+          Parser.parse_module
+            "declare void @usep(i32)\ndefine i32 @f(i32 %x) {\nentry:\n  %p = alloca i32, align 4\n  %q = ptrtoint ptr %p to i64\n  %t = trunc i64 %q to i32\n  call void @usep(i32 %t)\n  ret i32 0\n}"
+        in
+        let f = List.hd m.Ast.funcs in
+        Alcotest.(check (list (pair string Alcotest.reject)))
+          "no candidates" []
+          (List.map (fun (v, t) -> (v, t)) (Veriopt_passes.Mem2reg.promotable_allocas f)));
+    Alcotest.test_case "promotion respects the limit" `Quick (fun () ->
+        let f =
+          parse
+            "define i32 @f(i32 %x) {\nentry:\n  %p = alloca i32, align 4\n  %q = alloca i32, align 4\n  store i32 %x, ptr %p, align 4\n  store i32 %x, ptr %q, align 4\n  %v = load i32, ptr %p, align 4\n  ret i32 %v\n}"
+        in
+        let _, trace = Veriopt_passes.Mem2reg.run ~limit:1 f in
+        Alcotest.(check int) "one promoted" 1 (List.length trace));
+  ]
+
+let simplifycfg_tests =
+  [
+    Alcotest.test_case "constant branch folds" `Quick (fun () ->
+        let f =
+          parse
+            "define i32 @f(i32 %x) {\nentry:\n  br i1 true, label %a, label %b\na:\n  ret i32 1\nb:\n  ret i32 2\n}"
+        in
+        let f', trace = Veriopt_passes.Simplifycfg.run f in
+        Alcotest.(check bool) "fired" true
+          (List.exists (fun (e : Veriopt_passes.Simplifycfg.trace_entry) -> e.rule = "br-const-cond") trace);
+        Alcotest.(check int) "one block after merge" 1 (List.length f'.Ast.blocks));
+    Alcotest.test_case "same-target branch collapses" `Quick (fun () ->
+        let f =
+          parse
+            "define i32 @f(i32 %x) {\nentry:\n  %c = icmp slt i32 %x, 0\n  br i1 %c, label %a, label %a\na:\n  ret i32 1\n}"
+        in
+        let _, trace = Veriopt_passes.Simplifycfg.run f in
+        Alcotest.(check bool) "fired" true
+          (List.exists (fun (e : Veriopt_passes.Simplifycfg.trace_entry) -> e.rule = "br-same-target") trace));
+    Alcotest.test_case "switch with identical targets collapses" `Quick (fun () ->
+        let f =
+          parse
+            "define i32 @f(i32 %x) {\nentry:\n  switch i32 %x, label %d [ i32 1, label %d i32 2, label %d ]\nd:\n  ret i32 0\n}"
+        in
+        let _, trace = Veriopt_passes.Simplifycfg.run f in
+        Alcotest.(check bool) "fired" true
+          (List.exists
+             (fun (e : Veriopt_passes.Simplifycfg.trace_entry) -> e.rule = "switch-same-targets")
+             trace));
+    Alcotest.test_case "single-case switch becomes compare-and-branch" `Quick (fun () ->
+        let f =
+          parse
+            "define i32 @f(i32 %x) {\nentry:\n  switch i32 %x, label %d [ i32 5, label %a ]\na:\n  ret i32 1\nd:\n  ret i32 0\n}"
+        in
+        let f2, trace = Veriopt_passes.Simplifycfg.run f in
+        Alcotest.(check bool) "fired" true
+          (List.exists
+             (fun (e : Veriopt_passes.Simplifycfg.trace_entry) -> e.rule = "switch-to-br")
+             trace);
+        (match Validator.validate_func f2 with
+        | Ok () -> ()
+        | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es));
+        let v = A.verify_funcs m0 ~src:f ~tgt:f2 in
+        Alcotest.(check bool) "equivalent" true (v.A.category = A.Equivalent));
+    Alcotest.test_case "unreachable blocks removed" `Quick (fun () ->
+        let f =
+          parse
+            "define i32 @f(i32 %x) {\nentry:\n  ret i32 0\ndead:\n  ret i32 1\n}"
+        in
+        let f', _ = Veriopt_passes.Simplifycfg.run f in
+        Alcotest.(check int) "one block" 1 (List.length f'.Ast.blocks));
+    Alcotest.test_case "simplifycfg output stays valid and equivalent" `Quick (fun () ->
+        let f =
+          parse
+            {|define i32 @f(i32 %x) {
+entry:
+  %c = icmp slt i32 %x, 10
+  br i1 %c, label %fwd, label %other
+fwd:
+  br label %j
+other:
+  br label %j
+j:
+  %r = phi i32 [ 1, %fwd ], [ 2, %other ]
+  ret i32 %r
+}|}
+        in
+        let f', _ = Veriopt_passes.Simplifycfg.run f in
+        (match Validator.validate_func f' with
+        | Ok () -> ()
+        | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es));
+        let v = A.verify_funcs m0 ~src:f ~tgt:f' in
+        Alcotest.(check bool) "equivalent" true (v.A.category = A.Equivalent));
+  ]
+
+let dce_tests =
+  [
+    Alcotest.test_case "unused pure instruction removed" `Quick (fun () ->
+        let f = parse (wrap "  %dead = add i32 %x, %y\n  ret i32 %x\n") in
+        let f', n = Veriopt_passes.Dce.run f in
+        Alcotest.(check int) "one removed" 1 n;
+        Alcotest.(check int) "no instrs" 0 (List.length (List.hd f'.Ast.blocks).Ast.instrs));
+    Alcotest.test_case "stores and calls survive" `Quick (fun () ->
+        let m =
+          Parser.parse_module
+            "declare void @sink(i32)\ndefine i32 @f(i32 %x) {\nentry:\n  %p = alloca i32, align 4\n  store i32 %x, ptr %p, align 4\n  call void @sink(i32 %x)\n  ret i32 %x\n}"
+        in
+        let f = List.hd m.Ast.funcs in
+        let _, n = Veriopt_passes.Dce.run f in
+        Alcotest.(check int) "nothing removed" 0 n);
+    Alcotest.test_case "dead chains removed transitively" `Quick (fun () ->
+        let f =
+          parse (wrap "  %a = add i32 %x, 1\n  %b = mul i32 %a, 2\n  %c = xor i32 %b, 3\n  ret i32 %x\n")
+        in
+        let _, n = Veriopt_passes.Dce.run f in
+        Alcotest.(check int) "three removed" 3 n);
+  ]
+
+(* The central property: the optimizer pipelines preserve semantics, as
+   judged by the verifier, on random clang-O0-style inputs. *)
+let pipeline_property name pipeline =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:22 ~name (QCheck2.Gen.int_bound 50_000) (fun seed ->
+         let cf = Veriopt_data.Cgen.generate ~seed ~name:"t" () in
+         let m, src = Veriopt_data.Lower.lower cf in
+         let out, _ = pipeline m src in
+         (match Validator.validate_func ~module_:m out with
+         | Ok () -> ()
+         | Error es -> QCheck2.Test.fail_reportf "invalid output: %s" (String.concat "; " es));
+         match (A.verify_funcs ~max_conflicts:60_000 m ~src ~tgt:out).A.category with
+         | A.Equivalent | A.Inconclusive -> true
+         | A.Semantic_error | A.Syntax_error -> false))
+
+let property_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:15 ~name:"every single rule application preserves semantics"
+         (QCheck2.Gen.int_bound 50_000) (fun seed ->
+           (* stronger than the pipeline-level property: each individually
+              applicable (rule, site) pair is applied alone and verified *)
+           let cf = Veriopt_data.Cgen.generate ~seed ~name:"t" () in
+           let m, src = Veriopt_data.Lower.lower cf in
+           let sites = Veriopt_llm.Actions.enumerate_rule_sites m src in
+           let sites = List.filteri (fun i _ -> i < 8) sites in
+           List.for_all
+             (fun (rule, site) ->
+               let out = Veriopt_llm.Actions.apply_rule m src rule site in
+               match Validator.validate_func ~module_:m out with
+               | Error es ->
+                 QCheck2.Test.fail_reportf "rule %s at %%%s made invalid IR: %s" rule site
+                   (String.concat "; " es)
+               | Ok () -> (
+                 match (A.verify_funcs ~max_conflicts:60_000 m ~src ~tgt:out).A.category with
+                 | A.Equivalent | A.Inconclusive -> true
+                 | A.Semantic_error | A.Syntax_error ->
+                   QCheck2.Test.fail_reportf "rule %s at %%%s is unsound on seed %d" rule site
+                     seed))
+             sites));
+    pipeline_property "instcombine preserves semantics" PM.instcombine;
+    pipeline_property "aggressive pipeline preserves semantics" (PM.aggressive ~max_iters:3);
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:40 ~name:"instcombine never increases cost"
+         (QCheck2.Gen.int_bound 50_000) (fun seed ->
+           let cf = Veriopt_data.Cgen.generate ~seed ~name:"t" () in
+           let m, src = Veriopt_data.Lower.lower cf in
+           let out, _ = PM.instcombine m src in
+           Veriopt_cost.Latency.of_func out <= Veriopt_cost.Latency.of_func src
+           && Veriopt_cost.Icount.of_func out <= Veriopt_cost.Icount.of_func src));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:30 ~name:"instcombine reaches a fixpoint"
+         (QCheck2.Gen.int_bound 50_000) (fun seed ->
+           let cf = Veriopt_data.Cgen.generate ~seed ~name:"t" () in
+           let m, src = Veriopt_data.Lower.lower cf in
+           let once, _ = PM.instcombine m src in
+           let twice, trace2 = PM.instcombine m once in
+           trace2 = [] && print once = print twice));
+  ]
+
+let suite =
+  ( "passes",
+    rule_fires_tests @ directed_tests @ known_bits_tests @ mem2reg_tests @ simplifycfg_tests
+    @ dce_tests @ property_tests )

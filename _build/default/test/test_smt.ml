@@ -1,0 +1,242 @@
+(* SAT solver and bit-blaster: unit formulas, pigeonhole unsatisfiability,
+   and differential testing of the circuits against concrete evaluation. *)
+
+module Sat = Veriopt_smt.Sat
+module Expr = Veriopt_smt.Expr
+module Solver = Veriopt_smt.Solver
+
+let lit v = Sat.lit_of_var v
+let nlit v = Sat.lit_of_var ~sign:false v
+
+let sat_result =
+  Alcotest.testable
+    (fun ppf -> function
+      | Sat.Sat -> Fmt.string ppf "SAT"
+      | Sat.Unsat -> Fmt.string ppf "UNSAT"
+      | Sat.Unknown -> Fmt.string ppf "UNKNOWN")
+    ( = )
+
+let sat_tests =
+  [
+    Alcotest.test_case "empty formula is SAT" `Quick (fun () ->
+        let s = Sat.create () in
+        Alcotest.check sat_result "sat" Sat.Sat (Sat.solve s));
+    Alcotest.test_case "unit clauses propagate" `Quick (fun () ->
+        let s = Sat.create () in
+        let a = Sat.new_var s and b = Sat.new_var s in
+        Sat.add_clause s [ lit a ];
+        Sat.add_clause s [ nlit a; lit b ];
+        Alcotest.check sat_result "sat" Sat.Sat (Sat.solve s);
+        Alcotest.(check bool) "a true" true (Sat.model_value s a);
+        Alcotest.(check bool) "b true" true (Sat.model_value s b));
+    Alcotest.test_case "contradiction is UNSAT" `Quick (fun () ->
+        let s = Sat.create () in
+        let a = Sat.new_var s in
+        Sat.add_clause s [ lit a ];
+        Sat.add_clause s [ nlit a ];
+        Alcotest.check sat_result "unsat" Sat.Unsat (Sat.solve s));
+    Alcotest.test_case "xor chain forces conflict-driven search" `Quick (fun () ->
+        (* a xor b, b xor c, a xor c is unsatisfiable as parity constraints
+           with odd total parity *)
+        let s = Sat.create () in
+        let a = Sat.new_var s and b = Sat.new_var s and c = Sat.new_var s in
+        let xor_true x y =
+          Sat.add_clause s [ lit x; lit y ];
+          Sat.add_clause s [ nlit x; nlit y ]
+        in
+        xor_true a b;
+        xor_true b c;
+        xor_true a c;
+        Alcotest.check sat_result "unsat" Sat.Unsat (Sat.solve s));
+    Alcotest.test_case "pigeonhole PHP(4,3) is UNSAT" `Quick (fun () ->
+        (* 4 pigeons in 3 holes; classic resolution-hard family at scale *)
+        let s = Sat.create () in
+        let v = Array.init 4 (fun _ -> Array.init 3 (fun _ -> Sat.new_var s)) in
+        for p = 0 to 3 do
+          Sat.add_clause s (List.init 3 (fun h -> lit v.(p).(h)))
+        done;
+        for h = 0 to 2 do
+          for p1 = 0 to 3 do
+            for p2 = p1 + 1 to 3 do
+              Sat.add_clause s [ nlit v.(p1).(h); nlit v.(p2).(h) ]
+            done
+          done
+        done;
+        Alcotest.check sat_result "unsat" Sat.Unsat (Sat.solve s));
+    Alcotest.test_case "pigeonhole PHP(5,5) is SAT" `Quick (fun () ->
+        let s = Sat.create () in
+        let v = Array.init 5 (fun _ -> Array.init 5 (fun _ -> Sat.new_var s)) in
+        for p = 0 to 4 do
+          Sat.add_clause s (List.init 5 (fun h -> lit v.(p).(h)))
+        done;
+        for h = 0 to 4 do
+          for p1 = 0 to 4 do
+            for p2 = p1 + 1 to 4 do
+              Sat.add_clause s [ nlit v.(p1).(h); nlit v.(p2).(h) ]
+            done
+          done
+        done;
+        Alcotest.check sat_result "sat" Sat.Sat (Sat.solve s));
+    Alcotest.test_case "conflict budget yields Unknown" `Quick (fun () ->
+        (* PHP(7,6) with a budget of 1 conflict *)
+        let s = Sat.create () in
+        let v = Array.init 7 (fun _ -> Array.init 6 (fun _ -> Sat.new_var s)) in
+        for p = 0 to 6 do
+          Sat.add_clause s (List.init 6 (fun h -> lit v.(p).(h)))
+        done;
+        for h = 0 to 5 do
+          for p1 = 0 to 6 do
+            for p2 = p1 + 1 to 6 do
+              Sat.add_clause s [ nlit v.(p1).(h); nlit v.(p2).(h) ]
+            done
+          done
+        done;
+        Alcotest.check sat_result "unknown" Sat.Unknown (Sat.solve ~max_conflicts:1 s));
+  ]
+
+(* Random 3-CNF solved by the CDCL solver and checked against brute force. *)
+let gen_cnf =
+  QCheck2.Gen.(
+    let* nvars = int_range 3 8 in
+    let* nclauses = int_range 3 30 in
+    let* clauses =
+      list_size (return nclauses)
+        (list_size (return 3)
+           (let* v = int_bound (nvars - 1) in
+            let* sign = bool in
+            return (v, sign)))
+    in
+    return (nvars, clauses))
+
+let brute_force nvars clauses =
+  let rec go assignment v =
+    if v = nvars then
+      List.for_all
+        (fun clause -> List.exists (fun (x, sign) -> List.nth assignment x = sign) clause)
+        clauses
+    else go (assignment @ [ true ]) (v + 1) || go (assignment @ [ false ]) (v + 1)
+  in
+  go [] 0
+
+let sat_property =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"CDCL agrees with brute force on random 3-CNF" gen_cnf
+       (fun (nvars, clauses) ->
+         let s = Sat.create () in
+         let vars = Array.init nvars (fun _ -> Sat.new_var s) in
+         List.iter
+           (fun clause ->
+             Sat.add_clause s
+               (List.map (fun (v, sign) -> Sat.lit_of_var ~sign vars.(v)) clause))
+           clauses;
+         let expected = brute_force nvars clauses in
+         match Sat.solve s with
+         | Sat.Sat ->
+           expected
+           && List.for_all
+                (fun clause ->
+                  List.exists (fun (v, sign) -> Sat.model_value s vars.(v) = sign) clause)
+                clauses
+         | Sat.Unsat -> not expected
+         | Sat.Unknown -> false))
+
+(* Differential testing of the bit-blaster against concrete evaluation. *)
+let all_ops =
+  Expr.[ Add; Sub; Mul; UDiv; URem; SDiv; SRem; Shl; LShr; AShr; And; Or; Xor ]
+
+let gen_term =
+  QCheck2.Gen.(
+    let* w = oneofl [ 1; 5; 8; 16; 32; 64 ] in
+    let* env = array_size (return 3) (map Int64.of_int int) in
+    let rec term depth =
+      if depth = 0 then
+        let* pick = int_bound 3 in
+        if pick = 0 then map (Expr.bv_const w) (map Int64.of_int int)
+        else return (Expr.bv_var (Fmt.str "x%d" (pick - 1)) w)
+      else
+        let* a = term (depth - 1) in
+        let* b = term (depth - 1) in
+        let* op = oneofl all_ops in
+        return (Expr.bin op a b)
+    in
+    let* t = term 3 in
+    return (w, env, t))
+
+let env_fn env name =
+  match name with
+  | "x0" -> env.(0)
+  | "x1" -> env.(1)
+  | "x2" -> env.(2)
+  | _ -> 0L
+
+let bitblast_property =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"bit-blast agrees with concrete evaluation" gen_term
+       (fun (w, env, t) ->
+         let expected = Solver.eval_bv (env_fn env) (fun _ -> false) t in
+         let pin i =
+           Expr.eq (Expr.bv_var (Fmt.str "x%d" i) w) (Expr.bv_const w env.(i))
+         in
+         (* t != expected under the pinned env must be UNSAT *)
+         match
+           Solver.check
+             (Expr.not_ (Expr.eq t (Expr.bv_const w expected)) :: List.init 3 pin)
+         with
+         | Solver.Unsat -> true
+         | Solver.Sat _ | Solver.Unknown -> false))
+
+let model_soundness_property =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:40 ~name:"SAT models satisfy the formula" gen_term
+       (fun (w, _, t) ->
+         let goal = Expr.bv_const w 42L in
+         match Solver.check [ Expr.eq t goal ] with
+         | Solver.Unsat | Solver.Unknown -> true
+         | Solver.Sat m ->
+           let env name = match m.Solver.bv_value name with Some (_, v) -> v | None -> 0L in
+           Solver.eval_bv env (fun _ -> false) t = Veriopt_ir.Bits.mask w 42L))
+
+let expr_tests =
+  [
+    Alcotest.test_case "constant folding in smart constructors" `Quick (fun () ->
+        let a = Expr.bv_const 8 200L and b = Expr.bv_const 8 100L in
+        Alcotest.(check (option int64)) "fold add" (Some 44L) (Expr.const_value (Expr.bin Expr.Add a b));
+        Alcotest.(check (option int64))
+          "fold udiv by zero = all ones" (Some 255L)
+          (Expr.const_value (Expr.bin Expr.UDiv a (Expr.bv_const 8 0L))));
+    Alcotest.test_case "identity simplifications" `Quick (fun () ->
+        let x = Expr.bv_var "x" 8 in
+        Alcotest.(check bool) "x+0 = x" true (Expr.bin Expr.Add x (Expr.bv_const 8 0L) == x);
+        Alcotest.(check bool) "x&x = x" true (Expr.bin Expr.And x x == x);
+        Alcotest.(check bool)
+          "x^x = 0" true
+          (Expr.const_value (Expr.bin Expr.Xor x x) = Some 0L));
+    Alcotest.test_case "hash-consing shares structure" `Quick (fun () ->
+        let x = Expr.bv_var "hc" 16 in
+        let t1 = Expr.bin Expr.Add x (Expr.bv_const 16 3L) in
+        let t2 = Expr.bin Expr.Add x (Expr.bv_const 16 3L) in
+        Alcotest.(check bool) "physically equal" true (t1 == t2));
+    Alcotest.test_case "boolean simplifications" `Quick (fun () ->
+        let p = Expr.bool_var "p" in
+        Alcotest.(check bool) "not not p" true (Expr.not_ (Expr.not_ p) == p);
+        Alcotest.(check bool) "p and not p" true (Expr.and_ p (Expr.not_ p) == Expr.ff);
+        Alcotest.(check bool) "p or not p" true (Expr.or_ p (Expr.not_ p) == Expr.tt));
+    Alcotest.test_case "valid recognizes a tautology" `Quick (fun () ->
+        let x = Expr.bv_var "vx" 8 in
+        (* (x & 0) = 0 is valid *)
+        match Solver.valid (Expr.eq (Expr.bin Expr.And x (Expr.bv_const 8 0L)) (Expr.bv_const 8 0L)) with
+        | Solver.Unsat -> ()
+        | _ -> Alcotest.fail "expected validity");
+    Alcotest.test_case "valid finds a counterexample" `Quick (fun () ->
+        let x = Expr.bv_var "cx" 8 in
+        (* x = 0 is not valid *)
+        match Solver.valid (Expr.eq x (Expr.bv_const 8 0L)) with
+        | Solver.Sat m -> (
+          match m.Solver.bv_value "cx" with
+          | Some (_, v) -> Alcotest.(check bool) "nonzero witness" true (v <> 0L)
+          | None -> Alcotest.fail "no witness")
+        | _ -> Alcotest.fail "expected counterexample");
+  ]
+
+let suite =
+  ("smt", sat_tests @ expr_tests @ [ sat_property; bitblast_property; model_soundness_property ])
