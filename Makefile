@@ -1,0 +1,23 @@
+.PHONY: all build test bench micro verify-bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench: build
+	dune exec bench/main.exe -- all
+
+micro: build
+	dune exec bench/main.exe -- micro
+
+# Repeated-group verification throughput: tiered + cached engine vs the
+# uncached sequential SMT path.  Writes machine-readable BENCH_verify.json.
+verify-bench: build
+	dune exec bench/main.exe -- verify-bench
+
+clean:
+	dune clean

@@ -44,7 +44,7 @@ let build_evals (scale : P.scale) : evals =
   let a = P.build ~scale ~progress () in
   let ev ?mode m =
     progress (Fmt.str "evaluating %s" m.Veriopt_llm.Model.name);
-    E.run ?mode ~max_conflicts:60_000 m a.P.validation
+    E.run ?mode ~max_conflicts:60_000 ~engine:a.P.engine m a.P.validation
   in
   let pl = a.P.pipeline in
   {
@@ -118,6 +118,10 @@ let run_fig7 (e : evals) =
 let run_figs8to12 (e : evals) =
   header "FIGS 8-12 (case studies)";
   R.figs8to12 fmt e.latency
+
+let run_engine_stats (e : evals) =
+  header "VERIFICATION ENGINE (tier / cache / SAT statistics for this run)";
+  R.engine_stats fmt e.artifacts.P.engine
 
 (* ------------------------------------------------------------------ *)
 (* Ablations of the paper's design choices (SIII-A, SV-D, SVI). *)
@@ -288,6 +292,126 @@ let run_ablations (e : evals) =
   ablation_unroll e
 
 (* ------------------------------------------------------------------ *)
+(* verify-bench: repeated-group verification throughput — the tiered +
+   cached + pooled engine against the uncached sequential SMT path, on a
+   GRPO-shaped workload (groups of completions per prompt, prompts
+   revisited across rounds).  Emits machine-readable BENCH_verify.json so
+   the perf trajectory is tracked across PRs. *)
+
+let run_verify_bench () =
+  header "VERIFY-BENCH (tiered + cached engine vs uncached sequential SMT)";
+  let module Capability = Veriopt_llm.Capability in
+  let module Engine = Veriopt_alive.Engine in
+  let module Vcache = Veriopt_alive.Vcache in
+  let module Solver = Veriopt_smt.Solver in
+  let module Par = Veriopt_par.Par in
+  let ds = S.build ~verify:false ~seed0:424242 ~n:16 () in
+  let samples = ds.S.samples in
+  let base = Capability.base_3b () in
+  let rng = Random.State.make [| 2026 |] in
+  let group_size = 6 and rounds = 16 in
+  let groups =
+    List.map
+      (fun (s : S.sample) ->
+        ( s,
+          List.init group_size (fun _ ->
+              (Model.generate base ~mode:Prompt.Generic ~rng:(Some rng) ~sample_id:s.S.id
+                 s.S.modul s.S.src)
+                .Model.completion) ))
+      samples
+  in
+  let workload = List.concat (List.init rounds (fun _ -> groups)) in
+  let n_verifications = rounds * group_size * List.length samples in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* baseline: the seed path — uncached, sequential, straight to SMT *)
+  Solver.reset_stats ();
+  let baseline_verify ((s : S.sample), completions) =
+    List.map
+      (fun c ->
+        match Prompt.answer_of c with
+        | None -> Alive.Syntax_error
+        | Some answer ->
+          (Alive.verify_text ~unroll:4 ~max_conflicts:60_000 s.S.modul ~src:s.S.src
+             ~tgt_text:answer)
+            .Alive.category)
+      completions
+  in
+  let base_cats, base_secs = time (fun () -> List.concat_map baseline_verify workload) in
+  let base_sat = Solver.stats () in
+  (* engine: tier 0/1/2 + verdict cache, each group verified on the pool *)
+  Solver.reset_stats ();
+  let engine = Engine.create () in
+  let engine_verify ((s : S.sample), completions) =
+    Par.run
+      (fun c ->
+        (Reward.verify_completion ~engine s.S.modul ~src:s.S.src c).Reward.verdict.Alive.category)
+      completions
+  in
+  let eng_cats, eng_secs = time (fun () -> List.concat_map engine_verify workload) in
+  let eng_sat = Solver.stats () in
+  let st = Engine.stats engine in
+  (* verdict preservation: tier 1 may refine Inconclusive into
+     Semantic_error (a concrete counterexample the solver's budget missed);
+     any other difference is a bug *)
+  let agree = ref 0 and refined = ref 0 and disagree = ref 0 in
+  List.iter2
+    (fun b e ->
+      if b = e then incr agree
+      else if b = Alive.Inconclusive && e = Alive.Semantic_error then incr refined
+      else incr disagree)
+    base_cats eng_cats;
+  let per_sec secs =
+    float_of_int n_verifications /. if secs <= 0. then epsilon_float else secs
+  in
+  let speedup = base_secs /. (if eng_secs <= 0. then epsilon_float else eng_secs) in
+  let lookups = st.Vcache.hits + st.Vcache.misses in
+  let hit_rate = float_of_int st.Vcache.hits /. float_of_int (max 1 lookups) in
+  Fmt.pf fmt "  workload: %d samples x %d completions x %d rounds = %d verifications@."
+    (List.length samples) group_size rounds n_verifications;
+  Fmt.pf fmt "  baseline (uncached sequential SMT): %6.2fs  (%.1f verifications/s)@." base_secs
+    (per_sec base_secs);
+  Fmt.pf fmt "  engine (tiered+cached, %d jobs):    %6.2fs  (%.1f verifications/s)@."
+    (Par.shared_jobs ()) eng_secs (per_sec eng_secs);
+  Fmt.pf fmt "  speedup: %.2fx@." speedup;
+  Fmt.pf fmt "  cache: %d/%d hits (%.1f%%); tiers: %d concrete cex, %d SMT runs@."
+    st.Vcache.hits lookups (100. *. hit_rate) st.Vcache.tier1_hits st.Vcache.tier2_runs;
+  Fmt.pf fmt "  sat conflicts: %d (baseline) -> %d (engine)@." base_sat.Solver.conflicts
+    eng_sat.Solver.conflicts;
+  Fmt.pf fmt "  verdicts: %d agree, %d refined (Inconclusive -> Semantic_error), %d disagree@."
+    !agree !refined !disagree;
+  let json =
+    Fmt.str
+      {|{
+  "workload": { "samples": %d, "group_size": %d, "rounds": %d, "verifications": %d },
+  "baseline": { "seconds": %.4f, "verifications_per_sec": %.2f, "sat_conflicts": %d },
+  "engine": { "seconds": %.4f, "verifications_per_sec": %.2f, "sat_conflicts": %d, "jobs": %d },
+  "speedup": %.3f,
+  "cache": { "hits": %d, "misses": %d, "insertions": %d, "evictions": %d, "hit_rate": %.4f },
+  "tiers": { "tier1_hits": %d, "tier1_misses": %d, "tier2_runs": %d, "tier1_seconds": %.4f, "tier2_seconds": %.4f },
+  "verdicts": { "agree": %d, "refined_inconclusive": %d, "disagree": %d }
+}
+|}
+      (List.length samples) group_size rounds n_verifications base_secs (per_sec base_secs)
+      base_sat.Solver.conflicts eng_secs (per_sec eng_secs) eng_sat.Solver.conflicts
+      (Par.shared_jobs ()) speedup st.Vcache.hits st.Vcache.misses st.Vcache.insertions
+      st.Vcache.evictions hit_rate st.Vcache.tier1_hits st.Vcache.tier1_misses
+      st.Vcache.tier2_runs st.Vcache.tier1_seconds st.Vcache.tier2_seconds !agree !refined
+      !disagree
+  in
+  let oc = open_out "BENCH_verify.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pf fmt "  wrote BENCH_verify.json@.";
+  if !disagree > 0 then begin
+    Fmt.pf fmt "  ERROR: the tiered engine flipped a conclusive verdict@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the substrates; one Test.make per kernel. *)
 
 let run_micro () =
@@ -319,6 +443,13 @@ let run_micro () =
         (Staged.stage (fun () ->
              Veriopt_alive.Alive.verify_funcs ~max_conflicts:60_000 s.Veriopt_data.Suite.modul ~src:s.Veriopt_data.Suite.src
                ~tgt:s.Veriopt_data.Suite.label));
+      Test.make ~name:"engine_verify_cached"
+        (Staged.stage
+           (let engine = Veriopt_alive.Engine.create () in
+            fun () ->
+              Veriopt_alive.Engine.verify_funcs ~max_conflicts:60_000 engine
+                s.Veriopt_data.Suite.modul ~src:s.Veriopt_data.Suite.src
+                ~tgt:s.Veriopt_data.Suite.label));
       Test.make ~name:"model_generate_greedy"
         (Staged.stage (fun () ->
              Veriopt_llm.Model.generate base_model ~mode:Prompt.Generic ~rng:None ~sample_id:1
@@ -349,8 +480,14 @@ let () =
   let scale = if full then P.full else P.quick in
   let experiments = if args = [] || List.mem "all" args then [ "all" ] else args in
   let wants x = List.mem "all" experiments || List.mem x experiments in
-  if experiments = [ "micro" ] then run_micro ()
-  else begin
+  (* micro and verify-bench are standalone: they build their own workloads
+     and must not pay for (or pollute) the full training pipeline *)
+  let standalone = [ "micro"; "verify-bench" ] in
+  let needs_evals =
+    List.mem "all" experiments
+    || List.exists (fun x -> not (List.mem x standalone)) experiments
+  in
+  if needs_evals then begin
     let e = build_evals scale in
     if wants "dataset" then run_dataset e;
     if wants "table1" then run_table1 e;
@@ -363,6 +500,8 @@ let () =
     if wants "figs8to12" then run_figs8to12 e;
     if wants "ablations" then run_ablations e;
     if wants "discussion" then run_discussion e;
-    if wants "micro" then run_micro ();
-    Fmt.pf fmt "@.done.@."
-  end
+    if wants "engine" then run_engine_stats e
+  end;
+  if wants "verify-bench" then run_verify_bench ();
+  if wants "micro" then run_micro ();
+  Fmt.pf fmt "@.done.@."

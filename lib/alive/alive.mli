@@ -17,6 +17,9 @@ type verdict = {
   copy_of_input : bool;  (** target is alpha-equal to source *)
 }
 
+val signature_matches : Veriopt_ir.Ast.func -> Veriopt_ir.Ast.func -> bool
+(** Same return type and positionally equal parameter types. *)
+
 val verify_funcs :
   ?unroll:int ->
   ?max_conflicts:int ->

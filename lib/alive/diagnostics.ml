@@ -103,6 +103,23 @@ let render_counterexample (model : Solver.model) (src : summary) (tgt : summary)
   | _ -> ());
   Buffer.contents buf
 
+(** Alive2-style rendering of a counterexample found by concrete execution
+    (the engine's tier 1): same phrasing as {!render_counterexample} so the
+    diagnostic classifiers and the BLEU-scored training feedback cannot tell
+    which tier produced the verdict. *)
+let render_concrete_counterexample (kind : kind) ~(inputs : (string * int64) list)
+    ?src_value ?tgt_value () : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Fmt.str "ERROR: %s\n" (kind_to_string kind));
+  Buffer.add_string buf "Example:\n";
+  List.iter (fun (name, v) -> Buffer.add_string buf (Fmt.str "  %s = %Ld\n" name v)) inputs;
+  (match (src_value, tgt_value) with
+  | Some s, Some t ->
+    Buffer.add_string buf (Fmt.str "Source value: %s\n" s);
+    Buffer.add_string buf (Fmt.str "Target value: %s\n" t)
+  | _ -> ());
+  Buffer.contents buf
+
 let syntax_error_message (detail : string) = Fmt.str "ERROR: invalid IR\n%s" detail
 
 let inconclusive_message (detail : string) =

@@ -19,6 +19,11 @@ val example_inputs : Veriopt_smt.Solver.model -> Encode.summary -> (string * int
 val render_counterexample :
   Veriopt_smt.Solver.model -> Encode.summary -> Encode.summary -> string
 
+val render_concrete_counterexample :
+  kind -> inputs:(string * int64) list -> ?src_value:string -> ?tgt_value:string -> unit -> string
+(** Same phrasing as {!render_counterexample}, for counterexamples found by
+    concrete execution (the tiered engine's tier 1). *)
+
 val syntax_error_message : string -> string
 val inconclusive_message : string -> string
 val equivalent_message : bounded:bool -> string

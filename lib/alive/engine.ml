@@ -1,0 +1,152 @@
+(** Tiered (concrete-then-symbolic), cached verification engine. *)
+
+open Veriopt_ir
+module Interp = Veriopt_eval.Interp
+module Exec_oracle = Veriopt_eval.Exec_oracle
+
+type t = {
+  cache : Alive.verdict Vcache.t;
+  tier1_samples : int;
+}
+
+let create ?(capacity = 8192) ?(tier1_samples = 16) () =
+  { cache = Vcache.create ~capacity (); tier1_samples = max 0 tier1_samples }
+
+let shared_engine = lazy (create ())
+let shared () = Lazy.force shared_engine
+
+let stats t = Vcache.stats t.cache
+let reset_stats t = Vcache.reset t.cache
+
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* Tier 1: concrete counterexample hunt *)
+
+let value_int64 = function Interp.VInt { v; _ } -> v | _ -> 0L
+
+let show_value = function
+  | Some (Interp.VInt { v; _ }) -> Some (Int64.to_string v)
+  | Some Interp.VPoison -> Some "poison"
+  | Some (Interp.VPtr _) -> Some "ptr"
+  | None -> None
+
+(* Build the Semantic_error verdict for a distinguishing input the oracle
+   found.  Both sides are re-run once on that input to classify the mismatch
+   (value / trace / memory / target UB) so the diagnostic reads exactly like
+   a solver counterexample. *)
+let tier1_verdict (m : Ast.modul) (src : Ast.func) (tgt : Ast.func) ~bounded
+    (args : Interp.value list) : Alive.verdict =
+  let inputs = List.mapi (fun i v -> (Fmt.str "arg%d" i, value_int64 v)) args in
+  let run f =
+    match Interp.run ~fuel:200_000 m f args with
+    | o -> `Ok o
+    | exception Interp.Undefined_behavior _ -> `Ub
+    | exception Interp.Out_of_fuel -> `Fuel
+  in
+  let kind, src_value, tgt_value =
+    match (run src, run tgt) with
+    | `Ok _, `Ub -> (Diagnostics.Target_ub, None, None)
+    | `Ok s, `Ok tg ->
+      if s.Interp.call_trace <> tg.Interp.call_trace then (Diagnostics.Trace_mismatch, None, None)
+      else if
+        (* mirror the oracle's poison-blind agreement so the classification
+           names the observation that actually distinguished the runs *)
+        match (s.Interp.ret, tg.Interp.ret) with
+        | Some Interp.VPoison, _ | _, Some Interp.VPoison -> false
+        | Some a, Some b -> a <> b
+        | _ -> false
+      then (Diagnostics.Value_mismatch, show_value s.Interp.ret, show_value tg.Interp.ret)
+      else if s.Interp.globals_final <> tg.Interp.globals_final then
+        (Diagnostics.Memory_mismatch, None, None)
+      else (Diagnostics.Other, None, None)
+    | _ -> (Diagnostics.Other, None, None)
+  in
+  let message =
+    Diagnostics.render_concrete_counterexample kind ~inputs ?src_value ?tgt_value ()
+  in
+  {
+    Alive.category = Alive.Semantic_error;
+    message;
+    example = inputs;
+    bounded;
+    copy_of_input = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) (t : t) (m : Ast.modul)
+    ~(src : Ast.func) ~(tgt : Ast.func) : Alive.verdict =
+  if not (Alive.signature_matches src tgt) then
+    (* tier 0, mirror of Alive.verify_funcs: cheap, never cached *)
+    {
+      Alive.category = Alive.Syntax_error;
+      message = Diagnostics.syntax_error_message "function signature does not match the source";
+      example = [];
+      bounded = false;
+      copy_of_input = false;
+    }
+  else
+    let key =
+      {
+        Vcache.ctx = Printer.module_to_string m;
+        src = Printer.func_to_string src;
+        tgt = Printer.func_to_string tgt;
+        unroll;
+        max_conflicts;
+      }
+    in
+    match Vcache.find t.cache key with
+    | Some v -> v
+    | None ->
+      let tier2 () =
+        let t0 = now () in
+        let v = Alive.verify_funcs ~unroll ~max_conflicts m ~src ~tgt in
+        Vcache.note_tier2 t.cache ~seconds:(now () -. t0);
+        v
+      in
+      let verdict =
+        (* an alpha-equal copy cannot have a concrete counterexample; skip
+           straight to the SMT tier, which also sets [copy_of_input] *)
+        if t.tier1_samples = 0 || Builder.alpha_equal src tgt then tier2 ()
+        else begin
+          let t0 = now () in
+          let hunt = Exec_oracle.equivalent ~samples:t.tier1_samples m ~src ~tgt in
+          let dt = now () -. t0 in
+          match hunt with
+          | Exec_oracle.Io_different args ->
+            Vcache.note_tier1 t.cache ~hit:true ~seconds:dt;
+            let bounded =
+              Cfg.has_loop (Cfg.of_func src) || Cfg.has_loop (Cfg.of_func tgt)
+            in
+            tier1_verdict m src tgt ~bounded args
+          | Exec_oracle.Io_equivalent _ | Exec_oracle.Io_unsupported _ ->
+            Vcache.note_tier1 t.cache ~hit:false ~seconds:dt;
+            tier2 ()
+        end
+      in
+      Vcache.add t.cache key verdict;
+      verdict
+
+let verify_text ?unroll ?max_conflicts (t : t) (m : Ast.modul) ~(src : Ast.func)
+    ~(tgt_text : string) : Alive.verdict =
+  match Parser.parse_func_result tgt_text with
+  | Error msg ->
+    {
+      Alive.category = Alive.Syntax_error;
+      message = Diagnostics.syntax_error_message msg;
+      example = [];
+      bounded = false;
+      copy_of_input = false;
+    }
+  | Ok tgt -> (
+    match Validator.validate_func ~module_:m tgt with
+    | Error errors ->
+      {
+        Alive.category = Alive.Syntax_error;
+        message = Diagnostics.syntax_error_message (String.concat "\n" errors);
+        example = [];
+        bounded = false;
+        copy_of_input = false;
+      }
+    | Ok () -> verify_funcs ?unroll ?max_conflicts t m ~src ~tgt)

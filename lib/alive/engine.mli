@@ -1,0 +1,60 @@
+(** The tiered, cached verification engine — the GRPO reward hot path.
+
+    Verification proceeds through three tiers, cheapest first:
+
+    - {b Tier 0} (always): parse / validation / signature checks and
+      alpha-equality copy detection — the existing front half of
+      {!Alive.verify_text}.
+    - {b Tier 1}: a concrete counterexample hunt with the I/O oracle
+      ({!Veriopt_eval.Exec_oracle}).  A confirmed concrete mismatch yields
+      [Semantic_error] immediately, with the distinguishing input as the
+      diagnostic, skipping bit-blasting entirely.  Concrete counterexamples
+      are trusted by construction — unlike the solver's, which must be
+      re-executed concretely anyway before the verdict layer believes them.
+    - {b Tier 2}: the full SMT path ({!Alive.verify_funcs}).
+
+    Tier-1 results for misses and all tier-2 verdicts are memoized in a
+    bounded {!Vcache} keyed by the canonical query text, so GRPO groups full
+    of duplicate or copied completions pay for each distinct candidate once.
+
+    Invariant: tiers never {e flip} a verdict.  Tier 1 only ever reports
+    mismatches that concrete execution witnessed, so it can only refine a
+    would-be [Inconclusive] (solver budget exhaustion) into the
+    [Semantic_error] the solver was hunting for; [Equivalent] and
+    [Syntax_error] outcomes are untouched. *)
+
+type t
+
+val create : ?capacity:int -> ?tier1_samples:int -> unit -> t
+(** [capacity] bounds the verdict cache (default 8192 per generation);
+    [tier1_samples] is the concrete-oracle battery size (default 16;
+    [0] disables tier 1). *)
+
+val shared : unit -> t
+(** The process-wide engine, created on first use: training, evaluation and
+    the bench harness all share its cache and counters. *)
+
+val verify_funcs :
+  ?unroll:int ->
+  ?max_conflicts:int ->
+  t ->
+  Veriopt_ir.Ast.modul ->
+  src:Veriopt_ir.Ast.func ->
+  tgt:Veriopt_ir.Ast.func ->
+  Alive.verdict
+(** Tiered + cached equivalent of {!Alive.verify_funcs} (same defaults). *)
+
+val verify_text :
+  ?unroll:int ->
+  ?max_conflicts:int ->
+  t ->
+  Veriopt_ir.Ast.modul ->
+  src:Veriopt_ir.Ast.func ->
+  tgt_text:string ->
+  Alive.verdict
+(** Tiered + cached equivalent of {!Alive.verify_text}.  Parse and
+    validation failures ([Syntax_error]) are cheap and never cached. *)
+
+val stats : t -> Vcache.stats
+val reset_stats : t -> unit
+(** Clear the cache and zero every counter (between bench phases). *)

@@ -1,0 +1,136 @@
+(** Bounded, generation-swept, mutex-protected verdict memo table. *)
+
+type key = {
+  ctx : string;
+  src : string;
+  tgt : string;
+  unroll : int;
+  max_conflicts : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+  tier1_hits : int;
+  tier1_misses : int;
+  tier2_runs : int;
+  tier1_seconds : float;
+  tier2_seconds : float;
+}
+
+type 'v t = {
+  capacity : int;
+  mutex : Mutex.t;
+  mutable current : (key, 'v) Hashtbl.t;
+  mutable old : (key, 'v) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+  mutable tier1_hits : int;
+  mutable tier1_misses : int;
+  mutable tier2_runs : int;
+  mutable tier1_seconds : float;
+  mutable tier2_seconds : float;
+}
+
+let create ?(capacity = 4096) () =
+  let capacity = max 1 capacity in
+  {
+    capacity;
+    mutex = Mutex.create ();
+    current = Hashtbl.create 64;
+    old = Hashtbl.create 64;
+    hits = 0;
+    misses = 0;
+    insertions = 0;
+    evictions = 0;
+    tier1_hits = 0;
+    tier1_misses = 0;
+    tier2_runs = 0;
+    tier1_seconds = 0.;
+    tier2_seconds = 0.;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Called with the mutex held.  Swapping generations discards whatever the
+   previous sweep left behind — a cheap approximation of LRU: anything
+   touched within the last [capacity] insertions survives. *)
+let sweep_if_full t =
+  if Hashtbl.length t.current >= t.capacity then begin
+    t.evictions <- t.evictions + Hashtbl.length t.old;
+    t.old <- t.current;
+    t.current <- Hashtbl.create 64
+  end
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.current key with
+      | Some v ->
+        t.hits <- t.hits + 1;
+        Some v
+      | None -> (
+        match Hashtbl.find_opt t.old key with
+        | Some v ->
+          (* promote so a live entry survives the next sweep *)
+          t.hits <- t.hits + 1;
+          Hashtbl.remove t.old key;
+          sweep_if_full t;
+          Hashtbl.replace t.current key v;
+          Some v
+        | None ->
+          t.misses <- t.misses + 1;
+          None))
+
+let add t key v =
+  locked t (fun () ->
+      sweep_if_full t;
+      Hashtbl.replace t.current key v;
+      t.insertions <- t.insertions + 1)
+
+let note_tier1 t ~hit ~seconds =
+  locked t (fun () ->
+      if hit then t.tier1_hits <- t.tier1_hits + 1 else t.tier1_misses <- t.tier1_misses + 1;
+      t.tier1_seconds <- t.tier1_seconds +. seconds)
+
+let note_tier2 t ~seconds =
+  locked t (fun () ->
+      t.tier2_runs <- t.tier2_runs + 1;
+      t.tier2_seconds <- t.tier2_seconds +. seconds)
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        insertions = t.insertions;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.current + Hashtbl.length t.old;
+        capacity = t.capacity;
+        tier1_hits = t.tier1_hits;
+        tier1_misses = t.tier1_misses;
+        tier2_runs = t.tier2_runs;
+        tier1_seconds = t.tier1_seconds;
+        tier2_seconds = t.tier2_seconds;
+      })
+
+let reset t =
+  locked t (fun () ->
+      t.current <- Hashtbl.create 64;
+      t.old <- Hashtbl.create 64;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.insertions <- 0;
+      t.evictions <- 0;
+      t.tier1_hits <- 0;
+      t.tier1_misses <- 0;
+      t.tier2_runs <- 0;
+      t.tier1_seconds <- 0.;
+      t.tier2_seconds <- 0.)

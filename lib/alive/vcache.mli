@@ -1,0 +1,53 @@
+(** Bounded verdict memo table for the tiered verification engine.
+
+    Keys are the full semantic context of a verification query: canonical
+    (printed) module, source and target texts plus the unroll bound and the
+    solver budget — two queries with equal keys must produce equal verdicts,
+    which is what makes memoization sound.
+
+    The table is generation-swept: when the current generation fills up, it
+    becomes the old generation and a fresh one starts; entries only ever
+    survive one sweep unless re-touched, bounding memory at roughly
+    [2 * capacity] entries.  All operations are mutex-protected so the Par
+    pool's worker domains can share one cache.
+
+    The cache doubles as the engine's statistics hub: alongside hit/miss/
+    eviction counts it accumulates per-tier run counters and wall-clock
+    timings (fed by the engine via [note_tier1]/[note_tier2]). *)
+
+type key = {
+  ctx : string;  (** canonical module text (globals + declarations) *)
+  src : string;  (** canonical source function text *)
+  tgt : string;  (** canonical target function text *)
+  unroll : int;
+  max_conflicts : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;  (** entries discarded by generation sweeps *)
+  entries : int;  (** live entries right now (both generations) *)
+  capacity : int;
+  tier1_hits : int;  (** concrete counterexample short-circuited the SMT tier *)
+  tier1_misses : int;  (** tier 1 ran but found no distinguishing input *)
+  tier2_runs : int;  (** full SMT verifications *)
+  tier1_seconds : float;
+  tier2_seconds : float;
+}
+
+type 'v t
+
+val create : ?capacity:int -> unit -> 'v t
+(** [capacity] bounds one generation (default 4096). *)
+
+val find : 'v t -> key -> 'v option
+(** A hit in the old generation re-inserts the entry into the current one. *)
+
+val add : 'v t -> key -> 'v -> unit
+val note_tier1 : 'v t -> hit:bool -> seconds:float -> unit
+val note_tier2 : 'v t -> seconds:float -> unit
+val stats : 'v t -> stats
+val reset : 'v t -> unit
+(** Drop every entry and zero all counters. *)

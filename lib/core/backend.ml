@@ -23,7 +23,11 @@ let optimize ?(mode = Prompt.Generic) ?(max_conflicts = 100_000) (model : Model.
     (modul : Ast.modul) (f : Ast.func) : outcome =
   let sample_id = Hashtbl.hash (Printer.func_to_string f) in
   let g = Model.generate model ~mode ~rng:None ~sample_id modul f in
-  let vc = Reward.verify_completion ~max_conflicts modul ~src:f g.Model.completion in
+  let vc =
+    Reward.verify_completion
+      ~cfg:{ Reward.default_config with Reward.max_conflicts }
+      modul ~src:f g.Model.completion
+  in
   match (vc.Reward.verdict.Alive.category, vc.Reward.parsed) with
   | Alive.Equivalent, Some out ->
     { output = out; used_model = true; verdict = vc.Reward.verdict; completion = g.Model.completion }

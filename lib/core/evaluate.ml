@@ -14,6 +14,8 @@ module Latency = Veriopt_cost.Latency
 module Icount = Veriopt_cost.Icount
 module Binsize = Veriopt_cost.Binsize
 module Reward = Veriopt_rl.Reward
+module Engine = Veriopt_alive.Engine
+module Par = Veriopt_par.Par
 
 type category = Correct_copy | Correct_different | Semantic_error | Syntax_error | Inconclusive
 
@@ -56,11 +58,15 @@ let categorize (vc : Reward.verified_candidate) : category =
   | Alive.Syntax_error -> Syntax_error
   | Alive.Inconclusive -> Inconclusive
 
-(** Evaluate one sample under greedy decoding. *)
-let evaluate_sample ?(mode = Prompt.Generic) ?(max_conflicts = 60_000) (model : Model.t)
-    (s : Suite.sample) : row =
-  let g = Model.generate model ~mode ~rng:None ~sample_id:s.Suite.id s.Suite.modul s.Suite.src in
-  let vc = Reward.verify_completion ~max_conflicts s.Suite.modul ~src:s.Suite.src g.Model.completion in
+(* Verification half of a sample evaluation: pure, so the Par pool can fan
+   it out once the completion is in hand. *)
+let row_of_completion ?(max_conflicts = 60_000) ?engine (s : Suite.sample) (completion : string)
+    : row =
+  let vc =
+    Reward.verify_completion
+      ~cfg:{ Reward.default_config with Reward.max_conflicts }
+      ?engine s.Suite.modul ~src:s.Suite.src completion
+  in
   let category = categorize vc in
   let output =
     match (category, vc.Reward.parsed) with
@@ -78,6 +84,12 @@ let evaluate_sample ?(mode = Prompt.Generic) ?(max_conflicts = 60_000) (model : 
     raw_out = vc.Reward.parsed;
   }
 
+(** Evaluate one sample under greedy decoding. *)
+let evaluate_sample ?(mode = Prompt.Generic) ?max_conflicts ?engine (model : Model.t)
+    (s : Suite.sample) : row =
+  let g = Model.generate model ~mode ~rng:None ~sample_id:s.Suite.id s.Suite.modul s.Suite.src in
+  row_of_completion ?max_conflicts ?engine s g.Model.completion
+
 let count_rows (rows : row list) : counts =
   List.fold_left
     (fun c r ->
@@ -90,9 +102,23 @@ let count_rows (rows : row list) : counts =
     { total = List.length rows; correct = 0; copies = 0; semantic = 0; syntax = 0; inconclusive = 0 }
     rows
 
-let run ?(mode = Prompt.Generic) ?max_conflicts (model : Model.t) (validation : Suite.sample list)
-    : result =
-  let rows = List.map (evaluate_sample ~mode ?max_conflicts model) validation in
+let run ?(mode = Prompt.Generic) ?max_conflicts ?engine (model : Model.t)
+    (validation : Suite.sample list) : result =
+  (* two phases: decoding touches the model's parameter table and stays
+     sequential; verification — the dominant cost — fans out on the pool *)
+  let completions =
+    List.map
+      (fun (s : Suite.sample) ->
+        let g =
+          Model.generate model ~mode ~rng:None ~sample_id:s.Suite.id s.Suite.modul s.Suite.src
+        in
+        (s, g.Model.completion))
+      validation
+  in
+  let rows =
+    Par.run (fun (s, completion) -> row_of_completion ?max_conflicts ?engine s completion)
+      completions
+  in
   { model_name = model.Model.name; rows; counts = count_rows rows }
 
 (* ------------------------------------------------------------------ *)

@@ -34,9 +34,25 @@ type counts = {
 
 type result = { model_name : string; rows : row list; counts : counts }
 
-val evaluate_sample : ?mode:Prompt.mode -> ?max_conflicts:int -> Model.t -> Suite.sample -> row
+val evaluate_sample :
+  ?mode:Prompt.mode ->
+  ?max_conflicts:int ->
+  ?engine:Veriopt_alive.Engine.t ->
+  Model.t ->
+  Suite.sample ->
+  row
+
 val count_rows : row list -> counts
-val run : ?mode:Prompt.mode -> ?max_conflicts:int -> Model.t -> Suite.sample list -> result
+
+val run :
+  ?mode:Prompt.mode ->
+  ?max_conflicts:int ->
+  ?engine:Veriopt_alive.Engine.t ->
+  Model.t ->
+  Suite.sample list ->
+  result
+(** Decoding is sequential; verification fans out on the shared Par pool
+    through the tiered + cached engine. *)
 
 (** {1 Aggregates} *)
 

@@ -8,6 +8,7 @@ module Model = Veriopt_llm.Model
 module Capability = Veriopt_llm.Capability
 module Suite = Veriopt_data.Suite
 module Trainer = Veriopt_rl.Trainer
+module Engine = Veriopt_alive.Engine
 
 type scale = {
   n_train : int;
@@ -43,11 +44,15 @@ type artifacts = {
   llm_compiler : Model.t; (* no task-specific fine-tuning *)
   pipeline : Trainer.pipeline_result;
   u_max : float;
+  engine : Engine.t; (* the verification engine every stage shared *)
 }
 
 (** Build every model the evaluation needs.  [progress] is called with a
-    stage name as work proceeds. *)
-let build ?(scale = quick) ?(progress = fun (_ : string) -> ()) () : artifacts =
+    stage name as work proceeds.  One tiered + cached verification [engine]
+    backs every GRPO reward call here and is carried in the artifacts so
+    evaluation and the bench harness keep hitting the same cache. *)
+let build ?(scale = quick) ?(progress = fun (_ : string) -> ()) ?engine () : artifacts =
+  let engine = match engine with Some e -> e | None -> Engine.shared () in
   progress "building training set";
   let train_ds = Suite.training ~verify:scale.verify_dataset ~n:scale.n_train () in
   progress "building validation set";
@@ -66,13 +71,15 @@ let build ?(scale = quick) ?(progress = fun (_ : string) -> ()) () : artifacts =
   in
   let llm_compiler = Capability.llm_compiler_7b () in
   progress "stage 1: Model-Zero (GRPO, generic prompts)";
-  let stage1 = Trainer.train_model_zero ~opts:scale.opts base train in
+  let stage1 = Trainer.train_model_zero ~opts:scale.opts ~engine base train in
   progress "stage 2a: Warm-up (SFT on diagnostic-augmented samples)";
   let warm = Trainer.warm_up ~opts:scale.opts base train stage1.Trainer.failures in
   progress "stage 2b: Model-Correctness (GRPO, augmented prompts)";
-  let stage2 = Trainer.train_correctness ~opts:scale.opts warm train in
+  let stage2 = Trainer.train_correctness ~opts:scale.opts ~engine warm train in
   progress "stage 3: Model-Latency (GRPO, latency reward)";
-  let stage3 = Trainer.train_latency ~opts:scale.opts stage2.Trainer.model_correctness train in
+  let stage3 =
+    Trainer.train_latency ~opts:scale.opts ~engine stage2.Trainer.model_correctness train
+  in
   {
     scale;
     train;
@@ -84,4 +91,5 @@ let build ?(scale = quick) ?(progress = fun (_ : string) -> ()) () : artifacts =
     llm_compiler;
     pipeline = { Trainer.base; stage1; warm; stage2; stage3 };
     u_max = Veriopt_rl.Reward.u_max_of_samples train;
+    engine;
   }

@@ -29,6 +29,15 @@ type artifacts = {
   llm_compiler : Model.t;
   pipeline : Trainer.pipeline_result;
   u_max : float;
+  engine : Veriopt_alive.Engine.t;  (** shared by training, evaluation, bench *)
 }
 
-val build : ?scale:scale -> ?progress:(string -> unit) -> unit -> artifacts
+val build :
+  ?scale:scale ->
+  ?progress:(string -> unit) ->
+  ?engine:Veriopt_alive.Engine.t ->
+  unit ->
+  artifacts
+(** [engine] (default {!Veriopt_alive.Engine.shared}) backs every verifier
+    call in training; it is returned in the artifacts so evaluation and the
+    bench harness share its verdict cache and statistics. *)

@@ -207,3 +207,25 @@ let dataset_stats ppf ~(train : Suite.stats) ~(validation : Suite.stats) =
   Fmt.pf ppf "DATASET (SIV-A methodology):@.";
   Fmt.pf ppf "  train:      %a@." Suite.pp_stats train;
   Fmt.pf ppf "  validation: %a@." Suite.pp_stats validation
+
+(* ------------------------------------------------------------------ *)
+
+(** Tier / cache / SAT statistics of the verification engine: where the
+    reward hot path's time went and how much work the tiers avoided. *)
+let engine_stats ppf (engine : Veriopt_alive.Engine.t) =
+  let s = Veriopt_alive.Engine.stats engine in
+  let sat = Veriopt_smt.Solver.stats () in
+  let lookups = s.Veriopt_alive.Vcache.hits + s.Veriopt_alive.Vcache.misses in
+  Fmt.pf ppf "VERIFICATION ENGINE:@.";
+  Fmt.pf ppf "  cache:  %d lookups, %d hits (%.1f%%), %d entries, %d evictions@." lookups
+    s.Veriopt_alive.Vcache.hits
+    (pct s.Veriopt_alive.Vcache.hits lookups)
+    s.Veriopt_alive.Vcache.entries s.Veriopt_alive.Vcache.evictions;
+  Fmt.pf ppf
+    "  tiers:  %d concrete counterexamples (%.2fs in tier 1), %d SMT runs (%.2fs in tier 2)@."
+    s.Veriopt_alive.Vcache.tier1_hits s.Veriopt_alive.Vcache.tier1_seconds
+    s.Veriopt_alive.Vcache.tier2_runs s.Veriopt_alive.Vcache.tier2_seconds;
+  Fmt.pf ppf "  sat:    %d checks, %d conflicts, %d decisions, %d propagations@."
+    sat.Veriopt_smt.Solver.checks sat.Veriopt_smt.Solver.conflicts
+    sat.Veriopt_smt.Solver.decisions sat.Veriopt_smt.Solver.propagations;
+  Fmt.pf ppf "  pool:   VERIOPT_JOBS=%d@." (Veriopt_par.Par.shared_jobs ())

@@ -16,3 +16,6 @@ val fig6 : Format.formatter -> latency_model:result -> unit
 val fig7 : Format.formatter -> (string * result) list -> unit
 val figs8to12 : Format.formatter -> result -> unit
 val dataset_stats : Format.formatter -> train:Suite.stats -> validation:Suite.stats -> unit
+
+val engine_stats : Format.formatter -> Veriopt_alive.Engine.t -> unit
+(** Tier / cache / SAT counters of the verification engine. *)

@@ -23,7 +23,10 @@ let boundary_values w =
   List.sort_uniq compare
     [ 0L; 1L; 2L; mask w (-1L); mask w (-2L); min_signed w; max_signed w; mask w 7L; mask w 42L ]
 
-let random_value rng w = Bits.mask w (Random.State.int64 rng Int64.max_int)
+(* Sample all 64 bits before masking: [Random.State.int64 rng Int64.max_int]
+   never sets the top bit, so w=64 vectors would miss the whole negative
+   half-space (and every width would see a biased distribution). *)
+let random_value rng w = Bits.mask w (Random.State.bits64 rng)
 
 let outcome_key (o : Interp.outcome) =
   (o.Interp.ret, o.Interp.call_trace, o.Interp.globals_final)

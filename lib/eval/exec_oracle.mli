@@ -13,6 +13,10 @@ type verdict =
 
 val boundary_values : int -> int64 list
 
+val random_value : Random.State.t -> int -> int64
+(** One random sample at the given width, drawn from all 64 bits before
+    masking so every bit position (the sign bit included) is exercised. *)
+
 val equivalent :
   ?samples:int ->
   ?seed:int ->

@@ -14,6 +14,7 @@
 
 open Veriopt_ir
 module Alive = Veriopt_alive.Alive
+module Engine = Veriopt_alive.Engine
 module Bleu = Veriopt_nlp.Bleu
 module Model = Veriopt_llm.Model
 module Prompt = Veriopt_llm.Prompt
@@ -25,25 +26,34 @@ type verified_candidate = {
   answer_text : string option;
 }
 
-(** Run the verifier over a model completion. *)
-let verify_completion ?(unroll = 4) ?(max_conflicts = 60_000) (modul : Ast.modul)
-    ~(src : Ast.func) (completion : string) : verified_candidate =
+type config = { unroll : int; max_conflicts : int }
+
+let default_config = { unroll = 4; max_conflicts = 60_000 }
+
+(** A [Syntax_error] verdict record, the shape every reward path needs when
+    the completion never reaches the verifier. *)
+let syntax_verdict (detail : string) : Alive.verdict =
+  {
+    Alive.category = Alive.Syntax_error;
+    message = Veriopt_alive.Diagnostics.syntax_error_message detail;
+    example = [];
+    bounded = false;
+    copy_of_input = false;
+  }
+
+(** Run the verifier over a model completion, through the tiered + cached
+    engine (shared process-wide unless [engine] is given). *)
+let verify_completion ?(cfg = default_config) ?engine (modul : Ast.modul) ~(src : Ast.func)
+    (completion : string) : verified_candidate =
+  let engine = match engine with Some e -> e | None -> Engine.shared () in
   match Prompt.answer_of completion with
   | None ->
-    {
-      verdict =
-        {
-          Alive.category = Alive.Syntax_error;
-          message = Veriopt_alive.Diagnostics.syntax_error_message "missing <answer> tags";
-          example = [];
-          bounded = false;
-          copy_of_input = false;
-        };
-      parsed = None;
-      answer_text = None;
-    }
+    { verdict = syntax_verdict "missing <answer> tags"; parsed = None; answer_text = None }
   | Some answer ->
-    let verdict = Alive.verify_text ~unroll ~max_conflicts modul ~src ~tgt_text:answer in
+    let verdict =
+      Engine.verify_text ~unroll:cfg.unroll ~max_conflicts:cfg.max_conflicts engine modul ~src
+        ~tgt_text:answer
+    in
     let parsed =
       match Parser.parse_func_result answer with Ok f -> Some f | Error _ -> None
     in
@@ -58,9 +68,9 @@ let correctness ~(format_ok : bool) ~(equivalent : bool) ~(exact_match : bool) ~
   (t *. (1. +. (a *. (1. +. m)))) +. bleu
 
 (** Eq. 1 evaluated against a reference label. *)
-let correctness_of_completion (modul : Ast.modul) ~(src : Ast.func) ~(label : Ast.func)
-    (completion : string) : float * verified_candidate =
-  let vc = verify_completion modul ~src completion in
+let correctness_of_completion ?cfg ?engine (modul : Ast.modul) ~(src : Ast.func)
+    ~(label : Ast.func) (completion : string) : float * verified_candidate =
+  let vc = verify_completion ?cfg ?engine modul ~src completion in
   let format_ok = Prompt.format_ok completion in
   let equivalent = vc.verdict.Alive.category = Alive.Equivalent in
   let label_text = Printer.func_to_string label in
@@ -78,9 +88,13 @@ let correctness_of_completion (modul : Ast.modul) ~(src : Ast.func) ~(label : As
 (** Eq. 2: the CoT agreement reward for an augmented-mode completion.  The
     model's first attempt lives in the <think> block; we verify it and score
     the model's claim against the verifier's verdict. *)
-let cot_agreement (modul : Ast.modul) ~(src : Ast.func) ~(claimed : Diag.error_class)
-    ~(think_attempt : string) ~(model_message : string) : float =
-  let verdict = Alive.verify_text ~max_conflicts:60_000 modul ~src ~tgt_text:think_attempt in
+let cot_agreement ?(cfg = default_config) ?engine (modul : Ast.modul) ~(src : Ast.func)
+    ~(claimed : Diag.error_class) ~(think_attempt : string) ~(model_message : string) : float =
+  let engine = match engine with Some e -> e | None -> Engine.shared () in
+  let verdict =
+    Engine.verify_text ~unroll:cfg.unroll ~max_conflicts:cfg.max_conflicts engine modul ~src
+      ~tgt_text:think_attempt
+  in
   let truth_ok = verdict.Alive.category = Alive.Equivalent in
   let model_ok = claimed = Diag.C_ok in
   if truth_ok && model_ok then 1.0

@@ -7,20 +7,34 @@ type verified_candidate = {
   answer_text : string option;
 }
 
+type config = { unroll : int; max_conflicts : int }
+(** Verifier budget shared by every reward path (one definition instead of
+    per-call-site magic numbers). *)
+
+val default_config : config
+(** [unroll = 4], [max_conflicts = 60_000] — the evaluation defaults. *)
+
+val syntax_verdict : string -> Veriopt_alive.Alive.verdict
+(** A [Syntax_error] verdict with the given detail message. *)
+
 val verify_completion :
-  ?unroll:int ->
-  ?max_conflicts:int ->
+  ?cfg:config ->
+  ?engine:Veriopt_alive.Engine.t ->
   Veriopt_ir.Ast.modul ->
   src:Veriopt_ir.Ast.func ->
   string ->
   verified_candidate
-(** Run the verifier over a raw model completion (format check included). *)
+(** Run the verifier over a raw model completion (format check included),
+    through the tiered + cached engine ({!Veriopt_alive.Engine.shared} by
+    default). *)
 
 val correctness :
   format_ok:bool -> equivalent:bool -> exact_match:bool -> bleu:float -> float
 (** Eq. 1: [t * (1 + a * (1 + m)) + b]. *)
 
 val correctness_of_completion :
+  ?cfg:config ->
+  ?engine:Veriopt_alive.Engine.t ->
   Veriopt_ir.Ast.modul ->
   src:Veriopt_ir.Ast.func ->
   label:Veriopt_ir.Ast.func ->
@@ -28,6 +42,8 @@ val correctness_of_completion :
   float * verified_candidate
 
 val cot_agreement :
+  ?cfg:config ->
+  ?engine:Veriopt_alive.Engine.t ->
   Veriopt_ir.Ast.modul ->
   src:Veriopt_ir.Ast.func ->
   claimed:Veriopt_llm.Diag.error_class ->

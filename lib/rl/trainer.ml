@@ -19,6 +19,13 @@ module Diag = Veriopt_llm.Diag
 module Alive = Veriopt_alive.Alive
 module Suite = Veriopt_data.Suite
 module Latency = Veriopt_cost.Latency
+module Par = Veriopt_par.Par
+
+(* Group scoring below runs on the Par pool: generation (which touches the
+   model's parameter table) and GRPO updates stay sequential; only the
+   verifier-bound reward computation — the hot path — fans out.  Rewards are
+   deterministic and order-preserving, so training trajectories are
+   identical at any pool size. *)
 
 type options = {
   grpo_steps : int;
@@ -56,8 +63,8 @@ type stage1_result = {
   zero_log : stage_log;
 }
 
-let train_model_zero ?(opts = default_options) (base : Model.t) (train : Suite.sample list) :
-    stage1_result =
+let train_model_zero ?(opts = default_options) ?engine (base : Model.t)
+    (train : Suite.sample list) : stage1_result =
   let model = Model.clone ~name:"Model-Zero" ~noise_scale:(0.72 *. base.Model.noise_scale) base in
   let samples = Array.of_list train in
   let rng = Random.State.make [| opts.seed; 11 |] in
@@ -78,35 +85,41 @@ let train_model_zero ?(opts = default_options) (base : Model.t) (train : Suite.s
           Model.generate model ~mode:Prompt.Generic ~rng:(Some rng) ~sample_id:s.Suite.id
             s.Suite.modul s.Suite.src)
     in
-    let scored =
-      List.map
+    let verified =
+      Par.run
         (fun (g : Model.generation) ->
-          let r, vc =
-            Reward.correctness_of_completion s.Suite.modul ~src:s.Suite.src ~label:s.Suite.label
-              g.Model.completion
-          in
-          (* harvest failures as correction-augmented raw material *)
-          (match vc.Reward.verdict.Alive.category with
-          | Alive.Semantic_error | Alive.Syntax_error when not g.Model.copied ->
-            failures :=
-              {
-                Sft.f_sample = s;
-                bad_actions = g.Model.final_attempt.Model.actions_taken;
-                f_evidence = g.Model.evidence;
-                true_class =
-                  Diag.class_of_verdict_message
-                    (match vc.Reward.verdict.Alive.category with
-                    | Alive.Semantic_error -> `Semantic
-                    | Alive.Syntax_error -> `Syntax
-                    | Alive.Equivalent -> `Equivalent
-                    | Alive.Inconclusive -> `Inconclusive)
-                    vc.Reward.verdict.Alive.message;
-                alive_message = vc.Reward.verdict.Alive.message;
-              }
-              :: !failures
-          | _ -> ());
-          ({ Grpo.steps = g.Model.steps; reward = r }, r))
+          Reward.correctness_of_completion ?engine s.Suite.modul ~src:s.Suite.src
+            ~label:s.Suite.label g.Model.completion)
         group
+    in
+    (* harvest failures as correction-augmented raw material (sequentially,
+       so the record order matches the sequential implementation) *)
+    List.iter2
+      (fun (g : Model.generation) ((_, vc) : float * Reward.verified_candidate) ->
+        match vc.Reward.verdict.Alive.category with
+        | Alive.Semantic_error | Alive.Syntax_error when not g.Model.copied ->
+          failures :=
+            {
+              Sft.f_sample = s;
+              bad_actions = g.Model.final_attempt.Model.actions_taken;
+              f_evidence = g.Model.evidence;
+              true_class =
+                Diag.class_of_verdict_message
+                  (match vc.Reward.verdict.Alive.category with
+                  | Alive.Semantic_error -> `Semantic
+                  | Alive.Syntax_error -> `Syntax
+                  | Alive.Equivalent -> `Equivalent
+                  | Alive.Inconclusive -> `Inconclusive)
+                  vc.Reward.verdict.Alive.message;
+              alive_message = vc.Reward.verdict.Alive.message;
+            }
+            :: !failures
+        | _ -> ())
+      group verified;
+    let scored =
+      List.map2
+        (fun (g : Model.generation) (r, _) -> ({ Grpo.steps = g.Model.steps; reward = r }, r))
+        group verified
     in
     let rs = Array.of_list (List.map snd scored) in
     let advs = Grpo.advantages rs in
@@ -145,8 +158,8 @@ let sft_baseline ?(opts = default_options) (base : Model.t) (train : Suite.sampl
 
 type stage2_result = { model_correctness : Model.t; correctness_log : stage_log }
 
-let train_correctness ?(opts = default_options) (warm : Model.t) (train : Suite.sample list) :
-    stage2_result =
+let train_correctness ?(opts = default_options) ?engine (warm : Model.t)
+    (train : Suite.sample list) : stage2_result =
   (* diagnostic-feedback GRPO teaches the model to avoid its own failure
      modes, lowering the irreducible hallucination floor -- SFT alone cannot
      do this, which is why the paper's SFT baselines trail on correctness *)
@@ -171,26 +184,37 @@ let train_correctness ?(opts = default_options) (warm : Model.t) (train : Suite.
           Model.generate model ~mode:Prompt.Augmented ~rng:(Some rng) ~sample_id:s.Suite.id
             s.Suite.modul s.Suite.src)
     in
-    let scored =
+    (* render think-attempt texts sequentially (touches the model), then
+       fan the two verifier calls per completion out on the pool *)
+    let prepped =
       List.map
         (fun (g : Model.generation) ->
+          let cot =
+            match g.Model.claimed with
+            | None -> None
+            | Some claimed ->
+              Some (claimed, Model.attempt_text model ~sample_id:s.Suite.id g.Model.first_attempt)
+          in
+          (g, cot))
+        group
+    in
+    let scored =
+      Par.run
+        (fun ((g : Model.generation), cot) ->
           let answer_r, _ =
-            Reward.correctness_of_completion s.Suite.modul ~src:s.Suite.src ~label:s.Suite.label
-              g.Model.completion
+            Reward.correctness_of_completion ?engine s.Suite.modul ~src:s.Suite.src
+              ~label:s.Suite.label g.Model.completion
           in
           let cot_r =
-            match g.Model.claimed with
+            match cot with
             | None -> 0.
-            | Some claimed ->
-              let think_attempt =
-                Model.attempt_text model ~sample_id:s.Suite.id g.Model.first_attempt
-              in
-              Reward.cot_agreement s.Suite.modul ~src:s.Suite.src ~claimed ~think_attempt
+            | Some (claimed, think_attempt) ->
+              Reward.cot_agreement ?engine s.Suite.modul ~src:s.Suite.src ~claimed ~think_attempt
                 ~model_message:(Diag.message_of_class claimed)
           in
           let r = answer_r +. cot_r in
           ({ Grpo.steps = g.Model.steps; reward = r }, r))
-        group
+        prepped
     in
     let rs = Array.of_list (List.map snd scored) in
     let advs = Grpo.advantages rs in
@@ -207,8 +231,8 @@ let train_correctness ?(opts = default_options) (warm : Model.t) (train : Suite.
 
 type stage3_result = { model_latency : Model.t; latency_log : stage_log }
 
-let train_latency ?(opts = default_options) (correctness : Model.t) (train : Suite.sample list) :
-    stage3_result =
+let train_latency ?(opts = default_options) ?engine (correctness : Model.t)
+    (train : Suite.sample list) : stage3_result =
   let model =
     Model.clone ~name:"Model-Latency" ~halluc_rate:(0.5 *. correctness.Model.halluc_rate)
       correctness
@@ -234,11 +258,12 @@ let train_latency ?(opts = default_options) (correctness : Model.t) (train : Sui
             s.Suite.modul s.Suite.src)
     in
     let scored =
-      List.map
+      Par.run
         (fun (g : Model.generation) ->
           let vc =
-            Reward.verify_completion ~max_conflicts:opts.max_conflicts s.Suite.modul
-              ~src:s.Suite.src g.Model.completion
+            Reward.verify_completion
+              ~cfg:{ Reward.default_config with Reward.max_conflicts = opts.max_conflicts }
+              ?engine s.Suite.modul ~src:s.Suite.src g.Model.completion
           in
           let equivalent = vc.Reward.verdict.Alive.category = Alive.Equivalent in
           let cand_latency =
@@ -275,10 +300,10 @@ type pipeline_result = {
 }
 
 (** Run the full four-model pipeline from a base model. *)
-let full_pipeline ?(opts = default_options) (base : Model.t) (train : Suite.sample list) :
-    pipeline_result =
-  let stage1 = train_model_zero ~opts base train in
+let full_pipeline ?(opts = default_options) ?engine (base : Model.t) (train : Suite.sample list)
+    : pipeline_result =
+  let stage1 = train_model_zero ~opts ?engine base train in
   let warm = warm_up ~opts base train stage1.failures in
-  let stage2 = train_correctness ~opts warm train in
-  let stage3 = train_latency ~opts stage2.model_correctness train in
+  let stage2 = train_correctness ~opts ?engine warm train in
+  let stage3 = train_latency ~opts ?engine stage2.model_correctness train in
   { base; stage1; warm; stage2; stage3 }

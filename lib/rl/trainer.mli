@@ -29,7 +29,14 @@ type stage1_result = {
   zero_log : stage_log;
 }
 
-val train_model_zero : ?opts:options -> Model.t -> Suite.sample list -> stage1_result
+val train_model_zero :
+  ?opts:options ->
+  ?engine:Veriopt_alive.Engine.t ->
+  Model.t ->
+  Suite.sample list ->
+  stage1_result
+(** Group verification runs on the shared Par pool through [engine]
+    (default: {!Veriopt_alive.Engine.shared}). *)
 
 (** {1 Stage 2 — Warm-up and Model-Correctness} *)
 
@@ -41,14 +48,24 @@ val sft_baseline : ?opts:options -> Model.t -> Suite.sample list -> Model.t
 
 type stage2_result = { model_correctness : Model.t; correctness_log : stage_log }
 
-val train_correctness : ?opts:options -> Model.t -> Suite.sample list -> stage2_result
+val train_correctness :
+  ?opts:options ->
+  ?engine:Veriopt_alive.Engine.t ->
+  Model.t ->
+  Suite.sample list ->
+  stage2_result
 (** GRPO with augmented prompts; reward = Eq. 1 (answer) + Eq. 2 (CoT). *)
 
 (** {1 Stage 3 — Model-Latency} *)
 
 type stage3_result = { model_latency : Model.t; latency_log : stage_log }
 
-val train_latency : ?opts:options -> Model.t -> Suite.sample list -> stage3_result
+val train_latency :
+  ?opts:options ->
+  ?engine:Veriopt_alive.Engine.t ->
+  Model.t ->
+  Suite.sample list ->
+  stage3_result
 (** Incremental GRPO with the latency reward; labels dropped, correctness
     kept in the reward through the verifier. *)
 
@@ -60,4 +77,9 @@ type pipeline_result = {
   stage3 : stage3_result;
 }
 
-val full_pipeline : ?opts:options -> Model.t -> Suite.sample list -> pipeline_result
+val full_pipeline :
+  ?opts:options ->
+  ?engine:Veriopt_alive.Engine.t ->
+  Model.t ->
+  Suite.sample list ->
+  pipeline_result

@@ -93,16 +93,24 @@ module Key = struct
     | BvTrunc (w, a) -> KBvTrunc (w, a.id)
 end
 
-let table : (Key.k, t) Hashtbl.t = Hashtbl.create 4096
-let next_id = ref 0
+(* Hash-consing must stay correct when verification runs on several domains
+   (the Par pool): the intern table is domain-local, so interning is
+   lock-free, while ids come from one atomic counter so no two terms — even
+   in different domains — ever share an id.  Cross-domain sharing is thereby
+   lost (only [tt]/[ff] actually cross domains), which costs a little
+   structural duplication but can never confuse id-based equality. *)
+let table_key : (Key.k, t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
+
+let next_id = Atomic.make 0
 
 let intern sort node =
+  let table = Domain.DLS.get table_key in
   let key = Key.of_node node in
   match Hashtbl.find_opt table key with
   | Some t -> t
   | None ->
-    let t = { id = !next_id; node; sort } in
-    incr next_id;
+    let t = { id = Atomic.fetch_and_add next_id 1; node; sort } in
     Hashtbl.add table key t;
     t
 

@@ -8,23 +8,80 @@ type model = {
 
 type outcome = Sat of model | Unsat | Unknown
 
+(* ------------------------------------------------------------------ *)
+(* Aggregate SAT statistics across [check] calls.  Counters are atomic so
+   the Par pool's worker domains can solve concurrently; [reset_stats] lets
+   the bench harness attribute solver work to a measurement window. *)
+
+type stats = {
+  checks : int;
+  sat : int;
+  unsat : int;
+  unknown : int;
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+}
+
+let s_checks = Atomic.make 0
+let s_sat = Atomic.make 0
+let s_unsat = Atomic.make 0
+let s_unknown = Atomic.make 0
+let s_conflicts = Atomic.make 0
+let s_decisions = Atomic.make 0
+let s_propagations = Atomic.make 0
+
+let stats () =
+  {
+    checks = Atomic.get s_checks;
+    sat = Atomic.get s_sat;
+    unsat = Atomic.get s_unsat;
+    unknown = Atomic.get s_unknown;
+    conflicts = Atomic.get s_conflicts;
+    decisions = Atomic.get s_decisions;
+    propagations = Atomic.get s_propagations;
+  }
+
+let reset_stats () =
+  List.iter
+    (fun c -> Atomic.set c 0)
+    [ s_checks; s_sat; s_unsat; s_unknown; s_conflicts; s_decisions; s_propagations ]
+
+let bump counter n = ignore (Atomic.fetch_and_add counter n)
+
 (** Decide [/\ assertions].  [max_conflicts] is the resource budget standing
     in for a wall-clock solver timeout. *)
 let check ?(max_conflicts = 200_000) (assertions : Expr.t list) : outcome =
   (* Fast path: constant-folded assertions. *)
-  if List.exists (fun (t : Expr.t) -> t.Expr.node = Expr.False) assertions then Unsat
-  else
+  if List.exists (fun (t : Expr.t) -> t.Expr.node = Expr.False) assertions then begin
+    bump s_checks 1;
+    bump s_unsat 1;
+    Unsat
+  end
+  else begin
     let ctx = Bitblast.create () in
     List.iter (Bitblast.assert_term ctx) assertions;
-    match Sat.solve ~max_conflicts ctx.Bitblast.sat with
+    let result = Sat.solve ~max_conflicts ctx.Bitblast.sat in
+    let conflicts, decisions, propagations = Sat.stats ctx.Bitblast.sat in
+    bump s_checks 1;
+    bump s_conflicts conflicts;
+    bump s_decisions decisions;
+    bump s_propagations propagations;
+    match result with
     | Sat.Sat ->
+      bump s_sat 1;
       Sat
         {
           bv_value = (fun name -> Bitblast.bv_model_value ctx name);
           bool_value = (fun name -> Bitblast.bool_model_value ctx name);
         }
-    | Sat.Unsat -> Unsat
-    | Sat.Unknown -> Unknown
+    | Sat.Unsat ->
+      bump s_unsat 1;
+      Unsat
+    | Sat.Unknown ->
+      bump s_unknown 1;
+      Unknown
+  end
 
 (** [valid t] checks that [t] is true under all assignments; on failure the
     model witnesses the violation. *)

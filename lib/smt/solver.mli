@@ -8,6 +8,21 @@ type model = {
 
 type outcome = Sat of model | Unsat | Unknown
 
+type stats = {
+  checks : int;  (** [check] invocations *)
+  sat : int;
+  unsat : int;
+  unknown : int;  (** conflict budget exhausted *)
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+}
+(** Aggregate CDCL work across all [check] calls since the last
+    {!reset_stats}; domain-safe (atomic counters). *)
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
+
 val check : ?max_conflicts:int -> Expr.t list -> outcome
 (** Decide the conjunction of the assertions.  [max_conflicts] is the
     resource budget standing in for a wall-clock solver timeout; exceeding

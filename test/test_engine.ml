@@ -1,0 +1,204 @@
+(* The tiered, cached verification engine: cached verdicts match fresh
+   ones, tier 1's concrete counterexamples agree with the SMT verdict, the
+   cache stays bounded, and the Par pool is observationally List.map. *)
+
+open Veriopt_ir
+module A = Veriopt_alive.Alive
+module Engine = Veriopt_alive.Engine
+module Vcache = Veriopt_alive.Vcache
+module Oracle = Veriopt_eval.Exec_oracle
+module Par = Veriopt_par.Par
+module Reward = Veriopt_rl.Reward
+module S = Veriopt_data.Suite
+
+let m0 = Ast.empty_module
+let parse = Parser.parse_func
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let category =
+  Alcotest.testable
+    (fun ppf -> function
+      | A.Equivalent -> Fmt.string ppf "Equivalent"
+      | A.Semantic_error -> Fmt.string ppf "Semantic_error"
+      | A.Syntax_error -> Fmt.string ppf "Syntax_error"
+      | A.Inconclusive -> Fmt.string ppf "Inconclusive")
+    ( = )
+
+(* a small battery covering every verdict category *)
+let battery =
+  [
+    ( "equivalent fold",
+      "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 0\n  ret i32 %r\n}",
+      "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n}" );
+    ( "identity copy",
+      "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 0\n  ret i32 %r\n}",
+      "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 0\n  ret i32 %r\n}" );
+    ( "wrong constant",
+      "define i8 @f(i8 %x) {\nentry:\n  %r = add i8 %x, 1\n  ret i8 %r\n}",
+      "define i8 @f(i8 %x) {\nentry:\n  %r = add i8 %x, 2\n  ret i8 %r\n}" );
+    ( "garbage target",
+      "define i8 @f(i8 %x) {\nentry:\n  ret i8 %x\n}",
+      "this is not IR at all" );
+  ]
+
+let cached_matches_fresh_tests =
+  [
+    Alcotest.test_case "engine verdict = seed verdict, then cache hit repeats it" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        List.iter
+          (fun (name, src_text, tgt_text) ->
+            let src = parse src_text in
+            let fresh = A.verify_text m0 ~src ~tgt_text in
+            let tiered = Engine.verify_text e m0 ~src ~tgt_text in
+            Alcotest.check category (name ^ " category") fresh.A.category tiered.A.category;
+            (* second query must come from the cache and be byte-identical *)
+            let again = Engine.verify_text e m0 ~src ~tgt_text in
+            Alcotest.(check bool) (name ^ " cached identical") true (tiered = again))
+          battery;
+        let st = Engine.stats e in
+        Alcotest.(check bool) "cache was hit" true (st.Vcache.hits >= 1));
+    Alcotest.test_case "verdict preserved across the dataset suite" `Quick (fun () ->
+        let ds = S.build ~verify:false ~seed0:77001 ~n:12 () in
+        let e = Engine.create () in
+        List.iter
+          (fun (s : S.sample) ->
+            let fresh = A.verify_funcs s.S.modul ~src:s.S.src ~tgt:s.S.label in
+            let tiered = Engine.verify_funcs e s.S.modul ~src:s.S.src ~tgt:s.S.label in
+            Alcotest.check category
+              (Printf.sprintf "sample %d label" s.S.id)
+              fresh.A.category tiered.A.category)
+          ds.S.samples);
+  ]
+
+let tier1_tests =
+  [
+    Alcotest.test_case "concrete counterexample agrees with SMT and skips it" `Quick
+      (fun () ->
+        let src =
+          parse "define i8 @f(i8 %x) {\nentry:\n  %r = add i8 %x, 1\n  ret i8 %r\n}"
+        in
+        let tgt =
+          parse "define i8 @f(i8 %x) {\nentry:\n  %r = add i8 %x, 2\n  ret i8 %r\n}"
+        in
+        let smt = A.verify_funcs m0 ~src ~tgt in
+        Alcotest.check category "SMT says semantic error" A.Semantic_error smt.A.category;
+        let e = Engine.create () in
+        let v = Engine.verify_funcs e m0 ~src ~tgt in
+        Alcotest.check category "tier 1 agrees" A.Semantic_error v.A.category;
+        let st = Engine.stats e in
+        Alcotest.(check bool) "tier 1 short-circuited" true (st.Vcache.tier1_hits >= 1);
+        Alcotest.(check int) "SMT tier never ran" 0 st.Vcache.tier2_runs;
+        (* the diagnostic carries the distinguishing input, alive2-style *)
+        Alcotest.(check bool)
+          "diagnostic shows an example" true
+          (contains v.A.message "Example:"));
+    Alcotest.test_case "tier 1 disabled falls through to SMT" `Quick (fun () ->
+        let src = parse "define i8 @f(i8 %x) {\nentry:\n  %r = add i8 %x, 1\n  ret i8 %r\n}" in
+        let tgt = parse "define i8 @f(i8 %x) {\nentry:\n  %r = add i8 %x, 2\n  ret i8 %r\n}" in
+        let e = Engine.create ~tier1_samples:0 () in
+        let v = Engine.verify_funcs e m0 ~src ~tgt in
+        Alcotest.check category "still semantic error" A.Semantic_error v.A.category;
+        let st = Engine.stats e in
+        Alcotest.(check int) "tier 1 never ran" 0 (st.Vcache.tier1_hits + st.Vcache.tier1_misses);
+        Alcotest.(check bool) "SMT ran" true (st.Vcache.tier2_runs >= 1));
+  ]
+
+let cache_tests =
+  [
+    Alcotest.test_case "generation sweep keeps the cache bounded" `Quick (fun () ->
+        let capacity = 4 in
+        let e = Engine.create ~capacity () in
+        (* 12 distinct queries through a capacity-4 cache *)
+        for k = 1 to 12 do
+          let src =
+            parse
+              (Printf.sprintf "define i8 @f(i8 %%x) {\nentry:\n  %%r = add i8 %%x, %d\n  ret i8 %%r\n}" k)
+          in
+          ignore (Engine.verify_funcs e m0 ~src ~tgt:src)
+        done;
+        let st = Engine.stats e in
+        Alcotest.(check bool) "entries bounded by 2*capacity" true
+          (st.Vcache.entries <= (2 * capacity));
+        Alcotest.(check bool) "sweeps evicted something" true (st.Vcache.evictions > 0);
+        Alcotest.(check int) "every query was distinct" 12 st.Vcache.misses);
+    Alcotest.test_case "reset zeroes counters and drops entries" `Quick (fun () ->
+        let e = Engine.create () in
+        let src = parse "define i8 @f(i8 %x) {\nentry:\n  ret i8 %x\n}" in
+        ignore (Engine.verify_funcs e m0 ~src ~tgt:src);
+        Engine.reset_stats e;
+        let st = Engine.stats e in
+        Alcotest.(check int) "no entries" 0 st.Vcache.entries;
+        Alcotest.(check int) "no misses" 0 st.Vcache.misses);
+  ]
+
+let par_tests =
+  [
+    Alcotest.test_case "Par.map = List.map for pool sizes 1..4" `Quick (fun () ->
+        let xs = List.init 100 (fun i -> i) in
+        let f x = (x * x) + 7 in
+        let expected = List.map f xs in
+        List.iter
+          (fun jobs ->
+            let pool = Par.create ~jobs in
+            let got = Par.map pool f xs in
+            Par.shutdown pool;
+            Alcotest.(check (list int))
+              (Printf.sprintf "jobs=%d order and values" jobs)
+              expected got)
+          [ 1; 2; 3; 4 ]);
+    Alcotest.test_case "Par.map re-raises the first exception" `Quick (fun () ->
+        let pool = Par.create ~jobs:3 in
+        let raised =
+          try
+            ignore (Par.map pool (fun x -> if x = 5 then failwith "boom" else x) (List.init 10 Fun.id));
+            false
+          with Failure m -> m = "boom"
+        in
+        Par.shutdown pool;
+        Alcotest.(check bool) "Failure boom propagated" true raised);
+  ]
+
+let satellite_tests =
+  [
+    Alcotest.test_case "random_value samples the full 64-bit range" `Quick (fun () ->
+        let rng = Random.State.make [| 31337 |] in
+        let top_bit_seen = ref false in
+        for _ = 1 to 100 do
+          if Int64.compare (Oracle.random_value rng 64) 0L < 0 then top_bit_seen := true
+        done;
+        Alcotest.(check bool) "a negative (top-bit-set) value appeared" true !top_bit_seen);
+    Alcotest.test_case "syntax_verdict and missing answer tags" `Quick (fun () ->
+        let v = Reward.syntax_verdict "no <answer> tags" in
+        Alcotest.check category "syntax" A.Syntax_error v.A.category;
+        let src = parse "define i8 @f(i8 %x) {\nentry:\n  ret i8 %x\n}" in
+        let vc = Reward.verify_completion m0 ~src "a completion with no tags" in
+        Alcotest.check category "untagged completion" A.Syntax_error
+          vc.Reward.verdict.A.category);
+  ]
+
+let report_tests =
+  [
+    Alcotest.test_case "engine_stats report renders every counter block" `Quick (fun () ->
+        let e = Engine.create () in
+        let src = parse "define i8 @f(i8 %x) {\nentry:\n  ret i8 %x\n}" in
+        ignore (Engine.verify_funcs e m0 ~src ~tgt:src);
+        let buf = Buffer.create 256 in
+        let ppf = Format.formatter_of_buffer buf in
+        Veriopt.Report.engine_stats ppf e;
+        Format.pp_print_flush ppf ();
+        let out = Buffer.contents buf in
+        List.iter
+          (fun block ->
+            Alcotest.(check bool) (block ^ " present") true (contains out block))
+          [ "cache"; "tier"; "sat"; "VERIOPT_JOBS" ]);
+  ]
+
+let suite =
+  ( "engine",
+    cached_matches_fresh_tests @ tier1_tests @ cache_tests @ par_tests @ satellite_tests
+    @ report_tests )

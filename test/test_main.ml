@@ -12,5 +12,6 @@ let () =
       Test_data.suite;
       Test_llm.suite;
       Test_rl.suite;
+      Test_engine.suite;
       Test_core.suite;
     ]
