@@ -1,4 +1,4 @@
-.PHONY: all build test bench micro verify-bench clean
+.PHONY: all build test bench micro verify-bench chaos-bench check clean
 
 all: build
 
@@ -18,6 +18,18 @@ micro: build
 # uncached sequential SMT path.  Writes machine-readable BENCH_verify.json.
 verify-bench: build
 	dune exec bench/main.exe -- verify-bench
+
+# The resilience layer under chaos: deadline-bounded tail latency, 100%
+# injected solver timeouts, circuit breaker, crash-proof reward path.
+# Writes machine-readable BENCH_robust.json; exits non-zero if any fault
+# flips a conclusive verdict or escapes the reward guards.
+chaos-bench: build
+	dune exec bench/main.exe -- robust-bench
+
+# The full gate: build, unit tests, chaos smoke.
+check: build
+	dune runtest
+	dune exec bench/main.exe -- robust-bench
 
 clean:
 	dune clean

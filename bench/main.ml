@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- --full all   -- paper-sized counts (slow)
 
    Experiments: dataset table1 table2 table3 fig4 fig5 fig6 fig7 figs8to12
-   ablations discussion micro all. *)
+   ablations discussion verify-bench robust-bench micro all. *)
 
 module P = Veriopt.Pipeline
 module E = Veriopt.Evaluate
@@ -412,6 +412,187 @@ let run_verify_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* robust-bench: the resilience layer under chaos.  Two phases:
+
+   1. Deadline latency: verify a workload laced with SMT-hostile queries
+      (bit-blasted mul commutativity) with and without a wall-clock
+      deadline, and report p50/p99/max per-call latency for both legs —
+      the deadline must bound the tail.
+
+   2. Chaos loop: 100% injected solver timeouts plus parse/oracle/worker
+      faults, breaker armed, a GRPO-shaped verification sweep.  Reports
+      crash count (must be 0), degraded-verdict rate, breaker trips/skips,
+      engine failures absorbed — and checks the soundness invariant: a
+      fault may widen a verdict to Inconclusive but never flip it.
+
+   Emits machine-readable BENCH_robust.json. *)
+
+let run_robust_bench () =
+  header "ROBUST-BENCH (deadlines, fault injection, circuit breaker)";
+  let module Engine = Veriopt_alive.Engine in
+  let module Vcache = Veriopt_alive.Vcache in
+  let module Par = Veriopt_par.Par in
+  let module Fault = Veriopt_fault.Fault in
+  Fault.disable ();
+  let ds = S.build ~verify:false ~seed0:737373 ~n:12 () in
+  let samples = ds.S.samples in
+  (* --- phase 1: deadline-bounded tail latency ---------------------- *)
+  (* mul commutativity is trivial algebraically and brutal bit-blasted:
+     exactly the hostile-completion shape the deadline exists for *)
+  let hostile =
+    let text op =
+      Fmt.str "define i12 @f(i12 %%x, i12 %%y) {\nentry:\n  %%r = mul i12 %s\n  ret i12 %%r\n}"
+        op
+    in
+    let m = Veriopt_ir.Parser.parse_module (text "%x, %y") in
+    let src = List.hd m.Veriopt_ir.Ast.funcs in
+    let tgt = List.hd (Veriopt_ir.Parser.parse_module (text "%y, %x")).Veriopt_ir.Ast.funcs in
+    (m, src, tgt)
+  in
+  let easy_pairs = List.map (fun (s : S.sample) -> (s.S.modul, s.S.src, s.S.label)) samples in
+  let pairs = easy_pairs @ [ hostile; hostile; hostile ] in
+  let deadline_budget = 0.05 in
+  let run_leg ~with_deadline =
+    List.map
+      (fun (m, src, tgt) ->
+        let t0 = Unix.gettimeofday () in
+        let deadline = if with_deadline then Some (t0 +. deadline_budget) else None in
+        ignore (Alive.verify_funcs ~unroll:4 ~max_conflicts:10_000 ?deadline m ~src ~tgt);
+        Unix.gettimeofday () -. t0)
+      pairs
+  in
+  let pctl latencies p =
+    let a = Array.of_list latencies in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n = 0 then 0. else a.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let summarize latencies =
+    (pctl latencies 0.5, pctl latencies 0.99, List.fold_left Float.max 0. latencies)
+  in
+  let free = run_leg ~with_deadline:false in
+  let bounded = run_leg ~with_deadline:true in
+  let f50, f99, fmax = summarize free in
+  let b50, b99, bmax = summarize bounded in
+  let ms x = 1000. *. x in
+  Fmt.pf fmt "  deadline phase: %d verifications (%d SMT-hostile), budget %.0fms@."
+    (List.length pairs) 3 (ms deadline_budget);
+  Fmt.pf fmt "  no deadline:   p50 %7.1fms  p99 %8.1fms  max %8.1fms@." (ms f50) (ms f99)
+    (ms fmax);
+  Fmt.pf fmt "  with deadline: p50 %7.1fms  p99 %8.1fms  max %8.1fms@." (ms b50) (ms b99)
+    (ms bmax);
+  (* --- phase 2: chaos loop ---------------------------------------- *)
+  let module Capability = Veriopt_llm.Capability in
+  let base = Capability.base_3b () in
+  let rng = Random.State.make [| 4242 |] in
+  let group_size = 6 and rounds = 4 in
+  let groups =
+    List.map
+      (fun (s : S.sample) ->
+        ( s,
+          List.init group_size (fun _ ->
+              (Model.generate base ~mode:Prompt.Generic ~rng:(Some rng) ~sample_id:s.S.id
+                 s.S.modul s.S.src)
+                .Model.completion) ))
+      samples
+  in
+  let workload = List.concat (List.init rounds (fun _ -> groups)) in
+  let n_verifications = rounds * group_size * List.length samples in
+  let rcfg = { Reward.default_config with Reward.timeout = Some deadline_budget } in
+  (* fault-free reference verdicts, then the same sweep under chaos *)
+  let clean_engine = Engine.create () in
+  let clean =
+    List.concat_map
+      (fun ((s : S.sample), completions) ->
+        List.map
+          (fun c ->
+            (Reward.verify_completion ~cfg:rcfg ~engine:clean_engine s.S.modul ~src:s.S.src c)
+              .Reward.verdict.Alive.category)
+          completions)
+      workload
+  in
+  Reward.reset_engine_failures ();
+  (match
+     Fault.configure_string "seed=11,solver_timeout=1,parse_corrupt=0.15,oracle_exn=0.1,worker_exn=0.05"
+   with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let chaos_engine = Engine.create ~breaker_k:3 ~breaker_cooldown:8 () in
+  let crashes = ref 0 and batch_retries = ref 0 in
+  let chaos =
+    List.concat_map
+      (fun ((s : S.sample), completions) ->
+        let verify c =
+          (Reward.verify_completion ~cfg:rcfg ~engine:chaos_engine s.S.modul ~src:s.S.src c)
+            .Reward.verdict.Alive.category
+        in
+        match Par.run verify completions with
+        | cats -> cats
+        | exception Fault.Injected _ ->
+          (* a worker task died: retry the whole group sequentially *)
+          incr batch_retries;
+          List.map verify completions
+        | exception _ ->
+          incr crashes;
+          List.map (fun _ -> Alive.Inconclusive) completions)
+      workload
+  in
+  Fault.disable ();
+  let st = Engine.stats chaos_engine in
+  let flips = ref 0 and widened = ref 0 and degraded = ref 0 in
+  List.iter2
+    (fun cl ch ->
+      if ch = Alive.Inconclusive then incr degraded;
+      if ch <> cl then
+        if ch = Alive.Inconclusive then incr widened else incr flips)
+    clean chaos;
+  let degraded_rate = float_of_int !degraded /. float_of_int (max 1 n_verifications) in
+  Fmt.pf fmt
+    "  chaos sweep: %d verifications under 100%% solver timeouts + parse/oracle/worker faults@."
+    n_verifications;
+  Fmt.pf fmt "  crashes: %d uncaught, %d worker-death batch retries, %d engine failures absorbed@."
+    !crashes !batch_retries
+    (Reward.engine_failures ());
+  Fmt.pf fmt "  verdicts: %d widened to inconclusive, %d flipped (must be 0); degraded rate %.1f%%@."
+    !widened !flips (100. *. degraded_rate);
+  Fmt.pf fmt "  breaker: %d trips, %d tier-2 runs skipped@." st.Vcache.breaker_trips
+    st.Vcache.breaker_skips;
+  let json =
+    Fmt.str
+      {|{
+  "deadline": {
+    "budget_ms": %.1f, "verifications": %d, "hostile": 3,
+    "no_deadline": { "p50_ms": %.2f, "p99_ms": %.2f, "max_ms": %.2f },
+    "with_deadline": { "p50_ms": %.2f, "p99_ms": %.2f, "max_ms": %.2f }
+  },
+  "chaos": {
+    "verifications": %d,
+    "crashes": %d,
+    "batch_retries": %d,
+    "engine_failures": %d,
+    "degraded_rate": %.4f,
+    "verdicts_widened": %d,
+    "verdicts_flipped": %d,
+    "breaker_trips": %d,
+    "breaker_skips": %d
+  }
+}
+|}
+      (ms deadline_budget) (List.length pairs) (ms f50) (ms f99) (ms fmax) (ms b50) (ms b99)
+      (ms bmax) n_verifications !crashes !batch_retries
+      (Reward.engine_failures ())
+      degraded_rate !widened !flips st.Vcache.breaker_trips st.Vcache.breaker_skips
+  in
+  let oc = open_out "BENCH_robust.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pf fmt "  wrote BENCH_robust.json@.";
+  if !flips > 0 || !crashes > 0 then begin
+    Fmt.pf fmt "  ERROR: chaos flipped a conclusive verdict or escaped the reward guards@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the substrates; one Test.make per kernel. *)
 
 let run_micro () =
@@ -482,7 +663,7 @@ let () =
   let wants x = List.mem "all" experiments || List.mem x experiments in
   (* micro and verify-bench are standalone: they build their own workloads
      and must not pay for (or pollute) the full training pipeline *)
-  let standalone = [ "micro"; "verify-bench" ] in
+  let standalone = [ "micro"; "verify-bench"; "robust-bench" ] in
   let needs_evals =
     List.mem "all" experiments
     || List.exists (fun x -> not (List.mem x standalone)) experiments
@@ -503,5 +684,6 @@ let () =
     if wants "engine" then run_engine_stats e
   end;
   if wants "verify-bench" then run_verify_bench ();
+  if wants "robust-bench" then run_robust_bench ();
   if wants "micro" then run_micro ();
   Fmt.pf fmt "@.done.@."

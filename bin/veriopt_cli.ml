@@ -100,13 +100,54 @@ let train_cmd =
   let train_n = Arg.(value & opt int 140 & info [ "train-samples" ] ~doc:"Training set size") in
   let val_n = Arg.(value & opt int 200 & info [ "val-samples" ] ~doc:"Validation set size") in
   let steps = Arg.(value & opt int 160 & info [ "grpo-steps" ] ~doc:"GRPO steps per stage") in
-  let run train_n val_n steps =
+  let checkpoint_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:"Write a per-stage training snapshot into $(docv) every N GRPO steps")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 25
+      & info [ "checkpoint-every" ]
+          ~doc:"Snapshot period in GRPO steps (0: only at stage end)")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume each stage from its snapshot in --checkpoint-dir; the resumed \
+             trajectory is bit-identical to an uninterrupted run")
+  in
+  let verify_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "verify-timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-candidate verification wall-clock budget (verdict: inconclusive)")
+  in
+  let run train_n val_n steps checkpoint_dir checkpoint_every resume verify_timeout =
+    if resume && checkpoint_dir = None then begin
+      Fmt.epr "error: --resume requires --checkpoint-dir@.";
+      exit 2
+    end;
     let scale =
       {
         Veriopt.Pipeline.quick with
         Veriopt.Pipeline.n_train = train_n;
         n_validation = val_n;
-        opts = { Trainer.default_options with Trainer.grpo_steps = steps; verbose = true };
+        opts =
+          {
+            Trainer.default_options with
+            Trainer.grpo_steps = steps;
+            verbose = true;
+            checkpoint_dir;
+            checkpoint_every;
+            resume;
+            verify_timeout;
+          };
       }
     in
     let a = Veriopt.Pipeline.build ~scale ~progress:(Fmt.epr "%s@.") () in
@@ -118,7 +159,9 @@ let train_cmd =
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Run the four-model training pipeline and report accuracy")
-    Term.(const run $ train_n $ val_n $ steps)
+    Term.(
+      const run $ train_n $ val_n $ steps $ checkpoint_dir $ checkpoint_every $ resume
+      $ verify_timeout)
 
 let dataset_cmd =
   let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of samples") in

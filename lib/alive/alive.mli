@@ -23,17 +23,21 @@ val signature_matches : Veriopt_ir.Ast.func -> Veriopt_ir.Ast.func -> bool
 val verify_funcs :
   ?unroll:int ->
   ?max_conflicts:int ->
+  ?deadline:float ->
   Veriopt_ir.Ast.modul ->
   src:Veriopt_ir.Ast.func ->
   tgt:Veriopt_ir.Ast.func ->
   verdict
 (** Does [tgt] refine [src]?  Both functions must already be well-formed;
     route untrusted text through {!verify_text}.  [unroll] bounds loop
-    unrolling (default 4); [max_conflicts] is the solver budget. *)
+    unrolling (default 4); [max_conflicts] is the solver budget; [deadline]
+    is an absolute wall-clock instant — past it the solver reports
+    [Inconclusive] instead of continuing. *)
 
 val verify_text :
   ?unroll:int ->
   ?max_conflicts:int ->
+  ?deadline:float ->
   Veriopt_ir.Ast.modul ->
   src:Veriopt_ir.Ast.func ->
   tgt_text:string ->

@@ -3,14 +3,23 @@
 open Veriopt_ir
 module Interp = Veriopt_eval.Interp
 module Exec_oracle = Veriopt_eval.Exec_oracle
+module Fault = Veriopt_fault.Fault
 
 type t = {
   cache : Alive.verdict Vcache.t;
   tier1_samples : int;
+  breaker_k : int; (* 0 disables the circuit breaker *)
+  breaker_cooldown : int;
 }
 
-let create ?(capacity = 8192) ?(tier1_samples = 16) () =
-  { cache = Vcache.create ~capacity (); tier1_samples = max 0 tier1_samples }
+let create ?(capacity = 8192) ?(tier1_samples = 16) ?(breaker_k = 0) ?(breaker_cooldown = 16)
+    () =
+  {
+    cache = Vcache.create ~capacity ();
+    tier1_samples = max 0 tier1_samples;
+    breaker_k = max 0 breaker_k;
+    breaker_cooldown = max 1 breaker_cooldown;
+  }
 
 let shared_engine = lazy (create ())
 let shared () = Lazy.force shared_engine
@@ -19,6 +28,46 @@ let stats t = Vcache.stats t.cache
 let reset_stats t = Vcache.reset t.cache
 
 let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* Canonical-text memoization (cheaper cache keys).
+
+   Building a Vcache.key used to re-print the module and both functions on
+   every engine call (~50us — more than an easy SMT query).  Within a GRPO
+   group / bench round the module and source function are physically the
+   same values over and over, so a tiny physical-equality-keyed ring buffer
+   recovers almost all of that cost without hashing the AST.  (Freshly
+   parsed targets still print once each, as they must.) *)
+
+let canon_slots = 32
+
+type canon_entry = { cobj : Obj.t; ctext : string }
+
+let canon_tbl : canon_entry option array = Array.make canon_slots None
+let canon_next = ref 0
+let canon_mutex = Mutex.create ()
+
+let canon (print : 'a -> string) (x : 'a) : string =
+  let r = Obj.repr x in
+  Mutex.lock canon_mutex;
+  let found = ref None in
+  Array.iter
+    (function Some e when e.cobj == r -> found := Some e.ctext | _ -> ())
+    canon_tbl;
+  match !found with
+  | Some text ->
+    Mutex.unlock canon_mutex;
+    text
+  | None ->
+    (* print outside the lock: concurrent duplicate work is rare and
+       harmless, serializing every print would not be *)
+    Mutex.unlock canon_mutex;
+    let text = print x in
+    Mutex.lock canon_mutex;
+    canon_tbl.(!canon_next) <- Some { cobj = r; ctext = text };
+    canon_next := (!canon_next + 1) mod canon_slots;
+    Mutex.unlock canon_mutex;
+    text
 
 (* ------------------------------------------------------------------ *)
 (* Tier 1: concrete counterexample hunt *)
@@ -75,7 +124,7 @@ let tier1_verdict (m : Ast.modul) (src : Ast.func) (tgt : Ast.func) ~bounded
 
 (* ------------------------------------------------------------------ *)
 
-let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) (t : t) (m : Ast.modul)
+let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline (t : t) (m : Ast.modul)
     ~(src : Ast.func) ~(tgt : Ast.func) : Alive.verdict =
   if not (Alive.signature_matches src tgt) then
     (* tier 0, mirror of Alive.verify_funcs: cheap, never cached *)
@@ -89,9 +138,9 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) (t : t) (m : Ast.modul
   else
     let key =
       {
-        Vcache.ctx = Printer.module_to_string m;
-        src = Printer.func_to_string src;
-        tgt = Printer.func_to_string tgt;
+        Vcache.ctx = canon Printer.module_to_string m;
+        src = canon Printer.func_to_string src;
+        tgt = canon Printer.func_to_string tgt;
         unroll;
         max_conflicts;
       }
@@ -99,11 +148,43 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) (t : t) (m : Ast.modul
     match Vcache.find t.cache key with
     | Some v -> v
     | None ->
+      (* fault site: artificial verification latency *)
+      if Fault.fire Fault.Verify_delay then
+        Unix.sleepf (Float.max 0. (Fault.param Fault.Verify_delay));
+      let bounded =
+        lazy (Cfg.has_loop (Cfg.of_func src) || Cfg.has_loop (Cfg.of_func tgt))
+      in
+      (* Transient verdicts — a tripped breaker or an expired deadline —
+         describe this call's budget, not the query; caching them would
+         poison every later, better-funded retry. *)
+      let cacheable = ref true in
       let tier2 () =
-        let t0 = now () in
-        let v = Alive.verify_funcs ~unroll ~max_conflicts m ~src ~tgt in
-        Vcache.note_tier2 t.cache ~seconds:(now () -. t0);
-        v
+        if t.breaker_k > 0 && Vcache.breaker_skip t.cache then begin
+          cacheable := false;
+          {
+            Alive.category = Alive.Inconclusive;
+            message =
+              Diagnostics.inconclusive_message
+                "circuit breaker open: SMT tier skipped (degraded mode)";
+            example = [];
+            bounded = Lazy.force bounded;
+            copy_of_input = false;
+          }
+        end
+        else begin
+          let t0 = now () in
+          let v = Alive.verify_funcs ~unroll ~max_conflicts ?deadline m ~src ~tgt in
+          Vcache.note_tier2 t.cache ~seconds:(now () -. t0);
+          if t.breaker_k > 0 then
+            Vcache.breaker_note t.cache
+              ~inconclusive:(v.Alive.category = Alive.Inconclusive)
+              ~k:t.breaker_k ~cooldown:t.breaker_cooldown;
+          (match deadline with
+          | Some d when v.Alive.category = Alive.Inconclusive && now () > d ->
+            cacheable := false
+          | _ -> ());
+          v
+        end
       in
       let verdict =
         (* an alpha-equal copy cannot have a concrete counterexample; skip
@@ -116,20 +197,20 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) (t : t) (m : Ast.modul
           match hunt with
           | Exec_oracle.Io_different args ->
             Vcache.note_tier1 t.cache ~hit:true ~seconds:dt;
-            let bounded =
-              Cfg.has_loop (Cfg.of_func src) || Cfg.has_loop (Cfg.of_func tgt)
-            in
-            tier1_verdict m src tgt ~bounded args
+            tier1_verdict m src tgt ~bounded:(Lazy.force bounded) args
           | Exec_oracle.Io_equivalent _ | Exec_oracle.Io_unsupported _ ->
             Vcache.note_tier1 t.cache ~hit:false ~seconds:dt;
             tier2 ()
         end
       in
-      Vcache.add t.cache key verdict;
+      if !cacheable then Vcache.add t.cache key verdict;
       verdict
 
-let verify_text ?unroll ?max_conflicts (t : t) (m : Ast.modul) ~(src : Ast.func)
+let verify_text ?unroll ?max_conflicts ?deadline (t : t) (m : Ast.modul) ~(src : Ast.func)
     ~(tgt_text : string) : Alive.verdict =
+  (* fault site: a crashing (not merely failing) parse; the crash-proof
+     reward path converts the exception into a counted engine failure *)
+  Fault.inject Fault.Parse_corrupt ~site:"engine.parse";
   match Parser.parse_func_result tgt_text with
   | Error msg ->
     {
@@ -149,4 +230,4 @@ let verify_text ?unroll ?max_conflicts (t : t) (m : Ast.modul) ~(src : Ast.func)
         bounded = false;
         copy_of_input = false;
       }
-    | Ok () -> verify_funcs ?unroll ?max_conflicts t m ~src ~tgt)
+    | Ok () -> verify_funcs ?unroll ?max_conflicts ?deadline t m ~src ~tgt)

@@ -25,10 +25,18 @@
 
 type t
 
-val create : ?capacity:int -> ?tier1_samples:int -> unit -> t
+val create :
+  ?capacity:int -> ?tier1_samples:int -> ?breaker_k:int -> ?breaker_cooldown:int -> unit -> t
 (** [capacity] bounds the verdict cache (default 8192 per generation);
     [tier1_samples] is the concrete-oracle battery size (default 16;
-    [0] disables tier 1). *)
+    [0] disables tier 1).
+
+    [breaker_k] (default 0 = disabled) arms the circuit breaker: after
+    [breaker_k] consecutive inconclusive tier-2 verdicts the SMT tier is
+    skipped for the next [breaker_cooldown] (default 16) would-be runs,
+    answering [Inconclusive] immediately — degraded mode only ever widens
+    [Inconclusive], never flips a conclusive verdict.  Trip and skip counts
+    surface in {!Vcache.stats}. *)
 
 val shared : unit -> t
 (** The process-wide engine, created on first use: training, evaluation and
@@ -37,16 +45,21 @@ val shared : unit -> t
 val verify_funcs :
   ?unroll:int ->
   ?max_conflicts:int ->
+  ?deadline:float ->
   t ->
   Veriopt_ir.Ast.modul ->
   src:Veriopt_ir.Ast.func ->
   tgt:Veriopt_ir.Ast.func ->
   Alive.verdict
-(** Tiered + cached equivalent of {!Alive.verify_funcs} (same defaults). *)
+(** Tiered + cached equivalent of {!Alive.verify_funcs} (same defaults).
+    [deadline] is an absolute [Unix.gettimeofday] instant: past it the SMT
+    tier answers [Inconclusive] instead of continuing.  Deadline-expired and
+    breaker-skipped verdicts are transient and never cached. *)
 
 val verify_text :
   ?unroll:int ->
   ?max_conflicts:int ->
+  ?deadline:float ->
   t ->
   Veriopt_ir.Ast.modul ->
   src:Veriopt_ir.Ast.func ->

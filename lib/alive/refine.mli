@@ -11,4 +11,5 @@ type outcome =
   | Counterexample of Veriopt_smt.Solver.model
   | Unknown
 
-val check : ?max_conflicts:int -> Encode.summary -> Encode.summary -> outcome
+val check : ?max_conflicts:int -> ?deadline:float -> Encode.summary -> Encode.summary -> outcome
+(** [deadline] is an absolute wall-clock instant forwarded to the solver. *)

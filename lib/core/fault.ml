@@ -1,0 +1,200 @@
+(** Deterministic fault injection for the resilience layer.
+
+    Faults are configured either through the [VERIOPT_FAULTS] environment
+    variable or the {!configure} API, and fire deterministically: the n-th
+    check of a given kind fires iff a hash of (seed, kind, n) falls under the
+    configured rate.  Runs with the same spec and the same call sequence see
+    the same faults, which is what makes chaos tests reproducible.
+
+    Spec grammar (comma-separated clauses):
+
+    {v
+      spec    ::= clause ("," clause)*
+      clause  ::= "seed=" INT
+                | KIND "=" RATE (":" PARAM)?
+      KIND    ::= solver_timeout | parse_corrupt | verify_delay
+                | worker_exn | oracle_exn | trainer_abort
+      RATE    ::= float in [0, 1]
+      PARAM   ::= float (kind-specific: seconds for verify_delay,
+                  last completed step for trainer_abort)
+    v}
+
+    e.g. [VERIOPT_FAULTS="seed=7,solver_timeout=1.0,verify_delay=0.25:0.002"]. *)
+
+type kind =
+  | Solver_timeout  (** the SAT budget is reported exhausted without solving *)
+  | Parse_corrupt  (** the engine's parse site raises [Injected] *)
+  | Verify_delay  (** the engine sleeps [param] seconds before verifying *)
+  | Worker_exn  (** a Par pool task raises [Injected] *)
+  | Oracle_exn  (** the concrete I/O oracle raises [Injected] *)
+  | Trainer_abort  (** the trainer aborts after step [param] (kill simulation) *)
+
+exception Injected of string
+
+let all_kinds =
+  [ Solver_timeout; Parse_corrupt; Verify_delay; Worker_exn; Oracle_exn; Trainer_abort ]
+
+let nkinds = List.length all_kinds
+
+let index = function
+  | Solver_timeout -> 0
+  | Parse_corrupt -> 1
+  | Verify_delay -> 2
+  | Worker_exn -> 3
+  | Oracle_exn -> 4
+  | Trainer_abort -> 5
+
+let kind_name = function
+  | Solver_timeout -> "solver_timeout"
+  | Parse_corrupt -> "parse_corrupt"
+  | Verify_delay -> "verify_delay"
+  | Worker_exn -> "worker_exn"
+  | Oracle_exn -> "oracle_exn"
+  | Trainer_abort -> "trainer_abort"
+
+let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
+
+type spec = { rate : float; param : float }
+type config = { seed : int; specs : spec option array (* indexed by {!index} *) }
+
+let empty_config () = { seed = 0; specs = Array.make nkinds None }
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing *)
+
+let parse (s : string) : (config, string) result =
+  let clauses =
+    String.split_on_char ',' s |> List.map String.trim |> List.filter (fun c -> c <> "")
+  in
+  let cfg = empty_config () in
+  let seed = ref 0 in
+  let rec go = function
+    | [] -> Ok { cfg with seed = !seed }
+    | clause :: rest -> (
+      match String.index_opt clause '=' with
+      | None -> Error (Printf.sprintf "fault clause %S: expected key=value" clause)
+      | Some i -> (
+        let key = String.trim (String.sub clause 0 i) in
+        let value = String.trim (String.sub clause (i + 1) (String.length clause - i - 1)) in
+        if key = "seed" then
+          match int_of_string_opt value with
+          | Some n ->
+            seed := n;
+            go rest
+          | None -> Error (Printf.sprintf "fault seed %S: expected an integer" value)
+        else
+          match kind_of_name key with
+          | None -> Error (Printf.sprintf "unknown fault kind %S" key)
+          | Some k -> (
+            let rate_s, param_s =
+              match String.index_opt value ':' with
+              | None -> (value, None)
+              | Some j ->
+                ( String.sub value 0 j,
+                  Some (String.sub value (j + 1) (String.length value - j - 1)) )
+            in
+            match (float_of_string_opt rate_s, Option.map float_of_string_opt param_s) with
+            | None, _ -> Error (Printf.sprintf "fault rate %S: expected a float" rate_s)
+            | _, Some None ->
+              Error
+                (Printf.sprintf "fault param %S: expected a float"
+                   (Option.value ~default:"" param_s))
+            | Some rate, param ->
+              if rate < 0. || rate > 1. then
+                Error (Printf.sprintf "fault rate %g out of [0, 1]" rate)
+              else begin
+                cfg.specs.(index k) <-
+                  Some { rate; param = Option.value ~default:0. (Option.join param) };
+                go rest
+              end)))
+  in
+  go clauses
+
+(* ------------------------------------------------------------------ *)
+(* Global state.  The active config is an immutable record behind an Atomic
+   so the hot-path check is one load; counters are per-kind atomics. *)
+
+let current : config option Atomic.t = Atomic.make None
+let initialized = Atomic.make false
+let checked = Array.init nkinds (fun _ -> Atomic.make 0)
+let fired = Array.init nkinds (fun _ -> Atomic.make 0)
+
+let reset_stats () =
+  Array.iter (fun c -> Atomic.set c 0) checked;
+  Array.iter (fun c -> Atomic.set c 0) fired
+
+let configure (cfg : config) =
+  Atomic.set initialized true;
+  Atomic.set current (Some cfg)
+
+let configure_string (s : string) : (unit, string) result =
+  match parse s with
+  | Ok cfg ->
+    configure cfg;
+    Ok ()
+  | Error e -> Error e
+
+let disable () =
+  Atomic.set initialized true;
+  Atomic.set current None
+
+let init_from_env () =
+  if not (Atomic.get initialized) then begin
+    Atomic.set initialized true;
+    match Sys.getenv_opt "VERIOPT_FAULTS" with
+    | None | Some "" -> ()
+    | Some s -> (
+      match parse s with
+      | Ok cfg -> Atomic.set current (Some cfg)
+      | Error e -> Printf.eprintf "veriopt: ignoring invalid VERIOPT_FAULTS: %s\n%!" e)
+  end
+
+let config () =
+  init_from_env ();
+  Atomic.get current
+
+let enabled () = config () <> None
+
+let spec_of (k : kind) : spec option =
+  match config () with None -> None | Some c -> c.specs.(index k)
+
+(* ------------------------------------------------------------------ *)
+(* Firing *)
+
+let coin ~seed ~kind_idx ~n ~rate =
+  if rate >= 1.0 then true
+  else if rate <= 0.0 then false
+  else
+    let h = Hashtbl.hash (seed, kind_idx, n, "veriopt-fault") in
+    float_of_int (h land 0xFFFFFF) /. 16777216.0 < rate
+
+let fire (k : kind) : bool =
+  match config () with
+  | None -> false
+  | Some c -> (
+    let i = index k in
+    match c.specs.(i) with
+    | None -> false
+    | Some s ->
+      let n = Atomic.fetch_and_add checked.(i) 1 in
+      let hit = coin ~seed:c.seed ~kind_idx:i ~n ~rate:s.rate in
+      if hit then ignore (Atomic.fetch_and_add fired.(i) 1);
+      hit)
+
+let param (k : kind) : float =
+  match spec_of k with None -> 0. | Some s -> s.param
+
+let inject (k : kind) ~(site : string) : unit =
+  if fire k then raise (Injected (Printf.sprintf "injected %s at %s" (kind_name k) site))
+
+let abort_after () : int option =
+  match spec_of Trainer_abort with None -> None | Some s -> Some (int_of_float s.param)
+
+type counters = { kind : kind; checks : int; fires : int }
+
+let stats () : counters list =
+  List.map
+    (fun k ->
+      let i = index k in
+      { kind = k; checks = Atomic.get checked.(i); fires = Atomic.get fired.(i) })
+    all_kinds

@@ -1,0 +1,66 @@
+(** Deterministic, seeded fault injection for the resilience layer.
+
+    Configure with the [VERIOPT_FAULTS] environment variable (read once, on
+    first query) or programmatically via {!configure}/{!configure_string}.
+    Sites in the engine, the Par pool, the oracle, the solver, and the
+    trainer ask {!fire}/{!inject} whether to misbehave; with no configuration
+    the checks cost one atomic load.
+
+    Spec grammar (comma-separated):
+    [seed=INT] and [KIND=RATE[:PARAM]] clauses, where [KIND] is one of
+    [solver_timeout], [parse_corrupt], [verify_delay], [worker_exn],
+    [oracle_exn], [trainer_abort]; [RATE] is in [0, 1]; [PARAM] is
+    kind-specific (seconds for [verify_delay], the last completed step for
+    [trainer_abort]).
+
+    Determinism: the n-th check of a kind fires iff a hash of
+    (seed, kind, n) falls under the rate, so identical specs and call
+    sequences see identical faults. *)
+
+type kind =
+  | Solver_timeout  (** the SAT budget is reported exhausted without solving *)
+  | Parse_corrupt  (** the engine's parse site raises {!Injected} *)
+  | Verify_delay  (** the engine sleeps [param] seconds before verifying *)
+  | Worker_exn  (** a Par pool task raises {!Injected} *)
+  | Oracle_exn  (** the concrete I/O oracle raises {!Injected} *)
+  | Trainer_abort  (** the trainer aborts after step [param] (kill simulation) *)
+
+exception Injected of string
+(** The exception every exception-kind site raises; the crash-proof reward
+    path must convert it (like any other exception) into a counted
+    engine-failure verdict. *)
+
+val all_kinds : kind list
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+
+type spec = { rate : float; param : float }
+type config = { seed : int; specs : spec option array }
+
+val parse : string -> (config, string) result
+(** Parse a fault spec string (the [VERIOPT_FAULTS] grammar). *)
+
+val configure : config -> unit
+val configure_string : string -> (unit, string) result
+val disable : unit -> unit
+(** Turn all injection off (and stop consulting the environment). *)
+
+val enabled : unit -> bool
+
+val fire : kind -> bool
+(** Deterministic coin for one site visit; counts the check and (when true)
+    the fire.  Always [false] when the kind is unconfigured. *)
+
+val param : kind -> float
+(** The configured kind parameter, [0.] when unset. *)
+
+val inject : kind -> site:string -> unit
+(** [fire] and raise {!Injected} naming the site. *)
+
+val abort_after : unit -> int option
+(** The [trainer_abort] step parameter, when configured. *)
+
+type counters = { kind : kind; checks : int; fires : int }
+
+val stats : unit -> counters list
+val reset_stats : unit -> unit

@@ -1,5 +1,7 @@
 (** Fixed-size [Domain] work pool with deterministic-order [map]. *)
 
+module Fault = Veriopt_fault.Fault
+
 type t = {
   jobs : int;
   queue : (unit -> unit) Queue.t;
@@ -69,7 +71,12 @@ let map (p : t) (f : 'a -> 'b) (xs : 'a list) : 'b list =
     let done_cond = Condition.create () in
     let task i () =
       let r =
-        try Ok (f arr.(i)) with e -> Error (e, Printexc.get_raw_backtrace ())
+        try
+          (* fault site: a worker task dying mid-flight; [map]'s existing
+             collect-then-reraise path must deliver it to the caller *)
+          Fault.inject Fault.Worker_exn ~site:"par.task";
+          Ok (f arr.(i))
+        with e -> Error (e, Printexc.get_raw_backtrace ())
       in
       results.(i) <- Some r;
       if Atomic.fetch_and_add remaining (-1) = 1 then begin
@@ -116,10 +123,23 @@ let map (p : t) (f : 'a -> 'b) (xs : 'a list) : 'b list =
 (* ------------------------------------------------------------------ *)
 (* The process-wide shared pool. *)
 
+let warned_bad_jobs = ref false
+
 let default_jobs () =
+  let recommended () = min 8 (Domain.recommended_domain_count ()) in
   match Sys.getenv_opt "VERIOPT_JOBS" with
-  | Some s -> ( match int_of_string_opt (String.trim s) with Some j when j >= 1 -> j | _ -> 1)
-  | None -> min 8 (Domain.recommended_domain_count ())
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> j
+    | _ ->
+      (* an unparseable or non-positive setting used to silently force
+         jobs=1 — fall back to the recommended size and say so once *)
+      if not !warned_bad_jobs then begin
+        warned_bad_jobs := true;
+        Printf.eprintf "veriopt: ignoring invalid VERIOPT_JOBS=%S (want an integer >= 1)\n%!" s
+      end;
+      recommended ())
+  | None -> recommended ()
 
 let shared_pool : t option ref = ref None
 let shared_mutex = Mutex.create ()

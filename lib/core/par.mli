@@ -28,6 +28,12 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     is deterministic (by input index).  If any [f x] raises, the first
     exception (in input order) is re-raised after all tasks settle. *)
 
+val default_jobs : unit -> int
+(** The shared pool's sizing rule: [VERIOPT_JOBS] when it parses as an
+    integer [>= 1]; otherwise the runtime's recommended domain count capped
+    at 8.  An invalid setting is reported once on stderr rather than
+    silently degrading to sequential execution. *)
+
 val shared : unit -> t
 (** The process-wide pool, created on first use and sized by
     [VERIOPT_JOBS]; shut down automatically at exit. *)

@@ -228,4 +228,9 @@ let engine_stats ppf (engine : Veriopt_alive.Engine.t) =
   Fmt.pf ppf "  sat:    %d checks, %d conflicts, %d decisions, %d propagations@."
     sat.Veriopt_smt.Solver.checks sat.Veriopt_smt.Solver.conflicts
     sat.Veriopt_smt.Solver.decisions sat.Veriopt_smt.Solver.propagations;
+  if s.Veriopt_alive.Vcache.breaker_trips > 0 || s.Veriopt_alive.Vcache.breaker_skips > 0 then
+    Fmt.pf ppf "  breaker: %d trips, %d tier-2 runs skipped while open@."
+      s.Veriopt_alive.Vcache.breaker_trips s.Veriopt_alive.Vcache.breaker_skips;
+  (let ef = Veriopt_rl.Reward.engine_failures () in
+   if ef > 0 then Fmt.pf ppf "  reward: %d engine failures absorbed as inconclusive@." ef);
   Fmt.pf ppf "  pool:   VERIOPT_JOBS=%d@." (Veriopt_par.Par.shared_jobs ())

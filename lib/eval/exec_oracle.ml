@@ -43,6 +43,8 @@ let run_one (m : modul) (f : func) (args : Interp.value list) =
     LIMIT=32 of the paper's artifact).  Mirrors the refinement direction:
     source UB tolerates anything; otherwise observations must agree. *)
 let equivalent ?(samples = 32) ?(seed = 7) (m : modul) ~(src : func) ~(tgt : func) : verdict =
+  (* fault site: the concrete oracle crashing on a hostile candidate *)
+  Veriopt_fault.Fault.inject Veriopt_fault.Fault.Oracle_exn ~site:"exec_oracle.equivalent";
   if
     List.length src.params <> List.length tgt.params
     || List.exists (fun (ty, _) -> not (Types.is_integer ty)) src.params

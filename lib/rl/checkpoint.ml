@@ -1,0 +1,65 @@
+(** Versioned, atomically-written training snapshots.
+
+    A snapshot is everything a GRPO stage loop consumes or mutates: the model
+    parameters, the stage RNG, the last completed step and the running
+    metrics (plus stage 1's harvested failures).  [Marshal] round-trips the
+    [Random.State.t] and the parameter table exactly, so a resumed run
+    replays the uninterrupted trajectory bit for bit.
+
+    Files are written tmp + rename so a crash mid-write can never leave a
+    torn snapshot: the previous one survives untouched. *)
+
+module Model = Veriopt_llm.Model
+
+let magic = "VERIOPT-CKPT"
+let version = 1
+
+type snapshot = {
+  stage : string;  (** which stage loop wrote this (e.g. "model-zero") *)
+  step : int;  (** last completed GRPO step *)
+  model : Model.t;
+  rng : Random.State.t;
+  rewards_rev : float list;  (** per-step mean rewards, most recent first *)
+  failures_rev : Sft.failure_record list;  (** stage-1 harvest, most recent first *)
+}
+
+let path ~dir ~stage = Filename.concat dir (stage ^ ".ckpt")
+
+let save ~dir (snap : snapshot) : unit =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let final = path ~dir ~stage:snap.stage in
+  let tmp = final ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      output_binary_int oc version;
+      Marshal.to_channel oc snap []);
+  Sys.rename tmp final
+
+let load ~dir ~stage : (snapshot, string) result =
+  let file = path ~dir ~stage in
+  if not (Sys.file_exists file) then Error (Printf.sprintf "no checkpoint at %s" file)
+  else
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match
+          let got_magic = really_input_string ic (String.length magic) in
+          let got_version = input_binary_int ic in
+          (got_magic, got_version)
+        with
+        | exception _ -> Error (Printf.sprintf "%s: truncated or not a checkpoint" file)
+        | got_magic, _ when got_magic <> magic ->
+          Error (Printf.sprintf "%s: bad magic (not a veriopt checkpoint)" file)
+        | _, got_version when got_version <> version ->
+          Error
+            (Printf.sprintf "%s: checkpoint version %d, this binary reads %d" file got_version
+               version)
+        | _ -> (
+          match (Marshal.from_channel ic : snapshot) with
+          | snap when snap.stage = stage -> Ok snap
+          | snap -> Error (Printf.sprintf "%s: stage %S, expected %S" file snap.stage stage)
+          | exception _ -> Error (Printf.sprintf "%s: corrupt snapshot payload" file)))

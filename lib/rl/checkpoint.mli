@@ -1,0 +1,27 @@
+(** Versioned, atomically-written training snapshots (checkpoint/resume).
+
+    One file per stage ([<dir>/<stage>.ckpt]), overwritten in place via
+    tmp + rename: a crash mid-write leaves the previous snapshot intact.
+    Because [Marshal] round-trips the RNG state and the parameter table
+    exactly, resuming from a snapshot written after step [N] reproduces the
+    uninterrupted run's remaining steps bit for bit. *)
+
+type snapshot = {
+  stage : string;  (** which stage loop wrote this (e.g. "model-zero") *)
+  step : int;  (** last completed GRPO step *)
+  model : Veriopt_llm.Model.t;
+  rng : Random.State.t;
+  rewards_rev : float list;  (** per-step mean rewards, most recent first *)
+  failures_rev : Sft.failure_record list;
+      (** stage-1 harvest, most recent first; [[]] for other stages *)
+}
+
+val path : dir:string -> stage:string -> string
+(** [<dir>/<stage>.ckpt]. *)
+
+val save : dir:string -> snapshot -> unit
+(** Atomic write; creates [dir] if missing. *)
+
+val load : dir:string -> stage:string -> (snapshot, string) result
+(** Validates the magic header, the format version and the stage name;
+    the error string says which check failed. *)

@@ -26,9 +26,36 @@ type verified_candidate = {
   answer_text : string option;
 }
 
-type config = { unroll : int; max_conflicts : int }
+type config = { unroll : int; max_conflicts : int; timeout : float option }
 
-let default_config = { unroll = 4; max_conflicts = 60_000 }
+let default_config = { unroll = 4; max_conflicts = 60_000; timeout = None }
+
+(* A per-call timeout becomes an absolute deadline at the moment the
+   verification starts, not when the config was built. *)
+let deadline_of cfg = Option.map (fun s -> Unix.gettimeofday () +. s) cfg.timeout
+
+(* ------------------------------------------------------------------ *)
+(* Crash-proof verification: a hostile completion (or an injected fault)
+   that makes the engine raise must cost one candidate its reward, not the
+   training run its life.  The exception is converted into a counted
+   engine-failure verdict, scored exactly like [Inconclusive]. *)
+
+let engine_failure_count = Atomic.make 0
+
+let engine_failures () = Atomic.get engine_failure_count
+let reset_engine_failures () = Atomic.set engine_failure_count 0
+
+let engine_failure_verdict (exn : exn) : Alive.verdict =
+  Atomic.incr engine_failure_count;
+  {
+    Alive.category = Alive.Inconclusive;
+    message =
+      Veriopt_alive.Diagnostics.inconclusive_message
+        ("verification engine failure: " ^ Printexc.to_string exn);
+    example = [];
+    bounded = false;
+    copy_of_input = false;
+  }
 
 (** A [Syntax_error] verdict record, the shape every reward path needs when
     the completion never reaches the verifier. *)
@@ -51,8 +78,13 @@ let verify_completion ?(cfg = default_config) ?engine (modul : Ast.modul) ~(src 
     { verdict = syntax_verdict "missing <answer> tags"; parsed = None; answer_text = None }
   | Some answer ->
     let verdict =
-      Engine.verify_text ~unroll:cfg.unroll ~max_conflicts:cfg.max_conflicts engine modul ~src
-        ~tgt_text:answer
+      match
+        Engine.verify_text ~unroll:cfg.unroll ~max_conflicts:cfg.max_conflicts
+          ?deadline:(deadline_of cfg) engine modul ~src ~tgt_text:answer
+      with
+      | v -> v
+      | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+      | exception e -> engine_failure_verdict e
     in
     let parsed =
       match Parser.parse_func_result answer with Ok f -> Some f | Error _ -> None
@@ -92,8 +124,13 @@ let cot_agreement ?(cfg = default_config) ?engine (modul : Ast.modul) ~(src : As
     ~(claimed : Diag.error_class) ~(think_attempt : string) ~(model_message : string) : float =
   let engine = match engine with Some e -> e | None -> Engine.shared () in
   let verdict =
-    Engine.verify_text ~unroll:cfg.unroll ~max_conflicts:cfg.max_conflicts engine modul ~src
-      ~tgt_text:think_attempt
+    match
+      Engine.verify_text ~unroll:cfg.unroll ~max_conflicts:cfg.max_conflicts
+        ?deadline:(deadline_of cfg) engine modul ~src ~tgt_text:think_attempt
+    with
+    | v -> v
+    | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+    | exception e -> engine_failure_verdict e
   in
   let truth_ok = verdict.Alive.category = Alive.Equivalent in
   let model_ok = claimed = Diag.C_ok in

@@ -7,12 +7,21 @@ type verified_candidate = {
   answer_text : string option;
 }
 
-type config = { unroll : int; max_conflicts : int }
+type config = { unroll : int; max_conflicts : int; timeout : float option }
 (** Verifier budget shared by every reward path (one definition instead of
-    per-call-site magic numbers). *)
+    per-call-site magic numbers).  [timeout], when set, is a per-candidate
+    wall-clock budget in seconds, converted to an absolute deadline when each
+    verification starts; past it the verdict is [Inconclusive]. *)
 
 val default_config : config
-(** [unroll = 4], [max_conflicts = 60_000] — the evaluation defaults. *)
+(** [unroll = 4], [max_conflicts = 60_000], [timeout = None] — the
+    evaluation defaults. *)
+
+val engine_failures : unit -> int
+(** Verifications that raised and were converted to an engine-failure
+    verdict (process-wide, since process start or the last reset). *)
+
+val reset_engine_failures : unit -> unit
 
 val syntax_verdict : string -> Veriopt_alive.Alive.verdict
 (** A [Syntax_error] verdict with the given detail message. *)
@@ -26,7 +35,9 @@ val verify_completion :
   verified_candidate
 (** Run the verifier over a raw model completion (format check included),
     through the tiered + cached engine ({!Veriopt_alive.Engine.shared} by
-    default). *)
+    default).  Crash-proof: any exception the engine raises (other than
+    [Stack_overflow]/[Out_of_memory]) becomes a counted engine-failure
+    verdict, scored like [Inconclusive] — see {!engine_failures}. *)
 
 val correctness :
   format_ok:bool -> equivalent:bool -> exact_match:bool -> bleu:float -> float

@@ -20,6 +20,7 @@ module Alive = Veriopt_alive.Alive
 module Suite = Veriopt_data.Suite
 module Latency = Veriopt_cost.Latency
 module Par = Veriopt_par.Par
+module Fault = Veriopt_fault.Fault
 
 (* Group scoring below runs on the Par pool: generation (which touches the
    model's parameter table) and GRPO updates stay sequential; only the
@@ -35,6 +36,10 @@ type options = {
   seed : int;
   max_conflicts : int;
   verbose : bool;
+  checkpoint_dir : string option;
+  checkpoint_every : int;
+  resume : bool;
+  verify_timeout : float option;
 }
 
 let default_options =
@@ -46,6 +51,10 @@ let default_options =
     seed = 1;
     max_conflicts = 40_000;
     verbose = false;
+    checkpoint_dir = None;
+    checkpoint_every = 25;
+    resume = false;
+    verify_timeout = None;
   }
 
 type stage_log = { raw_rewards : float list; ema_rewards : float list }
@@ -53,6 +62,83 @@ type stage_log = { raw_rewards : float list; ema_rewards : float list }
 let log_of rewards = { raw_rewards = rewards; ema_rewards = Grpo.ema rewards }
 
 let sample_at (samples : Suite.sample array) rng = samples.(Random.State.int rng (Array.length samples))
+
+(* ------------------------------------------------------------------ *)
+(* The shared GRPO stage loop: checkpoint/resume and the kill-simulation
+   fault site live here so all three stages inherit them identically.
+
+   The whole mutable footprint of one stage — model, RNG, last completed
+   step, running metrics, stage 1's failure harvest — travels together as
+   [Checkpoint.snapshot]; the per-step reward logic is a callback.  Resume
+   restores the snapshot and continues the loop from [step + 1] with the
+   identical RNG state, so the trajectory matches an uninterrupted run bit
+   for bit. *)
+
+type stage_state = {
+  st_model : Model.t;
+  st_rng : Random.State.t;
+  mutable st_rewards_rev : float list;
+  mutable st_failures_rev : Sft.failure_record list;
+}
+
+let run_stage ~(opts : options) ~(stage : string) ~(fresh : unit -> Model.t) ~(rng_salt : int)
+    ~(step_fn : stage_state -> unit) : stage_state =
+  let fresh_state () =
+    ( {
+        st_model = fresh ();
+        st_rng = Random.State.make [| opts.seed; rng_salt |];
+        st_rewards_rev = [];
+        st_failures_rev = [];
+      },
+      0 )
+  in
+  let state, last_done =
+    match opts.checkpoint_dir with
+    | Some dir when opts.resume -> (
+      match Checkpoint.load ~dir ~stage with
+      | Ok snap ->
+        if opts.verbose then Fmt.epr "[%s] resuming after step %d@." stage snap.Checkpoint.step;
+        ( {
+            st_model = snap.Checkpoint.model;
+            st_rng = snap.Checkpoint.rng;
+            st_rewards_rev = snap.Checkpoint.rewards_rev;
+            st_failures_rev = snap.Checkpoint.failures_rev;
+          },
+          snap.Checkpoint.step )
+      | Error reason ->
+        if opts.verbose then Fmt.epr "[%s] starting fresh: %s@." stage reason;
+        fresh_state ())
+    | _ -> fresh_state ()
+  in
+  let save step =
+    match opts.checkpoint_dir with
+    | Some dir ->
+      Checkpoint.save ~dir
+        {
+          Checkpoint.stage;
+          step;
+          model = state.st_model;
+          rng = state.st_rng;
+          rewards_rev = state.st_rewards_rev;
+          failures_rev = state.st_failures_rev;
+        }
+    | None -> ()
+  in
+  for step = last_done + 1 to opts.grpo_steps do
+    (* fault site: a simulated kill between steps; the checkpoints already
+       on disk must carry a resumed run to the identical final state *)
+    (match Fault.abort_after () with
+    | Some last when step > last ->
+      Fault.inject Fault.Trainer_abort ~site:(Fmt.str "%s.step%d" stage step)
+    | _ -> ());
+    step_fn state;
+    if opts.checkpoint_every > 0 && step mod opts.checkpoint_every = 0 then save step;
+    if opts.verbose && step mod 25 = 0 then
+      Fmt.epr "[%s] step %d mean reward %.3f@." stage step
+        (match state.st_rewards_rev with r :: _ -> r | [] -> nan)
+  done;
+  save opts.grpo_steps;
+  state
 
 (* ------------------------------------------------------------------ *)
 (* Stage 1: Model-Zero *)
@@ -65,11 +151,8 @@ type stage1_result = {
 
 let train_model_zero ?(opts = default_options) ?engine (base : Model.t)
     (train : Suite.sample list) : stage1_result =
-  let model = Model.clone ~name:"Model-Zero" ~noise_scale:(0.72 *. base.Model.noise_scale) base in
   let samples = Array.of_list train in
-  let rng = Random.State.make [| opts.seed; 11 |] in
-  let failures = ref [] in
-  let rewards = ref [] in
+  let rcfg = { Reward.default_config with Reward.timeout = opts.verify_timeout } in
   let cfg =
     {
       Grpo.group_size = opts.group_size;
@@ -78,7 +161,8 @@ let train_model_zero ?(opts = default_options) ?engine (base : Model.t)
       temperature = 1.0;
     }
   in
-  for step = 1 to opts.grpo_steps do
+  let step_fn (st : stage_state) =
+    let model = st.st_model and rng = st.st_rng in
     let s = sample_at samples rng in
     let group =
       List.init opts.group_size (fun _ ->
@@ -88,7 +172,7 @@ let train_model_zero ?(opts = default_options) ?engine (base : Model.t)
     let verified =
       Par.run
         (fun (g : Model.generation) ->
-          Reward.correctness_of_completion ?engine s.Suite.modul ~src:s.Suite.src
+          Reward.correctness_of_completion ~cfg:rcfg ?engine s.Suite.modul ~src:s.Suite.src
             ~label:s.Suite.label g.Model.completion)
         group
     in
@@ -98,7 +182,7 @@ let train_model_zero ?(opts = default_options) ?engine (base : Model.t)
       (fun (g : Model.generation) ((_, vc) : float * Reward.verified_candidate) ->
         match vc.Reward.verdict.Alive.category with
         | Alive.Semantic_error | Alive.Syntax_error when not g.Model.copied ->
-          failures :=
+          st.st_failures_rev <-
             {
               Sft.f_sample = s;
               bad_actions = g.Model.final_attempt.Model.actions_taken;
@@ -113,7 +197,7 @@ let train_model_zero ?(opts = default_options) ?engine (base : Model.t)
                   vc.Reward.verdict.Alive.message;
               alive_message = vc.Reward.verdict.Alive.message;
             }
-            :: !failures
+            :: st.st_failures_rev
         | _ -> ())
       group verified;
     let scored =
@@ -125,11 +209,19 @@ let train_model_zero ?(opts = default_options) ?engine (base : Model.t)
     let advs = Grpo.advantages rs in
     Grpo.update cfg model (List.mapi (fun i (r, _) -> (r, advs.(i))) scored);
     let mean = Array.fold_left ( +. ) 0. rs /. float_of_int (Array.length rs) in
-    rewards := mean :: !rewards;
-    if opts.verbose && step mod 25 = 0 then
-      Fmt.epr "[model-zero] step %d mean reward %.3f@." step mean
-  done;
-  { model_zero = model; failures = List.rev !failures; zero_log = log_of (List.rev !rewards) }
+    st.st_rewards_rev <- mean :: st.st_rewards_rev
+  in
+  let st =
+    run_stage ~opts ~stage:"model-zero" ~rng_salt:11
+      ~fresh:(fun () ->
+        Model.clone ~name:"Model-Zero" ~noise_scale:(0.72 *. base.Model.noise_scale) base)
+      ~step_fn
+  in
+  {
+    model_zero = st.st_model;
+    failures = List.rev st.st_failures_rev;
+    zero_log = log_of (List.rev st.st_rewards_rev);
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Stage 2a: Warm-up (SFT) *)
@@ -160,15 +252,8 @@ type stage2_result = { model_correctness : Model.t; correctness_log : stage_log 
 
 let train_correctness ?(opts = default_options) ?engine (warm : Model.t)
     (train : Suite.sample list) : stage2_result =
-  (* diagnostic-feedback GRPO teaches the model to avoid its own failure
-     modes, lowering the irreducible hallucination floor -- SFT alone cannot
-     do this, which is why the paper's SFT baselines trail on correctness *)
-  let model =
-    Model.clone ~name:"Model-Correctness" ~halluc_rate:(0.5 *. warm.Model.halluc_rate) warm
-  in
   let samples = Array.of_list train in
-  let rng = Random.State.make [| opts.seed; 22 |] in
-  let rewards = ref [] in
+  let rcfg = { Reward.default_config with Reward.timeout = opts.verify_timeout } in
   let cfg =
     {
       Grpo.group_size = opts.group_size;
@@ -177,7 +262,8 @@ let train_correctness ?(opts = default_options) ?engine (warm : Model.t)
       temperature = 1.0;
     }
   in
-  for step = 1 to opts.grpo_steps do
+  let step_fn (st : stage_state) =
+    let model = st.st_model and rng = st.st_rng in
     let s = sample_at samples rng in
     let group =
       List.init opts.group_size (fun _ ->
@@ -202,15 +288,15 @@ let train_correctness ?(opts = default_options) ?engine (warm : Model.t)
       Par.run
         (fun ((g : Model.generation), cot) ->
           let answer_r, _ =
-            Reward.correctness_of_completion ?engine s.Suite.modul ~src:s.Suite.src
+            Reward.correctness_of_completion ~cfg:rcfg ?engine s.Suite.modul ~src:s.Suite.src
               ~label:s.Suite.label g.Model.completion
           in
           let cot_r =
             match cot with
             | None -> 0.
             | Some (claimed, think_attempt) ->
-              Reward.cot_agreement ?engine s.Suite.modul ~src:s.Suite.src ~claimed ~think_attempt
-                ~model_message:(Diag.message_of_class claimed)
+              Reward.cot_agreement ~cfg:rcfg ?engine s.Suite.modul ~src:s.Suite.src ~claimed
+                ~think_attempt ~model_message:(Diag.message_of_class claimed)
           in
           let r = answer_r +. cot_r in
           ({ Grpo.steps = g.Model.steps; reward = r }, r))
@@ -220,11 +306,19 @@ let train_correctness ?(opts = default_options) ?engine (warm : Model.t)
     let advs = Grpo.advantages rs in
     Grpo.update cfg model (List.mapi (fun i (r, _) -> (r, advs.(i))) scored);
     let mean = Array.fold_left ( +. ) 0. rs /. float_of_int (Array.length rs) in
-    rewards := mean :: !rewards;
-    if opts.verbose && step mod 25 = 0 then
-      Fmt.epr "[correctness] step %d mean reward %.3f@." step mean
-  done;
-  { model_correctness = model; correctness_log = log_of (List.rev !rewards) }
+    st.st_rewards_rev <- mean :: st.st_rewards_rev
+  in
+  let st =
+    run_stage ~opts ~stage:"model-correctness" ~rng_salt:22
+      ~fresh:(fun () ->
+        (* diagnostic-feedback GRPO teaches the model to avoid its own
+           failure modes, lowering the irreducible hallucination floor --
+           SFT alone cannot do this, which is why the paper's SFT baselines
+           trail on correctness *)
+        Model.clone ~name:"Model-Correctness" ~halluc_rate:(0.5 *. warm.Model.halluc_rate) warm)
+      ~step_fn
+  in
+  { model_correctness = st.st_model; correctness_log = log_of (List.rev st.st_rewards_rev) }
 
 (* ------------------------------------------------------------------ *)
 (* Stage 3: Model-Latency *)
@@ -233,13 +327,14 @@ type stage3_result = { model_latency : Model.t; latency_log : stage_log }
 
 let train_latency ?(opts = default_options) ?engine (correctness : Model.t)
     (train : Suite.sample list) : stage3_result =
-  let model =
-    Model.clone ~name:"Model-Latency" ~halluc_rate:(0.5 *. correctness.Model.halluc_rate)
-      correctness
-  in
   let samples = Array.of_list train in
-  let rng = Random.State.make [| opts.seed; 33 |] in
-  let rewards = ref [] in
+  let rcfg =
+    {
+      Reward.default_config with
+      Reward.max_conflicts = opts.max_conflicts;
+      Reward.timeout = opts.verify_timeout;
+    }
+  in
   let u_max = Reward.u_max_of_samples train in
   let cfg =
     {
@@ -249,7 +344,8 @@ let train_latency ?(opts = default_options) ?engine (correctness : Model.t)
       temperature = 1.0;
     }
   in
-  for step = 1 to opts.grpo_steps do
+  let step_fn (st : stage_state) =
+    let model = st.st_model and rng = st.st_rng in
     let s = sample_at samples rng in
     let baseline = Latency.of_func s.Suite.src in
     let group =
@@ -261,9 +357,8 @@ let train_latency ?(opts = default_options) ?engine (correctness : Model.t)
       Par.run
         (fun (g : Model.generation) ->
           let vc =
-            Reward.verify_completion
-              ~cfg:{ Reward.default_config with Reward.max_conflicts = opts.max_conflicts }
-              ?engine s.Suite.modul ~src:s.Suite.src g.Model.completion
+            Reward.verify_completion ~cfg:rcfg ?engine s.Suite.modul ~src:s.Suite.src
+              g.Model.completion
           in
           let equivalent = vc.Reward.verdict.Alive.category = Alive.Equivalent in
           let cand_latency =
@@ -283,11 +378,16 @@ let train_latency ?(opts = default_options) ?engine (correctness : Model.t)
     let advs = Grpo.advantages rs in
     Grpo.update cfg model (List.mapi (fun i (r, _) -> (r, advs.(i))) scored);
     let mean = Array.fold_left ( +. ) 0. rs /. float_of_int (Array.length rs) in
-    rewards := mean :: !rewards;
-    if opts.verbose && step mod 25 = 0 then
-      Fmt.epr "[latency] step %d mean reward %.3f@." step mean
-  done;
-  { model_latency = model; latency_log = log_of (List.rev !rewards) }
+    st.st_rewards_rev <- mean :: st.st_rewards_rev
+  in
+  let st =
+    run_stage ~opts ~stage:"model-latency" ~rng_salt:33
+      ~fresh:(fun () ->
+        Model.clone ~name:"Model-Latency" ~halluc_rate:(0.5 *. correctness.Model.halluc_rate)
+          correctness)
+      ~step_fn
+  in
+  { model_latency = st.st_model; latency_log = log_of (List.rev st.st_rewards_rev) }
 
 (* ------------------------------------------------------------------ *)
 

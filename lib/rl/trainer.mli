@@ -11,6 +11,16 @@ type options = {
   seed : int;
   max_conflicts : int;
   verbose : bool;
+  checkpoint_dir : string option;
+      (** write a {!Checkpoint} snapshot per stage when set (default off) *)
+  checkpoint_every : int;
+      (** snapshot period in GRPO steps (default 25; [0] = only at stage end) *)
+  resume : bool;
+      (** start each stage from its snapshot in [checkpoint_dir] when one
+          exists; the resumed trajectory is bit-identical to an
+          uninterrupted run *)
+  verify_timeout : float option;
+      (** per-candidate verification wall-clock budget in seconds *)
 }
 
 val default_options : options

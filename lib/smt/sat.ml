@@ -309,13 +309,30 @@ let luby x =
   done;
   float_of_int (1 lsl !seq)
 
-let solve ?(max_conflicts = 200_000) t =
+let solve ?(max_conflicts = 200_000) ?deadline t =
   if t.unsat then Unsat
   else begin
     let result = ref None in
     let restart_count = ref 0 in
     let until_restart = ref (int_of_float (100. *. luby 0)) in
+    (* Wall-clock deadline, checked alongside the conflict budget.  The
+       clock read is amortized over 128 loop iterations so the common
+       (no-deadline or far-from-deadline) case stays in the noise. *)
+    let deadline_countdown = ref 0 in
+    let past_deadline () =
+      match deadline with
+      | None -> false
+      | Some d ->
+        decr deadline_countdown;
+        if !deadline_countdown > 0 then false
+        else begin
+          deadline_countdown := 128;
+          Unix.gettimeofday () > d
+        end
+    in
     while !result = None do
+      if past_deadline () then result := Some Unknown
+      else begin
       let confl = propagate t in
       if confl >= 0 then begin
         t.conflicts <- t.conflicts + 1;
@@ -336,6 +353,7 @@ let solve ?(max_conflicts = 200_000) t =
         backtrack t 0
       end
       else if not (decide t) then result := Some Sat
+      end
     done;
     match !result with Some r -> r | None -> assert false
   end

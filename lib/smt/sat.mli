@@ -19,7 +19,9 @@ val new_var : t -> int
 val add_clause : t -> int list -> unit
 (** Must be called before solving (at decision level 0). *)
 
-val solve : ?max_conflicts:int -> t -> result
+val solve : ?max_conflicts:int -> ?deadline:float -> t -> result
+(** [deadline] is an absolute [Unix.gettimeofday] instant; exceeding either
+    the conflict budget or the deadline yields [Unknown]. *)
 
 val model_value : t -> int -> bool
 (** Variable assignment after [Sat]. *)

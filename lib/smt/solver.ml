@@ -49,11 +49,23 @@ let reset_stats () =
 
 let bump counter n = ignore (Atomic.fetch_and_add counter n)
 
-(** Decide [/\ assertions].  [max_conflicts] is the resource budget standing
-    in for a wall-clock solver timeout. *)
-let check ?(max_conflicts = 200_000) (assertions : Expr.t list) : outcome =
+module Fault = Veriopt_fault.Fault
+
+(** Decide [/\ assertions].  [max_conflicts] is the conflict-count budget;
+    [deadline] is an absolute wall-clock instant checked in the SAT loop
+    alongside it.  Exhausting either yields [Unknown]. *)
+let check ?(max_conflicts = 200_000) ?deadline (assertions : Expr.t list) : outcome =
+  let expired () =
+    match deadline with None -> false | Some d -> Unix.gettimeofday () > d
+  in
+  (* fault site: a hostile query exhausting the whole solver budget *)
+  if Fault.fire Fault.Solver_timeout || expired () then begin
+    bump s_checks 1;
+    bump s_unknown 1;
+    Unknown
+  end
   (* Fast path: constant-folded assertions. *)
-  if List.exists (fun (t : Expr.t) -> t.Expr.node = Expr.False) assertions then begin
+  else if List.exists (fun (t : Expr.t) -> t.Expr.node = Expr.False) assertions then begin
     bump s_checks 1;
     bump s_unsat 1;
     Unsat
@@ -61,7 +73,7 @@ let check ?(max_conflicts = 200_000) (assertions : Expr.t list) : outcome =
   else begin
     let ctx = Bitblast.create () in
     List.iter (Bitblast.assert_term ctx) assertions;
-    let result = Sat.solve ~max_conflicts ctx.Bitblast.sat in
+    let result = Sat.solve ~max_conflicts ?deadline ctx.Bitblast.sat in
     let conflicts, decisions, propagations = Sat.stats ctx.Bitblast.sat in
     bump s_checks 1;
     bump s_conflicts conflicts;
@@ -85,8 +97,8 @@ let check ?(max_conflicts = 200_000) (assertions : Expr.t list) : outcome =
 
 (** [valid t] checks that [t] is true under all assignments; on failure the
     model witnesses the violation. *)
-let valid ?max_conflicts (t : Expr.t) : outcome =
-  match check ?max_conflicts [ Expr.not_ t ] with
+let valid ?max_conflicts ?deadline (t : Expr.t) : outcome =
+  match check ?max_conflicts ?deadline [ Expr.not_ t ] with
   | Sat m -> Sat m (* counterexample *)
   | Unsat -> Unsat (* valid *)
   | Unknown -> Unknown

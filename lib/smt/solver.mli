@@ -23,12 +23,14 @@ type stats = {
 val stats : unit -> stats
 val reset_stats : unit -> unit
 
-val check : ?max_conflicts:int -> Expr.t list -> outcome
+val check : ?max_conflicts:int -> ?deadline:float -> Expr.t list -> outcome
 (** Decide the conjunction of the assertions.  [max_conflicts] is the
-    resource budget standing in for a wall-clock solver timeout; exceeding
-    it yields [Unknown]. *)
+    conflict-count resource budget; [deadline] is an absolute
+    [Unix.gettimeofday] instant checked in the SAT loop alongside it.
+    Exceeding either yields [Unknown], so a hostile query can exhaust at
+    most its budget — it can never hang the caller. *)
 
-val valid : ?max_conflicts:int -> Expr.t -> outcome
+val valid : ?max_conflicts:int -> ?deadline:float -> Expr.t -> outcome
 (** [valid t]: [Unsat] means [t] holds under all assignments; [Sat m] is a
     counterexample. *)
 

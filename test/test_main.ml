@@ -14,4 +14,5 @@ let () =
       Test_rl.suite;
       Test_engine.suite;
       Test_core.suite;
+      Test_fault.suite;
     ]
