@@ -1,4 +1,4 @@
-.PHONY: all build test bench micro verify-bench chaos-bench check clean
+.PHONY: all build test bench micro verify-bench chaos-bench sat-bench fuzz check clean
 
 all: build
 
@@ -26,9 +26,22 @@ verify-bench: build
 chaos-bench: build
 	dune exec bench/main.exe -- robust-bench
 
-# The full gate: build, unit tests, chaos smoke.
+# Clause-DB reduction on SMT-hostile queries: reduction off vs on, same
+# conflict budget.  Writes machine-readable BENCH_sat.json; exits non-zero
+# if the knob flips a conclusive verdict.
+sat-bench: build
+	dune exec bench/main.exe -- sat-bench
+
+# Long-run differential fuzz campaign over the SAT core and the bit-vector
+# poison paths (the runtest default is 5000 CNF + 1000 round-trip cases).
+fuzz: build
+	VERIOPT_FUZZ_N=50000 dune exec test/test_main.exe -- test sat-fuzz
+	VERIOPT_FUZZ_N=50000 dune exec test/test_main.exe -- test smt
+
+# The full gate: build, unit tests, a longer fuzz pass, chaos smoke.
 check: build
 	dune runtest
+	VERIOPT_FUZZ_N=20000 dune exec test/test_main.exe -- test sat-fuzz
 	dune exec bench/main.exe -- robust-bench
 
 clean:

@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- --full all   -- paper-sized counts (slow)
 
    Experiments: dataset table1 table2 table3 fig4 fig5 fig6 fig7 figs8to12
-   ablations discussion verify-bench robust-bench micro all. *)
+   ablations discussion verify-bench robust-bench sat-bench micro all. *)
 
 module P = Veriopt.Pipeline
 module E = Veriopt.Evaluate
@@ -387,8 +387,8 @@ let run_verify_bench () =
     Fmt.str
       {|{
   "workload": { "samples": %d, "group_size": %d, "rounds": %d, "verifications": %d },
-  "baseline": { "seconds": %.4f, "verifications_per_sec": %.2f, "sat_conflicts": %d },
-  "engine": { "seconds": %.4f, "verifications_per_sec": %.2f, "sat_conflicts": %d, "jobs": %d },
+  "baseline": { "seconds": %.4f, "verifications_per_sec": %.2f, "sat_conflicts": %d, "sat_learned": %d, "sat_deleted": %d, "sat_reductions": %d },
+  "engine": { "seconds": %.4f, "verifications_per_sec": %.2f, "sat_conflicts": %d, "sat_learned": %d, "sat_deleted": %d, "sat_reductions": %d, "jobs": %d },
   "speedup": %.3f,
   "cache": { "hits": %d, "misses": %d, "insertions": %d, "evictions": %d, "hit_rate": %.4f },
   "tiers": { "tier1_hits": %d, "tier1_misses": %d, "tier2_runs": %d, "tier1_seconds": %.4f, "tier2_seconds": %.4f },
@@ -396,7 +396,9 @@ let run_verify_bench () =
 }
 |}
       (List.length samples) group_size rounds n_verifications base_secs (per_sec base_secs)
-      base_sat.Solver.conflicts eng_secs (per_sec eng_secs) eng_sat.Solver.conflicts
+      base_sat.Solver.conflicts base_sat.Solver.learned base_sat.Solver.deleted
+      base_sat.Solver.reductions eng_secs (per_sec eng_secs) eng_sat.Solver.conflicts
+      eng_sat.Solver.learned eng_sat.Solver.deleted eng_sat.Solver.reductions
       (Par.shared_jobs ()) speedup st.Vcache.hits st.Vcache.misses st.Vcache.insertions
       st.Vcache.evictions hit_rate st.Vcache.tier1_hits st.Vcache.tier1_misses
       st.Vcache.tier2_runs st.Vcache.tier1_seconds st.Vcache.tier2_seconds !agree !refined
@@ -593,6 +595,131 @@ let run_robust_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* sat-bench: the clause-DB reduction knob on SMT-hostile queries.
+
+   Bit-blasted mul commutativity is the chaos bench's canonical hostile
+   shape: algebraically trivial, brutal for CDCL.  Each width is verified
+   twice — reduction off (the seed solver's behavior) and on — with the
+   same conflict budget.  Reports wall time, conflicts/sec and clause-DB
+   statistics per leg, checks that no conclusive verdict flips (reduction
+   trades search trajectory, never soundness), and emits BENCH_sat.json. *)
+
+let run_sat_bench () =
+  header "SAT-BENCH (clause-DB reduction on SMT-hostile queries)";
+  let module Solver = Veriopt_smt.Solver in
+  let hostile_pair w =
+    let text op =
+      Fmt.str "define i%d @f(i%d %%x, i%d %%y) {\nentry:\n  %%r = mul i%d %s\n  ret i%d %%r\n}"
+        w w w w op w
+    in
+    let m = Veriopt_ir.Parser.parse_module (text "%x, %y") in
+    let src = List.hd m.Veriopt_ir.Ast.funcs in
+    let tgt = List.hd (Veriopt_ir.Parser.parse_module (text "%y, %x")).Veriopt_ir.Ast.funcs in
+    (w, m, src, tgt)
+  in
+  let widths = [ 9; 10; 11 ] in
+  let pairs = List.map hostile_pair widths in
+  let max_conflicts = 10_000 in
+  let run_leg ~reduce =
+    Solver.reset_stats ();
+    let t0 = Unix.gettimeofday () in
+    let verdicts =
+      List.map
+        (fun (w, m, src, tgt) ->
+          let t1 = Unix.gettimeofday () in
+          let v = Alive.verify_funcs ~unroll:4 ~max_conflicts ~reduce m ~src ~tgt in
+          (w, v.Alive.category, Unix.gettimeofday () -. t1))
+        pairs
+    in
+    let secs = Unix.gettimeofday () -. t0 in
+    (verdicts, secs, Solver.stats ())
+  in
+  let off_verdicts, off_secs, off_sat = run_leg ~reduce:false in
+  let on_verdicts, on_secs, on_sat = run_leg ~reduce:true in
+  let cat_name = function
+    | Alive.Equivalent -> "equivalent"
+    | Alive.Semantic_error -> "semantic_error"
+    | Alive.Syntax_error -> "syntax_error"
+    | Alive.Inconclusive -> "inconclusive"
+  in
+  let conclusive = function Alive.Inconclusive -> false | _ -> true in
+  (* Unknown <-> conclusive changes are legitimate trajectory effects of the
+     knob under a fixed budget; a conclusive verdict flipping is a bug. *)
+  let flips =
+    List.fold_left2
+      (fun n (w, a, _) (_, b, _) ->
+        if conclusive a && conclusive b && a <> b then begin
+          Fmt.pf fmt "  ERROR: width %d verdict flipped: %s (off) vs %s (on)@." w (cat_name a)
+            (cat_name b);
+          n + 1
+        end
+        else n)
+      0 off_verdicts on_verdicts
+  in
+  let cps secs (sat : Solver.stats) =
+    float_of_int sat.Solver.conflicts /. if secs <= 0. then epsilon_float else secs
+  in
+  let leg_line name secs (sat : Solver.stats) =
+    Fmt.pf fmt
+      "  %-14s %6.2fs  %8d conflicts (%8.0f/s)  learned %7d, deleted %7d in %d reductions, peak DB %d@."
+      name secs sat.Solver.conflicts (cps secs sat) sat.Solver.learned sat.Solver.deleted
+      sat.Solver.reductions sat.Solver.db_peak
+  in
+  Fmt.pf fmt "  queries: bit-blasted mul commutativity at widths %a, %d-conflict budget@."
+    Fmt.(list ~sep:comma int)
+    widths max_conflicts;
+  leg_line "reduction off" off_secs off_sat;
+  leg_line "reduction on" on_secs on_sat;
+  List.iter2
+    (fun (w, a, ta) (_, b, tb) ->
+      Fmt.pf fmt "  i%-3d  off: %-12s %7.2fs    on: %-12s %7.2fs@." w (cat_name a) ta (cat_name b)
+        tb)
+    off_verdicts on_verdicts;
+  let speedup = off_secs /. (if on_secs <= 0. then epsilon_float else on_secs) in
+  let saved = 100. *. (1. -. (on_secs /. if off_secs <= 0. then epsilon_float else off_secs)) in
+  Fmt.pf fmt "  wall time: %.2fs -> %.2fs (%.2fx, %.1f%% saved); conclusive flips: %d@." off_secs
+    on_secs speedup saved flips;
+  let leg_json (verdicts : (int * Alive.category * float) list) secs (sat : Solver.stats) =
+    let per_query =
+      String.concat ", "
+        (List.map
+           (fun (w, c, t) -> Fmt.str {|{ "width": %d, "verdict": "%s", "seconds": %.4f }|} w
+              (cat_name c) t)
+           verdicts)
+    in
+    Fmt.str
+      {|{ "seconds": %.4f, "conflicts": %d, "conflicts_per_sec": %.0f, "learned": %d, "deleted": %d, "reductions": %d, "db_peak": %d, "queries": [ %s ] }|}
+      secs sat.Solver.conflicts (cps secs sat) sat.Solver.learned sat.Solver.deleted
+      sat.Solver.reductions sat.Solver.db_peak per_query
+  in
+  let json =
+    Fmt.str
+      {|{
+  "widths": [ %a ],
+  "max_conflicts": %d,
+  "reduction_off": %s,
+  "reduction_on": %s,
+  "speedup": %.3f,
+  "wall_time_saved_pct": %.2f,
+  "conclusive_flips": %d
+}
+|}
+      Fmt.(list ~sep:comma int)
+      widths max_conflicts
+      (leg_json off_verdicts off_secs off_sat)
+      (leg_json on_verdicts on_secs on_sat)
+      speedup saved flips
+  in
+  let oc = open_out "BENCH_sat.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pf fmt "  wrote BENCH_sat.json@.";
+  if flips > 0 then begin
+    Fmt.pf fmt "  ERROR: clause-DB reduction flipped a conclusive verdict@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the substrates; one Test.make per kernel. *)
 
 let run_micro () =
@@ -663,7 +790,7 @@ let () =
   let wants x = List.mem "all" experiments || List.mem x experiments in
   (* micro and verify-bench are standalone: they build their own workloads
      and must not pay for (or pollute) the full training pipeline *)
-  let standalone = [ "micro"; "verify-bench"; "robust-bench" ] in
+  let standalone = [ "micro"; "verify-bench"; "robust-bench"; "sat-bench" ] in
   let needs_evals =
     List.mem "all" experiments
     || List.exists (fun x -> not (List.mem x standalone)) experiments
@@ -685,5 +812,6 @@ let () =
   end;
   if wants "verify-bench" then run_verify_bench ();
   if wants "robust-bench" then run_robust_bench ();
+  if wants "sat-bench" then run_sat_bench ();
   if wants "micro" then run_micro ();
   Fmt.pf fmt "@.done.@."

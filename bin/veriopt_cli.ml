@@ -32,12 +32,42 @@ let category_string = function
 
 let verify_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ll") in
-  let run file =
+  let no_reduce =
+    Arg.(
+      value & flag
+      & info [ "no-reduce" ]
+          ~doc:"Disable learned-clause-DB reduction in the SAT core (affects solver speed, \
+                never verdicts)")
+  in
+  let sat_stats =
+    Arg.(
+      value & flag
+      & info [ "sat-stats" ] ~doc:"Print SAT-core statistics (conflicts, clause DB, LBD) on stderr")
+  in
+  let run file no_reduce sat_stats =
     let m = load_module file in
     match m.Veriopt_ir.Ast.funcs with
     | [ src; tgt ] | src :: tgt :: _ ->
-      let v = Alive.verify_funcs m ~src ~tgt in
+      let module Solver = Veriopt_smt.Solver in
+      Solver.reset_stats ();
+      let v = Alive.verify_funcs ~reduce:(not no_reduce) m ~src ~tgt in
       Fmt.pr "%s@.%s@." (category_string v.Alive.category) v.Alive.message;
+      if sat_stats then begin
+        let s = Solver.stats () in
+        Fmt.epr "sat: %d checks, %d conflicts, %d decisions, %d propagations@." s.Solver.checks
+          s.Solver.conflicts s.Solver.decisions s.Solver.propagations;
+        Fmt.epr "sat-db: %d learned, %d deleted in %d reductions, peak live DB %d@."
+          s.Solver.learned s.Solver.deleted s.Solver.reductions s.Solver.db_peak;
+        if s.Solver.learned > 0 then begin
+          Fmt.epr "lbd:";
+          Array.iteri
+            (fun i n ->
+              if i = Array.length s.Solver.lbd_hist - 1 then Fmt.epr " %d+:%d" (i + 1) n
+              else Fmt.epr " %d:%d" (i + 1) n)
+            s.Solver.lbd_hist;
+          Fmt.epr "@."
+        end
+      end;
       if v.Alive.category = Alive.Equivalent then 0 else 1
     | _ ->
       Fmt.epr "error: FILE.ll must contain two function definitions (source, target)@.";
@@ -45,7 +75,7 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Check that the second function of FILE.ll refines the first")
-    Term.(const run $ file)
+    Term.(const run $ file $ no_reduce $ sat_stats)
 
 let opt_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ll") in

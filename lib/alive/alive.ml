@@ -125,7 +125,7 @@ let concrete_check (model : Solver.model) (m : Ast.modul) (src : Ast.func) (tgt 
 (** Verify that [tgt] refines [src] within [m].  Both functions must already
     be well-formed (callers should route model-produced text through
     {!verify_text}). *)
-let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline (m : Ast.modul)
+let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline ?reduce (m : Ast.modul)
     ~(src : Ast.func) ~(tgt : Ast.func) : verdict =
   let copy = Builder.alpha_equal src tgt in
   if not (signature_matches src tgt) then
@@ -143,7 +143,7 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline (m : Ast.mod
     | exception Encode.Unsupported reason ->
       verdict ~bounded ~copy Inconclusive (Diagnostics.inconclusive_message reason)
     | s_sum, t_sum -> (
-      match Refine.check ~max_conflicts ?deadline s_sum t_sum with
+      match Refine.check ~max_conflicts ?deadline ?reduce s_sum t_sum with
       | exception Encode.Unsupported reason ->
         verdict ~bounded ~copy Inconclusive (Diagnostics.inconclusive_message reason)
       | Refine.Refines ->
@@ -164,7 +164,7 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline (m : Ast.mod
 
 (** Verify model-produced IR text against a source function: parse errors and
     malformed IR map to [Syntax_error], as in the paper's Tables I/II. *)
-let verify_text ?unroll ?max_conflicts ?deadline (m : Ast.modul) ~(src : Ast.func)
+let verify_text ?unroll ?max_conflicts ?deadline ?reduce (m : Ast.modul) ~(src : Ast.func)
     ~(tgt_text : string) : verdict =
   match Parser.parse_func_result tgt_text with
   | Error msg -> verdict Syntax_error (Diagnostics.syntax_error_message msg)
@@ -172,4 +172,4 @@ let verify_text ?unroll ?max_conflicts ?deadline (m : Ast.modul) ~(src : Ast.fun
     match Validator.validate_func ~module_:m tgt with
     | Error errors ->
       verdict Syntax_error (Diagnostics.syntax_error_message (String.concat "\n" errors))
-    | Ok () -> verify_funcs ?unroll ?max_conflicts ?deadline m ~src ~tgt)
+    | Ok () -> verify_funcs ?unroll ?max_conflicts ?deadline ?reduce m ~src ~tgt)

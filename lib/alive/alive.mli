@@ -24,6 +24,7 @@ val verify_funcs :
   ?unroll:int ->
   ?max_conflicts:int ->
   ?deadline:float ->
+  ?reduce:bool ->
   Veriopt_ir.Ast.modul ->
   src:Veriopt_ir.Ast.func ->
   tgt:Veriopt_ir.Ast.func ->
@@ -32,12 +33,15 @@ val verify_funcs :
     route untrusted text through {!verify_text}.  [unroll] bounds loop
     unrolling (default 4); [max_conflicts] is the solver budget; [deadline]
     is an absolute wall-clock instant — past it the solver reports
-    [Inconclusive] instead of continuing. *)
+    [Inconclusive] instead of continuing.  [reduce] (default on) is the
+    SAT core's learned-clause-DB reduction knob; it affects solver speed,
+    never verdicts. *)
 
 val verify_text :
   ?unroll:int ->
   ?max_conflicts:int ->
   ?deadline:float ->
+  ?reduce:bool ->
   Veriopt_ir.Ast.modul ->
   src:Veriopt_ir.Ast.func ->
   tgt_text:string ->

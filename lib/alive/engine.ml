@@ -124,8 +124,8 @@ let tier1_verdict (m : Ast.modul) (src : Ast.func) (tgt : Ast.func) ~bounded
 
 (* ------------------------------------------------------------------ *)
 
-let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline (t : t) (m : Ast.modul)
-    ~(src : Ast.func) ~(tgt : Ast.func) : Alive.verdict =
+let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline ?(reduce = true)
+    (t : t) (m : Ast.modul) ~(src : Ast.func) ~(tgt : Ast.func) : Alive.verdict =
   if not (Alive.signature_matches src tgt) then
     (* tier 0, mirror of Alive.verify_funcs: cheap, never cached *)
     {
@@ -143,6 +143,7 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline (t : t) (m :
         tgt = canon Printer.func_to_string tgt;
         unroll;
         max_conflicts;
+        reduce;
       }
     in
     match Vcache.find t.cache key with
@@ -173,7 +174,7 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline (t : t) (m :
         end
         else begin
           let t0 = now () in
-          let v = Alive.verify_funcs ~unroll ~max_conflicts ?deadline m ~src ~tgt in
+          let v = Alive.verify_funcs ~unroll ~max_conflicts ?deadline ~reduce m ~src ~tgt in
           Vcache.note_tier2 t.cache ~seconds:(now () -. t0);
           if t.breaker_k > 0 then
             Vcache.breaker_note t.cache
@@ -206,8 +207,8 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline (t : t) (m :
       if !cacheable then Vcache.add t.cache key verdict;
       verdict
 
-let verify_text ?unroll ?max_conflicts ?deadline (t : t) (m : Ast.modul) ~(src : Ast.func)
-    ~(tgt_text : string) : Alive.verdict =
+let verify_text ?unroll ?max_conflicts ?deadline ?reduce (t : t) (m : Ast.modul)
+    ~(src : Ast.func) ~(tgt_text : string) : Alive.verdict =
   (* fault site: a crashing (not merely failing) parse; the crash-proof
      reward path converts the exception into a counted engine failure *)
   Fault.inject Fault.Parse_corrupt ~site:"engine.parse";
@@ -230,4 +231,4 @@ let verify_text ?unroll ?max_conflicts ?deadline (t : t) (m : Ast.modul) ~(src :
         bounded = false;
         copy_of_input = false;
       }
-    | Ok () -> verify_funcs ?unroll ?max_conflicts ?deadline t m ~src ~tgt)
+    | Ok () -> verify_funcs ?unroll ?max_conflicts ?deadline ?reduce t m ~src ~tgt)

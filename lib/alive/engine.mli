@@ -46,6 +46,7 @@ val verify_funcs :
   ?unroll:int ->
   ?max_conflicts:int ->
   ?deadline:float ->
+  ?reduce:bool ->
   t ->
   Veriopt_ir.Ast.modul ->
   src:Veriopt_ir.Ast.func ->
@@ -54,12 +55,15 @@ val verify_funcs :
 (** Tiered + cached equivalent of {!Alive.verify_funcs} (same defaults).
     [deadline] is an absolute [Unix.gettimeofday] instant: past it the SMT
     tier answers [Inconclusive] instead of continuing.  Deadline-expired and
-    breaker-skipped verdicts are transient and never cached. *)
+    breaker-skipped verdicts are transient and never cached.  [reduce]
+    (default on) is the SAT core's clause-DB reduction knob; like
+    [max_conflicts] it is part of the cache key. *)
 
 val verify_text :
   ?unroll:int ->
   ?max_conflicts:int ->
   ?deadline:float ->
+  ?reduce:bool ->
   t ->
   Veriopt_ir.Ast.modul ->
   src:Veriopt_ir.Ast.func ->

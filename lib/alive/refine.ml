@@ -125,7 +125,7 @@ let return_mismatch (src : summary) (tgt : summary) : Expr.t =
   | _ -> raise (Unsupported "return shape mismatch")
 
 (** Check whether [tgt] refines [src]. *)
-let check ?(max_conflicts = 200_000) ?deadline (src : summary) (tgt : summary) : outcome =
+let check ?(max_conflicts = 200_000) ?deadline ?reduce (src : summary) (tgt : summary) : outcome =
   let trace_mis, trace_cons = impure_trace src tgt in
   let ack = ackermann_constraints (src.calls @ tgt.calls) in
   let mismatch =
@@ -137,7 +137,7 @@ let check ?(max_conflicts = 200_000) ?deadline (src : summary) (tgt : summary) :
         Expr.disj [ tgt.ub; return_mismatch src tgt; trace_mis; memory_mismatch src tgt ];
       ]
   in
-  match Solver.check ~max_conflicts ?deadline (mismatch :: (trace_cons @ ack)) with
+  match Solver.check ~max_conflicts ?deadline ?reduce (mismatch :: (trace_cons @ ack)) with
   | Solver.Unsat -> Refines
   | Solver.Sat model -> Counterexample model
   | Solver.Unknown -> Unknown

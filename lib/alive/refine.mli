@@ -11,5 +11,12 @@ type outcome =
   | Counterexample of Veriopt_smt.Solver.model
   | Unknown
 
-val check : ?max_conflicts:int -> ?deadline:float -> Encode.summary -> Encode.summary -> outcome
-(** [deadline] is an absolute wall-clock instant forwarded to the solver. *)
+val check :
+  ?max_conflicts:int ->
+  ?deadline:float ->
+  ?reduce:bool ->
+  Encode.summary ->
+  Encode.summary ->
+  outcome
+(** [deadline] is an absolute wall-clock instant forwarded to the solver;
+    [reduce] is the learned-clause-DB reduction knob (default on). *)

@@ -6,6 +6,7 @@ type key = {
   tgt : string;
   unroll : int;
   max_conflicts : int;
+  reduce : bool;
 }
 
 type stats = {

@@ -21,6 +21,8 @@ type key = {
   tgt : string;  (** canonical target function text *)
   unroll : int;
   max_conflicts : int;
+  reduce : bool;  (** clause-DB reduction knob — a budget parameter, so part
+                      of the key: [Unknown] verdicts depend on it *)
 }
 
 type stats = {

@@ -228,6 +228,21 @@ let engine_stats ppf (engine : Veriopt_alive.Engine.t) =
   Fmt.pf ppf "  sat:    %d checks, %d conflicts, %d decisions, %d propagations@."
     sat.Veriopt_smt.Solver.checks sat.Veriopt_smt.Solver.conflicts
     sat.Veriopt_smt.Solver.decisions sat.Veriopt_smt.Solver.propagations;
+  Fmt.pf ppf "  sat-db: %d learned, %d deleted in %d reductions, peak live DB %d@."
+    sat.Veriopt_smt.Solver.learned sat.Veriopt_smt.Solver.deleted
+    sat.Veriopt_smt.Solver.reductions sat.Veriopt_smt.Solver.db_peak;
+  if sat.Veriopt_smt.Solver.learned > 0 then begin
+    Fmt.pf ppf "  lbd:    ";
+    Array.iteri
+      (fun i n ->
+        let label =
+          if i = Array.length sat.Veriopt_smt.Solver.lbd_hist - 1 then Fmt.str "%d+" (i + 1)
+          else string_of_int (i + 1)
+        in
+        Fmt.pf ppf "%s:%d " label n)
+      sat.Veriopt_smt.Solver.lbd_hist;
+    Fmt.pf ppf "@."
+  end;
   if s.Veriopt_alive.Vcache.breaker_trips > 0 || s.Veriopt_alive.Vcache.breaker_skips > 0 then
     Fmt.pf ppf "  breaker: %d trips, %d tier-2 runs skipped while open@."
       s.Veriopt_alive.Vcache.breaker_trips s.Veriopt_alive.Vcache.breaker_skips;

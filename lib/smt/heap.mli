@@ -5,6 +5,11 @@ type t
 val create : capacity:int -> score:(int -> float) -> t
 val in_heap : t -> int -> bool
 val is_empty : t -> bool
+val size : t -> int
 val insert : t -> int -> unit
 val pop_max : t -> int
+
+val remove : t -> int -> unit
+(** Remove an arbitrary element (no-op if absent), restoring heap order. *)
+
 val notify_increase : t -> int -> unit

@@ -1,7 +1,9 @@
 (** A CDCL SAT solver: two-watched-literal propagation, first-UIP clause
-    learning, VSIDS decision heuristic with phase saving and Luby restarts.
-    A conflict budget turns hard instances into [Unknown], which the verifier
-    reports as "inconclusive" — mirroring Alive2's solver timeouts.
+    learning, VSIDS decision heuristic with phase saving and Luby restarts,
+    and Glucose-style learned-clause management (LBD scoring, clause
+    activities, periodic clause-DB reduction).  A conflict budget turns hard
+    instances into [Unknown], which the verifier reports as "inconclusive"
+    — mirroring Alive2's solver timeouts.
 
     Literal encoding: variable [v >= 0]; positive literal [2v], negative
     [2v+1]. *)
@@ -13,7 +15,27 @@ let var_of_lit l = l lsr 1
 let lit_neg l = l lxor 1
 let lit_sign l = l land 1 = 0 (* true = positive *)
 
-type clause = { lits : int array; learned : bool }
+type clause = {
+  mutable lits : int array; (* [||] once deleted *)
+  learned : bool;
+  mutable lbd : int; (* literal-block distance; 0 for problem clauses *)
+  mutable act : float; (* clause activity (bumped when used in analysis) *)
+  mutable deleted : bool;
+}
+
+(* The LBD histogram exported by [db_stats]: bucket [i] counts learned
+   clauses whose LBD at learning time was [i + 1]; the last bucket pools
+   everything >= [lbd_buckets]. *)
+let lbd_buckets = 8
+
+type db_stats = {
+  learned : int; (* learned clauses ever stored *)
+  deleted : int; (* learned clauses deleted by reductions *)
+  live : int; (* current learned-DB size *)
+  peak : int; (* largest learned-DB size ever *)
+  reductions : int; (* clause-DB reduction passes *)
+  lbd_hist : int array; (* length [lbd_buckets]; see above *)
+}
 
 type t = {
   mutable nvars : int;
@@ -35,13 +57,24 @@ type t = {
   mutable propagations : int;
   mutable decisions : int;
   mutable seen : bool array; (* scratch for conflict analysis *)
+  (* learned-clause management *)
+  learnts : Vec.t; (* indices of live learned clauses *)
+  mutable cla_inc : float; (* clause-activity increment *)
+  mutable lbd_stamp : int array; (* level -> stamp, scratch for LBD *)
+  mutable stamp : int;
+  mutable n_learned : int;
+  mutable n_deleted : int;
+  mutable n_reductions : int;
+  mutable max_db : int;
+  lbd_hist : int array;
 }
 
 let create () =
   let activity = ref (Array.make 8 0.) in
   {
     nvars = 0;
-    clauses = Array.make 64 { lits = [||]; learned = false };
+    clauses =
+      Array.make 64 { lits = [||]; learned = false; lbd = 0; act = 0.; deleted = false };
     nclauses = 0;
     watches = Array.init 16 (fun _ -> Vec.create ~capacity:4 ());
     assign = Array.make 8 (-1);
@@ -59,6 +92,15 @@ let create () =
     propagations = 0;
     decisions = 0;
     seen = Array.make 8 false;
+    learnts = Vec.create ();
+    cla_inc = 1.0;
+    lbd_stamp = Array.make 9 0;
+    stamp = 0;
+    n_learned = 0;
+    n_deleted = 0;
+    n_reductions = 0;
+    max_db = 0;
+    lbd_hist = Array.make lbd_buckets 0;
   }
 
 let grow_arrays t n =
@@ -75,6 +117,10 @@ let grow_arrays t n =
     t.reason <- extend t.reason (-1);
     t.phase <- extend t.phase false;
     t.seen <- extend t.seen false;
+    (* decision levels range over 0..nvars inclusive *)
+    (let b = Array.make (size + 1) 0 in
+     Array.blit t.lbd_stamp 0 b 0 (Array.length t.lbd_stamp);
+     t.lbd_stamp <- b);
     t.activity := extend !(t.activity) 0.)
 
 let grow_watches t nlit =
@@ -132,7 +178,9 @@ let add_clause t (lits : int list) =
         | [ l ] -> enqueue t l (-1)
         | _ ->
           let arr = Array.of_list lits in
-          let idx = push_clause t { lits = arr; learned = false } in
+          let idx =
+            push_clause t { lits = arr; learned = false; lbd = 0; act = 0.; deleted = false }
+          in
           watch_clause t idx)
 
 (* Propagate all enqueued assignments; returns a conflicting clause index or
@@ -204,10 +252,94 @@ let var_bump t v =
 
 let var_decay t = t.var_inc <- t.var_inc /. 0.95
 
+(* ------------------------------------------------------------------ *)
+(* Learned-clause management: LBD scoring and clause activities *)
+
+(* Literal-block distance: the number of distinct decision levels among the
+   clause's literals (Glucose's quality measure — a clause touching few
+   levels "glues" blocks of the search together and keeps propagating after
+   restarts).  Level-0 literals are permanently falsified and don't count. *)
+let compute_lbd t (lits : int array) =
+  t.stamp <- t.stamp + 1;
+  let stamp = t.stamp in
+  let n = ref 0 in
+  Array.iter
+    (fun l ->
+      let lv = t.level.(var_of_lit l) in
+      if lv > 0 && t.lbd_stamp.(lv) <> stamp then (
+        t.lbd_stamp.(lv) <- stamp;
+        incr n))
+    lits;
+  max 1 !n
+
+let cla_bump t (c : clause) =
+  c.act <- c.act +. t.cla_inc;
+  if c.act > 1e20 then (
+    Vec.iter
+      (fun ci ->
+        let c = t.clauses.(ci) in
+        c.act <- c.act *. 1e-20)
+      t.learnts;
+    t.cla_inc <- t.cla_inc *. 1e-20)
+
+let cla_decay t = t.cla_inc <- t.cla_inc /. 0.999
+
+(* A clause is locked while it is the reason of an assigned variable; the
+   watched-literal invariant keeps the implied literal at position 0 for as
+   long as the assignment stands, so one lookup suffices. *)
+let locked t ci =
+  let c = t.clauses.(ci) in
+  Array.length c.lits > 0
+  && value_lit t c.lits.(0) = 1
+  && t.reason.(var_of_lit c.lits.(0)) = ci
+
+(* Reduce the learned-clause DB: delete the worse half, where "worse" is
+   higher LBD then lower activity.  Kept unconditionally: glue clauses
+   (LBD <= 2), binary clauses (cheap to keep, expensive to relearn), and
+   locked clauses (deleting a reason would corrupt conflict analysis). *)
+let reduce_db t =
+  t.n_reductions <- t.n_reductions + 1;
+  let n = Vec.length t.learnts in
+  let idxs = Array.init n (Vec.get t.learnts) in
+  (* worst first: highest LBD, ties broken toward lowest activity *)
+  Array.sort
+    (fun a b ->
+      let ca = t.clauses.(a) and cb = t.clauses.(b) in
+      if ca.lbd <> cb.lbd then compare cb.lbd ca.lbd else compare ca.act cb.act)
+    idxs;
+  let target = n / 2 in
+  let deleted = ref 0 in
+  Array.iter
+    (fun ci ->
+      let c = t.clauses.(ci) in
+      if
+        !deleted < target && c.lbd > 2
+        && Array.length c.lits > 2
+        && not (locked t ci)
+      then (
+        ignore (Vec.remove t.watches.(lit_neg c.lits.(0)) ci);
+        ignore (Vec.remove t.watches.(lit_neg c.lits.(1)) ci);
+        c.deleted <- true;
+        c.lits <- [||];
+        incr deleted))
+    idxs;
+  Vec.filter_in_place (fun ci -> not t.clauses.(ci).deleted) t.learnts;
+  t.n_deleted <- t.n_deleted + !deleted;
+  (* defensive: no assigned variable may be left with a deleted reason *)
+  Vec.iter
+    (fun l ->
+      let r = t.reason.(var_of_lit l) in
+      if r >= 0 && t.clauses.(r).deleted then
+        failwith "Sat.reduce_db: deleted a locked clause")
+    t.trail
+
+(* ------------------------------------------------------------------ *)
+
 (* First-UIP conflict analysis: walk the implication graph backwards from the
    conflict, resolving on current-level literals until a single one (the UIP)
    remains.  Returns the learned clause (asserting literal first) and the
-   backtrack level. *)
+   backtrack level.  Every learned clause met along the walk gets its
+   activity bumped and its LBD refreshed (it can only shrink). *)
 let analyze t conflict_idx =
   let seen = t.seen in
   let learned = ref [] in
@@ -220,6 +352,11 @@ let analyze t conflict_idx =
   let continue_loop = ref true in
   while !continue_loop do
     let c = t.clauses.(!confl) in
+    if c.learned then begin
+      cla_bump t c;
+      let l = compute_lbd t c.lits in
+      if l < c.lbd then c.lbd <- l
+    end;
     Array.iter
       (fun q ->
         if q <> !p then
@@ -275,8 +412,16 @@ let record_learned t lits =
     let tmp = arr.(1) in
     arr.(1) <- arr.(!best);
     arr.(!best) <- tmp;
-    let idx = push_clause t { lits = arr; learned = true } in
+    let lbd = compute_lbd t arr in
+    let idx =
+      push_clause t { lits = arr; learned = true; lbd; act = t.cla_inc; deleted = false }
+    in
     watch_clause t idx;
+    Vec.push t.learnts idx;
+    t.n_learned <- t.n_learned + 1;
+    let bucket = min lbd lbd_buckets - 1 in
+    t.lbd_hist.(bucket) <- t.lbd_hist.(bucket) + 1;
+    if Vec.length t.learnts > t.max_db then t.max_db <- Vec.length t.learnts;
     enqueue t l0 idx
 
 let decide t =
@@ -309,12 +454,17 @@ let luby x =
   done;
   float_of_int (1 lsl !seq)
 
-let solve ?(max_conflicts = 200_000) ?deadline t =
+let solve ?(max_conflicts = 200_000) ?deadline ?(reduce = true) ?(reduce_first = 2000) t =
   if t.unsat then Unsat
   else begin
     let result = ref None in
     let restart_count = ref 0 in
     let until_restart = ref (int_of_float (100. *. luby 0)) in
+    (* Geometric reduction schedule: when the live learned DB reaches the
+       threshold, delete the worse half and grow the threshold by 3/2 —
+       interleaved with the Luby restarts, which periodically unlock
+       reason clauses so no clause is pinned forever. *)
+    let max_learnts = ref (max 4 reduce_first) in
     (* Wall-clock deadline, checked alongside the conflict budget.  The
        clock read is amortized over 128 loop iterations so the common
        (no-deadline or far-from-deadline) case stays in the noise. *)
@@ -344,6 +494,11 @@ let solve ?(max_conflicts = 200_000) ?deadline t =
           record_learned t learned;
           if t.unsat then result := Some Unsat;
           var_decay t;
+          cla_decay t;
+          if reduce && Vec.length t.learnts >= !max_learnts then begin
+            reduce_db t;
+            max_learnts := !max_learnts * 3 / 2
+          end;
           decr until_restart
         end
       end
@@ -362,5 +517,46 @@ let solve ?(max_conflicts = 200_000) ?deadline t =
 let model_value t v = t.assign.(v) = 1
 
 let stats t = (t.conflicts, t.decisions, t.propagations)
+
+let db_stats t =
+  {
+    learned = t.n_learned;
+    deleted = t.n_deleted;
+    live = Vec.length t.learnts;
+    peak = t.max_db;
+    reductions = t.n_reductions;
+    lbd_hist = Array.copy t.lbd_hist;
+  }
+
 let num_vars t = t.nvars
 let num_clauses t = t.nclauses
+
+(* ------------------------------------------------------------------ *)
+(* Structural invariants of the clause DB, for the fuzz harness.  Raises
+   [Failure] on violation. *)
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith ("Sat.check_invariants: " ^^ fmt) in
+  (* no deleted clause may be a reason or sit in a watch list *)
+  for v = 0 to t.nvars - 1 do
+    let r = t.reason.(v) in
+    if t.assign.(v) >= 0 && r >= 0 && t.clauses.(r).deleted then
+      fail "deleted clause %d is the reason of var %d" r v
+  done;
+  Array.iter
+    (fun ws ->
+      Vec.iter
+        (fun ci -> if t.clauses.(ci).deleted then fail "deleted clause %d still watched" ci)
+        ws)
+    t.watches;
+  (* the learnt index tracks exactly the live learned clauses *)
+  Vec.iter
+    (fun ci ->
+      let c = t.clauses.(ci) in
+      if not c.learned then fail "problem clause %d in the learnt index" ci;
+      if c.deleted then fail "deleted clause %d in the learnt index" ci)
+    t.learnts;
+  if Vec.length t.learnts <> t.n_learned - t.n_deleted then
+    fail "live count %d <> learned %d - deleted %d" (Vec.length t.learnts) t.n_learned
+      t.n_deleted;
+  if t.max_db < Vec.length t.learnts then
+    fail "peak %d below live %d" t.max_db (Vec.length t.learnts)

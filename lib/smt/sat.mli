@@ -1,6 +1,8 @@
 (** A CDCL SAT solver: two-watched-literal propagation, first-UIP learning,
-    VSIDS with phase saving, Luby restarts.  A conflict budget turns hard
-    instances into [Unknown] (the verifier's "inconclusive").
+    VSIDS with phase saving, Luby restarts, and Glucose-style learned-clause
+    management (LBD scoring, clause activities, periodic DB reduction).  A
+    conflict budget turns hard instances into [Unknown] (the verifier's
+    "inconclusive").
 
     Literals: variable [v >= 0]; positive literal [2v], negative [2v+1]. *)
 
@@ -19,9 +21,18 @@ val new_var : t -> int
 val add_clause : t -> int list -> unit
 (** Must be called before solving (at decision level 0). *)
 
-val solve : ?max_conflicts:int -> ?deadline:float -> t -> result
+val solve :
+  ?max_conflicts:int -> ?deadline:float -> ?reduce:bool -> ?reduce_first:int -> t -> result
 (** [deadline] is an absolute [Unix.gettimeofday] instant; exceeding either
-    the conflict budget or the deadline yields [Unknown]. *)
+    the conflict budget or the deadline yields [Unknown].
+
+    [reduce] (default [true]) enables learned-clause-DB reduction: when the
+    live learned-clause count reaches [reduce_first] (default 2000) the
+    worse half — highest LBD, then lowest activity — is deleted and the
+    threshold grows geometrically (x3/2).  Glue clauses (LBD <= 2), binary
+    clauses and locked reason clauses are never deleted.  Reduction changes
+    the search trajectory but never the verdict; [?reduce:false] exists so
+    differential harnesses can check exactly that. *)
 
 val model_value : t -> int -> bool
 (** Variable assignment after [Sat]. *)
@@ -29,5 +40,26 @@ val model_value : t -> int -> bool
 val stats : t -> int * int * int
 (** (conflicts, decisions, propagations). *)
 
+val lbd_buckets : int
+(** Length of [db_stats.lbd_hist]. *)
+
+type db_stats = {
+  learned : int;  (** learned clauses ever stored *)
+  deleted : int;  (** learned clauses deleted by reductions *)
+  live : int;  (** current learned-DB size ([learned - deleted]) *)
+  peak : int;  (** largest learned-DB size ever *)
+  reductions : int;  (** clause-DB reduction passes *)
+  lbd_hist : int array;
+      (** bucket [i]: learned clauses with LBD [i + 1] at learning time;
+          the last bucket pools LBD >= [lbd_buckets] *)
+}
+
+val db_stats : t -> db_stats
+
 val num_vars : t -> int
 val num_clauses : t -> int
+
+val check_invariants : t -> unit
+(** Structural invariants of the clause DB — no deleted clause is watched,
+    is a reason, or lingers in the learnt index; counters are consistent.
+    Raises [Failure] on violation.  Test hook for the fuzz harness. *)

@@ -21,6 +21,11 @@ type stats = {
   conflicts : int;
   decisions : int;
   propagations : int;
+  learned : int;
+  deleted : int;
+  reductions : int;
+  db_peak : int;
+  lbd_hist : int array;
 }
 
 let s_checks = Atomic.make 0
@@ -30,6 +35,11 @@ let s_unknown = Atomic.make 0
 let s_conflicts = Atomic.make 0
 let s_decisions = Atomic.make 0
 let s_propagations = Atomic.make 0
+let s_learned = Atomic.make 0
+let s_deleted = Atomic.make 0
+let s_reductions = Atomic.make 0
+let s_db_peak = Atomic.make 0
+let s_lbd_hist = Array.init Sat.lbd_buckets (fun _ -> Atomic.make 0)
 
 let stats () =
   {
@@ -40,21 +50,37 @@ let stats () =
     conflicts = Atomic.get s_conflicts;
     decisions = Atomic.get s_decisions;
     propagations = Atomic.get s_propagations;
+    learned = Atomic.get s_learned;
+    deleted = Atomic.get s_deleted;
+    reductions = Atomic.get s_reductions;
+    db_peak = Atomic.get s_db_peak;
+    lbd_hist = Array.map Atomic.get s_lbd_hist;
   }
 
 let reset_stats () =
   List.iter
     (fun c -> Atomic.set c 0)
-    [ s_checks; s_sat; s_unsat; s_unknown; s_conflicts; s_decisions; s_propagations ]
+    ([
+       s_checks; s_sat; s_unsat; s_unknown; s_conflicts; s_decisions; s_propagations;
+       s_learned; s_deleted; s_reductions; s_db_peak;
+     ]
+    @ Array.to_list s_lbd_hist)
 
 let bump counter n = ignore (Atomic.fetch_and_add counter n)
+
+let rec bump_max counter n =
+  let cur = Atomic.get counter in
+  if n > cur && not (Atomic.compare_and_set counter cur n) then bump_max counter n
 
 module Fault = Veriopt_fault.Fault
 
 (** Decide [/\ assertions].  [max_conflicts] is the conflict-count budget;
     [deadline] is an absolute wall-clock instant checked in the SAT loop
-    alongside it.  Exhausting either yields [Unknown]. *)
-let check ?(max_conflicts = 200_000) ?deadline (assertions : Expr.t list) : outcome =
+    alongside it.  Exhausting either yields [Unknown].  [reduce] (default
+    on) is the learned-clause-DB reduction knob, forwarded to {!Sat.solve}
+    so differential harnesses can diff the two trajectories. *)
+let check ?(max_conflicts = 200_000) ?deadline ?(reduce = true) (assertions : Expr.t list) :
+    outcome =
   let expired () =
     match deadline with None -> false | Some d -> Unix.gettimeofday () > d
   in
@@ -73,12 +99,18 @@ let check ?(max_conflicts = 200_000) ?deadline (assertions : Expr.t list) : outc
   else begin
     let ctx = Bitblast.create () in
     List.iter (Bitblast.assert_term ctx) assertions;
-    let result = Sat.solve ~max_conflicts ?deadline ctx.Bitblast.sat in
+    let result = Sat.solve ~max_conflicts ?deadline ~reduce ctx.Bitblast.sat in
     let conflicts, decisions, propagations = Sat.stats ctx.Bitblast.sat in
+    let db = Sat.db_stats ctx.Bitblast.sat in
     bump s_checks 1;
     bump s_conflicts conflicts;
     bump s_decisions decisions;
     bump s_propagations propagations;
+    bump s_learned db.Sat.learned;
+    bump s_deleted db.Sat.deleted;
+    bump s_reductions db.Sat.reductions;
+    bump_max s_db_peak db.Sat.peak;
+    Array.iteri (fun i n -> bump s_lbd_hist.(i) n) db.Sat.lbd_hist;
     match result with
     | Sat.Sat ->
       bump s_sat 1;
@@ -97,8 +129,8 @@ let check ?(max_conflicts = 200_000) ?deadline (assertions : Expr.t list) : outc
 
 (** [valid t] checks that [t] is true under all assignments; on failure the
     model witnesses the violation. *)
-let valid ?max_conflicts ?deadline (t : Expr.t) : outcome =
-  match check ?max_conflicts ?deadline [ Expr.not_ t ] with
+let valid ?max_conflicts ?deadline ?reduce (t : Expr.t) : outcome =
+  match check ?max_conflicts ?deadline ?reduce [ Expr.not_ t ] with
   | Sat m -> Sat m (* counterexample *)
   | Unsat -> Unsat (* valid *)
   | Unknown -> Unknown

@@ -16,6 +16,13 @@ type stats = {
   conflicts : int;
   decisions : int;
   propagations : int;
+  learned : int;  (** learned clauses stored across all checks *)
+  deleted : int;  (** learned clauses deleted by DB reductions *)
+  reductions : int;  (** clause-DB reduction passes *)
+  db_peak : int;  (** largest live learned-DB of any single check *)
+  lbd_hist : int array;
+      (** learned clauses by LBD at learning time; bucket [i] is LBD
+          [i + 1], the last bucket pools LBD >= {!Sat.lbd_buckets} *)
 }
 (** Aggregate CDCL work across all [check] calls since the last
     {!reset_stats}; domain-safe (atomic counters). *)
@@ -23,14 +30,16 @@ type stats = {
 val stats : unit -> stats
 val reset_stats : unit -> unit
 
-val check : ?max_conflicts:int -> ?deadline:float -> Expr.t list -> outcome
+val check : ?max_conflicts:int -> ?deadline:float -> ?reduce:bool -> Expr.t list -> outcome
 (** Decide the conjunction of the assertions.  [max_conflicts] is the
     conflict-count resource budget; [deadline] is an absolute
     [Unix.gettimeofday] instant checked in the SAT loop alongside it.
     Exceeding either yields [Unknown], so a hostile query can exhaust at
-    most its budget — it can never hang the caller. *)
+    most its budget — it can never hang the caller.  [reduce] (default on)
+    enables learned-clause-DB reduction in the SAT core; it trades search
+    trajectory, never soundness. *)
 
-val valid : ?max_conflicts:int -> ?deadline:float -> Expr.t -> outcome
+val valid : ?max_conflicts:int -> ?deadline:float -> ?reduce:bool -> Expr.t -> outcome
 (** [valid t]: [Unsat] means [t] holds under all assignments; [Sat m] is a
     counterexample. *)
 

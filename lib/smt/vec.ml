@@ -24,6 +24,34 @@ let pop v =
 let clear v = v.len <- 0
 let shrink v n = v.len <- n
 
+(* Order-destroying removals: the watch lists and the learnt-clause index
+   don't care about order, so removal is a swap with the last element. *)
+
+let swap_remove v i =
+  v.len <- v.len - 1;
+  Array.unsafe_set v.data i (Array.unsafe_get v.data v.len)
+
+let remove v x =
+  let i = ref 0 in
+  let found = ref false in
+  while (not !found) && !i < v.len do
+    if Array.unsafe_get v.data !i = x then (
+      swap_remove v !i;
+      found := true)
+    else incr i
+  done;
+  !found
+
+let filter_in_place p v =
+  let j = ref 0 in
+  for i = 0 to v.len - 1 do
+    let x = Array.unsafe_get v.data i in
+    if p x then (
+      Array.unsafe_set v.data !j x;
+      incr j)
+  done;
+  v.len <- !j
+
 let iter f v =
   for i = 0 to v.len - 1 do
     f (Array.unsafe_get v.data i)

@@ -10,5 +10,17 @@ val push : t -> int -> unit
 val pop : t -> int
 val clear : t -> unit
 val shrink : t -> int -> unit
+
+val swap_remove : t -> int -> unit
+(** Remove the element at an index by swapping the last element into its
+    place: O(1), does not preserve order. *)
+
+val remove : t -> int -> bool
+(** Remove the first occurrence of a value (swap-with-last, order not
+    preserved); [false] if absent. *)
+
+val filter_in_place : (int -> bool) -> t -> unit
+(** Keep only the elements satisfying the predicate, preserving order. *)
+
 val iter : (int -> unit) -> t -> unit
 val to_list : t -> int list

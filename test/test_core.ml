@@ -88,4 +88,74 @@ let evaluate_tests =
              ~out:E.src_metrics ~base:E.src_metrics));
   ]
 
-let suite = ("core", backend_tests @ evaluate_tests)
+(* ------------------------------------------------------------------ *)
+(* The SAT core's containers: the removal operations the clause-DB reducer
+   leans on (watch-list detach, learnt-index compaction, heap surgery). *)
+
+module Vec = Veriopt_smt.Vec
+module Heap = Veriopt_smt.Heap
+
+let container_tests =
+  [
+    Alcotest.test_case "Vec push/pop/swap_remove" `Quick (fun () ->
+        let v = Vec.create () in
+        List.iter (Vec.push v) [ 10; 20; 30; 40 ];
+        Alcotest.(check int) "length" 4 (Vec.length v);
+        Vec.swap_remove v 1;
+        (* 40 swapped into slot 1 *)
+        Alcotest.(check int) "length after swap_remove" 3 (Vec.length v);
+        Alcotest.(check int) "last element moved in" 40 (Vec.get v 1);
+        Alcotest.(check int) "pop" 30 (Vec.pop v);
+        Alcotest.(check int) "length after pop" 2 (Vec.length v));
+    Alcotest.test_case "Vec remove finds and removes one occurrence" `Quick (fun () ->
+        let v = Vec.create () in
+        List.iter (Vec.push v) [ 7; 8; 9; 8 ];
+        Alcotest.(check bool) "removes present value" true (Vec.remove v 8);
+        Alcotest.(check int) "one occurrence removed" 3 (Vec.length v);
+        Alcotest.(check bool) "second occurrence still there" true (Vec.remove v 8);
+        Alcotest.(check bool) "absent value" false (Vec.remove v 8);
+        Alcotest.(check bool) "never-present value" false (Vec.remove v 42);
+        Alcotest.(check int) "others untouched" 2 (Vec.length v));
+    Alcotest.test_case "Vec filter_in_place keeps order" `Quick (fun () ->
+        let v = Vec.create () in
+        List.iter (Vec.push v) [ 1; 2; 3; 4; 5; 6 ];
+        Vec.filter_in_place (fun x -> x mod 2 = 0) v;
+        Alcotest.(check (list int)) "evens in order" [ 2; 4; 6 ] (Vec.to_list v);
+        Vec.filter_in_place (fun _ -> false) v;
+        Alcotest.(check int) "empty after filtering all" 0 (Vec.length v));
+    Alcotest.test_case "Heap remove keeps max-heap order" `Quick (fun () ->
+        let act = Array.init 10 (fun i -> float_of_int (i * 7 mod 10)) in
+        let h = Heap.create ~capacity:10 ~score:(fun v -> act.(v)) in
+        for v = 0 to 9 do
+          Heap.insert h v
+        done;
+        Alcotest.(check int) "size" 10 (Heap.size h);
+        (* remove the max, a middle element and the min *)
+        Heap.remove h 7 (* act 9.0: the max *);
+        Heap.remove h 5 (* act 5.0: middle *);
+        Heap.remove h 0 (* act 0.0: min *);
+        Alcotest.(check int) "size after removes" 7 (Heap.size h);
+        Alcotest.(check bool) "removed not in heap" false
+          (Heap.in_heap h 7 || Heap.in_heap h 5 || Heap.in_heap h 0);
+        (* the survivors drain in strictly decreasing activity order *)
+        let drained = ref [] in
+        while Heap.size h > 0 do
+          drained := Heap.pop_max h :: !drained
+        done;
+        let order = List.rev !drained in
+        let rec sorted = function
+          | a :: (b :: _ as rest) -> act.(a) >= act.(b) && sorted rest
+          | _ -> true
+        in
+        Alcotest.(check bool) "drain order matches activities" true (sorted order);
+        Alcotest.(check int) "all survivors drained" 7 (List.length order));
+    Alcotest.test_case "Heap remove of absent element is a no-op" `Quick (fun () ->
+        let h = Heap.create ~capacity:4 ~score:float_of_int in
+        Heap.insert h 2;
+        Heap.remove h 3;
+        (* never inserted *)
+        Alcotest.(check int) "size unchanged" 1 (Heap.size h);
+        Alcotest.(check int) "max intact" 2 (Heap.pop_max h));
+  ]
+
+let suite = ("core", backend_tests @ evaluate_tests @ container_tests)

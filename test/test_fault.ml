@@ -254,7 +254,14 @@ let vcache_tests =
   [
     Alcotest.test_case "generation sweep: promotion on old-generation hit" `Quick (fun () ->
         let key i =
-          { Vcache.ctx = ""; src = string_of_int i; tgt = ""; unroll = 4; max_conflicts = 1 }
+          {
+            Vcache.ctx = "";
+            src = string_of_int i;
+            tgt = "";
+            unroll = 4;
+            max_conflicts = 1;
+            reduce = true;
+          }
         in
         let (c : int Vcache.t) = Vcache.create ~capacity:2 () in
         Vcache.add c (key 1) 1;
@@ -276,7 +283,9 @@ let vcache_tests =
         let (c : int Vcache.t) = Vcache.create ~capacity:0 () in
         let st = Vcache.stats c in
         Alcotest.(check int) "capacity clamped to 1" 1 st.Vcache.capacity;
-        Vcache.add c { Vcache.ctx = "x"; src = ""; tgt = ""; unroll = 0; max_conflicts = 0 } 9;
+        Vcache.add c
+          { Vcache.ctx = "x"; src = ""; tgt = ""; unroll = 0; max_conflicts = 0; reduce = true }
+          9;
         Vcache.reset c;
         let st = Vcache.stats c in
         Alcotest.(check int) "no entries after reset" 0 st.Vcache.entries;

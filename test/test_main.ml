@@ -5,6 +5,7 @@ let () =
       Test_ir.suite;
       Test_interp.suite;
       Test_smt.suite;
+      Test_sat_fuzz.suite;
       Test_alive.suite;
       Test_passes.suite;
       Test_cost.suite;

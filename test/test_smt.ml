@@ -196,6 +196,180 @@ let model_soundness_property =
            let env name = match m.Solver.bv_value name with Some (_, v) -> v | None -> 0L in
            Solver.eval_bv env (fun _ -> false) t = Veriopt_ir.Bits.mask w 42L))
 
+(* ------------------------------------------------------------------ *)
+(* End-to-end bit-vector fuzz: >= 1000 seeded round-trip cases (concrete
+   evaluation vs bit-blast + solve), plus the nsw/nuw/exact poison
+   predicates the Alive encoder builds, cross-checked against Bits'
+   concrete overflow predicates — the single source of truth both the
+   interpreter and the encoder claim to mirror.  VERIOPT_FUZZ_N cranks the
+   counts along with the SAT fuzzer's. *)
+
+module Bits = Veriopt_ir.Bits
+
+let bv_fuzz_n =
+  match Sys.getenv_opt "VERIOPT_FUZZ_N" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> max 1_000 (n / 5) | _ -> 1_000)
+  | None -> 1_000
+
+(* Like [gen_term] but biased toward small widths and shallow terms so a
+   thousand cases bit-blast in seconds; occasional wide terms keep the
+   64-bit carry chains honest. *)
+let gen_term_small =
+  QCheck2.Gen.(
+    let* w = frequency [ (9, oneofl [ 1; 2; 3; 4; 5; 6; 7; 8 ]); (1, oneofl [ 16; 32; 64 ]) ]
+    in
+    let* env = array_size (return 3) (map Int64.of_int int) in
+    let* depth = int_range 1 2 in
+    let rec term depth =
+      if depth = 0 then
+        let* pick = int_bound 3 in
+        if pick = 0 then map (Expr.bv_const w) (map Int64.of_int int)
+        else return (Expr.bv_var (Fmt.str "x%d" (pick - 1)) w)
+      else
+        let* a = term (depth - 1) in
+        let* b = term (depth - 1) in
+        let* op = oneofl all_ops in
+        return (Expr.bin op a b)
+    in
+    let* t = term depth in
+    return (w, env, t))
+
+let bitblast_roundtrip_fuzz =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:bv_fuzz_n
+       ~name:(Fmt.str "bit-vector round-trip fuzz, %d cases (VERIOPT_FUZZ_N)" bv_fuzz_n)
+       gen_term_small
+       (fun (w, env, t) ->
+         let expected = Solver.eval_bv (env_fn env) (fun _ -> false) t in
+         let pin i = Expr.eq (Expr.bv_var (Fmt.str "x%d" i) w) (Expr.bv_const w env.(i)) in
+         match
+           Solver.check (Expr.not_ (Expr.eq t (Expr.bv_const w expected)) :: List.init 3 pin)
+         with
+         | Solver.Unsat -> true
+         | Solver.Sat _ | Solver.Unknown -> false))
+
+(* The poison paths used by Alive: each case mirrors the exact term the
+   encoder builds for the flag (encode.ml) and the exact concrete predicate
+   the interpreter uses (Bits). *)
+type poison_case =
+  | Add_nsw
+  | Add_nuw
+  | Sub_nsw
+  | Sub_nuw
+  | Mul_nsw
+  | Mul_nuw
+  | Shl_nuw
+  | Shl_nsw
+  | Udiv_exact
+  | Sdiv_exact
+  | Lshr_exact
+  | Ashr_exact
+
+let poison_cases =
+  [
+    Add_nsw; Add_nuw; Sub_nsw; Sub_nuw; Mul_nsw; Mul_nuw; Shl_nuw; Shl_nsw; Udiv_exact;
+    Sdiv_exact; Lshr_exact; Ashr_exact;
+  ]
+
+let poison_term case w at bt =
+  let r op = Expr.bin op at bt in
+  let zero = Expr.bv_const w 0L in
+  let ones = Expr.bv_const w (Bits.all_ones w) in
+  let minv = Expr.bv_const w (Bits.min_signed w) in
+  match case with
+  | Add_nsw ->
+    let rt = r Expr.Add in
+    Expr.or_
+      (Expr.conj [ Expr.sge at zero; Expr.sge bt zero; Expr.slt rt zero ])
+      (Expr.conj [ Expr.slt at zero; Expr.slt bt zero; Expr.sge rt zero ])
+  | Add_nuw -> Expr.ult (r Expr.Add) at
+  | Sub_nsw ->
+    let rt = r Expr.Sub in
+    Expr.or_
+      (Expr.conj [ Expr.sge at zero; Expr.slt bt zero; Expr.slt rt zero ])
+      (Expr.conj [ Expr.slt at zero; Expr.sge bt zero; Expr.sge rt zero ])
+  | Sub_nuw -> Expr.ult at bt
+  | Mul_nuw ->
+    Expr.and_ (Expr.not_ (Expr.eq at zero)) (Expr.ugt bt (Expr.bin Expr.UDiv ones at))
+  | Mul_nsw ->
+    let rt = r Expr.Mul in
+    Expr.and_
+      (Expr.not_ (Expr.eq bt zero))
+      (Expr.or_
+         (Expr.not_ (Expr.eq (Expr.bin Expr.SDiv rt bt) at))
+         (Expr.and_ (Expr.eq at minv) (Expr.eq bt ones)))
+  | Shl_nuw -> Expr.not_ (Expr.eq (Expr.bin Expr.LShr (r Expr.Shl) bt) at)
+  | Shl_nsw -> Expr.not_ (Expr.eq (Expr.bin Expr.AShr (r Expr.Shl) bt) at)
+  | Udiv_exact -> Expr.not_ (Expr.eq (r Expr.URem) zero)
+  | Sdiv_exact -> Expr.not_ (Expr.eq (r Expr.SRem) zero)
+  | Lshr_exact -> Expr.not_ (Expr.eq (Expr.bin Expr.Shl (r Expr.LShr) bt) at)
+  | Ashr_exact -> Expr.not_ (Expr.eq (Expr.bin Expr.Shl (r Expr.AShr) bt) at)
+
+let poison_concrete case w a b =
+  match case with
+  | Add_nsw -> Bits.add_nsw_overflow w a b
+  | Add_nuw -> Bits.add_nuw_overflow w a b
+  | Sub_nsw -> Bits.sub_nsw_overflow w a b
+  | Sub_nuw -> Bits.sub_nuw_overflow w a b
+  | Mul_nsw -> Bits.mul_nsw_overflow w a b
+  | Mul_nuw -> Bits.mul_nuw_overflow w a b
+  | Shl_nuw -> Bits.shl_nuw_overflow w a b
+  | Shl_nsw -> Bits.shl_nsw_overflow w a b
+  | Udiv_exact -> Bits.udiv_exact_violation w a b
+  | Sdiv_exact -> Bits.sdiv_exact_violation w a b
+  | Lshr_exact -> Bits.lshr_exact_violation w a b
+  | Ashr_exact -> Bits.ashr_exact_violation w a b
+
+let gen_poison =
+  QCheck2.Gen.(
+    let* w = oneofl [ 1; 2; 3; 4; 5; 6; 7; 8; 12; 16 ] in
+    let* case = oneofl poison_cases in
+    let* a0 = map Int64.of_int int in
+    let* b0 = map Int64.of_int int in
+    let a = Bits.mask w a0 and b = Bits.mask w b0 in
+    (* mirror the UB/poison guards the encoder emits before the flag
+       predicate matters: in-range shift amounts, nonzero divisors, and no
+       min/-1 signed-division overflow *)
+    let b =
+      match case with
+      | Shl_nuw | Shl_nsw | Lshr_exact | Ashr_exact -> Int64.rem b (Int64.of_int w)
+      | Udiv_exact | Sdiv_exact -> if b = 0L then 1L else b
+      | _ -> b
+    in
+    let a =
+      match case with
+      | Sdiv_exact when a = Bits.min_signed w && b = Bits.all_ones w -> 0L
+      | _ -> a
+    in
+    return (case, w, a, b))
+
+let poison_paths_fuzz =
+  let n = max 600 (bv_fuzz_n / 2) in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:n
+       ~name:(Fmt.str "nsw/nuw/exact poison predicates vs Bits, %d cases" n)
+       gen_poison
+       (fun (case, w, a, b) ->
+         let at = Expr.bv_var "pa" w and bt = Expr.bv_var "pb" w in
+         let p = poison_term case w at bt in
+         let expected = poison_concrete case w a b in
+         let env name = if name = "pa" then a else if name = "pb" then b else 0L in
+         (* the term evaluator agrees with Bits *)
+         Solver.eval_bool env (fun _ -> false) p = expected
+         &&
+         (* and so does the bit-blasted circuit: the disagreeing formula is
+            UNSAT under the pinned inputs *)
+         match
+           Solver.check
+             [
+               (if expected then Expr.not_ p else p);
+               Expr.eq at (Expr.bv_const w a);
+               Expr.eq bt (Expr.bv_const w b);
+             ]
+         with
+         | Solver.Unsat -> true
+         | Solver.Sat _ | Solver.Unknown -> false))
+
 let expr_tests =
   [
     Alcotest.test_case "constant folding in smart constructors" `Quick (fun () ->
@@ -239,4 +413,12 @@ let expr_tests =
   ]
 
 let suite =
-  ("smt", sat_tests @ expr_tests @ [ sat_property; bitblast_property; model_soundness_property ])
+  ( "smt",
+    sat_tests @ expr_tests
+    @ [
+        sat_property;
+        bitblast_property;
+        model_soundness_property;
+        bitblast_roundtrip_fuzz;
+        poison_paths_fuzz;
+      ] )
