@@ -1,4 +1,4 @@
-.PHONY: all build test bench micro verify-bench chaos-bench sat-bench fuzz check clean
+.PHONY: all build test bench micro verify-bench chaos-bench sat-bench proc-bench fuzz check clean
 
 all: build
 
@@ -32,17 +32,27 @@ chaos-bench: build
 sat-bench: build
 	dune exec bench/main.exe -- sat-bench
 
+# The fork-based isolation backend (--isolate proc): hostile-query kill
+# latency under 100% worker_hang injection (SIGKILL at the hard deadline,
+# supervisor respawn), then verdict agreement against the in-process
+# backend.  Writes machine-readable BENCH_proc.json; exits non-zero on a
+# conclusive-verdict flip or a hostile call that escaped degradation.
+proc-bench: build
+	dune exec bench/main.exe -- proc-bench
+
 # Long-run differential fuzz campaign over the SAT core and the bit-vector
 # poison paths (the runtest default is 5000 CNF + 1000 round-trip cases).
 fuzz: build
 	VERIOPT_FUZZ_N=50000 dune exec test/test_main.exe -- test sat-fuzz
 	VERIOPT_FUZZ_N=50000 dune exec test/test_main.exe -- test smt
 
-# The full gate: build, unit tests, a longer fuzz pass, chaos smoke.
+# The full gate: build, unit tests, a longer fuzz pass, chaos smoke, and
+# the hostile-query kill sweep through the forked-worker backend.
 check: build
 	dune runtest
 	VERIOPT_FUZZ_N=20000 dune exec test/test_main.exe -- test sat-fuzz
 	dune exec bench/main.exe -- robust-bench
+	dune exec bench/main.exe -- proc-bench
 
 clean:
 	dune clean

@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- --full all   -- paper-sized counts (slow)
 
    Experiments: dataset table1 table2 table3 fig4 fig5 fig6 fig7 figs8to12
-   ablations discussion verify-bench robust-bench sat-bench micro all. *)
+   ablations discussion verify-bench robust-bench sat-bench proc-bench micro all. *)
 
 module P = Veriopt.Pipeline
 module E = Veriopt.Evaluate
@@ -720,6 +720,175 @@ let run_sat_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* proc-bench: the fork-based isolation backend (--isolate proc).
+
+   Phase 1 (kill latency): one worker slot, 100% worker_hang injection, a
+   50ms deadline on the SMT-hostile mul-commutativity pair — every call
+   must degrade to an uncached Inconclusive via SIGKILL within ~2x the
+   budget.  An easy query between kills reads the replacement worker's pid
+   notice and resets the slot's failure backoff, so the sweep measures kill
+   latency, not backoff sleep.
+
+   Phase 2 (verdict agreement): the verify-bench workload (dataset labels +
+   hand-written pairs) through the proc backend vs the direct in-process
+   call; a conclusive-verdict flip is a correctness bug and exits 1.
+
+   Emits BENCH_proc.json.  Runs FIRST in the dispatch: OCaml 5 refuses to
+   fork once any domain exists, so a training leg before this one would
+   force the skip path. *)
+
+let run_proc_bench () =
+  header "PROC-BENCH (forked workers: SIGKILL deadlines, respawn, agreement)";
+  let module Engine = Veriopt_alive.Engine in
+  let module Vproc = Veriopt_vproc.Vproc in
+  let module Fault = Veriopt_fault.Fault in
+  let module A = Veriopt_alive.Alive in
+  Fault.disable ();
+  let skip reason =
+    Fmt.pf fmt "  %s; skipping@." reason;
+    let oc = open_out "BENCH_proc.json" in
+    output_string oc "{ \"skipped\": true }\n";
+    close_out oc;
+    Fmt.pf fmt "  wrote BENCH_proc.json@."
+  in
+  if not (Vproc.available ()) then skip "fork unavailable (VERIOPT_NO_FORK or non-Unix)"
+  else begin
+    Unix.putenv "VERIOPT_PROC_JOBS" "1";
+    let e = Engine.create ~tier1_samples:0 ~isolate:Engine.Proc () in
+    Unix.putenv "VERIOPT_PROC_JOBS" "";
+    if Engine.isolate e <> Engine.Proc then
+      skip "fork refused (a domain already exists in this process)"
+    else begin
+      let hostile_m, hostile_src, hostile_tgt =
+        let text op =
+          Fmt.str
+            "define i12 @f(i12 %%x, i12 %%y) {\nentry:\n  %%r = mul i12 %s\n  ret i12 %%r\n}" op
+        in
+        let m = Veriopt_ir.Parser.parse_module (text "%x, %y") in
+        ( m,
+          List.hd m.Veriopt_ir.Ast.funcs,
+          List.hd (Veriopt_ir.Parser.parse_module (text "%y, %x")).Veriopt_ir.Ast.funcs )
+      in
+      let easy_m =
+        Veriopt_ir.Parser.parse_module
+          "define i8 @f(i8 %x) {\nentry:\n  %r = add i8 %x, 0\n  ret i8 %r\n}"
+      in
+      let easy_src = List.hd easy_m.Veriopt_ir.Ast.funcs in
+      let easy_tgt =
+        List.hd
+          (Veriopt_ir.Parser.parse_module "define i8 @f(i8 %x) {\nentry:\n  ret i8 %x\n}")
+            .Veriopt_ir.Ast.funcs
+      in
+      (* --- phase 1: hard-kill latency under 100% worker_hang --------- *)
+      let budget = 0.05 in
+      let sweeps = 30 in
+      Vproc.reset_stats ();
+      let kill_lat = ref [] in
+      let non_degraded = ref 0 in
+      for i = 1 to sweeps do
+        (match Fault.configure_string "seed=7,worker_hang=1" with
+        | Ok () -> ()
+        | Error e -> failwith e);
+        let t0 = Unix.gettimeofday () in
+        let v =
+          Engine.verify_funcs ~deadline:(t0 +. budget) e hostile_m ~src:hostile_src
+            ~tgt:hostile_tgt
+        in
+        kill_lat := (Unix.gettimeofday () -. t0) :: !kill_lat;
+        if v.A.category <> A.Inconclusive then incr non_degraded;
+        Fault.disable ();
+        (* distinct budget => distinct cache key => a real worker round trip *)
+        ignore
+          (Engine.verify_funcs ~max_conflicts:(60_000 + i) e easy_m ~src:easy_src
+             ~tgt:easy_tgt)
+      done;
+      let pctl latencies p =
+        let a = Array.of_list latencies in
+        Array.sort compare a;
+        let n = Array.length a in
+        if n = 0 then 0. else a.(min (n - 1) (int_of_float (p *. float_of_int n)))
+      in
+      let ms x = 1000. *. x in
+      let k50 = pctl !kill_lat 0.5
+      and k99 = pctl !kill_lat 0.99
+      and kmax = List.fold_left Float.max 0. !kill_lat in
+      let within_2x = k99 <= 2. *. budget in
+      let st = Vproc.stats () in
+      Fmt.pf fmt "  kill sweep: %d hostile calls at %.0fms budget, %d degraded@." sweeps
+        (ms budget) (sweeps - !non_degraded);
+      Fmt.pf fmt "  kill latency: p50 %.1fms  p99 %.1fms  max %.1fms  (2x budget: %s)@."
+        (ms k50) (ms k99) (ms kmax)
+        (if within_2x then "within" else "EXCEEDED");
+      Fmt.pf fmt "  workers: %d spawned, %d killed, %d crashed, %d respawned, %d frames@."
+        st.Vproc.spawned st.Vproc.killed st.Vproc.crashed st.Vproc.respawned st.Vproc.frames;
+      (* --- phase 2: verdict agreement vs the in-process backend ------ *)
+      let ds = S.build ~verify:false ~seed0:424242 ~n:12 () in
+      let handwritten =
+        List.filter_map
+          (fun (src_text, tgt_text) ->
+            let m = Veriopt_ir.Parser.parse_module (src_text ^ "\n" ^ tgt_text) in
+            match m.Veriopt_ir.Ast.funcs with
+            | [ src; tgt ] -> Some (m, src, tgt)
+            | _ -> None)
+          [
+            ( "define i8 @f(i8 %x) {\nentry:\n  %r = add i8 %x, 1\n  ret i8 %r\n}",
+              "define i8 @g(i8 %x) {\nentry:\n  %r = add i8 %x, 2\n  ret i8 %r\n}" );
+            ( "define i16 @f(i16 %x) {\nentry:\n  %r = mul i16 %x, 2\n  ret i16 %r\n}",
+              "define i16 @g(i16 %x) {\nentry:\n  %r = shl i16 %x, 1\n  ret i16 %r\n}" );
+          ]
+      in
+      let pairs =
+        List.map (fun (s : S.sample) -> (s.S.modul, s.S.src, s.S.label)) ds.S.samples
+        @ handwritten
+      in
+      let checked = ref 0 and flips = ref 0 in
+      List.iter
+        (fun (m, src, tgt) ->
+          let direct = A.verify_funcs ~unroll:4 ~max_conflicts:10_000 m ~src ~tgt in
+          let proc =
+            Engine.verify_funcs ~unroll:4 ~max_conflicts:10_000 e m ~src ~tgt
+          in
+          incr checked;
+          let conclusive c = c = A.Equivalent || c = A.Semantic_error in
+          if
+            conclusive direct.A.category && conclusive proc.A.category
+            && direct.A.category <> proc.A.category
+          then begin
+            incr flips;
+            Fmt.pf fmt "  FLIP: direct=%s proc=%s@." direct.A.message proc.A.message
+          end)
+        pairs;
+      Fmt.pf fmt "  agreement: %d pairs checked, %d conclusive flips@." !checked !flips;
+      let json =
+        Fmt.str
+          {|{
+  "kill": {
+    "deadline_ms": %.1f, "sweeps": %d, "degraded": %d,
+    "p50_ms": %.2f, "p99_ms": %.2f, "max_ms": %.2f, "within_2x": %b
+  },
+  "workers": {
+    "spawned": %d, "killed": %d, "crashed": %d, "respawned": %d, "frames": %d
+  },
+  "agreement": { "checked": %d, "flips": %d }
+}
+|}
+          (ms budget) sweeps (sweeps - !non_degraded) (ms k50) (ms k99) (ms kmax) within_2x
+          st.Vproc.spawned st.Vproc.killed st.Vproc.crashed st.Vproc.respawned st.Vproc.frames
+          !checked !flips
+      in
+      let oc = open_out "BENCH_proc.json" in
+      output_string oc json;
+      close_out oc;
+      Fmt.pf fmt "  wrote BENCH_proc.json@.";
+      if !flips > 0 || !non_degraded > 0 then begin
+        Fmt.pf fmt
+          "  ERROR: the proc backend flipped a conclusive verdict or failed to degrade@.";
+        exit 1
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the substrates; one Test.make per kernel. *)
 
 let run_micro () =
@@ -790,11 +959,14 @@ let () =
   let wants x = List.mem "all" experiments || List.mem x experiments in
   (* micro and verify-bench are standalone: they build their own workloads
      and must not pay for (or pollute) the full training pipeline *)
-  let standalone = [ "micro"; "verify-bench"; "robust-bench"; "sat-bench" ] in
+  let standalone = [ "micro"; "verify-bench"; "robust-bench"; "sat-bench"; "proc-bench" ] in
   let needs_evals =
     List.mem "all" experiments
     || List.exists (fun x -> not (List.mem x standalone)) experiments
   in
+  (* proc-bench first: it forks worker pools, which OCaml 5 only permits
+     before any other leg has spawned a domain *)
+  if wants "proc-bench" then run_proc_bench ();
   if needs_evals then begin
     let e = build_evals scale in
     if wants "dataset" then run_dataset e;

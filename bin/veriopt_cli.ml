@@ -28,6 +28,9 @@ let category_string = function
   | Alive.Syntax_error -> "invalid IR (syntax error)"
   | Alive.Inconclusive -> "inconclusive"
 
+let isolate_conv =
+  Arg.enum [ ("proc", Veriopt_alive.Engine.Proc); ("domain", Veriopt_alive.Engine.Domains) ]
+
 (* ------------------------------------------------------------------ *)
 
 let verify_cmd =
@@ -44,13 +47,42 @@ let verify_cmd =
       value & flag
       & info [ "sat-stats" ] ~doc:"Print SAT-core statistics (conflicts, clause DB, LBD) on stderr")
   in
-  let run file no_reduce sat_stats =
+  let isolate =
+    Arg.(
+      value
+      & opt isolate_conv Veriopt_alive.Engine.Domains
+      & info [ "isolate" ] ~docv:"BACKEND"
+          ~doc:
+            "Verification backend: $(b,domain) (in-process, default) or $(b,proc) (a forked \
+             worker with hard SIGKILL deadlines and rlimit caps; also selectable via \
+             VERIOPT_ISOLATE).  With $(b,proc), --sat-stats counts stay in the worker")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Verification wall-clock budget; past it the verdict is inconclusive (under \
+             $(b,--isolate proc) the worker is SIGKILLed if it overruns)")
+  in
+  let run file no_reduce sat_stats isolate timeout =
     let m = load_module file in
     match m.Veriopt_ir.Ast.funcs with
     | [ src; tgt ] | src :: tgt :: _ ->
       let module Solver = Veriopt_smt.Solver in
       Solver.reset_stats ();
-      let v = Alive.verify_funcs ~reduce:(not no_reduce) m ~src ~tgt in
+      let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
+      let v =
+        match isolate with
+        | Veriopt_alive.Engine.Domains ->
+          Alive.verify_funcs ?deadline ~reduce:(not no_reduce) m ~src ~tgt
+        | iso ->
+          (* tier 1 off so the verdict comes from the same SMT path as the
+             direct call above, just behind the process boundary *)
+          let e = Veriopt_alive.Engine.create ~tier1_samples:0 ~isolate:iso () in
+          Veriopt_alive.Engine.verify_funcs ?deadline ~reduce:(not no_reduce) e m ~src ~tgt
+      in
       Fmt.pr "%s@.%s@." (category_string v.Alive.category) v.Alive.message;
       if sat_stats then begin
         let s = Solver.stats () in
@@ -75,7 +107,7 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Check that the second function of FILE.ll refines the first")
-    Term.(const run $ file $ no_reduce $ sat_stats)
+    Term.(const run $ file $ no_reduce $ sat_stats $ isolate $ timeout)
 
 let opt_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ll") in
@@ -158,7 +190,17 @@ let train_cmd =
       & info [ "verify-timeout" ] ~docv:"SECONDS"
           ~doc:"Per-candidate verification wall-clock budget (verdict: inconclusive)")
   in
-  let run train_n val_n steps checkpoint_dir checkpoint_every resume verify_timeout =
+  let isolate =
+    Arg.(
+      value
+      & opt (some isolate_conv) None
+      & info [ "isolate" ] ~docv:"BACKEND"
+          ~doc:
+            "Tier-2 verification backend for the reward path: $(b,proc) forks a worker pool \
+             with hard SIGKILL deadlines, $(b,domain) runs in-process (default; also \
+             selectable via VERIOPT_ISOLATE)")
+  in
+  let run train_n val_n steps checkpoint_dir checkpoint_every resume verify_timeout isolate =
     if resume && checkpoint_dir = None then begin
       Fmt.epr "error: --resume requires --checkpoint-dir@.";
       exit 2
@@ -177,6 +219,7 @@ let train_cmd =
             checkpoint_every;
             resume;
             verify_timeout;
+            isolate;
           };
       }
     in
@@ -191,7 +234,7 @@ let train_cmd =
     (Cmd.info "train" ~doc:"Run the four-model training pipeline and report accuracy")
     Term.(
       const run $ train_n $ val_n $ steps $ checkpoint_dir $ checkpoint_every $ resume
-      $ verify_timeout)
+      $ verify_timeout $ isolate)
 
 let dataset_cmd =
   let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of samples") in

@@ -4,23 +4,82 @@ open Veriopt_ir
 module Interp = Veriopt_eval.Interp
 module Exec_oracle = Veriopt_eval.Exec_oracle
 module Fault = Veriopt_fault.Fault
+module Vproc = Veriopt_vproc.Vproc
+
+type isolate = Domains | Proc
+
+(* The tier-2 query shipped to a forked worker: plain AST values and knobs,
+   no closures (Marshal requirement). *)
+type proc_request = Ast.modul * Ast.func * Ast.func * int * int * bool * float option
+
+let proc_handler ((m, src, tgt, unroll, max_conflicts, reduce, deadline) : proc_request) :
+    Alive.verdict =
+  Alive.verify_funcs ~unroll ~max_conflicts ?deadline ~reduce m ~src ~tgt
 
 type t = {
   cache : Alive.verdict Vcache.t;
   tier1_samples : int;
   breaker_k : int; (* 0 disables the circuit breaker *)
   breaker_cooldown : int;
+  isolate : isolate;
+  pool : (proc_request, Alive.verdict) Vproc.t option; (* Some iff isolate = Proc *)
 }
 
+let warned_env = Atomic.make false
+let warned_fallback = Atomic.make false
+
+let warn_once flag msg =
+  if not (Atomic.exchange flag true) then Printf.eprintf "veriopt: %s\n%!" msg
+
+let isolate_of_env () =
+  match Sys.getenv_opt "VERIOPT_ISOLATE" with
+  | None | Some "" | Some "domain" -> Domains
+  | Some "proc" -> Proc
+  | Some other ->
+    warn_once warned_env
+      (Printf.sprintf "ignoring invalid VERIOPT_ISOLATE=%S (want proc|domain)" other);
+    Domains
+
 let create ?(capacity = 8192) ?(tier1_samples = 16) ?(breaker_k = 0) ?(breaker_cooldown = 16)
-    () =
+    ?isolate () =
+  let isolate =
+    match Option.value isolate ~default:(isolate_of_env ()) with
+    | Proc when not (Vproc.available ()) ->
+      (* graceful degradation: no fork here means the in-process backend,
+         not a broken engine *)
+      warn_once warned_fallback
+        "process isolation unavailable (no fork); falling back to the domain backend";
+      Domains
+    | i -> i
+  in
+  let isolate, pool =
+    match isolate with
+    | Domains -> (Domains, None)
+    | Proc ->
+      (* fork eagerly, at engine creation: the only legal moment for a
+         multicore runtime, before reward traffic spins up the Par domains *)
+      let p = Vproc.create ~handler:proc_handler () in
+      if Vproc.slots_available p > 0 then (Proc, Some p)
+      else begin
+        (* fork refused (domains already exist): a dead pool would turn
+           every verdict Inconclusive, so degrade to the in-process backend *)
+        Vproc.shutdown p;
+        warn_once warned_fallback
+          "process isolation unavailable (fork refused — domains already running); falling \
+           back to the domain backend";
+        (Domains, None)
+      end
+  in
   {
     cache = Vcache.create ~capacity ();
     tier1_samples = max 0 tier1_samples;
     breaker_k = max 0 breaker_k;
     breaker_cooldown = max 1 breaker_cooldown;
+    isolate;
+    pool;
   }
 
+let isolate t = t.isolate
 let shared_engine = lazy (create ())
 let shared () = Lazy.force shared_engine
 
@@ -174,7 +233,33 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline ?(reduce = t
         end
         else begin
           let t0 = now () in
-          let v = Alive.verify_funcs ~unroll ~max_conflicts ?deadline ~reduce m ~src ~tgt in
+          let v =
+            match t.pool with
+            | None -> Alive.verify_funcs ~unroll ~max_conflicts ?deadline ~reduce m ~src ~tgt
+            | Some pool -> (
+              (* the child still gets the cooperative deadline; the hard
+                 SIGKILL fires only once it has overrun by half a budget *)
+              let kill_at =
+                Option.map (fun d -> d +. Float.max 0.01 (0.5 *. (d -. t0))) deadline
+              in
+              match
+                Vproc.call ?kill_at pool (m, src, tgt, unroll, max_conflicts, reduce, deadline)
+              with
+              | Ok v -> v
+              | Error f ->
+                (* a dead worker describes this call's sandbox, not the
+                   query: degrade to an uncached Inconclusive *)
+                cacheable := false;
+                {
+                  Alive.category = Alive.Inconclusive;
+                  message =
+                    Diagnostics.inconclusive_message
+                      ("verification " ^ Vproc.failure_message f ^ " (proc isolate)");
+                  example = [];
+                  bounded = Lazy.force bounded;
+                  copy_of_input = false;
+                })
+          in
           Vcache.note_tier2 t.cache ~seconds:(now () -. t0);
           if t.breaker_k > 0 then
             Vcache.breaker_note t.cache

@@ -25,8 +25,27 @@
 
 type t
 
+type isolate =
+  | Domains  (** tier 2 runs in-process (the default; deadlines are cooperative) *)
+  | Proc
+      (** tier 2 runs in a forked {!Veriopt_vproc.Vproc} worker: hard SIGKILL
+          deadlines, [setrlimit] memory/CPU caps, automatic respawn.  A dead
+          worker degrades to an {e uncached} [Inconclusive] verdict with a
+          distinct reason — never an exception in the reward path. *)
+
+val isolate_of_env : unit -> isolate
+(** The backend [VERIOPT_ISOLATE] selects: ["proc"] → [Proc], ["domain"],
+    empty or unset → [Domains]; anything else warns once and falls back to
+    [Domains]. *)
+
 val create :
-  ?capacity:int -> ?tier1_samples:int -> ?breaker_k:int -> ?breaker_cooldown:int -> unit -> t
+  ?capacity:int ->
+  ?tier1_samples:int ->
+  ?breaker_k:int ->
+  ?breaker_cooldown:int ->
+  ?isolate:isolate ->
+  unit ->
+  t
 (** [capacity] bounds the verdict cache (default 8192 per generation);
     [tier1_samples] is the concrete-oracle battery size (default 16;
     [0] disables tier 1).
@@ -36,7 +55,16 @@ val create :
     skipped for the next [breaker_cooldown] (default 16) would-be runs,
     answering [Inconclusive] immediately — degraded mode only ever widens
     [Inconclusive], never flips a conclusive verdict.  Trip and skip counts
-    surface in {!Vcache.stats}. *)
+    surface in {!Vcache.stats}.
+
+    [isolate] (default {!isolate_of_env}) picks the tier-2 backend.  [Proc]
+    forks its worker pool eagerly here — the safest moment for a multicore
+    runtime, before reward traffic spins up the Par domains — and silently
+    degrades to [Domains] when fork is unavailable (non-Unix, or
+    [VERIOPT_NO_FORK] set), with a one-time warning. *)
+
+val isolate : t -> isolate
+(** The backend this engine actually runs (after any fallback). *)
 
 val shared : unit -> t
 (** The process-wide engine, created on first use: training, evaluation and

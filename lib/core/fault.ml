@@ -14,6 +14,7 @@
                 | KIND "=" RATE (":" PARAM)?
       KIND    ::= solver_timeout | parse_corrupt | verify_delay
                 | worker_exn | oracle_exn | trainer_abort
+                | worker_hang | worker_oom
       RATE    ::= float in [0, 1]
       PARAM   ::= float (kind-specific: seconds for verify_delay,
                   last completed step for trainer_abort)
@@ -28,11 +29,22 @@ type kind =
   | Worker_exn  (** a Par pool task raises [Injected] *)
   | Oracle_exn  (** the concrete I/O oracle raises [Injected] *)
   | Trainer_abort  (** the trainer aborts after step [param] (kill simulation) *)
+  | Worker_hang  (** the vproc child busy-spins, forcing the hard-kill path *)
+  | Worker_oom  (** the vproc child allocation-bombs into its rlimit *)
 
 exception Injected of string
 
 let all_kinds =
-  [ Solver_timeout; Parse_corrupt; Verify_delay; Worker_exn; Oracle_exn; Trainer_abort ]
+  [
+    Solver_timeout;
+    Parse_corrupt;
+    Verify_delay;
+    Worker_exn;
+    Oracle_exn;
+    Trainer_abort;
+    Worker_hang;
+    Worker_oom;
+  ]
 
 let nkinds = List.length all_kinds
 
@@ -43,6 +55,8 @@ let index = function
   | Worker_exn -> 3
   | Oracle_exn -> 4
   | Trainer_abort -> 5
+  | Worker_hang -> 6
+  | Worker_oom -> 7
 
 let kind_name = function
   | Solver_timeout -> "solver_timeout"
@@ -51,6 +65,8 @@ let kind_name = function
   | Worker_exn -> "worker_exn"
   | Oracle_exn -> "oracle_exn"
   | Trainer_abort -> "trainer_abort"
+  | Worker_hang -> "worker_hang"
+  | Worker_oom -> "worker_oom"
 
 let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
 

@@ -9,7 +9,8 @@
     Spec grammar (comma-separated):
     [seed=INT] and [KIND=RATE[:PARAM]] clauses, where [KIND] is one of
     [solver_timeout], [parse_corrupt], [verify_delay], [worker_exn],
-    [oracle_exn], [trainer_abort]; [RATE] is in [0, 1]; [PARAM] is
+    [oracle_exn], [trainer_abort], [worker_hang], [worker_oom];
+    [RATE] is in [0, 1]; [PARAM] is
     kind-specific (seconds for [verify_delay], the last completed step for
     [trainer_abort]).
 
@@ -24,6 +25,12 @@ type kind =
   | Worker_exn  (** a Par pool task raises {!Injected} *)
   | Oracle_exn  (** the concrete I/O oracle raises {!Injected} *)
   | Trainer_abort  (** the trainer aborts after step [param] (kill simulation) *)
+  | Worker_hang
+      (** the vproc child busy-spins on a frame, exercising the parent's
+          SIGKILL hard-deadline path *)
+  | Worker_oom
+      (** the vproc child allocation-bombs into its [setrlimit] address-space
+          cap, exercising the crash/respawn path *)
 
 exception Injected of string
 (** The exception every exception-kind site raises; the crash-proof reward
@@ -44,6 +51,11 @@ val configure : config -> unit
 val configure_string : string -> (unit, string) result
 val disable : unit -> unit
 (** Turn all injection off (and stop consulting the environment). *)
+
+val config : unit -> config option
+(** The active configuration, if any (reading [VERIOPT_FAULTS] on first
+    query).  Lets the vproc pool ship the parent's live spec to forked
+    workers inside each request envelope. *)
 
 val enabled : unit -> bool
 

@@ -52,7 +52,12 @@ type artifacts = {
     backs every GRPO reward call here and is carried in the artifacts so
     evaluation and the bench harness keep hitting the same cache. *)
 let build ?(scale = quick) ?(progress = fun (_ : string) -> ()) ?engine () : artifacts =
-  let engine = match engine with Some e -> e | None -> Engine.shared () in
+  let engine =
+    match (engine, scale.opts.Trainer.isolate) with
+    | Some e, _ -> e
+    | None, Some i -> Engine.create ~isolate:i ()
+    | None, None -> Engine.shared ()
+  in
   progress "building training set";
   let train_ds = Suite.training ~verify:scale.verify_dataset ~n:scale.n_train () in
   progress "building validation set";

@@ -248,4 +248,10 @@ let engine_stats ppf (engine : Veriopt_alive.Engine.t) =
       s.Veriopt_alive.Vcache.breaker_trips s.Veriopt_alive.Vcache.breaker_skips;
   (let ef = Veriopt_rl.Reward.engine_failures () in
    if ef > 0 then Fmt.pf ppf "  reward: %d engine failures absorbed as inconclusive@." ef);
+  (let vp = Veriopt_vproc.Vproc.stats () in
+   if vp.Veriopt_vproc.Vproc.spawned > 0 then
+     Fmt.pf ppf "  vproc:  %d workers spawned (%d respawns), %d killed, %d crashed, %d frames@."
+       vp.Veriopt_vproc.Vproc.spawned vp.Veriopt_vproc.Vproc.respawned
+       vp.Veriopt_vproc.Vproc.killed vp.Veriopt_vproc.Vproc.crashed
+       vp.Veriopt_vproc.Vproc.frames);
   Fmt.pf ppf "  pool:   VERIOPT_JOBS=%d@." (Veriopt_par.Par.shared_jobs ())

@@ -1,0 +1,32 @@
+/* setrlimit for the forked verification workers.  The OCaml Unix library
+   exposes getrlimit/setrlimit on neither 4.x nor 5.x, so the two resources
+   the sandbox needs (address space, CPU seconds) go through this stub.
+
+   veriopt_vproc_setrlimit(which, limit):
+     which = 0 -> RLIMIT_AS   (bytes)
+     which = 1 -> RLIMIT_CPU  (seconds)
+   Sets both the soft and the hard limit (the child only ever lowers them,
+   which never needs privilege).  Returns 0 on success, -1 on failure —
+   callers treat failure as "run unlimited", never as fatal. */
+
+#include <caml/mlvalues.h>
+#include <sys/resource.h>
+
+CAMLprim value veriopt_vproc_setrlimit(value v_which, value v_limit)
+{
+  struct rlimit rl;
+  int resource;
+  switch (Int_val(v_which)) {
+  case 0:
+    resource = RLIMIT_AS;
+    break;
+  case 1:
+    resource = RLIMIT_CPU;
+    break;
+  default:
+    return Val_int(-1);
+  }
+  rl.rlim_cur = (rlim_t)Long_val(v_limit);
+  rl.rlim_max = (rlim_t)Long_val(v_limit);
+  return Val_int(setrlimit(resource, &rl));
+}

@@ -7,12 +7,16 @@
     replays the uninterrupted trajectory bit for bit.
 
     Files are written tmp + rename so a crash mid-write can never leave a
-    torn snapshot: the previous one survives untouched. *)
+    torn snapshot, and each write rotates the outgoing snapshot to
+    [<file>.prev].  The payload carries its length and a CRC-32, so load
+    detects truncation and bit rot — not just the torn-write case rename
+    already rules out — and falls back to [.prev] with a warning instead of
+    silently resuming from garbage. *)
 
 module Model = Veriopt_llm.Model
 
 let magic = "VERIOPT-CKPT"
-let version = 1
+let version = 2
 
 type snapshot = {
   stage : string;  (** which stage loop wrote this (e.g. "model-zero") *)
@@ -24,22 +28,56 @@ type snapshot = {
 }
 
 let path ~dir ~stage = Filename.concat dir (stage ^ ".ckpt")
+let prev_path file = file ^ ".prev"
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.  A handful of
+   megabytes per checkpoint write is well under the noise floor of a GRPO
+   step, and it keeps the format dependency-free. *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 (s : string) : int32 =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let i = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl) in
+      c := Int32.logxor table.(i) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ------------------------------------------------------------------ *)
 
 let save ~dir (snap : snapshot) : unit =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let final = path ~dir ~stage:snap.stage in
   let tmp = final ^ ".tmp" in
+  let payload = Marshal.to_string snap [] in
   let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       output_string oc magic;
       output_binary_int oc version;
-      Marshal.to_channel oc snap []);
+      output_binary_int oc (String.length payload);
+      output_binary_int oc (Int32.to_int (crc32 payload));
+      output_string oc payload);
+  (* rotate before rename: the outgoing good snapshot becomes the fallback *)
+  if Sys.file_exists final then Sys.rename final (prev_path final);
   Sys.rename tmp final
 
-let load ~dir ~stage : (snapshot, string) result =
-  let file = path ~dir ~stage in
+let load_file ~stage file : (snapshot, string) result =
   if not (Sys.file_exists file) then Error (Printf.sprintf "no checkpoint at %s" file)
   else
     let ic = open_in_bin file in
@@ -59,7 +97,32 @@ let load ~dir ~stage : (snapshot, string) result =
             (Printf.sprintf "%s: checkpoint version %d, this binary reads %d" file got_version
                version)
         | _ -> (
-          match (Marshal.from_channel ic : snapshot) with
-          | snap when snap.stage = stage -> Ok snap
-          | snap -> Error (Printf.sprintf "%s: stage %S, expected %S" file snap.stage stage)
-          | exception _ -> Error (Printf.sprintf "%s: corrupt snapshot payload" file)))
+          match
+            let len = input_binary_int ic in
+            let stored_crc = input_binary_int ic land 0xFFFFFFFF in
+            if len < 0 then failwith "negative length"
+            else
+              let payload = really_input_string ic len in
+              (payload, stored_crc)
+          with
+          | exception _ -> Error (Printf.sprintf "%s: truncated snapshot payload" file)
+          | payload, stored_crc ->
+            if Int32.to_int (crc32 payload) land 0xFFFFFFFF <> stored_crc then
+              Error (Printf.sprintf "%s: snapshot CRC mismatch (corrupt payload)" file)
+            else (
+              match (Marshal.from_string payload 0 : snapshot) with
+              | snap when snap.stage = stage -> Ok snap
+              | snap -> Error (Printf.sprintf "%s: stage %S, expected %S" file snap.stage stage)
+              | exception _ -> Error (Printf.sprintf "%s: corrupt snapshot payload" file))))
+
+let load ~dir ~stage : (snapshot, string) result =
+  let file = path ~dir ~stage in
+  match load_file ~stage file with
+  | Ok _ as ok -> ok
+  | Error reason when Sys.file_exists (prev_path file) -> (
+    (* the latest snapshot is unusable; fall back one write *)
+    Printf.eprintf "veriopt: %s; falling back to %s\n%!" reason (prev_path file);
+    match load_file ~stage (prev_path file) with
+    | Ok _ as ok -> ok
+    | Error prev_reason -> Error (Printf.sprintf "%s (fallback: %s)" reason prev_reason))
+  | Error _ as e -> e

@@ -2,9 +2,13 @@
 
     One file per stage ([<dir>/<stage>.ckpt]), overwritten in place via
     tmp + rename: a crash mid-write leaves the previous snapshot intact.
-    Because [Marshal] round-trips the RNG state and the parameter table
-    exactly, resuming from a snapshot written after step [N] reproduces the
-    uninterrupted run's remaining steps bit for bit. *)
+    Each write also rotates the outgoing snapshot to [<file>.prev], and the
+    payload carries its length plus a CRC-32 — so a truncated or bit-rotted
+    latest snapshot is detected on load and the run falls back to the
+    previous good one (with a warning on stderr) rather than resuming from
+    garbage.  Because [Marshal] round-trips the RNG state and the parameter
+    table exactly, resuming from a snapshot written after step [N]
+    reproduces the uninterrupted run's remaining steps bit for bit. *)
 
 type snapshot = {
   stage : string;  (** which stage loop wrote this (e.g. "model-zero") *)
@@ -20,8 +24,11 @@ val path : dir:string -> stage:string -> string
 (** [<dir>/<stage>.ckpt]. *)
 
 val save : dir:string -> snapshot -> unit
-(** Atomic write; creates [dir] if missing. *)
+(** Atomic write; creates [dir] if missing; rotates any existing snapshot
+    to [.prev] first. *)
 
 val load : dir:string -> stage:string -> (snapshot, string) result
-(** Validates the magic header, the format version and the stage name;
-    the error string says which check failed. *)
+(** Validates the magic header, the format version, the payload length and
+    CRC-32, and the stage name; the error string says which check failed.
+    A corrupt or truncated snapshot falls back to the [.prev] rotation
+    (warning on stderr) before giving up. *)

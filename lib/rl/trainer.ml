@@ -21,6 +21,7 @@ module Suite = Veriopt_data.Suite
 module Latency = Veriopt_cost.Latency
 module Par = Veriopt_par.Par
 module Fault = Veriopt_fault.Fault
+module Engine = Veriopt_alive.Engine
 
 (* Group scoring below runs on the Par pool: generation (which touches the
    model's parameter table) and GRPO updates stay sequential; only the
@@ -40,6 +41,7 @@ type options = {
   checkpoint_every : int;
   resume : bool;
   verify_timeout : float option;
+  isolate : Engine.isolate option;
 }
 
 let default_options =
@@ -55,7 +57,17 @@ let default_options =
     checkpoint_every = 25;
     resume = false;
     verify_timeout = None;
+    isolate = None;
   }
+
+(* An explicit engine wins; otherwise a requested isolation backend gets a
+   dedicated engine (with its worker pool forked here, before the Par
+   domains see traffic); otherwise the stage uses the shared default. *)
+let resolve_engine ~(opts : options) engine =
+  match (engine, opts.isolate) with
+  | (Some _ as e), _ -> e
+  | None, Some i -> Some (Engine.create ~isolate:i ())
+  | None, None -> None
 
 type stage_log = { raw_rewards : float list; ema_rewards : float list }
 
@@ -151,6 +163,7 @@ type stage1_result = {
 
 let train_model_zero ?(opts = default_options) ?engine (base : Model.t)
     (train : Suite.sample list) : stage1_result =
+  let engine = resolve_engine ~opts engine in
   let samples = Array.of_list train in
   let rcfg = { Reward.default_config with Reward.timeout = opts.verify_timeout } in
   let cfg =
@@ -252,6 +265,7 @@ type stage2_result = { model_correctness : Model.t; correctness_log : stage_log 
 
 let train_correctness ?(opts = default_options) ?engine (warm : Model.t)
     (train : Suite.sample list) : stage2_result =
+  let engine = resolve_engine ~opts engine in
   let samples = Array.of_list train in
   let rcfg = { Reward.default_config with Reward.timeout = opts.verify_timeout } in
   let cfg =
@@ -327,6 +341,7 @@ type stage3_result = { model_latency : Model.t; latency_log : stage_log }
 
 let train_latency ?(opts = default_options) ?engine (correctness : Model.t)
     (train : Suite.sample list) : stage3_result =
+  let engine = resolve_engine ~opts engine in
   let samples = Array.of_list train in
   let rcfg =
     {
@@ -402,6 +417,8 @@ type pipeline_result = {
 (** Run the full four-model pipeline from a base model. *)
 let full_pipeline ?(opts = default_options) ?engine (base : Model.t) (train : Suite.sample list)
     : pipeline_result =
+  (* resolve once so all three stages share one engine (and worker pool) *)
+  let engine = resolve_engine ~opts engine in
   let stage1 = train_model_zero ~opts ?engine base train in
   let warm = warm_up ~opts base train stage1.failures in
   let stage2 = train_correctness ~opts ?engine warm train in

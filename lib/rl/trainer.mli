@@ -21,6 +21,11 @@ type options = {
           uninterrupted run *)
   verify_timeout : float option;
       (** per-candidate verification wall-clock budget in seconds *)
+  isolate : Veriopt_alive.Engine.isolate option;
+      (** tier-2 verification backend for stages run without an explicit
+          [engine]: [Some Proc] gives each stage a dedicated engine whose
+          SMT queries run in forked, SIGKILL-able workers; [None] (default)
+          defers to the engine's own [VERIOPT_ISOLATE] resolution *)
 }
 
 val default_options : options

@@ -344,6 +344,58 @@ let checkpoint_tests =
         match Checkpoint.load ~dir ~stage:"model-zero" with
         | Ok _ -> Alcotest.fail "corrupt file accepted"
         | Error _ -> ());
+    Alcotest.test_case "corrupt snapshot falls back to the previous good one" `Quick
+      (fun () ->
+        let model = Veriopt_llm.Capability.base_3b () in
+        let snap step =
+          {
+            Checkpoint.stage = "model-zero";
+            step;
+            model;
+            rng = Random.State.make [| step |];
+            rewards_rev = [ float_of_int step ];
+            failures_rev = [];
+          }
+        in
+        let damaged damage =
+          let dir = tmpdir () in
+          Checkpoint.save ~dir (snap 2);
+          Checkpoint.save ~dir (snap 4) (* rotates the step-2 file into .prev *);
+          let path = Checkpoint.path ~dir ~stage:"model-zero" in
+          damage path;
+          match Checkpoint.load ~dir ~stage:"model-zero" with
+          | Error e -> Alcotest.failf "no fallback: %s" e
+          | Ok got -> Alcotest.(check int) "previous good snapshot" 2 got.Checkpoint.step
+        in
+        (* a truncated payload (crash mid-write) fails the length check *)
+        damaged (fun path ->
+            let len = (Unix.stat path).Unix.st_size in
+            Unix.truncate path (len - 7));
+        (* a flipped byte (disk rot) fails the CRC *)
+        damaged (fun path ->
+            let ic = open_in_bin path in
+            let len = in_channel_length ic in
+            let body = Bytes.of_string (really_input_string ic len) in
+            close_in ic;
+            Bytes.set body (len - 3) (Char.chr (Char.code (Bytes.get body (len - 3)) lxor 0x5a));
+            let oc = open_out_bin path in
+            output_bytes oc body;
+            close_out oc);
+        (* with both generations corrupt, the error mentions each *)
+        let dir = tmpdir () in
+        Checkpoint.save ~dir (snap 2);
+        Checkpoint.save ~dir (snap 4);
+        let wreck path =
+          let oc = open_out_bin path in
+          output_string oc "NOT A CHECKPOINT";
+          close_out oc
+        in
+        let path = Checkpoint.path ~dir ~stage:"model-zero" in
+        wreck path;
+        wreck (path ^ ".prev");
+        match Checkpoint.load ~dir ~stage:"model-zero" with
+        | Ok _ -> Alcotest.fail "two corrupt generations accepted"
+        | Error _ -> ());
     Alcotest.test_case "kill and resume reproduces the uninterrupted run exactly" `Quick
       (fun () ->
         let train = (S.build ~verify:false ~seed0:55105 ~n:4 ()).S.samples in
@@ -375,7 +427,39 @@ let checkpoint_tests =
           (List.length resumed.Trainer.failures));
   ]
 
+(* ------------------------------------------------------------------ *)
+
+let proc_chaos_tests =
+  [
+    Alcotest.test_case "worker-death chaos cannot break training even without fork" `Quick
+      (fun () ->
+        (* by this point the test binary has long since spawned Par domains,
+           so OCaml 5 refuses to fork: asking for the proc backend must fall
+           back to the in-process one (where worker faults have no site to
+           fire) and the sweep must still complete every step *)
+        let e = Engine.create ~isolate:Engine.Proc () in
+        Alcotest.(check bool) "fell back to the domain backend" true
+          (Engine.isolate e = Engine.Domains);
+        let train = (S.build ~verify:false ~seed0:55111 ~n:4 ()).S.samples in
+        let base = Veriopt_llm.Capability.base_3b () in
+        let opts =
+          {
+            Trainer.default_options with
+            Trainer.grpo_steps = 4;
+            group_size = 4;
+            verify_timeout = Some 0.05;
+            isolate = Some Engine.Proc;
+          }
+        in
+        let r =
+          with_faults "seed=1,worker_hang=1,worker_oom=1" (fun () ->
+              Trainer.train_model_zero ~opts base train)
+        in
+        Alcotest.(check int) "every GRPO step logged" 4
+          (List.length r.Trainer.zero_log.Trainer.raw_rewards));
+  ]
+
 let suite =
   ( "fault",
     spec_tests @ deadline_tests @ breaker_tests @ crash_proof_tests @ par_jobs_tests
-    @ vcache_tests @ checkpoint_tests )
+    @ vcache_tests @ checkpoint_tests @ proc_chaos_tests )

@@ -1,6 +1,9 @@
 let () =
   Alcotest.run "veriopt"
     [
+      (* vproc first: it forks worker pools, and OCaml 5 forbids fork once
+         any other suite has spawned a domain *)
+      Test_vproc.suite;
       Test_bits.suite;
       Test_ir.suite;
       Test_interp.suite;
