@@ -1,4 +1,4 @@
-.PHONY: all build test bench micro verify-bench chaos-bench sat-bench proc-bench fuzz check clean
+.PHONY: all build test bench micro verify-bench chaos-bench sat-bench proc-bench incr-bench fuzz check clean
 
 all: build
 
@@ -40,6 +40,15 @@ sat-bench: build
 proc-bench: build
 	dune exec bench/main.exe -- proc-bench
 
+# Incremental solver sessions + iterative-deepening unroll: one session
+# walking the depth schedule (learned clauses, activities and the
+# bit-blast memo retained) vs a fresh solve per depth vs one single-shot
+# solve at the full bound, plus the same sweep through the forked proc
+# backend.  Writes machine-readable BENCH_incr.json; exits non-zero if any
+# leg flips a conclusive verdict.
+incr-bench: build
+	dune exec bench/main.exe -- incr-bench
+
 # Long-run differential fuzz campaign over the SAT core and the bit-vector
 # poison paths (the runtest default is 5000 CNF + 1000 round-trip cases).
 fuzz: build
@@ -53,6 +62,7 @@ check: build
 	VERIOPT_FUZZ_N=20000 dune exec test/test_main.exe -- test sat-fuzz
 	dune exec bench/main.exe -- robust-bench
 	dune exec bench/main.exe -- proc-bench
+	dune exec bench/main.exe -- incr-bench
 
 clean:
 	dune clean

@@ -8,7 +8,8 @@
      dune exec bench/main.exe -- --full all   -- paper-sized counts (slow)
 
    Experiments: dataset table1 table2 table3 fig4 fig5 fig6 fig7 figs8to12
-   ablations discussion verify-bench robust-bench sat-bench proc-bench micro all. *)
+   ablations discussion verify-bench robust-bench sat-bench proc-bench
+   incr-bench micro all. *)
 
 module P = Veriopt.Pipeline
 module E = Veriopt.Evaluate
@@ -889,6 +890,244 @@ let run_proc_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* incr-bench: incremental solver sessions + iterative-deepening unroll.
+
+   The workload is loops with DATA-DEPENDENT exits: the iteration count is
+   an input, so every unroll depth admits real terminating executions and
+   proving depth d means re-establishing every frame k < d of a commuted
+   mul chain.  That is the shape where deepening has something to reuse —
+   a counting loop with a fixed bound is vacuous at shallow depths (the
+   exit is unreachable, the query propagates to Unsat with no search), so
+   all its proof work lands once at the final depth in every leg.  Each
+   pair is verified three ways under the same conflict budget:
+
+   - incremental: one solver session walks the 1 -> 2 -> 4 schedule,
+     retaining learned clauses, activities and the bit-blast memo;
+   - fresh-per-depth: the same schedule, but every depth is a fresh
+     single-shot solve — what deepening costs without the session;
+   - single-shot: one solve at the full bound, the agreement baseline.
+
+   A fourth leg replays the incremental schedule through the forked proc
+   backend (skipped gracefully when fork is refused).  Conclusive verdicts
+   must agree across all legs; wall time and conflicts per leg, the
+   session counters and the incremental-vs-fresh speedup land in
+   BENCH_incr.json.  Like proc-bench, this leg runs before anything spawns
+   a domain so the proc comparison can fork. *)
+
+let run_incr_bench () =
+  header "INCR-BENCH (incremental sessions + iterative-deepening unroll)";
+  let module Solver = Veriopt_smt.Solver in
+  let module Engine = Veriopt_alive.Engine in
+  let module Vproc = Veriopt_vproc.Vproc in
+  let unroll = 4 in
+  let max_conflicts = 200_000 in
+  let schedule = Alive.unroll_schedule unroll in
+  (* fork the proc pool first, while the process is still domain-free *)
+  let proc_engine =
+    if not (Vproc.available ()) then None
+    else begin
+      Unix.putenv "VERIOPT_PROC_JOBS" "1";
+      let e = Engine.create ~tier1_samples:0 ~isolate:Engine.Proc () in
+      Unix.putenv "VERIOPT_PROC_JOBS" "";
+      if Engine.isolate e = Engine.Proc then Some e else None
+    end
+  in
+  (* %z iterations of s <- (s * y) + k, returning the accumulator: the exit
+     is data-dependent, so depth d's proof covers z in {0..d-1} and must
+     re-prove mul commutativity for every frame below d. *)
+  let chain_pair ?(src_k = 3) ?(tgt_k = 3) w =
+    let text mul k =
+      Fmt.str
+        "define i%d @f(i%d %%x, i%d %%y, i%d %%z) {\nentry:\n  br label %%h\nh:\n  %%i = phi \
+         i%d [ 0, %%entry ], [ %%i2, %%b ]\n  %%s = phi i%d [ %%x, %%entry ], [ %%s2, %%b ]\n  \
+         %%c = icmp eq i%d %%i, %%z\n  br i1 %%c, label %%x, label %%b\nb:\n  %%m = mul i%d \
+         %s\n  %%s2 = add i%d %%m, %d\n  %%i2 = add i%d %%i, 1\n  br label %%h\nx:\n  ret i%d \
+         %%s\n}"
+        w w w w w w w w mul w k w w
+    in
+    let m = Veriopt_ir.Parser.parse_module (text "%s, %y" src_k) in
+    ( m,
+      List.hd m.Veriopt_ir.Ast.funcs,
+      List.hd (Veriopt_ir.Parser.parse_module (text "%y, %s" tgt_k)).Veriopt_ir.Ast.funcs )
+  in
+  let count_pair bound ret =
+    let src =
+      Fmt.str
+        "define i32 @f(i32 %%n) {\nentry:\n  br label %%h\nh:\n  %%i = phi i32 [ 0, %%entry ], \
+         [ %%i2, %%b ]\n  %%c = icmp slt i32 %%i, %d\n  br i1 %%c, label %%b, label %%x\nb:\n  \
+         %%i2 = add i32 %%i, 1\n  br label %%h\nx:\n  ret i32 %%i\n}"
+        bound
+    in
+    let tgt = Fmt.str "define i32 @f(i32 %%n) {\nentry:\n  ret i32 %d\n}" ret in
+    let m = Veriopt_ir.Parser.parse_module src in
+    ( m,
+      List.hd m.Veriopt_ir.Ast.funcs,
+      List.hd (Veriopt_ir.Parser.parse_module tgt).Veriopt_ir.Ast.funcs )
+  in
+  let pairs =
+    [
+      ("mul-chain-i7", chain_pair 7);
+      ("mul-chain-i7-k11", chain_pair ~src_k:11 ~tgt_k:11 7);
+      ("mul-chain-i7-k13", chain_pair ~src_k:13 ~tgt_k:13 7);
+      ("mul-chain-i7-wrong", chain_pair ~src_k:3 ~tgt_k:4 7);
+      ("count-3", count_pair 3 3);
+      ("count-3-wrong", count_pair 3 4);
+      ("count-100", count_pair 100 100);
+    ]
+  in
+  let cat_name = function
+    | Alive.Equivalent -> "equivalent"
+    | Alive.Semantic_error -> "semantic_error"
+    | Alive.Syntax_error -> "syntax_error"
+    | Alive.Inconclusive -> "inconclusive"
+  in
+  let conclusive = function Alive.Inconclusive -> false | _ -> true in
+  let run_leg f =
+    Solver.reset_stats ();
+    let t0 = Unix.gettimeofday () in
+    let verdicts =
+      List.map
+        (fun (name, (m, src, tgt)) ->
+          let t1 = Unix.gettimeofday () in
+          let c = f m src tgt in
+          (name, c, Unix.gettimeofday () -. t1))
+        pairs
+    in
+    (verdicts, Unix.gettimeofday () -. t0, Solver.stats ())
+  in
+  let incr_verdicts, incr_secs, incr_sat =
+    run_leg (fun m src tgt ->
+        (Alive.verify_funcs ~unroll ~max_conflicts ~incremental:true m ~src ~tgt).Alive.category)
+  in
+  let fresh_verdicts, fresh_secs, fresh_sat =
+    run_leg (fun m src tgt ->
+        (* the deepening policy without the session: a fresh full solve at
+           every depth, stopping exactly where the incremental loop stops *)
+        let rec go = function
+          | [] -> assert false
+          | d :: rest ->
+            let v = Alive.verify_funcs ~unroll:d ~max_conflicts ~incremental:false m ~src ~tgt in
+            if
+              rest = []
+              || v.Alive.category = Alive.Semantic_error
+              || v.Alive.category = Alive.Inconclusive
+            then v.Alive.category
+            else go rest
+        in
+        go schedule)
+  in
+  let single_verdicts, single_secs, single_sat =
+    run_leg (fun m src tgt ->
+        (Alive.verify_funcs ~unroll ~max_conflicts ~incremental:false m ~src ~tgt).Alive.category)
+  in
+  let count_flips name a b =
+    List.fold_left2
+      (fun n (pair, ca, _) (_, cb, _) ->
+        if conclusive ca && conclusive cb && ca <> cb then begin
+          Fmt.pf fmt "  ERROR: %s flip on %s: %s vs %s@." name pair (cat_name ca) (cat_name cb);
+          n + 1
+        end
+        else n)
+      0 a b
+  in
+  let flips_single = count_flips "incremental-vs-single-shot" incr_verdicts single_verdicts in
+  let flips_fresh = count_flips "incremental-vs-fresh-per-depth" incr_verdicts fresh_verdicts in
+  let proc =
+    match proc_engine with
+    | None ->
+      Fmt.pf fmt "  proc leg: fork unavailable or refused; skipping@.";
+      None
+    | Some e ->
+      let verdicts, secs, _ =
+        run_leg (fun m src tgt ->
+            (Engine.verify_funcs ~unroll ~max_conflicts ~incremental:true e m ~src ~tgt)
+              .Alive.category)
+      in
+      Some (verdicts, secs, count_flips "proc-vs-single-shot" verdicts single_verdicts)
+  in
+  let leg_line name secs (sat : Solver.stats) =
+    Fmt.pf fmt "  %-16s %6.2fs  %8d conflicts, %6d restarts, %d sessions (%d reused checks)@."
+      name secs sat.Solver.conflicts sat.Solver.restarts sat.Solver.sessions
+      sat.Solver.session_reuse
+  in
+  Fmt.pf fmt "  %d loop pairs, unroll schedule %a, %d-conflict budget@." (List.length pairs)
+    Fmt.(list ~sep:(any " -> ") int)
+    schedule max_conflicts;
+  leg_line "incremental" incr_secs incr_sat;
+  leg_line "fresh-per-depth" fresh_secs fresh_sat;
+  leg_line "single-shot" single_secs single_sat;
+  (match proc with
+  | Some (_, secs, _) -> Fmt.pf fmt "  %-16s %6.2fs  (worker-side counters)@." "proc" secs
+  | None -> ());
+  List.iter2
+    (fun (name, a, ta) (_, b, tb) ->
+      Fmt.pf fmt "  %-14s incr: %-13s %6.2fs    fresh: %-13s %6.2fs@." name (cat_name a) ta
+        (cat_name b) tb)
+    incr_verdicts fresh_verdicts;
+  let speedup = fresh_secs /. if incr_secs <= 0. then epsilon_float else incr_secs in
+  let flips = flips_single + flips_fresh + match proc with Some (_, _, f) -> f | None -> 0 in
+  Fmt.pf fmt "  deepening wall time: %.2fs fresh -> %.2fs incremental (%.2fx); flips: %d@."
+    fresh_secs incr_secs speedup flips;
+  let leg_json verdicts secs (sat : Solver.stats) =
+    let per_query =
+      String.concat ", "
+        (List.map
+           (fun (name, c, t) ->
+             Fmt.str {|{ "pair": "%s", "verdict": "%s", "seconds": %.4f }|} name (cat_name c) t)
+           verdicts)
+    in
+    Fmt.str
+      {|{ "seconds": %.4f, "conflicts": %d, "restarts": %d, "sessions": %d, "session_reuse": %d, "queries": [ %s ] }|}
+      secs sat.Solver.conflicts sat.Solver.restarts sat.Solver.sessions sat.Solver.session_reuse
+      per_query
+  in
+  let proc_json =
+    match proc with
+    | None -> {|{ "skipped": true }|}
+    | Some (verdicts, secs, f) ->
+      let per_query =
+        String.concat ", "
+          (List.map
+             (fun (name, c, t) ->
+               Fmt.str {|{ "pair": "%s", "verdict": "%s", "seconds": %.4f }|} name (cat_name c) t)
+             verdicts)
+      in
+      Fmt.str {|{ "seconds": %.4f, "flips": %d, "queries": [ %s ] }|} secs f per_query
+  in
+  let json =
+    Fmt.str
+      {|{
+  "unroll": %d,
+  "schedule": [ %a ],
+  "max_conflicts": %d,
+  "incremental": %s,
+  "fresh_per_depth": %s,
+  "single_shot": %s,
+  "proc": %s,
+  "speedup_vs_fresh": %.3f,
+  "conclusive_flips": %d
+}
+|}
+      unroll
+      Fmt.(list ~sep:comma int)
+      schedule max_conflicts
+      (leg_json incr_verdicts incr_secs incr_sat)
+      (leg_json fresh_verdicts fresh_secs fresh_sat)
+      (leg_json single_verdicts single_secs single_sat)
+      proc_json speedup flips
+  in
+  let oc = open_out "BENCH_incr.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pf fmt "  wrote BENCH_incr.json@.";
+  if speedup < 1.3 then
+    Fmt.pf fmt "  WARNING: incremental speedup %.2fx below the 1.3x target@." speedup;
+  if flips > 0 then begin
+    Fmt.pf fmt "  ERROR: the incremental schedule flipped a conclusive verdict@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the substrates; one Test.make per kernel. *)
 
 let run_micro () =
@@ -959,14 +1198,17 @@ let () =
   let wants x = List.mem "all" experiments || List.mem x experiments in
   (* micro and verify-bench are standalone: they build their own workloads
      and must not pay for (or pollute) the full training pipeline *)
-  let standalone = [ "micro"; "verify-bench"; "robust-bench"; "sat-bench"; "proc-bench" ] in
+  let standalone =
+    [ "micro"; "verify-bench"; "robust-bench"; "sat-bench"; "proc-bench"; "incr-bench" ]
+  in
   let needs_evals =
     List.mem "all" experiments
     || List.exists (fun x -> not (List.mem x standalone)) experiments
   in
-  (* proc-bench first: it forks worker pools, which OCaml 5 only permits
-     before any other leg has spawned a domain *)
+  (* proc-bench and incr-bench first: they fork worker pools, which OCaml 5
+     only permits before any other leg has spawned a domain *)
   if wants "proc-bench" then run_proc_bench ();
+  if wants "incr-bench" then run_incr_bench ();
   if needs_evals then begin
     let e = build_evals scale in
     if wants "dataset" then run_dataset e;

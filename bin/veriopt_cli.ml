@@ -35,6 +35,20 @@ let isolate_conv =
 
 let verify_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ll") in
+  let unroll =
+    Arg.(
+      value & opt int 4
+      & info [ "unroll" ] ~docv:"BOUND"
+          ~doc:"Loop unroll bound for bounded equivalence checking of cyclic pairs")
+  in
+  let no_incremental =
+    Arg.(
+      value & flag
+      & info [ "no-incremental" ]
+          ~doc:"Disable the incremental solver session / iterative-deepening unroll for \
+                loop-bearing pairs (solve each pair once at the full bound; also \
+                selectable via VERIOPT_INCR=0)")
+  in
   let no_reduce =
     Arg.(
       value & flag
@@ -66,30 +80,36 @@ let verify_cmd =
             "Verification wall-clock budget; past it the verdict is inconclusive (under \
              $(b,--isolate proc) the worker is SIGKILLed if it overruns)")
   in
-  let run file no_reduce sat_stats isolate timeout =
+  let run file unroll no_incremental no_reduce sat_stats isolate timeout =
     let m = load_module file in
     match m.Veriopt_ir.Ast.funcs with
     | [ src; tgt ] | src :: tgt :: _ ->
       let module Solver = Veriopt_smt.Solver in
       Solver.reset_stats ();
       let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
+      let incremental = not no_incremental && Alive.incremental_default () in
       let v =
         match isolate with
         | Veriopt_alive.Engine.Domains ->
-          Alive.verify_funcs ?deadline ~reduce:(not no_reduce) m ~src ~tgt
+          Alive.verify_funcs ~unroll ?deadline ~reduce:(not no_reduce) ~incremental m ~src ~tgt
         | iso ->
           (* tier 1 off so the verdict comes from the same SMT path as the
              direct call above, just behind the process boundary *)
           let e = Veriopt_alive.Engine.create ~tier1_samples:0 ~isolate:iso () in
-          Veriopt_alive.Engine.verify_funcs ?deadline ~reduce:(not no_reduce) e m ~src ~tgt
+          Veriopt_alive.Engine.verify_funcs ~unroll ?deadline ~reduce:(not no_reduce)
+            ~incremental e m ~src ~tgt
       in
       Fmt.pr "%s@.%s@." (category_string v.Alive.category) v.Alive.message;
       if sat_stats then begin
         let s = Solver.stats () in
-        Fmt.epr "sat: %d checks, %d conflicts, %d decisions, %d propagations@." s.Solver.checks
-          s.Solver.conflicts s.Solver.decisions s.Solver.propagations;
+        Fmt.epr "sat: %d checks, %d conflicts, %d decisions, %d propagations, %d restarts@."
+          s.Solver.checks s.Solver.conflicts s.Solver.decisions s.Solver.propagations
+          s.Solver.restarts;
         Fmt.epr "sat-db: %d learned, %d deleted in %d reductions, peak live DB %d@."
           s.Solver.learned s.Solver.deleted s.Solver.reductions s.Solver.db_peak;
+        if s.Solver.sessions > 0 then
+          Fmt.epr "sat-sess: %d incremental sessions, %d reused checks@." s.Solver.sessions
+            s.Solver.session_reuse;
         if s.Solver.learned > 0 then begin
           Fmt.epr "lbd:";
           Array.iteri
@@ -107,7 +127,7 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Check that the second function of FILE.ll refines the first")
-    Term.(const run $ file $ no_reduce $ sat_stats $ isolate $ timeout)
+    Term.(const run $ file $ unroll $ no_incremental $ no_reduce $ sat_stats $ isolate $ timeout)
 
 let opt_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ll") in

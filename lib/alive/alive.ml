@@ -122,11 +122,37 @@ let concrete_check (model : Solver.model) (m : Ast.modul) (src : Ast.func) (tgt 
 
 (* ------------------------------------------------------------------ *)
 
+(* Incremental iterative deepening is the default for loop-bearing pairs;
+   VERIOPT_INCR=0 (or an explicit [?incremental:false]) restores the
+   single-shot encode-at-the-full-bound path. *)
+let incremental_default () =
+  match Sys.getenv_opt "VERIOPT_INCR" with
+  | Some ("0" | "false" | "off" | "no") -> false
+  | _ -> true
+
+(* Doubling depth schedule, always ending exactly at [bound]:
+   4 -> [1; 2; 4], 3 -> [1; 2; 3], 6 -> [1; 2; 4; 6], 1 -> [1]. *)
+let unroll_schedule bound =
+  let bound = max 1 bound in
+  let rec go d acc = if d >= bound then List.rev (bound :: acc) else go (2 * d) (d :: acc) in
+  go 1 []
+
+let counterexample_verdict ~bounded ~copy (model : Solver.model) m src tgt s_sum t_sum :
+    verdict =
+  let message = Diagnostics.render_counterexample model s_sum t_sum in
+  let example = Diagnostics.example_inputs model s_sum in
+  match concrete_check model m src tgt with
+  | Confirms | Cannot_tell -> verdict ~example ~bounded ~copy Semantic_error message
+  | Rejects ->
+    (* encoding artifact: be honest and refuse to conclude *)
+    verdict ~bounded ~copy Inconclusive
+      (Diagnostics.inconclusive_message "solver counterexample failed concrete validation")
+
 (** Verify that [tgt] refines [src] within [m].  Both functions must already
     be well-formed (callers should route model-produced text through
     {!verify_text}). *)
-let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline ?reduce (m : Ast.modul)
-    ~(src : Ast.func) ~(tgt : Ast.func) : verdict =
+let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline ?reduce ?incremental
+    (m : Ast.modul) ~(src : Ast.func) ~(tgt : Ast.func) : verdict =
   let copy = Builder.alpha_equal src tgt in
   if not (signature_matches src tgt) then
     verdict Syntax_error
@@ -135,41 +161,100 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline ?reduce (m :
     let bounded =
       Cfg.has_loop (Cfg.of_func src) || Cfg.has_loop (Cfg.of_func tgt)
     in
-    match
-      let s_sum = Encode.encode ~unroll_bound:unroll ~side:"src" m src in
-      let t_sum = Encode.encode ~unroll_bound:unroll ~side:"tgt" m tgt in
-      (s_sum, t_sum)
-    with
-    | exception Encode.Unsupported reason ->
-      verdict ~bounded ~copy Inconclusive (Diagnostics.inconclusive_message reason)
-    | s_sum, t_sum -> (
-      match Refine.check ~max_conflicts ?deadline ?reduce s_sum t_sum with
+    let incremental =
+      match incremental with Some b -> b | None -> incremental_default ()
+    in
+    if not (bounded && incremental && unroll > 1) then begin
+      (* Single-shot: encode both sides at the full bound, one fresh solve.
+         Acyclic pairs always come here — unrolling is the identity on them,
+         so a depth schedule would re-solve the same query. *)
+      match
+        let s_sum = Encode.encode ~unroll_bound:unroll ~side:"src" m src in
+        let t_sum = Encode.encode ~unroll_bound:unroll ~side:"tgt" m tgt in
+        (s_sum, t_sum)
+      with
       | exception Encode.Unsupported reason ->
         verdict ~bounded ~copy Inconclusive (Diagnostics.inconclusive_message reason)
-      | Refine.Refines ->
-        verdict ~bounded ~copy Equivalent (Diagnostics.equivalent_message ~bounded)
-      | Refine.Unknown ->
-        verdict ~bounded ~copy Inconclusive
-          (Diagnostics.inconclusive_message "solver resource limit reached")
-      | Refine.Counterexample model -> (
-        let message = Diagnostics.render_counterexample model s_sum t_sum in
-        let example = Diagnostics.example_inputs model s_sum in
-        match concrete_check model m src tgt with
-        | Confirms | Cannot_tell -> verdict ~example ~bounded ~copy Semantic_error message
-        | Rejects ->
-          (* encoding artifact: be honest and refuse to conclude *)
+      | s_sum, t_sum -> (
+        match Refine.check ~max_conflicts ?deadline ?reduce s_sum t_sum with
+        | exception Encode.Unsupported reason ->
+          verdict ~bounded ~copy Inconclusive (Diagnostics.inconclusive_message reason)
+        | Refine.Refines ->
+          verdict ~bounded ~copy Equivalent (Diagnostics.equivalent_message ~bounded)
+        | Refine.Unknown ->
           verdict ~bounded ~copy Inconclusive
-            (Diagnostics.inconclusive_message
-               "solver counterexample failed concrete validation")))
+            (Diagnostics.inconclusive_message "solver resource limit reached")
+        | Refine.Counterexample model ->
+          counterexample_verdict ~bounded ~copy model m src tgt s_sum t_sum)
+    end
+    else begin
+      (* Iterative deepening over one incremental session.  Verdict policy,
+         chosen so the schedule can never flip a single-shot verdict:
+         - a counterexample at any depth is a terminating execution that
+           also exists at every deeper bound, so it is final (and still
+           concretely re-validated before "semantic error");
+         - Unsat at a non-final depth proves nothing about deeper bounds:
+           retract the depth's guard and deepen — only the final bound's
+           Unsat is "equivalent";
+         - Unknown (budget or deadline) anywhere ends the schedule as
+           inconclusive, exactly like the single-shot path;
+         - Unsupported at a non-final depth is skipped (a pair can be
+           positionally matchable at the full bound but not at a shallow
+           one); the final depth's answer is authoritative.
+         The conflict budget is shared by the whole schedule: each check
+         gets what the earlier depths left over. *)
+      let sess = Refine.session_create () in
+      Fun.protect ~finally:(fun () -> Refine.session_release sess) @@ fun () ->
+      let rec deepen = function
+        | [] -> assert false
+        | depth :: rest -> (
+          let final = rest = [] in
+          let skip_or_fail reason =
+            if final then
+              verdict ~bounded ~copy Inconclusive (Diagnostics.inconclusive_message reason)
+            else deepen rest
+          in
+          match
+            let s_sum = Encode.encode ~unroll_bound:depth ~side:"src" m src in
+            let t_sum = Encode.encode ~unroll_bound:depth ~side:"tgt" m tgt in
+            (s_sum, t_sum)
+          with
+          | exception Encode.Unsupported reason -> skip_or_fail reason
+          | s_sum, t_sum -> (
+            let remaining = max_conflicts - Refine.session_conflicts sess in
+            if remaining <= 0 then
+              verdict ~bounded ~copy Inconclusive
+                (Diagnostics.inconclusive_message "solver resource limit reached")
+            else
+              match
+                Refine.check_incremental ~max_conflicts:remaining ?deadline ?reduce sess
+                  ~depth s_sum t_sum
+              with
+              | exception Encode.Unsupported reason -> skip_or_fail reason
+              | Refine.Refines ->
+                if final then
+                  verdict ~bounded ~copy Equivalent (Diagnostics.equivalent_message ~bounded)
+                else begin
+                  Refine.retract sess ~depth;
+                  deepen rest
+                end
+              | Refine.Unknown ->
+                verdict ~bounded ~copy Inconclusive
+                  (Diagnostics.inconclusive_message "solver resource limit reached")
+              | Refine.Counterexample model ->
+                counterexample_verdict ~bounded ~copy model m src tgt s_sum t_sum))
+      in
+      deepen (unroll_schedule unroll)
+    end
 
 (** Verify model-produced IR text against a source function: parse errors and
     malformed IR map to [Syntax_error], as in the paper's Tables I/II. *)
-let verify_text ?unroll ?max_conflicts ?deadline ?reduce (m : Ast.modul) ~(src : Ast.func)
-    ~(tgt_text : string) : verdict =
+let verify_text ?unroll ?max_conflicts ?deadline ?reduce ?incremental (m : Ast.modul)
+    ~(src : Ast.func) ~(tgt_text : string) : verdict =
   match Parser.parse_func_result tgt_text with
   | Error msg -> verdict Syntax_error (Diagnostics.syntax_error_message msg)
   | Ok tgt -> (
     match Validator.validate_func ~module_:m tgt with
     | Error errors ->
       verdict Syntax_error (Diagnostics.syntax_error_message (String.concat "\n" errors))
-    | Ok () -> verify_funcs ?unroll ?max_conflicts ?deadline ?reduce m ~src ~tgt)
+    | Ok () -> verify_funcs ?unroll ?max_conflicts ?deadline ?reduce ?incremental m ~src ~tgt)

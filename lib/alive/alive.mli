@@ -20,11 +20,20 @@ type verdict = {
 val signature_matches : Veriopt_ir.Ast.func -> Veriopt_ir.Ast.func -> bool
 (** Same return type and positionally equal parameter types. *)
 
+val incremental_default : unit -> bool
+(** The default for [?incremental]: true unless [VERIOPT_INCR] is set to
+    [0]/[false]/[off]/[no]. *)
+
+val unroll_schedule : int -> int list
+(** The iterative-deepening schedule for a bound: doubling depths ending
+    exactly at the bound ([4 -> [1; 2; 4]], [6 -> [1; 2; 4; 6]]). *)
+
 val verify_funcs :
   ?unroll:int ->
   ?max_conflicts:int ->
   ?deadline:float ->
   ?reduce:bool ->
+  ?incremental:bool ->
   Veriopt_ir.Ast.modul ->
   src:Veriopt_ir.Ast.func ->
   tgt:Veriopt_ir.Ast.func ->
@@ -35,13 +44,23 @@ val verify_funcs :
     is an absolute wall-clock instant — past it the solver reports
     [Inconclusive] instead of continuing.  [reduce] (default on) is the
     SAT core's learned-clause-DB reduction knob; it affects solver speed,
-    never verdicts. *)
+    never verdicts.
+
+    [incremental] (default {!incremental_default}) makes loop-bearing pairs
+    run an iterative-deepening unroll schedule (see {!unroll_schedule}) over
+    one persistent solver session, stopping early on a conclusive verdict;
+    the [max_conflicts] and [deadline] budgets are amortized across the
+    whole schedule.  Verdicts agree with the single-shot path: only the
+    final bound's "no mismatch" proves equivalence, counterexamples are
+    depth-independent (and still concretely re-validated), and resource
+    exhaustion anywhere is inconclusive. *)
 
 val verify_text :
   ?unroll:int ->
   ?max_conflicts:int ->
   ?deadline:float ->
   ?reduce:bool ->
+  ?incremental:bool ->
   Veriopt_ir.Ast.modul ->
   src:Veriopt_ir.Ast.func ->
   tgt_text:string ->

@@ -120,7 +120,8 @@ type side_state = {
   modul : modul;
   mutable next_alloca : int;
   alloca_sizes : (int, int) Hashtbl.t;
-  mutable fresh_counter : int;
+  mutable fresh_scope : string; (* current block label *)
+  fresh_counters : (string * string, int) Hashtbl.t; (* (scope, prefix) -> count *)
   locals : (var, sval) Hashtbl.t;
   mutable ub_acc : Expr.t;
   mutable exhausted_acc : Expr.t;
@@ -129,9 +130,21 @@ type side_state = {
   mutable call_events : call_event list; (* reversed *)
 }
 
+(* Fresh names are scoped per block rather than drawn from one function-wide
+   counter, so the name of each fresh value is a function of (side, block
+   label, prefix, index-within-block).  Unrolled copies of a loop keep their
+   labels across unroll bounds, which makes the depth-k encoding emit
+   *identical* terms for every block shared with depth k-1 — the hash-cons
+   table and the bit-blaster memo then reuse the depth-(k-1) circuits
+   wholesale during iterative deepening.  (Soundness never depends on this:
+   each depth's constraints are asserted under that depth's guard literal,
+   so a cross-depth name collision at worst shares a free variable between
+   a live formula and a retracted one.) *)
 let fresh_bv st prefix w =
-  st.fresh_counter <- st.fresh_counter + 1;
-  Expr.bv_var (Fmt.str "%s!%s%d" st.side prefix st.fresh_counter) w
+  let key = (st.fresh_scope, prefix) in
+  let n = (match Hashtbl.find_opt st.fresh_counters key with Some n -> n | None -> 0) + 1 in
+  Hashtbl.replace st.fresh_counters key n;
+  Expr.bv_var (Fmt.str "%s!%s!%s%d" st.side st.fresh_scope prefix n) w
 
 let add_ub st guard cond = st.ub_acc <- Expr.or_ st.ub_acc (Expr.and_ guard cond)
 
@@ -439,7 +452,8 @@ let encode ?(unroll_bound = 4) ~(side : string) (modul : modul) (f : func) : sum
       modul;
       next_alloca = 0;
       alloca_sizes = Hashtbl.create 8;
-      fresh_counter = 0;
+      fresh_scope = (entry_block f).label;
+      fresh_counters = Hashtbl.create 16;
       locals = Hashtbl.create 64;
       ub_acc = Expr.ff;
       exhausted_acc = Expr.ff;
@@ -473,6 +487,7 @@ let encode ?(unroll_bound = 4) ~(side : string) (modul : modul) (f : func) : sum
   let blocks = Cfg.blocks_rpo cfg in
   List.iter
     (fun (b : block) ->
+      st.fresh_scope <- b.label;
       let guard =
         if b.label = (entry_block f).label then Expr.tt
         else
@@ -724,6 +739,7 @@ let encode ?(unroll_bound = 4) ~(side : string) (modul : modul) (f : func) : sum
       Some (x.term, x.poison)
   in
   (* Merge final observable memory across return points. *)
+  st.fresh_scope <- "__final";
   let final_mem_map = merge_memories st st.ret_mems in
   let final_mem =
     Mem.fold

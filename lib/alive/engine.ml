@@ -9,12 +9,15 @@ module Vproc = Veriopt_vproc.Vproc
 type isolate = Domains | Proc
 
 (* The tier-2 query shipped to a forked worker: plain AST values and knobs,
-   no closures (Marshal requirement). *)
-type proc_request = Ast.modul * Ast.func * Ast.func * int * int * bool * float option
+   no closures (Marshal requirement).  The incremental flag rides along so
+   the iterative-deepening loop — self-contained below this boundary — runs
+   identically inside the worker. *)
+type proc_request = Ast.modul * Ast.func * Ast.func * int * int * bool * bool * float option
 
-let proc_handler ((m, src, tgt, unroll, max_conflicts, reduce, deadline) : proc_request) :
+let proc_handler
+    ((m, src, tgt, unroll, max_conflicts, reduce, incremental, deadline) : proc_request) :
     Alive.verdict =
-  Alive.verify_funcs ~unroll ~max_conflicts ?deadline ~reduce m ~src ~tgt
+  Alive.verify_funcs ~unroll ~max_conflicts ?deadline ~reduce ~incremental m ~src ~tgt
 
 type t = {
   cache : Alive.verdict Vcache.t;
@@ -184,7 +187,12 @@ let tier1_verdict (m : Ast.modul) (src : Ast.func) (tgt : Ast.func) ~bounded
 (* ------------------------------------------------------------------ *)
 
 let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline ?(reduce = true)
-    (t : t) (m : Ast.modul) ~(src : Ast.func) ~(tgt : Ast.func) : Alive.verdict =
+    ?incremental (t : t) (m : Ast.modul) ~(src : Ast.func) ~(tgt : Ast.func) : Alive.verdict =
+  (* resolve the env-dependent default up front: the concrete bool enters
+     the cache key, so a later VERIOPT_INCR change cannot alias entries *)
+  let incremental =
+    match incremental with Some b -> b | None -> Alive.incremental_default ()
+  in
   if not (Alive.signature_matches src tgt) then
     (* tier 0, mirror of Alive.verify_funcs: cheap, never cached *)
     {
@@ -203,6 +211,7 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline ?(reduce = t
         unroll;
         max_conflicts;
         reduce;
+        incremental;
       }
     in
     match Vcache.find t.cache key with
@@ -235,7 +244,9 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline ?(reduce = t
           let t0 = now () in
           let v =
             match t.pool with
-            | None -> Alive.verify_funcs ~unroll ~max_conflicts ?deadline ~reduce m ~src ~tgt
+            | None ->
+              Alive.verify_funcs ~unroll ~max_conflicts ?deadline ~reduce ~incremental m ~src
+                ~tgt
             | Some pool -> (
               (* the child still gets the cooperative deadline; the hard
                  SIGKILL fires only once it has overrun by half a budget *)
@@ -243,7 +254,8 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline ?(reduce = t
                 Option.map (fun d -> d +. Float.max 0.01 (0.5 *. (d -. t0))) deadline
               in
               match
-                Vproc.call ?kill_at pool (m, src, tgt, unroll, max_conflicts, reduce, deadline)
+                Vproc.call ?kill_at pool
+                  (m, src, tgt, unroll, max_conflicts, reduce, incremental, deadline)
               with
               | Ok v -> v
               | Error f ->
@@ -292,7 +304,7 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline ?(reduce = t
       if !cacheable then Vcache.add t.cache key verdict;
       verdict
 
-let verify_text ?unroll ?max_conflicts ?deadline ?reduce (t : t) (m : Ast.modul)
+let verify_text ?unroll ?max_conflicts ?deadline ?reduce ?incremental (t : t) (m : Ast.modul)
     ~(src : Ast.func) ~(tgt_text : string) : Alive.verdict =
   (* fault site: a crashing (not merely failing) parse; the crash-proof
      reward path converts the exception into a counted engine failure *)
@@ -316,4 +328,4 @@ let verify_text ?unroll ?max_conflicts ?deadline ?reduce (t : t) (m : Ast.modul)
         bounded = false;
         copy_of_input = false;
       }
-    | Ok () -> verify_funcs ?unroll ?max_conflicts ?deadline ?reduce t m ~src ~tgt)
+    | Ok () -> verify_funcs ?unroll ?max_conflicts ?deadline ?reduce ?incremental t m ~src ~tgt)

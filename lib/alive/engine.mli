@@ -75,6 +75,7 @@ val verify_funcs :
   ?max_conflicts:int ->
   ?deadline:float ->
   ?reduce:bool ->
+  ?incremental:bool ->
   t ->
   Veriopt_ir.Ast.modul ->
   src:Veriopt_ir.Ast.func ->
@@ -85,13 +86,18 @@ val verify_funcs :
     tier answers [Inconclusive] instead of continuing.  Deadline-expired and
     breaker-skipped verdicts are transient and never cached.  [reduce]
     (default on) is the SAT core's clause-DB reduction knob; like
-    [max_conflicts] it is part of the cache key. *)
+    [max_conflicts] it is part of the cache key.  [incremental] (default
+    {!Alive.incremental_default}) selects iterative-deepening unroll for
+    loop-bearing pairs; the resolved flag also enters the cache key and the
+    marshalled [Proc] request, so both backends and the cache agree on the
+    schedule. *)
 
 val verify_text :
   ?unroll:int ->
   ?max_conflicts:int ->
   ?deadline:float ->
   ?reduce:bool ->
+  ?incremental:bool ->
   t ->
   Veriopt_ir.Ast.modul ->
   src:Veriopt_ir.Ast.func ->

@@ -124,8 +124,10 @@ let return_mismatch (src : summary) (tgt : summary) : Expr.t =
            ])
   | _ -> raise (Unsupported "return shape mismatch")
 
-(** Check whether [tgt] refines [src]. *)
-let check ?(max_conflicts = 200_000) ?deadline ?reduce (src : summary) (tgt : summary) : outcome =
+(* The full refinement query for one pair of summaries: the mismatch formula
+   plus its side constraints (impure-trace result equalities and Ackermann
+   constraints).  Raises [Unsupported] before anything touches a solver. *)
+let query (src : summary) (tgt : summary) : Expr.t list =
   let trace_mis, trace_cons = impure_trace src tgt in
   let ack = ackermann_constraints (src.calls @ tgt.calls) in
   let mismatch =
@@ -137,7 +139,55 @@ let check ?(max_conflicts = 200_000) ?deadline ?reduce (src : summary) (tgt : su
         Expr.disj [ tgt.ub; return_mismatch src tgt; trace_mis; memory_mismatch src tgt ];
       ]
   in
-  match Solver.check ~max_conflicts ?deadline ?reduce (mismatch :: (trace_cons @ ack)) with
+  mismatch :: (trace_cons @ ack)
+
+(** Check whether [tgt] refines [src]. *)
+let check ?(max_conflicts = 200_000) ?deadline ?reduce (src : summary) (tgt : summary) : outcome =
+  match Solver.check ~max_conflicts ?deadline ?reduce (query src tgt) with
   | Solver.Unsat -> Refines
   | Solver.Sat model -> Counterexample model
   | Solver.Unknown -> Unknown
+
+(* ------------------------------------------------------------------ *)
+(* Incremental sessions for iterative-deepening unroll.
+
+   One [Solver.Session] is shared across the whole depth schedule.  The
+   depth-d query is asserted as a single guarded implication
+
+     g_d => (mismatch_d /\ trace_cons_d /\ ack_d)
+
+   where [g_d] is a fresh boolean guard, and checked under the assumption
+   [g_d].  [Unsat] then means "no mismatch within bound d"; deepening
+   retracts the whole depth-d query by permanently asserting [~g_d] (every
+   depth-d clause is satisfied once its guard is false) and asserts the
+   depth-(d+1) implication.  Because the session's clause set only ever
+   grows, learned clauses, variable activities and saved phases carry over
+   — that, plus the bit-blaster reusing the circuits of every block shared
+   between consecutive unrollings (see [Encode.fresh_bv]), is where the
+   deepening loop wins over fresh solves. *)
+
+type session = { s : Solver.Session.t; mutable asserted_depths : int list }
+
+let session_create () = { s = Solver.Session.create (); asserted_depths = [] }
+let session_release t = Solver.Session.release t.s
+let session_conflicts t = Solver.Session.conflicts t.s
+
+let guard_var depth = Expr.bool_var (Fmt.str "!unroll!guard!%d" depth)
+
+(** One step of the deepening schedule: assert the depth-[depth] query
+    (guarded) and check it under its guard assumption. *)
+let check_incremental ?(max_conflicts = 200_000) ?deadline ?reduce (t : session)
+    ~(depth : int) (src : summary) (tgt : summary) : outcome =
+  let q = query src tgt in
+  let g = guard_var depth in
+  Solver.Session.assert_ t.s (Expr.implies g (Expr.conj q));
+  t.asserted_depths <- depth :: t.asserted_depths;
+  match Solver.Session.check ~max_conflicts ?deadline ?reduce ~assumptions:[ g ] t.s with
+  | Solver.Unsat -> Refines
+  | Solver.Sat model -> Counterexample model
+  | Solver.Unknown -> Unknown
+
+(** Retract the depth-[depth] query before deepening: [~g_d] permanently
+    satisfies every clause of the depth-[depth] implication. *)
+let retract (t : session) ~(depth : int) =
+  Solver.Session.assert_ t.s (Expr.not_ (guard_var depth))

@@ -20,3 +20,36 @@ val check :
   outcome
 (** [deadline] is an absolute wall-clock instant forwarded to the solver;
     [reduce] is the learned-clause-DB reduction knob (default on). *)
+
+(** {1 Incremental deepening}
+
+    One persistent solver session shared across an iterative-deepening
+    unroll schedule.  Each depth's query is asserted under a fresh guard
+    literal and checked with that guard assumed; deepening retracts the old
+    depth by asserting the guard's negation, so the clause set only ever
+    grows and learned clauses stay sound across depths. *)
+
+type session
+
+val session_create : unit -> session
+val session_release : session -> unit
+
+val session_conflicts : session -> int
+(** Conflicts spent so far, for amortizing one budget over the schedule. *)
+
+val check_incremental :
+  ?max_conflicts:int ->
+  ?deadline:float ->
+  ?reduce:bool ->
+  session ->
+  depth:int ->
+  Encode.summary ->
+  Encode.summary ->
+  outcome
+(** Assert the depth-[depth] refinement query (guarded) and check it under
+    its guard.  [Refines] means "no mismatch within this bound" — only the
+    final scheduled depth's [Refines] is a verdict.  May raise
+    [Encode.Unsupported] (before touching the session state). *)
+
+val retract : session -> depth:int -> unit
+(** Permanently disable the depth-[depth] query before deepening. *)

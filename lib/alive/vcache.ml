@@ -7,6 +7,7 @@ type key = {
   unroll : int;
   max_conflicts : int;
   reduce : bool;
+  incremental : bool;
 }
 
 type stats = {

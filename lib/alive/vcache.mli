@@ -23,6 +23,9 @@ type key = {
   max_conflicts : int;
   reduce : bool;  (** clause-DB reduction knob — a budget parameter, so part
                       of the key: [Unknown] verdicts depend on it *)
+  incremental : bool;
+      (** iterative-deepening knob — like [reduce], a budget/trajectory
+          parameter: resource-exhaustion verdicts depend on it *)
 }
 
 type stats = {

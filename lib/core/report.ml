@@ -225,12 +225,16 @@ let engine_stats ppf (engine : Veriopt_alive.Engine.t) =
     "  tiers:  %d concrete counterexamples (%.2fs in tier 1), %d SMT runs (%.2fs in tier 2)@."
     s.Veriopt_alive.Vcache.tier1_hits s.Veriopt_alive.Vcache.tier1_seconds
     s.Veriopt_alive.Vcache.tier2_runs s.Veriopt_alive.Vcache.tier2_seconds;
-  Fmt.pf ppf "  sat:    %d checks, %d conflicts, %d decisions, %d propagations@."
+  Fmt.pf ppf "  sat:    %d checks, %d conflicts, %d decisions, %d propagations, %d restarts@."
     sat.Veriopt_smt.Solver.checks sat.Veriopt_smt.Solver.conflicts
-    sat.Veriopt_smt.Solver.decisions sat.Veriopt_smt.Solver.propagations;
+    sat.Veriopt_smt.Solver.decisions sat.Veriopt_smt.Solver.propagations
+    sat.Veriopt_smt.Solver.restarts;
   Fmt.pf ppf "  sat-db: %d learned, %d deleted in %d reductions, peak live DB %d@."
     sat.Veriopt_smt.Solver.learned sat.Veriopt_smt.Solver.deleted
     sat.Veriopt_smt.Solver.reductions sat.Veriopt_smt.Solver.db_peak;
+  if sat.Veriopt_smt.Solver.sessions > 0 then
+    Fmt.pf ppf "  sat-sess: %d incremental sessions, %d reused checks@."
+      sat.Veriopt_smt.Solver.sessions sat.Veriopt_smt.Solver.session_reuse;
   if sat.Veriopt_smt.Solver.learned > 0 then begin
     Fmt.pf ppf "  lbd:    ";
     Array.iteri

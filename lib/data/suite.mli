@@ -28,7 +28,12 @@ val pp_stats : Format.formatter -> stats -> unit
 type dataset = { samples : sample list; stats : stats }
 
 val build_sample : ?verify:bool -> seed:int -> int -> (sample, stats -> stats) result
+
 val build : ?verify:bool -> seed0:int -> n:int -> unit -> dataset
+(** With [verify] on, the per-sample Alive filter runs over the shared
+    {!Veriopt_par.Par} pool (sized by [VERIOPT_JOBS]; [VERIOPT_JOBS=1] keeps
+    the build sequential).  The parallel build produces bit-for-bit the same
+    dataset and stats as the sequential one. *)
 
 val train_seed_base : int
 val validation_seed_base : int

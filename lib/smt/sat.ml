@@ -56,6 +56,7 @@ type t = {
   mutable conflicts : int;
   mutable propagations : int;
   mutable decisions : int;
+  mutable n_restarts : int;
   mutable seen : bool array; (* scratch for conflict analysis *)
   (* learned-clause management *)
   learnts : Vec.t; (* indices of live learned clauses *)
@@ -91,6 +92,7 @@ let create () =
     conflicts = 0;
     propagations = 0;
     decisions = 0;
+    n_restarts = 0;
     seen = Array.make 8 false;
     learnts = Vec.create ();
     cla_inc = 1.0;
@@ -164,9 +166,25 @@ let watch_clause t idx =
   Vec.push t.watches.(lit_neg lits.(0)) idx;
   Vec.push t.watches.(lit_neg lits.(1)) idx
 
-(** Add a clause.  Must be called before solving (at decision level 0). *)
+let backtrack t lvl =
+  if Vec.length t.trail_lim > lvl then (
+    let bound = Vec.get t.trail_lim lvl in
+    for i = Vec.length t.trail - 1 downto bound do
+      let v = var_of_lit (Vec.get t.trail i) in
+      t.assign.(v) <- -1;
+      t.reason.(v) <- -1;
+      Heap.insert t.order v
+    done;
+    Vec.shrink t.trail bound;
+    Vec.shrink t.trail_lim lvl;
+    t.qhead <- bound)
+
+(** Add a clause.  Restores decision level 0 first, so clauses may be added
+    between incremental [solve] calls: the satisfied/falsified-literal
+    simplification below is only sound against level-0 assignments. *)
 let add_clause t (lits : int list) =
   if not t.unsat then (
+    backtrack t 0;
     let lits = List.sort_uniq compare lits in
     let tautology = List.exists (fun l -> List.mem (lit_neg l) lits) lits in
     if not tautology then
@@ -385,19 +403,6 @@ let analyze t conflict_idx =
   let blevel = List.fold_left (fun acc q -> max acc t.level.(var_of_lit q)) 0 rest in
   (!uip :: rest, blevel)
 
-let backtrack t lvl =
-  if Vec.length t.trail_lim > lvl then (
-    let bound = Vec.get t.trail_lim lvl in
-    for i = Vec.length t.trail - 1 downto bound do
-      let v = var_of_lit (Vec.get t.trail i) in
-      t.assign.(v) <- -1;
-      t.reason.(v) <- -1;
-      Heap.insert t.order v
-    done;
-    Vec.shrink t.trail bound;
-    Vec.shrink t.trail_lim lvl;
-    t.qhead <- bound)
-
 let record_learned t lits =
   match lits with
   | [] -> t.unsat <- true
@@ -454,9 +459,25 @@ let luby x =
   done;
   float_of_int (1 lsl !seq)
 
-let solve ?(max_conflicts = 200_000) ?deadline ?(reduce = true) ?(reduce_first = 2000) t =
+(* Incremental solving: [solve] restores decision level 0 on entry (undoing
+   any assignments left by a previous call), and [~assumptions] are decided —
+   in order, each at its own decision level — before any heuristic decision.
+   MiniSat's scheme: an assumption already true under the current prefix gets
+   an empty "dummy" level; one already false means the instance is Unsat
+   *under these assumptions* (the clause DB itself may stay satisfiable, and
+   [t.unsat] is not set).  Restarts backtrack to level 0 and re-decide the
+   assumptions, so learned clauses are always consequences of the clause DB
+   alone and remain sound for later calls with different assumptions.  The
+   conflict budget is per-call (a delta against the entry count), not
+   cumulative over the solver's lifetime. *)
+let solve ?(max_conflicts = 200_000) ?deadline ?(reduce = true) ?(reduce_first = 2000)
+    ?(assumptions = []) t =
   if t.unsat then Unsat
   else begin
+    backtrack t 0;
+    let assumptions = Array.of_list assumptions in
+    let n_assumptions = Array.length assumptions in
+    let conflicts0 = t.conflicts in
     let result = ref None in
     let restart_count = ref 0 in
     let until_restart = ref (int_of_float (100. *. luby 0)) in
@@ -486,8 +507,16 @@ let solve ?(max_conflicts = 200_000) ?deadline ?(reduce = true) ?(reduce_first =
       let confl = propagate t in
       if confl >= 0 then begin
         t.conflicts <- t.conflicts + 1;
-        if t.conflicts > max_conflicts then result := Some Unknown
-        else if Vec.length t.trail_lim = 0 then result := Some Unsat
+        if t.conflicts - conflicts0 > max_conflicts then result := Some Unknown
+        else if Vec.length t.trail_lim = 0 then begin
+          (* A conflict with no decisions on the stack — assumptions included,
+             since each occupies its own level — refutes the clause DB itself.
+             Latching [unsat] here matters for incremental reuse: the conflict
+             has already been consumed from the propagation queue, so a later
+             call would otherwise resume past it and "complete" a bogus model. *)
+          t.unsat <- true;
+          result := Some Unsat
+        end
         else begin
           let learned, blevel = analyze t confl in
           backtrack t blevel;
@@ -504,8 +533,19 @@ let solve ?(max_conflicts = 200_000) ?deadline ?(reduce = true) ?(reduce_first =
       end
       else if !until_restart <= 0 then begin
         incr restart_count;
+        t.n_restarts <- t.n_restarts + 1;
         until_restart := int_of_float (100. *. luby !restart_count);
         backtrack t 0
+      end
+      else if Vec.length t.trail_lim < n_assumptions then begin
+        (* next assumption becomes the next decision *)
+        let l = assumptions.(Vec.length t.trail_lim) in
+        match value_lit t l with
+        | 1 -> Vec.push t.trail_lim (Vec.length t.trail) (* dummy level *)
+        | 0 -> result := Some Unsat (* conflicts with the prefix *)
+        | _ ->
+          Vec.push t.trail_lim (Vec.length t.trail);
+          enqueue t l (-1)
       end
       else if not (decide t) then result := Some Sat
       end
@@ -517,6 +557,7 @@ let solve ?(max_conflicts = 200_000) ?deadline ?(reduce = true) ?(reduce_first =
 let model_value t v = t.assign.(v) = 1
 
 let stats t = (t.conflicts, t.decisions, t.propagations)
+let restarts t = t.n_restarts
 
 let db_stats t =
   {

@@ -19,12 +19,29 @@ val create : unit -> t
 val new_var : t -> int
 
 val add_clause : t -> int list -> unit
-(** Must be called before solving (at decision level 0). *)
+(** Add a problem clause.  May be called between [solve] calls: the solver
+    first backtracks to decision level 0, where the clause simplification is
+    sound.  Adding clauses only ever strengthens the instance, so learned
+    clauses from earlier calls remain valid. *)
 
 val solve :
-  ?max_conflicts:int -> ?deadline:float -> ?reduce:bool -> ?reduce_first:int -> t -> result
+  ?max_conflicts:int ->
+  ?deadline:float ->
+  ?reduce:bool ->
+  ?reduce_first:int ->
+  ?assumptions:int list ->
+  t ->
+  result
 (** [deadline] is an absolute [Unix.gettimeofday] instant; exceeding either
-    the conflict budget or the deadline yields [Unknown].
+    the conflict budget or the deadline yields [Unknown].  The conflict
+    budget is per-call, so a long-lived solver can be re-queried with a fresh
+    budget each time.
+
+    [assumptions] are literals decided (in order, before any heuristic
+    decision) for the duration of this call only — MiniSat-style incremental
+    solving.  [Unsat] then means "unsatisfiable under these assumptions";
+    the solver itself stays usable, learned clauses are consequences of the
+    clause DB alone, and later calls may pass different assumptions.
 
     [reduce] (default [true]) enables learned-clause-DB reduction: when the
     live learned-clause count reaches [reduce_first] (default 2000) the
@@ -39,6 +56,9 @@ val model_value : t -> int -> bool
 
 val stats : t -> int * int * int
 (** (conflicts, decisions, propagations). *)
+
+val restarts : t -> int
+(** Luby restarts performed over the solver's lifetime. *)
 
 val lbd_buckets : int
 (** Length of [db_stats.lbd_hist]. *)

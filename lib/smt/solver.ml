@@ -21,10 +21,13 @@ type stats = {
   conflicts : int;
   decisions : int;
   propagations : int;
+  restarts : int;
   learned : int;
   deleted : int;
   reductions : int;
   db_peak : int;
+  sessions : int;
+  session_reuse : int;
   lbd_hist : int array;
 }
 
@@ -35,10 +38,13 @@ let s_unknown = Atomic.make 0
 let s_conflicts = Atomic.make 0
 let s_decisions = Atomic.make 0
 let s_propagations = Atomic.make 0
+let s_restarts = Atomic.make 0
 let s_learned = Atomic.make 0
 let s_deleted = Atomic.make 0
 let s_reductions = Atomic.make 0
 let s_db_peak = Atomic.make 0
+let s_sessions = Atomic.make 0
+let s_session_reuse = Atomic.make 0
 let s_lbd_hist = Array.init Sat.lbd_buckets (fun _ -> Atomic.make 0)
 
 let stats () =
@@ -50,10 +56,13 @@ let stats () =
     conflicts = Atomic.get s_conflicts;
     decisions = Atomic.get s_decisions;
     propagations = Atomic.get s_propagations;
+    restarts = Atomic.get s_restarts;
     learned = Atomic.get s_learned;
     deleted = Atomic.get s_deleted;
     reductions = Atomic.get s_reductions;
     db_peak = Atomic.get s_db_peak;
+    sessions = Atomic.get s_sessions;
+    session_reuse = Atomic.get s_session_reuse;
     lbd_hist = Array.map Atomic.get s_lbd_hist;
   }
 
@@ -62,7 +71,8 @@ let reset_stats () =
     (fun c -> Atomic.set c 0)
     ([
        s_checks; s_sat; s_unsat; s_unknown; s_conflicts; s_decisions; s_propagations;
-       s_learned; s_deleted; s_reductions; s_db_peak;
+       s_restarts; s_learned; s_deleted; s_reductions; s_db_peak; s_sessions;
+       s_session_reuse;
      ]
     @ Array.to_list s_lbd_hist)
 
@@ -106,6 +116,7 @@ let check ?(max_conflicts = 200_000) ?deadline ?(reduce = true) (assertions : Ex
     bump s_conflicts conflicts;
     bump s_decisions decisions;
     bump s_propagations propagations;
+    bump s_restarts (Sat.restarts ctx.Bitblast.sat);
     bump s_learned db.Sat.learned;
     bump s_deleted db.Sat.deleted;
     bump s_reductions db.Sat.reductions;
@@ -126,6 +137,106 @@ let check ?(max_conflicts = 200_000) ?deadline ?(reduce = true) (assertions : Ex
       bump s_unknown 1;
       Unknown
   end
+
+(* ------------------------------------------------------------------ *)
+(* Persistent incremental sessions: one bit-blasting context and one SAT
+   solver shared across a sequence of [assert_]/[check] calls.  Assertions
+   are permanent (the instance only ever strengthens, so learned clauses,
+   variable activities and saved phases stay sound and warm across checks);
+   per-check conditions go through [~assumptions].  This is the engine room
+   of iterative-deepening unroll: depth k+1 re-asserts only its tail and
+   the solver resumes where depth k left off. *)
+
+module Session = struct
+  type t = {
+    ctx : Bitblast.ctx;
+    asserted : (int, unit) Hashtbl.t; (* Expr ids already asserted *)
+    mutable checks : int;
+    mutable conflicts_used : int; (* sum of per-check conflict deltas *)
+    mutable released : bool;
+  }
+
+  let create () =
+    bump s_sessions 1;
+    {
+      ctx = Bitblast.create ();
+      asserted = Hashtbl.create 64;
+      checks = 0;
+      conflicts_used = 0;
+      released = false;
+    }
+
+  let alive t = if t.released then invalid_arg "Solver.Session: released"
+
+  let assert_ t (e : Expr.t) =
+    alive t;
+    if not (Hashtbl.mem t.asserted e.Expr.id) then begin
+      Hashtbl.replace t.asserted e.Expr.id ();
+      Bitblast.assert_term t.ctx e
+    end
+
+  let check ?(max_conflicts = 200_000) ?deadline ?(reduce = true)
+      ?(assumptions : Expr.t list = []) t : outcome =
+    alive t;
+    let expired () =
+      match deadline with None -> false | Some d -> Unix.gettimeofday () > d
+    in
+    bump s_checks 1;
+    if t.checks > 0 then bump s_session_reuse 1;
+    t.checks <- t.checks + 1;
+    (* fault site: shares the one-shot path's injected solver timeouts *)
+    if Fault.fire Fault.Solver_timeout || expired () then begin
+      bump s_unknown 1;
+      Unknown
+    end
+    else begin
+      let sat = t.ctx.Bitblast.sat in
+      let c0, d0, p0 = Sat.stats sat in
+      let r0 = Sat.restarts sat in
+      let db0 = Sat.db_stats sat in
+      (* Blasting the assumption terms may add definitional clauses — that
+         is fine, Tseitin definitions are satisfiable extensions. *)
+      let assumption_lits = List.map (Bitblast.blast_bool t.ctx) assumptions in
+      let result =
+        Sat.solve ~max_conflicts ?deadline ~reduce ~assumptions:assumption_lits sat
+      in
+      let c1, d1, p1 = Sat.stats sat in
+      let db1 = Sat.db_stats sat in
+      t.conflicts_used <- t.conflicts_used + (c1 - c0);
+      bump s_conflicts (c1 - c0);
+      bump s_decisions (d1 - d0);
+      bump s_propagations (p1 - p0);
+      bump s_restarts (Sat.restarts sat - r0);
+      bump s_learned (db1.Sat.learned - db0.Sat.learned);
+      bump s_deleted (db1.Sat.deleted - db0.Sat.deleted);
+      bump s_reductions (db1.Sat.reductions - db0.Sat.reductions);
+      bump_max s_db_peak db1.Sat.peak;
+      Array.iteri
+        (fun i n -> bump s_lbd_hist.(i) (n - db0.Sat.lbd_hist.(i)))
+        db1.Sat.lbd_hist;
+      match result with
+      | Sat.Sat ->
+        bump s_sat 1;
+        (* The closures read live solver state: valid until the next
+           operation on this session. The deepening loop stops on Sat, so
+           its counterexample models are never invalidated. *)
+        Sat
+          {
+            bv_value = (fun name -> Bitblast.bv_model_value t.ctx name);
+            bool_value = (fun name -> Bitblast.bool_model_value t.ctx name);
+          }
+      | Sat.Unsat ->
+        bump s_unsat 1;
+        Unsat
+      | Sat.Unknown ->
+        bump s_unknown 1;
+        Unknown
+    end
+
+  let conflicts t = t.conflicts_used
+  let checks t = t.checks
+  let release t = t.released <- true
+end
 
 (** [valid t] checks that [t] is true under all assignments; on failure the
     model witnesses the violation. *)

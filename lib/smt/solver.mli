@@ -16,10 +16,13 @@ type stats = {
   conflicts : int;
   decisions : int;
   propagations : int;
+  restarts : int;  (** Luby restarts across all checks *)
   learned : int;  (** learned clauses stored across all checks *)
   deleted : int;  (** learned clauses deleted by DB reductions *)
   reductions : int;  (** clause-DB reduction passes *)
   db_peak : int;  (** largest live learned-DB of any single check *)
+  sessions : int;  (** incremental sessions created *)
+  session_reuse : int;  (** session checks beyond each session's first *)
   lbd_hist : int array;
       (** learned clauses by LBD at learning time; bucket [i] is LBD
           [i + 1], the last bucket pools LBD >= {!Sat.lbd_buckets} *)
@@ -42,6 +45,48 @@ val check : ?max_conflicts:int -> ?deadline:float -> ?reduce:bool -> Expr.t list
 val valid : ?max_conflicts:int -> ?deadline:float -> ?reduce:bool -> Expr.t -> outcome
 (** [valid t]: [Unsat] means [t] holds under all assignments; [Sat m] is a
     counterexample. *)
+
+(** {1 Incremental sessions}
+
+    A persistent solver instance shared across a sequence of checks.
+    Assertions are permanent — the instance only ever strengthens, so
+    learned clauses, variable activities and saved phases carry over and
+    stay sound — while per-check conditions are passed as [~assumptions]
+    (MiniSat-style assumption literals, in force for one check only).
+    Not domain-safe: use one session per domain. *)
+
+module Session : sig
+  type t
+
+  val create : unit -> t
+
+  val assert_ : t -> Expr.t -> unit
+  (** Permanently conjoin a term.  Terms already asserted in this session
+      (by physical hash-consed identity) are skipped. *)
+
+  val check :
+    ?max_conflicts:int ->
+    ?deadline:float ->
+    ?reduce:bool ->
+    ?assumptions:Expr.t list ->
+    t ->
+    outcome
+  (** Decide the conjunction of everything asserted so far, under
+      [assumptions].  [Unsat] means unsatisfiable {e under these
+      assumptions}; the session stays usable afterwards.  The conflict
+      budget is per-call.  A [Sat] model's closures read live solver state
+      and are invalidated by the next operation on this session. *)
+
+  val conflicts : t -> int
+  (** Total conflicts spent by this session's checks, for amortizing one
+      [max_conflicts] budget across a deepening schedule. *)
+
+  val checks : t -> int
+
+  val release : t -> unit
+  (** Mark the session dead: later operations raise [Invalid_argument].
+      Memory is reclaimed by the GC as usual. *)
+end
 
 (** {1 Concrete evaluation}
 

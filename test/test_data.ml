@@ -59,6 +59,30 @@ let suite_tests =
             | Ok () -> ()
             | Error es -> Alcotest.failf "label invalid: %s" (String.concat "; " es))
           ds.S.samples);
+    Alcotest.test_case "parallel verified build equals the sequential one" `Quick (fun () ->
+        (* the Par-wave build must be bit-for-bit the sequential build:
+           same samples (ids, texts), same stats *)
+        let n = 8 in
+        let seed0 = 4242 in
+        let par = S.build ~verify:true ~seed0 ~n () in
+        let rec seq i id acc stats =
+          if id >= n then (List.rev acc, stats)
+          else
+            let stats = { stats with S.generated = stats.S.generated + 1 } in
+            match S.build_sample ~verify:true ~seed:(seed0 + i) id with
+            | Ok s -> seq (i + 1) (id + 1) (s :: acc) { stats with S.kept = stats.S.kept + 1 }
+            | Error bump -> seq (i + 1) id acc (bump stats)
+        in
+        let seq_samples, seq_stats = seq 0 0 [] S.empty_stats in
+        Alcotest.(check int) "same count" (List.length seq_samples)
+          (List.length par.S.samples);
+        List.iter2
+          (fun (a : S.sample) (b : S.sample) ->
+            Alcotest.(check int) "same id" a.S.id b.S.id;
+            Alcotest.(check string) "same src" a.S.src_text b.S.src_text;
+            Alcotest.(check string) "same label" a.S.label_text b.S.label_text)
+          seq_samples par.S.samples;
+        Alcotest.(check bool) "same stats" true (par.S.stats = seq_stats));
     Alcotest.test_case "train and validation seeds are disjoint" `Quick (fun () ->
         Alcotest.(check bool) "disjoint ranges" true
           (S.train_seed_base + 10_000_000 <> S.validation_seed_base

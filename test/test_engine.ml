@@ -208,6 +208,81 @@ let easy_pair w =
   in
   (m, src, tgt)
 
+(* a counting loop against a constant: cyclic, so the bounded encoding and
+   the iterative-deepening incremental session engage *)
+let loop_pair ?(bound = 3) ?(ret = 3) () =
+  let src =
+    Printf.sprintf
+      "define i32 @f(i32 %%n) {\nentry:\n  br label %%h\nh:\n  %%i = phi i32 [ 0, %%entry ], [ \
+       %%i2, %%b ]\n  %%c = icmp slt i32 %%i, %d\n  br i1 %%c, label %%b, label %%x\nb:\n  %%i2 \
+       = add i32 %%i, 1\n  br label %%h\nx:\n  ret i32 %%i\n}"
+      bound
+  in
+  let tgt = Printf.sprintf "define i32 @f(i32 %%n) {\nentry:\n  ret i32 %d\n}" ret in
+  let m = Parser.parse_module src in
+  (m, List.hd m.Ast.funcs, List.hd (Parser.parse_module tgt).Ast.funcs)
+
+(* the hostile mul moved inside a loop exit block: every deepening step
+   re-poses the commutativity query, so no realistic deadline survives it *)
+let hostile_loop_pair w =
+  let text op =
+    Printf.sprintf
+      "define i%d @f(i%d %%x, i%d %%y) {\nentry:\n  br label %%h\nh:\n  %%i = phi i%d [ 0, \
+       %%entry ], [ %%i2, %%b ]\n  %%c = icmp slt i%d %%i, 2\n  br i1 %%c, label %%b, label \
+       %%x\nb:\n  %%i2 = add i%d %%i, 1\n  br label %%h\nx:\n  %%r = mul i%d %s\n  ret i%d \
+       %%r\n}"
+      w w w w w w w op w
+  in
+  let m = Parser.parse_module (text "%x, %y") in
+  let src = List.hd m.Ast.funcs in
+  let tgt = List.hd (Parser.parse_module (text "%y, %x")).Ast.funcs in
+  (m, src, tgt)
+
+let incremental_tests =
+  [
+    Alcotest.test_case "iterative deepening agrees with single-shot unroll" `Quick (fun () ->
+        (* handwritten loop pairs covering every verdict the deepening loop
+           can produce, plus a slice of the generated corpus (some samples
+           carry loops): the incremental session must never flip a verdict
+           against the fresh single-shot solve at the full bound *)
+        List.iter
+          (fun (name, (m, src, tgt)) ->
+            let fresh = A.verify_funcs ~incremental:false m ~src ~tgt in
+            let incr = A.verify_funcs ~incremental:true m ~src ~tgt in
+            Alcotest.check category name fresh.A.category incr.A.category)
+          [
+            ("terminating loop", loop_pair ());
+            ("wrong constant", loop_pair ~ret:4 ());
+            ("bound exceeds unroll", loop_pair ~bound:100 ~ret:100 ());
+            ("loop against itself", (fun (m, src, _) -> (m, src, src)) (loop_pair ()));
+            ("mul commutativity in a loop", hostile_loop_pair 5);
+          ];
+        let ds = S.build ~verify:false ~seed0:88111 ~n:10 () in
+        List.iter
+          (fun (s : S.sample) ->
+            let fresh =
+              A.verify_funcs ~incremental:false s.S.modul ~src:s.S.src ~tgt:s.S.label
+            in
+            let incr = A.verify_funcs ~incremental:true s.S.modul ~src:s.S.src ~tgt:s.S.label in
+            Alcotest.check category
+              (Printf.sprintf "sample %d" s.S.id)
+              fresh.A.category incr.A.category)
+          ds.S.samples);
+    Alcotest.test_case "deepening verdicts at the default bound" `Quick (fun () ->
+        let check name expect (m, src, tgt) =
+          let v = A.verify_funcs ~incremental:true m ~src ~tgt in
+          Alcotest.check category name expect v.A.category;
+          Alcotest.(check bool) (name ^ " is bounded") true v.A.bounded
+        in
+        check "exhausted loop proves equivalent" A.Equivalent (loop_pair ());
+        check "wrong constant is refuted" A.Semantic_error (loop_pair ~ret:4 ());
+        (* a loop that cannot exhaust the bound has no terminating execution
+           within it, so bounded validation accepts vacuously — same as the
+           single-shot path *)
+        check "unexhausted loop verifies vacuously" A.Equivalent
+          (loop_pair ~bound:100 ~ret:100 ()));
+  ]
+
 let breaker_tests =
   [
     Alcotest.test_case "half-open trial: a conclusive verdict closes the breaker" `Quick
@@ -259,6 +334,30 @@ let breaker_tests =
         let st = Engine.stats e in
         Alcotest.(check int) "second attempt ran tier 2 again" 2 st.Vcache.tier2_runs;
         Alcotest.(check int) "still nothing cached" 0 st.Vcache.insertions);
+    Alcotest.test_case "deadline death mid-session leaves no poisoned state" `Quick (fun () ->
+        (* a loop pair drives the incremental deepening session; a deadline
+           expiring inside it must yield an uncached Inconclusive, and the
+           next check on the same engine must conclude from a clean session *)
+        let e = Engine.create ~tier1_samples:0 () in
+        let m, src, tgt = loop_pair () in
+        let v = Engine.verify_funcs ~deadline:(Unix.gettimeofday () -. 1.0) e m ~src ~tgt in
+        Alcotest.check category "expired deadline widens" A.Inconclusive v.A.category;
+        let st = Engine.stats e in
+        Alcotest.(check int) "nothing cached" 0 st.Vcache.insertions;
+        (* a deadline that dies between depths, not before the first solve *)
+        let mh, srch, tgth = hostile_loop_pair 12 in
+        let v2 =
+          Engine.verify_funcs ~deadline:(Unix.gettimeofday () +. 0.05) e mh ~src:srch ~tgt:tgth
+        in
+        Alcotest.check category "mid-session death widens" A.Inconclusive v2.A.category;
+        let st = Engine.stats e in
+        Alcotest.(check int) "still nothing cached" 0 st.Vcache.insertions;
+        (* the abandoned sessions corrupt nothing: the retry concludes *)
+        let v3 = Engine.verify_funcs e m ~src ~tgt in
+        Alcotest.check category "retry concludes" A.Equivalent v3.A.category;
+        let st = Engine.stats e in
+        Alcotest.(check int) "all three were real tier-2 runs" 3 st.Vcache.tier2_runs;
+        Alcotest.(check int) "the conclusive verdict was cached" 1 st.Vcache.insertions);
   ]
 
 let report_tests =
@@ -281,4 +380,4 @@ let report_tests =
 let suite =
   ( "engine",
     cached_matches_fresh_tests @ tier1_tests @ cache_tests @ par_tests @ satellite_tests
-    @ breaker_tests @ report_tests )
+    @ incremental_tests @ breaker_tests @ report_tests )

@@ -261,6 +261,7 @@ let vcache_tests =
             unroll = 4;
             max_conflicts = 1;
             reduce = true;
+            incremental = true;
           }
         in
         let (c : int Vcache.t) = Vcache.create ~capacity:2 () in
@@ -284,7 +285,15 @@ let vcache_tests =
         let st = Vcache.stats c in
         Alcotest.(check int) "capacity clamped to 1" 1 st.Vcache.capacity;
         Vcache.add c
-          { Vcache.ctx = "x"; src = ""; tgt = ""; unroll = 0; max_conflicts = 0; reduce = true }
+          {
+            Vcache.ctx = "x";
+            src = "";
+            tgt = "";
+            unroll = 0;
+            max_conflicts = 0;
+            reduce = true;
+            incremental = true;
+          }
           9;
         Vcache.reset c;
         let st = Vcache.stats c in

@@ -151,6 +151,92 @@ let differential_fuzz () =
     (!sat_cases > 0 && !sat_cases < fuzz_n);
   Alcotest.(check bool) "the reducer actually fired during the campaign" true (!total_reductions > 0)
 
+(* Incremental differential: one persistent solver takes the clauses in two
+   batches with a solve in between — retained learned clauses, activities
+   and phases must not flip the final verdict against brute force.  Then
+   the same instance is solved under unit assumptions both ways and
+   unconstrained again: assumption solves must match brute force with the
+   unit added, leave no trace in the clause DB, and their models must set
+   the assumed literal. *)
+let incremental_fuzz () =
+  let st = Random.State.make [| 0x1ac5; 20260805 |] in
+  let n = max 200 (fuzz_n / 5) in
+  let constrained_unsat = ref 0 and sat_cases = ref 0 in
+  for case = 1 to n do
+    let c = gen_case st in
+    let expected = brute_force c in
+    let s = Sat.create () in
+    let vars = Array.init c.nvars (fun _ -> Sat.new_var s) in
+    let add clause =
+      Sat.add_clause s (List.map (fun (v, sign) -> Sat.lit_of_var ~sign vars.(v)) clause)
+    in
+    let k = List.length c.clauses / 2 in
+    List.iteri (fun i clause -> if i < k then add clause) c.clauses;
+    let r1 = Sat.solve ~reduce:true ~reduce_first:4 s in
+    Sat.check_invariants s;
+    if r1 = Sat.Unsat && expected then
+      Alcotest.failf "case %d: clause prefix UNSAT but the full CNF is SAT on %s" case
+        (show_cnf c);
+    List.iteri (fun i clause -> if i >= k then add clause) c.clauses;
+    let check_full label =
+      match Sat.solve ~reduce:true ~reduce_first:4 s with
+      | Sat.Sat ->
+        if not expected then
+          Alcotest.failf "case %d (%s): incremental SAT, brute force UNSAT on %s" case label
+            (show_cnf c);
+        if not (model_satisfies c s vars) then
+          Alcotest.failf "case %d (%s): incremental model violates a clause on %s" case label
+            (show_cnf c)
+      | Sat.Unsat ->
+        if expected then
+          Alcotest.failf "case %d (%s): incremental UNSAT, brute force SAT on %s" case label
+            (show_cnf c)
+      | Sat.Unknown ->
+        Alcotest.failf "case %d (%s): budget exhausted on a tiny instance: %s" case label
+          (show_cnf c)
+    in
+    check_full "second batch";
+    if expected then incr sat_cases;
+    let v = Random.State.int st c.nvars in
+    let check_assumption sign =
+      let expected_a = brute_force { c with clauses = [ (v, sign) ] :: c.clauses } in
+      match
+        Sat.solve ~reduce:true ~reduce_first:4
+          ~assumptions:[ Sat.lit_of_var ~sign vars.(v) ]
+          s
+      with
+      | Sat.Sat ->
+        if not expected_a then
+          Alcotest.failf "case %d: SAT under assumption %s%d, brute force disagrees on %s" case
+            (if sign then "" else "-") v (show_cnf c);
+        if Sat.model_value s vars.(v) <> sign then
+          Alcotest.failf "case %d: model ignores the assumption %s%d on %s" case
+            (if sign then "" else "-") v (show_cnf c);
+        if not (model_satisfies c s vars) then
+          Alcotest.failf "case %d: assumption model violates a clause on %s" case (show_cnf c)
+      | Sat.Unsat ->
+        if expected_a then
+          Alcotest.failf "case %d: UNSAT under assumption %s%d, brute force disagrees on %s" case
+            (if sign then "" else "-") v (show_cnf c);
+        if expected then incr constrained_unsat
+      | Sat.Unknown ->
+        Alcotest.failf "case %d: budget exhausted under an assumption: %s" case (show_cnf c)
+    in
+    check_assumption true;
+    check_assumption false;
+    (* the assumptions left no trace: the unconstrained verdict is intact *)
+    check_full "after assumptions";
+    Sat.check_invariants s
+  done;
+  Fmt.epr "sat-fuzz incremental: %d cases (%d SAT), %d assumption-forced UNSATs@." n !sat_cases
+    !constrained_unsat;
+  Alcotest.(check bool)
+    "mixed verdicts in the campaign" true
+    (!sat_cases > 0 && !sat_cases < n);
+  Alcotest.(check bool)
+    "some assumptions flipped a SAT instance to UNSAT-under-assumptions" true
+    (!constrained_unsat > 0)
+
 (* ------------------------------------------------------------------ *)
 (* Regression pins: the reduction schedule on a crafted conflict-heavy
    query, and aggregate-stats monotonicity. *)
@@ -265,6 +351,7 @@ let suite =
       Alcotest.test_case
         (Fmt.str "differential CNF fuzz, %d cases (VERIOPT_FUZZ_N)" fuzz_n)
         `Slow differential_fuzz;
+      Alcotest.test_case "incremental + assumption differential fuzz" `Slow incremental_fuzz;
       Alcotest.test_case "reduction schedule bounds the DB on PHP(8,7)" `Slow
         reduction_schedule_test;
       Alcotest.test_case "aggressive reduction never deletes reasons (PHP(7,6))" `Quick

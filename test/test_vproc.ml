@@ -58,6 +58,19 @@ let easy_pair () =
   let tgt = List.hd (Parser.parse_module "define i8 @f(i8 %x) {\nentry:\n  ret i8 %x\n}").Ast.funcs in
   (m, src, tgt)
 
+(* cyclic, so the worker's iterative-deepening incremental session engages *)
+let loop_pair ?(bound = 3) ?(ret = 3) () =
+  let src =
+    Printf.sprintf
+      "define i32 @f(i32 %%n) {\nentry:\n  br label %%h\nh:\n  %%i = phi i32 [ 0, %%entry ], [ \
+       %%i2, %%b ]\n  %%c = icmp slt i32 %%i, %d\n  br i1 %%c, label %%b, label %%x\nb:\n  %%i2 \
+       = add i32 %%i, 1\n  br label %%h\nx:\n  ret i32 %%i\n}"
+      bound
+  in
+  let tgt = Printf.sprintf "define i32 @f(i32 %%n) {\nentry:\n  ret i32 %d\n}" ret in
+  let m = Parser.parse_module src in
+  (m, List.hd m.Ast.funcs, List.hd (Parser.parse_module tgt).Ast.funcs)
+
 (* ------------------------------------------------------------------ *)
 
 let eintr_tests =
@@ -277,6 +290,27 @@ let engine_tests =
             ~tgt_text:"define i8 @f(i8 %x) {\nentry:\n  %r = add i8 %x, 2\n  ret i8 %r\n}"
         in
         Alcotest.check category "refuted pair" A.Semantic_error bad.A.category);
+    Alcotest.test_case "incremental deepening through the worker matches in-process" `Quick
+      (fun () ->
+        (* the marshalled request carries the incremental flag; the worker's
+           deepening session must agree with a fresh in-process single-shot
+           solve at the full bound on every loop verdict *)
+        let e = Engine.create ~tier1_samples:0 ~isolate:Engine.Proc () in
+        if Engine.isolate e <> Engine.Proc then
+          (* fork refused: the fallback IS the in-process backend, nothing
+             to compare across the boundary *)
+          ()
+        else
+          List.iter
+            (fun (name, (m, src, tgt)) ->
+              let fresh = A.verify_funcs ~incremental:false m ~src ~tgt in
+              let proc = Engine.verify_funcs ~incremental:true e m ~src ~tgt in
+              Alcotest.check category name fresh.A.category proc.A.category)
+            [
+              ("terminating loop", loop_pair ());
+              ("wrong constant", loop_pair ~ret:4 ());
+              ("bound exceeds unroll", loop_pair ~bound:100 ~ret:100 ());
+            ]);
     Alcotest.test_case "worker_hang chaos: uncached Inconclusive, killed and respawned"
       `Quick (fun () ->
         let e = Engine.create ~tier1_samples:0 ~isolate:Engine.Proc () in
