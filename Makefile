@@ -1,4 +1,4 @@
-.PHONY: all build test bench micro verify-bench chaos-bench sat-bench proc-bench incr-bench fuzz check clean
+.PHONY: all build test bench micro verify-bench chaos-bench sat-bench proc-bench incr-bench portfolio-bench fuzz check clean
 
 all: build
 
@@ -49,6 +49,14 @@ proc-bench: build
 incr-bench: build
 	dune exec bench/main.exe -- incr-bench
 
+# Diversified SAT portfolio + cube-and-conquer racing across the fork
+# pool: four configs per hostile query, first conclusive verdict wins,
+# losers SIGKILLed, inconclusive probes split into cubes on the top VSIDS
+# variables.  Writes machine-readable BENCH_portfolio.json; exits non-zero
+# on a conclusive-verdict flip or an orphaned worker.
+portfolio-bench: build
+	dune exec bench/main.exe -- portfolio-bench
+
 # Long-run differential fuzz campaign over the SAT core and the bit-vector
 # poison paths (the runtest default is 5000 CNF + 1000 round-trip cases).
 fuzz: build
@@ -63,6 +71,7 @@ check: build
 	dune exec bench/main.exe -- robust-bench
 	dune exec bench/main.exe -- proc-bench
 	dune exec bench/main.exe -- incr-bench
+	dune exec bench/main.exe -- portfolio-bench
 
 clean:
 	dune clean

@@ -80,26 +80,70 @@ let verify_cmd =
             "Verification wall-clock budget; past it the verdict is inconclusive (under \
              $(b,--isolate proc) the worker is SIGKILLed if it overruns)")
   in
-  let run file unroll no_incremental no_reduce sat_stats isolate timeout =
+  let portfolio =
+    Arg.(
+      value & opt int 1
+      & info [ "portfolio" ] ~docv:"N"
+          ~doc:
+            "Race $(docv) diversified SAT configurations across a forked worker pool \
+             (implies $(b,--isolate proc)); the first conclusive member wins and the \
+             losers are SIGKILLed.  Affects wall time, never verdicts.  Also selectable \
+             via VERIOPT_PORTFOLIO; cube splitting depth via VERIOPT_CUBE_K")
+  in
+  let sat_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "sat-seed" ] ~docv:"SEED"
+          ~doc:
+            "Base random seed for the SAT solver's tie-breaking and phase choices (0, the \
+             default, is bit-identical to the unseeded solver); portfolio members derive \
+             their seeds from it")
+  in
+  let run file unroll no_incremental no_reduce sat_stats isolate timeout portfolio sat_seed =
     let m = load_module file in
     match m.Veriopt_ir.Ast.funcs with
     | [ src; tgt ] | src :: tgt :: _ ->
       let module Solver = Veriopt_smt.Solver in
+      let module Sat = Veriopt_smt.Sat in
+      let module Portfolio = Veriopt_smt.Portfolio in
       Solver.reset_stats ();
       let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
       let incremental = not no_incremental && Alive.incremental_default () in
+      let sat = { Sat.default_config with Sat.seed = sat_seed } in
       let v =
-        match isolate with
-        | Veriopt_alive.Engine.Domains ->
-          Alive.verify_funcs ~unroll ?deadline ~reduce:(not no_reduce) ~incremental m ~src ~tgt
-        | iso ->
-          (* tier 1 off so the verdict comes from the same SMT path as the
-             direct call above, just behind the process boundary *)
-          let e = Veriopt_alive.Engine.create ~tier1_samples:0 ~isolate:iso () in
+        if portfolio > 1 then begin
+          (* tier 1 off: every verdict here comes from the racing SMT path *)
+          let e = Veriopt_alive.Engine.create ~tier1_samples:0 ~portfolio () in
+          Fun.protect ~finally:(fun () -> Veriopt_alive.Engine.shutdown e) @@ fun () ->
           Veriopt_alive.Engine.verify_funcs ~unroll ?deadline ~reduce:(not no_reduce)
-            ~incremental e m ~src ~tgt
+            ~incremental ~sat e m ~src ~tgt
+        end
+        else
+          match isolate with
+          | Veriopt_alive.Engine.Domains ->
+            Alive.verify_funcs ~unroll ?deadline ~reduce:(not no_reduce) ~incremental ~sat m
+              ~src ~tgt
+          | iso ->
+            (* tier 1 off so the verdict comes from the same SMT path as the
+               direct call above, just behind the process boundary *)
+            let e = Veriopt_alive.Engine.create ~tier1_samples:0 ~isolate:iso () in
+            Veriopt_alive.Engine.verify_funcs ~unroll ?deadline ~reduce:(not no_reduce)
+              ~incremental ~sat e m ~src ~tgt
       in
       Fmt.pr "%s@.%s@." (category_string v.Alive.category) v.Alive.message;
+      if sat_stats && portfolio > 1 then begin
+        let p = Portfolio.stats () in
+        Fmt.epr
+          "portfolio: %d races (%d full-member wins), %d cube splits, %d cube cex, %d cube \
+           refutations, %d join refutations@."
+          p.Portfolio.races p.Portfolio.race_wins p.Portfolio.cube_splits p.Portfolio.cube_cex
+          p.Portfolio.cube_refutations p.Portfolio.join_refutations;
+        Fmt.epr "portfolio: %d losers cancelled, %d wasted conflicts, %d units merged@."
+          p.Portfolio.losers_cancelled p.Portfolio.wasted_conflicts p.Portfolio.units_merged;
+        List.iter
+          (fun (label, n) -> Fmt.epr "portfolio-winner: %s: %d@." label n)
+          (Portfolio.winner_histogram ())
+      end;
       if sat_stats then begin
         let s = Solver.stats () in
         Fmt.epr "sat: %d checks, %d conflicts, %d decisions, %d propagations, %d restarts@."
@@ -127,7 +171,9 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Check that the second function of FILE.ll refines the first")
-    Term.(const run $ file $ unroll $ no_incremental $ no_reduce $ sat_stats $ isolate $ timeout)
+    Term.(
+      const run $ file $ unroll $ no_incremental $ no_reduce $ sat_stats $ isolate $ timeout
+      $ portfolio $ sat_seed)
 
 let opt_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ll") in

@@ -5,19 +5,55 @@ module Interp = Veriopt_eval.Interp
 module Exec_oracle = Veriopt_eval.Exec_oracle
 module Fault = Veriopt_fault.Fault
 module Vproc = Veriopt_vproc.Vproc
+module Sat = Veriopt_smt.Sat
+module Solver = Veriopt_smt.Solver
+module Portfolio = Veriopt_smt.Portfolio
 
 type isolate = Domains | Proc
 
 (* The tier-2 query shipped to a forked worker: plain AST values and knobs,
    no closures (Marshal requirement).  The incremental flag rides along so
    the iterative-deepening loop — self-contained below this boundary — runs
-   identically inside the worker. *)
-type proc_request = Ast.modul * Ast.func * Ast.func * int * int * bool * bool * float option
+   identically inside the worker.  [pr_sat] diversifies the worker's SAT
+   solver (portfolio member); [pr_cube] switches the worker to solving one
+   cube of the query as raw assumption literals. *)
+type proc_request = {
+  pr_m : Ast.modul;
+  pr_src : Ast.func;
+  pr_tgt : Ast.func;
+  pr_unroll : int;
+  pr_max_conflicts : int;
+  pr_reduce : bool;
+  pr_incremental : bool;
+  pr_deadline : float option;
+  pr_sat : Sat.config option;
+  pr_cube : int list option;
+}
 
-let proc_handler
-    ((m, src, tgt, unroll, max_conflicts, reduce, incremental, deadline) : proc_request) :
-    Alive.verdict =
-  Alive.verify_funcs ~unroll ~max_conflicts ?deadline ~reduce ~incremental m ~src ~tgt
+(* Every response ships the worker's solver-stats delta for this one call,
+   so the parent can aggregate portfolio members' work — losers included —
+   into its own process-wide counters. *)
+type proc_response =
+  | P_verdict of Alive.verdict * Solver.stats
+  | P_cube of Alive.cube_outcome * int list * Solver.stats
+
+let proc_handler (r : proc_request) : proc_response =
+  let before = Solver.stats () in
+  match r.pr_cube with
+  | None ->
+    let v =
+      Alive.verify_funcs ~unroll:r.pr_unroll ~max_conflicts:r.pr_max_conflicts
+        ?deadline:r.pr_deadline ~reduce:r.pr_reduce ~incremental:r.pr_incremental
+        ?sat:r.pr_sat r.pr_m ~src:r.pr_src ~tgt:r.pr_tgt
+    in
+    P_verdict (v, Solver.diff (Solver.stats ()) before)
+  | Some cube ->
+    let o, units =
+      Alive.verify_funcs_cube ~unroll:r.pr_unroll ~max_conflicts:r.pr_max_conflicts
+        ?deadline:r.pr_deadline ~reduce:r.pr_reduce ?sat:r.pr_sat ~cube r.pr_m ~src:r.pr_src
+        ~tgt:r.pr_tgt
+    in
+    P_cube (o, units, Solver.diff (Solver.stats ()) before)
 
 type t = {
   cache : Alive.verdict Vcache.t;
@@ -25,7 +61,9 @@ type t = {
   breaker_k : int; (* 0 disables the circuit breaker *)
   breaker_cooldown : int;
   isolate : isolate;
-  pool : (proc_request, Alive.verdict) Vproc.t option; (* Some iff isolate = Proc *)
+  portfolio : int; (* 1 = single-solver tier 2; > 1 races diversified members *)
+  cube_k : int; (* split on the top-k VSIDS vars: 2^k cubes *)
+  pool : (proc_request, proc_response) Vproc.t option; (* Some iff isolate = Proc *)
 }
 
 let warned_env = Atomic.make false
@@ -43,10 +81,26 @@ let isolate_of_env () =
       (Printf.sprintf "ignoring invalid VERIOPT_ISOLATE=%S (want proc|domain)" other);
     Domains
 
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some v -> v | None -> default)
+  | None -> default
+
+let portfolio_of_env () = max 1 (env_int "VERIOPT_PORTFOLIO" 1)
+let cube_k_of_env () = max 0 (min 6 (env_int "VERIOPT_CUBE_K" 2))
+
 let create ?(capacity = 8192) ?(tier1_samples = 16) ?(breaker_k = 0) ?(breaker_cooldown = 16)
-    ?isolate () =
+    ?isolate ?portfolio ?cube_k () =
+  let portfolio = max 1 (match portfolio with Some p -> p | None -> portfolio_of_env ()) in
+  let cube_k = max 0 (min 6 (match cube_k with Some k -> k | None -> cube_k_of_env ())) in
   let isolate =
-    match Option.value isolate ~default:(isolate_of_env ()) with
+    match isolate with
+    | Some i -> i
+    (* a portfolio IS the fork pool: racing needs process members *)
+    | None -> if portfolio > 1 then Proc else isolate_of_env ()
+  in
+  let isolate =
+    match isolate with
     | Proc when not (Vproc.available ()) ->
       (* graceful degradation: no fork here means the in-process backend,
          not a broken engine *)
@@ -60,8 +114,10 @@ let create ?(capacity = 8192) ?(tier1_samples = 16) ?(breaker_k = 0) ?(breaker_c
     | Domains -> (Domains, None)
     | Proc ->
       (* fork eagerly, at engine creation: the only legal moment for a
-         multicore runtime, before reward traffic spins up the Par domains *)
-      let p = Vproc.create ~handler:proc_handler () in
+         multicore runtime, before reward traffic spins up the Par domains.
+         The pool is sized to the portfolio so a whole race fits at once. *)
+      let jobs = max portfolio (max 1 (env_int "VERIOPT_PROC_JOBS" 2)) in
+      let p = Vproc.create ~jobs ~handler:proc_handler () in
       if Vproc.slots_available p > 0 then (Proc, Some p)
       else begin
         (* fork refused (domains already exist): a dead pool would turn
@@ -73,16 +129,31 @@ let create ?(capacity = 8192) ?(tier1_samples = 16) ?(breaker_k = 0) ?(breaker_c
         (Domains, None)
       end
   in
+  let portfolio =
+    if portfolio > 1 && pool = None then begin
+      warn_once warned_fallback
+        "portfolio racing needs the proc backend; running a single solver";
+      1
+    end
+    else portfolio
+  in
   {
     cache = Vcache.create ~capacity ();
     tier1_samples = max 0 tier1_samples;
     breaker_k = max 0 breaker_k;
     breaker_cooldown = max 1 breaker_cooldown;
     isolate;
+    portfolio;
+    cube_k;
     pool;
   }
 
 let isolate t = t.isolate
+let portfolio t = t.portfolio
+
+let shutdown t = match t.pool with Some p -> Vproc.shutdown p | None -> ()
+let orphans t = match t.pool with Some p -> Vproc.orphans p | None -> 0
+
 let shared_engine = lazy (create ())
 let shared () = Lazy.force shared_engine
 
@@ -185,9 +256,175 @@ let tier1_verdict (m : Ast.modul) (src : Ast.func) (tgt : Ast.func) ~bounded
   }
 
 (* ------------------------------------------------------------------ *)
+(* Tier 2, portfolio mode.
+
+   The parent probes the query on a tiny conflict budget (in-process, on
+   the live probe solver).  A conclusive probe needs no fan-out.  An
+   inconclusive one splits on the probe's top-k VSIDS variables into 2^k
+   cubes and races, across the fork pool: one cube leg per cube (each a
+   different member config) plus — when the portfolio is wider than the
+   cube set — diversified full-query legs.  First conclusive leg wins and
+   the losers are SIGKILLed; if nobody wins outright, all-cubes-refine is a
+   refutation by partition, and otherwise the cube workers' learned unit
+   clauses are merged back into the probe for one last cheap solve. *)
+
+let inconclusive_verdict ~bounded ~copy msg =
+  {
+    Alive.category = Alive.Inconclusive;
+    message = Diagnostics.inconclusive_message msg;
+    example = [];
+    bounded;
+    copy_of_input = copy;
+  }
+
+let rec floor_log2 n = if n <= 1 then 0 else 1 + floor_log2 (n / 2)
+
+type race_leg = { leg_cube : int list option; leg_member : Portfolio.member }
+
+let tier2_race (t : t) pool ~unroll ~max_conflicts ?deadline ~reduce
+    ~(sat : Sat.config option) ~bounded (m : Ast.modul) ~(src : Ast.func) ~(tgt : Ast.func) :
+    Alive.verdict * bool (* cacheable *) =
+  Portfolio.note_race ();
+  let t0 = now () in
+  let base_seed = match sat with Some c -> c.Sat.seed | None -> 0 in
+  let k = min t.cube_k (floor_log2 (Vproc.jobs pool)) in
+  match
+    Alive.cube_probe ~unroll ~max_conflicts:(min 500 max_conflicts) ?deadline ~reduce ?sat ~k
+      m ~src ~tgt
+  with
+  | `Verdict v -> (v, true) (* conclusive before any fan-out *)
+  | `Split plan -> (
+    Portfolio.note_cube_split ();
+    let n_cubes = List.length plan.Alive.cubes in
+    let total = max t.portfolio n_cubes in
+    let mems = Array.of_list (Portfolio.members ~base_seed total) in
+    let legs =
+      Array.init total (fun i ->
+          {
+            leg_cube = (if i < n_cubes then Some (List.nth plan.Alive.cubes i) else None);
+            leg_member = mems.(i);
+          })
+    in
+    let reqs =
+      Array.to_list
+        (Array.map
+           (fun leg ->
+             {
+               pr_m = m;
+               pr_src = src;
+               pr_tgt = tgt;
+               pr_unroll = unroll;
+               pr_max_conflicts = max_conflicts;
+               pr_reduce = reduce;
+               pr_incremental = false; (* cube legs are single-shot by design *)
+               pr_deadline = deadline;
+               pr_sat = Some leg.leg_member.Portfolio.config;
+               pr_cube = leg.leg_cube;
+             })
+           legs)
+    in
+    let kill_at = Option.map (fun d -> d +. Float.max 0.01 (0.5 *. (d -. t0))) deadline in
+    let decide _i (resp : proc_response) =
+      match resp with
+      | P_verdict (v, _) when v.Alive.category <> Alive.Inconclusive -> `Win
+      | P_cube (Alive.Cube_cex _, _, _) -> `Win
+      | _ -> `Continue
+    in
+    match Vproc.call_race ?kill_at ~decide pool reqs with
+    | Error f ->
+      ( inconclusive_verdict ~bounded ~copy:plan.Alive.plan_copy
+          ("verification " ^ Vproc.failure_message f ^ " (portfolio)"),
+        false )
+    | Ok members ->
+      let wall = now () -. t0 in
+      let winner = ref (-1) in
+      let cancelled = ref 0 in
+      let wasted = ref 0 in
+      Array.iteri
+        (fun i (mr : proc_response Vproc.race_member) ->
+          match mr with
+          | Vproc.Race_done (resp, _) ->
+            let d = match resp with P_verdict (_, d) | P_cube (_, _, d) -> d in
+            Solver.absorb d;
+            let wins =
+              match resp with
+              | P_verdict (v, _) -> v.Alive.category <> Alive.Inconclusive
+              | P_cube (Alive.Cube_cex _, _, _) -> true
+              | P_cube _ -> false
+            in
+            if wins && !winner < 0 then winner := i
+            else wasted := !wasted + d.Solver.conflicts
+          | Vproc.Race_cancelled _ -> incr cancelled
+          | Vproc.Race_failed _ -> ())
+        members;
+      Portfolio.note_cancelled !cancelled;
+      Portfolio.note_wasted ~conflicts:!wasted;
+      if !winner >= 0 then begin
+        let i = !winner in
+        Portfolio.note_win ~label:legs.(i).leg_member.Portfolio.label;
+        (match members.(i) with
+        | Vproc.Race_done (_, elapsed) when elapsed > 0. ->
+          Portfolio.note_reap_ratio (wall /. elapsed)
+        | _ -> ());
+        match members.(i) with
+        | Vproc.Race_done (P_verdict (v, _), _) -> (v, true)
+        | Vproc.Race_done (P_cube (Alive.Cube_cex v, _, _), _) ->
+          Portfolio.note_cube_cex ();
+          (v, true)
+        | _ -> assert false
+      end
+      else begin
+        (* no single leg was conclusive: conclude at the join if we can *)
+        let cube_done =
+          List.filteri (fun i _ -> i < n_cubes)
+            (Array.to_list
+               (Array.map
+                  (function
+                    | Vproc.Race_done (P_cube (o, units, _), _) -> Some (o, units)
+                    | _ -> None)
+                  members))
+        in
+        let all_refine =
+          n_cubes > 0
+          && List.for_all
+               (function Some (Alive.Cube_refines, _) -> true | _ -> false)
+               cube_done
+        in
+        if all_refine then begin
+          (* the cubes partition the space: no mismatch in any cube is no
+             mismatch anywhere (within the unroll bound) *)
+          Portfolio.note_cube_refutation ();
+          ( {
+              Alive.category = Alive.Equivalent;
+              message = Diagnostics.equivalent_message ~bounded;
+              example = [];
+              bounded;
+              copy_of_input = plan.Alive.plan_copy;
+            },
+            true )
+        end
+        else begin
+          let units =
+            List.concat_map (function Some (_, units) -> units | None -> []) cube_done
+            |> List.sort_uniq compare
+          in
+          Portfolio.note_units (List.length units);
+          match Alive.probe_join plan ~units with
+          | Some v ->
+            Portfolio.note_join_refutation ();
+            (v, true)
+          | None ->
+            ( inconclusive_verdict ~bounded ~copy:plan.Alive.plan_copy
+                "solver resource limit reached (portfolio)",
+              true )
+        end
+      end)
+
+(* ------------------------------------------------------------------ *)
 
 let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline ?(reduce = true)
-    ?incremental (t : t) (m : Ast.modul) ~(src : Ast.func) ~(tgt : Ast.func) : Alive.verdict =
+    ?incremental ?sat (t : t) (m : Ast.modul) ~(src : Ast.func) ~(tgt : Ast.func) :
+    Alive.verdict =
   (* resolve the env-dependent default up front: the concrete bool enters
      the cache key, so a later VERIOPT_INCR change cannot alias entries *)
   let incremental =
@@ -212,6 +449,8 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline ?(reduce = t
         max_conflicts;
         reduce;
         incremental;
+        portfolio = t.portfolio;
+        sat = Sat.describe_config (Option.value sat ~default:Sat.default_config);
       }
     in
     match Vcache.find t.cache key with
@@ -245,8 +484,15 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline ?(reduce = t
           let v =
             match t.pool with
             | None ->
-              Alive.verify_funcs ~unroll ~max_conflicts ?deadline ~reduce ~incremental m ~src
-                ~tgt
+              Alive.verify_funcs ~unroll ~max_conflicts ?deadline ~reduce ~incremental ?sat m
+                ~src ~tgt
+            | Some pool when t.portfolio > 1 ->
+              let v, c =
+                tier2_race t pool ~unroll ~max_conflicts ?deadline ~reduce ~sat
+                  ~bounded:(Lazy.force bounded) m ~src ~tgt
+              in
+              if not c then cacheable := false;
+              v
             | Some pool -> (
               (* the child still gets the cooperative deadline; the hard
                  SIGKILL fires only once it has overrun by half a budget *)
@@ -255,9 +501,27 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline ?(reduce = t
               in
               match
                 Vproc.call ?kill_at pool
-                  (m, src, tgt, unroll, max_conflicts, reduce, incremental, deadline)
+                  {
+                    pr_m = m;
+                    pr_src = src;
+                    pr_tgt = tgt;
+                    pr_unroll = unroll;
+                    pr_max_conflicts = max_conflicts;
+                    pr_reduce = reduce;
+                    pr_incremental = incremental;
+                    pr_deadline = deadline;
+                    pr_sat = sat;
+                    pr_cube = None;
+                  }
               with
-              | Ok v -> v
+              | Ok (P_verdict (v, d)) ->
+                Solver.absorb d;
+                v
+              | Ok (P_cube _) ->
+                (* protocol mismatch; cannot happen for a full-query request *)
+                cacheable := false;
+                inconclusive_verdict ~bounded:(Lazy.force bounded) ~copy:false
+                  "worker protocol mismatch (proc isolate)"
               | Error f ->
                 (* a dead worker describes this call's sandbox, not the
                    query: degrade to an uncached Inconclusive *)
@@ -304,8 +568,8 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline ?(reduce = t
       if !cacheable then Vcache.add t.cache key verdict;
       verdict
 
-let verify_text ?unroll ?max_conflicts ?deadline ?reduce ?incremental (t : t) (m : Ast.modul)
-    ~(src : Ast.func) ~(tgt_text : string) : Alive.verdict =
+let verify_text ?unroll ?max_conflicts ?deadline ?reduce ?incremental ?sat (t : t)
+    (m : Ast.modul) ~(src : Ast.func) ~(tgt_text : string) : Alive.verdict =
   (* fault site: a crashing (not merely failing) parse; the crash-proof
      reward path converts the exception into a counted engine failure *)
   Fault.inject Fault.Parse_corrupt ~site:"engine.parse";
@@ -328,4 +592,5 @@ let verify_text ?unroll ?max_conflicts ?deadline ?reduce ?incremental (t : t) (m
         bounded = false;
         copy_of_input = false;
       }
-    | Ok () -> verify_funcs ?unroll ?max_conflicts ?deadline ?reduce ?incremental t m ~src ~tgt)
+    | Ok () ->
+      verify_funcs ?unroll ?max_conflicts ?deadline ?reduce ?incremental ?sat t m ~src ~tgt)

@@ -44,6 +44,8 @@ val create :
   ?breaker_k:int ->
   ?breaker_cooldown:int ->
   ?isolate:isolate ->
+  ?portfolio:int ->
+  ?cube_k:int ->
   unit ->
   t
 (** [capacity] bounds the verdict cache (default 8192 per generation);
@@ -61,10 +63,32 @@ val create :
     forks its worker pool eagerly here — the safest moment for a multicore
     runtime, before reward traffic spins up the Par domains — and silently
     degrades to [Domains] when fork is unavailable (non-Unix, or
-    [VERIOPT_NO_FORK] set), with a one-time warning. *)
+    [VERIOPT_NO_FORK] set), with a one-time warning.
+
+    [portfolio] (default [VERIOPT_PORTFOLIO] or 1) > 1 turns tier 2 into a
+    race of that many diversified SAT configurations across the fork pool
+    (implying [Proc]; the pool is sized to fit a whole race).  The parent
+    first probes each query on a tiny conflict budget; inconclusive probes
+    split into [2^cube_k] cube legs (cube-and-conquer on the probe's top
+    VSIDS variables; [cube_k] defaults to [VERIOPT_CUBE_K] or 2) plus
+    diversified full-query legs.  The first conclusive leg wins and the
+    losers are promptly SIGKILLed; racing affects wall time, never
+    verdicts.  When fork is unavailable the portfolio silently degrades to
+    a single solver. *)
 
 val isolate : t -> isolate
 (** The backend this engine actually runs (after any fallback). *)
+
+val portfolio : t -> int
+(** The portfolio width this engine actually races (1 after fallback). *)
+
+val shutdown : t -> unit
+(** Kill and reap the fork pool (no-op for the [Domains] backend).  Must
+    not race in-flight verifications. *)
+
+val orphans : t -> int
+(** Workers still alive after {!shutdown} — a bench smoke check that racing
+    leaked no processes (always [0] after a clean shutdown). *)
 
 val shared : unit -> t
 (** The process-wide engine, created on first use: training, evaluation and
@@ -76,6 +100,7 @@ val verify_funcs :
   ?deadline:float ->
   ?reduce:bool ->
   ?incremental:bool ->
+  ?sat:Veriopt_smt.Sat.config ->
   t ->
   Veriopt_ir.Ast.modul ->
   src:Veriopt_ir.Ast.func ->
@@ -90,7 +115,10 @@ val verify_funcs :
     {!Alive.incremental_default}) selects iterative-deepening unroll for
     loop-bearing pairs; the resolved flag also enters the cache key and the
     marshalled [Proc] request, so both backends and the cache agree on the
-    schedule. *)
+    schedule.  [sat] is the base SAT configuration: the single solver's
+    config when [portfolio = 1], and the seed/config of member 0 of a race
+    (its canonical description enters the cache key, as does the portfolio
+    width). *)
 
 val verify_text :
   ?unroll:int ->
@@ -98,6 +126,7 @@ val verify_text :
   ?deadline:float ->
   ?reduce:bool ->
   ?incremental:bool ->
+  ?sat:Veriopt_smt.Sat.config ->
   t ->
   Veriopt_ir.Ast.modul ->
   src:Veriopt_ir.Ast.func ->

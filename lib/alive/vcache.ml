@@ -8,6 +8,8 @@ type key = {
   max_conflicts : int;
   reduce : bool;
   incremental : bool;
+  portfolio : int;
+  sat : string;
 }
 
 type stats = {

@@ -1,0 +1,171 @@
+(** Portfolio + cube-and-conquer planning: diversified member configs, cube
+    enumeration over split variables, verdict merging, and process-wide
+    stats.
+
+    This module is deliberately process-local and solver-level — it knows
+    nothing about worker pools.  The fan-out over the [Vproc] fork pool
+    (dispatch, first-conclusive-wins, loser cancellation) lives in
+    [Veriopt_vproc.Vproc.call_race] and the engine glue; what lives here is
+    everything that must agree between the racing processes: which configs
+    to run, which cubes partition the search space, and how to merge the
+    legs' answers. *)
+
+(* ------------------------------------------------------------------ *)
+(* Diversified members *)
+
+type member = { label : string; config : Sat.config }
+
+(* Member 0 is the baseline: the default config (seed = [base_seed]), so a
+   1-member portfolio replays today's single solver bit for bit.  Members
+   1.. cycle through hand-picked trajectory variations — restart schedule,
+   initial phase, decision noise, reduction cadence — each under its own
+   seed so no two members ever tie-break identically. *)
+let templates : (int -> Sat.config) array =
+  let d = Sat.default_config in
+  [|
+    (fun s -> { d with seed = s; restarts = Sat.Geometric });
+    (fun s -> { d with seed = s; init_phase = Sat.Phase_true });
+    (fun s -> { d with seed = s; init_phase = Sat.Phase_random; random_var_freq = 0.02 });
+    (fun s ->
+      {
+        d with
+        seed = s;
+        restarts = Sat.Geometric;
+        restart_base = 200;
+        restart_growth = 2.0;
+        init_phase = Sat.Phase_random;
+      });
+    (fun s -> { d with seed = s; restart_base = 50; random_var_freq = 0.05; reduce_first = 1000 });
+    (fun s ->
+      {
+        d with
+        seed = s;
+        restarts = Sat.Geometric;
+        restart_base = 300;
+        restart_growth = 1.3;
+        init_phase = Sat.Phase_true;
+        reduce_first = 4000;
+      });
+  |]
+
+let members ?(base_seed = 0) n =
+  List.init (max 1 n) (fun i ->
+      let config =
+        if i = 0 then { Sat.default_config with seed = base_seed }
+        else templates.((i - 1) mod Array.length templates) (base_seed + i)
+      in
+      { label = Sat.describe_config config; config })
+
+(* ------------------------------------------------------------------ *)
+(* Cubes *)
+
+(** All [2^k] sign assignments over the split variables, as assumption
+    lists.  By construction the cubes partition the assignment space: every
+    total assignment satisfies exactly one cube.  [vars = []] yields the
+    single empty cube (the whole space). *)
+let cube_lits ~(vars : int list) : int list list =
+  List.fold_left
+    (fun cubes v ->
+      List.concat_map
+        (fun cube -> [ Sat.lit_of_var ~sign:true v :: cube; Sat.lit_of_var ~sign:false v :: cube ])
+        cubes)
+    [ [] ] vars
+  |> List.map List.rev
+
+(** Merge cube-leg results: any [Sat] leg witnesses satisfiability of the
+    whole instance (the cube literals were mere assumptions); [Unsat] on
+    {e every} leg refutes it (the cubes are exhaustive); anything less is
+    [Unknown]. *)
+let merge (results : Sat.result list) : Sat.result =
+  if List.exists (fun r -> r = Sat.Sat) results then Sat.Sat
+  else if results <> [] && List.for_all (fun r -> r = Sat.Unsat) results then Sat.Unsat
+  else Sat.Unknown
+
+(* ------------------------------------------------------------------ *)
+(* Stats (Solver.stats idiom: process-wide atomics; the winner histogram is
+   a mutex-protected table since labels are strings). *)
+
+type stats = {
+  races : int;  (** portfolio races run *)
+  race_wins : int;  (** races decided by a conclusive full-query member *)
+  cube_splits : int;  (** races that went to cube-and-conquer *)
+  cube_cex : int;  (** cube races decided by a counterexample leg *)
+  cube_refutations : int;  (** cube races where every cube came back Unsat *)
+  join_refutations : int;  (** joins closed by merged learned units *)
+  losers_cancelled : int;  (** members SIGKILLed after a winner *)
+  wasted_conflicts : int;  (** conflicts burned by completed non-winners *)
+  units_merged : int;  (** learned unit clauses merged at joins *)
+  reap_ratio_max : float;
+      (** max over races of (race wall time / winner wall time): how
+          promptly losers were reaped after the winner finished *)
+}
+
+let races_c = Atomic.make 0
+let race_wins_c = Atomic.make 0
+let cube_splits_c = Atomic.make 0
+let cube_cex_c = Atomic.make 0
+let cube_refutations_c = Atomic.make 0
+let join_refutations_c = Atomic.make 0
+let losers_cancelled_c = Atomic.make 0
+let wasted_conflicts_c = Atomic.make 0
+let units_merged_c = Atomic.make 0
+let reap_ratio_pm = Atomic.make 0 (* per-mille, so it fits an int atomic *)
+
+let hist : (string, int) Hashtbl.t = Hashtbl.create 16
+let hist_mutex = Mutex.create ()
+
+let bump c n = ignore (Atomic.fetch_and_add c n)
+
+let rec bump_max c n =
+  let cur = Atomic.get c in
+  if n > cur && not (Atomic.compare_and_set c cur n) then bump_max c n
+
+let note_race () = bump races_c 1
+
+let note_win ~label =
+  bump race_wins_c 1;
+  Mutex.lock hist_mutex;
+  Hashtbl.replace hist label (1 + Option.value ~default:0 (Hashtbl.find_opt hist label));
+  Mutex.unlock hist_mutex
+
+let note_cube_split () = bump cube_splits_c 1
+let note_cube_cex () = bump cube_cex_c 1
+let note_cube_refutation () = bump cube_refutations_c 1
+let note_join_refutation () = bump join_refutations_c 1
+let note_cancelled n = bump losers_cancelled_c n
+let note_wasted ~conflicts = bump wasted_conflicts_c conflicts
+let note_units n = bump units_merged_c n
+
+let note_reap_ratio r =
+  if Float.is_finite r && r > 0. then bump_max reap_ratio_pm (int_of_float (r *. 1000.))
+
+let stats () =
+  {
+    races = Atomic.get races_c;
+    race_wins = Atomic.get race_wins_c;
+    cube_splits = Atomic.get cube_splits_c;
+    cube_cex = Atomic.get cube_cex_c;
+    cube_refutations = Atomic.get cube_refutations_c;
+    join_refutations = Atomic.get join_refutations_c;
+    losers_cancelled = Atomic.get losers_cancelled_c;
+    wasted_conflicts = Atomic.get wasted_conflicts_c;
+    units_merged = Atomic.get units_merged_c;
+    reap_ratio_max = float_of_int (Atomic.get reap_ratio_pm) /. 1000.;
+  }
+
+let winner_histogram () =
+  Mutex.lock hist_mutex;
+  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist [] in
+  Mutex.unlock hist_mutex;
+  List.sort (fun (ka, a) (kb, b) -> if a <> b then compare b a else compare ka kb) l
+
+let reset_stats () =
+  List.iter
+    (fun c -> Atomic.set c 0)
+    [
+      races_c; race_wins_c; cube_splits_c; cube_cex_c; cube_refutations_c; join_refutations_c;
+      losers_cancelled_c; wasted_conflicts_c; units_merged_c; reap_ratio_pm;
+    ];
+  Mutex.lock hist_mutex;
+  Hashtbl.reset hist;
+  Mutex.unlock hist_mutex

@@ -1,0 +1,63 @@
+(** Portfolio + cube-and-conquer planning: diversified member configs, cube
+    enumeration, verdict merging, and process-wide stats.
+
+    Process-local and solver-level by design — the actual fan-out over the
+    fork pool (dispatch, first-conclusive-wins, loser SIGKILL) lives in
+    [Veriopt_vproc.Vproc.call_race] and the engine glue.  What lives here
+    must agree between the racing processes: which configs run, which cubes
+    partition the space, how the legs' answers merge. *)
+
+type member = { label : string; config : Sat.config }
+
+val members : ?base_seed:int -> int -> member list
+(** [n] diversified members.  Member 0 is always the baseline
+    [{Sat.default_config with seed = base_seed}] — a 1-member portfolio
+    replays today's single solver bit for bit (exactly, when [base_seed] is
+    0).  Members 1.. cycle through restart-schedule / initial-phase /
+    decision-noise / reduction-cadence variations, each under its own
+    seed. *)
+
+val cube_lits : vars:int list -> int list list
+(** All [2^k] sign assignments over the split variables, as assumption
+    lists.  The cubes partition the assignment space: every total
+    assignment satisfies exactly one cube.  [vars = []] yields the single
+    empty cube. *)
+
+val merge : Sat.result list -> Sat.result
+(** Merge cube-leg results: any [Sat] leg witnesses the whole instance;
+    [Unsat] on every leg refutes it (cubes are exhaustive); else
+    [Unknown]. *)
+
+(** {1 Stats} *)
+
+type stats = {
+  races : int;  (** portfolio races run *)
+  race_wins : int;  (** races decided by a conclusive full-query member *)
+  cube_splits : int;  (** races that went to cube-and-conquer *)
+  cube_cex : int;  (** cube races decided by a counterexample leg *)
+  cube_refutations : int;  (** cube races where every cube came back Unsat *)
+  join_refutations : int;  (** joins closed by merged learned units *)
+  losers_cancelled : int;  (** members SIGKILLed after a winner *)
+  wasted_conflicts : int;  (** conflicts burned by completed non-winners *)
+  units_merged : int;  (** learned unit clauses merged at joins *)
+  reap_ratio_max : float;
+      (** max over races of (race wall / winner wall): how promptly losers
+          were reaped after the winner finished *)
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
+
+val note_race : unit -> unit
+val note_win : label:string -> unit
+val note_cube_split : unit -> unit
+val note_cube_cex : unit -> unit
+val note_cube_refutation : unit -> unit
+val note_join_refutation : unit -> unit
+val note_cancelled : int -> unit
+val note_wasted : conflicts:int -> unit
+val note_units : int -> unit
+val note_reap_ratio : float -> unit
+
+val winner_histogram : unit -> (string * int) list
+(** Winner-config counts, most frequent first. *)
