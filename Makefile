@@ -1,4 +1,4 @@
-.PHONY: all build test bench micro verify-bench chaos-bench sat-bench proc-bench incr-bench portfolio-bench fuzz check clean
+.PHONY: all build test bench micro verify-bench chaos-bench sat-bench proc-bench incr-bench portfolio-bench serve-bench fuzz check clean
 
 all: build
 
@@ -57,6 +57,15 @@ incr-bench: build
 portfolio-bench: build
 	dune exec bench/main.exe -- portfolio-bench
 
+# The serving layer under open-loop overload: calibrate sustainable
+# throughput, then replay 2x that rate with chaos faults (worker kills,
+# spurious queue-full, client disconnects, stalled dispatchers).  Every
+# request must resolve, interactive p99 must stay within 2x its deadline,
+# and the drain must leave zero orphaned workers.  Writes machine-readable
+# BENCH_serve.json; exits non-zero on any overload-contract violation.
+serve-bench: build
+	dune exec bench/serve_bench.exe
+
 # Long-run differential fuzz campaign over the SAT core and the bit-vector
 # poison paths (the runtest default is 5000 CNF + 1000 round-trip cases).
 fuzz: build
@@ -72,6 +81,7 @@ check: build
 	dune exec bench/main.exe -- proc-bench
 	dune exec bench/main.exe -- incr-bench
 	dune exec bench/main.exe -- portfolio-bench
+	dune exec bench/serve_bench.exe
 
 clean:
 	dune clean

@@ -1,0 +1,138 @@
+(* SERVE-BENCH: open-loop overload replay against the serving layer.
+
+   Three phases:
+
+   1. Calibrate — closed-loop sustainable throughput of the engine behind
+      the serve front end on the hostile workload mix.
+   2. Overload replay — open-loop arrivals at 2x the calibrated rate with
+      chaos faults enabled (worker kills/hangs, spurious queue-full, client
+      disconnects, stalled dispatchers).  The service must answer every
+      request (verdict or explicit rejection), keep interactive p99 within
+      2x its deadline, and crash nothing.
+   3. Drain — graceful shutdown; the engine's fork pool must leave zero
+      orphaned processes.
+
+   Emits BENCH_serve.json and exits non-zero on any contract violation.
+
+   NOTE: runs before any domain is spawned — the engine's Proc pool forks,
+   and OCaml 5 forbids fork once a domain exists.  The serve layer's own
+   workers are systhreads, which are safe. *)
+
+module Engine = Veriopt_alive.Engine
+module Serve = Veriopt_serve.Serve
+module Traffic = Veriopt_serve.Traffic
+module Fault = Veriopt_fault.Fault
+
+let fmt = Format.std_formatter
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match float_of_string_opt (String.trim s) with Some v -> v | None -> default)
+  | None -> default
+
+let () =
+  let smoke = Array.to_list Sys.argv |> List.mem "--smoke" in
+  Fmt.pf fmt "=== SERVE-BENCH (open-loop overload replay) ===@.@.";
+  let engine = Engine.create ~tier1_samples:4 ~isolate:Engine.Proc () in
+  let backend =
+    match Engine.isolate engine with Engine.Proc -> "proc" | Engine.Domains -> "domains"
+  in
+  Fmt.pf fmt "engine backend: %s@." backend;
+  let config =
+    {
+      Serve.default_config with
+      Serve.queue_capacity = 128;
+      workers = 4;
+      interactive_deadline_s = 0.1;
+      bulk_deadline_s = 2.0;
+    }
+  in
+  let sv = Serve.create ~config ~engine () in
+
+  (* phase 1: calibrate *)
+  let cal_n = if smoke then 8 else 40 in
+  let sustainable = Traffic.calibrate sv ~seed:101 ~n:cal_n in
+  Fmt.pf fmt "calibrated sustainable throughput: %.0f req/s (%d closed-loop queries)@."
+    sustainable cal_n;
+
+  (* phase 2: overload replay at 2x sustainable, chaos on *)
+  let rate = env_float "VERIOPT_SERVE_RATE" (2. *. sustainable) in
+  let duration = env_float "VERIOPT_SERVE_DURATION_S" (if smoke then 0.5 else 4.0) in
+  let faults =
+    "seed=5,worker_hang=0.03:0.05,queue_full=0.01,client_disconnect=0.02,slow_drain=0.02:0.005"
+  in
+  (match Fault.configure_string faults with
+  | Ok () -> ()
+  | Error e ->
+    Fmt.pf fmt "ERROR: bad fault spec: %s@." e;
+    exit 1);
+  Fmt.pf fmt "replaying %.1fs of open-loop traffic at %.0f req/s (2x sustainable), faults: %s@."
+    duration rate faults;
+  let cfg =
+    {
+      Traffic.rate;
+      duration_s = duration;
+      seed = 11;
+      interactive_share = 0.25;
+      interactive_deadline_s = config.Serve.interactive_deadline_s;
+      bulk_deadline_s = config.Serve.bulk_deadline_s;
+      dup_share = 0.3;
+    }
+  in
+  let summary = Traffic.run sv cfg in
+  Fault.disable ();
+  Fmt.pf fmt "@.replay summary:@.";
+  Traffic.pp_summary fmt summary;
+
+  (* phase 3: graceful drain *)
+  let report = Serve.drain ~timeout:5. sv in
+  Fmt.pf fmt "@.drain: %d waiters force-shed, %d orphaned workers@." report.Serve.forced_shed
+    report.Serve.drain_orphans;
+
+  (* contract checks *)
+  let failures = ref 0 in
+  let check cond msg =
+    if not cond then begin
+      Fmt.pf fmt "  ERROR: %s@." msg;
+      incr failures
+    end
+  in
+  check (summary.Traffic.answered = summary.Traffic.offered)
+    (Fmt.str "answered %d of %d offered requests" summary.Traffic.answered
+       summary.Traffic.offered);
+  check (report.Serve.drain_orphans = 0)
+    (Fmt.str "%d orphaned workers after drain" report.Serve.drain_orphans);
+  let p99_cap_ms = 2. *. config.Serve.interactive_deadline_s *. 1e3 in
+  check
+    (summary.Traffic.p99_interactive_ms <= p99_cap_ms)
+    (Fmt.str "interactive p99 %.1fms exceeds 2x deadline (%.0fms)"
+       summary.Traffic.p99_interactive_ms p99_cap_ms);
+  check
+    (summary.Traffic.serve.Serve.engine_calls
+     <= summary.Traffic.offered + cal_n - summary.Traffic.serve.Serve.coalesced
+        - summary.Traffic.rejected + summary.Traffic.serve.Serve.shed_queue_full
+        + summary.Traffic.serve.Serve.shed_displaced + summary.Traffic.serve.Serve.shed_expired)
+    "engine call accounting inconsistent with coalesce/shed counters";
+
+  let json =
+    Traffic.json_of_summary ~name:"serve"
+      ~extra:
+        [
+          ("backend", Fmt.str "%S" backend);
+          ("sustainable_rps", Fmt.str "%.1f" sustainable);
+          ("replay_rate_rps", Fmt.str "%.1f" rate);
+          ("forced_shed_at_drain", string_of_int report.Serve.forced_shed);
+          ("orphans_after_drain", string_of_int report.Serve.drain_orphans);
+          ("failures", string_of_int !failures);
+        ]
+      summary
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pf fmt "@.wrote BENCH_serve.json@.";
+  if !failures > 0 then begin
+    Fmt.pf fmt "serve-bench: %d contract violations@." !failures;
+    exit 1
+  end;
+  Fmt.pf fmt "serve-bench: all overload contracts held.@."

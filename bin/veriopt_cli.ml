@@ -5,7 +5,9 @@
    veriopt llm-opt  <file.ll>          -- optimize with the trained model + fallback
    veriopt train                       -- run the four-model pipeline, report accuracy
    veriopt dataset                     -- build & describe a dataset sample
-   veriopt cost     <file.ll>          -- report latency/icount/binsize per function *)
+   veriopt cost     <file.ll>          -- report latency/icount/binsize per function
+   veriopt serve                       -- run the verification service until SIGTERM
+   veriopt replay                      -- open-loop overload replay against the service *)
 
 open Cmdliner
 module Alive = Veriopt_alive.Alive
@@ -332,9 +334,192 @@ let cost_cmd =
   in
   Cmd.v (Cmd.info "cost" ~doc:"Report the cost-model metrics of every function") Term.(const run $ file)
 
+(* ------------------------------------------------------------------ *)
+(* Serving: an Engine behind the overload-safe front end *)
+
+module Serve = Veriopt_serve.Serve
+module Traffic = Veriopt_serve.Traffic
+module Fault = Veriopt_fault.Fault
+
+let serve_args =
+  let workers =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc:"Dispatcher thread count")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 256
+      & info [ "capacity" ] ~docv:"N" ~doc:"Bounded request-queue capacity (shed past it)")
+  in
+  let rate =
+    Arg.(
+      value & opt float 100.
+      & info [ "rate" ] ~docv:"RPS" ~doc:"Open-loop arrival rate, requests per second")
+  in
+  let interactive_share =
+    Arg.(
+      value & opt float 0.25
+      & info [ "interactive-share" ] ~docv:"FRAC"
+          ~doc:"Fraction of arrivals in the $(b,interactive) priority class")
+  in
+  let dup_share =
+    Arg.(
+      value & opt float 0.3
+      & info [ "dup-share" ] ~docv:"FRAC"
+          ~doc:
+            "Fraction of arrivals replaying a recent query (half verbatim, half \
+             alpha-renamed) — exercises in-queue coalescing")
+  in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Chaos fault spec (same grammar as VERIOPT_FAULTS), e.g. \
+             $(b,seed=5,worker_hang=0.03,queue_full=0.01)")
+  in
+  (workers, capacity, rate, interactive_share, dup_share, faults)
+
+let make_service ~workers ~capacity =
+  let engine = Veriopt_alive.Engine.create ~tier1_samples:4 ~isolate:Veriopt_alive.Engine.Proc () in
+  let config =
+    { Serve.default_config with Serve.queue_capacity = capacity; workers = max 1 workers }
+  in
+  Serve.create ~config ~engine ()
+
+let traffic_cfg ~rate ~duration_s ~seed ~interactive_share ~dup_share (config : Serve.config) =
+  {
+    Traffic.rate;
+    duration_s;
+    seed;
+    interactive_share;
+    interactive_deadline_s = config.Serve.interactive_deadline_s;
+    bulk_deadline_s = config.Serve.bulk_deadline_s;
+    dup_share;
+  }
+
+let configure_faults = function
+  | None -> true
+  | Some spec -> (
+    match Fault.configure_string spec with
+    | Ok () -> true
+    | Error e ->
+      Fmt.epr "error: bad fault spec: %s@." e;
+      false)
+
+let serve_cmd =
+  let workers, capacity, rate, interactive_share, dup_share, faults = serve_args in
+  let run workers capacity rate interactive_share dup_share faults =
+    if not (configure_faults faults) then 2
+    else begin
+      let sv = make_service ~workers ~capacity in
+      Serve.install_signal_handlers sv;
+      Fmt.epr
+        "veriopt serve: %d dispatchers, queue capacity %d, self-traffic at %.0f req/s; \
+         SIGTERM/SIGINT drains@."
+        workers capacity rate;
+      (* 1 s traffic windows until a signal asks for drain; each window's
+         seed advances so the query stream doesn't repeat *)
+      let window = ref 0 in
+      while not (Serve.drain_requested sv) do
+        incr window;
+        let cfg =
+          traffic_cfg ~rate ~duration_s:1.0 ~seed:(1000 + !window) ~interactive_share
+            ~dup_share (Serve.config sv)
+        in
+        let s = Traffic.run sv cfg in
+        Fmt.epr "window %d: offered %d, answered %d, rejected %d, p99i %.1fms@." !window
+          s.Traffic.offered s.Traffic.answered s.Traffic.rejected s.Traffic.p99_interactive_ms
+      done;
+      Fault.disable ();
+      let report = Serve.drain ~timeout:10. sv in
+      Fmt.pr "@.drained: %d waiters force-shed, %d orphaned workers@." report.Serve.forced_shed
+        report.Serve.drain_orphans;
+      Veriopt.Report.serve_stats Fmt.stdout (Serve.stats sv);
+      Veriopt.Report.engine_stats Fmt.stdout (Serve.engine sv);
+      if report.Serve.drain_orphans = 0 then 0 else 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the verification service under open-loop self-traffic until SIGTERM/SIGINT, \
+          then drain gracefully")
+    Term.(
+      const run $ workers $ capacity $ rate $ interactive_share $ dup_share $ faults)
+
+let replay_cmd =
+  let workers, capacity, rate, interactive_share, dup_share, faults = serve_args in
+  let duration =
+    Arg.(
+      value & opt float 2.0
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Open-loop generation window")
+  in
+  let seed = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Replayable arrival schedule seed") in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH" ~doc:"Also write the summary as flat JSON to $(docv)")
+  in
+  let run workers capacity rate interactive_share dup_share faults duration seed json =
+    if not (configure_faults faults) then 2
+    else begin
+      let sv = make_service ~workers ~capacity in
+      let cfg =
+        traffic_cfg ~rate ~duration_s:duration ~seed ~interactive_share ~dup_share
+          (Serve.config sv)
+      in
+      Fmt.epr "replaying %.1fs at %.0f req/s (seed %d)...@." duration rate seed;
+      let summary = Traffic.run sv cfg in
+      Fault.disable ();
+      let report = Serve.drain ~timeout:10. sv in
+      Traffic.pp_summary Fmt.stdout summary;
+      Fmt.pr "drain: %d waiters force-shed, %d orphaned workers@." report.Serve.forced_shed
+        report.Serve.drain_orphans;
+      (match json with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Traffic.json_of_summary ~name:"replay"
+             ~extra:
+               [
+                 ("forced_shed_at_drain", string_of_int report.Serve.forced_shed);
+                 ("orphans_after_drain", string_of_int report.Serve.drain_orphans);
+               ]
+             summary);
+        close_out oc;
+        Fmt.epr "wrote %s@." path);
+      if summary.Traffic.answered = summary.Traffic.offered && report.Serve.drain_orphans = 0
+      then 0
+      else 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay a seeded open-loop traffic mix against the service and report \
+          latency/shed/coalesce outcomes")
+    Term.(
+      const run $ workers $ capacity $ rate $ interactive_share $ dup_share $ faults $ duration
+      $ seed $ json)
+
 let () =
   let info =
     Cmd.info "veriopt" ~version:"1.0.0"
       ~doc:"Verification-guided reinforcement learning for LLM-based compiler optimization"
   in
-  exit (Cmd.eval' (Cmd.group info [ verify_cmd; opt_cmd; llm_opt_cmd; train_cmd; dataset_cmd; cost_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            verify_cmd;
+            opt_cmd;
+            llm_opt_cmd;
+            train_cmd;
+            dataset_cmd;
+            cost_cmd;
+            serve_cmd;
+            replay_cmd;
+          ]))

@@ -159,6 +159,7 @@ let shared () = Lazy.force shared_engine
 
 let stats t = Vcache.stats t.cache
 let reset_stats t = Vcache.reset t.cache
+let breaker_open t = (Vcache.stats t.cache).breaker_open
 
 let now () = Unix.gettimeofday ()
 
@@ -176,31 +177,54 @@ let canon_slots = 32
 
 type canon_entry = { cobj : Obj.t; ctext : string }
 
-let canon_tbl : canon_entry option array = Array.make canon_slots None
-let canon_next = ref 0
-let canon_mutex = Mutex.create ()
+(* One ring per printing discipline: entries are keyed purely by physical
+   identity, so raw-text and alpha-renamed-text memos must not share a ring
+   (the same func object has different texts under the two printers). *)
+type canon_ring = {
+  ctbl : canon_entry option array;
+  mutable cnext : int;
+  cmutex : Mutex.t;
+}
 
-let canon (print : 'a -> string) (x : 'a) : string =
+let make_ring () =
+  { ctbl = Array.make canon_slots None; cnext = 0; cmutex = Mutex.create () }
+
+let raw_ring = make_ring ()
+let alpha_ring = make_ring ()
+
+let canon_in (ring : canon_ring) (print : 'a -> string) (x : 'a) : string =
   let r = Obj.repr x in
-  Mutex.lock canon_mutex;
+  Mutex.lock ring.cmutex;
   let found = ref None in
   Array.iter
     (function Some e when e.cobj == r -> found := Some e.ctext | _ -> ())
-    canon_tbl;
+    ring.ctbl;
   match !found with
   | Some text ->
-    Mutex.unlock canon_mutex;
+    Mutex.unlock ring.cmutex;
     text
   | None ->
     (* print outside the lock: concurrent duplicate work is rare and
        harmless, serializing every print would not be *)
-    Mutex.unlock canon_mutex;
+    Mutex.unlock ring.cmutex;
     let text = print x in
-    Mutex.lock canon_mutex;
-    canon_tbl.(!canon_next) <- Some { cobj = r; ctext = text };
-    canon_next := (!canon_next + 1) mod canon_slots;
-    Mutex.unlock canon_mutex;
+    Mutex.lock ring.cmutex;
+    ring.ctbl.(ring.cnext) <- Some { cobj = r; ctext = text };
+    ring.cnext <- (ring.cnext + 1) mod canon_slots;
+    Mutex.unlock ring.cmutex;
     text
+
+let canon print x = canon_in raw_ring print x
+
+(* Alpha-canonical text: identical for alpha-equivalent functions, so the
+   serve layer can coalesce renamed duplicates onto one engine call.  Memoized
+   by the original object's identity — the renumbered copy itself is fresh
+   every time and useless as a memo key. *)
+let alpha_canon (f : Ast.func) : string =
+  canon_in alpha_ring (fun f -> Printer.func_to_string (Builder.renumber f)) f
+
+let coalesce_key (m : Ast.modul) ~(src : Ast.func) ~(tgt : Ast.func) : string =
+  String.concat "\x00" [ canon Printer.module_to_string m; alpha_canon src; alpha_canon tgt ]
 
 (* ------------------------------------------------------------------ *)
 (* Tier 1: concrete counterexample hunt *)

@@ -138,3 +138,20 @@ val verify_text :
 val stats : t -> Vcache.stats
 val reset_stats : t -> unit
 (** Clear the cache and zero every counter (between bench phases). *)
+
+val breaker_open : t -> bool
+(** Snapshot of the circuit breaker: [true] while tier 2 is being skipped.
+    The serve layer's admission control consults this to refuse bulk work
+    that would only widen the inconclusive streak. *)
+
+val coalesce_key :
+  Veriopt_ir.Ast.modul ->
+  src:Veriopt_ir.Ast.func ->
+  tgt:Veriopt_ir.Ast.func ->
+  string
+(** Alpha-canonical text of a query: equal for identical {e and}
+    alpha-renamed copies of the same (module, src, tgt) triple.  Backed by
+    the engine's canonical-text memo (a second physical-identity ring, since
+    alpha-renamed text differs from the raw cache-key text), so repeated
+    submissions of the same AST values cost one print.  The serve layer keys
+    its in-queue coalescing on this plus the budget knobs. *)

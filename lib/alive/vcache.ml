@@ -24,9 +24,17 @@ type stats = {
   tier2_runs : int;
   tier1_seconds : float;
   tier2_seconds : float;
+  tier1_ewma_s : float;
+  tier2_ewma_s : float;
   breaker_trips : int;
   breaker_skips : int;
+  breaker_open : bool;
 }
+
+(* EWMA smoothing factor for the per-tier latency estimates: ~the last
+   dozen samples dominate, so the estimate tracks load shifts quickly while
+   riding out single outliers. *)
+let ewma_alpha = 0.15
 
 type 'v t = {
   capacity : int;
@@ -42,6 +50,11 @@ type 'v t = {
   mutable tier2_runs : int;
   mutable tier1_seconds : float;
   mutable tier2_seconds : float;
+  (* rolling per-tier latency EWMAs; 0. until the first sample lands.  The
+     serve layer's admission control reads these to price a query before
+     letting it into the queue. *)
+  mutable tier1_ewma_s : float;
+  mutable tier2_ewma_s : float;
   (* circuit-breaker state (engine-driven; lives here so it shares the
      mutex and the stats plumbing with the rest of the counters) *)
   mutable breaker_consec : int; (* consecutive inconclusive tier-2 verdicts *)
@@ -67,6 +80,8 @@ let create ?(capacity = 4096) () =
     tier2_runs = 0;
     tier1_seconds = 0.;
     tier2_seconds = 0.;
+    tier1_ewma_s = 0.;
+    tier2_ewma_s = 0.;
     breaker_consec = 0;
     breaker_open_remaining = 0;
     breaker_half_open = false;
@@ -113,15 +128,21 @@ let add t key v =
       Hashtbl.replace t.current key v;
       t.insertions <- t.insertions + 1)
 
+(* First sample seeds the EWMA directly so cold estimates are not dragged
+   toward zero. *)
+let roll prev sample = if prev = 0. then sample else (ewma_alpha *. sample) +. ((1. -. ewma_alpha) *. prev)
+
 let note_tier1 t ~hit ~seconds =
   locked t (fun () ->
       if hit then t.tier1_hits <- t.tier1_hits + 1 else t.tier1_misses <- t.tier1_misses + 1;
-      t.tier1_seconds <- t.tier1_seconds +. seconds)
+      t.tier1_seconds <- t.tier1_seconds +. seconds;
+      t.tier1_ewma_s <- roll t.tier1_ewma_s seconds)
 
 let note_tier2 t ~seconds =
   locked t (fun () ->
       t.tier2_runs <- t.tier2_runs + 1;
-      t.tier2_seconds <- t.tier2_seconds +. seconds)
+      t.tier2_seconds <- t.tier2_seconds +. seconds;
+      t.tier2_ewma_s <- roll t.tier2_ewma_s seconds)
 
 (* ------------------------------------------------------------------ *)
 (* Circuit breaker.  Closed -> (k consecutive inconclusive tier-2 verdicts)
@@ -176,8 +197,11 @@ let stats t =
         tier2_runs = t.tier2_runs;
         tier1_seconds = t.tier1_seconds;
         tier2_seconds = t.tier2_seconds;
+        tier1_ewma_s = t.tier1_ewma_s;
+        tier2_ewma_s = t.tier2_ewma_s;
         breaker_trips = t.breaker_trips;
         breaker_skips = t.breaker_skips;
+        breaker_open = t.breaker_open_remaining > 0;
       })
 
 let reset t =
@@ -193,6 +217,8 @@ let reset t =
       t.tier2_runs <- 0;
       t.tier1_seconds <- 0.;
       t.tier2_seconds <- 0.;
+      t.tier1_ewma_s <- 0.;
+      t.tier2_ewma_s <- 0.;
       t.breaker_consec <- 0;
       t.breaker_open_remaining <- 0;
       t.breaker_half_open <- false;

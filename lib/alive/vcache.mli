@@ -47,8 +47,13 @@ type stats = {
   tier2_runs : int;  (** full SMT verifications *)
   tier1_seconds : float;
   tier2_seconds : float;
+  tier1_ewma_s : float;
+      (** rolling EWMA of per-run tier-1 latency ([0.] until the first
+          sample) — the serve layer's admission-control price signal *)
+  tier2_ewma_s : float;  (** rolling EWMA of per-run tier-2 latency *)
   breaker_trips : int;  (** circuit-breaker open transitions *)
   breaker_skips : int;  (** tier-2 runs skipped while the breaker was open *)
+  breaker_open : bool;  (** snapshot: the breaker is currently open *)
 }
 
 type 'v t

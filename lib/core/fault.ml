@@ -15,6 +15,7 @@
       KIND    ::= solver_timeout | parse_corrupt | verify_delay
                 | worker_exn | oracle_exn | trainer_abort
                 | worker_hang | worker_oom
+                | queue_full | slow_drain | client_disconnect
       RATE    ::= float in [0, 1]
       PARAM   ::= float (kind-specific: seconds for verify_delay,
                   last completed step for trainer_abort)
@@ -31,6 +32,9 @@ type kind =
   | Trainer_abort  (** the trainer aborts after step [param] (kill simulation) *)
   | Worker_hang  (** the vproc child busy-spins, forcing the hard-kill path *)
   | Worker_oom  (** the vproc child allocation-bombs into its rlimit *)
+  | Queue_full  (** the serve queue reports itself full, forcing a shed *)
+  | Slow_drain  (** a serve worker stalls [param] seconds before its call *)
+  | Client_disconnect  (** the client vanishes before its result is ready *)
 
 exception Injected of string
 
@@ -44,6 +48,9 @@ let all_kinds =
     Trainer_abort;
     Worker_hang;
     Worker_oom;
+    Queue_full;
+    Slow_drain;
+    Client_disconnect;
   ]
 
 let nkinds = List.length all_kinds
@@ -57,6 +64,9 @@ let index = function
   | Trainer_abort -> 5
   | Worker_hang -> 6
   | Worker_oom -> 7
+  | Queue_full -> 8
+  | Slow_drain -> 9
+  | Client_disconnect -> 10
 
 let kind_name = function
   | Solver_timeout -> "solver_timeout"
@@ -67,6 +77,9 @@ let kind_name = function
   | Trainer_abort -> "trainer_abort"
   | Worker_hang -> "worker_hang"
   | Worker_oom -> "worker_oom"
+  | Queue_full -> "queue_full"
+  | Slow_drain -> "slow_drain"
+  | Client_disconnect -> "client_disconnect"
 
 let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
 

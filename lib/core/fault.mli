@@ -9,10 +9,11 @@
     Spec grammar (comma-separated):
     [seed=INT] and [KIND=RATE[:PARAM]] clauses, where [KIND] is one of
     [solver_timeout], [parse_corrupt], [verify_delay], [worker_exn],
-    [oracle_exn], [trainer_abort], [worker_hang], [worker_oom];
+    [oracle_exn], [trainer_abort], [worker_hang], [worker_oom],
+    [queue_full], [slow_drain], [client_disconnect];
     [RATE] is in [0, 1]; [PARAM] is
-    kind-specific (seconds for [verify_delay], the last completed step for
-    [trainer_abort]).
+    kind-specific (seconds for [verify_delay] and [slow_drain], the last
+    completed step for [trainer_abort]).
 
     Determinism: the n-th check of a kind fires iff a hash of
     (seed, kind, n) falls under the rate, so identical specs and call
@@ -31,6 +32,16 @@ type kind =
   | Worker_oom
       (** the vproc child allocation-bombs into its [setrlimit] address-space
           cap, exercising the crash/respawn path *)
+  | Queue_full
+      (** the serve layer's bounded queue reports itself full even when it is
+          not, exercising the shed/reject path under admission pressure *)
+  | Slow_drain
+      (** a serve worker thread stalls [param] seconds before dispatching its
+          dequeued request, backing the queue up and exercising in-queue
+          deadline expiry and drain timeouts *)
+  | Client_disconnect
+      (** the submitting client vanishes while its request is queued; the
+          serve layer must drop the work instead of verifying for nobody *)
 
 exception Injected of string
 (** The exception every exception-kind site raises; the crash-proof reward

@@ -225,6 +225,10 @@ let engine_stats ppf (engine : Veriopt_alive.Engine.t) =
     "  tiers:  %d concrete counterexamples (%.2fs in tier 1), %d SMT runs (%.2fs in tier 2)@."
     s.Veriopt_alive.Vcache.tier1_hits s.Veriopt_alive.Vcache.tier1_seconds
     s.Veriopt_alive.Vcache.tier2_runs s.Veriopt_alive.Vcache.tier2_seconds;
+  if s.Veriopt_alive.Vcache.tier1_ewma_s > 0. || s.Veriopt_alive.Vcache.tier2_ewma_s > 0. then
+    Fmt.pf ppf "  ewma:   tier-1 %.2fms, tier-2 %.2fms per run (admission price signal)@."
+      (s.Veriopt_alive.Vcache.tier1_ewma_s *. 1e3)
+      (s.Veriopt_alive.Vcache.tier2_ewma_s *. 1e3);
   Fmt.pf ppf "  sat:    %d checks, %d conflicts, %d decisions, %d propagations, %d restarts@."
     sat.Veriopt_smt.Solver.checks sat.Veriopt_smt.Solver.conflicts
     sat.Veriopt_smt.Solver.decisions sat.Veriopt_smt.Solver.propagations
@@ -281,3 +285,26 @@ let engine_stats ppf (engine : Veriopt_alive.Engine.t) =
          hist
    end);
   Fmt.pf ppf "  pool:   VERIOPT_JOBS=%d@." (Veriopt_par.Par.shared_jobs ())
+
+(* ------------------------------------------------------------------ *)
+
+(** Serving-layer counters: queue depths, shed/coalesce/admission behavior
+    and per-priority service latency — how overload was absorbed. *)
+let serve_stats ppf (s : Veriopt_serve.Serve.stats) =
+  let module S = Veriopt_serve.Serve in
+  Fmt.pf ppf "SERVING LAYER:@.";
+  Fmt.pf ppf "  submitted: %d interactive, %d bulk; %d waiters completed, %d engine calls@."
+    s.S.submitted_interactive s.S.submitted_bulk s.S.completed s.S.engine_calls;
+  Fmt.pf ppf "  coalesce:  %d waiters shared an in-queue entry@." s.S.coalesced;
+  Fmt.pf ppf "  admission: %d refused on deadline, %d refused on open breaker@."
+    s.S.admission_refused s.S.breaker_refused;
+  Fmt.pf ppf "  shed:      %d queue-full, %d displaced, %d expired in queue, %d at drain@."
+    s.S.shed_queue_full s.S.shed_displaced s.S.shed_expired s.S.shed_drain;
+  Fmt.pf ppf "  queue:     depth %d interactive / %d bulk (max %d), %d in flight@."
+    s.S.depth_interactive s.S.depth_bulk s.S.depth_max s.S.inflight;
+  if s.S.rejected_draining > 0 || s.S.client_disconnects > 0 then
+    Fmt.pf ppf "  drain:     %d refused while draining, %d client disconnects@."
+      s.S.rejected_draining s.S.client_disconnects;
+  Fmt.pf ppf "  service:   ewma %.2fms interactive, %.2fms bulk@."
+    (s.S.service_ewma_interactive_s *. 1e3)
+    (s.S.service_ewma_bulk_s *. 1e3)

@@ -18,4 +18,8 @@ val figs8to12 : Format.formatter -> result -> unit
 val dataset_stats : Format.formatter -> train:Suite.stats -> validation:Suite.stats -> unit
 
 val engine_stats : Format.formatter -> Veriopt_alive.Engine.t -> unit
-(** Tier / cache / SAT counters of the verification engine. *)
+(** Tier / cache / SAT counters of the verification engine, including the
+    rolling per-tier latency EWMAs that price serve-layer admission. *)
+
+val serve_stats : Format.formatter -> Veriopt_serve.Serve.stats -> unit
+(** Serving-layer queue/shed/coalesce/admission counters. *)

@@ -714,6 +714,18 @@ let shutdown (t : _ t) =
   Mutex.lock t.mutex;
   t.closed <- true;
   Condition.broadcast t.free_cond;
+  (* Quiesce before teardown: every in-flight [call]/[call_race] holds its
+     slots until its [Fun.protect] finalizer releases them, and race
+     cancellation (loser SIGKILL + reap) happens before that release.  Waiting
+     for the free queue to refill therefore orders the teardown below — and
+     any post-shutdown [orphans] audit — strictly after all cancellation
+     work.  Closing pipes under an active race used to make the racer's
+     respawn logic fork fresh workers that teardown had already walked past,
+     leaking them past the audit.  In-flight work is deadline-bounded
+     ([max_call_s], race [kill_at]), so this wait terminates. *)
+  while Queue.length t.free < t.n_jobs do
+    Condition.wait t.free_cond t.mutex
+  done;
   Mutex.unlock t.mutex;
   Array.iter
     (function
@@ -725,6 +737,35 @@ let shutdown (t : _ t) =
         (match slot.worker_pid with
         | Some p -> ( try Unix.kill p Sys.sigkill with Unix.Unix_error _ -> ())
         | None -> ());
+        (* The live worker may be a respawn whose pid notice nobody has read
+           (its predecessor was hard-killed and the slot sat idle since), so
+           the kill above may have hit an already-dead pid — and the
+           [waitpid] below would then block forever behind a supervisor still
+           nursing a wedged worker.  Every worker announces itself on
+           [resp_r] before reading requests, so: drain announcements, killing
+           each announced pid, until the supervisor line exits (EOF).  A
+           respawn that finds the request pipe closed and drained exits 0 and
+           takes the supervisor with it, so this converges; the deadline
+           backstops a wedged supervisor, which then gets SIGKILLed itself,
+           followed by a last announcement sweep (no forks can follow it). *)
+        let rec drain_until_eof ~deadline =
+          match read_frame_parent slot.resp_r ~deadline with
+          | `Eof -> `Eof
+          | `Timeout -> `Timeout
+          | `Frame ('P', data) ->
+            (match (Marshal.from_bytes data 0 : int) with
+            | p ->
+              slot.worker_pid <- Some p;
+              ( try Unix.kill p Sys.sigkill with Unix.Unix_error _ -> ())
+            | exception _ -> ());
+            drain_until_eof ~deadline
+          | `Frame _ -> drain_until_eof ~deadline
+        in
+        (match drain_until_eof ~deadline:(Some (Unix.gettimeofday () +. 10.)) with
+        | `Eof -> ()
+        | `Timeout ->
+          (try Unix.kill slot.sup_pid Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (drain_until_eof ~deadline:(Some (Unix.gettimeofday () +. 5.))));
         (try ignore (Eintr.waitpid slot.sup_pid) with Unix.Unix_error _ -> ());
         (try Unix.close slot.resp_r with Unix.Unix_error _ -> ());
         registry_remove [ slot.req_w; slot.resp_r ])

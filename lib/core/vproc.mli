@@ -139,8 +139,11 @@ val slots_available : _ t -> int
     created after this process had already spawned domains. *)
 
 val shutdown : _ t -> unit
-(** Kill and reap every worker and supervisor.  Must not race in-flight
-    [call]s. *)
+(** Kill and reap every worker and supervisor.  Closes admission first, then
+    blocks until every in-flight [call]/[call_race] has finished (in-flight
+    work is deadline-bounded, so this terminates) before tearing slots down —
+    a concurrent racer's cancellation/reap path therefore always completes
+    before teardown, and a post-shutdown {!orphans} audit is well-ordered. *)
 
 type stats = {
   spawned : int;  (** worker forks observed, initial and respawn *)

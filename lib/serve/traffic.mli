@@ -1,0 +1,60 @@
+(** Open-loop synthetic traffic for the serving layer.
+
+    Open-loop means arrivals follow a fixed schedule (seeded exponential
+    inter-arrival times at a configured rate) regardless of how the service
+    keeps up — the hostile regime where naive queues melt down.  The
+    generator submits every arrival without waiting, then awaits every
+    ticket: the summary therefore accounts for {e all} offered requests,
+    answered or rejected. *)
+
+type cfg = {
+  rate : float;  (** mean arrivals per second *)
+  duration_s : float;  (** generation window (wall clock) *)
+  seed : int;  (** replayable arrival schedule + query stream *)
+  interactive_share : float;  (** fraction of arrivals marked [Interactive] *)
+  interactive_deadline_s : float;
+  bulk_deadline_s : float;
+  dup_share : float;
+      (** fraction of arrivals replaying a recent query (half verbatim, half
+          alpha-renamed) — food for in-queue coalescing *)
+}
+
+val default_cfg : cfg
+(** 200 req/s for 2 s, seed 11, 25% interactive (100 ms budget), 2 s bulk
+    budget, 30% duplicates. *)
+
+type summary = {
+  offered : int;  (** arrivals generated *)
+  answered : int;  (** tickets resolved (always [offered] — the contract) *)
+  verdict_equivalent : int;
+  verdict_semantic : int;
+  verdict_syntax : int;
+  verdict_inconclusive : int;
+  rejected : int;  (** all [Rejected] outcomes *)
+  rejected_by : (string * int) list;  (** rejection reason -> count *)
+  p50_interactive_ms : float;
+  p99_interactive_ms : float;
+  p50_bulk_ms : float;
+  p99_bulk_ms : float;
+  wall_s : float;  (** generation start to last resolution *)
+  offered_rps : float;
+  answered_rps : float;  (** verdict-bearing resolutions per second *)
+  serve : Serve.stats;  (** service counters snapshotted at the end *)
+}
+
+val run : Serve.t -> cfg -> summary
+(** Generate, submit, await everything, snapshot.  Does {e not} drain the
+    service — callers decide when to shut down. *)
+
+val calibrate : Serve.t -> seed:int -> n:int -> float
+(** Closed-loop sustainable throughput estimate: drive [n] queries of the
+    stream through the service one at a time (bulk class, generous
+    deadlines) and return achieved queries/sec scaled by the worker count —
+    the rate a replay must double to count as overload. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val json_of_summary : name:string -> extra:(string * string) list -> summary -> string
+(** Flat JSON object for BENCH_serve.json: latency/throughput metrics, shed/
+    coalesce/admission counters and any [extra] key/value pairs (values are
+    spliced verbatim, so quote strings yourself). *)

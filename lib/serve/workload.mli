@@ -1,0 +1,27 @@
+(** Deterministic hostile-mix query generation for serving-layer load tests.
+
+    Mirrors the shapes the SAT and incremental benches established as
+    adversarial — bit-blasted mul commutativity and data-dependent-exit
+    mul-accumulate loops — salted with per-index constants so a long arrival
+    stream keeps producing genuinely distinct verification work instead of
+    collapsing into the verdict cache, plus cheap equivalent and
+    tier-1-refutable wrong pairs for variety.  Everything is derived from
+    [(seed, index)] hashes: the same seed replays the same traffic. *)
+
+type query = {
+  w_label : string;  (** shape tag, e.g. ["mul-chain"] *)
+  w_m : Veriopt_ir.Ast.modul;
+  w_src : Veriopt_ir.Ast.func;
+  w_tgt : Veriopt_ir.Ast.func;
+  w_unroll : int option;
+  w_max_conflicts : int option;
+}
+
+val make : seed:int -> index:int -> query
+(** The [index]-th query of stream [seed]: ~40% mul-accumulate chain loops,
+    ~20% widened mul-commutativity pairs, the rest easy equivalents, wrong
+    pairs and count loops — each salted by [index] so repeats are rare. *)
+
+val alpha_variant : query -> query
+(** The same query with alpha-renamed (renumbered) functions: textually
+    different, alpha-equivalent — food for in-queue coalescing. *)

@@ -1,8 +1,11 @@
 let () =
   Alcotest.run "veriopt"
     [
-      (* vproc first: it forks worker pools, and OCaml 5 forbids fork once
-         any other suite has spawned a domain *)
+      (* fork-dependent suites first: serve and vproc fork worker pools, and
+         OCaml 5 forbids fork once any other suite has spawned a domain.
+         Serve precedes vproc because the vproc suite's trainer chaos test
+         (its last case) is the first domain spawner. *)
+      Test_serve.suite;
       Test_vproc.suite;
       Test_bits.suite;
       Test_ir.suite;

@@ -378,6 +378,48 @@ let race_tests =
             Alcotest.(check int) "deadline kills are not cancellations" 0
               (Vproc.stats ()).Vproc.cancelled;
             check_ok pool "after-deadline"));
+    Alcotest.test_case "shutdown under an active race quiesces first, leaves no orphans"
+      `Quick (fun () ->
+        (* Regression: shutdown used to tear the pool down while a race was
+           still cancelling its loser, racing the orphans audit against the
+           supervisors' own reaping.  It must now block until every in-flight
+           call releases its slots, then reap deterministically. *)
+        Vproc.reset_stats ();
+        let pool = Vproc.create ~jobs:2 ~handler () in
+        let result = ref None in
+        let racer =
+          Thread.create
+            (fun () ->
+              result :=
+                Some
+                  (Vproc.call_race
+                     ~kill_at:(Unix.gettimeofday () +. 30.)
+                     ~decide:(fun _ _ -> `Win)
+                     pool
+                     [ Sleep (0.15, "fast"); Sleep (10.0, "slow") ]))
+            ()
+        in
+        (* let the race dispatch both legs, then shut down underneath it *)
+        Unix.sleepf 0.05;
+        let t0 = Unix.gettimeofday () in
+        Vproc.shutdown pool;
+        let dt = Unix.gettimeofday () -. t0 in
+        Thread.join racer;
+        Alcotest.(check bool)
+          (Fmt.str "shutdown blocked until the race resolved (%.3fs)" dt)
+          true (dt >= 0.05);
+        (match !result with
+        | Some (Ok members) ->
+          (match members.(0) with
+          | Vproc.Race_done ("FAST", _) -> ()
+          | _ -> Alcotest.fail "the fast leg must still win under teardown");
+          (match members.(1) with
+          | Vproc.Race_cancelled _ -> ()
+          | _ -> Alcotest.fail "the slow leg must be cancelled, not torn down")
+        | Some (Error f) ->
+          Alcotest.failf "race failed under teardown: %s" (Vproc.failure_message f)
+        | None -> Alcotest.fail "race never completed");
+        Alcotest.(check int) "no orphans after teardown under load" 0 (Vproc.orphans pool));
   ]
 
 (* ------------------------------------------------------------------ *)
