@@ -1,4 +1,4 @@
-.PHONY: all build test bench micro verify-bench chaos-bench sat-bench proc-bench incr-bench portfolio-bench serve-bench fuzz check clean
+.PHONY: all build test bench micro verify-bench chaos-bench sat-bench proc-bench incr-bench portfolio-bench serve-bench store-bench fuzz check clean
 
 all: build
 
@@ -66,6 +66,14 @@ portfolio-bench: build
 serve-bench: build
 	dune exec bench/serve_bench.exe
 
+# The shared disk-backed verdict store: cold fill vs warm rerun on a
+# repeated-group workload (verbatim + alpha-renamed twins).  Writes
+# machine-readable BENCH_store.json; exits non-zero if the warm rerun is
+# below 3x faster, disagrees on any verdict, serves a corrupt entry, or
+# leaks a worker.
+store-bench: build
+	dune exec bench/main.exe -- store-bench
+
 # Long-run differential fuzz campaign over the SAT core and the bit-vector
 # poison paths (the runtest default is 5000 CNF + 1000 round-trip cases).
 fuzz: build
@@ -81,6 +89,7 @@ check: build
 	dune exec bench/main.exe -- proc-bench
 	dune exec bench/main.exe -- incr-bench
 	dune exec bench/main.exe -- portfolio-bench
+	dune exec bench/main.exe -- store-bench
 	dune exec bench/serve_bench.exe
 
 clean:

@@ -1380,6 +1380,128 @@ let run_portfolio_bench () =
     end
 
 (* ------------------------------------------------------------------ *)
+(* The disk-backed verdict store: cold fill vs warm rerun on a
+   repeated-group workload.  Gates: warm >= 3x faster, 100% verdict
+   agreement, zero corrupt entries served, zero orphans.
+   Emits BENCH_store.json. *)
+
+let run_store_bench () =
+  header "STORE-BENCH (disk-backed verdict store, cold fill vs warm rerun)";
+  let module Engine = Veriopt_alive.Engine in
+  let module Store = Veriopt_store.Store in
+  let module Vcache = Veriopt_alive.Vcache in
+  let module Workload = Veriopt_serve.Workload in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "veriopt-store-bench-%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+  else Unix.mkdir dir 0o755;
+  (* a repeated-group stream: each distinct query appears three times, once
+     verbatim and twice alpha-renamed — the shape GRPO groups and serve
+     replicas actually produce *)
+  let n_distinct = 14 in
+  let queries =
+    List.concat_map
+      (fun i ->
+        let q = Workload.make ~seed:21 ~index:i in
+        [ q; Workload.alpha_variant q; Workload.alpha_variant q ])
+      (List.init n_distinct Fun.id)
+  in
+  let cat_name = function
+    | Alive.Equivalent -> "equivalent"
+    | Alive.Semantic_error -> "semantic_error"
+    | Alive.Syntax_error -> "syntax_error"
+    | Alive.Inconclusive -> "inconclusive"
+  in
+  let run_leg e =
+    let t0 = Unix.gettimeofday () in
+    let verdicts =
+      List.map
+        (fun q ->
+          (Engine.verify_funcs ?unroll:q.Workload.w_unroll
+             ?max_conflicts:q.Workload.w_max_conflicts e q.Workload.w_m
+             ~src:q.Workload.w_src ~tgt:q.Workload.w_tgt)
+            .Alive.category)
+        queries
+    in
+    (verdicts, Unix.gettimeofday () -. t0)
+  in
+  let cold_engine = Engine.create ~tier1_samples:0 ~store:dir () in
+  let cold_verdicts, cold_secs = run_leg cold_engine in
+  let cold_store = Option.get (Engine.store_stats cold_engine) in
+  Engine.shutdown cold_engine;
+  let warm_engine = Engine.create ~tier1_samples:0 ~store:dir () in
+  let warm_verdicts, warm_secs = run_leg warm_engine in
+  let warm_cache = Engine.stats warm_engine in
+  let warm_store = Option.get (Engine.store_stats warm_engine) in
+  Engine.shutdown warm_engine;
+  let orphans = Engine.orphans cold_engine + Engine.orphans warm_engine in
+  let n = List.length queries in
+  let disagreements =
+    List.fold_left2 (fun k c w -> if c = w then k else k + 1) 0 cold_verdicts warm_verdicts
+  in
+  let lookups = warm_store.Store.hits + warm_store.Store.misses in
+  let hit_rate =
+    if lookups = 0 then 0. else float_of_int warm_store.Store.hits /. float_of_int lookups
+  in
+  let speedup = cold_secs /. if warm_secs <= 0. then epsilon_float else warm_secs in
+  Fmt.pf fmt "  %d queries (%d distinct x3: verbatim + two alpha twins)@." n n_distinct;
+  Fmt.pf fmt "  cold: %.2fs (%d entries written)    warm: %.3fs (%.2fx)@." cold_secs
+    cold_store.Store.writes warm_secs speedup;
+  Fmt.pf fmt "  warm: %d store hits / %d lookups (%.0f%%), %d tier-2 runs, %d rewrites@."
+    warm_store.Store.hits lookups (hit_rate *. 100.) warm_cache.Vcache.tier2_runs
+    warm_store.Store.writes;
+  Fmt.pf fmt "  agreement: %d/%d; corrupt served: %d; stale skips: %d; orphans: %d@."
+    (n - disagreements) n warm_store.Store.corrupt_entries
+    warm_store.Store.stale_version_skips orphans;
+  if disagreements > 0 then
+    List.iteri
+      (fun i (c, w) ->
+        if c <> w then
+          Fmt.pf fmt "  ERROR: query %d (%s): cold %s, warm %s@." i
+            (List.nth queries i).Workload.w_label (cat_name c) (cat_name w))
+      (List.combine cold_verdicts warm_verdicts);
+  let json =
+    Fmt.str
+      {|{
+  "queries": %d,
+  "distinct": %d,
+  "cold_seconds": %.4f,
+  "warm_seconds": %.4f,
+  "speedup": %.3f,
+  "entries_written": %d,
+  "warm_store_hits": %d,
+  "warm_store_misses": %d,
+  "warm_hit_rate": %.4f,
+  "warm_tier2_runs": %d,
+  "disagreements": %d,
+  "corrupt_entries_served": %d,
+  "stale_version_skips": %d,
+  "orphans": %d
+}
+|}
+      n n_distinct cold_secs warm_secs speedup cold_store.Store.writes warm_store.Store.hits
+      warm_store.Store.misses hit_rate warm_cache.Vcache.tier2_runs disagreements
+      warm_store.Store.corrupt_entries warm_store.Store.stale_version_skips orphans
+  in
+  let oc = open_out "BENCH_store.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pf fmt "  wrote BENCH_store.json@.";
+  let fail msg =
+    Fmt.pf fmt "  ERROR: %s@." msg;
+    exit 1
+  in
+  if disagreements > 0 then fail "warm store flipped a verdict";
+  if warm_store.Store.corrupt_entries > 0 then
+    fail "a corrupt store entry reached the warm run";
+  if warm_cache.Vcache.tier2_runs > 0 then fail "warm rerun still paid for solver calls";
+  if orphans > 0 then fail "workers outlived the engine shutdown";
+  if speedup < 3. then fail (Fmt.str "warm speedup %.2fx below the 3x gate" speedup)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the substrates; one Test.make per kernel. *)
 
 let run_micro () =
@@ -1453,7 +1575,7 @@ let () =
   let standalone =
     [
       "micro"; "verify-bench"; "robust-bench"; "sat-bench"; "proc-bench"; "incr-bench";
-      "portfolio-bench";
+      "portfolio-bench"; "store-bench";
     ]
   in
   let needs_evals =
@@ -1465,6 +1587,7 @@ let () =
   if wants "proc-bench" then run_proc_bench ();
   if wants "incr-bench" then run_incr_bench ();
   if wants "portfolio-bench" then run_portfolio_bench ();
+  if wants "store-bench" then run_store_bench ();
   if needs_evals then begin
     let e = build_evals scale in
     if wants "dataset" then run_dataset e;

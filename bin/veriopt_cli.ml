@@ -101,7 +101,18 @@ let verify_cmd =
              default, is bit-identical to the unseeded solver); portfolio members derive \
              their seeds from it")
   in
-  let run file unroll no_incremental no_reduce sat_stats isolate timeout portfolio sat_seed =
+  let store =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Mount the shared disk-backed verdict store at $(docv): warm entries answer \
+             without re-verifying, fresh cacheable verdicts are appended for later runs.  \
+             Also selectable via VERIOPT_STORE")
+  in
+  let run file unroll no_incremental no_reduce sat_stats isolate timeout portfolio sat_seed
+      store =
     let m = load_module file in
     match m.Veriopt_ir.Ast.funcs with
     | [ src; tgt ] | src :: tgt :: _ ->
@@ -112,25 +123,49 @@ let verify_cmd =
       let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
       let incremental = not no_incremental && Alive.incremental_default () in
       let sat = { Sat.default_config with Sat.seed = sat_seed } in
+      (* the env form must also route through the engine, or the default
+         in-process path would silently bypass the store *)
+      let store =
+        match store with
+        | Some _ as s -> s
+        | None -> (
+          match Sys.getenv_opt "VERIOPT_STORE" with
+          | Some d when String.trim d <> "" -> Some d
+          | _ -> None)
+      in
+      let with_engine e f =
+        Fun.protect
+          ~finally:(fun () ->
+            (match Veriopt_alive.Engine.store_stats e with
+            | Some st ->
+              let module St = Veriopt_store.Store in
+              Fmt.epr "store: %d hits, %d misses, %d writes, %d corrupt, %d stale-version@."
+                st.St.hits st.St.misses st.St.writes st.St.corrupt_entries
+                st.St.stale_version_skips
+            | None -> ());
+            Veriopt_alive.Engine.shutdown e)
+          (fun () -> f e)
+      in
       let v =
-        if portfolio > 1 then begin
+        if portfolio > 1 then
           (* tier 1 off: every verdict here comes from the racing SMT path *)
-          let e = Veriopt_alive.Engine.create ~tier1_samples:0 ~portfolio () in
-          Fun.protect ~finally:(fun () -> Veriopt_alive.Engine.shutdown e) @@ fun () ->
-          Veriopt_alive.Engine.verify_funcs ~unroll ?deadline ~reduce:(not no_reduce)
-            ~incremental ~sat e m ~src ~tgt
-        end
+          with_engine (Veriopt_alive.Engine.create ~tier1_samples:0 ~portfolio ?store ())
+            (fun e ->
+              Veriopt_alive.Engine.verify_funcs ~unroll ?deadline ~reduce:(not no_reduce)
+                ~incremental ~sat e m ~src ~tgt)
         else
-          match isolate with
-          | Veriopt_alive.Engine.Domains ->
+          match (isolate, store) with
+          | Veriopt_alive.Engine.Domains, None ->
             Alive.verify_funcs ~unroll ?deadline ~reduce:(not no_reduce) ~incremental ~sat m
               ~src ~tgt
-          | iso ->
+          | iso, store ->
             (* tier 1 off so the verdict comes from the same SMT path as the
-               direct call above, just behind the process boundary *)
-            let e = Veriopt_alive.Engine.create ~tier1_samples:0 ~isolate:iso () in
-            Veriopt_alive.Engine.verify_funcs ~unroll ?deadline ~reduce:(not no_reduce)
-              ~incremental ~sat e m ~src ~tgt
+               direct call above, just behind the process boundary (and/or
+               through the mounted verdict store) *)
+            with_engine (Veriopt_alive.Engine.create ~tier1_samples:0 ~isolate:iso ?store ())
+              (fun e ->
+                Veriopt_alive.Engine.verify_funcs ~unroll ?deadline ~reduce:(not no_reduce)
+                  ~incremental ~sat e m ~src ~tgt)
       in
       Fmt.pr "%s@.%s@." (category_string v.Alive.category) v.Alive.message;
       if sat_stats && portfolio > 1 then begin
@@ -175,7 +210,7 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Check that the second function of FILE.ll refines the first")
     Term.(
       const run $ file $ unroll $ no_incremental $ no_reduce $ sat_stats $ isolate $ timeout
-      $ portfolio $ sat_seed)
+      $ portfolio $ sat_seed $ store)
 
 let opt_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ll") in
@@ -378,10 +413,21 @@ let serve_args =
             "Chaos fault spec (same grammar as VERIOPT_FAULTS), e.g. \
              $(b,seed=5,worker_hang=0.03,queue_full=0.01)")
   in
-  (workers, capacity, rate, interactive_share, dup_share, faults)
+  let store =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Mount the shared disk-backed verdict store at $(docv); all dispatchers share \
+             its warm entries and append fresh verdicts for later runs")
+  in
+  (workers, capacity, rate, interactive_share, dup_share, faults, store)
 
-let make_service ~workers ~capacity =
-  let engine = Veriopt_alive.Engine.create ~tier1_samples:4 ~isolate:Veriopt_alive.Engine.Proc () in
+let make_service ~workers ~capacity ?store () =
+  let engine =
+    Veriopt_alive.Engine.create ~tier1_samples:4 ~isolate:Veriopt_alive.Engine.Proc ?store ()
+  in
   let config =
     { Serve.default_config with Serve.queue_capacity = capacity; workers = max 1 workers }
   in
@@ -408,11 +454,11 @@ let configure_faults = function
       false)
 
 let serve_cmd =
-  let workers, capacity, rate, interactive_share, dup_share, faults = serve_args in
-  let run workers capacity rate interactive_share dup_share faults =
+  let workers, capacity, rate, interactive_share, dup_share, faults, store = serve_args in
+  let run workers capacity rate interactive_share dup_share faults store =
     if not (configure_faults faults) then 2
     else begin
-      let sv = make_service ~workers ~capacity in
+      let sv = make_service ~workers ~capacity ?store () in
       Serve.install_signal_handlers sv;
       Fmt.epr
         "veriopt serve: %d dispatchers, queue capacity %d, self-traffic at %.0f req/s; \
@@ -446,10 +492,10 @@ let serve_cmd =
          "Run the verification service under open-loop self-traffic until SIGTERM/SIGINT, \
           then drain gracefully")
     Term.(
-      const run $ workers $ capacity $ rate $ interactive_share $ dup_share $ faults)
+      const run $ workers $ capacity $ rate $ interactive_share $ dup_share $ faults $ store)
 
 let replay_cmd =
-  let workers, capacity, rate, interactive_share, dup_share, faults = serve_args in
+  let workers, capacity, rate, interactive_share, dup_share, faults, store = serve_args in
   let duration =
     Arg.(
       value & opt float 2.0
@@ -462,10 +508,10 @@ let replay_cmd =
       & opt (some string) None
       & info [ "json" ] ~docv:"PATH" ~doc:"Also write the summary as flat JSON to $(docv)")
   in
-  let run workers capacity rate interactive_share dup_share faults duration seed json =
+  let run workers capacity rate interactive_share dup_share faults store duration seed json =
     if not (configure_faults faults) then 2
     else begin
-      let sv = make_service ~workers ~capacity in
+      let sv = make_service ~workers ~capacity ?store () in
       let cfg =
         traffic_cfg ~rate ~duration_s:duration ~seed ~interactive_share ~dup_share
           (Serve.config sv)
@@ -502,8 +548,8 @@ let replay_cmd =
          "Replay a seeded open-loop traffic mix against the service and report \
           latency/shed/coalesce outcomes")
     Term.(
-      const run $ workers $ capacity $ rate $ interactive_share $ dup_share $ faults $ duration
-      $ seed $ json)
+      const run $ workers $ capacity $ rate $ interactive_share $ dup_share $ faults $ store
+      $ duration $ seed $ json)
 
 let () =
   let info =

@@ -358,3 +358,8 @@ let verify_text ?unroll ?max_conflicts ?deadline ?reduce ?incremental ?sat (m : 
     | Error errors ->
       verdict Syntax_error (Diagnostics.syntax_error_message (String.concat "\n" errors))
     | Ok () -> verify_funcs ?unroll ?max_conflicts ?deadline ?reduce ?incremental ?sat m ~src ~tgt)
+
+(* Bump when the verdict taxonomy or the tier-1 concrete re-validation
+   changes meaning: the disk-backed verdict store keys entry freshness on
+   this. *)
+let semantics_version = 1

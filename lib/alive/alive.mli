@@ -141,3 +141,8 @@ val probe_join : ?max_conflicts:int -> ?deadline:float -> cube_plan -> units:int
 (** Merge cube workers' unit literals into the probe and re-solve on a
     small budget (default 10k conflicts).  [Some v] if jointly conclusive;
     [None] means the units didn't close the query. *)
+
+val semantics_version : int
+(** Bump when the verdict taxonomy or concrete re-validation changes
+    meaning; registered in the verdict store's semantics digest so stale
+    entries are skipped. *)

@@ -759,3 +759,8 @@ let encode ?(unroll_bound = 4) ~(side : string) (modul : modul) (f : func) : sum
     final_mem;
     param_names = List.rev !param_names;
   }
+
+(* Bump when the translation from IR to SMT summaries changes meaning (new
+   poison rules, different memory model, changed unrolling frames): the
+   disk-backed verdict store keys entry freshness on this. *)
+let semantics_version = 1

@@ -43,3 +43,7 @@ type summary = {
 }
 
 val encode : ?unroll_bound:int -> side:string -> Ast.modul -> Ast.func -> summary
+
+val semantics_version : int
+(** Bump when the IR→SMT translation changes meaning; registered in the
+    verdict store's semantics digest so stale entries are skipped. *)

@@ -8,160 +8,9 @@ module Vproc = Veriopt_vproc.Vproc
 module Sat = Veriopt_smt.Sat
 module Solver = Veriopt_smt.Solver
 module Portfolio = Veriopt_smt.Portfolio
+module Store = Veriopt_store.Store
 
 type isolate = Domains | Proc
-
-(* The tier-2 query shipped to a forked worker: plain AST values and knobs,
-   no closures (Marshal requirement).  The incremental flag rides along so
-   the iterative-deepening loop — self-contained below this boundary — runs
-   identically inside the worker.  [pr_sat] diversifies the worker's SAT
-   solver (portfolio member); [pr_cube] switches the worker to solving one
-   cube of the query as raw assumption literals. *)
-type proc_request = {
-  pr_m : Ast.modul;
-  pr_src : Ast.func;
-  pr_tgt : Ast.func;
-  pr_unroll : int;
-  pr_max_conflicts : int;
-  pr_reduce : bool;
-  pr_incremental : bool;
-  pr_deadline : float option;
-  pr_sat : Sat.config option;
-  pr_cube : int list option;
-}
-
-(* Every response ships the worker's solver-stats delta for this one call,
-   so the parent can aggregate portfolio members' work — losers included —
-   into its own process-wide counters. *)
-type proc_response =
-  | P_verdict of Alive.verdict * Solver.stats
-  | P_cube of Alive.cube_outcome * int list * Solver.stats
-
-let proc_handler (r : proc_request) : proc_response =
-  let before = Solver.stats () in
-  match r.pr_cube with
-  | None ->
-    let v =
-      Alive.verify_funcs ~unroll:r.pr_unroll ~max_conflicts:r.pr_max_conflicts
-        ?deadline:r.pr_deadline ~reduce:r.pr_reduce ~incremental:r.pr_incremental
-        ?sat:r.pr_sat r.pr_m ~src:r.pr_src ~tgt:r.pr_tgt
-    in
-    P_verdict (v, Solver.diff (Solver.stats ()) before)
-  | Some cube ->
-    let o, units =
-      Alive.verify_funcs_cube ~unroll:r.pr_unroll ~max_conflicts:r.pr_max_conflicts
-        ?deadline:r.pr_deadline ~reduce:r.pr_reduce ?sat:r.pr_sat ~cube r.pr_m ~src:r.pr_src
-        ~tgt:r.pr_tgt
-    in
-    P_cube (o, units, Solver.diff (Solver.stats ()) before)
-
-type t = {
-  cache : Alive.verdict Vcache.t;
-  tier1_samples : int;
-  breaker_k : int; (* 0 disables the circuit breaker *)
-  breaker_cooldown : int;
-  isolate : isolate;
-  portfolio : int; (* 1 = single-solver tier 2; > 1 races diversified members *)
-  cube_k : int; (* split on the top-k VSIDS vars: 2^k cubes *)
-  pool : (proc_request, proc_response) Vproc.t option; (* Some iff isolate = Proc *)
-}
-
-let warned_env = Atomic.make false
-let warned_fallback = Atomic.make false
-
-let warn_once flag msg =
-  if not (Atomic.exchange flag true) then Printf.eprintf "veriopt: %s\n%!" msg
-
-let isolate_of_env () =
-  match Sys.getenv_opt "VERIOPT_ISOLATE" with
-  | None | Some "" | Some "domain" -> Domains
-  | Some "proc" -> Proc
-  | Some other ->
-    warn_once warned_env
-      (Printf.sprintf "ignoring invalid VERIOPT_ISOLATE=%S (want proc|domain)" other);
-    Domains
-
-let env_int name default =
-  match Sys.getenv_opt name with
-  | Some s -> ( match int_of_string_opt (String.trim s) with Some v -> v | None -> default)
-  | None -> default
-
-let portfolio_of_env () = max 1 (env_int "VERIOPT_PORTFOLIO" 1)
-let cube_k_of_env () = max 0 (min 6 (env_int "VERIOPT_CUBE_K" 2))
-
-let create ?(capacity = 8192) ?(tier1_samples = 16) ?(breaker_k = 0) ?(breaker_cooldown = 16)
-    ?isolate ?portfolio ?cube_k () =
-  let portfolio = max 1 (match portfolio with Some p -> p | None -> portfolio_of_env ()) in
-  let cube_k = max 0 (min 6 (match cube_k with Some k -> k | None -> cube_k_of_env ())) in
-  let isolate =
-    match isolate with
-    | Some i -> i
-    (* a portfolio IS the fork pool: racing needs process members *)
-    | None -> if portfolio > 1 then Proc else isolate_of_env ()
-  in
-  let isolate =
-    match isolate with
-    | Proc when not (Vproc.available ()) ->
-      (* graceful degradation: no fork here means the in-process backend,
-         not a broken engine *)
-      warn_once warned_fallback
-        "process isolation unavailable (no fork); falling back to the domain backend";
-      Domains
-    | i -> i
-  in
-  let isolate, pool =
-    match isolate with
-    | Domains -> (Domains, None)
-    | Proc ->
-      (* fork eagerly, at engine creation: the only legal moment for a
-         multicore runtime, before reward traffic spins up the Par domains.
-         The pool is sized to the portfolio so a whole race fits at once. *)
-      let jobs = max portfolio (max 1 (env_int "VERIOPT_PROC_JOBS" 2)) in
-      let p = Vproc.create ~jobs ~handler:proc_handler () in
-      if Vproc.slots_available p > 0 then (Proc, Some p)
-      else begin
-        (* fork refused (domains already exist): a dead pool would turn
-           every verdict Inconclusive, so degrade to the in-process backend *)
-        Vproc.shutdown p;
-        warn_once warned_fallback
-          "process isolation unavailable (fork refused — domains already running); falling \
-           back to the domain backend";
-        (Domains, None)
-      end
-  in
-  let portfolio =
-    if portfolio > 1 && pool = None then begin
-      warn_once warned_fallback
-        "portfolio racing needs the proc backend; running a single solver";
-      1
-    end
-    else portfolio
-  in
-  {
-    cache = Vcache.create ~capacity ();
-    tier1_samples = max 0 tier1_samples;
-    breaker_k = max 0 breaker_k;
-    breaker_cooldown = max 1 breaker_cooldown;
-    isolate;
-    portfolio;
-    cube_k;
-    pool;
-  }
-
-let isolate t = t.isolate
-let portfolio t = t.portfolio
-
-let shutdown t = match t.pool with Some p -> Vproc.shutdown p | None -> ()
-let orphans t = match t.pool with Some p -> Vproc.orphans p | None -> 0
-
-let shared_engine = lazy (create ())
-let shared () = Lazy.force shared_engine
-
-let stats t = Vcache.stats t.cache
-let reset_stats t = Vcache.reset t.cache
-let breaker_open t = (Vcache.stats t.cache).breaker_open
-
-let now () = Unix.gettimeofday ()
 
 (* ------------------------------------------------------------------ *)
 (* Canonical-text memoization (cheaper cache keys).
@@ -225,6 +74,295 @@ let alpha_canon (f : Ast.func) : string =
 
 let coalesce_key (m : Ast.modul) ~(src : Ast.func) ~(tgt : Ast.func) : string =
   String.concat "\x00" [ canon Printer.module_to_string m; alpha_canon src; alpha_canon tgt ]
+
+(* ------------------------------------------------------------------ *)
+(* The disk-backed verdict store tier.
+
+   Keys are content-addressed: the raw canonical module text, the
+   alpha-canonical source/target texts (renamed-but-identical pairs share
+   one entry — renumbering preserves semantics, boundedness and
+   copy-of-input, so one verdict is sound for the whole alpha class), and
+   every knob that can change a verdict or its budget semantics: unroll,
+   conflict budget, clause-DB reduction, incrementality, portfolio width
+   and the base SAT config.  Freshness across code changes is carried by
+   the semantics digest: bump any registered [semantics_version] and every
+   prior entry is skipped as stale. *)
+
+let semantics_digest_lazy =
+  lazy
+    (Store.version_digest
+       [
+         ("encode", Encode.semantics_version);
+         ("refine", Refine.semantics_version);
+         ("alive", Alive.semantics_version);
+         ("sat", Sat.semantics_version);
+         (* marshalled payloads are only trusted from the same compiler
+            lineage; fold the runtime version in rather than risk a decode
+            of a foreign layout *)
+         ("ocaml", Hashtbl.hash Sys.ocaml_version land 0xFFFFFF);
+       ])
+
+let semantics_digest () = Lazy.force semantics_digest_lazy
+
+let store_key ?(unroll = 4) ?(max_conflicts = 200_000) ?(reduce = true) ?incremental
+    ?(portfolio = 1) ?sat (m : Ast.modul) ~(src : Ast.func) ~(tgt : Ast.func) : string =
+  let incremental =
+    match incremental with Some b -> b | None -> Alive.incremental_default ()
+  in
+  String.concat "\x00"
+    [
+      canon Printer.module_to_string m;
+      alpha_canon src;
+      alpha_canon tgt;
+      Printf.sprintf "u=%d;c=%d;r=%b;i=%b;p=%d" unroll max_conflicts reduce incremental
+        portfolio;
+      Sat.describe_config (Option.value sat ~default:Sat.default_config);
+    ]
+
+(* The stored value: the verdict plus which tier produced it and the
+   solver-stats delta the original miss paid — so a warm hit can report
+   what it saved. *)
+type stored = { s_verdict : Alive.verdict; s_tier : int; s_delta : Solver.stats }
+
+let store_encode ~tier ~delta (v : Alive.verdict) : string =
+  Marshal.to_string { s_verdict = v; s_tier = tier; s_delta = delta } []
+
+(* Decode never trusts the payload: any Marshal failure is a counted
+   corrupt entry upstream, degrading to a miss. *)
+let store_decode (payload : string) : (Alive.verdict * int * Solver.stats) option =
+  match (Marshal.from_string payload 0 : stored) with
+  | s -> Some (s.s_verdict, s.s_tier, s.s_delta)
+  | exception _ -> None
+
+(* Forked workers open their own read-only handle per store directory
+   (lazily, inside the child): the pool shares one warm store without
+   inheriting parent file descriptors or write buffers. *)
+let worker_stores : (string, Store.t option) Hashtbl.t = Hashtbl.create 4
+
+let worker_store (dir : string) : Store.t option =
+  match Hashtbl.find_opt worker_stores dir with
+  | Some s -> s
+  | None ->
+    let s =
+      match Store.open_ ~read_only:true ~dir ~semantics:(semantics_digest ()) () with
+      | s -> Some s
+      | exception _ -> None
+    in
+    Hashtbl.replace worker_stores dir s;
+    s
+
+(* The tier-2 query shipped to a forked worker: plain AST values and knobs,
+   no closures (Marshal requirement).  The incremental flag rides along so
+   the iterative-deepening loop — self-contained below this boundary — runs
+   identically inside the worker.  [pr_sat] diversifies the worker's SAT
+   solver (portfolio member); [pr_cube] switches the worker to solving one
+   cube of the query as raw assumption literals. *)
+type proc_request = {
+  pr_m : Ast.modul;
+  pr_src : Ast.func;
+  pr_tgt : Ast.func;
+  pr_unroll : int;
+  pr_max_conflicts : int;
+  pr_reduce : bool;
+  pr_incremental : bool;
+  pr_deadline : float option;
+  pr_sat : Sat.config option;
+  pr_cube : int list option;
+  pr_store : string option;
+      (** verdict-store directory: the worker consults its own read-only
+          handle before solving, so a pool shares one warm store *)
+}
+
+(* Every response ships the worker's solver-stats delta for this one call,
+   so the parent can aggregate portfolio members' work — losers included —
+   into its own process-wide counters. *)
+type proc_response =
+  | P_verdict of Alive.verdict * Solver.stats
+  | P_cube of Alive.cube_outcome * int list * Solver.stats
+
+let proc_handler (r : proc_request) : proc_response =
+  let before = Solver.stats () in
+  match r.pr_cube with
+  | None -> (
+    (* warm-store short circuit: a full-query worker checks the shared
+       disk store (its own refresh may see entries newer than the
+       parent's) before paying for a solve.  Race legs ship no store —
+       their diversified member keys cannot match parent-written entries. *)
+    let stored_hit =
+      match Option.map worker_store r.pr_store with
+      | Some (Some st) -> (
+        let key =
+          store_key ~unroll:r.pr_unroll ~max_conflicts:r.pr_max_conflicts
+            ~reduce:r.pr_reduce ~incremental:r.pr_incremental ~portfolio:1 ?sat:r.pr_sat
+            r.pr_m ~src:r.pr_src ~tgt:r.pr_tgt
+        in
+        match Store.find st ~key with
+        | None -> None
+        | Some payload -> (
+          match store_decode payload with
+          | Some (v, _, _) -> Some v
+          | None ->
+            Store.note_corrupt st;
+            None))
+      | _ -> None
+    in
+    match stored_hit with
+    | Some v -> P_verdict (v, Solver.diff before before)
+    | None ->
+      let v =
+        Alive.verify_funcs ~unroll:r.pr_unroll ~max_conflicts:r.pr_max_conflicts
+          ?deadline:r.pr_deadline ~reduce:r.pr_reduce ~incremental:r.pr_incremental
+          ?sat:r.pr_sat r.pr_m ~src:r.pr_src ~tgt:r.pr_tgt
+      in
+      P_verdict (v, Solver.diff (Solver.stats ()) before))
+  | Some cube ->
+    let o, units =
+      Alive.verify_funcs_cube ~unroll:r.pr_unroll ~max_conflicts:r.pr_max_conflicts
+        ?deadline:r.pr_deadline ~reduce:r.pr_reduce ?sat:r.pr_sat ~cube r.pr_m ~src:r.pr_src
+        ~tgt:r.pr_tgt
+    in
+    P_cube (o, units, Solver.diff (Solver.stats ()) before)
+
+type t = {
+  cache : Alive.verdict Vcache.t;
+  tier1_samples : int;
+  breaker_k : int; (* 0 disables the circuit breaker *)
+  breaker_cooldown : int;
+  isolate : isolate;
+  portfolio : int; (* 1 = single-solver tier 2; > 1 races diversified members *)
+  cube_k : int; (* split on the top-k VSIDS vars: 2^k cubes *)
+  pool : (proc_request, proc_response) Vproc.t option; (* Some iff isolate = Proc *)
+  store : Store.t option; (* the shared disk-backed verdict tier *)
+}
+
+let warned_env = Atomic.make false
+let warned_fallback = Atomic.make false
+
+let warn_once flag msg =
+  if not (Atomic.exchange flag true) then Printf.eprintf "veriopt: %s\n%!" msg
+
+let isolate_of_env () =
+  match Sys.getenv_opt "VERIOPT_ISOLATE" with
+  | None | Some "" | Some "domain" -> Domains
+  | Some "proc" -> Proc
+  | Some other ->
+    warn_once warned_env
+      (Printf.sprintf "ignoring invalid VERIOPT_ISOLATE=%S (want proc|domain)" other);
+    Domains
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some v -> v | None -> default)
+  | None -> default
+
+let portfolio_of_env () = max 1 (env_int "VERIOPT_PORTFOLIO" 1)
+let cube_k_of_env () = max 0 (min 6 (env_int "VERIOPT_CUBE_K" 2))
+
+let warned_store = Atomic.make false
+
+let store_dir_of_env () =
+  match Sys.getenv_opt "VERIOPT_STORE" with None | Some "" -> None | Some d -> Some d
+
+let create ?(capacity = 8192) ?(tier1_samples = 16) ?(breaker_k = 0) ?(breaker_cooldown = 16)
+    ?isolate ?portfolio ?cube_k ?store () =
+  let portfolio = max 1 (match portfolio with Some p -> p | None -> portfolio_of_env ()) in
+  let cube_k = max 0 (min 6 (match cube_k with Some k -> k | None -> cube_k_of_env ())) in
+  let isolate =
+    match isolate with
+    | Some i -> i
+    (* a portfolio IS the fork pool: racing needs process members *)
+    | None -> if portfolio > 1 then Proc else isolate_of_env ()
+  in
+  let isolate =
+    match isolate with
+    | Proc when not (Vproc.available ()) ->
+      (* graceful degradation: no fork here means the in-process backend,
+         not a broken engine *)
+      warn_once warned_fallback
+        "process isolation unavailable (no fork); falling back to the domain backend";
+      Domains
+    | i -> i
+  in
+  let isolate, pool =
+    match isolate with
+    | Domains -> (Domains, None)
+    | Proc ->
+      (* fork eagerly, at engine creation: the only legal moment for a
+         multicore runtime, before reward traffic spins up the Par domains.
+         The pool is sized to the portfolio so a whole race fits at once. *)
+      let jobs = max portfolio (max 1 (env_int "VERIOPT_PROC_JOBS" 2)) in
+      let p = Vproc.create ~jobs ~handler:proc_handler () in
+      if Vproc.slots_available p > 0 then (Proc, Some p)
+      else begin
+        (* fork refused (domains already exist): a dead pool would turn
+           every verdict Inconclusive, so degrade to the in-process backend *)
+        Vproc.shutdown p;
+        warn_once warned_fallback
+          "process isolation unavailable (fork refused — domains already running); falling \
+           back to the domain backend";
+        (Domains, None)
+      end
+  in
+  let portfolio =
+    if portfolio > 1 && pool = None then begin
+      warn_once warned_fallback
+        "portfolio racing needs the proc backend; running a single solver";
+      1
+    end
+    else portfolio
+  in
+  (* open the store after the pool forks: workers open their own read-only
+     handles by path and must not inherit the writer's descriptor/buffer *)
+  let store =
+    match (match store with Some d -> Some d | None -> store_dir_of_env ()) with
+    | None -> None
+    | Some dir -> (
+      match Store.open_ ~dir ~semantics:(semantics_digest ()) () with
+      | s -> Some s
+      | exception e ->
+        warn_once warned_store
+          (Printf.sprintf "verdict store %s unavailable (%s); running without it" dir
+             (Printexc.to_string e));
+        None)
+  in
+  let cache = Vcache.create ~capacity () in
+  Option.iter
+    (fun s ->
+      Vcache.attach_store cache ~store:s
+        ~decode:(fun payload -> Option.map (fun (v, _, _) -> v) (store_decode payload)))
+    store;
+  {
+    cache;
+    tier1_samples = max 0 tier1_samples;
+    breaker_k = max 0 breaker_k;
+    breaker_cooldown = max 1 breaker_cooldown;
+    isolate;
+    portfolio;
+    cube_k;
+    pool;
+    store;
+  }
+
+let isolate t = t.isolate
+let portfolio t = t.portfolio
+
+let shutdown t =
+  (match t.pool with Some p -> Vproc.shutdown p | None -> ());
+  (* flush the write-behind buffer and release the segment *)
+  match t.store with Some s -> Store.close s | None -> ()
+
+let orphans t = match t.pool with Some p -> Vproc.orphans p | None -> 0
+
+let shared_engine = lazy (create ())
+let shared () = Lazy.force shared_engine
+
+let stats t = Vcache.stats t.cache
+let store_stats t = Option.map Store.stats t.store
+let store t = t.store
+let reset_stats t = Vcache.reset t.cache
+let breaker_open t = (Vcache.stats t.cache).breaker_open
+
+let now () = Unix.gettimeofday ()
 
 (* ------------------------------------------------------------------ *)
 (* Tier 1: concrete counterexample hunt *)
@@ -344,6 +482,10 @@ let tier2_race (t : t) pool ~unroll ~max_conflicts ?deadline ~reduce
                pr_deadline = deadline;
                pr_sat = Some leg.leg_member.Portfolio.config;
                pr_cube = leg.leg_cube;
+               (* race legs skip the store: a diversified member's key can
+                  never match a parent-written entry, and the parent already
+                  missed before fanning out *)
+               pr_store = None;
              })
            legs)
     in
@@ -477,12 +619,24 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline ?(reduce = t
         sat = Sat.describe_config (Option.value sat ~default:Sat.default_config);
       }
     in
-    match Vcache.find t.cache key with
+    (* the disk tier's content address: alpha-canonical pair text + every
+       budget knob (the semantics digest rides inside each store record) *)
+    let skey =
+      match t.store with
+      | None -> None
+      | Some _ ->
+        Some
+          (store_key ~unroll ~max_conflicts ~reduce ~incremental ~portfolio:t.portfolio ?sat m
+             ~src ~tgt)
+    in
+    match Vcache.find ?skey t.cache key with
     | Some v -> v
     | None ->
       (* fault site: artificial verification latency *)
       if Fault.fire Fault.Verify_delay then
         Unix.sleepf (Float.max 0. (Fault.param Fault.Verify_delay));
+      let solver_before = Solver.stats () in
+      let tier = ref 2 in
       let bounded =
         lazy (Cfg.has_loop (Cfg.of_func src) || Cfg.has_loop (Cfg.of_func tgt))
       in
@@ -536,6 +690,7 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline ?(reduce = t
                     pr_deadline = deadline;
                     pr_sat = sat;
                     pr_cube = None;
+                    pr_store = Option.map Store.dir t.store;
                   }
               with
               | Ok (P_verdict (v, d)) ->
@@ -583,13 +738,23 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline ?(reduce = t
           match hunt with
           | Exec_oracle.Io_different args ->
             Vcache.note_tier1 t.cache ~hit:true ~seconds:dt;
+            tier := 1;
             tier1_verdict m src tgt ~bounded:(Lazy.force bounded) args
           | Exec_oracle.Io_equivalent _ | Exec_oracle.Io_unsupported _ ->
             Vcache.note_tier1 t.cache ~hit:false ~seconds:dt;
             tier2 ()
         end
       in
-      if !cacheable then Vcache.add t.cache key verdict;
+      if !cacheable then
+        Vcache.add ?skey
+          ?spayload:
+            (Option.map
+               (fun _ ->
+                 store_encode ~tier:!tier
+                   ~delta:(Solver.diff (Solver.stats ()) solver_before)
+                   verdict)
+               skey)
+          t.cache key verdict;
       verdict
 
 let verify_text ?unroll ?max_conflicts ?deadline ?reduce ?incremental ?sat (t : t)

@@ -46,6 +46,7 @@ val create :
   ?isolate:isolate ->
   ?portfolio:int ->
   ?cube_k:int ->
+  ?store:string ->
   unit ->
   t
 (** [capacity] bounds the verdict cache (default 8192 per generation);
@@ -74,7 +75,16 @@ val create :
     diversified full-query legs.  The first conclusive leg wins and the
     losers are promptly SIGKILLed; racing affects wall time, never
     verdicts.  When fork is unavailable the portfolio silently degrades to
-    a single solver. *)
+    a single solver.
+
+    [store] (default [VERIOPT_STORE] or none) mounts the shared disk-backed
+    verdict store ({!Veriopt_store.Store}) at that directory as a
+    read-through/write-behind tier beneath the in-memory cache: memory
+    misses consult it (keyed on {!store_key}; a hit counts as a cache hit
+    and feeds the admission EWMAs its near-zero latency), cacheable fresh
+    verdicts are appended to it, forked [Proc] workers read it, and
+    {!shutdown} flushes and closes it.  An unopenable store warns once and
+    the engine runs without it. *)
 
 val isolate : t -> isolate
 (** The backend this engine actually runs (after any fallback). *)
@@ -83,8 +93,9 @@ val portfolio : t -> int
 (** The portfolio width this engine actually races (1 after fallback). *)
 
 val shutdown : t -> unit
-(** Kill and reap the fork pool (no-op for the [Domains] backend).  Must
-    not race in-flight verifications. *)
+(** Kill and reap the fork pool (no-op for the [Domains] backend) and
+    flush + close the verdict store, if mounted.  Must not race in-flight
+    verifications. *)
 
 val orphans : t -> int
 (** Workers still alive after {!shutdown} — a bench smoke check that racing
@@ -138,6 +149,46 @@ val verify_text :
 val stats : t -> Vcache.stats
 val reset_stats : t -> unit
 (** Clear the cache and zero every counter (between bench phases). *)
+
+(** {1 The disk-backed verdict store} *)
+
+val store : t -> Veriopt_store.Store.t option
+(** The mounted store, if any. *)
+
+val store_stats : t -> Veriopt_store.Store.stats option
+(** Hit/miss/write/corrupt/stale counters of the mounted store. *)
+
+val semantics_digest : unit -> string
+(** The engine-semantics version hash every store record carries: a digest
+    of the registered [semantics_version]s of Encode, Refine, Alive and Sat
+    (plus the runtime lineage).  Bumping any of them invalidates all prior
+    store entries. *)
+
+val store_key :
+  ?unroll:int ->
+  ?max_conflicts:int ->
+  ?reduce:bool ->
+  ?incremental:bool ->
+  ?portfolio:int ->
+  ?sat:Veriopt_smt.Sat.config ->
+  Veriopt_ir.Ast.modul ->
+  src:Veriopt_ir.Ast.func ->
+  tgt:Veriopt_ir.Ast.func ->
+  string
+(** The store's content address for a query (defaults mirror
+    {!verify_funcs} with [portfolio = 1]): raw canonical module text,
+    {e alpha-canonical} source/target texts — renamed-but-identical pairs
+    collide onto one entry, soundly, because renumbering preserves
+    semantics — plus every verdict-relevant knob.  Exposed for the
+    key-soundness fuzz harness. *)
+
+val store_encode : tier:int -> delta:Veriopt_smt.Solver.stats -> Alive.verdict -> string
+(** Serialize a store payload: the verdict, the tier that produced it and
+    the solver-stats delta the original miss paid. *)
+
+val store_decode : string -> (Alive.verdict * int * Veriopt_smt.Solver.stats) option
+(** Inverse of {!store_encode}; [None] (never an exception) on any payload
+    that does not decode, which the cache counts as a corrupt entry. *)
 
 val breaker_open : t -> bool
 (** Snapshot of the circuit breaker: [true] while tier 2 is being skipped.

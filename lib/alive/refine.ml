@@ -223,3 +223,8 @@ let check_incremental ?(max_conflicts = 200_000) ?deadline ?reduce (t : session)
     satisfies every clause of the depth-[depth] implication. *)
 let retract (t : session) ~(depth : int) =
   Solver.Session.assert_ t.s (Expr.not_ (guard_var depth))
+
+(* Bump when the refinement obligation itself changes meaning (what
+   counts as refines/counterexample/inconclusive): the disk-backed verdict
+   store keys entry freshness on this. *)
+let semantics_version = 1

@@ -102,3 +102,7 @@ val check_incremental :
 
 val retract : session -> depth:int -> unit
 (** Permanently disable the depth-[depth] query before deepening. *)
+
+val semantics_version : int
+(** Bump when the refinement obligation changes meaning; registered in the
+    verdict store's semantics digest so stale entries are skipped. *)

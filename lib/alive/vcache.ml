@@ -1,4 +1,8 @@
-(** Bounded, generation-swept, mutex-protected verdict memo table. *)
+(** Bounded, generation-swept, mutex-protected verdict memo table, with an
+    optional disk-backed read-through/write-behind tier beneath it
+    ({!Veriopt_store.Store}). *)
+
+module Store = Veriopt_store.Store
 
 type key = {
   ctx : string;
@@ -36,9 +40,14 @@ type stats = {
    riding out single outliers. *)
 let ewma_alpha = 0.15
 
+(* The disk tier: callers hand us their own serialized-payload codec so the
+   cache stays polymorphic in 'v. *)
+type 'v tap = { tap_store : Store.t; tap_decode : string -> 'v option }
+
 type 'v t = {
   capacity : int;
   mutex : Mutex.t;
+  mutable tap : 'v tap option;
   mutable current : (key, 'v) Hashtbl.t;
   mutable old : (key, 'v) Hashtbl.t;
   mutable hits : int;
@@ -69,6 +78,7 @@ let create ?(capacity = 4096) () =
   {
     capacity;
     mutex = Mutex.create ();
+    tap = None;
     current = Hashtbl.create 64;
     old = Hashtbl.create 64;
     hits = 0;
@@ -103,34 +113,81 @@ let sweep_if_full t =
     t.current <- Hashtbl.create 64
   end
 
-let find t key =
-  locked t (fun () ->
-      match Hashtbl.find_opt t.current key with
-      | Some v ->
-        t.hits <- t.hits + 1;
-        Some v
-      | None -> (
-        match Hashtbl.find_opt t.old key with
-        | Some v ->
-          (* promote so a live entry survives the next sweep *)
-          t.hits <- t.hits + 1;
-          Hashtbl.remove t.old key;
-          sweep_if_full t;
-          Hashtbl.replace t.current key v;
-          Some v
-        | None ->
-          t.misses <- t.misses + 1;
-          None))
-
-let add t key v =
-  locked t (fun () ->
-      sweep_if_full t;
-      Hashtbl.replace t.current key v;
-      t.insertions <- t.insertions + 1)
-
 (* First sample seeds the EWMA directly so cold estimates are not dragged
    toward zero. *)
 let roll prev sample = if prev = 0. then sample else (ewma_alpha *. sample) +. ((1. -. ewma_alpha) *. prev)
+
+let attach_store t ~store ~decode =
+  locked t (fun () -> t.tap <- Some { tap_store = store; tap_decode = decode })
+
+let store t = locked t (fun () -> Option.map (fun tap -> tap.tap_store) t.tap)
+
+let find ?skey t key =
+  let mem, tap =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.current key with
+        | Some v ->
+          t.hits <- t.hits + 1;
+          (Some v, None)
+        | None -> (
+          match Hashtbl.find_opt t.old key with
+          | Some v ->
+            (* promote so a live entry survives the next sweep *)
+            t.hits <- t.hits + 1;
+            Hashtbl.remove t.old key;
+            sweep_if_full t;
+            Hashtbl.replace t.current key v;
+            (Some v, None)
+          | None -> (None, t.tap)))
+  in
+  match mem with
+  | Some v -> Some v
+  | None -> (
+    let miss () =
+      locked t (fun () -> t.misses <- t.misses + 1);
+      None
+    in
+    (* read-through: the store lookup runs outside the mutex — a racing
+       double-miss recomputes once harmlessly, and slow disk never blocks
+       other cache users *)
+    match (tap, skey) with
+    | Some tap, Some skey -> (
+      let t0 = Unix.gettimeofday () in
+      match Store.find tap.tap_store ~key:skey with
+      | None -> miss ()
+      | Some payload -> (
+        match tap.tap_decode payload with
+        | None ->
+          (* CRC passed but the payload failed the caller's decoder:
+             count it and degrade to a miss, never a wrong verdict *)
+          Store.note_corrupt tap.tap_store;
+          miss ()
+        | Some v ->
+          let dt = Unix.gettimeofday () -. t0 in
+          locked t (fun () ->
+              t.hits <- t.hits + 1;
+              sweep_if_full t;
+              Hashtbl.replace t.current key v;
+              (* a store hit is an answer served at lookup cost: feed the
+                 admission-price EWMAs the near-zero sample so a warm store
+                 admits work the cold engine would refuse *)
+              t.tier1_ewma_s <- roll t.tier1_ewma_s dt;
+              t.tier2_ewma_s <- roll t.tier2_ewma_s dt);
+          Some v))
+    | _ -> miss ())
+
+let add ?skey ?spayload t key v =
+  let tap =
+    locked t (fun () ->
+        sweep_if_full t;
+        Hashtbl.replace t.current key v;
+        t.insertions <- t.insertions + 1;
+        t.tap)
+  in
+  (* write-behind: the store buffers and batches its own disk writes *)
+  match (tap, skey, spayload) with
+  | Some tap, Some skey, Some payload -> Store.add tap.tap_store ~key:skey payload
+  | _ -> ()
 
 let note_tier1 t ~hit ~seconds =
   locked t (fun () ->

@@ -13,7 +13,16 @@
 
     The cache doubles as the engine's statistics hub: alongside hit/miss/
     eviction counts it accumulates per-tier run counters and wall-clock
-    timings (fed by the engine via [note_tier1]/[note_tier2]). *)
+    timings (fed by the engine via [note_tier1]/[note_tier2]).
+
+    An optional disk-backed tier ({!Veriopt_store.Store}, attached via
+    {!attach_store}) turns the memo into a read-through/write-behind cache:
+    a memory miss with a store key consults the shared on-disk store (a hit
+    is promoted into the current generation, counted as a cache hit, and
+    rolls the admission-price EWMAs with its near-zero lookup latency), and
+    an insert with a serialized payload is buffered for append.  A store
+    entry whose payload fails the attached decoder is counted corrupt and
+    degrades to a miss. *)
 
 type key = {
   ctx : string;  (** canonical module text (globals + declarations) *)
@@ -61,10 +70,26 @@ type 'v t
 val create : ?capacity:int -> unit -> 'v t
 (** [capacity] bounds one generation (default 4096). *)
 
-val find : 'v t -> key -> 'v option
-(** A hit in the old generation re-inserts the entry into the current one. *)
+val attach_store :
+  'v t -> store:Veriopt_store.Store.t -> decode:(string -> 'v option) -> unit
+(** Mount a disk-backed tier beneath the memo.  [decode] turns a stored
+    payload back into a value; returning [None] marks the entry corrupt
+    (counted on the store) and the lookup degrades to a miss. *)
 
-val add : 'v t -> key -> 'v -> unit
+val store : 'v t -> Veriopt_store.Store.t option
+(** The attached disk tier, if any (for stats and shutdown flushing). *)
+
+val find : ?skey:string -> 'v t -> key -> 'v option
+(** A hit in the old generation re-inserts the entry into the current one.
+    On a memory miss, [skey] (the caller's content-addressed store key)
+    consults the attached store; a decodable store hit counts as a cache
+    hit. *)
+
+val add : ?skey:string -> ?spayload:string -> 'v t -> key -> 'v -> unit
+(** Insert into the current generation; when a store is attached and both
+    [skey] and [spayload] are given, also buffer the serialized entry for
+    write-behind append. *)
+
 val note_tier1 : 'v t -> hit:bool -> seconds:float -> unit
 val note_tier2 : 'v t -> seconds:float -> unit
 

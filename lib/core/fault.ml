@@ -16,6 +16,7 @@
                 | worker_exn | oracle_exn | trainer_abort
                 | worker_hang | worker_oom
                 | queue_full | slow_drain | client_disconnect
+                | store_corrupt | store_stale
       RATE    ::= float in [0, 1]
       PARAM   ::= float (kind-specific: seconds for verify_delay,
                   last completed step for trainer_abort)
@@ -35,6 +36,8 @@ type kind =
   | Queue_full  (** the serve queue reports itself full, forcing a shed *)
   | Slow_drain  (** a serve worker stalls [param] seconds before its call *)
   | Client_disconnect  (** the client vanishes before its result is ready *)
+  | Store_corrupt  (** the verdict store treats a present entry as CRC-damaged *)
+  | Store_stale  (** the verdict store treats a present entry as version-stale *)
 
 exception Injected of string
 
@@ -51,6 +54,8 @@ let all_kinds =
     Queue_full;
     Slow_drain;
     Client_disconnect;
+    Store_corrupt;
+    Store_stale;
   ]
 
 let nkinds = List.length all_kinds
@@ -67,6 +72,8 @@ let index = function
   | Queue_full -> 8
   | Slow_drain -> 9
   | Client_disconnect -> 10
+  | Store_corrupt -> 11
+  | Store_stale -> 12
 
 let kind_name = function
   | Solver_timeout -> "solver_timeout"
@@ -80,6 +87,8 @@ let kind_name = function
   | Queue_full -> "queue_full"
   | Slow_drain -> "slow_drain"
   | Client_disconnect -> "client_disconnect"
+  | Store_corrupt -> "store_corrupt"
+  | Store_stale -> "store_stale"
 
 let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
 

@@ -10,7 +10,8 @@
     [seed=INT] and [KIND=RATE[:PARAM]] clauses, where [KIND] is one of
     [solver_timeout], [parse_corrupt], [verify_delay], [worker_exn],
     [oracle_exn], [trainer_abort], [worker_hang], [worker_oom],
-    [queue_full], [slow_drain], [client_disconnect];
+    [queue_full], [slow_drain], [client_disconnect],
+    [store_corrupt], [store_stale];
     [RATE] is in [0, 1]; [PARAM] is
     kind-specific (seconds for [verify_delay] and [slow_drain], the last
     completed step for [trainer_abort]).
@@ -42,6 +43,12 @@ type kind =
   | Client_disconnect
       (** the submitting client vanishes while its request is queued; the
           serve layer must drop the work instead of verifying for nobody *)
+  | Store_corrupt
+      (** the verdict store treats a present entry as CRC-damaged: a counted
+          miss, forcing a fresh verification — never a wrong verdict *)
+  | Store_stale
+      (** the verdict store treats a present entry as written under a
+          foreign semantics version: a counted, skipped miss *)
 
 exception Injected of string
 (** The exception every exception-kind site raises; the crash-proof reward

@@ -254,6 +254,16 @@ let engine_stats ppf (engine : Veriopt_alive.Engine.t) =
   if s.Veriopt_alive.Vcache.breaker_trips > 0 || s.Veriopt_alive.Vcache.breaker_skips > 0 then
     Fmt.pf ppf "  breaker: %d trips, %d tier-2 runs skipped while open@."
       s.Veriopt_alive.Vcache.breaker_trips s.Veriopt_alive.Vcache.breaker_skips;
+  (match Veriopt_alive.Engine.store_stats engine with
+  | None -> ()
+  | Some st ->
+    Fmt.pf ppf
+      "  store:  %d hits, %d misses, %d writes, %d corrupt entries skipped, %d stale-version \
+       skips (%d entries, %d segments%s)@."
+      st.Veriopt_store.Store.hits st.Veriopt_store.Store.misses st.Veriopt_store.Store.writes
+      st.Veriopt_store.Store.corrupt_entries st.Veriopt_store.Store.stale_version_skips
+      st.Veriopt_store.Store.entries st.Veriopt_store.Store.segments
+      (if st.Veriopt_store.Store.read_only then ", read-only" else ""));
   (let ef = Veriopt_rl.Reward.engine_failures () in
    if ef > 0 then Fmt.pf ppf "  reward: %d engine failures absorbed as inconclusive@." ef);
   (let vp = Veriopt_vproc.Vproc.stats () in
@@ -307,4 +317,7 @@ let serve_stats ppf (s : Veriopt_serve.Serve.stats) =
       s.S.rejected_draining s.S.client_disconnects;
   Fmt.pf ppf "  service:   ewma %.2fms interactive, %.2fms bulk@."
     (s.S.service_ewma_interactive_s *. 1e3)
-    (s.S.service_ewma_bulk_s *. 1e3)
+    (s.S.service_ewma_bulk_s *. 1e3);
+  if s.S.store_hits > 0 || s.S.store_misses > 0 then
+    Fmt.pf ppf "  store:     %d hits, %d misses served through the disk tier@." s.S.store_hits
+      s.S.store_misses

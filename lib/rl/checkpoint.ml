@@ -6,14 +6,15 @@
     [Random.State.t] and the parameter table exactly, so a resumed run
     replays the uninterrupted trajectory bit for bit.
 
-    Files are written tmp + rename so a crash mid-write can never leave a
-    torn snapshot, and each write rotates the outgoing snapshot to
-    [<file>.prev].  The payload carries its length and a CRC-32, so load
-    detects truncation and bit rot — not just the torn-write case rename
-    already rules out — and falls back to [.prev] with a warning instead of
-    silently resuming from garbage. *)
+    The on-disk framing (magic, version, length, CRC-32, tmp + rename,
+    [.prev] rotation) is the shared {!Veriopt_store.Blob} format — the same
+    idioms the disk-backed verdict store uses — so a crash mid-write can
+    never leave a torn snapshot, and load detects truncation and bit rot and
+    falls back to [.prev] with a warning instead of silently resuming from
+    garbage. *)
 
 module Model = Veriopt_llm.Model
+module Blob = Veriopt_store.Blob
 
 let magic = "VERIOPT-CKPT"
 let version = 2
@@ -28,92 +29,28 @@ type snapshot = {
 }
 
 let path ~dir ~stage = Filename.concat dir (stage ^ ".ckpt")
-let prev_path file = file ^ ".prev"
-
-(* ------------------------------------------------------------------ *)
-(* CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.  A handful of
-   megabytes per checkpoint write is well under the noise floor of a GRPO
-   step, and it keeps the format dependency-free. *)
-
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref (Int32.of_int n) in
-         for _ = 0 to 7 do
-           c :=
-             if Int32.logand !c 1l <> 0l then
-               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
-             else Int32.shift_right_logical !c 1
-         done;
-         !c))
-
-let crc32 (s : string) : int32 =
-  let table = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFFl in
-  String.iter
-    (fun ch ->
-      let i = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl) in
-      c := Int32.logxor table.(i) (Int32.shift_right_logical !c 8))
-    s;
-  Int32.logxor !c 0xFFFFFFFFl
-
-(* ------------------------------------------------------------------ *)
+let prev_path = Blob.prev_path
 
 let save ~dir (snap : snapshot) : unit =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let final = path ~dir ~stage:snap.stage in
-  let tmp = final ^ ".tmp" in
-  let payload = Marshal.to_string snap [] in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc magic;
-      output_binary_int oc version;
-      output_binary_int oc (String.length payload);
-      output_binary_int oc (Int32.to_int (crc32 payload));
-      output_string oc payload);
-  (* rotate before rename: the outgoing good snapshot becomes the fallback *)
-  if Sys.file_exists final then Sys.rename final (prev_path final);
-  Sys.rename tmp final
+  Blob.write_framed ~magic ~version ~path:final (Marshal.to_string snap [])
 
 let load_file ~stage file : (snapshot, string) result =
-  if not (Sys.file_exists file) then Error (Printf.sprintf "no checkpoint at %s" file)
-  else
-    let ic = open_in_bin file in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        match
-          let got_magic = really_input_string ic (String.length magic) in
-          let got_version = input_binary_int ic in
-          (got_magic, got_version)
-        with
-        | exception _ -> Error (Printf.sprintf "%s: truncated or not a checkpoint" file)
-        | got_magic, _ when got_magic <> magic ->
-          Error (Printf.sprintf "%s: bad magic (not a veriopt checkpoint)" file)
-        | _, got_version when got_version <> version ->
-          Error
-            (Printf.sprintf "%s: checkpoint version %d, this binary reads %d" file got_version
-               version)
-        | _ -> (
-          match
-            let len = input_binary_int ic in
-            let stored_crc = input_binary_int ic land 0xFFFFFFFF in
-            if len < 0 then failwith "negative length"
-            else
-              let payload = really_input_string ic len in
-              (payload, stored_crc)
-          with
-          | exception _ -> Error (Printf.sprintf "%s: truncated snapshot payload" file)
-          | payload, stored_crc ->
-            if Int32.to_int (crc32 payload) land 0xFFFFFFFF <> stored_crc then
-              Error (Printf.sprintf "%s: snapshot CRC mismatch (corrupt payload)" file)
-            else (
-              match (Marshal.from_string payload 0 : snapshot) with
-              | snap when snap.stage = stage -> Ok snap
-              | snap -> Error (Printf.sprintf "%s: stage %S, expected %S" file snap.stage stage)
-              | exception _ -> Error (Printf.sprintf "%s: corrupt snapshot payload" file))))
+  match Blob.read_framed ~magic ~version ~path:file with
+  | Error Blob.Missing -> Error (Printf.sprintf "no checkpoint at %s" file)
+  | Error Blob.Truncated_header -> Error (Printf.sprintf "%s: truncated or not a checkpoint" file)
+  | Error Blob.Bad_magic -> Error (Printf.sprintf "%s: bad magic (not a veriopt checkpoint)" file)
+  | Error (Blob.Bad_version got) ->
+    Error (Printf.sprintf "%s: checkpoint version %d, this binary reads %d" file got version)
+  | Error Blob.Truncated_payload -> Error (Printf.sprintf "%s: truncated snapshot payload" file)
+  | Error Blob.Crc_mismatch ->
+    Error (Printf.sprintf "%s: snapshot CRC mismatch (corrupt payload)" file)
+  | Ok payload -> (
+    match (Marshal.from_string payload 0 : snapshot) with
+    | snap when snap.stage = stage -> Ok snap
+    | snap -> Error (Printf.sprintf "%s: stage %S, expected %S" file snap.stage stage)
+    | exception _ -> Error (Printf.sprintf "%s: corrupt snapshot payload" file))
 
 let load ~dir ~stage : (snapshot, string) result =
   let file = path ~dir ~stage in

@@ -97,6 +97,8 @@ type stats = {
   inflight : int;
   service_ewma_interactive_s : float;
   service_ewma_bulk_s : float;
+  store_hits : int;
+  store_misses : int;
 }
 
 type t = {
@@ -584,6 +586,13 @@ let drain ?(timeout = 5.) t : drain_report =
 (* ------------------------------------------------------------------ *)
 
 let stats t : stats =
+  (* passthrough from the engine's mounted verdict store (0/0 without one):
+     how much of the served traffic a warm disk tier absorbed *)
+  let st_hits, st_misses =
+    match Engine.store_stats t.sv_engine with
+    | Some st -> (st.Veriopt_store.Store.hits, st.Veriopt_store.Store.misses)
+    | None -> (0, 0)
+  in
   locked t (fun () ->
       {
         submitted_interactive = t.n_submitted_i;
@@ -605,4 +614,6 @@ let stats t : stats =
         inflight = t.inflight;
         service_ewma_interactive_s = t.ewma_i;
         service_ewma_bulk_s = t.ewma_b;
+        store_hits = st_hits;
+        store_misses = st_misses;
       })

@@ -167,6 +167,10 @@ type stats = {
   service_ewma_interactive_s : float;
       (** rolling EWMA of [Interactive] engine-call wall time *)
   service_ewma_bulk_s : float;
+  store_hits : int;
+      (** verdict-store hits of the wrapped engine (0 without a store) —
+          answers a warm disk tier served at lookup cost *)
+  store_misses : int;  (** verdict-store misses of the wrapped engine *)
 }
 
 val stats : t -> stats

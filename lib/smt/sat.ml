@@ -737,3 +737,8 @@ let check_invariants t =
       t.n_deleted;
   if t.max_db < Vec.length t.learnts then
     fail "peak %d below live %d" t.max_db (Vec.length t.learnts)
+
+(* Bump when solver behavior changes what a verdict *means* (not mere
+   search-order heuristics): the disk-backed verdict store keys entry
+   freshness on this. *)
+let semantics_version = 1

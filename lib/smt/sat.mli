@@ -130,3 +130,8 @@ val check_invariants : t -> unit
 (** Structural invariants of the clause DB — no deleted clause is watched,
     is a reason, or lingers in the learnt index; counters are consistent.
     Raises [Failure] on violation.  Test hook for the fuzz harness. *)
+
+val semantics_version : int
+(** Bump when a change affects what Sat/Unsat/Unknown mean (budget
+    semantics, soundness fixes) rather than just the search path;
+    registered in the verdict store's semantics digest. *)

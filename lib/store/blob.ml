@@ -1,0 +1,94 @@
+(** Shared atomic-blob idioms: the crash-safety primitives the Checkpoint v2
+    format introduced (CRC-32, tmp + rename, [.prev] rotation, typed corrupt
+    reads), extracted so the verdict {!Store} and [Checkpoint] write the same
+    way instead of each re-growing their own copy.
+
+    The framing is byte-identical to Checkpoint v2: [magic] bytes, then the
+    format version, payload length and payload CRC-32 as [output_binary_int]
+    words, then the payload.  A write lands via tmp + rename (a crash
+    mid-write can never leave a torn file) and rotates the outgoing good file
+    to [<file>.prev] so one corrupt write never loses the previous state. *)
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.  A few megabytes
+   per write is well under the noise floor of the work being persisted, and
+   it keeps the formats dependency-free. *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 (s : string) : int32 =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let i = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl) in
+      c := Int32.logxor table.(i) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let crc32_int (s : string) : int = Int32.to_int (crc32 s) land 0xFFFFFFFF
+
+(* ------------------------------------------------------------------ *)
+
+let prev_path file = file ^ ".prev"
+
+let write_framed ~magic ~version ~path payload : unit =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      output_binary_int oc version;
+      output_binary_int oc (String.length payload);
+      output_binary_int oc (Int32.to_int (crc32 payload));
+      output_string oc payload);
+  (* rotate before rename: the outgoing good file becomes the fallback *)
+  if Sys.file_exists path then Sys.rename path (prev_path path);
+  Sys.rename tmp path
+
+type read_error =
+  | Missing
+  | Truncated_header  (** too short to hold the magic + version words *)
+  | Bad_magic
+  | Bad_version of int  (** the version word the file actually carries *)
+  | Truncated_payload  (** header fine, payload shorter than its length word *)
+  | Crc_mismatch  (** payload present but fails its CRC-32 *)
+
+let read_framed ~magic ~version ~path : (string, read_error) result =
+  if not (Sys.file_exists path) then Error Missing
+  else
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match
+          let got_magic = really_input_string ic (String.length magic) in
+          let got_version = input_binary_int ic in
+          (got_magic, got_version)
+        with
+        | exception _ -> Error Truncated_header
+        | got_magic, _ when got_magic <> magic -> Error Bad_magic
+        | _, got_version when got_version <> version -> Error (Bad_version got_version)
+        | _ -> (
+          match
+            let len = input_binary_int ic in
+            let stored_crc = input_binary_int ic land 0xFFFFFFFF in
+            if len < 0 then failwith "negative length"
+            else
+              let payload = really_input_string ic len in
+              (payload, stored_crc)
+          with
+          | exception _ -> Error Truncated_payload
+          | payload, stored_crc ->
+            if crc32_int payload <> stored_crc then Error Crc_mismatch else Ok payload))

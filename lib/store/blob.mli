@@ -1,0 +1,33 @@
+(** Shared atomic-blob idioms (CRC-32, tmp + rename, [.prev] rotation,
+    typed corrupt reads) extracted from the Checkpoint v2 format so every
+    on-disk artifact persists the same way.  The framing is byte-identical
+    to Checkpoint v2. *)
+
+val crc32 : string -> int32
+(** CRC-32 (IEEE 802.3, the zlib polynomial), table-driven. *)
+
+val crc32_int : string -> int
+(** {!crc32} as a non-negative [int] in [0, 0xFFFFFFFF]. *)
+
+val prev_path : string -> string
+(** [prev_path file] is [file ^ ".prev"], the rotation target. *)
+
+val write_framed : magic:string -> version:int -> path:string -> string -> unit
+(** [write_framed ~magic ~version ~path payload] writes
+    [magic | version | length | crc32 | payload] to [path ^ ".tmp"], rotates
+    any existing [path] to [path ^ ".prev"], then renames the tmp into
+    place.  A crash at any point leaves either the old file, the old file
+    plus a stray tmp, or the new file — never a torn [path]. *)
+
+type read_error =
+  | Missing
+  | Truncated_header  (** too short to hold the magic + version words *)
+  | Bad_magic
+  | Bad_version of int  (** the version word the file actually carries *)
+  | Truncated_payload  (** header fine, payload shorter than its length word *)
+  | Crc_mismatch  (** payload present but fails its CRC-32 *)
+
+val read_framed : magic:string -> version:int -> path:string -> (string, read_error) result
+(** Read back a {!write_framed} file, verifying magic, version, length and
+    CRC-32.  Every corruption mode maps to a typed error so callers can
+    decide between fallback ([.prev]), miss, or hard failure. *)

@@ -1,0 +1,375 @@
+(** Shared, versioned, disk-backed verdict store — the tier beneath [Vcache].
+
+    One store directory is shared by every process that opens it: trainer
+    runs, bench sweeps, serve replicas and forked [Vproc] workers.  The
+    layout keeps writers and readers decoupled without any locking:
+
+    - Each {e writer} appends to its own segment file,
+      [seg-<pid>-<k>.vst], created [O_CREAT|O_EXCL] so two writers can
+      never share one (single-writer-per-segment discipline).  Appends are
+      buffered (write-behind) and flushed as one [write] per batch, so a
+      record either lands whole or is a detectable torn tail.
+    - Each {e reader} scans every segment it can see into an in-memory
+      index, remembers per-segment offsets, and re-scans only appended
+      bytes on {!refresh} (auto-triggered, throttled, on a miss).
+
+    Every record carries the segment magic, the store format version, the
+    {e engine-semantics hash} of the writer, the key/value lengths and a
+    CRC-32 of key+value.  A record that fails any of those checks is
+    counted ([corrupt_entries]) and skipped by resyncing to the next magic
+    — corruption degrades to a miss, never a wrong value, never an
+    exception.  A record whose semantics hash differs from the reader's is
+    counted ([stale_version_skips]) and skipped: bumping any registered
+    semantics version invalidates every prior entry without touching disk.
+
+    The directory [meta] file (written with the {!Blob} Checkpoint-v2
+    idioms: tmp + rename, [.prev] rotation, CRC) records the last writer's
+    format and semantics for inspection; it is advisory, not load-bearing —
+    entries are self-describing. *)
+
+module Fault = Veriopt_fault.Fault
+
+let format_version = 1
+let meta_magic = "VERIOPT-STORE"
+let rec_magic = "VSTE"
+let sem_len = 16 (* semantics hash: 16 hex chars, fixed width *)
+let header_len = 4 + 1 + sem_len + 4 + 4 + 4
+let max_record = 1 lsl 26 (* 64 MiB; any larger length word is corruption *)
+
+(* ------------------------------------------------------------------ *)
+(* Semantics version digest *)
+
+let fnv1a64 (s : string) (h0 : int64) : int64 =
+  let h = ref h0 in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+let version_digest (components : (string * int) list) : string =
+  let h =
+    List.fold_left
+      (fun acc (name, v) -> fnv1a64 (Printf.sprintf "%s=%d;" name v) acc)
+      0xcbf29ce484222325L components
+  in
+  Printf.sprintf "%016Lx" h
+
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  writes : int;
+  corrupt_entries : int;  (** records dropped for bad magic/length/CRC *)
+  stale_version_skips : int;  (** records dropped for a foreign semantics hash *)
+  entries : int;  (** distinct keys currently indexed *)
+  segments : int;  (** segment files scanned (other writers') *)
+  flushes : int;
+  read_only : bool;
+}
+
+type seg = { seg_path : string; mutable seg_off : int (* bytes fully consumed *) }
+
+type t = {
+  dir : string;
+  semantics : string;
+  read_only : bool;
+  mutex : Mutex.t;
+  index : (string, string) Hashtbl.t;
+  mutable segs : seg list;
+  mutable out : out_channel option;  (** this writer's own segment *)
+  mutable out_path : string;  (** basename; excluded from scans *)
+  buf : Buffer.t;
+  flush_bytes : int;
+  refresh_every : float;
+  mutable last_refresh : float;
+  mutable n_hits : int;
+  mutable n_misses : int;
+  mutable n_writes : int;
+  mutable n_corrupt : int;
+  mutable n_stale : int;
+  mutable n_flushes : int;
+  mutable closed : bool;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* ------------------------------------------------------------------ *)
+(* Record encoding *)
+
+let put_be32 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let get_be32 s pos =
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+let encode_record ~semantics buf key value =
+  Buffer.add_string buf rec_magic;
+  Buffer.add_char buf (Char.chr format_version);
+  Buffer.add_string buf semantics;
+  put_be32 buf (String.length key);
+  put_be32 buf (String.length value);
+  put_be32 buf (Blob.crc32_int (key ^ value));
+  Buffer.add_string buf key;
+  Buffer.add_string buf value
+
+(* ------------------------------------------------------------------ *)
+(* Segment scanning: parse appended bytes, resync on corruption, stop on a
+   partial tail (a write still in flight — retried on the next refresh). *)
+
+let find_magic data pos =
+  let n = String.length data in
+  let rec go p =
+    if p + String.length rec_magic > n then None
+    else
+      match String.index_from_opt data p rec_magic.[0] with
+      | None -> None
+      | Some q ->
+        if q + String.length rec_magic > n then None
+        else if String.sub data q (String.length rec_magic) = rec_magic then Some q
+        else go (q + 1)
+  in
+  go pos
+
+let scan_seg t (s : seg) =
+  match open_in_bin (Filename.concat t.dir s.seg_path) with
+  | exception Sys_error _ -> ()
+  | ic ->
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    let size = in_channel_length ic in
+    if size > s.seg_off then begin
+      seek_in ic s.seg_off;
+      let data = really_input_string ic (size - s.seg_off) in
+      let n = String.length data in
+      let pos = ref 0 in
+      let committed = ref 0 in
+      let running = ref true in
+      let resync () =
+        t.n_corrupt <- t.n_corrupt + 1;
+        match find_magic data (!pos + 1) with
+        | Some p ->
+          pos := p;
+          committed := p
+        | None ->
+          pos := n;
+          committed := n;
+          running := false
+      in
+      while !running do
+        if n - !pos < header_len then begin
+          (* partial header: either a write in flight or a truncated tail —
+             leave [committed] here so a later refresh retries it *)
+          running := false
+        end
+        else if String.sub data !pos 4 <> rec_magic then resync ()
+        else begin
+          let fmt = Char.code data.[!pos + 4] in
+          let sem = String.sub data (!pos + 5) sem_len in
+          let klen = get_be32 data (!pos + 5 + sem_len) in
+          let vlen = get_be32 data (!pos + 9 + sem_len) in
+          let crc = get_be32 data (!pos + 13 + sem_len) in
+          if fmt <> format_version || klen < 0 || vlen < 0 || klen + vlen > max_record then
+            resync ()
+          else if n - !pos - header_len < klen + vlen then
+            (* partial body: write in flight or torn tail; retry later *)
+            running := false
+          else begin
+            let key = String.sub data (!pos + header_len) klen in
+            let value = String.sub data (!pos + header_len + klen) vlen in
+            if Blob.crc32_int (key ^ value) <> crc then resync ()
+            else begin
+              if sem <> t.semantics then t.n_stale <- t.n_stale + 1
+              else Hashtbl.replace t.index key value;
+              pos := !pos + header_len + klen + vlen;
+              committed := !pos
+            end
+          end
+        end
+      done;
+      s.seg_off <- s.seg_off + !committed
+    end
+
+let list_segments t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> [||]
+  | names ->
+    Array.sort compare names;
+    Array.of_list
+      (List.filter
+         (fun name -> Filename.check_suffix name ".vst" && name <> t.out_path)
+         (Array.to_list names))
+
+let refresh_locked t =
+  let names = list_segments t in
+  Array.iter
+    (fun name ->
+      if not (List.exists (fun s -> s.seg_path = name) t.segs) then
+        t.segs <- t.segs @ [ { seg_path = name; seg_off = 0 } ])
+    names;
+  List.iter (scan_seg t) t.segs
+
+(* ------------------------------------------------------------------ *)
+(* Writer plumbing *)
+
+let flush_locked t =
+  match t.out with
+  | None -> ()
+  | Some oc ->
+    if Buffer.length t.buf > 0 then begin
+      Buffer.output_buffer oc t.buf;
+      flush oc;
+      Buffer.clear t.buf;
+      t.n_flushes <- t.n_flushes + 1
+    end
+
+let write_meta t =
+  let payload = Printf.sprintf "format=%d\nsemantics=%s\n" format_version t.semantics in
+  try Blob.write_framed ~magic:meta_magic ~version:format_version
+        ~path:(Filename.concat t.dir "meta") payload
+  with Sys_error _ -> ()
+
+let open_own_segment t =
+  let rec go k =
+    if k > 1000 then failwith "store: cannot create a segment file"
+    else
+      let name = Printf.sprintf "seg-%d-%d.vst" (Unix.getpid ()) k in
+      let path = Filename.concat t.dir name in
+      match Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644 with
+      | fd ->
+        t.out <- Some (Unix.out_channel_of_descr fd);
+        t.out_path <- name
+      | exception Unix.Unix_error (Unix.EEXIST, _, _) -> go (k + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+
+let open_ ?(read_only = false) ?(flush_bytes = 8192) ?(refresh_every = 0.05) ~dir ~semantics ()
+    : t =
+  if String.length semantics <> sem_len then
+    invalid_arg
+      (Printf.sprintf "Store.open_: semantics hash must be %d chars (got %S)" sem_len semantics);
+  if (not read_only) && not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let t =
+    {
+      dir;
+      semantics;
+      read_only;
+      mutex = Mutex.create ();
+      index = Hashtbl.create 256;
+      segs = [];
+      out = None;
+      out_path = "";
+      buf = Buffer.create 4096;
+      flush_bytes = max 1 flush_bytes;
+      refresh_every = Float.max 0. refresh_every;
+      last_refresh = 0.;
+      n_hits = 0;
+      n_misses = 0;
+      n_writes = 0;
+      n_corrupt = 0;
+      n_stale = 0;
+      n_flushes = 0;
+      closed = false;
+    }
+  in
+  if not read_only then begin
+    open_own_segment t;
+    write_meta t
+  end;
+  locked t (fun () ->
+      t.last_refresh <- Unix.gettimeofday ();
+      refresh_locked t);
+  t
+
+let refresh t =
+  locked t (fun () ->
+      if not t.closed then begin
+        t.last_refresh <- Unix.gettimeofday ();
+        refresh_locked t
+      end)
+
+let find t ~key : string option =
+  locked t (fun () ->
+      let miss () =
+        t.n_misses <- t.n_misses + 1;
+        None
+      in
+      if t.closed then miss ()
+      else if Fault.fire Fault.Store_corrupt then begin
+        (* chaos: pretend the entry failed its CRC — counted miss, recompute *)
+        t.n_corrupt <- t.n_corrupt + 1;
+        miss ()
+      end
+      else if Fault.fire Fault.Store_stale then begin
+        (* chaos: pretend the entry carries a foreign semantics hash *)
+        t.n_stale <- t.n_stale + 1;
+        miss ()
+      end
+      else
+        match Hashtbl.find_opt t.index key with
+        | Some v ->
+          t.n_hits <- t.n_hits + 1;
+          Some v
+        | None ->
+          let now = Unix.gettimeofday () in
+          if now -. t.last_refresh >= t.refresh_every then begin
+            t.last_refresh <- now;
+            refresh_locked t;
+            match Hashtbl.find_opt t.index key with
+            | Some v ->
+              t.n_hits <- t.n_hits + 1;
+              Some v
+            | None -> miss ()
+          end
+          else miss ())
+
+let add t ~key value : unit =
+  locked t (fun () ->
+      if t.read_only || t.closed then ()
+      else begin
+        Hashtbl.replace t.index key value;
+        t.n_writes <- t.n_writes + 1;
+        encode_record ~semantics:t.semantics t.buf key value;
+        if Buffer.length t.buf >= t.flush_bytes then flush_locked t
+      end)
+
+let note_corrupt t = locked t (fun () -> t.n_corrupt <- t.n_corrupt + 1)
+
+let flush t = locked t (fun () -> flush_locked t)
+
+let close t =
+  locked t (fun () ->
+      if not t.closed then begin
+        flush_locked t;
+        (match t.out with Some oc -> close_out_noerr oc | None -> ());
+        t.out <- None;
+        t.closed <- true
+      end)
+
+let stats t : stats =
+  locked t (fun () ->
+      {
+        hits = t.n_hits;
+        misses = t.n_misses;
+        writes = t.n_writes;
+        corrupt_entries = t.n_corrupt;
+        stale_version_skips = t.n_stale;
+        entries = Hashtbl.length t.index;
+        segments = List.length t.segs;
+        flushes = t.n_flushes;
+        read_only = t.read_only;
+      })
+
+let dir t = t.dir
+let semantics t = t.semantics

@@ -1,0 +1,89 @@
+(** Shared, versioned, disk-backed verdict store — the tier beneath
+    [Vcache].
+
+    {b Keying and soundness.}  Callers key entries on
+    [(canonical alpha-renamed pair text, engine-semantics version hash,
+    resolved verification flags)].  The semantics hash travels {e inside}
+    every record: a reader whose registered semantics digest differs skips
+    the record (counted as [stale_version_skips]), so bumping any layer's
+    semantics version invalidates every prior entry with no disk traffic.
+
+    {b Crash safety.}  Writers append CRC-framed records to a private
+    segment file ([seg-<pid>-<k>.vst], created [O_CREAT|O_EXCL]) with
+    write-behind buffering; readers scan all segments lock-free and resync
+    on the record magic past anything torn, truncated or bit-flipped.  A
+    damaged record is a counted miss ([corrupt_entries]) — never a wrong
+    value, never an exception.  The advisory [meta] file is written with
+    the {!Blob} Checkpoint-v2 idioms (tmp + rename, [.prev] rotation,
+    CRC-32).
+
+    {b Concurrency.}  One [t] is thread-safe (internal mutex).  Across
+    processes: any number of concurrent writers (each owns its segment) and
+    readers (scan-only) may share a directory; {!refresh} — auto-triggered
+    on a miss, throttled by [refresh_every] — picks up other writers'
+    appends, so forked [Vproc] workers and serve replicas share one warm
+    store.
+
+    Chaos hooks: the [store_corrupt] / [store_stale] fault kinds
+    ({!Veriopt_fault.Fault}) force {!find} to treat a present entry as
+    damaged or version-stale — a counted miss, exercised by the injection
+    tests. *)
+
+type t
+
+val version_digest : (string * int) list -> string
+(** [version_digest ["encode", v1; ...]] folds named semantics versions
+    into the fixed-width (16 hex chars) hash that keys record freshness.
+    Order-sensitive by construction — register components in one place. *)
+
+val open_ :
+  ?read_only:bool ->
+  ?flush_bytes:int ->
+  ?refresh_every:float ->
+  dir:string ->
+  semantics:string ->
+  unit ->
+  t
+(** Open (creating the directory and a private segment unless [read_only],
+    default [false]) a store whose entries are valid under [semantics] (a
+    {!version_digest}).  [flush_bytes] (default 8192) is the write-behind
+    threshold; [refresh_every] (default 0.05 s) throttles the automatic
+    rescan for other writers' appends on a miss. *)
+
+val find : t -> key:string -> string option
+(** Indexed lookup; on a miss, refreshes from disk if the throttle allows
+    and retries once.  Counts a hit or a miss either way. *)
+
+val add : t -> key:string -> string -> unit
+(** Buffer one record for append ([read_only] stores drop it silently) and
+    serve it from the index immediately.  Flushed when the buffer crosses
+    [flush_bytes], on {!flush}, and on {!close}. *)
+
+val refresh : t -> unit
+(** Force a rescan of all visible segments (new segments and appended
+    bytes), bypassing the throttle. *)
+
+val flush : t -> unit
+val close : t -> unit
+(** Flush and close the private segment.  Idempotent; a closed store
+    answers every {!find} with a counted miss and drops every {!add}. *)
+
+val note_corrupt : t -> unit
+(** Count one decode-level corrupt entry (a record whose CRC passed but
+    whose payload failed the caller's decoder). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  writes : int;
+  corrupt_entries : int;  (** records dropped for bad magic/length/CRC *)
+  stale_version_skips : int;  (** records dropped for a foreign semantics hash *)
+  entries : int;  (** distinct keys currently indexed *)
+  segments : int;  (** segment files scanned (other writers') *)
+  flushes : int;
+  read_only : bool;
+}
+
+val stats : t -> stats
+val dir : t -> string
+val semantics : t -> string

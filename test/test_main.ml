@@ -6,6 +6,9 @@ let () =
          Serve precedes vproc because the vproc suite's trainer chaos test
          (its last case) is the first domain spawner. *)
       Test_serve.suite;
+      (* the store suite's crash-injection case forks a child writer, so it
+         must also precede the first domain spawner *)
+      Test_store.suite;
       Test_vproc.suite;
       Test_bits.suite;
       Test_ir.suite;
