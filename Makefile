@@ -1,4 +1,4 @@
-.PHONY: all build test bench micro verify-bench chaos-bench sat-bench proc-bench incr-bench portfolio-bench serve-bench store-bench fuzz check clean
+.PHONY: all build test bench micro verify-bench chaos-bench sat-bench proc-bench incr-bench portfolio-bench serve-bench store-bench adv-bench fuzz check clean
 
 all: build
 
@@ -74,6 +74,15 @@ serve-bench: build
 store-bench: build
 	dune exec bench/main.exe -- store-bench
 
+# The adversarial pain miner end to end: SIGKILL crash-safety of the
+# corpus, a fresh-seed budgeted mine (>= 25 distinct minimized cases
+# across >= 3 mutator families, zero conclusive-verdict flips through
+# minimization), deterministic double replay, and a standing-stress window
+# through the serving layer.  Writes machine-readable BENCH_adv.json;
+# exits non-zero on any mining-contract violation.
+adv-bench: build
+	dune exec bench/adv_bench.exe
+
 # Long-run differential fuzz campaign over the SAT core and the bit-vector
 # poison paths (the runtest default is 5000 CNF + 1000 round-trip cases).
 fuzz: build
@@ -91,6 +100,7 @@ check: build
 	dune exec bench/main.exe -- portfolio-bench
 	dune exec bench/main.exe -- store-bench
 	dune exec bench/serve_bench.exe
+	dune exec bench/adv_bench.exe
 
 clean:
 	dune clean

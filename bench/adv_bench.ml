@@ -1,0 +1,186 @@
+(* ADV-BENCH: the adversarial pain miner end to end.
+
+   Four phases:
+
+   1. Crash — fork a child miner and SIGKILL it mid-commit; the reopened
+      corpus must hold only whole cases (tmp+rename per case file means a
+      kill -9 loses at most the in-flight case, never a torn entry).
+   2. Mine — a fresh-seed budgeted run must commit enough distinct
+      minimized pain cases across several mutator families, with zero
+      conclusive-verdict flips through minimization (the concrete-oracle
+      guard, audited per commit).
+   3. Replay — the corpus replayed twice on fresh engines with its
+      recorded conflict budgets and no wall deadline must produce the
+      identical verdict stream (the standing-stress determinism contract).
+   4. Stress — a short open-loop traffic window replaying the corpus
+      through the serving layer must answer every offered request.
+
+   Emits BENCH_adv.json and exits non-zero on any contract violation.
+
+   NOTE: runs before any domain is spawned — phase 1 forks, and OCaml 5
+   forbids fork once a domain exists. *)
+
+module Corpus = Veriopt_adversary.Corpus
+module Miner = Veriopt_adversary.Miner
+module Engine = Veriopt_alive.Engine
+module Traffic = Veriopt_serve.Traffic
+
+let fmt = Format.std_formatter
+
+let temp_dir tag =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "veriopt-adv-bench-%d-%s" (Unix.getpid ()) tag)
+  in
+  if Sys.file_exists d then
+    Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d)
+  else Unix.mkdir d 0o755;
+  d
+
+let () =
+  let smoke = Array.to_list Sys.argv |> List.mem "--smoke" in
+  Fmt.pf fmt "=== ADV-BENCH (adversarial pain miner) ===@.@.";
+  let failures = ref 0 in
+  let check cond msg =
+    if not cond then begin
+      Fmt.pf fmt "  ERROR: %s@." msg;
+      incr failures
+    end
+  in
+
+  (* phase 1: fork a child miner, SIGKILL it mid-commit *)
+  let crash_dir = temp_dir "crash" in
+  (match Unix.fork () with
+  | 0 ->
+    (try
+       let corpus = Corpus.load ~dir:crash_dir in
+       let cfg =
+         { Miner.default_config with Miner.mc_seed = 7; mc_budget_s = 60.; mc_max_cases = 1000 }
+       in
+       ignore (Miner.mine ~cfg corpus)
+     with _ -> ());
+    Unix._exit 0
+  | pid ->
+    Unix.sleepf (if smoke then 1.5 else 3.0);
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    ignore (Unix.waitpid [] pid));
+  let crashed = Corpus.load ~dir:crash_dir in
+  let crash_cases = List.length (Corpus.cases crashed) in
+  let crash_stats = Corpus.stats crashed in
+  Fmt.pf fmt "crash: SIGKILL mid-mine left %d whole cases, %d torn/skipped@." crash_cases
+    crash_stats.Corpus.s_skipped;
+  check (crash_stats.Corpus.s_skipped = 0)
+    (Fmt.str "%d torn or skipped cases after SIGKILL" crash_stats.Corpus.s_skipped);
+  check
+    (List.for_all (fun c -> Corpus.decode_pair c <> None) (Corpus.cases crashed))
+    "a surviving case failed to decode";
+  if not smoke then
+    check (crash_cases > 0) "the killed child committed nothing before the signal";
+
+  (* phase 2: fresh-seed budgeted mine *)
+  let dir = temp_dir "mine" in
+  let corpus = Corpus.load ~dir in
+  let budget = if smoke then 5. else 30. in
+  let cfg =
+    {
+      Miner.default_config with
+      Miner.mc_seed = 1;
+      mc_budget_s = budget;
+      mc_max_cases = (if smoke then 6 else 40);
+    }
+  in
+  Fmt.pf fmt "@.mining fresh (seed %d, budget %.0fs)...@." cfg.Miner.mc_seed budget;
+  let r = Miner.mine ~cfg corpus in
+  Miner.pp_result fmt r;
+  let min_cases = if smoke then 3 else 25 in
+  let keys =
+    List.sort_uniq compare (List.map (fun c -> c.Corpus.c_key) (Corpus.cases corpus))
+  in
+  check (r.Miner.r_mined >= min_cases)
+    (Fmt.str "mined %d cases, need >= %d within %.0fs" r.Miner.r_mined min_cases budget);
+  check
+    (List.length keys = r.Miner.r_mined)
+    (Fmt.str "%d distinct store keys for %d cases" (List.length keys) r.Miner.r_mined);
+  check
+    (List.length r.Miner.r_families >= if smoke then 2 else 3)
+    (Fmt.str "only %d mutator families represented" (List.length r.Miner.r_families));
+  check (r.Miner.r_committed_flips = 0)
+    (Fmt.str "%d conclusive-verdict flips escaped the minimization oracle guard"
+       r.Miner.r_committed_flips);
+
+  (* phase 3: deterministic replay on two fresh engines *)
+  let reopened = Corpus.load ~dir in
+  check
+    (List.length (Corpus.cases reopened) = r.Miner.r_mined)
+    "reopen lost a committed case";
+  let t0 = Unix.gettimeofday () in
+  let once = Miner.replay reopened in
+  let replay_s = Unix.gettimeofday () -. t0 in
+  let twice = Miner.replay reopened in
+  check (List.length once = r.Miner.r_mined) "replay skipped a case";
+  List.iter2
+    (fun (a : Miner.replayed) (b : Miner.replayed) ->
+      check
+        (a.Miner.rp_id = b.Miner.rp_id && a.Miner.rp_category = b.Miner.rp_category)
+        (Fmt.str "case %d replay nondeterministic: %s vs %s" a.Miner.rp_id a.Miner.rp_category
+           b.Miner.rp_category))
+    once twice;
+  let inconclusive =
+    List.length (List.filter (fun r -> r.Miner.rp_category = "inconclusive") once)
+  in
+  Fmt.pf fmt "@.replay: %d cases twice in %.1fs+, %d still inconclusive at full budget@."
+    (List.length once) replay_s inconclusive;
+
+  (* phase 4: standing stress through the serving layer *)
+  let engine = Engine.create ~tier1_samples:4 () in
+  let stress =
+    Miner.stress ~seed:11 ~rate:(if smoke then 30. else 80.)
+      ~duration_s:(if smoke then 0.5 else 2.0)
+      ~mix_pct:70 ~engine reopened
+  in
+  (match stress with
+  | None -> check false "stress found no replayable queries"
+  | Some s ->
+    Fmt.pf fmt "@.stress summary:@.";
+    Traffic.pp_summary fmt s;
+    check (s.Traffic.offered > 0) "stress offered no traffic";
+    (* every offered request must resolve — by verdict or by explicit
+       rejection, never silently *)
+    check
+      (s.Traffic.answered = s.Traffic.offered)
+      (Fmt.str "stress lost requests: %d of %d offered resolved" s.Traffic.answered
+         s.Traffic.offered));
+
+  let json =
+    let fields =
+      [
+        ("bench", "\"adv\"");
+        ("smoke", string_of_bool smoke);
+        ("crash_survivors", string_of_int crash_cases);
+        ("crash_torn", string_of_int crash_stats.Corpus.s_skipped);
+        ("mined", string_of_int r.Miner.r_mined);
+        ("distinct_keys", string_of_int (List.length keys));
+        ("families", string_of_int (List.length r.Miner.r_families));
+        ("probes", string_of_int r.Miner.r_probes);
+        ("minimize_accepted", string_of_int r.Miner.r_minimize_accepted);
+        ("minimize_flip_rejects", string_of_int r.Miner.r_minimize_flip_rejects);
+        ("committed_flips", string_of_int r.Miner.r_committed_flips);
+        ("mine_wall_s", Fmt.str "%.2f" r.Miner.r_wall_s);
+        ("replay_wall_s", Fmt.str "%.2f" replay_s);
+        ("replay_inconclusive", string_of_int inconclusive);
+        ("failures", string_of_int !failures);
+      ]
+    in
+    "{\n"
+    ^ String.concat ",\n" (List.map (fun (k, v) -> Fmt.str "  %S: %s" k v) fields)
+    ^ "\n}\n"
+  in
+  let oc = open_out "BENCH_adv.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pf fmt "@.wrote BENCH_adv.json@.";
+  if !failures > 0 then begin
+    Fmt.pf fmt "adv-bench: %d contract violations@." !failures;
+    exit 1
+  end;
+  Fmt.pf fmt "adv-bench: all mining contracts held.@."

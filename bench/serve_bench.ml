@@ -77,6 +77,7 @@ let () =
       interactive_deadline_s = config.Serve.interactive_deadline_s;
       bulk_deadline_s = config.Serve.bulk_deadline_s;
       dup_share = 0.3;
+      source = Veriopt_serve.Workload.Synthetic;
     }
   in
   let summary = Traffic.run sv cfg in

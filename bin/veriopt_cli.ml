@@ -374,6 +374,7 @@ let cost_cmd =
 
 module Serve = Veriopt_serve.Serve
 module Traffic = Veriopt_serve.Traffic
+module Workload = Veriopt_serve.Workload
 module Fault = Veriopt_fault.Fault
 
 let serve_args =
@@ -433,7 +434,8 @@ let make_service ~workers ~capacity ?store () =
   in
   Serve.create ~config ~engine ()
 
-let traffic_cfg ~rate ~duration_s ~seed ~interactive_share ~dup_share (config : Serve.config) =
+let traffic_cfg ?(source = Workload.Synthetic) ~rate ~duration_s ~seed ~interactive_share
+    ~dup_share (config : Serve.config) =
   {
     Traffic.rate;
     duration_s;
@@ -442,6 +444,7 @@ let traffic_cfg ~rate ~duration_s ~seed ~interactive_share ~dup_share (config : 
     interactive_deadline_s = config.Serve.interactive_deadline_s;
     bulk_deadline_s = config.Serve.bulk_deadline_s;
     dup_share;
+    source;
   }
 
 let configure_faults = function
@@ -551,6 +554,97 @@ let replay_cmd =
       const run $ workers $ capacity $ rate $ interactive_share $ dup_share $ faults $ store
       $ duration $ seed $ json)
 
+(* ------------------------------------------------------------------ *)
+(* Adversarial mining and standing stress replay *)
+
+module Corpus = Veriopt_adversary.Corpus
+module Miner = Veriopt_adversary.Miner
+
+let corpus_arg =
+  Arg.(
+    value
+    & opt string "_corpus"
+    & info [ "corpus" ] ~docv:"DIR" ~doc:"Crash-safe corpus directory (created if missing)")
+
+let mine_cmd =
+  let budget =
+    Arg.(value & opt float 20. & info [ "budget" ] ~docv:"SECONDS" ~doc:"Wall budget for the mine loop")
+  in
+  let max_cases =
+    Arg.(value & opt int 40 & info [ "max-cases" ] ~docv:"N" ~doc:"Stop after committing $(docv) cases")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Miner RNG seed") in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:"Chaos fault spec, e.g. $(b,seed=5,corpus_corrupt=0.05,miner_stall=0.02)")
+  in
+  let run dir budget max_cases seed faults =
+    if not (configure_faults faults) then 2
+    else begin
+      let corpus = Corpus.load ~dir in
+      Fmt.epr "mining into %s (budget %.0fs, seed %d)...@." dir budget seed;
+      let cfg =
+        { Miner.default_config with Miner.mc_seed = seed; mc_budget_s = budget; mc_max_cases = max_cases }
+      in
+      let r = Miner.mine ~cfg corpus in
+      Fault.disable ();
+      Miner.pp_result Fmt.stdout r;
+      Fmt.pr "%a@." Corpus.pp_stats corpus;
+      if r.Miner.r_committed_flips = 0 then 0 else 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "mine"
+       ~doc:
+         "Mine pain-guided adversarial verification pairs into a crash-safe corpus \
+          (minimized under a concrete-oracle guard)")
+    Term.(const run $ corpus_arg $ budget $ max_cases $ seed $ faults)
+
+let stress_cmd =
+  let workers, capacity, rate, _interactive_share, _dup_share, faults, store = serve_args in
+  let duration =
+    Arg.(value & opt float 2.0 & info [ "duration" ] ~docv:"SECONDS" ~doc:"Open-loop generation window")
+  in
+  let seed = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Replayable arrival schedule seed") in
+  let mix =
+    Arg.(
+      value & opt int 100
+      & info [ "mix" ] ~docv:"PCT"
+          ~doc:"Percent of arrivals drawn from the corpus; the rest use the synthetic generators")
+  in
+  let run workers capacity rate faults store dir duration seed mix =
+    if not (configure_faults faults) then 2
+    else begin
+      let corpus = Corpus.load ~dir in
+      let engine =
+        Veriopt_alive.Engine.create ~tier1_samples:4 ~isolate:Veriopt_alive.Engine.Proc ?store ()
+      in
+      let config =
+        { Serve.default_config with Serve.queue_capacity = capacity; workers = max 1 workers }
+      in
+      Fmt.epr "stress-replaying %s for %.1fs at %.0f req/s (mix %d%%)...@." dir duration rate mix;
+      match Miner.stress ~seed ~rate ~duration_s:duration ~mix_pct:mix ~config ~engine corpus with
+      | None ->
+        Fmt.epr "error: corpus at %s decodes to zero queries@." dir;
+        1
+      | Some summary ->
+        Fault.disable ();
+        Traffic.pp_summary Fmt.stdout summary;
+        Fmt.pr "%a@." Corpus.pp_stats corpus;
+        Veriopt.Report.engine_stats Fmt.stdout engine;
+        if summary.Traffic.answered > 0 then 0 else 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:
+         "Drive open-loop traffic replaying the mined corpus through the serving layer, \
+          then drain gracefully")
+    Term.(const run $ workers $ capacity $ rate $ faults $ store $ corpus_arg $ duration $ seed $ mix)
+
 let () =
   let info =
     Cmd.info "veriopt" ~version:"1.0.0"
@@ -568,4 +662,6 @@ let () =
             cost_cmd;
             serve_cmd;
             replay_cmd;
+            mine_cmd;
+            stress_cmd;
           ]))

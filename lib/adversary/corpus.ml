@@ -1,0 +1,209 @@
+(** Crash-safe on-disk corpus of mined pain cases.
+
+    Layout: one Blob-framed file per case ([case-NNNNNN.vadv], written
+    tmp+rename so a torn case file cannot exist) plus a Blob-framed index
+    ([index.vadv]) rewritten atomically after every commit.  Loading scans
+    the directory and reads every case through the CRC frame — the index
+    is a cross-check, not a trust root — so a kill -9 mid-commit loses at
+    most the in-flight case and corruption of any single file degrades to
+    one counted skip, never a torn entry served. *)
+
+module Blob = Veriopt_store.Blob
+module Fault = Veriopt_fault.Fault
+module Parser = Veriopt_ir.Parser
+module Workload = Veriopt_serve.Workload
+
+let case_magic = "VADV"
+let index_magic = "VADX"
+let version = 1
+
+type case = {
+  c_id : int;
+  c_family : string;
+  c_label : string;
+  c_key : string; (* MD5 of Engine.store_key at mine time — the dedup identity *)
+  c_verdict : string;
+  c_pain : float;
+  c_wall_us : int;
+  c_conflicts : int;
+  c_unroll : int; (* 0 = engine default *)
+  c_max_conflicts : int; (* 0 = engine default *)
+  c_semantics : string; (* Engine.semantics_digest at mine time *)
+  c_m_text : string;
+  c_src_text : string;
+  c_tgt_text : string;
+}
+
+type t = {
+  dir : string;
+  mutable cases : case list; (* ascending c_id *)
+  mutable next_id : int;
+  mutable skipped : int;
+  mutable rescans : int;
+  keys : (string, unit) Hashtbl.t;
+}
+
+type stats = { s_cases : int; s_skipped : int; s_rescans : int }
+
+let stats t = { s_cases = List.length t.cases; s_skipped = t.skipped; s_rescans = t.rescans }
+let cases t = t.cases
+let mem_key t key = Hashtbl.mem t.keys key
+let dir t = t.dir
+
+(* ------------------------------------------------------------------ *)
+(* Encoding: scalar fields then the three IR texts, NUL-separated — the
+   printer never emits NUL, families/labels/digests contain none. *)
+
+let encode (c : case) =
+  String.concat "\x00"
+    [
+      string_of_int c.c_id;
+      c.c_family;
+      c.c_label;
+      c.c_key;
+      c.c_verdict;
+      Printf.sprintf "%.6f" c.c_pain;
+      string_of_int c.c_wall_us;
+      string_of_int c.c_conflicts;
+      string_of_int c.c_unroll;
+      string_of_int c.c_max_conflicts;
+      c.c_semantics;
+      c.c_m_text;
+      c.c_src_text;
+      c.c_tgt_text;
+    ]
+
+let decode (s : string) : case option =
+  match String.split_on_char '\x00' s with
+  | [ id; family; label; key; verdict; pain; wall; conf; unroll; maxc; sem; m; src; tgt ] -> (
+    try
+      Some
+        {
+          c_id = int_of_string id;
+          c_family = family;
+          c_label = label;
+          c_key = key;
+          c_verdict = verdict;
+          c_pain = float_of_string pain;
+          c_wall_us = int_of_string wall;
+          c_conflicts = int_of_string conf;
+          c_unroll = int_of_string unroll;
+          c_max_conflicts = int_of_string maxc;
+          c_semantics = sem;
+          c_m_text = m;
+          c_src_text = src;
+          c_tgt_text = tgt;
+        }
+    with _ -> None)
+  | _ -> None
+
+let case_file dir id = Filename.concat dir (Printf.sprintf "case-%06d.vadv" id)
+let index_path dir = Filename.concat dir "index.vadv"
+
+(* One case read: CRC/magic/version mismatches and undecodable payloads
+   are corruption (a counted skip); a missing file is a racing unlink.
+   The corpus_corrupt fault pretends a healthy read was damaged — the
+   required degradation is exactly the skip path. *)
+let read_case path : [ `Case of case | `Corrupt | `Missing ] =
+  if Fault.fire Fault.Corpus_corrupt then `Corrupt
+  else
+    match Blob.read_framed ~magic:case_magic ~version ~path with
+    | Ok payload -> ( match decode payload with Some c -> `Case c | None -> `Corrupt)
+    | Error Blob.Missing -> `Missing
+    | Error _ -> `Corrupt
+
+let write_index t =
+  let lines =
+    List.map
+      (fun c -> Printf.sprintf "%d\t%s\t%s" c.c_id (Filename.basename (case_file t.dir c.c_id)) c.c_key)
+      t.cases
+  in
+  Blob.write_framed ~magic:index_magic ~version ~path:(index_path t.dir)
+    (String.concat "\n" lines)
+
+let is_case_file f =
+  String.length f > 5 && String.sub f 0 5 = "case-" && Filename.check_suffix f ".vadv"
+
+let load ~dir : t =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let t = { dir; cases = []; next_id = 0; skipped = 0; rescans = 0; keys = Hashtbl.create 64 } in
+  let index_ok, indexed =
+    match Blob.read_framed ~magic:index_magic ~version ~path:(index_path dir) with
+    | Ok payload ->
+      let files =
+        String.split_on_char '\n' payload
+        |> List.filter (fun l -> l <> "")
+        |> List.filter_map (fun l ->
+               match String.split_on_char '\t' l with _ :: file :: _ -> Some file | _ -> None)
+      in
+      (true, files)
+    | Error _ -> (false, [])
+  in
+  if not index_ok then t.rescans <- t.rescans + 1;
+  let on_disk =
+    (try Array.to_list (Sys.readdir dir) with Sys_error _ -> []) |> List.filter is_case_file
+  in
+  (* cases the index promises but the scan cannot produce are lost entries *)
+  List.iter (fun f -> if not (List.mem f on_disk) then t.skipped <- t.skipped + 1) indexed;
+  let cases =
+    List.filter_map
+      (fun f ->
+        match read_case (Filename.concat dir f) with
+        | `Case c -> Some c
+        | `Corrupt ->
+          t.skipped <- t.skipped + 1;
+          None
+        | `Missing -> None)
+      on_disk
+  in
+  let cases = List.sort (fun a b -> compare a.c_id b.c_id) cases in
+  t.cases <- cases;
+  t.next_id <- 1 + List.fold_left (fun acc c -> max acc c.c_id) (-1) cases;
+  List.iter (fun c -> Hashtbl.replace t.keys c.c_key ()) cases;
+  (* heal the index when it disagreed with the scan *)
+  if (not index_ok) || List.exists (fun f -> not (List.mem f indexed)) on_disk then write_index t;
+  t
+
+let add t (c : case) : case =
+  let c = { c with c_id = t.next_id } in
+  t.next_id <- t.next_id + 1;
+  (* case first (atomic), index second: a crash between the two is healed
+     by the next load's scan; a crash inside either write leaves only a
+     tmp file or the previous generation *)
+  Blob.write_framed ~magic:case_magic ~version ~path:(case_file t.dir c.c_id) (encode c);
+  t.cases <- t.cases @ [ c ];
+  Hashtbl.replace t.keys c.c_key ();
+  write_index t;
+  c
+
+(* ------------------------------------------------------------------ *)
+(* Consumers *)
+
+let decode_pair (c : case) : Mutate.pair option =
+  try
+    let m = Parser.parse_module c.c_m_text in
+    let src = Parser.parse_func c.c_src_text in
+    let tgt = Parser.parse_func c.c_tgt_text in
+    Some { Mutate.a_m = m; a_src = src; a_tgt = tgt }
+  with _ -> None
+
+let queries t : Workload.query array =
+  List.filter_map
+    (fun c ->
+      match decode_pair c with
+      | None ->
+        t.skipped <- t.skipped + 1;
+        None
+      | Some p ->
+        Some
+          (Workload.of_pair
+             ~label:(c.c_family ^ ":" ^ c.c_label)
+             ?unroll:(if c.c_unroll > 0 then Some c.c_unroll else None)
+             ?max_conflicts:(if c.c_max_conflicts > 0 then Some c.c_max_conflicts else None)
+             p.Mutate.a_m ~src:p.Mutate.a_src ~tgt:p.Mutate.a_tgt))
+    t.cases
+  |> Array.of_list
+
+let pp_stats ppf t =
+  let s = stats t in
+  Fmt.pf ppf "corpus %s: %d cases, %d skipped, %d rescans" t.dir s.s_cases s.s_skipped s.s_rescans

@@ -1,0 +1,59 @@
+(** Crash-safe on-disk corpus of mined pain cases.
+
+    One Blob-framed (CRC + magic + tmp/rename) file per case plus an
+    atomically rewritten Blob-framed index.  Loading rescans the directory
+    and re-reads every case through its CRC frame, so the index is a
+    cross-check rather than a trust root: kill -9 at any instant loses at
+    most the in-flight case, and any damaged file degrades to one counted
+    skip.  The [corpus_corrupt] fault kind forces the skip path on healthy
+    reads. *)
+
+type case = {
+  c_id : int;
+  c_family : string;  (** mutator family that produced the case *)
+  c_label : string;  (** seed lineage, e.g. ["workload:mul-chain"] *)
+  c_key : string;  (** MD5 of [Engine.store_key] at mine time — dedup identity *)
+  c_verdict : string;  (** verdict category name at mine time *)
+  c_pain : float;  (** pain score at mine time *)
+  c_wall_us : int;
+  c_conflicts : int;
+  c_unroll : int;  (** probe unroll bound; [0] = engine default *)
+  c_max_conflicts : int;  (** probe conflict budget; [0] = engine default *)
+  c_semantics : string;  (** [Engine.semantics_digest] at mine time *)
+  c_m_text : string;
+  c_src_text : string;
+  c_tgt_text : string;
+}
+
+type t
+
+type stats = { s_cases : int; s_skipped : int; s_rescans : int }
+
+val load : dir:string -> t
+(** Open (creating the directory if needed) and scan.  Corrupt or
+    undecodable cases are skipped and counted; a missing or corrupt index
+    counts one rescan and is healed from the scan. *)
+
+val add : t -> case -> case
+(** Commit a case ([c_id] is assigned); the case file lands atomically
+    before the index is rewritten.  Returns the stored case. *)
+
+val cases : t -> case list
+(** All live cases, ascending id. *)
+
+val mem_key : t -> string -> bool
+(** Is a case with this dedup key already committed? *)
+
+val stats : t -> stats
+val dir : t -> string
+
+val decode_pair : case -> Mutate.pair option
+(** Re-parse the stored IR texts; [None] (never an exception) on damage
+    that slipped past the CRC, e.g. a semantics-incompatible writer. *)
+
+val queries : t -> Veriopt_serve.Workload.query array
+(** The corpus as replayable workload queries (each with its recorded
+    budget knobs), for [Workload.Mined]/[Mixed] traffic sources.
+    Undecodable cases are skipped and counted. *)
+
+val pp_stats : Format.formatter -> t -> unit

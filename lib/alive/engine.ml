@@ -223,9 +223,21 @@ let proc_handler (r : proc_request) : proc_response =
     in
     P_cube (o, units, Solver.diff (Solver.stats ()) before)
 
+(* Cumulative pain-probe counters (see [verify_pain]): one cell per engine,
+   mutex-guarded because probes may run from any domain. *)
+type pain_cell = {
+  mutable pc_probes : int;
+  mutable pc_inconclusive : int;
+  mutable pc_deadline_expired : int;
+  mutable pc_wall_s : float;
+  mutable pc_max_wall_s : float;
+  pc_mu : Mutex.t;
+}
+
 type t = {
   cache : Alive.verdict Vcache.t;
   tier1_samples : int;
+  tier1_fuel : int;
   breaker_k : int; (* 0 disables the circuit breaker *)
   breaker_cooldown : int;
   isolate : isolate;
@@ -233,6 +245,7 @@ type t = {
   cube_k : int; (* split on the top-k VSIDS vars: 2^k cubes *)
   pool : (proc_request, proc_response) Vproc.t option; (* Some iff isolate = Proc *)
   store : Store.t option; (* the shared disk-backed verdict tier *)
+  pain : pain_cell; (* the adversarial miner's measurement channel *)
 }
 
 let warned_env = Atomic.make false
@@ -263,8 +276,8 @@ let warned_store = Atomic.make false
 let store_dir_of_env () =
   match Sys.getenv_opt "VERIOPT_STORE" with None | Some "" -> None | Some d -> Some d
 
-let create ?(capacity = 8192) ?(tier1_samples = 16) ?(breaker_k = 0) ?(breaker_cooldown = 16)
-    ?isolate ?portfolio ?cube_k ?store () =
+let create ?(capacity = 8192) ?(tier1_samples = 16) ?(tier1_fuel = 200_000) ?(breaker_k = 0)
+    ?(breaker_cooldown = 16) ?isolate ?portfolio ?cube_k ?store () =
   let portfolio = max 1 (match portfolio with Some p -> p | None -> portfolio_of_env ()) in
   let cube_k = max 0 (min 6 (match cube_k with Some k -> k | None -> cube_k_of_env ())) in
   let isolate =
@@ -334,6 +347,7 @@ let create ?(capacity = 8192) ?(tier1_samples = 16) ?(breaker_k = 0) ?(breaker_c
   {
     cache;
     tier1_samples = max 0 tier1_samples;
+    tier1_fuel = max 1 tier1_fuel;
     breaker_k = max 0 breaker_k;
     breaker_cooldown = max 1 breaker_cooldown;
     isolate;
@@ -341,6 +355,15 @@ let create ?(capacity = 8192) ?(tier1_samples = 16) ?(breaker_k = 0) ?(breaker_c
     cube_k;
     pool;
     store;
+    pain =
+      {
+        pc_probes = 0;
+        pc_inconclusive = 0;
+        pc_deadline_expired = 0;
+        pc_wall_s = 0.;
+        pc_max_wall_s = 0.;
+        pc_mu = Mutex.create ();
+      };
   }
 
 let isolate t = t.isolate
@@ -733,7 +756,9 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline ?(reduce = t
         if t.tier1_samples = 0 || Builder.alpha_equal src tgt then tier2 ()
         else begin
           let t0 = now () in
-          let hunt = Exec_oracle.equivalent ~samples:t.tier1_samples m ~src ~tgt in
+          let hunt =
+            Exec_oracle.equivalent ~samples:t.tier1_samples ~fuel:t.tier1_fuel m ~src ~tgt
+          in
           let dt = now () -. t0 in
           match hunt with
           | Exec_oracle.Io_different args ->
@@ -783,3 +808,80 @@ let verify_text ?unroll ?max_conflicts ?deadline ?reduce ?incremental ?sat (t : 
       }
     | Ok () ->
       verify_funcs ?unroll ?max_conflicts ?deadline ?reduce ?incremental ?sat t m ~src ~tgt)
+
+(* ------------------------------------------------------------------ *)
+(* Pain probes: one timed, deadline-bounded verification plus the deltas of
+   every misbehaviour counter the resilience layer keeps.  The adversarial
+   miner scores candidates on this record. *)
+
+type pain = {
+  p_verdict : Alive.verdict;
+  p_wall_s : float; (* wall time of this probe *)
+  p_deadline_frac : float; (* wall / budget, >= 1. when the deadline expired *)
+  p_conflicts : int; (* SAT conflicts this probe burned (in-process tiers) *)
+  p_breaker_trips : int; (* circuit-breaker opens during the probe *)
+  p_worker_kills : int; (* vproc hard-deadline SIGKILLs (process-global) *)
+  p_worker_crashes : int; (* vproc workers that died on their own *)
+  p_tier2_runs : int; (* SMT-tier entries (0 = settled by tier 0/1) *)
+  p_cached : bool; (* answered from cache/store: no fresh work measured *)
+}
+
+type pain_stats = {
+  probes : int;
+  probe_inconclusive : int;
+  probe_deadline_expired : int;
+  probe_wall_s : float;
+  probe_max_wall_s : float;
+}
+
+let pain_stats t =
+  let c = t.pain in
+  Mutex.lock c.pc_mu;
+  let s =
+    {
+      probes = c.pc_probes;
+      probe_inconclusive = c.pc_inconclusive;
+      probe_deadline_expired = c.pc_deadline_expired;
+      probe_wall_s = c.pc_wall_s;
+      probe_max_wall_s = c.pc_max_wall_s;
+    }
+  in
+  Mutex.unlock c.pc_mu;
+  s
+
+let verify_pain ?unroll ?max_conflicts ?(budget_s = 0.05) ?reduce ?incremental ?sat (t : t)
+    (m : Ast.modul) ~(src : Ast.func) ~(tgt : Ast.func) : pain =
+  let vs0 = Vcache.stats t.cache in
+  let ss0 = Solver.stats () in
+  let ps0 = Vproc.stats () in
+  let t0 = now () in
+  let budget_s = Float.max 0.001 budget_s in
+  let v =
+    verify_funcs ?unroll ?max_conflicts ~deadline:(t0 +. budget_s) ?reduce ?incremental ?sat
+      t m ~src ~tgt
+  in
+  let wall = now () -. t0 in
+  let vs1 = Vcache.stats t.cache in
+  let ss1 = Solver.stats () in
+  let ps1 = Vproc.stats () in
+  let sdelta = Solver.diff ss1 ss0 in
+  let expired = v.Alive.category = Alive.Inconclusive && wall >= budget_s in
+  let c = t.pain in
+  Mutex.lock c.pc_mu;
+  c.pc_probes <- c.pc_probes + 1;
+  if v.Alive.category = Alive.Inconclusive then c.pc_inconclusive <- c.pc_inconclusive + 1;
+  if expired then c.pc_deadline_expired <- c.pc_deadline_expired + 1;
+  c.pc_wall_s <- c.pc_wall_s +. wall;
+  c.pc_max_wall_s <- Float.max c.pc_max_wall_s wall;
+  Mutex.unlock c.pc_mu;
+  {
+    p_verdict = v;
+    p_wall_s = wall;
+    p_deadline_frac = wall /. budget_s;
+    p_conflicts = sdelta.Solver.conflicts;
+    p_breaker_trips = vs1.Vcache.breaker_trips - vs0.Vcache.breaker_trips;
+    p_worker_kills = ps1.Vproc.killed - ps0.Vproc.killed;
+    p_worker_crashes = ps1.Vproc.crashed - ps0.Vproc.crashed;
+    p_tier2_runs = vs1.Vcache.tier2_runs - vs0.Vcache.tier2_runs;
+    p_cached = vs1.Vcache.hits > vs0.Vcache.hits;
+  }

@@ -41,6 +41,7 @@ val isolate_of_env : unit -> isolate
 val create :
   ?capacity:int ->
   ?tier1_samples:int ->
+  ?tier1_fuel:int ->
   ?breaker_k:int ->
   ?breaker_cooldown:int ->
   ?isolate:isolate ->
@@ -51,7 +52,10 @@ val create :
   t
 (** [capacity] bounds the verdict cache (default 8192 per generation);
     [tier1_samples] is the concrete-oracle battery size (default 16;
-    [0] disables tier 1).
+    [0] disables tier 1); [tier1_fuel] bounds each concrete run (default
+    200k steps — the miner lowers it so loopy mutants cannot stall the
+    battery; an exhausted run never distinguishes, so a small budget only
+    weakens tier 1, it cannot make it wrong).
 
     [breaker_k] (default 0 = disabled) arms the circuit breaker: after
     [breaker_k] consecutive inconclusive tier-2 verdicts the SMT tier is
@@ -149,6 +153,56 @@ val verify_text :
 val stats : t -> Vcache.stats
 val reset_stats : t -> unit
 (** Clear the cache and zero every counter (between bench phases). *)
+
+(** {1 Pain probes}
+
+    The adversarial miner's measurement channel: one timed,
+    deadline-bounded verification plus the deltas of every misbehaviour
+    counter the resilience layer keeps. *)
+
+type pain = {
+  p_verdict : Alive.verdict;
+  p_wall_s : float;  (** wall time of this probe *)
+  p_deadline_frac : float;  (** wall / budget; >= 1. when the deadline expired *)
+  p_conflicts : int;
+      (** SAT conflicts this probe burned.  Read from the process-global
+          solver counters, so only meaningful for single-threaded probing on
+          the in-process (Domains) backend. *)
+  p_breaker_trips : int;  (** circuit-breaker opens during the probe *)
+  p_worker_kills : int;  (** vproc hard-deadline SIGKILLs (process-global) *)
+  p_worker_crashes : int;  (** vproc workers that died on their own *)
+  p_tier2_runs : int;  (** SMT-tier entries (0 = settled by tier 0/1) *)
+  p_cached : bool;  (** answered from cache/store: no fresh work measured *)
+}
+
+type pain_stats = {
+  probes : int;
+  probe_inconclusive : int;
+  probe_deadline_expired : int;
+  probe_wall_s : float;
+  probe_max_wall_s : float;
+}
+
+val verify_pain :
+  ?unroll:int ->
+  ?max_conflicts:int ->
+  ?budget_s:float ->
+  ?reduce:bool ->
+  ?incremental:bool ->
+  ?sat:Veriopt_smt.Sat.config ->
+  t ->
+  Veriopt_ir.Ast.modul ->
+  src:Veriopt_ir.Ast.func ->
+  tgt:Veriopt_ir.Ast.func ->
+  pain
+(** {!verify_funcs} under a relative deadline of [budget_s] seconds from now
+    (default 0.05), returning the verdict together with the probe's cost
+    deltas.  A cache or store hit sets [p_cached] — the probe measured
+    nothing fresh and the miner should discard it (mine with a small or
+    reset cache). *)
+
+val pain_stats : t -> pain_stats
+(** Cumulative {!verify_pain} totals for this engine (report surface). *)
 
 (** {1 The disk-backed verdict store} *)
 

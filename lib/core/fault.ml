@@ -17,6 +17,7 @@
                 | worker_hang | worker_oom
                 | queue_full | slow_drain | client_disconnect
                 | store_corrupt | store_stale
+                | corpus_corrupt | miner_stall
       RATE    ::= float in [0, 1]
       PARAM   ::= float (kind-specific: seconds for verify_delay,
                   last completed step for trainer_abort)
@@ -38,6 +39,8 @@ type kind =
   | Client_disconnect  (** the client vanishes before its result is ready *)
   | Store_corrupt  (** the verdict store treats a present entry as CRC-damaged *)
   | Store_stale  (** the verdict store treats a present entry as version-stale *)
+  | Corpus_corrupt  (** the adversarial corpus scan treats a case as damaged *)
+  | Miner_stall  (** the miner loop stalls [param] seconds on a candidate *)
 
 exception Injected of string
 
@@ -56,6 +59,8 @@ let all_kinds =
     Client_disconnect;
     Store_corrupt;
     Store_stale;
+    Corpus_corrupt;
+    Miner_stall;
   ]
 
 let nkinds = List.length all_kinds
@@ -74,6 +79,8 @@ let index = function
   | Client_disconnect -> 10
   | Store_corrupt -> 11
   | Store_stale -> 12
+  | Corpus_corrupt -> 13
+  | Miner_stall -> 14
 
 let kind_name = function
   | Solver_timeout -> "solver_timeout"
@@ -89,6 +96,8 @@ let kind_name = function
   | Client_disconnect -> "client_disconnect"
   | Store_corrupt -> "store_corrupt"
   | Store_stale -> "store_stale"
+  | Corpus_corrupt -> "corpus_corrupt"
+  | Miner_stall -> "miner_stall"
 
 let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
 

@@ -11,7 +11,7 @@
     [solver_timeout], [parse_corrupt], [verify_delay], [worker_exn],
     [oracle_exn], [trainer_abort], [worker_hang], [worker_oom],
     [queue_full], [slow_drain], [client_disconnect],
-    [store_corrupt], [store_stale];
+    [store_corrupt], [store_stale], [corpus_corrupt], [miner_stall];
     [RATE] is in [0, 1]; [PARAM] is
     kind-specific (seconds for [verify_delay] and [slow_drain], the last
     completed step for [trainer_abort]).
@@ -49,6 +49,12 @@ type kind =
   | Store_stale
       (** the verdict store treats a present entry as written under a
           foreign semantics version: a counted, skipped miss *)
+  | Corpus_corrupt
+      (** the adversarial corpus scan treats a present case as damaged: a
+          counted skipped case, never a crash or a wrong replay *)
+  | Miner_stall
+      (** the miner loop stalls [param] seconds on a candidate, exercising
+          the mining budget's overrun accounting *)
 
 exception Injected of string
 (** The exception every exception-kind site raises; the crash-proof reward

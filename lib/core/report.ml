@@ -254,6 +254,13 @@ let engine_stats ppf (engine : Veriopt_alive.Engine.t) =
   if s.Veriopt_alive.Vcache.breaker_trips > 0 || s.Veriopt_alive.Vcache.breaker_skips > 0 then
     Fmt.pf ppf "  breaker: %d trips, %d tier-2 runs skipped while open@."
       s.Veriopt_alive.Vcache.breaker_trips s.Veriopt_alive.Vcache.breaker_skips;
+  (let p = Veriopt_alive.Engine.pain_stats engine in
+   if p.Veriopt_alive.Engine.probes > 0 then
+     Fmt.pf ppf
+       "  pain:   %d probes, %d inconclusive, %d deadline-expired, %.2fs wall (max %.0fms)@."
+       p.Veriopt_alive.Engine.probes p.Veriopt_alive.Engine.probe_inconclusive
+       p.Veriopt_alive.Engine.probe_deadline_expired p.Veriopt_alive.Engine.probe_wall_s
+       (p.Veriopt_alive.Engine.probe_max_wall_s *. 1e3));
   (match Veriopt_alive.Engine.store_stats engine with
   | None -> ()
   | Some st ->

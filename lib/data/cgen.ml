@@ -21,12 +21,16 @@ type expr =
   | Bin of binop * expr * expr
   | Cmp of cmp * expr * expr (* yields int (0/1) as in C *)
   | Cond of expr * expr * expr (* ternary *)
+  | Sel of expr * expr * expr (* branchless ternary: both arms evaluate, lowers to select *)
+  | Idx of string * expr (* a[e] — array read, lowers to a non-constant GEP *)
   | Call of string * expr list
   | Cast of ty * expr
 
 type stmt =
   | Decl of string * ty * expr
+  | DeclArr of string * ty * int (* ty a[n] = {0}; n is a power of two *)
   | Assign of string * expr
+  | AssignIdx of string * expr * expr (* a[e1] = e2 *)
   | If of expr * stmt list * stmt list
   | Switch of string * (int64 * stmt list) list * stmt list (* break-style switch *)
   | For of string * int * stmt list (* for (i = 0; i < n; i++) — bounded *)
@@ -50,6 +54,14 @@ type profile = {
   allow_loops : bool;
   allow_calls : bool;
   idiom_bias : float; (* probability that an expression is a cleanup idiom *)
+  (* Adversarial widening knobs.  All default to 0., and every use site is
+     guarded by [bias > 0.] BEFORE drawing from the RNG, so [default_profile]
+     consumes the exact same random stream as before these fields existed
+     (seed stability is pinned by test). *)
+  gep_bias : float; (* local arrays with non-constant (masked) GEP indexing *)
+  select_bias : float; (* branchless ternaries that lower straight to select *)
+  phi_bias : float; (* extra value-merging diamonds (phi-heavy CFGs) *)
+  ovf_bias : float; (* nsw arithmetic pinned near the signed overflow boundary *)
 }
 
 let default_profile =
@@ -60,11 +72,27 @@ let default_profile =
     allow_loops = true;
     allow_calls = true;
     idiom_bias = 0.45;
+    gep_bias = 0.;
+    select_bias = 0.;
+    phi_bias = 0.;
+    ovf_bias = 0.;
+  }
+
+(** The adversarial-widening profile the miner seeds from: every new shape
+    family switched on at once, on top of the default mix. *)
+let adversarial_profile =
+  {
+    default_profile with
+    gep_bias = 0.25;
+    select_bias = 0.2;
+    phi_bias = 0.2;
+    ovf_bias = 0.25;
   }
 
 type gen_state = {
   rng : Random.State.t;
   mutable vars : (string * ty) list; (* in scope, initialized *)
+  mutable arrays : (string * ty * int) list; (* in scope, zero-initialized *)
   mutable counter : int;
   mutable used_call : bool;
   profile : profile;
@@ -89,6 +117,20 @@ let vars_of_ty st ty = List.filter (fun (_, t) -> t = ty) st.vars
 
 let rec random_expr st ty depth : expr =
   if depth <= 0 || chance st 0.25 then random_leaf st ty
+  else if st.profile.gep_bias > 0. && st.arrays <> [] && chance st st.profile.gep_bias then
+    random_index st ty depth
+  else if st.profile.select_bias > 0. && chance st st.profile.select_bias then
+    Sel
+      ( Cmp (pick st [ CLt; CNe; CGt; CLe ], random_leaf st ty, random_const st ty),
+        random_expr st ty (depth - 1),
+        random_expr st ty (depth - 1) )
+  else if st.profile.phi_bias > 0. && chance st st.profile.phi_bias then
+    Cond
+      ( Cmp (pick st [ CLt; CNe; CEq ], random_leaf st ty, random_const st ty),
+        random_expr st ty (depth - 1),
+        random_expr st ty (depth - 1) )
+  else if st.profile.ovf_bias > 0. && chance st st.profile.ovf_bias then
+    random_overflow st ty depth
   else if chance st st.profile.idiom_bias then random_idiom st ty depth
   else
     match Random.State.int st.rng 10 with
@@ -151,11 +193,53 @@ and random_idiom st ty depth : expr =
     (* x + c1 + c2 *)
     Bin (CAdd, Bin (CAdd, x (), random_const st ty), random_const st ty)
 
+(* An array read with a non-constant, mask-bounded index: a[e & (n-1)].
+   Masking with the power-of-two size keeps every access in bounds (UB-free)
+   while leaving the index genuinely symbolic for the verifier. *)
+and random_index st ty depth : expr =
+  let a, aty, n = pick st st.arrays in
+  let idx =
+    Bin (CAnd, random_expr st I32 (depth - 1), Const (I32, Int64.of_int (n - 1)))
+  in
+  let read = Idx (a, idx) in
+  if aty = ty then read else Cast (ty, read)
+
+(* nsw/nuw-sensitive arithmetic: operands pinned next to the signed boundary,
+   where the lowered `add nsw`/`mul nsw` flags decide poison. *)
+and random_overflow st ty depth : expr =
+  let w = bits ty in
+  let smax = Int64.sub (Int64.shift_left 1L (w - 1)) 1L in
+  let near =
+    pick st [ smax; Int64.sub smax 1L; Int64.neg (Int64.add smax 1L); Int64.sub smax 2L ]
+  in
+  let op = pick st [ CAdd; CSub; CMul ] in
+  Bin (op, random_expr st ty (depth - 1), Const (ty, Veriopt_ir.Bits.mask w near))
+
+(* A guarded array statement: declare a fresh power-of-two array or store
+   through a non-constant index into one already in scope. *)
+let random_array_stmt st ~depth : stmt =
+  if st.arrays = [] || chance st 0.3 then begin
+    let name = fresh st "a" in
+    let ty = pick st [ I8; I16; I32; I64 ] in
+    let n = pick st [ 4; 4; 8; 8; 16 ] in
+    st.arrays <- (name, ty, n) :: st.arrays;
+    DeclArr (name, ty, n)
+  end
+  else
+    let a, aty, n = pick st st.arrays in
+    let idx =
+      Bin (CAnd, random_expr st I32 (depth - 1), Const (I32, Int64.of_int (n - 1)))
+    in
+    AssignIdx (a, idx, random_expr st aty depth)
+
 let random_stmts st ~depth ~count ~ret_ty : stmt list =
   let rec stmts n acc =
     if n = 0 then List.rev acc
     else
       let s =
+        if st.profile.gep_bias > 0. && chance st st.profile.gep_bias then
+          random_array_stmt st ~depth
+        else
         match Random.State.int st.rng 8 with
         | 0 | 1 | 2 ->
           let ty = pick st [ I8; I16; I32; I64 ] in
@@ -169,18 +253,21 @@ let random_stmts st ~depth ~count ~ret_ty : stmt list =
         | 4 when st.profile.allow_branches ->
           let ty = match st.vars with (_, t) :: _ -> t | [] -> I32 in
           let cond = Cmp (pick st [ CLt; CGt; CEq; CNe ], random_leaf st ty, random_const st ty) in
-          let saved = st.vars in
+          let saved = st.vars and saved_arrays = st.arrays in
           let then_ = stmts (1 + Random.State.int st.rng 2) [] in
           st.vars <- saved;
+          st.arrays <- saved_arrays;
           let else_ = if chance st 0.5 then stmts (1 + Random.State.int st.rng 2) [] else [] in
           st.vars <- saved;
+          st.arrays <- saved_arrays;
           If (cond, then_, else_)
         | 5 when st.profile.allow_loops ->
           let i = fresh st "i" in
-          let saved = st.vars in
+          let saved = st.vars and saved_arrays = st.arrays in
           st.vars <- (i, I32) :: st.vars;
           let body = stmts (1 + Random.State.int st.rng 2) [] in
           st.vars <- saved;
+          st.arrays <- saved_arrays;
           For (i, 1 + Random.State.int st.rng 3, body)
         | 6 when st.profile.allow_calls && not st.used_call ->
           st.used_call <- true;
@@ -188,15 +275,17 @@ let random_stmts st ~depth ~count ~ret_ty : stmt list =
         | 7 when st.profile.allow_branches && st.vars <> [] && chance st 0.35 ->
           (* a small break-style switch over an existing variable *)
           let v, _ = pick st st.vars in
-          let saved = st.vars in
+          let saved = st.vars and saved_arrays = st.arrays in
           let case c =
             let body = stmts (1 + Random.State.int st.rng 2) [] in
             st.vars <- saved;
+            st.arrays <- saved_arrays;
             (c, body)
           in
           let cases = List.map case [ 0L; 1L; pick st [ 2L; 3L; 7L ] ] in
           let default = stmts 1 [] in
           st.vars <- saved;
+          st.arrays <- saved_arrays;
           Switch (v, cases, default)
         | _ ->
           let ty = pick st [ I8; I16; I32; I64 ] in
@@ -214,7 +303,7 @@ let random_stmts st ~depth ~count ~ret_ty : stmt list =
 (** Generate one function.  Deterministic in [seed]. *)
 let generate ?(profile = default_profile) ~seed ~name () : cfunc =
   let rng = Random.State.make [| seed; 0x5eed |] in
-  let st = { rng; vars = []; counter = 0; used_call = false; profile } in
+  let st = { rng; vars = []; arrays = []; counter = 0; used_call = false; profile } in
   let nparams = 1 + Random.State.int rng 3 in
   let params =
     List.init nparams (fun i -> (Fmt.str "p%d" i, pick st [ I8; I16; I32; I64 ]))

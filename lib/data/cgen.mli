@@ -15,12 +15,19 @@ type expr =
   | Bin of binop * expr * expr
   | Cmp of cmp * expr * expr
   | Cond of expr * expr * expr
+  | Sel of expr * expr * expr
+      (** branchless ternary: both arms evaluate, lowers straight to [select] *)
+  | Idx of string * expr  (** [a[e]] — array read, lowers to a non-constant GEP *)
   | Call of string * expr list
   | Cast of ty * expr
 
 type stmt =
   | Decl of string * ty * expr
+  | DeclArr of string * ty * int
+      (** [ty a[n] = {0};] — [n] a power of two, so masked indexing stays in
+          bounds *)
   | Assign of string * expr
+  | AssignIdx of string * expr * expr  (** [a[e1] = e2] *)
   | If of expr * stmt list * stmt list
   | Switch of string * (int64 * stmt list) list * stmt list
   | For of string * int * stmt list
@@ -42,8 +49,19 @@ type profile = {
   allow_loops : bool;
   allow_calls : bool;
   idiom_bias : float;
+  gep_bias : float;  (** local arrays with non-constant (masked) GEP indexing *)
+  select_bias : float;  (** branchless ternaries that lower straight to select *)
+  phi_bias : float;  (** extra value-merging diamonds (phi-heavy CFGs) *)
+  ovf_bias : float;  (** nsw arithmetic pinned near the signed overflow boundary *)
 }
 
 val default_profile : profile
+(** The historical mix.  The four adversarial biases are 0. and are guarded
+    before any RNG draw, so generation under [default_profile] is
+    bit-identical to what it was before they existed (pinned by test). *)
+
+val adversarial_profile : profile
+(** [default_profile] with every adversarial shape family switched on; the
+    miner's seed profile. *)
 
 val generate : ?profile:profile -> seed:int -> name:string -> unit -> cfunc

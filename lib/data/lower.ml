@@ -19,6 +19,7 @@ type lstate = {
   mutable cur_instrs : named_instr list; (* reversed *)
   mutable entry_allocas : named_instr list; (* reversed *)
   mutable slots : (string * (var * Cgen.ty)) list; (* C var -> alloca, type *)
+  mutable arr_slots : (string * (var * Cgen.ty * int)) list; (* C array -> alloca, elt ty, length *)
   mutable counter : int;
   retval : var;
   ret_ty : Cgen.ty;
@@ -56,6 +57,11 @@ let slot_of st cvar =
   | Some s -> s
   | None -> invalid_arg (Fmt.str "Lower.slot_of: unknown variable %s" cvar)
 
+let arr_slot_of st cvar =
+  match List.assoc_opt cvar st.arr_slots with
+  | Some s -> s
+  | None -> invalid_arg (Fmt.str "Lower.arr_slot_of: unknown array %s" cvar)
+
 let load_var st cvar =
   let slot, ty = slot_of st cvar in
   ( emit_value st "t"
@@ -73,6 +79,10 @@ let rec infer_ty st (e : Cgen.expr) : Cgen.ty =
   | Cgen.Bin (_, a, _) -> infer_ty st a
   | Cgen.Cmp _ -> Cgen.I32 (* C comparisons yield int *)
   | Cgen.Cond (_, a, _) -> infer_ty st a
+  | Cgen.Sel (_, a, _) -> infer_ty st a
+  | Cgen.Idx (a, _) ->
+    let _, ty, _ = arr_slot_of st a in
+    ty
   | Cgen.Call _ -> Cgen.I32
   | Cgen.Cast (ty, _) -> ty
 
@@ -146,6 +156,18 @@ let rec lower_expr st (e : Cgen.expr) : operand =
     start_block st end_l;
     emit_value st "cond"
       (Phi { ty = ir_ty ty; incoming = [ (av, true_exit); (bv, false_exit) ] })
+  | Cgen.Sel (c, a, b) ->
+    (* branchless ternary: both arms evaluate eagerly, then a select *)
+    let ty = infer_ty st a in
+    let cv = lower_cond st c in
+    let av = lower_expr st a in
+    let av = cast_to st (infer_ty st a) ty av in
+    let bv = lower_expr st b in
+    let bv = cast_to st (infer_ty st b) ty bv in
+    emit_value st "sel" (Select { ty = ir_ty ty; cond = cv; if_true = av; if_false = bv })
+  | Cgen.Idx (a, idx) ->
+    let p, ty = lower_arr_addr st a idx in
+    emit_value st "t" (Load { ty = ir_ty ty; ptr = p; align = Cgen.bits ty / 8 })
   | Cgen.Call (callee, args) ->
     let argv = List.map (fun a -> (Types.i32, cast_to st (infer_ty st a) Cgen.I32 (lower_expr st a))) args in
     emit_value st "call" (Call { ret_ty = Types.i32; callee; args = argv })
@@ -167,16 +189,63 @@ and lower_cond st (e : Cgen.expr) : operand =
     emit_value st "tobool"
       (Icmp { pred = Ne; ty = ir_ty ty; lhs = v; rhs = const_int (Cgen.bits ty) 0L })
 
+(* The canonical clang array-access shape: sign-extend the index to i64, then
+   one two-index GEP (`0` over the whole array, then the element index). *)
+and lower_arr_addr st a idx : operand * Cgen.ty =
+  let slot, ty, n = arr_slot_of st a in
+  let iv = cast_to st (infer_ty st idx) Cgen.I64 (lower_expr st idx) in
+  let p =
+    emit_value st "arrayidx"
+      (Gep
+         {
+           base_ty = Types.Array (n, ir_ty ty);
+           ptr = Var slot;
+           indices = [ (Types.i64, const_int 64 0L); (Types.i64, iv) ];
+           inbounds = true;
+         })
+  in
+  (p, ty)
+
 let rec lower_stmt st (s : Cgen.stmt) : unit =
   match s with
   | Cgen.Decl (v, ty, e) ->
     let value = cast_to st (infer_ty st e) ty (lower_expr st e) in
     let _slot = add_slot st v ty in
     store_var st v value
+  | Cgen.DeclArr (v, ty, n) ->
+    let slot = fresh st (v ^ ".addr.") in
+    st.entry_allocas <-
+      {
+        name = Some slot;
+        instr = Alloca { ty = Types.Array (n, ir_ty ty); align = Cgen.bits ty / 8 };
+      }
+      :: st.entry_allocas;
+    st.arr_slots <- (v, (slot, ty, n)) :: st.arr_slots;
+    (* `= {0}` zero-init, element by element (no memset in the IR subset) *)
+    for i = 0 to n - 1 do
+      let p =
+        emit_value st "arrayinit"
+          (Gep
+             {
+               base_ty = Types.Array (n, ir_ty ty);
+               ptr = Var slot;
+               indices =
+                 [ (Types.i64, const_int 64 0L); (Types.i64, const_int 64 (Int64.of_int i)) ];
+               inbounds = true;
+             })
+      in
+      emit st None
+        (Store
+           { ty = ir_ty ty; value = const_int (Cgen.bits ty) 0L; ptr = p; align = Cgen.bits ty / 8 })
+    done
   | Cgen.Assign (v, e) ->
     let _, ty = slot_of st v in
     let value = cast_to st (infer_ty st e) ty (lower_expr st e) in
     store_var st v value
+  | Cgen.AssignIdx (a, idx, e) ->
+    let p, ty = lower_arr_addr st a idx in
+    let value = cast_to st (infer_ty st e) ty (lower_expr st e) in
+    emit st None (Store { ty = ir_ty ty; value; ptr = p; align = Cgen.bits ty / 8 })
   | Cgen.If (c, then_, else_) ->
     let cv = lower_cond st c in
     let then_l = fresh st "if.then." in
@@ -186,14 +255,16 @@ let rec lower_stmt st (s : Cgen.stmt) : unit =
     finish_block st
       (CondBr { cond = cv; if_true = then_l; if_false = (if has_else then else_l else end_l) });
     start_block st then_l;
-    let saved = st.slots in
+    let saved = st.slots and saved_arrs = st.arr_slots in
     List.iter (lower_stmt st) then_;
     st.slots <- saved;
+    st.arr_slots <- saved_arrs;
     finish_block st (Br end_l);
     if has_else then begin
       start_block st else_l;
       List.iter (lower_stmt st) else_;
       st.slots <- saved;
+      st.arr_slots <- saved_arrs;
       finish_block st (Br end_l)
     end;
     start_block st end_l
@@ -214,15 +285,17 @@ let rec lower_stmt st (s : Cgen.stmt) : unit =
     List.iter2
       (fun (_, body) (_, l) ->
         start_block st l;
-        let saved = st.slots in
+        let saved = st.slots and saved_arrs = st.arr_slots in
         List.iter (lower_stmt st) body;
         st.slots <- saved;
+        st.arr_slots <- saved_arrs;
         finish_block st (Br end_l))
       cases case_labels;
     start_block st default_l;
-    let saved = st.slots in
+    let saved = st.slots and saved_arrs = st.arr_slots in
     List.iter (lower_stmt st) default;
     st.slots <- saved;
+    st.arr_slots <- saved_arrs;
     finish_block st (Br end_l);
     start_block st end_l
   | Cgen.For (i, n, body) ->
@@ -241,9 +314,10 @@ let rec lower_stmt st (s : Cgen.stmt) : unit =
     in
     finish_block st (CondBr { cond = cv; if_true = body_l; if_false = end_l });
     start_block st body_l;
-    let saved = st.slots in
+    let saved = st.slots and saved_arrs = st.arr_slots in
     List.iter (lower_stmt st) body;
     st.slots <- saved;
+    st.arr_slots <- saved_arrs;
     finish_block st (Br inc_l);
     start_block st inc_l;
     let iv2, _ = load_var st i in
@@ -288,6 +362,7 @@ let lower (cf : Cgen.cfunc) : modul * func =
       cur_instrs = [];
       entry_allocas = [];
       slots = [];
+      arr_slots = [];
       counter = 0;
       retval = "retval";
       ret_ty = cf.Cgen.ret;

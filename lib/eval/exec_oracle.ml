@@ -33,16 +33,20 @@ let outcome_key (o : Interp.outcome) =
 
 (* One function's behavior on one input vector, with UB as a distinct
    observable class (finite testing treats a crash as an output). *)
-let run_one (m : modul) (f : func) (args : Interp.value list) =
-  match Interp.run ~fuel:200_000 m f args with
+let run_one ?(fuel = 200_000) (m : modul) (f : func) (args : Interp.value list) =
+  match Interp.run ~fuel m f args with
   | o -> `Ok (outcome_key o)
   | exception Interp.Undefined_behavior _ -> `Ub
   | exception Interp.Out_of_fuel -> `Timeout
 
 (** Compare [src] and [tgt] on [samples] input vectors (default 32, the
     LIMIT=32 of the paper's artifact).  Mirrors the refinement direction:
-    source UB tolerates anything; otherwise observations must agree. *)
-let equivalent ?(samples = 32) ?(seed = 7) (m : modul) ~(src : func) ~(tgt : func) : verdict =
+    source UB tolerates anything; otherwise observations must agree.
+    [fuel] bounds each run; a sample where either side runs out never
+    distinguishes, so a smaller budget only weakens the oracle, it cannot
+    make it wrong. *)
+let equivalent ?(samples = 32) ?(seed = 7) ?fuel (m : modul) ~(src : func) ~(tgt : func) :
+    verdict =
   (* fault site: the concrete oracle crashing on a hostile candidate *)
   Veriopt_fault.Fault.inject Veriopt_fault.Fault.Oracle_exn ~site:"exec_oracle.equivalent";
   if
@@ -81,7 +85,7 @@ let equivalent ?(samples = 32) ?(seed = 7) (m : modul) ~(src : func) ~(tgt : fun
             List.length ga = List.length gb
             && List.for_all2 (fun (_, a) (_, b) -> values_agree (Some a) (Some b)) ga gb
           in
-          match (run_one m src args, run_one m tgt args) with
+          match (run_one ?fuel m src args, run_one ?fuel m tgt args) with
           | `Ub, _ -> false (* refinement: source UB allows anything *)
           | `Timeout, _ | _, `Timeout -> false
           | `Ok _, `Ub -> true

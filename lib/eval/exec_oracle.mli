@@ -20,9 +20,12 @@ val random_value : Random.State.t -> int -> int64
 val equivalent :
   ?samples:int ->
   ?seed:int ->
+  ?fuel:int ->
   Veriopt_ir.Ast.modul ->
   src:Veriopt_ir.Ast.func ->
   tgt:Veriopt_ir.Ast.func ->
   verdict
 (** Compare on boundary values plus seeded random vectors (default 32 total,
-    the paper artifact's LIMIT=32), in the refinement direction. *)
+    the paper artifact's LIMIT=32), in the refinement direction.  [fuel]
+    bounds each concrete run (default 200k steps); an exhausted run never
+    distinguishes, so lowering it only weakens the oracle. *)

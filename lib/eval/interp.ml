@@ -23,7 +23,10 @@ type allocation = { bytes : Bytes.t; poisoned : bool array }
 
 type state = {
   modul : modul;
-  mutable locals : (var * value) list;
+  locals : (var, value) Hashtbl.t;
+      (* latest binding wins, as in SSA re-execution of a loop body; a
+         hashtable keeps lookup O(1) where an assoc list would make long
+         loops quadratic in trip count *)
   allocations : (int, allocation) Hashtbl.t;
   global_base : (gname, int) Hashtbl.t;
   mutable next_base : int;
@@ -63,7 +66,7 @@ let create ?(fuel = 100_000) ?(external_fn = default_external) ?(undef_value = d
   let state =
     {
       modul;
-      locals = [];
+      locals = Hashtbl.create 64;
       allocations = Hashtbl.create 16;
       global_base = Hashtbl.create 4;
       next_base = 1;
@@ -88,7 +91,7 @@ let create ?(fuel = 100_000) ?(external_fn = default_external) ?(undef_value = d
   state
 
 let lookup state v =
-  match List.assoc_opt v state.locals with
+  match Hashtbl.find_opt state.locals v with
   | Some value -> value
   | None -> ub "use of undefined value %%%s" v
 
@@ -242,9 +245,9 @@ let run ?(fuel = 100_000) ?external_fn ?undef_value (modul : modul) (f : func)
     (args : value list) : outcome =
   let state = create ~fuel ?external_fn ?undef_value modul in
   if List.length args <> List.length f.params then ub "wrong number of arguments";
-  state.locals <- List.map2 (fun (_, v) a -> (v, a)) f.params args;
+  List.iter2 (fun (_, v) a -> Hashtbl.replace state.locals v a) f.params args;
   let steps = ref 0 in
-  let set name v = state.locals <- (name, v) :: state.locals in
+  let set name v = Hashtbl.replace state.locals name v in
   let current = ref (entry_block f) in
   let previous = ref None in
   let result = ref None in

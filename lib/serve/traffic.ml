@@ -8,6 +8,7 @@ type cfg = {
   interactive_deadline_s : float;
   bulk_deadline_s : float;
   dup_share : float;
+  source : Workload.source; (* synthetic, mined-corpus replay, or a mix *)
 }
 
 let default_cfg =
@@ -19,6 +20,7 @@ let default_cfg =
     interactive_deadline_s = 0.1;
     bulk_deadline_s = 2.0;
     dup_share = 0.3;
+    source = Workload.Synthetic;
   }
 
 type summary = {
@@ -74,9 +76,9 @@ let run (sv : Serve.t) (cfg : cfg) : summary =
         let slot = Hashtbl.hash (cfg.seed, !i, "dup") mod min !n_recent 32 in
         match recent.(slot) with
         | Some q -> if uniform cfg.seed !i 2 < 0.5 then Workload.alpha_variant q else q
-        | None -> Workload.make ~seed:cfg.seed ~index:!i
+        | None -> Workload.make_from ~source:cfg.source ~seed:cfg.seed ~index:!i
       end
-      else Workload.make ~seed:cfg.seed ~index:!i
+      else Workload.make_from ~source:cfg.source ~seed:cfg.seed ~index:!i
     in
     recent.(!n_recent mod 32) <- Some q;
     incr n_recent;

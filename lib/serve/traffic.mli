@@ -17,11 +17,14 @@ type cfg = {
   dup_share : float;
       (** fraction of arrivals replaying a recent query (half verbatim, half
           alpha-renamed) — food for in-queue coalescing *)
+  source : Workload.source;
+      (** where fresh queries come from: the synthetic generators (default),
+          deterministic replay of a mined adversarial corpus, or a mix *)
 }
 
 val default_cfg : cfg
 (** 200 req/s for 2 s, seed 11, 25% interactive (100 ms budget), 2 s bulk
-    budget, 30% duplicates. *)
+    budget, 30% duplicates, synthetic source. *)
 
 type summary = {
   offered : int;  (** arrivals generated *)

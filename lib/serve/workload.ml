@@ -75,3 +75,33 @@ let make ~seed ~index : query =
 
 let alpha_variant (qy : query) : query =
   { qy with w_src = Builder.renumber qy.w_src; w_tgt = Builder.renumber qy.w_tgt }
+
+(* ------------------------------------------------------------------ *)
+(* Replay sources: traffic drawn from a mined adversarial corpus instead of
+   (or mixed with) the synthetic generators.  Selection is keyed on the same
+   (seed, index) hash family as [make], so a replay stream is exactly as
+   deterministic as a synthetic one. *)
+
+type source =
+  | Synthetic
+  | Mined of query array
+  | Mixed of query array * int
+
+let of_pair ~label ?unroll ?max_conflicts m ~src ~tgt : query =
+  {
+    w_label = label;
+    w_m = m;
+    w_src = src;
+    w_tgt = tgt;
+    w_unroll = unroll;
+    w_max_conflicts = max_conflicts;
+  }
+
+let make_from ~source ~seed ~index : query =
+  let mined arr = arr.(h seed index 7 mod Array.length arr) in
+  match source with
+  | Synthetic -> make ~seed ~index
+  | Mined arr -> if Array.length arr = 0 then make ~seed ~index else mined arr
+  | Mixed (arr, pct) ->
+    if Array.length arr > 0 && h seed index 8 mod 100 < pct then mined arr
+    else make ~seed ~index

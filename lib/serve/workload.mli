@@ -25,3 +25,27 @@ val make : seed:int -> index:int -> query
 val alpha_variant : query -> query
 (** The same query with alpha-renamed (renumbered) functions: textually
     different, alpha-equivalent — food for in-queue coalescing. *)
+
+(** Where a traffic stream draws its queries from. *)
+type source =
+  | Synthetic  (** the generators above — the historical behaviour *)
+  | Mined of query array  (** pure replay of a mined adversarial corpus *)
+  | Mixed of query array * int
+      (** [Mixed (corpus, pct)]: [pct]% of indices replay a mined case, the
+          rest stay synthetic *)
+
+val of_pair :
+  label:string ->
+  ?unroll:int ->
+  ?max_conflicts:int ->
+  Veriopt_ir.Ast.modul ->
+  src:Veriopt_ir.Ast.func ->
+  tgt:Veriopt_ir.Ast.func ->
+  query
+(** Wrap a decoded corpus case as a replayable query. *)
+
+val make_from : source:source -> seed:int -> index:int -> query
+(** [make_from ~source:Synthetic] is exactly {!make}.  Mined selection is
+    keyed on the same [(seed, index)] hash family, so replay streams are as
+    deterministic as synthetic ones; an empty corpus falls back to
+    {!make}. *)

@@ -45,6 +45,79 @@ let lowering_tests =
         done);
   ]
 
+let profile_tests =
+  [
+    Alcotest.test_case "default profile generation is pinned bit-identical" `Quick
+      (fun () ->
+        (* the adversarial biases were added behind [> 0.] guards that must
+           never perturb the default RNG stream; this digest was computed
+           before those fields existed *)
+        let buf = Buffer.create 65536 in
+        for seed = 0 to 29 do
+          let _, f = Lower.lower (Cgen.generate ~seed ~name:"t" ()) in
+          Buffer.add_string buf (Printer.func_to_string f)
+        done;
+        Alcotest.(check string) "seed-stability pin" "d9412ace3cca9904296f9281c425b394"
+          (Digest.to_hex (Digest.string (Buffer.contents buf))));
+    Alcotest.test_case "adversarial profile reaches the new shape families" `Quick
+      (fun () ->
+        (* selects, non-constant GEPs and overflow-flagged arithmetic must
+           actually appear in the lowered IR across a seed sweep *)
+        let selects = ref 0 and geps = ref 0 and nsw = ref 0 in
+        for seed = 0 to 39 do
+          let _, f =
+            Lower.lower (Cgen.generate ~profile:Cgen.adversarial_profile ~seed ~name:"t" ())
+          in
+          List.iter
+            (fun b ->
+              List.iter
+                (fun ni ->
+                  match ni.Ast.instr with
+                  | Ast.Select _ -> incr selects
+                  | Ast.Gep { indices; _ }
+                    when List.exists
+                           (fun (_, o) -> match o with Ast.Var _ -> true | _ -> false)
+                           indices -> incr geps
+                  | Ast.Binop { flags; _ } when flags.Ast.nsw -> incr nsw
+                  | _ -> ())
+                b.Ast.instrs)
+            f.Ast.blocks
+        done;
+        Alcotest.(check bool) (Fmt.str "selects lowered (%d)" !selects) true (!selects > 0);
+        Alcotest.(check bool) (Fmt.str "variable geps lowered (%d)" !geps) true (!geps > 0);
+        Alcotest.(check bool) (Fmt.str "nsw arithmetic lowered (%d)" !nsw) true (!nsw > 0);
+        (* and the adversarial stream must differ from the default one *)
+        let p profile =
+          Printer.func_to_string
+            (snd (Lower.lower (Cgen.generate ~profile ~seed:5 ~name:"t" ())))
+        in
+        Alcotest.(check bool) "profiles diverge" true
+          (p Cgen.adversarial_profile <> p Cgen.default_profile));
+    Alcotest.test_case "adversarial generation validates and mostly runs" `Quick (fun () ->
+        (* ovf_bias intentionally manufactures poison (nsw overflow), which
+           the interpreter may surface as UB on a call boundary — that is
+           refinement-legal mining material, so only validator cleanliness
+           is an invariant here, plus "most programs still run" *)
+        let ran = ref 0 in
+        for seed = 0 to 30 do
+          let m, f =
+            Lower.lower (Cgen.generate ~profile:Cgen.adversarial_profile ~seed ~name:"t" ())
+          in
+          (match Validator.validate_func ~module_:m f with
+          | Ok () -> ()
+          | Error (e :: _) -> Alcotest.failf "seed %d invalid: %s" seed e
+          | Error [] -> Alcotest.failf "seed %d invalid" seed);
+          let args =
+            List.map (fun (ty, _) -> Veriopt_eval.Interp.vint (Types.width ty) 0L) f.Ast.params
+          in
+          match Veriopt_eval.Interp.run ~fuel:100_000 m f args with
+          | _ -> incr ran
+          | exception Veriopt_eval.Interp.Undefined_behavior _ -> ()
+        done;
+        Alcotest.(check bool) (Fmt.str "most adversarial programs run (%d/31)" !ran) true
+          (!ran >= 20));
+  ]
+
 let suite_tests =
   [
     Alcotest.test_case "suite filters and labels" `Quick (fun () ->
@@ -103,4 +176,4 @@ let suite_tests =
           ds.S.samples);
   ]
 
-let suite = ("data", lowering_tests @ suite_tests)
+let suite = ("data", lowering_tests @ profile_tests @ suite_tests)

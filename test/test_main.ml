@@ -9,6 +9,8 @@ let () =
       (* the store suite's crash-injection case forks a child writer, so it
          must also precede the first domain spawner *)
       Test_store.suite;
+      (* the adversary suite's crash case forks and SIGKILLs a child miner *)
+      Test_adversary.suite;
       Test_vproc.suite;
       Test_bits.suite;
       Test_ir.suite;
