@@ -1,4 +1,4 @@
-.PHONY: all build test bench micro verify-bench chaos-bench sat-bench proc-bench incr-bench portfolio-bench serve-bench store-bench adv-bench fuzz check clean
+.PHONY: all build test bench micro verify-bench chaos-bench sat-bench proc-bench incr-bench portfolio-bench serve-bench store-bench adv-bench fold-bench fuzz check clean
 
 all: build
 
@@ -74,6 +74,15 @@ serve-bench: build
 store-bench: build
 	dune exec bench/main.exe -- store-bench
 
+# The emit-time fold engine vs the reference rescanning fixpoint driver:
+# instcombine wall time over the adversarial generator stream (>= 1.5x
+# gate), bit-identical SFT traces on the pinned default stream, zero
+# conclusive verdict flips, and the canonical-key twin battery (100% store
+# key collisions + Vcache hits on operand-commuted twins).  Writes
+# machine-readable BENCH_fold.json; exits non-zero on any gate violation.
+fold-bench: build
+	dune exec bench/main.exe -- fold-bench
+
 # The adversarial pain miner end to end: SIGKILL crash-safety of the
 # corpus, a fresh-seed budgeted mine (>= 25 distinct minimized cases
 # across >= 3 mutator families, zero conclusive-verdict flips through
@@ -99,6 +108,7 @@ check: build
 	dune exec bench/main.exe -- incr-bench
 	dune exec bench/main.exe -- portfolio-bench
 	dune exec bench/main.exe -- store-bench
+	dune exec bench/main.exe -- fold-bench
 	dune exec bench/serve_bench.exe
 	dune exec bench/adv_bench.exe
 

@@ -9,7 +9,7 @@
 
    Experiments: dataset table1 table2 table3 fig4 fig5 fig6 fig7 figs8to12
    ablations discussion verify-bench robust-bench sat-bench proc-bench
-   incr-bench portfolio-bench micro all. *)
+   incr-bench portfolio-bench store-bench fold-bench micro all. *)
 
 module P = Veriopt.Pipeline
 module E = Veriopt.Evaluate
@@ -1502,6 +1502,198 @@ let run_store_bench () =
   if speedup < 3. then fail (Fmt.str "warm speedup %.2fx below the 3x gate" speedup)
 
 (* ------------------------------------------------------------------ *)
+(* The emit-time fold engine vs the reference rescanning driver.
+
+   Three legs, three gates:
+   - wall time of Instcombine.run (fold engine) vs Instcombine.run_fixpoint
+     (rescan after every rewrite) over the adversarial Cgen stream:
+     the fold driver must be >= 1.5x faster;
+   - SFT supervision: the (rule, site) traces over the pinned default Cgen
+     stream must be bit-identical between drivers, and a verification
+     sample of both outputs against the source must show zero conclusive
+     verdict flips;
+   - the canonical-key quotient: operand-commuted twin queries must
+     collide onto one store key (100%) and be served from the Vcache,
+     where the pre-canon raw-text keys would all miss.
+   Emits BENCH_fold.json. *)
+
+let run_fold_bench () =
+  header "FOLD-BENCH (emit-time fold engine vs rescanning fixpoint driver)";
+  let module IC = Veriopt_passes.Instcombine in
+  let module FE = Veriopt_passes.Fold_engine in
+  let module Cgen = Veriopt_data.Cgen in
+  let module Lower = Veriopt_data.Lower in
+  let module Engine = Veriopt_alive.Engine in
+  let module Vcache = Veriopt_alive.Vcache in
+  let module Ast = Veriopt_ir.Ast in
+  let fail msg =
+    Fmt.pf fmt "  ERROR: %s@." msg;
+    exit 1
+  in
+  let stream ?profile n =
+    List.init n (fun seed ->
+        match profile with
+        | None -> Lower.lower (Cgen.generate ~seed ~name:"t" ())
+        | Some p -> Lower.lower (Cgen.generate ~profile:p ~seed ~name:"t" ()))
+  in
+  let n_funcs = 40 and repeats = 5 in
+  let adversarial = stream ~profile:Cgen.adversarial_profile n_funcs in
+  let default = stream n_funcs in
+  let time_leg driver funcs =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to repeats do
+      List.iter (fun (m, f) -> ignore (driver m f)) funcs
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  (* interleave the legs so allocator / cache warmth cannot favour one *)
+  ignore (time_leg IC.run adversarial);
+  ignore (time_leg IC.run_fixpoint adversarial);
+  let fold_adv = time_leg IC.run adversarial in
+  let fix_adv = time_leg IC.run_fixpoint adversarial in
+  let fold_def = time_leg IC.run default in
+  let fix_def = time_leg IC.run_fixpoint default in
+  let speedup_adv = fix_adv /. if fold_adv <= 0. then epsilon_float else fold_adv in
+  let speedup_def = fix_def /. if fold_def <= 0. then epsilon_float else fold_def in
+  Fmt.pf fmt "  adversarial stream (%d funcs x%d): fold %.3fs, fixpoint %.3fs (%.2fx)@."
+    n_funcs repeats fold_adv fix_adv speedup_adv;
+  Fmt.pf fmt "  default stream     (%d funcs x%d): fold %.3fs, fixpoint %.3fs (%.2fx)@."
+    n_funcs repeats fold_def fix_def speedup_def;
+  Fmt.pf fmt "  fold passes: %d, restarts: %d, barrier hits: %d@."
+    (Atomic.get FE.passes_total) (Atomic.get FE.restarts_total)
+    (Atomic.get FE.barrier_hits_total);
+  (* bit-identical SFT traces on the pinned default stream *)
+  let trace_digest driver =
+    let buf = Buffer.create 65536 in
+    List.iter
+      (fun (m, f) ->
+        let r = driver m f in
+        List.iter
+          (fun (e : IC.trace_entry) ->
+            Buffer.add_string buf e.IC.rule;
+            Buffer.add_char buf '@';
+            Buffer.add_string buf e.IC.site;
+            Buffer.add_char buf '\n')
+          r.IC.trace)
+      default;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  in
+  let fold_traces = trace_digest IC.run in
+  let fix_traces = trace_digest IC.run_fixpoint in
+  let traces_identical = fold_traces = fix_traces in
+  Fmt.pf fmt "  SFT trace digest: fold %s, fixpoint %s (%s)@." fold_traces fix_traces
+    (if traces_identical then "identical" else "DIVERGED");
+  (* zero conclusive flips: both outputs verify identically vs the source *)
+  let verify_engine = Engine.create ~tier1_samples:8 () in
+  let flips = ref 0 and conclusive = ref 0 in
+  List.iteri
+    (fun i (m, f) ->
+      if i < 12 then begin
+        let a = (IC.run m f).IC.func and b = (IC.run_fixpoint m f).IC.func in
+        let va = Engine.verify_funcs verify_engine m ~src:f ~tgt:a in
+        let vb = Engine.verify_funcs verify_engine m ~src:f ~tgt:b in
+        let concl v =
+          v.Alive.category = Alive.Equivalent || v.Alive.category = Alive.Semantic_error
+        in
+        if concl va || concl vb then incr conclusive;
+        if va.Alive.category <> vb.Alive.category then incr flips
+      end)
+    default;
+  Engine.shutdown verify_engine;
+  Fmt.pf fmt "  verdicts: %d conclusive, %d flips@." !conclusive !flips;
+  (* the canonical-key quotient: commute every commutative op (and mirror
+     every icmp) of the source — the key must not move, and the twin query
+     must be a Vcache hit *)
+  let commute_func (f : Ast.func) =
+    let swap ni =
+      let instr =
+        match ni.Ast.instr with
+        | Ast.Binop ({ op; lhs; rhs; _ } as b) when Ast.binop_is_commutative op ->
+          Ast.Binop { b with lhs = rhs; rhs = lhs }
+        | Ast.Icmp ({ pred; lhs; rhs; _ } as c) ->
+          Ast.Icmp { c with pred = Ast.icmp_swap_pred pred; lhs = rhs; rhs = lhs }
+        | i -> i
+      in
+      { ni with Ast.instr }
+    in
+    {
+      f with
+      Ast.blocks =
+        List.map
+          (fun b -> { b with Ast.instrs = List.map swap b.Ast.instrs })
+          f.Ast.blocks;
+    }
+  in
+  let twin_engine = Engine.create ~tier1_samples:4 () in
+  let twins = ref 0 and key_collisions = ref 0 and twin_hits = ref 0 in
+  List.iter
+    (fun (m, f) ->
+      let tgt = (IC.run m f).IC.func in
+      let twin = commute_func f in
+      if Veriopt_ir.Printer.func_to_string twin <> Veriopt_ir.Printer.func_to_string f
+      then begin
+        incr twins;
+        if Engine.store_key m ~src:f ~tgt = Engine.store_key m ~src:twin ~tgt then
+          incr key_collisions;
+        ignore (Engine.verify_funcs twin_engine m ~src:f ~tgt);
+        let h0 = (Engine.stats twin_engine).Vcache.hits in
+        ignore (Engine.verify_funcs twin_engine m ~src:twin ~tgt);
+        if (Engine.stats twin_engine).Vcache.hits > h0 then incr twin_hits
+      end)
+    default;
+  Engine.shutdown twin_engine;
+  let hit_rate =
+    if !twins = 0 then 0. else float_of_int !twin_hits /. float_of_int !twins
+  in
+  Fmt.pf fmt
+    "  twin battery: %d twins, %d key collisions, %d cache hits (%.0f%% hit-rate gain; \
+     raw-text keys would hit 0%%)@."
+    !twins !key_collisions !twin_hits (hit_rate *. 100.);
+  let json =
+    Fmt.str
+      {|{
+  "funcs": %d,
+  "repeats": %d,
+  "adversarial_fold_seconds": %.4f,
+  "adversarial_fixpoint_seconds": %.4f,
+  "adversarial_speedup": %.3f,
+  "default_fold_seconds": %.4f,
+  "default_fixpoint_seconds": %.4f,
+  "default_speedup": %.3f,
+  "fold_passes": %d,
+  "fold_restarts": %d,
+  "barrier_hits": %d,
+  "traces_identical": %b,
+  "trace_digest": "%s",
+  "verdict_sample": 12,
+  "verdict_conclusive": %d,
+  "verdict_flips": %d,
+  "twin_queries": %d,
+  "twin_key_collisions": %d,
+  "twin_cache_hits": %d,
+  "twin_hit_rate_gain": %.4f
+}
+|}
+      n_funcs repeats fold_adv fix_adv speedup_adv fold_def fix_def speedup_def
+      (Atomic.get FE.passes_total) (Atomic.get FE.restarts_total)
+      (Atomic.get FE.barrier_hits_total) traces_identical fold_traces !conclusive !flips
+      !twins !key_collisions !twin_hits hit_rate
+  in
+  let oc = open_out "BENCH_fold.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pf fmt "  wrote BENCH_fold.json@.";
+  if not traces_identical then fail "SFT traces diverged between drivers";
+  if !flips > 0 then fail "a conclusive verdict flipped between drivers";
+  if !twins > 0 && !key_collisions < !twins then
+    fail
+      (Fmt.str "twin key collisions %d/%d below 100%%" !key_collisions !twins);
+  if !twins > 0 && !twin_hits < !twins then
+    fail (Fmt.str "twin cache hits %d/%d below 100%%" !twin_hits !twins);
+  if speedup_adv < 1.5 then
+    fail (Fmt.str "adversarial speedup %.2fx below the 1.5x gate" speedup_adv)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the substrates; one Test.make per kernel. *)
 
 let run_micro () =
@@ -1575,7 +1767,7 @@ let () =
   let standalone =
     [
       "micro"; "verify-bench"; "robust-bench"; "sat-bench"; "proc-bench"; "incr-bench";
-      "portfolio-bench"; "store-bench";
+      "portfolio-bench"; "store-bench"; "fold-bench";
     ]
   in
   let needs_evals =
@@ -1588,6 +1780,7 @@ let () =
   if wants "incr-bench" then run_incr_bench ();
   if wants "portfolio-bench" then run_portfolio_bench ();
   if wants "store-bench" then run_store_bench ();
+  if wants "fold-bench" then run_fold_bench ();
   if needs_evals then begin
     let e = build_evals scale in
     if wants "dataset" then run_dataset e;

@@ -65,12 +65,18 @@ let canon_in (ring : canon_ring) (print : 'a -> string) (x : 'a) : string =
 
 let canon print x = canon_in raw_ring print x
 
-(* Alpha-canonical text: identical for alpha-equivalent functions, so the
-   serve layer can coalesce renamed duplicates onto one engine call.  Memoized
-   by the original object's identity — the renumbered copy itself is fresh
-   every time and useless as a memo key. *)
+(* Alpha-canonical text: identical for alpha-equivalent functions — and,
+   via the key-level canonicalizer, for operand-commuted and
+   constant-renormalized twins — so the serve layer can coalesce them onto
+   one engine call and the cache/store tiers share one verdict per canon
+   class.  Renumber first (name assignment is operand-order-invariant),
+   then quotient the operand order.  Memoized by the original object's
+   identity — the renumbered copy itself is fresh every time and useless
+   as a memo key. *)
 let alpha_canon (f : Ast.func) : string =
-  canon_in alpha_ring (fun f -> Printer.func_to_string (Builder.renumber f)) f
+  canon_in alpha_ring
+    (fun f -> Printer.func_to_string (Canon.canon_func_for_key (Builder.renumber f)))
+    f
 
 let coalesce_key (m : Ast.modul) ~(src : Ast.func) ~(tgt : Ast.func) : string =
   String.concat "\x00" [ canon Printer.module_to_string m; alpha_canon src; alpha_canon tgt ]
@@ -96,6 +102,9 @@ let semantics_digest_lazy =
          ("refine", Refine.semantics_version);
          ("alive", Alive.semantics_version);
          ("sat", Sat.semantics_version);
+         (* the key-level canonical form: store keys collide canon twins,
+            so a canonicalizer change must invalidate old entries *)
+         ("canon", Canon.semantics_version);
          (* marshalled payloads are only trusted from the same compiler
             lineage; fold the runtime version in rather than risk a decode
             of a foreign layout *)
@@ -632,8 +641,9 @@ let verify_funcs ?(unroll = 4) ?(max_conflicts = 200_000) ?deadline ?(reduce = t
     let key =
       {
         Vcache.ctx = canon Printer.module_to_string m;
-        src = canon Printer.func_to_string src;
-        tgt = canon Printer.func_to_string tgt;
+        (* alpha-canonical: commuted/renormalized twins hit one entry *)
+        src = alpha_canon src;
+        tgt = alpha_canon tgt;
         unroll;
         max_conflicts;
         reduce;

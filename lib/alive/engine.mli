@@ -214,7 +214,8 @@ val store_stats : t -> Veriopt_store.Store.stats option
 
 val semantics_digest : unit -> string
 (** The engine-semantics version hash every store record carries: a digest
-    of the registered [semantics_version]s of Encode, Refine, Alive and Sat
+    of the registered [semantics_version]s of Encode, Refine, Alive, Sat
+    and Canon — the key-level canonical form is part of the key semantics
     (plus the runtime lineage).  Bumping any of them invalidates all prior
     store entries. *)
 
@@ -231,10 +232,12 @@ val store_key :
   string
 (** The store's content address for a query (defaults mirror
     {!verify_funcs} with [portfolio = 1]): raw canonical module text,
-    {e alpha-canonical} source/target texts — renamed-but-identical pairs
-    collide onto one entry, soundly, because renumbering preserves
-    semantics — plus every verdict-relevant knob.  Exposed for the
-    key-soundness fuzz harness. *)
+    {e alpha-canonical} source/target texts — renamed-but-identical pairs,
+    and operand-commuted / constant-renormalized twins (the key-level
+    {!Veriopt_ir.Canon} quotient), collide onto one entry, soundly,
+    because renumbering and canonicalization preserve semantics — plus
+    every verdict-relevant knob.  Exposed for the key-soundness fuzz
+    harness. *)
 
 val store_encode : tier:int -> delta:Veriopt_smt.Solver.stats -> Alive.verdict -> string
 (** Serialize a store payload: the verdict, the tier that produced it and

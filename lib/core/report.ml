@@ -254,6 +254,17 @@ let engine_stats ppf (engine : Veriopt_alive.Engine.t) =
   if s.Veriopt_alive.Vcache.breaker_trips > 0 || s.Veriopt_alive.Vcache.breaker_skips > 0 then
     Fmt.pf ppf "  breaker: %d trips, %d tier-2 runs skipped while open@."
       s.Veriopt_alive.Vcache.breaker_trips s.Veriopt_alive.Vcache.breaker_skips;
+  (let ic_runs = Atomic.get Veriopt_passes.Instcombine.runs_total in
+   if ic_runs > 0 then
+     Fmt.pf ppf
+       "  passes: %d instcombine runs, %d rewrites, %d fuel-exhausted; fold engine %d passes, \
+        %d restarts, %d phi-barrier hits@."
+       ic_runs
+       (Atomic.get Veriopt_passes.Instcombine.rewrites_total)
+       (Atomic.get Veriopt_passes.Instcombine.fuel_exhausted_total)
+       (Atomic.get Veriopt_passes.Fold_engine.passes_total)
+       (Atomic.get Veriopt_passes.Fold_engine.restarts_total)
+       (Atomic.get Veriopt_passes.Fold_engine.barrier_hits_total));
   (let p = Veriopt_alive.Engine.pain_stats engine in
    if p.Veriopt_alive.Engine.probes > 0 then
      Fmt.pf ppf

@@ -29,7 +29,10 @@ let fresh st prefix =
   st.counter <- st.counter + 1;
   Fmt.str "%s%d" prefix st.counter
 
-let emit st name instr = st.cur_instrs <- { name; instr } :: st.cur_instrs
+(* Every emitted instruction passes through the shared emit-time
+   canonicalizer: workload generators and the adversarial miner produce
+   canonical seeds, so cache/store keys collide where they should. *)
+let emit st name instr = st.cur_instrs <- { name; instr = Canon.canon_instr instr } :: st.cur_instrs
 
 let emit_value st prefix instr =
   let n = fresh st prefix in

@@ -1,0 +1,119 @@
+(** Canonical instruction form.
+
+    Two disciplines share this module:
+
+    - [canon_instr] is the *emit-time* normal form applied wherever IR is
+      constructed (the lowering pipeline's emit chokepoint, the fold
+      engine's canon rule family): constants are masked to their width and
+      the constant operand of a commutative binop / icmp sits on the right.
+      It is deliberately conservative — it never reorders variable
+      operands, so it is safe at any construction site.
+
+    - [canon_func_for_key] is the *key-level* quotient used by the
+      verification cache and verdict-store keys: on top of [canon_instr]
+      it totally orders variable-variable operand pairs of commutative
+      operations, sorts phi incomings by predecessor label and masks
+      terminator constants.  It expects a {!Builder.renumber}ed function
+      (renumbering assigns names by definition order, which operand order
+      cannot change, so renumber-then-canon is deterministic and
+      idempotent) and produces a representative shared by every
+      operand-commuted / constant-renormalized twin of the function.
+
+    Every transformation here preserves semantics exactly, including
+    poison: commutative binops are commutative in both flags' operands,
+    [icmp_swap_pred] is the textbook predicate mirror, and constants are
+    already defined to be masked ([Ast.const]'s CInt invariant).  That is
+    what makes it sound to share one cached verdict across a whole canon
+    class. *)
+
+open Ast
+
+(** Bump to invalidate stored verdicts when the canonical form (hence the
+    key quotient) changes. *)
+let semantics_version = 1
+
+let mask_operand = function
+  | Const (CInt { width; value }) as op ->
+    let m = Bits.mask width value in
+    if m = value then op else Const (CInt { width; value = m })
+  | op -> op
+
+let is_const = function Const _ -> true | Var _ | Global _ -> false
+
+(** Commute a constant left operand to the right slot when the operation
+    allows it.  Assumes operands are already masked. *)
+let commute_instr (i : instr) : instr =
+  match i with
+  | Binop ({ op; lhs; rhs; _ } as b)
+    when binop_is_commutative op && is_const lhs && not (is_const rhs) ->
+    Binop { b with lhs = rhs; rhs = lhs }
+  | Icmp ({ pred; lhs; rhs; _ } as c) when is_const lhs && not (is_const rhs) ->
+    Icmp { c with pred = icmp_swap_pred pred; lhs = rhs; rhs = lhs }
+  | i -> i
+
+let remask_instr (i : instr) : instr = map_instr_operands mask_operand i
+
+let canon_instr (i : instr) : instr = commute_instr (remask_instr i)
+
+(* ------------------------------------------------------------------ *)
+(* Key-level canonicalization *)
+
+(* Total operand order for the key form.  Renumbered names are decimal
+   strings, so (length, lexicographic) compares them numerically: %2 < %10.
+   Constants sort after variables (they already live on the right), globals
+   after everything. *)
+let operand_rank = function Var _ -> 0 | Const _ -> 1 | Global _ -> 2
+
+let operand_order (a : operand) (b : operand) : int =
+  match (a, b) with
+  | Var x, Var y -> compare (String.length x, x) (String.length y, y)
+  | _ -> compare (operand_rank a, a) (operand_rank b, b)
+
+let sort_var_pair (i : instr) : instr =
+  match i with
+  | Binop ({ op; lhs; rhs; _ } as b)
+    when binop_is_commutative op && operand_order lhs rhs > 0 ->
+    Binop { b with lhs = rhs; rhs = lhs }
+  | Icmp ({ pred; lhs; rhs; _ } as c) when operand_order lhs rhs > 0 ->
+    Icmp { c with pred = icmp_swap_pred pred; lhs = rhs; rhs = lhs }
+  | i -> i
+
+let canon_instr_for_key (i : instr) : instr =
+  let i = canon_instr i in
+  let i = sort_var_pair i in
+  match i with
+  | Phi ({ incoming; _ } as p) ->
+    (* incoming order is semantically irrelevant; sort by predecessor label
+       (labels are unique per phi, so the order is total) *)
+    Phi
+      {
+        p with
+        incoming =
+          List.sort
+            (fun (_, l1) (_, l2) ->
+              compare (String.length l1, l1) (String.length l2, l2))
+            incoming;
+      }
+  | i -> i
+
+let canon_terminator (t : terminator) : terminator =
+  let t = map_terminator_operands mask_operand t in
+  match t with
+  | Switch ({ ty = Types.Int w; cases; _ } as s) ->
+    Switch { s with cases = List.map (fun (v, l) -> (Bits.mask w v, l)) cases }
+  | t -> t
+
+let canon_func_for_key (f : func) : func =
+  {
+    f with
+    blocks =
+      List.map
+        (fun b ->
+          {
+            b with
+            instrs =
+              List.map (fun ni -> { ni with instr = canon_instr_for_key ni.instr }) b.instrs;
+            term = canon_terminator b.term;
+          })
+        f.blocks;
+  }

@@ -1,0 +1,23 @@
+(** Canonical instruction form: emit-time normalization shared by the
+    lowering pipeline and the peephole engine, plus the key-level quotient
+    used by the verification cache and verdict-store keys. *)
+
+val semantics_version : int
+(** Folded into the engine's semantics digest: bumping it invalidates every
+    stored verdict keyed under an older canonical form. *)
+
+val mask_operand : Ast.operand -> Ast.operand
+(** Re-mask an integer constant to its declared width (identity otherwise). *)
+
+val canon_instr : Ast.instr -> Ast.instr
+(** Emit-time normal form: operands masked, the constant operand of a
+    commutative binop / icmp moved to the right slot (icmp via
+    {!Ast.icmp_swap_pred}).  Never reorders variable operands, so it is
+    safe at any construction site.  Semantics- and poison-preserving. *)
+
+val canon_func_for_key : Ast.func -> Ast.func
+(** Key-level canonical form; expects a {!Builder.renumber}ed function.
+    Adds a total order on variable-variable operand pairs of commutative
+    operations, sorts phi incomings by predecessor label and masks
+    terminator constants, so operand-commuted and constant-renormalized
+    twins print identically. *)

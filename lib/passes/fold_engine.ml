@@ -1,0 +1,413 @@
+(** The emit-time fold engine (after lambdachine's [ir_fold.cc]).
+
+    Instead of rescanning the whole function after every rewrite, the
+    engine re-emits it once, instruction by instruction, through a fold
+    state: each staged instruction is offered to the matcher (constant
+    folding, then the rule catalog — which ends with the canonicalization
+    family, so emitted IR is canonical); a match yields one of the classic
+    fold outcomes
+
+    - [Next]      — nothing fired, commit the instruction and move on;
+    - [Retry i]   — the instruction was rewritten in place ([Instr]); offer
+                    the new form again, under a bounded retry budget;
+    - [Lit op]    — the result collapsed to an operand ([Value]/[Expand]);
+                    remaining uses are redirected and the def disappears.
+
+    {!Builder.Emit} keeps the def map and use counts live across rewrites,
+    so the [Rewrite.ctx] handed to rules is maintained incrementally
+    instead of rebuilt per rewrite.
+
+    {b Exactness.}  The (rule, site) trace is the SFT supervision signal,
+    so this engine must fire {e exactly} the rewrites the reference
+    rescanning driver fires, in the same order.  The rescanning driver
+    restarts from instruction one after every rewrite; the fold engine
+    keeps going — sound only while the already-emitted prefix stays at
+    fixpoint.  A rewrite can disturb the prefix in three ways, each
+    detected and answered with a pass restart (the [Restarted] result):
+
+    - {b T1} a [Lit] redirect whose site still has uses in the prefix
+      (back-edge phi incomings, or non-topological layout): prefix operand
+      identities change, prefix rules may now match;
+    - {b T2} a use count dropping to exactly 1 for a value used in the
+      prefix: [one_use] guards flip from false to true;
+    - {b T3} a rewrite at, or a kill / eager-substitution into, a def the
+      emitted prefix {e inspects} ([watched]): a committed instruction
+      referenced the def before it was emitted, so its [def_of] view
+      changed.  [watched] is the def-operand closure of forward references
+      from committed non-phi instructions.  Phi incomings are exempt
+      because the phi rules ({!Rules_phi}, the phi case of {!Fold}) match
+      on the phi's own operands only — if a phi rule that inspects
+      incoming {e defs} is ever added, extend [watched] to phi incomings.
+
+    Spurious restarts are harmless (the fresh scan reproduces the same
+    trace, it only costs time), so the triggers may over-fire; they must
+    never under-fire.
+
+    {b DCE.}  The reference driver runs {!Dce} after every rewrite.  The
+    engine mirrors it incrementally: the first rewrite of a run "arms" the
+    state and sweeps all currently-dead defs; from then on any use count
+    hitting zero kills the def immediately, cascading — so the live view
+    is always DCE-clean, exactly like the rescanning driver's.
+
+    {b PHIBARRIER.}  A [Lit (Var w)] at a phi inside a loop header, where
+    [w] is defined below the phi, is refused outright: folding a
+    loop-carried value to its back-edge operand rewrites uses to a var
+    that doesn't dominate them (the degenerate self-reference
+    [%j = add %j, 1]).  The guard lives in the shared matcher, so the
+    reference driver refuses identically and traces stay equal. *)
+
+open Veriopt_ir
+open Ast
+
+type outcome = Next | Retry of instr | Lit of operand
+
+(** Shared between this engine and the reference fixpoint driver:
+    [barrier ~site rw] is the PHIBARRIER predicate (true = refuse). *)
+type matcher =
+  Rewrite.ctx ->
+  barrier:(site:named_instr -> Rewrite.rewrite -> bool) ->
+  named_instr ->
+  (Rewrite.rule * Rewrite.rewrite) option
+
+type pass_result =
+  | Fixpoint of func * int  (** full pass completed; n rewrites fired *)
+  | Restarted of func * int  (** exactness trigger: rescan from the top *)
+  | Exhausted of func * int  (** fuel ran out mid-pass *)
+
+(* ------------------------------------------------------------------ *)
+(* Counters (surfaced in Report) *)
+
+let passes_total = Atomic.make 0
+let restarts_total = Atomic.make 0
+let barrier_hits_total = Atomic.make 0
+
+(* ------------------------------------------------------------------ *)
+(* PHIBARRIER *)
+
+type site_info = {
+  pos : (var, int) Hashtbl.t;  (** program-order index of each def *)
+  block_of : (var, label) Hashtbl.t;
+  loop_headers : (label, unit) Hashtbl.t Lazy.t;  (** back-edge targets *)
+}
+
+let site_info_of (f : func) : site_info =
+  let pos = Hashtbl.create 64 and block_of = Hashtbl.create 64 in
+  let i = ref 0 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun ni ->
+          (match ni.name with
+          | Some n ->
+            Hashtbl.replace pos n !i;
+            Hashtbl.replace block_of n b.label
+          | None -> ());
+          incr i)
+        b.instrs)
+    f.blocks;
+  let loop_headers =
+    lazy
+      (let tbl = Hashtbl.create 4 in
+       List.iter (fun (_, dst) -> Hashtbl.replace tbl dst ()) (Cfg.back_edges (Cfg.of_func f));
+       tbl)
+  in
+  { pos; block_of; loop_headers }
+
+(** Refuse folding a loop-header phi to a value defined below it.  Vars
+    with unknown positions (mid-pass expansions) are treated as earlier:
+    the guard only fires on a {e known} downward reference. *)
+let barrier_of (info : site_info) ~(site : named_instr) (rw : Rewrite.rewrite) : bool =
+  match (site.name, site.instr, rw) with
+  | Some s, Phi _, Rewrite.Value (Var w) -> (
+    match (Hashtbl.find_opt info.pos w, Hashtbl.find_opt info.pos s) with
+    | Some pw, Some ps when pw > ps -> (
+      match Hashtbl.find_opt info.block_of s with
+      | Some b when Hashtbl.mem (Lazy.force info.loop_headers) b ->
+        Atomic.incr barrier_hits_total;
+        true
+      | _ -> false)
+    | _ -> false)
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* The pass *)
+
+type state = {
+  em : Builder.Emit.t;
+  ctx : Rewrite.ctx;
+  info : site_info;
+  matcher : matcher;
+  fuel : unit -> bool;  (** increments the step counter; false = exhausted *)
+  on_rewrite : rule:string -> site:string -> unit;
+  armed : bool ref;  (** run-level: first rewrite arms incremental DCE *)
+  retry_budget : int;
+  watched : (var, unit) Hashtbl.t;
+  mutable cursor : var option;  (** name of the staged instruction, if any *)
+  mutable pre_queue : named_instr list;  (** Expand prefixes awaiting staging *)
+  mutable restart : bool;
+  mutable fired : int;
+}
+
+let mk_state ~matcher ~fuel ~on_rewrite ~armed ~retry_budget (modul : modul) (f : func) : state
+    =
+  let em = Builder.Emit.open_func f in
+  let ctx : Rewrite.ctx =
+    {
+      Rewrite.func = f;
+      modul;
+      defs = Builder.Emit.defs em;
+      uses = Builder.Emit.uses em;
+      names = Builder.Emit.names em;
+    }
+  in
+  {
+    em;
+    ctx;
+    info = site_info_of f;
+    matcher;
+    fuel;
+    on_rewrite;
+    armed;
+    retry_budget;
+    watched = Hashtbl.create 8;
+    cursor = None;
+    pre_queue = [];
+    restart = false;
+    fired = 0;
+  }
+
+let pure_named st v =
+  match Builder.Emit.def_peek st.em v with
+  | Some i -> not (Dce.has_side_effects i)
+  | None -> false
+
+let cursor_instr st =
+  match st.cursor with None -> None | Some c -> Builder.Emit.def_peek st.em c
+
+(* Kill [v]'s definition (it hit zero uses), releasing its operand uses and
+   cascading.  Mirrors one Dce.run step. *)
+let rec kill st (v : var) =
+  if Hashtbl.mem st.watched v then st.restart <- true;
+  let was_pending = not (Builder.Emit.is_emitted st.em v) && st.cursor <> Some v in
+  match Builder.Emit.delete st.em v with
+  | None -> ()
+  | Some i ->
+    List.iter
+      (function
+        | Var u ->
+          Builder.Emit.user_drop st.em ~used:u ~user:v 1;
+          if was_pending then Builder.Emit.drop_pending st.em u;
+          note_drop st u
+        | Const _ | Global _ -> ())
+      (operands_of_instr i)
+
+(* Every decrement of a total use count funnels through here: arms the T2
+   trigger and the cascade kill. *)
+and note_drop st (v : var) =
+  if not (Builder.Emit.is_param st.em v) then begin
+    let n = Builder.Emit.drop_use st.em v in
+    if n = 0 then begin
+      if !(st.armed) && pure_named st v then kill st v
+    end
+    else if n = 1 && Builder.Emit.prefix_uses ?cursor:(cursor_instr st) st.em v >= 1 then
+      st.restart <- true
+  end
+
+(* First rewrite of the run: sweep defs that were already dead, as the
+   reference driver's first post-rewrite Dce.run would. *)
+let arm st =
+  if not !(st.armed) then begin
+    st.armed := true;
+    List.iter
+      (fun v -> if pure_named st v && not (Builder.Emit.is_param st.em v) then kill st v)
+      (Builder.Emit.zero_use_defs st.em)
+  end
+
+(* Watch the def-operand closure of a forward reference from a committed
+   instruction: any later change to these defs must restart the pass. *)
+let rec watch st (v : var) =
+  if not (Hashtbl.mem st.watched v) && not (Builder.Emit.is_param st.em v) then begin
+    Hashtbl.replace st.watched v ();
+    match Builder.Emit.def_peek st.em v with
+    | None -> ()
+    | Some i ->
+      List.iter
+        (function Var u -> watch st u | Const _ | Global _ -> ())
+        (operands_of_instr i)
+  end
+
+let commit st (ni : named_instr) =
+  (match ni.instr with
+  | Phi _ -> ()  (* phi rules match on own operands only; see module doc *)
+  | i ->
+    List.iter
+      (function
+        | Var v ->
+          if not (Builder.Emit.is_emitted st.em v) && not (Builder.Emit.is_param st.em v)
+          then watch st v
+        | Const _ | Global _ -> ())
+      (operands_of_instr i));
+  Builder.Emit.commit st.em ni;
+  st.cursor <- None
+
+(* Apply one matched rewrite at the staged cursor instruction.  Returns the
+   fold outcome; triggers set [st.restart]. *)
+let apply_rewrite st (ni : named_instr) (rw : Rewrite.rewrite) : outcome =
+  let site = Option.get ni.name in
+  if Hashtbl.mem st.watched site then st.restart <- true;
+  arm st;
+  match rw with
+  | Rewrite.Instr i' ->
+    (* new operand uses first: no transient zeros, no spurious T2 *)
+    List.iter
+      (function
+        | Var v ->
+          Builder.Emit.add_use st.em v 1;
+          Builder.Emit.user_add st.em ~used:v ~user:site 1
+        | Const _ | Global _ -> ())
+      (operands_of_instr i');
+    Builder.Emit.set_def st.em site i';
+    List.iter
+      (function
+        | Var v ->
+          Builder.Emit.user_drop st.em ~used:v ~user:site 1;
+          note_drop st v
+        | Const _ | Global _ -> ())
+      (operands_of_instr ni.instr);
+    if Builder.Emit.is_deleted st.em site then Lit (Var site) (* killed via cascade *)
+    else Retry i'
+  | Rewrite.Value op | Rewrite.Expand (_, op) ->
+    let pre = match rw with Rewrite.Expand (pre, _) -> pre | _ -> [] in
+    if Builder.Emit.prefix_uses ~cursor:ni.instr st.em site > 0 then st.restart <- true;
+    List.iter
+      (fun (u, _) -> if u <> site && Hashtbl.mem st.watched u then st.restart <- true)
+      (Builder.Emit.users_of st.em site);
+    Builder.Emit.redirect st.em ~from:site ~to_:op;
+    st.pre_queue <- st.pre_queue @ pre;
+    List.iter
+      (fun (p : named_instr) ->
+        Builder.Emit.introduce st.em p;
+        match p.name with
+        | Some n ->
+          (match Hashtbl.find_opt st.info.pos site with
+          | Some ps ->
+            Hashtbl.replace st.info.pos n ps;
+            (match Hashtbl.find_opt st.info.block_of site with
+            | Some b -> Hashtbl.replace st.info.block_of n b
+            | None -> ())
+          | None -> ())
+        | None -> ())
+      pre;
+    List.iter
+      (function Var u -> note_drop st u | Const _ | Global _ -> ())
+      (operands_of_instr ni.instr);
+    Lit op
+
+let barrier st ~site rw = barrier_of st.info ~site rw
+
+(* Offer a staged instruction to the matcher until it settles.  Returns the
+   final form to commit, or None if the def disappeared ([Lit]), or raises
+   nothing — exhaustion is reported via st.restart / the driver's flag. *)
+type settled = Emit of named_instr | Gone | Stop of named_instr
+
+let rec settle st (ni : named_instr) (budget : int) : settled =
+  if st.restart then Emit ni  (* commit current form; pass will restart *)
+  else
+    match ni.name with
+    | None -> Emit ni
+    | Some _ -> (
+      match st.matcher st.ctx ~barrier:(barrier st) ni with
+      | None -> Emit ni
+      | Some (r, rw) ->
+        if not (st.fuel ()) then Stop ni
+        else begin
+          st.on_rewrite ~rule:r.Rewrite.rule_name ~site:(Option.get ni.name);
+          st.fired <- st.fired + 1;
+          match apply_rewrite st ni rw with
+          | Lit _ -> Gone
+          | Next -> Emit ni
+          | Retry i' ->
+            if budget <= 1 then begin
+              (* budget spent with rules still firing: fall back to a
+                 fresh scan rather than diverge from the reference *)
+              st.restart <- true;
+              Emit { ni with instr = i' }
+            end
+            else settle st { ni with instr = i' } (budget - 1)
+        end)
+
+(* ------------------------------------------------------------------ *)
+
+let default_retry_budget = 32
+
+let run_pass ~(matcher : matcher) ~(fuel : unit -> bool)
+    ~(on_rewrite : rule:string -> site:string -> unit) ?(retry_budget = default_retry_budget)
+    ~(armed : bool ref) (modul : modul) (f : func) : pass_result =
+  Atomic.incr passes_total;
+  let st = mk_state ~matcher ~fuel ~on_rewrite ~armed ~retry_budget modul f in
+  let em = st.em in
+  let exception Cut of func in
+  (* Expand prefixes are staged next, at the site's position — the order a
+     rescanning driver sees after replace_instr splices them in. *)
+  let drain qrest =
+    match st.pre_queue with
+    | [] -> qrest
+    | pre ->
+      st.pre_queue <- [];
+      pre @ qrest
+  in
+  let materialize_open queue term rest =
+    let f' = Builder.Emit.materialize em ~open_:(Some (drain queue, term)) ~rest in
+    if st.restart then fst (Dce.run f') else f'
+  in
+  try
+    let rec blocks = function
+      | [] -> ()
+      | (b : block) :: rest ->
+        Builder.Emit.start_block em b.label;
+        let rec instrs queue =
+          match queue with
+          | [] -> ()
+          | (ni : named_instr) :: qrest -> (
+            (* cascade kills can delete instructions still in the queue *)
+            match ni.name with
+            | Some n when Builder.Emit.is_deleted em n -> instrs qrest
+            | _ -> (
+              let staged = Builder.Emit.stage em ni in
+              st.cursor <- staged.name;
+              match settle st staged st.retry_budget with
+              | Stop final ->
+                (* fuel exhausted before applying the match: keep the
+                   instruction in its current form and stop the run *)
+                st.cursor <- None;
+                Builder.Emit.commit em final;
+                raise
+                  (Cut (Builder.Emit.materialize em ~open_:(Some (qrest, b.term)) ~rest))
+              | Gone ->
+                st.cursor <- None;
+                if st.restart then raise (Cut (materialize_open qrest b.term rest))
+                else instrs (drain qrest)
+              | Emit final ->
+                if Builder.Emit.is_deleted em (Option.value ~default:"" final.name) then begin
+                  st.cursor <- None;
+                  if st.restart then raise (Cut (materialize_open qrest b.term rest))
+                  else instrs (drain qrest)
+                end
+                else begin
+                  commit st final;
+                  if st.restart then raise (Cut (materialize_open qrest b.term rest))
+                  else instrs (drain qrest)
+                end))
+        in
+        instrs b.instrs;
+        Builder.Emit.seal_block em b.term;
+        blocks rest
+    in
+    blocks f.blocks;
+    Fixpoint (Builder.Emit.materialize em ~open_:None ~rest:[], st.fired)
+  with Cut f' ->
+    if st.restart then begin
+      Atomic.incr restarts_total;
+      Restarted (f', st.fired)
+    end
+    else Exhausted (f', st.fired)

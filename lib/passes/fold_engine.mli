@@ -1,0 +1,55 @@
+(** Emit-time fold engine: one incremental pass over a function, offering
+    each instruction to the shared matcher (constant fold + rule catalog +
+    canonicalization) with [Next] / [Retry] / [Lit] outcomes, a bounded
+    retry budget, a PHIBARRIER guard at loop-header phis, and incremental
+    DCE — restarting the pass whenever a rewrite could disturb the
+    already-emitted prefix, so the (rule, site) trace is exactly the
+    reference rescanning driver's.  See the implementation header for the
+    exactness argument (triggers T1/T2/T3). *)
+
+open Veriopt_ir
+
+type outcome = Next | Retry of Ast.instr | Lit of Ast.operand
+
+type matcher =
+  Rewrite.ctx ->
+  barrier:(site:Ast.named_instr -> Rewrite.rewrite -> bool) ->
+  Ast.named_instr ->
+  (Rewrite.rule * Rewrite.rewrite) option
+(** Shared with the reference fixpoint driver; [barrier] is the PHIBARRIER
+    predicate (true = refuse the rewrite and keep matching). *)
+
+type pass_result =
+  | Fixpoint of Ast.func * int  (** full pass completed; n rewrites fired *)
+  | Restarted of Ast.func * int  (** exactness trigger: rescan from the top *)
+  | Exhausted of Ast.func * int  (** fuel ran out mid-pass *)
+
+val passes_total : int Atomic.t
+val restarts_total : int Atomic.t
+val barrier_hits_total : int Atomic.t
+
+type site_info
+
+val site_info_of : Ast.func -> site_info
+(** Def positions / blocks plus lazy loop-header detection, as the barrier
+    needs them.  Cheap unless a phi fold actually reaches the CFG check. *)
+
+val barrier_of : site_info -> site:Ast.named_instr -> Rewrite.rewrite -> bool
+(** The PHIBARRIER: refuse [Lit (Var w)] at a loop-header phi when [w] is
+    defined below the phi (the degenerate loop-carried self-reference). *)
+
+val default_retry_budget : int
+
+val run_pass :
+  matcher:matcher ->
+  fuel:(unit -> bool) ->
+  on_rewrite:(rule:string -> site:string -> unit) ->
+  ?retry_budget:int ->
+  armed:bool ref ->
+  Ast.modul ->
+  Ast.func ->
+  pass_result
+(** One emitting pass.  [fuel] is called before each rewrite application
+    (false stops the run, leaving the match unapplied); [on_rewrite] is
+    called once per applied rewrite in application order; [armed] is the
+    run-level DCE latch, shared across passes of one run. *)

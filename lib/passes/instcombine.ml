@@ -1,25 +1,81 @@
-(** The instcombine pass: a worklist-free fixpoint driver over the peephole
-    rule catalog, mirroring LLVM's single-iteration InstCombine structure.
+(** The instcombine pass, driven by the emit-time fold engine
+    ({!Fold_engine}): the fixpoint is "re-emit the function through the
+    fold state until no rewrite fires", with {!Rules_mem} forwarding and
+    {!Dce} folded between re-emissions.
 
     Every application is recorded in a trace of (rule, site) pairs.  The
     trace is not just for debugging: it is the supervision signal for the
     surrogate model — the "teacher action sequence" that turns an -O0
-    function into its optimized label (see veriopt_llm.Sft). *)
+    function into its optimized label (see veriopt_llm.Sft).  The
+    reference rescanning driver ({!run_fixpoint}) is kept precisely
+    because the two must produce bit-identical traces; the differential
+    fuzz and [make fold-bench] hold them to it. *)
 
 open Veriopt_ir
 open Ast
 
 type trace_entry = { rule : string; site : string }
 
-(** All sound rewrite rules, in application priority order. *)
+type result = {
+  func : func;
+  trace : trace_entry list;
+  steps : int;
+  fuel_exhausted : bool;
+      (** [max_steps] ran out: [func]/[trace] are a valid but possibly
+          non-fixpoint prefix of the full optimization. *)
+}
+
+(** All sound rewrite rules, in application priority order.  The
+    canonicalization family is deliberately last: a real simplification at
+    a site always outranks a mere renormalization. *)
 let all_rules : Rewrite.rule list =
   Rules_arith.rules @ Rules_logic.rules @ Rules_shift.rules @ Rules_icmp.rules
   @ Rules_select.rules @ Rules_cast.rules @ Rules_phi.rules @ Rules_extra.rules
-  @ Rules_narrow.rules
+  @ Rules_narrow.rules @ Rules_canon.rules
 
 let rule_names = List.map (fun (r : Rewrite.rule) -> r.Rewrite.rule_name) all_rules
 
 let find_rule name = List.find_opt (fun (r : Rewrite.rule) -> r.Rewrite.rule_name = name) all_rules
+
+(* ------------------------------------------------------------------ *)
+(* Run counters (surfaced in Report.engine_stats) *)
+
+let runs_total = Atomic.make 0
+let rewrites_total = Atomic.make 0
+let fuel_exhausted_total = Atomic.make 0
+
+(* ------------------------------------------------------------------ *)
+(* The shared matcher *)
+
+(* Constant folding runs before the rule catalog, like InstCombine; it is
+   traced as a synthetic rule so SFT sequences name it uniformly. *)
+let fold_rule = Rewrite.rule ~family:"fold" "constant-fold" (fun _ _ -> None)
+
+let matcher_of_rules (rules : Rewrite.rule list) : Fold_engine.matcher =
+ fun ctx ~barrier ni ->
+  match ni.name with
+  | None -> None
+  | Some _ -> (
+    let folded =
+      match Fold.fold_instr ni.instr with
+      | Some op when not (barrier ~site:ni (Rewrite.Value op)) ->
+        Some (fold_rule, Rewrite.Value op)
+      | Some _ | None -> None
+    in
+    match folded with
+    | Some _ -> folded
+    | None ->
+      List.find_map
+        (fun (r : Rewrite.rule) ->
+          if not r.Rewrite.sound then None
+          else
+            match r.Rewrite.apply ctx ni with
+            | Some rw -> if barrier ~site:ni rw then None else Some (r, ni, rw)
+            | None -> None)
+        rules
+      |> Option.map (fun (r, _, rw) -> (r, rw)))
+
+let default_matcher = matcher_of_rules all_rules
 
 (** Apply a single rewrite at the instruction named [site]. *)
 let apply_rewrite (f : func) (site : var) (rw : Rewrite.rewrite) : func =
@@ -33,42 +89,88 @@ let apply_rewrite (f : func) (site : var) (rw : Rewrite.rewrite) : func =
     Builder.replace_instr f ~name:site ~with_:pre
 
 (** Find the first (rule, site) applicable in program order with rule
-    priority, or [None] at fixpoint. *)
+    priority, or [None] at fixpoint.  Shares the matcher (and so the
+    PHIBARRIER) with the fold engine. *)
 let find_applicable ?(rules = all_rules) (modul : modul) (f : func) :
     (Rewrite.rule * named_instr * Rewrite.rewrite) option =
+  let matcher = if rules == all_rules then default_matcher else matcher_of_rules rules in
   let ctx = Rewrite.make_ctx modul f in
-  let try_instr ni =
-    match ni.name with
-    | None -> None
-    | Some _ ->
-      (* constant folding runs before the rule catalog, like InstCombine *)
-      let fold_result =
-        match Fold.fold_instr ni.instr with
-        | Some op ->
-          Some
-            ( Rewrite.rule ~family:"fold" "constant-fold" (fun _ _ -> None),
-              ni,
-              Rewrite.Value op )
-        | None -> None
-      in
-      if fold_result <> None then fold_result
-      else
-        List.find_map
-          (fun (r : Rewrite.rule) ->
-            if not r.Rewrite.sound then None
-            else
-              match r.Rewrite.apply ctx ni with Some rw -> Some (r, ni, rw) | None -> None)
-          rules
+  let info = lazy (Fold_engine.site_info_of f) in
+  let barrier ~site rw = Fold_engine.barrier_of (Lazy.force info) ~site rw in
+  List.find_map
+    (fun b ->
+      List.find_map
+        (fun ni -> Option.map (fun (r, rw) -> (r, ni, rw)) (matcher ctx ~barrier ni))
+        b.instrs)
+    f.blocks
+
+(* ------------------------------------------------------------------ *)
+(* Drivers *)
+
+let mem_rule (e : Rules_mem.trace_entry) = { rule = e.Rules_mem.rule; site = e.Rules_mem.site }
+
+(** Run instcombine to fixpoint through the fold engine: rule catalog +
+    constant folding + block-local memory forwarding + DCE. [max_steps]
+    bounds pathological rule cycles. *)
+let run ?(max_steps = 2000) (modul : modul) (f : func) : result =
+  Atomic.incr runs_total;
+  let trace = ref [] in
+  let steps = ref 0 in
+  let exhausted = ref false in
+  let fuel () =
+    incr steps;
+    if !steps > max_steps then begin
+      exhausted := true;
+      false
+    end
+    else true
   in
-  List.find_map (fun b -> List.find_map try_instr b.instrs) f.blocks
+  let on_rewrite ~rule ~site = trace := { rule; site } :: !trace in
+  let armed = ref false in
+  let rec loop f =
+    if !exhausted then f
+    else
+      match Fold_engine.run_pass ~matcher:default_matcher ~fuel ~on_rewrite ~armed modul f with
+      | Fold_engine.Restarted (f', _) -> loop f'
+      | Fold_engine.Exhausted (f', _) -> f'
+      | Fold_engine.Fixpoint (f', _) -> (
+        (* clean pass end: memory stages, then DCE, then (if anything
+           moved) another emitting pass — the reference driver's order *)
+        let f1, t1 = Rules_mem.forward_loads f' in
+        if t1 <> [] then
+          if fuel () then begin
+            trace := List.rev_append (List.map mem_rule t1) !trace;
+            loop (fst (Dce.run f1))
+          end
+          else f'
+        else
+          let f2, t2 = Rules_mem.eliminate_dead_stores f' in
+          if t2 <> [] then
+            if fuel () then begin
+              trace := List.rev_append (List.map mem_rule t2) !trace;
+              loop (fst (Dce.run f2))
+            end
+            else f'
+          else
+            let f3, removed = Dce.run f' in
+            if removed > 0 then loop f3 else f3)
+  in
+  let func = loop f in
+  let trace = List.rev !trace in
+  Atomic.fetch_and_add rewrites_total (List.length trace) |> ignore;
+  if !exhausted then Atomic.incr fuel_exhausted_total;
+  { func; trace; steps = !steps; fuel_exhausted = !exhausted }
 
 exception Fuel_exhausted
 
-(** Run instcombine to fixpoint: rule catalog + constant folding + block-local
-    memory forwarding + DCE.  [max_steps] bounds pathological rule cycles. *)
-let run ?(max_steps = 2000) (modul : modul) (f : func) : func * trace_entry list =
+(** The pre-fold-engine rescanning driver, kept as the differential
+    reference: after every rewrite it rebuilds the context and rescans
+    from instruction one.  Same matcher, same barrier, same fuel
+    accounting — the fold engine must reproduce its trace bit for bit. *)
+let run_fixpoint ?(max_steps = 2000) (modul : modul) (f : func) : result =
   let trace = ref [] in
   let steps = ref 0 in
+  let exhausted = ref false in
   let bump () =
     incr steps;
     if !steps > max_steps then raise Fuel_exhausted
@@ -78,7 +180,6 @@ let run ?(max_steps = 2000) (modul : modul) (f : func) : func * trace_entry list
      let changed = ref true in
      while !changed do
        changed := false;
-       (* 1. rule catalog *)
        (match find_applicable modul !f with
        | Some (r, ni, rw) ->
          bump ();
@@ -87,17 +188,12 @@ let run ?(max_steps = 2000) (modul : modul) (f : func) : func * trace_entry list
          trace := { rule = r.Rewrite.rule_name; site } :: !trace;
          changed := true
        | None -> ());
-       (* 2. memory forwarding *)
        if not !changed then begin
          let f', t = Rules_mem.forward_loads !f in
          if t <> [] then begin
            bump ();
            f := f';
-           trace :=
-             List.rev_map
-               (fun (e : Rules_mem.trace_entry) -> { rule = e.Rules_mem.rule; site = e.Rules_mem.site })
-               t
-             @ !trace;
+           trace := List.rev_append (List.map mem_rule t) !trace;
            changed := true
          end
        end;
@@ -106,20 +202,15 @@ let run ?(max_steps = 2000) (modul : modul) (f : func) : func * trace_entry list
          if t <> [] then begin
            bump ();
            f := f';
-           trace :=
-             List.rev_map
-               (fun (e : Rules_mem.trace_entry) -> { rule = e.Rules_mem.rule; site = e.Rules_mem.site })
-               t
-             @ !trace;
+           trace := List.rev_append (List.map mem_rule t) !trace;
            changed := true
          end
        end;
-       (* 3. DCE between sweeps keeps use counts accurate *)
        let f', removed = Dce.run !f in
        if removed > 0 then begin
          f := f';
          changed := true
        end
      done
-   with Fuel_exhausted -> ());
-  (!f, List.rev !trace)
+   with Fuel_exhausted -> exhausted := true);
+  { func = !f; trace = List.rev !trace; steps = !steps; fuel_exhausted = !exhausted }

@@ -1,17 +1,39 @@
-(** The instcombine pass: a fixpoint driver over the peephole rule catalog
-    plus constant folding, block-local memory optimization and DCE.
+(** The instcombine pass: a fold-engine driver over the peephole rule
+    catalog plus constant folding, block-local memory optimization and
+    DCE, with the pre-refactor rescanning driver kept as the differential
+    reference.
 
-    The trace of (rule, site) applications is the supervision signal for the
-    surrogate model (the teacher action sequence of SFT). *)
+    The trace of (rule, site) applications is the supervision signal for
+    the surrogate model (the teacher action sequence of SFT); both drivers
+    produce it bit-identically. *)
 
 type trace_entry = { rule : string; site : string }
 
+type result = {
+  func : Veriopt_ir.Ast.func;
+  trace : trace_entry list;
+  steps : int;  (** fuel consumed (rewrites + memory batches) *)
+  fuel_exhausted : bool;
+      (** [max_steps] ran out: the result is a valid but possibly
+          non-fixpoint prefix of the full optimization *)
+}
+
 val all_rules : Rewrite.rule list
-(** Sound rewrite rules in application priority order. *)
+(** Sound rewrite rules in application priority order; the
+    canonicalization family ({!Rules_canon}) is last. *)
 
 val rule_names : string list
 
 val find_rule : string -> Rewrite.rule option
+
+val runs_total : int Atomic.t
+val rewrites_total : int Atomic.t
+val fuel_exhausted_total : int Atomic.t
+
+val matcher_of_rules : Rewrite.rule list -> Fold_engine.matcher
+
+val default_matcher : Fold_engine.matcher
+(** [matcher_of_rules all_rules]: constant fold first, then the catalog. *)
 
 val apply_rewrite : Veriopt_ir.Ast.func -> Veriopt_ir.Ast.var -> Rewrite.rewrite -> Veriopt_ir.Ast.func
 (** Apply a single rewrite at the instruction named by the site. *)
@@ -21,10 +43,13 @@ val find_applicable :
   Veriopt_ir.Ast.modul ->
   Veriopt_ir.Ast.func ->
   (Rewrite.rule * Veriopt_ir.Ast.named_instr * Rewrite.rewrite) option
-(** First applicable (rule, site) in program order, or [None] at fixpoint. *)
+(** First applicable (rule, site) in program order, or [None] at fixpoint.
+    Shares the matcher (and PHIBARRIER) with the fold engine. *)
 
-val run :
-  ?max_steps:int ->
-  Veriopt_ir.Ast.modul ->
-  Veriopt_ir.Ast.func ->
-  Veriopt_ir.Ast.func * trace_entry list
+val run : ?max_steps:int -> Veriopt_ir.Ast.modul -> Veriopt_ir.Ast.func -> result
+(** Fold-engine driver: re-emit the function through the fold state until
+    no rewrite fires, memory forwarding and DCE between re-emissions. *)
+
+val run_fixpoint : ?max_steps:int -> Veriopt_ir.Ast.modul -> Veriopt_ir.Ast.func -> result
+(** The pre-refactor rescanning fixpoint driver (differential reference):
+    must produce the same function and bit-identical trace as {!run}. *)

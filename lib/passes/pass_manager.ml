@@ -9,16 +9,22 @@ open Ast
 type trace_entry = { pass : string; rule : string; site : string }
 
 
-(** The paper's reference pipeline: instcombine to fixpoint. *)
+(** The paper's reference pipeline: instcombine to fixpoint (through the
+    emit-time fold engine). *)
 let instcombine (modul : modul) (f : func) : func * trace_entry list =
-  let f', t = Instcombine.run modul f in
-  (f', List.map (fun (e : Instcombine.trace_entry) -> { pass = "instcombine"; rule = e.Instcombine.rule; site = e.Instcombine.site }) t)
+  let r = Instcombine.run modul f in
+  ( r.Instcombine.func,
+    List.map
+      (fun (e : Instcombine.trace_entry) ->
+        { pass = "instcombine"; rule = e.Instcombine.rule; site = e.Instcombine.site })
+      r.Instcombine.trace )
 
 (** instcombine + mem2reg + simplifycfg, iterated: the full space of sound
     transformations available to the model. *)
 let aggressive ?(max_iters = 5) (modul : modul) (f : func) : func * trace_entry list =
+  (* acc is a reversed prefix: O(1) batch appends instead of acc @ news *)
   let rec go f acc i =
-    if i >= max_iters then (f, acc)
+    if i >= max_iters then (f, List.rev acc)
     else begin
       let f1, t1 = instcombine modul f in
       let f2, t2 = Mem2reg.run f1 in
@@ -37,7 +43,8 @@ let aggressive ?(max_iters = 5) (modul : modul) (f : func) : func * trace_entry 
       in
       let f4, removed = Dce.run f3 in
       let news = t1 @ t2 @ t3 in
-      if news = [] && removed = 0 then (f4, acc) else go f4 (acc @ news) (i + 1)
+      if news = [] && removed = 0 then (f4, List.rev acc)
+      else go f4 (List.rev_append news acc) (i + 1)
     end
   in
   go f [] 0

@@ -15,10 +15,24 @@ type ctx = {
   modul : modul;
   defs : (var, instr) Hashtbl.t;
   uses : (var, int) Hashtbl.t;
+  names : Builder.names;
 }
 
 let make_ctx modul func =
-  { func; modul; defs = Builder.def_map func; uses = Builder.use_counts func }
+  {
+    func;
+    modul;
+    defs = Builder.def_map func;
+    uses = Builder.use_counts func;
+    names = Builder.names_of_func func;
+  }
+
+(** One fresh-name supply per rule invocation: the counter restarts at 0
+    while the used-name set stays live, reproducing the historical
+    names_of_func-per-rewrite behavior the SFT traces are pinned to. *)
+let fresh_supply ctx =
+  Builder.names_reset ctx.names;
+  ctx.names
 
 type rewrite =
   | Value of operand (* replace all uses of the result, delete the instr *)

@@ -9,9 +9,14 @@ type ctx = {
   modul : Ast.modul;
   defs : (Ast.var, Ast.instr) Hashtbl.t;
   uses : (Ast.var, int) Hashtbl.t;
+  names : Builder.names;  (** live fresh-name supply for expanding rules *)
 }
 
 val make_ctx : Ast.modul -> Ast.func -> ctx
+
+val fresh_supply : ctx -> Builder.names
+(** The supply with its counter reset to 0 (one supply per rule
+    invocation, as the pre-fold-engine drivers behaved). *)
 
 type rewrite =
   | Value of Ast.operand  (** replace all uses of the result, delete *)

@@ -1,0 +1,38 @@
+(** Canonicalization as catalog rules.
+
+    The emit-time fold engine and the reference fixpoint driver share one
+    rule catalog, so canonical form is produced the same way by both: as
+    ordinary traced rewrites, placed *last* in the catalog so a real
+    simplification (add-zero, icmp-fold, ...) always wins over a mere
+    renormalization at the same site.  The transformations themselves live
+    in {!Veriopt_ir.Canon}; these wrappers only detect "would change". *)
+
+open Veriopt_ir
+open Ast
+open Rewrite
+
+let const_mask =
+  rule ~family:"canon" "canon-const-mask" (fun _ctx ni ->
+      let i' = map_instr_operands Canon.mask_operand ni.instr in
+      if i' <> ni.instr then Some (Instr i') else None)
+
+let commute =
+  rule ~family:"canon" "canon-commute" (fun _ctx ni ->
+      match ni.instr with
+      | Binop _ ->
+        let i' = Canon.canon_instr ni.instr in
+        if i' <> ni.instr then Some (Instr i') else None
+      | _ -> None)
+
+let icmp_commute =
+  rule ~family:"canon" "canon-icmp-commute" (fun _ctx ni ->
+      match ni.instr with
+      | Icmp _ ->
+        let i' = Canon.canon_instr ni.instr in
+        if i' <> ni.instr then Some (Instr i') else None
+      | _ -> None)
+
+(* const-mask first: commute assumes masked operands, and a single
+   application of canon_instr does both anyway — the split is only so the
+   trace names which normalization fired. *)
+let rules = [ const_mask; commute; icmp_commute ]

@@ -1,0 +1,6 @@
+(** Canonicalization as catalog rules (family ["canon"]): constant
+    re-masking and commutative constant-to-the-right ordering, shared by
+    the fold engine and the reference fixpoint driver.  Placed last in the
+    catalog so real simplifications win over renormalizations. *)
+
+val rules : Rewrite.rule list

@@ -36,7 +36,7 @@ let bitwise_of_zexts =
         | ( Some (Cast { op = ZExt; src_ty = Types.Int sw1; value = a; _ }),
             Some (Cast { op = ZExt; src_ty = Types.Int sw2; value = b; _ }) )
           when sw1 = sw2 && one_use ctx lhs && one_use ctx rhs ->
-          let names = Builder.names_of_func ctx.func in
+          let names = Rewrite.fresh_supply ctx in
           let narrow = Builder.fresh names "narrow" in
           let widened = Builder.fresh names "widened" in
           Some
@@ -74,7 +74,7 @@ let trunc_of_bitwise_const =
           when one_use ctx value -> (
           match cint rhs with
           | Some (_, c) ->
-            let names = Builder.names_of_func ctx.func in
+            let names = Rewrite.fresh_supply ctx in
             let narrow = Builder.fresh names "narrow" in
             let folded = Builder.fresh names "folded" in
             Some
@@ -131,7 +131,7 @@ let demorgan =
         match (not_of lhs, not_of rhs) with
         | Some a, Some b ->
           let dual = match op with And -> Or | Or -> And | _ -> assert false in
-          let names = Builder.names_of_func ctx.func in
+          let names = Rewrite.fresh_supply ctx in
           let inner = Builder.fresh names "dm" in
           let dmnot = Builder.fresh names "dmnot" in
           let w = Types.width ty in

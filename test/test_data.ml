@@ -51,13 +51,16 @@ let profile_tests =
       (fun () ->
         (* the adversarial biases were added behind [> 0.] guards that must
            never perturb the default RNG stream; this digest was computed
-           before those fields existed *)
+           before those fields existed.  Recomputed (deliberately) when the
+           Lower emit chokepoint gained the shared canonicalizer
+           (Canon.canon_instr): the RNG stream is untouched, only the
+           printed operand order of commutative ops changed. *)
         let buf = Buffer.create 65536 in
         for seed = 0 to 29 do
           let _, f = Lower.lower (Cgen.generate ~seed ~name:"t" ()) in
           Buffer.add_string buf (Printer.func_to_string f)
         done;
-        Alcotest.(check string) "seed-stability pin" "d9412ace3cca9904296f9281c425b394"
+        Alcotest.(check string) "seed-stability pin" "98b122dfe7d68543ec0358ccef9fdb5e"
           (Digest.to_hex (Digest.string (Buffer.contents buf))));
     Alcotest.test_case "adversarial profile reaches the new shape families" `Quick
       (fun () ->

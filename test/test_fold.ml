@@ -1,0 +1,373 @@
+(* The emit-time fold engine: differential equivalence against the
+   reference rescanning driver (identical functions, bit-identical traces,
+   identical fuel accounting) over both Cgen profiles and mined corpus
+   cases, the dead-rule-family lint, the PHIBARRIER guard, fuel-exhaustion
+   surfacing, and the canonical-key layer (commuted / renormalized twins
+   share Vcache/store/coalesce keys; semantics-digest bumps invalidate
+   stale store entries with zero corrupt serves). *)
+
+open Veriopt_ir
+module IC = Veriopt_passes.Instcombine
+module FE = Veriopt_passes.Fold_engine
+module Cgen = Veriopt_data.Cgen
+module Lower = Veriopt_data.Lower
+module Miner = Veriopt_adversary.Miner
+module Mutate = Veriopt_adversary.Mutate
+module Engine = Veriopt_alive.Engine
+module Alive = Veriopt_alive.Alive
+module Vcache = Veriopt_alive.Vcache
+module Store = Veriopt_store.Store
+
+let m0 = Ast.empty_module
+let parse = Parser.parse_func
+let print = Printer.func_to_string
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let trace_str (t : IC.trace_entry list) =
+  String.concat "; " (List.map (fun (e : IC.trace_entry) -> e.IC.rule ^ "@" ^ e.IC.site) t)
+
+(* The differential heart: both drivers must agree on everything the
+   result record exposes.  Trace equality is checked as *lists*, which is
+   strictly stronger than the rule-multiset requirement. *)
+let check_differential ?max_steps ~label (m : Ast.modul) (f : Ast.func) =
+  let a = IC.run ?max_steps m f in
+  let b = IC.run_fixpoint ?max_steps m f in
+  Alcotest.(check string) (label ^ ": function") (print b.IC.func) (print a.IC.func);
+  Alcotest.(check string) (label ^ ": trace") (trace_str b.IC.trace) (trace_str a.IC.trace);
+  Alcotest.(check int) (label ^ ": steps") b.IC.steps a.IC.steps;
+  Alcotest.(check bool) (label ^ ": fuel_exhausted") b.IC.fuel_exhausted a.IC.fuel_exhausted;
+  a
+
+let fired_families = Hashtbl.create 16
+
+let note_families (t : IC.trace_entry list) =
+  List.iter
+    (fun (e : IC.trace_entry) ->
+      match IC.find_rule e.IC.rule with
+      | Some r -> Hashtbl.replace fired_families r.Veriopt_passes.Rewrite.family ()
+      | None -> if e.IC.rule = "constant-fold" then Hashtbl.replace fired_families "fold" ())
+    t
+
+let differential_over_cgen ~profile ~label n () =
+  for seed = 0 to n - 1 do
+    let m, f =
+      match profile with
+      | None -> Lower.lower (Cgen.generate ~seed ~name:"t" ())
+      | Some p -> Lower.lower (Cgen.generate ~profile:p ~seed ~name:"t" ())
+    in
+    let r = check_differential ~label:(Fmt.str "%s seed %d" label seed) m f in
+    note_families r.IC.trace
+  done
+
+(* Mined-corpus shapes: miner seeds plus one mutation round on top, the
+   exact IR population the adversarial suite replays. *)
+let differential_over_mined () =
+  let cfg = Miner.default_config in
+  let tried = ref 0 in
+  for i = 0 to 39 do
+    match Miner.seed_pair cfg i with
+    | None -> ()
+    | Some (_, p) ->
+      incr tried;
+      let check which f =
+        let r = check_differential ~label:(Fmt.str "mined %d %s" i which) p.Mutate.a_m f in
+        note_families r.IC.trace
+      in
+      check "src" p.Mutate.a_src;
+      check "tgt" p.Mutate.a_tgt;
+      let rng = Random.State.make [| 0x5eed; i |] in
+      (match Mutate.apply rng p with
+      | Some (_, p') when Mutate.valid p' -> check "mutant" p'.Mutate.a_tgt
+      | _ -> ())
+  done;
+  Alcotest.(check bool) "miner produced seeds" true (!tried > 10)
+
+(* One tiny body per rule family: together with the fuzz sweeps above,
+   every family in the catalog must fire somewhere — a refactor that
+   silently kills a family (matcher wiring, barrier overreach, ctx drift)
+   fails here, not in production traces. *)
+let family_battery =
+  [
+    ("add", "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 0\n  ret i32 %r\n}");
+    ("sub", "define i32 @f(i32 %x) {\nentry:\n  %r = sub i32 %x, 0\n  ret i32 %r\n}");
+    ("mul", "define i32 @f(i32 %x) {\nentry:\n  %r = mul i32 %x, 1\n  ret i32 %r\n}");
+    ("div", "define i32 @f(i32 %x) {\nentry:\n  %r = sdiv i32 %x, 1\n  ret i32 %r\n}");
+    ("logic", "define i32 @f(i32 %x) {\nentry:\n  %r = and i32 %x, %x\n  ret i32 %r\n}");
+    ("shift", "define i32 @f(i32 %x) {\nentry:\n  %r = shl i32 %x, 0\n  ret i32 %r\n}");
+    ("icmp", "define i1 @f(i32 %x) {\nentry:\n  %r = icmp ult i32 %x, 0\n  ret i1 %r\n}");
+    ( "select",
+      "define i32 @f(i1 %c, i32 %x) {\nentry:\n  %r = select i1 %c, i32 %x, i32 %x\n  ret i32 %r\n}"
+    );
+    ( "cast",
+      "define i32 @f(i32 %x) {\nentry:\n  %t = trunc i32 %x to i8\n  %r = zext i8 %t to i32\n  ret i32 %r\n}"
+    );
+    ( "phi",
+      "define i32 @f(i32 %x) {\nentry:\n  br label %next\nnext:\n  %p = phi i32 [ %x, %entry ]\n  ret i32 %p\n}"
+    );
+    ("fold", "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 2, 3\n  ret i32 %r\n}");
+    ("canon", "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 5, %x\n  ret i32 %r\n}");
+  ]
+
+let dead_rule_lint () =
+  List.iter
+    (fun (fam, src) ->
+      let f = parse src in
+      let r = check_differential ~label:(Fmt.str "battery %s" fam) m0 f in
+      note_families r.IC.trace;
+      if not (Hashtbl.mem fired_families fam) then
+        Alcotest.failf "battery case for family %s fired nothing of it (trace: %s)" fam
+          (trace_str r.IC.trace))
+    family_battery;
+  let catalog_families = Hashtbl.create 16 in
+  Hashtbl.replace catalog_families "fold" ();
+  List.iter
+    (fun (r : Veriopt_passes.Rewrite.rule) ->
+      Hashtbl.replace catalog_families r.Veriopt_passes.Rewrite.family ())
+    IC.all_rules;
+  Hashtbl.iter
+    (fun fam () ->
+      if not (Hashtbl.mem fired_families fam) then
+        Alcotest.failf "rule family %s never fired across the sweep (dead rule?)" fam)
+    catalog_families
+
+(* ------------------------------------------------------------------ *)
+(* PHIBARRIER *)
+
+(* The degenerate loop-carried fold: a single-incoming phi in a loop
+   header whose incoming is defined *below* it.  Folding %i to %j would
+   rewrite %j's own operand into a self-reference (`%j = add %j, 1`).
+   The barrier must refuse, in both drivers. *)
+let phi_barrier_degenerate () =
+  let src =
+    "define i32 @f(i32 %n) {\nentry:\n  br label %loop\nloop:\n  %i = phi i32 [ %j, %loop ]\n  %j = add i32 %i, 1\n  %c = icmp slt i32 %j, %n\n  br i1 %c, label %loop, label %done\ndone:\n  ret i32 %j\n}"
+  in
+  let f = parse src in
+  let before = Atomic.get FE.barrier_hits_total in
+  let r = check_differential ~label:"phi barrier" m0 f in
+  Alcotest.(check bool) "barrier consulted" true (Atomic.get FE.barrier_hits_total > before);
+  List.iter
+    (fun (e : IC.trace_entry) ->
+      if e.IC.site = "i" then Alcotest.failf "barred phi fold fired anyway: %s" e.IC.rule)
+    r.IC.trace;
+  (* the self-reference never materialized *)
+  Alcotest.(check bool) "add stays on %i" true
+    (contains ~affix:"add i32 %i, 1" (print r.IC.func))
+
+(* A forward phi reference outside any loop must still fold: the barrier
+   only guards loop headers. *)
+let phi_barrier_scope () =
+  let src =
+    "define i32 @f(i32 %x) {\nentry:\n  br label %a\na:\n  %p = phi i32 [ %x, %entry ]\n  %r = add i32 %p, 0\n  ret i32 %r\n}"
+  in
+  let r = check_differential ~label:"phi no-loop" m0 (parse src) in
+  Alcotest.(check bool) "phi folded away" true
+    (not (contains ~affix:"phi" (print r.IC.func)))
+
+(* ------------------------------------------------------------------ *)
+(* Fuel *)
+
+let fuel_surfacing () =
+  (* a chain long enough to exhaust small budgets *)
+  let body =
+    String.concat "\n"
+      ([ "define i32 @f(i32 %x) {"; "entry:" ]
+      @ List.init 12 (fun i ->
+            Fmt.str "  %%a%d = add i32 %s, 0" i (if i = 0 then "%x" else Fmt.str "%%a%d" (i - 1)))
+      @ [ "  ret i32 %a11"; "}" ])
+  in
+  let f = parse body in
+  let full = IC.run m0 f in
+  Alcotest.(check bool) "full run reaches fixpoint" false full.IC.fuel_exhausted;
+  Alcotest.(check bool) "steps counted" true (full.IC.steps >= 12);
+  for max_steps = 0 to 5 do
+    let r = check_differential ~max_steps ~label:(Fmt.str "fuel %d" max_steps) m0 f in
+    Alcotest.(check bool)
+      (Fmt.str "budget %d flagged" max_steps)
+      true r.IC.fuel_exhausted;
+    Alcotest.(check int) (Fmt.str "budget %d trace len" max_steps) max_steps
+      (List.length r.IC.trace)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Canonical keys *)
+
+let commuted_twins () =
+  let f1 = parse "define i32 @f(i32 %x, i32 %y) {\nentry:\n  %a = mul i32 %y, %x\n  %r = add i32 %a, %x\n  ret i32 %r\n}" in
+  let f2 = parse "define i32 @f(i32 %x, i32 %y) {\nentry:\n  %a = mul i32 %x, %y\n  %r = add i32 %x, %a\n  ret i32 %r\n}" in
+  let tgt = parse "define i32 @f(i32 %x, i32 %y) {\nentry:\n  %r = add i32 %x, %x\n  ret i32 %r\n}" in
+  Alcotest.(check string) "store keys collide"
+    (Engine.store_key m0 ~src:f1 ~tgt)
+    (Engine.store_key m0 ~src:f2 ~tgt);
+  Alcotest.(check string) "coalesce keys collide"
+    (Engine.coalesce_key m0 ~src:f1 ~tgt)
+    (Engine.coalesce_key m0 ~src:f2 ~tgt);
+  (* icmp twins commute through the predicate mirror *)
+  let g1 = parse "define i1 @f(i32 %x, i32 %y) {\nentry:\n  %r = icmp slt i32 %y, %x\n  ret i1 %r\n}" in
+  let g2 = parse "define i1 @f(i32 %x, i32 %y) {\nentry:\n  %r = icmp sgt i32 %x, %y\n  ret i1 %r\n}" in
+  Alcotest.(check string) "icmp twins collide"
+    (Engine.coalesce_key m0 ~src:g1 ~tgt:g1)
+    (Engine.coalesce_key m0 ~src:g2 ~tgt:g2);
+  (* distinguished mutants never collide *)
+  let h1 = parse "define i32 @f(i32 %x, i32 %y) {\nentry:\n  %r = sub i32 %x, %y\n  ret i32 %r\n}" in
+  let h2 = parse "define i32 @f(i32 %x, i32 %y) {\nentry:\n  %r = sub i32 %y, %x\n  ret i32 %r\n}" in
+  Alcotest.(check bool) "sub operand order is significant" false
+    (Engine.coalesce_key m0 ~src:h1 ~tgt:h1 = Engine.coalesce_key m0 ~src:h2 ~tgt:h2);
+  let k1 = parse "define i1 @f(i32 %x, i32 %y) {\nentry:\n  %r = icmp slt i32 %x, %y\n  ret i1 %r\n}" in
+  let k2 = parse "define i1 @f(i32 %x, i32 %y) {\nentry:\n  %r = icmp slt i32 %y, %x\n  ret i1 %r\n}" in
+  Alcotest.(check bool) "icmp swap without mirror is significant" false
+    (Engine.coalesce_key m0 ~src:k1 ~tgt:k1 = Engine.coalesce_key m0 ~src:k2 ~tgt:k2)
+
+(* Constants stored denormalized (sign-extended instead of masked) must
+   key identically to their masked twin: build the unmasked form directly,
+   bypassing the parser's masking constructor. *)
+let renormalized_const_twins () =
+  let mk value =
+    let open Ast in
+    {
+      fname = "f";
+      params = [ (Types.Int 8, "x") ];
+      ret_ty = Types.Int 8;
+      blocks =
+        [
+          {
+            label = "entry";
+            instrs =
+              [
+                {
+                  name = Some "r";
+                  instr =
+                    Binop
+                      {
+                        op = And;
+                        flags = no_flags;
+                        ty = Types.Int 8;
+                        lhs = Var "x";
+                        rhs = Const (CInt { width = 8; value });
+                      };
+                };
+              ];
+            term = Ret (Some (Types.Int 8, Var "r"));
+          };
+        ];
+    }
+  in
+  let masked = mk 0xF0L and unmasked = mk 0xFFFFFFFFFFFFFFF0L in
+  Alcotest.(check string) "renormalized twins collide"
+    (Engine.coalesce_key m0 ~src:masked ~tgt:masked)
+    (Engine.coalesce_key m0 ~src:unmasked ~tgt:unmasked);
+  let other = mk 0x70L in
+  Alcotest.(check bool) "different constants stay distinct" false
+    (Engine.coalesce_key m0 ~src:masked ~tgt:masked
+    = Engine.coalesce_key m0 ~src:other ~tgt:other)
+
+(* Twin queries hit one Vcache entry end to end, and conclusive verdicts
+   agree across the whole canon class. *)
+let vcache_twin_hits () =
+  let engine = Engine.create ~tier1_samples:8 () in
+  let src1 = parse "define i32 @f(i32 %x, i32 %y) {\nentry:\n  %r = add i32 %x, %y\n  ret i32 %r\n}" in
+  let src2 = parse "define i32 @f(i32 %x, i32 %y) {\nentry:\n  %r = add i32 %y, %x\n  ret i32 %r\n}" in
+  let tgt = parse "define i32 @f(i32 %x, i32 %y) {\nentry:\n  %r = add i32 %y, %x\n  ret i32 %r\n}" in
+  let v1 = Engine.verify_funcs engine m0 ~src:src1 ~tgt in
+  let h0 = (Engine.stats engine).Vcache.hits in
+  let v2 = Engine.verify_funcs engine m0 ~src:src2 ~tgt in
+  let h1 = (Engine.stats engine).Vcache.hits in
+  Alcotest.(check bool) "commuted twin served from cache" true (h1 > h0);
+  Alcotest.(check bool) "verdicts agree" true
+    (v1.Alive.category = v2.Alive.category);
+  Engine.shutdown engine
+
+(* A store populated under a pre-refactor semantics digest must be
+   entirely stale under the canon-bumped digest: skipped, not served, and
+   never counted corrupt. *)
+let dir_counter = ref 0
+
+let temp_dir () =
+  incr dir_counter;
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "veriopt-test-fold-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  if Sys.file_exists d then
+    Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d)
+  else Unix.mkdir d 0o755;
+  d
+
+let store_digest_bump () =
+  let dir = temp_dir () in
+  (* the digest the store carried before ("canon", ...) joined the
+     registry — any digest that differs from the engine's current one *)
+  let old_digest = Store.version_digest [ ("pre-canon", 1) ] in
+  Alcotest.(check bool) "digests differ" true (old_digest <> Engine.semantics_digest ());
+  let s_old = Store.open_ ~dir ~semantics:old_digest () in
+  Store.add s_old ~key:"pair-key" "stale-verdict";
+  Store.close s_old;
+  let s_new = Store.open_ ~dir ~semantics:(Engine.semantics_digest ()) () in
+  Alcotest.(check (option string)) "stale entry not served" None (Store.find s_new ~key:"pair-key");
+  let st = Store.stats s_new in
+  Alcotest.(check bool) "skip was counted as stale" true (st.Store.stale_version_skips >= 1);
+  Alcotest.(check int) "zero corrupt serves" 0 st.Store.corrupt_entries;
+  Store.close s_new
+
+(* Lower emits canonical IR: re-canonicalizing its output is the identity,
+   on both profiles. *)
+let lower_emits_canonical () =
+  List.iter
+    (fun profile ->
+      for seed = 0 to 9 do
+        let _, f =
+          match profile with
+          | None -> Lower.lower (Cgen.generate ~seed ~name:"t" ())
+          | Some p -> Lower.lower (Cgen.generate ~profile:p ~seed ~name:"t" ())
+        in
+        List.iter
+          (fun (b : Ast.block) ->
+            List.iter
+              (fun (ni : Ast.named_instr) ->
+                if Canon.canon_instr ni.Ast.instr <> ni.Ast.instr then
+                  Alcotest.failf "non-canonical emission (seed %d): %s" seed (print f))
+              b.Ast.instrs)
+          f.Ast.blocks
+      done)
+    [ None; Some Cgen.adversarial_profile ]
+
+(* Zero conclusive flips across drivers: both optimized outputs verify
+   identically against their source. *)
+let no_conclusive_flips () =
+  let engine = Engine.create ~tier1_samples:8 () in
+  for seed = 0 to 3 do
+    let m, f = Lower.lower (Cgen.generate ~seed ~name:"t" ()) in
+    let a = IC.run m f in
+    let b = IC.run_fixpoint m f in
+    let va = Engine.verify_funcs engine m ~src:f ~tgt:a.IC.func in
+    let vb = Engine.verify_funcs engine m ~src:f ~tgt:b.IC.func in
+    Alcotest.(check bool) (Fmt.str "seed %d verdict agreement" seed) true
+      (va.Alive.category = vb.Alive.category)
+  done;
+  Engine.shutdown engine
+
+let suite =
+  ( "fold",
+    [
+      Alcotest.test_case "differential: default Cgen stream" `Quick
+        (differential_over_cgen ~profile:None ~label:"default" 20);
+      Alcotest.test_case "differential: adversarial Cgen stream" `Quick
+        (differential_over_cgen ~profile:(Some Cgen.adversarial_profile) ~label:"adversarial" 20);
+      Alcotest.test_case "differential: mined corpus seeds and mutants" `Quick
+        differential_over_mined;
+      Alcotest.test_case "dead-rule lint: every family fires" `Quick dead_rule_lint;
+      Alcotest.test_case "PHIBARRIER refuses the degenerate loop fold" `Quick
+        phi_barrier_degenerate;
+      Alcotest.test_case "PHIBARRIER leaves straight-line phis alone" `Quick phi_barrier_scope;
+      Alcotest.test_case "fuel exhaustion is surfaced and differential" `Quick fuel_surfacing;
+      Alcotest.test_case "commuted twins share keys; mutants do not" `Quick commuted_twins;
+      Alcotest.test_case "renormalized constants share keys" `Quick renormalized_const_twins;
+      Alcotest.test_case "Vcache serves the whole canon class" `Quick vcache_twin_hits;
+      Alcotest.test_case "store digest bump invalidates pre-refactor entries" `Quick
+        store_digest_bump;
+      Alcotest.test_case "Lower emits canonical IR" `Quick lower_emits_canonical;
+      Alcotest.test_case "zero conclusive flips across drivers" `Quick no_conclusive_flips;
+    ] )

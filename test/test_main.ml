@@ -19,6 +19,7 @@ let () =
       Test_sat_fuzz.suite;
       Test_alive.suite;
       Test_passes.suite;
+      Test_fold.suite;
       Test_cost.suite;
       Test_nlp.suite;
       Test_data.suite;

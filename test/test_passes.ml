@@ -14,10 +14,10 @@ let parse = Parser.parse_func
 let print = Printer.func_to_string
 
 (* Run instcombine and check the optimized body printed form. *)
-let after_instcombine src = print (fst (IC.run m0 (parse src)))
+let after_instcombine src = print (IC.run m0 (parse src)).IC.func
 
 let applies rule_name src =
-  let _, trace = IC.run m0 (parse src) in
+  let trace = (IC.run m0 (parse src)).IC.trace in
   if not (List.exists (fun (e : IC.trace_entry) -> e.IC.rule = rule_name) trace) then
     Alcotest.failf "rule %s did not fire; trace: %s" rule_name
       (String.concat ", " (List.map (fun (e : IC.trace_entry) -> e.IC.rule) trace))
@@ -175,7 +175,7 @@ let directed_tests =
     Alcotest.test_case "redundant load reused" `Quick (fun () ->
         let m = Parser.parse_module "@g = global i32 3\ndefine i32 @f() {\nentry:\n  %a = load i32, ptr @g, align 4\n  %b = load i32, ptr @g, align 4\n  %r = add i32 %a, %b\n  ret i32 %r\n}" in
         let f = List.hd m.Ast.funcs in
-        let _, trace = IC.run m f in
+        let trace = (IC.run m f).IC.trace in
         Alcotest.(check bool) "fired" true
           (List.exists (fun (e : IC.trace_entry) -> e.IC.rule = "redundant-load") trace));
     Alcotest.test_case "no forwarding across may-alias store" `Quick (fun () ->
@@ -184,7 +184,7 @@ let directed_tests =
             "define i32 @f(ptr %p, ptr %q, i32 %x) {\nentry:\n  store i32 %x, ptr %p, align 4\n  store i32 9, ptr %q, align 4\n  %v = load i32, ptr %p, align 4\n  ret i32 %v\n}"
         in
         let f = List.hd m.Ast.funcs in
-        let _, trace = IC.run m f in
+        let trace = (IC.run m f).IC.trace in
         Alcotest.(check bool) "no forward" false
           (List.exists (fun (e : IC.trace_entry) -> e.IC.rule = "store-to-load-forward") trace));
     Alcotest.test_case "no forwarding across a call for escaped memory" `Quick (fun () ->
@@ -193,7 +193,7 @@ let directed_tests =
             "declare void @sink(i32)\n@g = global i32 1\ndefine i32 @f(i32 %x) {\nentry:\n  store i32 %x, ptr @g, align 4\n  call void @sink(i32 0)\n  %v = load i32, ptr @g, align 4\n  ret i32 %v\n}"
         in
         let f = List.hd m.Ast.funcs in
-        let _, trace = IC.run m f in
+        let trace = (IC.run m f).IC.trace in
         Alcotest.(check bool) "no forward" false
           (List.exists (fun (e : IC.trace_entry) -> e.IC.rule = "store-to-load-forward") trace));
   ]
